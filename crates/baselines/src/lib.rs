@@ -1,0 +1,18 @@
+//! Baseline models the paper compares MB2 against (§8.3 / §9).
+//!
+//! * [`qppnet`] — a QPPNet-style [40] tree-structured neural network: one
+//!   neural unit per plan-operator type; each unit consumes its operator's
+//!   features plus its children's output vectors and emits a latency plus a
+//!   hidden "data vector" for its parent. Trained end-to-end per plan tree
+//!   on measured query latency. The defining property Fig. 7 contrasts
+//!   with MB2 — a monolithic plan-level model whose training data must
+//!   cover the test plans' operator compositions — is preserved.
+//! * [`monolithic`] — an extra ablation beyond the paper: one flat
+//!   regressor over bag-of-operators plan features, the "single monolithic
+//!   model" §2.2 argues against.
+
+pub mod monolithic;
+pub mod qppnet;
+
+pub use monolithic::MonolithicModel;
+pub use qppnet::QppNet;

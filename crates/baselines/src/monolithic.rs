@@ -1,0 +1,132 @@
+//! Monolithic per-query model — the design §2.2 argues against, used as an
+//! extra decomposition ablation: one flat regressor over bag-of-operators
+//! plan features predicting whole-query latency.
+
+use mb2_common::{DbError, DbResult};
+use mb2_ml::forest::{ForestConfig, RandomForest};
+use mb2_ml::Regressor;
+use mb2_sql::PlanNode;
+
+/// Operator types tracked in the flattened feature vector.
+const OP_TYPES: [&str; 10] = [
+    "SeqScan",
+    "IndexScan",
+    "HashJoin",
+    "NestedLoopJoin",
+    "Aggregate",
+    "Sort",
+    "Project",
+    "Limit",
+    "Output",
+    "Insert",
+];
+
+/// Per-op-type: count, total rows_in, total rows_out → 3 features each.
+pub const MONO_FEATURES: usize = OP_TYPES.len() * 3;
+
+/// Flatten a plan to the monolithic feature vector.
+pub fn plan_features(plan: &PlanNode) -> Vec<f64> {
+    let mut f = vec![0.0; MONO_FEATURES];
+    fn walk(node: &PlanNode, f: &mut [f64]) {
+        if let Some(i) = OP_TYPES.iter().position(|&t| t == node.label()) {
+            let est = node.est();
+            f[i * 3] += 1.0;
+            f[i * 3 + 1] += (est.rows_in + 1.0).ln();
+            f[i * 3 + 2] += (est.rows_out + 1.0).ln();
+        }
+        for c in node.children() {
+            walk(c, f);
+        }
+    }
+    walk(plan, &mut f);
+    f
+}
+
+/// The monolithic baseline model.
+pub struct MonolithicModel {
+    forest: RandomForest,
+    trained: bool,
+}
+
+impl Default for MonolithicModel {
+    fn default() -> Self {
+        MonolithicModel {
+            forest: RandomForest::new(ForestConfig { n_estimators: 30, ..ForestConfig::default() }),
+            trained: false,
+        }
+    }
+}
+
+impl MonolithicModel {
+    /// Train on (plan, measured latency µs) pairs.
+    pub fn fit(&mut self, samples: &[(&PlanNode, f64)]) -> DbResult<()> {
+        if samples.is_empty() {
+            return Err(DbError::Model("monolithic: empty training set".into()));
+        }
+        let x: Vec<Vec<f64>> = samples.iter().map(|(p, _)| plan_features(p)).collect();
+        let y: Vec<Vec<f64>> = samples.iter().map(|(_, l)| vec![(l + 1.0).ln()]).collect();
+        self.forest.fit(&x, &y)?;
+        self.trained = true;
+        Ok(())
+    }
+
+    /// Predict query latency (µs).
+    pub fn predict(&self, plan: &PlanNode) -> DbResult<f64> {
+        if !self.trained {
+            return Err(DbError::Model("monolithic: predict before fit".into()));
+        }
+        let log = self.forest.predict_one(&plan_features(plan))[0];
+        Ok(log.exp() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_engine::Database;
+
+    #[test]
+    fn fits_and_predicts_in_range() {
+        let db = Database::open();
+        db.execute("CREATE TABLE m (a INT)").unwrap();
+        for i in 0..1000 {
+            if i % 500 == 0 {
+                // keep insert batches small
+            }
+            db.execute(&format!("INSERT INTO m VALUES ({i})")).unwrap();
+        }
+        db.execute("ANALYZE m").unwrap();
+        let mut samples = Vec::new();
+        for bound in [100, 300, 600, 900] {
+            let plan = db.prepare(&format!("SELECT * FROM m WHERE a < {bound}")).unwrap();
+            let latency = plan.est().rows_out * 2.0;
+            samples.push((plan, latency));
+        }
+        let refs: Vec<(&PlanNode, f64)> = samples.iter().map(|(p, l)| (p, *l)).collect();
+        let mut m = MonolithicModel::default();
+        m.fit(&refs).unwrap();
+        let plan = db.prepare("SELECT * FROM m WHERE a < 450").unwrap();
+        let pred = m.predict(&plan).unwrap();
+        assert!(pred > 100.0 && pred < 2000.0, "pred {pred}");
+    }
+
+    #[test]
+    fn feature_vector_counts_operators() {
+        let db = Database::open();
+        db.execute("CREATE TABLE m (a INT)").unwrap();
+        db.execute("INSERT INTO m VALUES (1)").unwrap();
+        let plan = db.prepare("SELECT * FROM m WHERE a = 1 ORDER BY a").unwrap();
+        let f = plan_features(&plan);
+        assert_eq!(f.len(), MONO_FEATURES);
+        // At least scan + sort + output counted.
+        assert!(f.iter().step_by(3).sum::<f64>() >= 3.0);
+    }
+
+    #[test]
+    fn predict_before_fit_is_error() {
+        let db = Database::open();
+        db.execute("CREATE TABLE m (a INT)").unwrap();
+        let plan = db.prepare("SELECT * FROM m").unwrap();
+        assert!(MonolithicModel::default().predict(&plan).is_err());
+    }
+}

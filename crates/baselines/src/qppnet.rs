@@ -1,0 +1,280 @@
+//! QPPNet-style plan-structured neural network [40].
+//!
+//! One MLP ("neural unit") per operator type. A unit's input is its
+//! operator's plan features concatenated with its children's output vectors
+//! (zero-padded to two children); its output is `[latency, data vector]`.
+//! The predicted query latency is the root unit's latency output, and
+//! training backpropagates the query-latency loss through the whole tree —
+//! so units are shared across plans but gradients flow along each plan's
+//! structure, exactly the architecture the paper adapted for NoisePage's
+//! pipelines.
+
+use std::collections::HashMap;
+
+use mb2_common::{DbError, DbResult, Prng};
+use mb2_ml::nn::{Mlp, MlpCache};
+use mb2_sql::PlanNode;
+
+/// Plan features per operator (log-scaled estimates).
+const OP_FEATURES: usize = 6;
+/// Children considered per operator (binary plans).
+const MAX_CHILDREN: usize = 2;
+
+fn op_features(node: &PlanNode) -> [f64; OP_FEATURES] {
+    let est = node.est();
+    [
+        (est.rows_in.max(0.0) + 1.0).ln(),
+        (est.rows_out.max(0.0) + 1.0).ln(),
+        est.n_cols as f64,
+        (est.width.max(0.0) + 1.0).ln(),
+        (est.cardinality.max(0.0) + 1.0).ln(),
+        node.children().len() as f64,
+    ]
+}
+
+/// QPPNet configuration + trained state.
+pub struct QppNet {
+    pub hidden_vector: usize,
+    pub hidden_layer: usize,
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub seed: u64,
+    units: HashMap<&'static str, (Mlp, usize)>, // (net, adam step)
+    /// Latency normalization (log space mean/std).
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl Default for QppNet {
+    fn default() -> Self {
+        QppNet::new(8, 32, 400, 1e-3, 17)
+    }
+}
+
+impl QppNet {
+    pub fn new(
+        hidden_vector: usize,
+        hidden_layer: usize,
+        epochs: usize,
+        learning_rate: f64,
+        seed: u64,
+    ) -> QppNet {
+        QppNet {
+            hidden_vector,
+            hidden_layer,
+            epochs,
+            learning_rate,
+            seed,
+            units: HashMap::new(),
+            target_mean: 0.0,
+            target_std: 1.0,
+        }
+    }
+
+    fn unit_io(&self) -> (usize, usize) {
+        let input = OP_FEATURES + MAX_CHILDREN * (1 + self.hidden_vector);
+        let output = 1 + self.hidden_vector;
+        (input, output)
+    }
+
+    fn ensure_unit(&mut self, label: &'static str, rng: &mut Prng) {
+        if !self.units.contains_key(label) {
+            let (input, output) = self.unit_io();
+            let net = Mlp::new(&[input, self.hidden_layer, output], rng);
+            self.units.insert(label, (net, 0));
+        }
+    }
+
+    /// Forward pass; returns the root output and per-node caches in
+    /// post-order (children before parents).
+    fn forward<'p>(
+        &self,
+        node: &'p PlanNode,
+        caches: &mut Vec<(&'static str, &'p PlanNode, MlpCache, Vec<f64>)>,
+    ) -> DbResult<Vec<f64>> {
+        let children = node.children();
+        let mut input = Vec::with_capacity(self.unit_io().0);
+        input.extend_from_slice(&op_features(node));
+        let mut child_outputs = Vec::new();
+        for child in children.iter().take(MAX_CHILDREN) {
+            child_outputs.push(self.forward(child, caches)?);
+        }
+        for i in 0..MAX_CHILDREN {
+            match child_outputs.get(i) {
+                Some(out) => input.extend_from_slice(out),
+                None => input.extend(std::iter::repeat_n(0.0, 1 + self.hidden_vector)),
+            }
+        }
+        let (net, _) = self
+            .units
+            .get(node.label())
+            .ok_or_else(|| DbError::Model(format!("unit for '{}' untrained", node.label())))?;
+        let (out, cache) = net.forward_cached(&input);
+        caches.push((node.label(), node, cache, input));
+        Ok(out)
+    }
+
+    /// Backward pass through the tree. `caches` comes from [`Self::forward`]
+    /// (post-order). `grad_root` is dL/d(root output).
+    fn backward(
+        &mut self,
+        caches: Vec<(&'static str, &PlanNode, MlpCache, Vec<f64>)>,
+        grad_root: Vec<f64>,
+    ) {
+        // Walk in reverse (parents before children), routing each child its
+        // gradient slice from the parent's input gradient.
+        let mut pending: HashMap<usize, Vec<f64>> = HashMap::new(); // cache idx -> grad_out
+        let root_idx = caches.len() - 1;
+        pending.insert(root_idx, grad_root);
+        // Map each node pointer to its cache index for child routing.
+        let ptr_to_idx: HashMap<*const PlanNode, usize> =
+            caches.iter().enumerate().map(|(i, (_, n, _, _))| (*n as *const PlanNode, i)).collect();
+        for i in (0..caches.len()).rev() {
+            let Some(grad_out) = pending.remove(&i) else { continue };
+            let (label, node, cache, _input) = &caches[i];
+            let grad_in = {
+                let (net, _) = self.units.get_mut(label).expect("unit exists");
+                net.backward(cache, &grad_out)
+            };
+            // Children's gradient slices follow the op features.
+            for (ci, child) in node.children().into_iter().take(MAX_CHILDREN).enumerate() {
+                let start = OP_FEATURES + ci * (1 + self.hidden_vector);
+                let slice = grad_in[start..start + 1 + self.hidden_vector].to_vec();
+                if let Some(&idx) = ptr_to_idx.get(&(child as *const PlanNode)) {
+                    pending.insert(idx, slice);
+                }
+            }
+        }
+    }
+
+    /// Train on (plan, measured latency µs) pairs.
+    pub fn fit(&mut self, samples: &[(&PlanNode, f64)]) -> DbResult<()> {
+        if samples.is_empty() {
+            return Err(DbError::Model("qppnet: empty training set".into()));
+        }
+        let mut rng = Prng::new(self.seed);
+        // Register units for every operator type seen.
+        fn walk(node: &PlanNode, f: &mut impl FnMut(&'static str)) {
+            f(node.label());
+            for c in node.children() {
+                walk(c, f);
+            }
+        }
+        for (plan, _) in samples {
+            walk(plan, &mut |label| self.ensure_unit(label, &mut rng));
+        }
+        // Log-space latency normalization.
+        let logs: Vec<f64> = samples.iter().map(|(_, l)| (l.max(0.0) + 1.0).ln()).collect();
+        self.target_mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|v| (v - self.target_mean).powi(2)).sum::<f64>()
+            / logs.len() as f64;
+        self.target_std = var.sqrt().max(1e-6);
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for &si in &order {
+                let (plan, latency) = samples[si];
+                let target = ((latency.max(0.0) + 1.0).ln() - self.target_mean) / self.target_std;
+                let mut caches = Vec::new();
+                let out = self.forward(plan, &mut caches)?;
+                let mut grad = vec![0.0; out.len()];
+                grad[0] = 2.0 * (out[0] - target);
+                for (_, (net, _)) in self.units.iter_mut() {
+                    net.zero_grad();
+                }
+                self.backward(caches, grad);
+                for (net, step) in self.units.values_mut() {
+                    *step += 1;
+                    net.adam_step(self.learning_rate, *step, 1.0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Predict query latency (µs). Errors if the plan contains an operator
+    /// type absent from training — the generalization limitation §8.3 notes
+    /// ("training data must contain all the operator combinations in the
+    /// test data").
+    pub fn predict(&self, plan: &PlanNode) -> DbResult<f64> {
+        let mut caches = Vec::new();
+        let out = self.forward(plan, &mut caches)?;
+        let log = out[0] * self.target_std + self.target_mean;
+        Ok(log.exp() - 1.0)
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.units.values().map(|(net, _)| net.param_count() * 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_engine::Database;
+
+    fn setup() -> Database {
+        let db = Database::open();
+        db.execute("CREATE TABLE q (a INT, b INT, v FLOAT)").unwrap();
+        for chunk in (0..4000i64).collect::<Vec<_>>().chunks(500) {
+            let vals: Vec<String> =
+                chunk.iter().map(|i| format!("({i}, {}, 1.5)", i % 50)).collect();
+            db.execute(&format!("INSERT INTO q VALUES {}", vals.join(", "))).unwrap();
+        }
+        db.execute("ANALYZE q").unwrap();
+        db
+    }
+
+    /// Latencies proportional to scanned rows: QPPNet should learn the
+    /// relationship between plan cardinalities and latency.
+    #[test]
+    fn learns_latency_from_plan_features() {
+        let db = setup();
+        let mut samples = Vec::new();
+        for bound in [100, 500, 1000, 2000, 3000, 4000] {
+            let plan = db
+                .prepare(&format!("SELECT * FROM q WHERE a < {bound}"))
+                .unwrap();
+            let latency = plan.est().rows_out * 3.0 + 50.0;
+            samples.push((plan, latency));
+        }
+        let refs: Vec<(&PlanNode, f64)> = samples.iter().map(|(p, l)| (p, *l)).collect();
+        let mut net = QppNet::new(6, 24, 300, 2e-3, 3);
+        net.fit(&refs).unwrap();
+        // Interpolate at an unseen bound.
+        let plan = db.prepare("SELECT * FROM q WHERE a < 1500").unwrap();
+        let truth = plan.est().rows_out * 3.0 + 50.0;
+        let pred = net.predict(&plan).unwrap();
+        let rel = (pred - truth).abs() / truth;
+        assert!(rel < 0.5, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn unseen_operator_type_is_an_error() {
+        let db = setup();
+        let scan = db.prepare("SELECT * FROM q WHERE a < 10").unwrap();
+        let refs = [(&scan, 100.0)];
+        let mut net = QppNet::new(4, 16, 10, 1e-3, 5);
+        net.fit(&refs).unwrap();
+        // An aggregation plan contains unit types never trained.
+        let agg = db.prepare("SELECT b, COUNT(*) FROM q GROUP BY b").unwrap();
+        assert!(net.predict(&agg).is_err());
+    }
+
+    #[test]
+    fn empty_training_set_is_error() {
+        let mut net = QppNet::default();
+        assert!(net.fit(&[]).is_err());
+    }
+
+    #[test]
+    fn model_size_reported() {
+        let db = setup();
+        let plan = db.prepare("SELECT * FROM q").unwrap();
+        let refs = [(&plan, 10.0)];
+        let mut net = QppNet::new(4, 16, 2, 1e-3, 7);
+        net.fit(&refs).unwrap();
+        assert!(net.size_bytes() > 0);
+    }
+}

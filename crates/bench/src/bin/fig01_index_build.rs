@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::fig01_index_build`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::fig01_index_build::run(scale);
+    mb2_bench::report::emit("fig01_index_build", &report);
+}

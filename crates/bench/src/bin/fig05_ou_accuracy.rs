@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::fig05_ou_accuracy`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::fig05_ou_accuracy::run(scale);
+    mb2_bench::report::emit("fig05_ou_accuracy", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::fig06_label_accuracy`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::fig06_label_accuracy::run(scale);
+    mb2_bench::report::emit("fig06_label_accuracy", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::fig09b_noisy_card`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::fig09b_noisy_card::run(scale);
+    mb2_bench::report::emit("fig09b_noisy_card", &report);
+}

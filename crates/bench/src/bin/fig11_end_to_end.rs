@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::fig11_end_to_end`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::fig11_end_to_end::run(scale);
+    mb2_bench::report::emit("fig11_end_to_end", &report);
+}

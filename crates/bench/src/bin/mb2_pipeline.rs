@@ -1,0 +1,110 @@
+//! MB2 pipeline CLI: run the offline stages separately with on-disk
+//! artifacts, the way a deployment would (paper §3: data generation and
+//! training happen offline; the DBMS then ships with the trained models).
+//!
+//! ```text
+//! mb2_pipeline collect <data-dir>               # runners -> per-OU CSVs
+//! mb2_pipeline train <data-dir> <model-dir>     # CSVs -> saved OU-models
+//! mb2_pipeline evaluate <model-dir>             # models vs live TPC-H
+//! ```
+//!
+//! Honors `MB2_SCALE=quick|standard`.
+
+use std::path::Path;
+
+use mb2_bench::pipeline::{measure_latency_us, PipelineConfig};
+use mb2_bench::Scale;
+use mb2_common::OuKind;
+use mb2_core::runners::execution::run_execution_runners;
+use mb2_core::runners::txn::run_txn_runner;
+use mb2_core::runners::util::run_util_runners;
+use mb2_core::training::{train_all, OuModelSet};
+use mb2_core::{BehaviorModels, TrainingRepo};
+use mb2_engine::Database;
+use mb2_workloads::tpch::Tpch;
+use mb2_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_env();
+    let result = match args.get(1).map(String::as_str) {
+        Some("collect") if args.len() == 3 => collect(scale, Path::new(&args[2])),
+        Some("train") if args.len() == 4 => train(scale, Path::new(&args[2]), Path::new(&args[3])),
+        Some("evaluate") if args.len() == 3 => evaluate(scale, Path::new(&args[2])),
+        _ => {
+            eprintln!(
+                "usage: mb2_pipeline collect <data-dir>\n       \
+                 mb2_pipeline train <data-dir> <model-dir>\n       \
+                 mb2_pipeline evaluate <model-dir>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn collect(scale: Scale, dir: &Path) -> mb2_common::DbResult<()> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| mb2_common::DbError::Storage(format!("create {}: {e}", dir.display())))?;
+    let cfg = PipelineConfig::for_scale(scale);
+    eprintln!("running OU-runners ({scale:?})...");
+    let mut repo = run_execution_runners(&cfg.exec)?;
+    repo.merge(run_util_runners(&cfg.util)?);
+    repo.merge(run_txn_runner(&cfg.txn)?);
+    for ou in repo.ous() {
+        let path = dir.join(format!("{ou}.csv"));
+        repo.save_ou(ou, &path)?;
+        eprintln!("  {ou}: {} samples -> {}", repo.count(ou), path.display());
+    }
+    eprintln!("total: {} samples, {} KiB", repo.total_samples(), repo.data_size_bytes() / 1024);
+    Ok(())
+}
+
+fn train(scale: Scale, data_dir: &Path, model_dir: &Path) -> mb2_common::DbResult<()> {
+    let mut repo = TrainingRepo::new();
+    for ou in OuKind::ALL {
+        let path = data_dir.join(format!("{ou}.csv"));
+        if path.exists() {
+            let n = repo.load_ou(ou, &path)?;
+            eprintln!("loaded {n} samples for {ou}");
+        }
+    }
+    let cfg = PipelineConfig::for_scale(scale);
+    let (models, report) = train_all(&repo, &cfg.training)?;
+    models.save_dir(model_dir)?;
+    eprintln!(
+        "trained {} OU-models in {:.1?} ({} KiB on disk); saved to {}",
+        models.len(),
+        report.total_training_time,
+        models.total_size_bytes() / 1024,
+        model_dir.display()
+    );
+    for (ou, alg, err, _) in &report.per_ou {
+        eprintln!("  {ou:<18} {:<18} validation rel-err {err:.3}", alg.name());
+    }
+    Ok(())
+}
+
+fn evaluate(scale: Scale, model_dir: &Path) -> mb2_common::DbResult<()> {
+    let models = OuModelSet::load_dir(model_dir)?;
+    eprintln!("loaded {} OU-models from {}", models.len(), model_dir.display());
+    let behavior = BehaviorModels::new(models, None);
+    let tpch = Tpch::with_scale(scale.pick(0.05, 0.5));
+    let db = Database::open();
+    eprintln!("loading TPC-H ({} lineitem rows)...", tpch.lineitem_rows());
+    tpch.load(&db)?;
+    println!("{:<8} {:>14} {:>14} {:>9}", "query", "predicted (us)", "actual (us)", "rel-err");
+    for (name, sql) in tpch.fixed_queries() {
+        let plan = db.prepare(&sql)?;
+        let predicted = behavior.predict_query_elapsed_us(&plan, &db.knobs());
+        let actual = measure_latency_us(&db, &plan, scale.pick(3, 5)).max(1.0);
+        println!(
+            "{name:<8} {predicted:>14.0} {actual:>14.0} {:>9.3}",
+            (actual - predicted).abs() / actual
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Runs every table/figure experiment in sequence and persists the reports
+//! under `results/`. Honors `MB2_SCALE=quick|standard`.
+use mb2_bench::{experiments, report, Scale};
+
+/// One experiment: name + entry point.
+type Experiment = (&'static str, fn(Scale) -> String);
+
+fn main() {
+    let scale = Scale::from_env();
+    let suite: &[Experiment] = &[
+        ("table02_overhead", experiments::table02_overhead::run),
+        ("fig01_index_build", experiments::fig01_index_build::run),
+        ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
+        ("fig06_label_accuracy", experiments::fig06_label_accuracy::run),
+        ("fig07_generalization", experiments::fig07_generalization::run),
+        ("fig08_interference", experiments::fig08_interference::run),
+        ("fig09a_update", experiments::fig09a_update::run),
+        ("fig09b_noisy_card", experiments::fig09b_noisy_card::run),
+        ("fig10_hardware", experiments::fig10_hardware::run),
+        ("fig11_end_to_end", experiments::fig11_end_to_end::run),
+    ];
+    let started = std::time::Instant::now();
+    for (name, run) in suite {
+        eprintln!("==> {name} ({scale:?})");
+        let t0 = std::time::Instant::now();
+        let text = run(scale);
+        report::emit(name, &text);
+        eprintln!("<== {name} done in {:.1?}\n", t0.elapsed());
+    }
+    eprintln!("full suite finished in {:.1?}", started.elapsed());
+}

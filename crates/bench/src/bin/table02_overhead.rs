@@ -1,0 +1,6 @@
+//! Regenerates one paper result; see `mb2_bench::experiments::table02_overhead`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::table02_overhead::run(scale);
+    mb2_bench::report::emit("table02_overhead", &report);
+}

@@ -1,0 +1,117 @@
+//! Shared helpers for the experiment modules.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_common::{DbResult, Prng};
+use mb2_core::QueryTemplate;
+use mb2_engine::Database;
+use mb2_workloads::Workload;
+
+/// Build `QueryTemplate`s from a workload's per-template sampled SQL
+/// (first statement of each transaction that is a SELECT; OLAP workloads
+/// are single-statement).
+pub fn tpch_templates(db: &Database, tpch: &mb2_workloads::tpch::Tpch) -> Vec<QueryTemplate> {
+    tpch.fixed_queries()
+        .into_iter()
+        .map(|(name, sql)| QueryTemplate {
+            plan: db.prepare(&sql).expect("tpch query plans"),
+            name,
+            sql,
+        })
+        .collect()
+}
+
+/// Sampled single-statement query instances per template for an OLTP
+/// workload (used for per-template latency prediction, Fig. 7b).
+pub fn oltp_query_instances(
+    db: &Database,
+    workload: &dyn Workload,
+    per_template: usize,
+    seed: u64,
+) -> Vec<(String, Vec<String>)> {
+    let mut rng = Prng::new(seed);
+    let mut out = Vec::new();
+    for template in workload.template_names() {
+        for _ in 0..per_template {
+            let statements = workload.sample_transaction(template, &mut rng);
+            // Use the read/write statements individually as query templates,
+            // mirroring the paper's per-query-template evaluation.
+            for sql in statements {
+                if db.prepare(&sql).is_ok() {
+                    out.push((format!("{}:{template}", workload.name()), vec![sql]));
+                    break; // one statement per sampled transaction
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-interval workload driver: run `workers` threads executing sampled
+/// transactions, bucketing each transaction's latency into
+/// `interval`-length buckets. Returns (bucket average µs, bucket counts).
+pub struct PhaseOutcome {
+    pub bucket_avg_us: Vec<f64>,
+    pub bucket_counts: Vec<usize>,
+    /// Total busy time per bucket across workers (µs) — the CPU-utilization
+    /// proxy used by Fig. 11b.
+    pub bucket_busy_us: Vec<f64>,
+}
+
+pub fn run_phase(
+    db: &Arc<Database>,
+    workload: &(dyn Workload + Sync),
+    workers: usize,
+    duration: Duration,
+    interval: Duration,
+    seed: u64,
+) -> DbResult<PhaseOutcome> {
+    let buckets = (duration.as_secs_f64() / interval.as_secs_f64()).ceil() as usize;
+    let sums: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(0)).collect();
+    let counts: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let db = db.clone();
+            let sums = &sums;
+            let counts = &counts;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = Prng::new(seed + w as u64 * 104_729);
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    // Conflicts abort; that is part of the workload's cost.
+                    let _ = workload.run_one(&db, &mut rng);
+                    let us = t0.elapsed().as_nanos() as u64 / 1000;
+                    let bucket = ((t0 - started).as_secs_f64() / interval.as_secs_f64()) as usize;
+                    if bucket < buckets {
+                        sums[bucket].fetch_add(us, Ordering::Relaxed);
+                        counts[bucket].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+    let bucket_avg_us = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, c)| {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                0.0
+            } else {
+                s.load(Ordering::Relaxed) as f64 / c as f64
+            }
+        })
+        .collect();
+    Ok(PhaseOutcome {
+        bucket_avg_us,
+        bucket_counts: counts.iter().map(|c| c.load(Ordering::Relaxed) as usize).collect(),
+        bucket_busy_us: sums.iter().map(|s| s.load(Ordering::Relaxed) as f64).collect(),
+    })
+}

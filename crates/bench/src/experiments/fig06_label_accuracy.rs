@@ -1,0 +1,62 @@
+//! Fig. 6 — OU-model accuracy per output label, with and without the §4.3
+//! output-label normalization (the ablation the figure overlays).
+
+use mb2_common::METRIC_NAMES;
+use mb2_core::training::evaluate_algorithms;
+use mb2_ml::Algorithm;
+
+use crate::pipeline::{build_ou_models, PipelineConfig};
+use crate::report::{fmt, Table};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Fig. 6 — test relative error per output label (averaged across OUs), \
+         with/without normalization\n\n",
+    );
+    let cfg = PipelineConfig::for_scale(scale);
+    let built = build_ou_models(&cfg).expect("pipeline");
+    let algorithms = [Algorithm::RandomForest, Algorithm::GradientBoosting];
+
+    for (title, normalize) in
+        [("with normalization", true), ("without normalization", false)]
+    {
+        let mut per_label_sums = vec![vec![0.0f64; 9]; algorithms.len()];
+        let mut counts = vec![0usize; algorithms.len()];
+        for ou in built.repo.ous() {
+            let Ok(evals) = evaluate_algorithms(&built.repo, ou, &algorithms, normalize, 6)
+            else {
+                continue;
+            };
+            for (ai, alg) in algorithms.iter().enumerate() {
+                if let Some((_, _, per_label)) = evals.iter().find(|(a, _, _)| a == alg) {
+                    for (s, e) in per_label_sums[ai].iter_mut().zip(per_label) {
+                        *s += e;
+                    }
+                    counts[ai] += 1;
+                }
+            }
+        }
+        let mut table = Table::new(
+            format!("per-label error, {title}"),
+            &["label", "random_forest", "gbm"],
+        );
+        for (li, name) in METRIC_NAMES.iter().enumerate() {
+            table.row(&[
+                name.to_string(),
+                fmt(per_label_sums[0][li] / counts[0].max(1) as f64),
+                fmt(per_label_sums[1][li] / counts[1].max(1) as f64),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper's reading: most labels below 20% error, cache_misses the \
+         noisiest; same-dataset accuracy is similar with and without \
+         normalization (normalization pays off in Fig. 7's cross-scale \
+         generalization).\n",
+    );
+    out
+}

@@ -1,0 +1,123 @@
+//! Fig. 9a — Model adaptation under DBMS software updates.
+//!
+//! The paper simulates incremental changes to the join-hash-table build by
+//! injecting 1µs stalls every 100 / every 1000 inserted tuples / never.
+//! Because OUs are independent, only the join-hash-build OU's runner is
+//! re-run and only its model retrained — this experiment verifies the
+//! updated models recover accuracy and reports the restricted-retraining
+//! speedup (paper: 24× faster than full retraining).
+
+use std::time::Instant;
+
+use mb2_common::OuKind;
+use mb2_core::collect::TrainingRepo;
+use mb2_core::runners::execution::run_join_runner;
+use mb2_core::training::{train_all, train_ou};
+use mb2_core::BehaviorModels;
+use mb2_engine::Database;
+use mb2_workloads::tpch::Tpch;
+use mb2_workloads::Workload;
+
+use crate::pipeline::{build_ou_models, measure_latency_us, PipelineConfig};
+use crate::report::{fmt, Table};
+use crate::Scale;
+
+/// The sleep-injection variants: (label, jht_sleep_every).
+// The paper injects 1µs per 100/1000 inserted tuples on million-row hash
+// tables; our builds are thousands of rows, so the injection frequencies
+// scale down accordingly (1µs per 2 / per 20 tuples) to keep the induced
+// slowdown fraction comparable.
+const VARIANTS: [(&str, usize); 3] = [("1/2 sleep", 2), ("1/20 sleep", 20), ("no sleep", 0)];
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("# Fig. 9a — model adaptation to DBMS updates (JHT sleep injection)\n\n");
+
+    // Full training under the slowest variant (1/100 sleep).
+    let mut cfg = PipelineConfig::for_scale(scale);
+    cfg.exec.jht_sleep_every = 2;
+    let full_started = Instant::now();
+    let built = build_ou_models(&cfg).expect("pipeline");
+    let full_time = full_started.elapsed();
+
+    // For each later variant, rerun only the join runner and retrain only
+    // the join-hash-build OU. Only that restricted work is timed; the rest
+    // of the model set is identical (OUs are independent, §7).
+    let mut model_sets = Vec::new();
+    let base_set = train_all(&built.repo, &cfg.training).expect("train").0;
+    model_sets.push(("1/2 model", BehaviorModels::new(base_set, None), full_time));
+    for (label, sleep) in [("1/20 model", 20usize), ("no sleep model", 0)] {
+        let mut join_cfg = cfg.exec.clone();
+        join_cfg.jht_sleep_every = sleep;
+        // Restricted retraining: join runner + one OU-model.
+        let t0 = Instant::now();
+        let join_repo = run_join_runner(&join_cfg).expect("join runner");
+        let mut patched = TrainingRepo::new();
+        for s in join_repo.samples(OuKind::JoinHashBuild) {
+            patched.add(s.clone());
+        }
+        let join_model =
+            train_ou(&patched, OuKind::JoinHashBuild, &cfg.training).expect("join model");
+        let retrain_time = t0.elapsed();
+        // Assemble the full set around the new join model (untimed; these
+        // models are unchanged and would be reused in a real deployment).
+        let mut set = train_all(&built.repo, &cfg.training).expect("train").0;
+        set.insert(join_model);
+        model_sets.push((label, BehaviorModels::new(set, None), retrain_time));
+    }
+
+    // Evaluate each model variant against each system state on TPC-H's
+    // join-heavy queries.
+    let tpch = Tpch::with_scale(scale.pick(0.05, 0.5));
+    let db = Database::open();
+    tpch.load(&db).expect("tpch");
+    let join_queries = ["q3", "q5", "q10", "q12", "q14"];
+    let reps = scale.pick(3, 5);
+
+    let mut table = Table::new(
+        "avg relative error on TPC-H join queries (rows: system state; cols: model)",
+        &["system state", "1/2 model", "1/20 model", "no sleep model"],
+    );
+    for (state_label, sleep) in VARIANTS {
+        db.set_jht_sleep_every(sleep);
+        let mut errs = vec![0.0; model_sets.len()];
+        let mut n = 0;
+        let mut rng = mb2_common::Prng::new(41);
+        for template in join_queries {
+            let sql = tpch.query(template, &mut rng);
+            let plan = db.prepare(&sql).expect("plan");
+            let actual = measure_latency_us(&db, &plan, reps).max(1.0);
+            for (e, (_, models, _)) in errs.iter_mut().zip(&model_sets) {
+                let pred = models.predict_query_elapsed_us(&plan, &db.knobs());
+                *e += (actual - pred).abs() / actual;
+            }
+            n += 1;
+        }
+        table.row(&[
+            state_label.to_string(),
+            fmt(errs[0] / n as f64),
+            fmt(errs[1] / n as f64),
+            fmt(errs[2] / n as f64),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let mut times = Table::new("retraining cost", &["model", "time", "speedup vs full"]);
+    for (label, _, t) in &model_sets {
+        times.row(&[
+            label.to_string(),
+            format!("{t:.1?}"),
+            format!("{:.1}x", full_time.as_secs_f64() / t.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&times.render());
+    out.push_str(
+        "\nExpected shape (paper Fig. 9a): each model variant predicts its own \
+         system state well and older states poorly; restricted retraining of \
+         the one affected OU is an order of magnitude cheaper than the full \
+         pipeline.\n",
+    );
+    out
+}
+

@@ -1,0 +1,63 @@
+//! Fig. 9b — Robustness to noisy cardinality estimation.
+//!
+//! Gaussian noise (mean 0, 30% relative std-dev) is injected into the
+//! tuple-count and cardinality input features of the affected OUs; the
+//! paper finds <2% accuracy loss across TPC-H dataset sizes.
+
+use mb2_core::{BehaviorModels, OuTranslator, TranslatorConfig};
+use mb2_engine::Database;
+use mb2_workloads::tpch::Tpch;
+use mb2_workloads::Workload;
+
+use crate::pipeline::{build_ou_models, measure_latency_us, PipelineConfig};
+use crate::report::{fmt, Table};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("# Fig. 9b — robustness to 30% Gaussian cardinality noise\n\n");
+
+    let cfg = PipelineConfig::for_scale(scale);
+    let built = build_ou_models(&cfg).expect("pipeline");
+    let clean = BehaviorModels::new(built.models, None);
+    // Re-train is unnecessary: the noise is injected at inference time via
+    // the translator (exactly the paper's setup — noise on the features).
+    let (models2, _) = mb2_core::training::train_all(&built.repo, &cfg.training).expect("train");
+    let mut noisy = BehaviorModels::new(models2, None);
+    noisy.translator = OuTranslator::new(TranslatorConfig {
+        include_hw_context: false,
+        cardinality_noise: Some((0.3, 97)),
+    });
+
+    let reps = scale.pick(3, 5);
+    let mut table = Table::new(
+        "avg relative error, accurate vs noisy cardinalities",
+        &["tpch scale", "accurate", "noisy (30%)"],
+    );
+    for &ts in &scale.pick(vec![0.01, 0.1, 1.0], vec![0.05, 0.5, 5.0]) {
+        let tpch = Tpch::with_scale(ts);
+        let db = Database::open();
+        tpch.load(&db).expect("tpch");
+        let mut errs = [0.0f64; 2];
+        let mut n = 0;
+        for (_, sql) in tpch.fixed_queries() {
+            let plan = db.prepare(&sql).expect("plan");
+            let actual = measure_latency_us(&db, &plan, reps).max(1.0);
+            let preds = [
+                clean.predict_query_elapsed_us(&plan, &db.knobs()),
+                noisy.predict_query_elapsed_us(&plan, &db.knobs()),
+            ];
+            for (e, p) in errs.iter_mut().zip(preds) {
+                *e += (actual - p).abs() / actual;
+            }
+            n += 1;
+        }
+        table.row(&[format!("{ts}x"), fmt(errs[0] / n as f64), fmt(errs[1] / n as f64)]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nExpected shape (paper Fig. 9b): minimal accuracy loss (<2 points) \
+         from moderate cardinality noise.\n",
+    );
+    out
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure. Every experiment is a function
+//! `run(scale) -> String` producing the report text that the corresponding
+//! binary prints and persists.
+
+pub mod fig01_index_build;
+pub mod fig05_ou_accuracy;
+pub mod fig06_label_accuracy;
+pub mod fig07_generalization;
+pub mod fig08_interference;
+pub mod fig09a_update;
+pub mod fig09b_noisy_card;
+pub mod fig10_hardware;
+pub mod fig11_end_to_end;
+pub mod table02_overhead;
+
+pub mod common;

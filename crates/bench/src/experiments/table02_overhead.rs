@@ -1,0 +1,121 @@
+//! Table 2 — MB2 Overhead: behavior-model computation and storage cost,
+//! plus §8.1's translator/inference/tracker latency numbers.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_core::{OuTranslator, TrainingCollector};
+use mb2_engine::Database;
+use mb2_workloads::tpch::Tpch;
+use mb2_workloads::Workload;
+
+use crate::experiments::common::tpch_templates;
+use crate::pipeline::{build_interference_model, build_ou_models, PipelineConfig};
+use crate::report::{fmt, Table};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("# Table 2 — MB2 overhead (runner time, data size, training time, model size)\n\n");
+
+    // OU-model pipeline.
+    let cfg = PipelineConfig::for_scale(scale);
+    let built = build_ou_models(&cfg).expect("pipeline");
+
+    // Interference pipeline over TPC-H.
+    let tpch = Tpch::with_scale(scale.pick(0.05, 0.25));
+    let db = Arc::new(Database::open());
+    tpch.load(&db).expect("tpch");
+    let templates = tpch_templates(&db, &tpch);
+    let window = Duration::from_millis(scale.pick(300, 1500));
+    let (interference, conc_time, rows) = build_interference_model(
+        &db,
+        &templates,
+        &built.models,
+        &scale.pick(vec![2usize, 4], vec![1, 3, 5, 7]),
+        window,
+        7,
+    )
+    .expect("interference");
+
+    let mut table = Table::new(
+        "behavior model computation and storage cost",
+        &["model type", "runner time", "data size", "training time", "model size"],
+    );
+    table.row(&[
+        "OUs".into(),
+        format!("{:.1?}", built.runner_time),
+        format!("{} KiB", built.report.data_size_bytes / 1024),
+        format!("{:.1?}", built.report.total_training_time),
+        format!("{} KiB", built.report.model_size_bytes / 1024),
+    ]);
+    let interference_data_bytes = rows * (mb2_core::interference::INTERFERENCE_FEATURE_COUNT + 9) * 8;
+    table.row(&[
+        "Interference".into(),
+        format!("{conc_time:.1?}"),
+        format!("{} KiB", interference_data_bytes / 1024),
+        "(in selection)".into(),
+        format!("{} KiB", interference.size_bytes() / 1024),
+    ]);
+    out.push_str(&table.render());
+
+    let mut detail = Table::new(
+        "per-OU training detail",
+        &["OU", "samples", "chosen algorithm", "validation rel-err", "train time"],
+    );
+    for (ou, alg, err, t) in &built.report.per_ou {
+        detail.row(&[
+            ou.to_string(),
+            built.repo.count(*ou).to_string(),
+            alg.name().to_string(),
+            fmt(*err),
+            format!("{t:.1?}"),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&detail.render());
+
+    // §8.1 micro-latencies: translator, inference, tracker.
+    let translator = OuTranslator::default();
+    let plan = &templates[1].plan; // q3: several OUs
+    let knobs = db.knobs();
+    let t0 = Instant::now();
+    let n = 1000;
+    for _ in 0..n {
+        let _ = translator.translate_plan(plan, &knobs);
+    }
+    let translate_us = t0.elapsed().as_nanos() as f64 / 1000.0 / n as f64;
+
+    let behavior = mb2_core::BehaviorModels::new(built.models, None);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = behavior.predict_plan(plan, &knobs);
+    }
+    let infer_us = t0.elapsed().as_nanos() as f64 / 1000.0 / n as f64;
+
+    // Tracker overhead: one recorded vs unrecorded small query.
+    let small = db.prepare("SELECT * FROM region").unwrap();
+    let instances = behavior.translator.translate_plan(&small, &knobs);
+    let collector = TrainingCollector::new(&instances);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = db.execute_plan(&small, Some(&collector));
+    }
+    let with_tracker = t0.elapsed().as_nanos() as f64 / 1000.0 / n as f64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = db.execute_plan(&small, None);
+    }
+    let without = t0.elapsed().as_nanos() as f64 / 1000.0 / n as f64;
+
+    let mut micro = Table::new(
+        "section 8.1 micro-latencies (paper: translate 10us, inference 0.5ms, tracker 20us)",
+        &["operation", "latency (us)"],
+    );
+    micro.row(&["OU translation (q3 plan)".into(), fmt(translate_us)]);
+    micro.row(&["OU-model inference (q3 plan)".into(), fmt(infer_us)]);
+    micro.row(&["tracker overhead per query".into(), fmt((with_tracker - without).max(0.0))]);
+    out.push('\n');
+    out.push_str(&micro.render());
+    out
+}

@@ -1,0 +1,38 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§8). Each experiment lives in [`experiments`] as a function
+//! returning a textual report; thin binaries under `src/bin/` wrap them, and
+//! `run_all` executes the full suite and collects the reports under
+//! `results/`.
+//!
+//! Scale: experiments honor the `MB2_SCALE` environment variable
+//! (`quick` | `standard`, default `standard`). `quick` shrinks sweeps for
+//! smoke-testing; `standard` matches the numbers recorded in
+//! EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Standard,
+}
+
+impl Scale {
+    /// Read from `MB2_SCALE` (default `standard`).
+    pub fn from_env() -> Scale {
+        match std::env::var("MB2_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Standard,
+        }
+    }
+
+    pub fn pick<T>(&self, quick: T, standard: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Standard => standard,
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared model-building pipeline for the experiments: run all runners,
+//! train all OU-models, optionally train the interference model.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_common::DbResult;
+use mb2_core::runners::concurrent::{run_concurrent_window, ConcurrentRunConfig};
+use mb2_core::runners::execution::{run_execution_runners, ExecutionRunnerConfig};
+use mb2_core::runners::txn::{run_txn_runner, TxnRunnerConfig};
+use mb2_core::runners::util::{run_util_runners, UtilRunnerConfig};
+use mb2_core::runners::RunnerConfig;
+use mb2_core::training::{train_all, OuModelSet, TrainingConfig, TrainingReport};
+use mb2_core::{BehaviorModels, InterferenceModel, QueryTemplate, TrainingRepo};
+use mb2_engine::Database;
+use mb2_ml::Algorithm;
+
+use crate::Scale;
+
+/// All runner + training configuration for one pipeline run.
+#[derive(Clone)]
+pub struct PipelineConfig {
+    pub exec: ExecutionRunnerConfig,
+    pub util: UtilRunnerConfig,
+    pub txn: TxnRunnerConfig,
+    pub training: TrainingConfig,
+}
+
+impl PipelineConfig {
+    /// Scale-appropriate defaults. `standard` sweeps to 16k-row tables with
+    /// the full 10-repetition/5-warm-up measurement protocol; `quick` is a
+    /// smoke-test size.
+    pub fn for_scale(scale: Scale) -> PipelineConfig {
+        match scale {
+            Scale::Standard => PipelineConfig {
+                exec: ExecutionRunnerConfig {
+                    max_rows: 32_768,
+                    min_rows: 64,
+                    measure: RunnerConfig { repetitions: 7, warmups: 3, ..RunnerConfig::default() },
+                    ..ExecutionRunnerConfig::default()
+                },
+                util: UtilRunnerConfig {
+                    max_batch: 2048,
+                    max_index_rows: 32_768,
+                    measure: RunnerConfig { repetitions: 3, warmups: 1, ..RunnerConfig::default() },
+                    ..UtilRunnerConfig::default()
+                },
+                txn: TxnRunnerConfig::default(),
+                training: TrainingConfig {
+                    candidates: vec![
+                        Algorithm::Linear,
+                        Algorithm::Huber,
+                        Algorithm::RandomForest,
+                        Algorithm::GradientBoosting,
+                    ],
+                    ..TrainingConfig::default()
+                },
+            },
+            Scale::Quick => PipelineConfig {
+                exec: ExecutionRunnerConfig {
+                    max_rows: 1024,
+                    min_rows: 64,
+                    measure: RunnerConfig { repetitions: 3, warmups: 1, ..RunnerConfig::default() },
+                    ..ExecutionRunnerConfig::default()
+                },
+                util: UtilRunnerConfig {
+                    max_batch: 256,
+                    max_index_rows: 2048,
+                    build_threads: vec![1, 2, 4],
+                    measure: RunnerConfig { repetitions: 2, warmups: 0, ..RunnerConfig::default() },
+                    ..UtilRunnerConfig::default()
+                },
+                txn: TxnRunnerConfig::smoke(),
+                training: TrainingConfig {
+                    candidates: vec![Algorithm::Linear, Algorithm::RandomForest],
+                    ..TrainingConfig::default()
+                },
+            },
+        }
+    }
+}
+
+/// A fully built model set plus its provenance.
+pub struct BuiltModels {
+    pub repo: TrainingRepo,
+    pub models: OuModelSet,
+    pub report: TrainingReport,
+    pub runner_time: Duration,
+}
+
+/// Run every runner family and train OU-models.
+pub fn build_ou_models(cfg: &PipelineConfig) -> DbResult<BuiltModels> {
+    let started = Instant::now();
+    let mut repo = run_execution_runners(&cfg.exec)?;
+    repo.merge(run_util_runners(&cfg.util)?);
+    repo.merge(run_txn_runner(&cfg.txn)?);
+    let runner_time = started.elapsed();
+    let (models, report) = train_all(&repo, &cfg.training)?;
+    Ok(BuiltModels { repo, models, report, runner_time })
+}
+
+/// Train the interference model from concurrent windows over the given
+/// templates (paper §6.3's grid: thread counts × arrival rates), consuming
+/// the already-trained OU-models. Returns the model plus how long the
+/// concurrent runners took and the number of training rows.
+pub fn build_interference_model(
+    db: &Arc<Database>,
+    templates: &[QueryTemplate],
+    models: &OuModelSet,
+    thread_counts: &[usize],
+    window: Duration,
+    seed: u64,
+) -> DbResult<(InterferenceModel, Duration, usize)> {
+    let started = Instant::now();
+    let mut data = mb2_ml::Dataset::default();
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        for (j, rate) in [None, Some(20.0)].into_iter().enumerate() {
+            let outcome = run_concurrent_window(
+                db,
+                templates,
+                models,
+                &ConcurrentRunConfig {
+                    threads,
+                    duration: window,
+                    rate_per_thread: rate,
+                    seed: seed + (i * 10 + j) as u64,
+                },
+            )?;
+            data.extend(outcome.interference_rows);
+        }
+    }
+    let rows = data.len();
+    let model = InterferenceModel::train(&data, seed)?;
+    Ok((model, started.elapsed(), rows))
+}
+
+/// Bundle OU-models (and optionally interference) into `BehaviorModels`.
+pub fn behavior_models(models: OuModelSet, interference: Option<InterferenceModel>) -> BehaviorModels {
+    BehaviorModels::new(models, interference)
+}
+
+/// Measure a plan's actual latency with warm-up + trimmed mean.
+pub fn measure_latency_us(db: &Database, plan: &mb2_engine::sql::PlanNode, reps: usize) -> f64 {
+    let _ = db.execute_plan(plan, None);
+    let mut lat = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let _ = db.execute_plan(plan, None);
+        lat.push(started.elapsed().as_nanos() as f64 / 1000.0);
+    }
+    mb2_common::stats::trimmed_mean(&lat, 0.2)
+}

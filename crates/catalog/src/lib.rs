@@ -1,0 +1,247 @@
+//! Catalog: table/index registry plus per-column statistics.
+//!
+//! The statistics feed the optimizer's cardinality estimation, which in turn
+//! is an input feature of several OU-models (paper §3 "Assumptions and
+//! Limitations" — MB2's features include optimizer cardinality estimates,
+//! and §8.5 studies robustness to noise in them).
+
+pub mod stats;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mb2_common::{DbError, DbResult, Schema};
+use mb2_index::Index;
+use mb2_storage::{SlotId, Table, TableId, Ts};
+
+pub use stats::{ColumnStats, TableStats};
+
+/// A table plus its secondary indexes and statistics.
+pub struct TableEntry {
+    pub table: Arc<Table>,
+    indexes: RwLock<Vec<Arc<Index<SlotId>>>>,
+    stats: RwLock<TableStats>,
+}
+
+impl TableEntry {
+    pub fn indexes(&self) -> Vec<Arc<Index<SlotId>>> {
+        self.indexes.read().clone()
+    }
+
+    /// Find an index whose key prefix matches the given column positions.
+    pub fn index_on(&self, columns: &[usize]) -> Option<Arc<Index<SlotId>>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|idx| {
+                idx.key_columns.len() <= columns.len()
+                    && idx.key_columns.iter().zip(columns).all(|(a, b)| a == b)
+                    || idx.key_columns == columns
+            })
+            .cloned()
+    }
+
+    pub fn index_named(&self, name: &str) -> Option<Arc<Index<SlotId>>> {
+        self.indexes.read().iter().find(|idx| idx.name == name).cloned()
+    }
+
+    pub fn stats(&self) -> TableStats {
+        self.stats.read().clone()
+    }
+
+    pub fn set_stats(&self, stats: TableStats) {
+        *self.stats.write() = stats;
+    }
+
+    /// Recompute statistics with a full scan at `read_ts` (ANALYZE).
+    pub fn analyze(&self, read_ts: Ts) {
+        let stats = TableStats::compute(&self.table, read_ts);
+        *self.stats.write() = stats;
+    }
+
+    pub fn add_index(&self, index: Arc<Index<SlotId>>) -> DbResult<()> {
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|i| i.name == index.name) {
+            return Err(DbError::Catalog(format!("index '{}' already exists", index.name)));
+        }
+        indexes.push(index);
+        Ok(())
+    }
+
+    pub fn drop_index(&self, name: &str) -> DbResult<Arc<Index<SlotId>>> {
+        let mut indexes = self.indexes.write();
+        let pos = indexes
+            .iter()
+            .position(|i| i.name == name)
+            .ok_or_else(|| DbError::Catalog(format!("unknown index '{name}'")))?;
+        Ok(indexes.remove(pos))
+    }
+}
+
+/// The database catalog.
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<TableEntry>>>,
+    by_id: RwLock<HashMap<TableId, Arc<TableEntry>>>,
+    next_table_id: AtomicU32,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            by_id: RwLock::new(HashMap::new()),
+            next_table_id: AtomicU32::new(1),
+        }
+    }
+
+    /// Create a table; fails if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<Arc<TableEntry>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("table '{name}' already exists")));
+        }
+        let id = TableId(self.next_table_id.fetch_add(1, Ordering::AcqRel));
+        let n_cols = schema.len();
+        let entry = Arc::new(TableEntry {
+            table: Arc::new(Table::new(id, key.clone(), schema)),
+            indexes: RwLock::new(Vec::new()),
+            stats: RwLock::new(TableStats::empty(n_cols)),
+        });
+        tables.insert(key, entry.clone());
+        self.by_id.write().insert(id, entry.clone());
+        Ok(entry)
+    }
+
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        let entry = self
+            .tables
+            .write()
+            .remove(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown table '{name}'")))?;
+        self.by_id.write().remove(&entry.table.id);
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> DbResult<Arc<TableEntry>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DbError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn get_by_id(&self, id: TableId) -> Option<Arc<TableEntry>> {
+        self.by_id.read().get(&id).cloned()
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::{Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Varchar),
+        ])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create_table("Users", schema()).unwrap();
+        assert!(cat.get("users").is_ok());
+        assert!(cat.get("USERS").is_ok());
+        assert!(cat.create_table("users", schema()).is_err());
+        cat.drop_table("users").unwrap();
+        assert!(cat.get("users").is_err());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let cat = Catalog::new();
+        let entry = cat.create_table("t", schema()).unwrap();
+        let id = entry.table.id;
+        assert!(cat.get_by_id(id).is_some());
+        cat.drop_table("t").unwrap();
+        assert!(cat.get_by_id(id).is_none());
+    }
+
+    #[test]
+    fn index_management() {
+        let cat = Catalog::new();
+        let entry = cat.create_table("t", schema()).unwrap();
+        entry.add_index(Arc::new(Index::new("t_pk", vec![0]))).unwrap();
+        assert!(entry.add_index(Arc::new(Index::new("t_pk", vec![0]))).is_err());
+        assert!(entry.index_on(&[0]).is_some());
+        assert!(entry.index_on(&[1]).is_none());
+        assert!(entry.index_named("t_pk").is_some());
+        entry.drop_index("t_pk").unwrap();
+        assert!(entry.index_named("t_pk").is_none());
+        assert!(entry.drop_index("t_pk").is_err());
+    }
+
+    #[test]
+    fn prefix_index_match() {
+        let cat = Catalog::new();
+        let entry = cat.create_table("t", schema()).unwrap();
+        entry.add_index(Arc::new(Index::new("t_idx", vec![0, 1]))).unwrap();
+        // Exact match and prefix-compatible lookups resolve.
+        assert!(entry.index_on(&[0, 1]).is_some());
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let cat = Catalog::new();
+        let entry = cat.create_table("t", schema()).unwrap();
+        for i in 0..100 {
+            let slot = entry
+                .table
+                .insert(
+                    vec![Value::Int(i % 10), Value::Varchar(format!("n{i}"))],
+                    Ts::txn(1),
+                )
+                .unwrap();
+            entry.table.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        entry.analyze(Ts(5));
+        let stats = entry.stats();
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.columns[0].distinct, 10);
+        assert_eq!(stats.columns[1].distinct, 100);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("zeta", schema()).unwrap();
+        cat.create_table("alpha", schema()).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

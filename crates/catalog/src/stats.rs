@@ -1,0 +1,161 @@
+//! Table and column statistics for cardinality estimation.
+
+use std::collections::HashSet;
+
+use mb2_storage::{Table, Ts};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Approximate number of distinct values.
+    pub distinct: usize,
+    /// Minimum numeric value (for range selectivity); None for non-numeric.
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    /// Fraction of NULLs.
+    pub null_fraction: f64,
+    /// Average value width in bytes.
+    pub avg_width: f64,
+}
+
+/// Whole-table statistics.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn empty(n_cols: usize) -> TableStats {
+        TableStats { row_count: 0, columns: vec![ColumnStats::default(); n_cols] }
+    }
+
+    /// Compute statistics with a full visible scan at `read_ts`.
+    pub fn compute(table: &Table, read_ts: Ts) -> TableStats {
+        let n_cols = table.schema().len();
+        let mut rows = 0usize;
+        let mut distinct: Vec<HashSet<u64>> = vec![HashSet::new(); n_cols];
+        let mut nulls = vec![0usize; n_cols];
+        let mut width = vec![0usize; n_cols];
+        let mut min = vec![f64::INFINITY; n_cols];
+        let mut max = vec![f64::NEG_INFINITY; n_cols];
+        // Txn id 0 is never allocated, so the scan sees committed data only.
+        table.scan_visible(read_ts, Ts::txn(0), |_, tuple| {
+            rows += 1;
+            for (c, v) in tuple.iter().enumerate() {
+                width[c] += v.size_bytes();
+                if v.is_null() {
+                    nulls[c] += 1;
+                    continue;
+                }
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                use std::hash::{Hash, Hasher};
+                v.hash(&mut hasher);
+                distinct[c].insert(hasher.finish());
+                if let Ok(x) = v.as_f64() {
+                    min[c] = min[c].min(x);
+                    max[c] = max[c].max(x);
+                }
+            }
+            true
+        });
+        let columns = (0..n_cols)
+            .map(|c| ColumnStats {
+                distinct: distinct[c].len(),
+                min: min[c].is_finite().then_some(min[c]),
+                max: max[c].is_finite().then_some(max[c]),
+                null_fraction: if rows == 0 { 0.0 } else { nulls[c] as f64 / rows as f64 },
+                avg_width: if rows == 0 { 0.0 } else { width[c] as f64 / rows as f64 },
+            })
+            .collect();
+        TableStats { row_count: rows, columns }
+    }
+
+    /// Estimated selectivity of an equality predicate on `column`.
+    pub fn eq_selectivity(&self, column: usize) -> f64 {
+        match self.columns.get(column) {
+            Some(c) if c.distinct > 0 => 1.0 / c.distinct as f64,
+            _ => 0.1, // default guess without statistics
+        }
+    }
+
+    /// Estimated selectivity of a range predicate `lo <= col <= hi` (either
+    /// bound optional) assuming a uniform distribution.
+    pub fn range_selectivity(&self, column: usize, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let Some(c) = self.columns.get(column) else { return 0.3 };
+        let (Some(cmin), Some(cmax)) = (c.min, c.max) else { return 0.3 };
+        if cmax <= cmin {
+            return 1.0;
+        }
+        let lo = lo.unwrap_or(cmin).max(cmin);
+        let hi = hi.unwrap_or(cmax).min(cmax);
+        if hi < lo {
+            return 0.0;
+        }
+        ((hi - lo) / (cmax - cmin)).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of distinct values on `column`, floor 1.
+    pub fn distinct_of(&self, column: usize) -> usize {
+        self.columns.get(column).map_or(1, |c| c.distinct.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::{Column, DataType, Schema, Value};
+    use mb2_storage::TableId;
+
+    fn table_with_rows(n: i64) -> Table {
+        let t = Table::new(
+            TableId(1),
+            "t",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("grp", DataType::Int),
+                Column::new("maybe", DataType::Int),
+            ]),
+        );
+        for i in 0..n {
+            let maybe = if i % 4 == 0 { Value::Null } else { Value::Int(i) };
+            let slot = t
+                .insert(vec![Value::Int(i), Value::Int(i % 7), maybe], Ts::txn(1))
+                .unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(2), 1);
+        }
+        t
+    }
+
+    #[test]
+    fn compute_counts_and_distincts() {
+        let t = table_with_rows(100);
+        let stats = TableStats::compute(&t, Ts(2));
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.columns[0].distinct, 100);
+        assert_eq!(stats.columns[1].distinct, 7);
+        assert!((stats.columns[2].null_fraction - 0.25).abs() < 1e-9);
+        assert_eq!(stats.columns[0].min, Some(0.0));
+        assert_eq!(stats.columns[0].max, Some(99.0));
+    }
+
+    #[test]
+    fn selectivities() {
+        let t = table_with_rows(100);
+        let stats = TableStats::compute(&t, Ts(2));
+        assert!((stats.eq_selectivity(1) - 1.0 / 7.0).abs() < 1e-9);
+        let sel = stats.range_selectivity(0, Some(0.0), Some(49.0));
+        assert!((sel - 49.0 / 99.0).abs() < 1e-9);
+        assert_eq!(stats.range_selectivity(0, Some(200.0), None), 0.0);
+        assert_eq!(stats.range_selectivity(0, None, None), 1.0);
+    }
+
+    #[test]
+    fn empty_table_defaults() {
+        let stats = TableStats::empty(2);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.eq_selectivity(0), 0.1);
+        assert_eq!(stats.range_selectivity(0, Some(1.0), None), 0.3);
+        assert_eq!(stats.distinct_of(1), 1);
+    }
+}

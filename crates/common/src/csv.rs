@@ -1,0 +1,190 @@
+//! Minimal CSV emission/parsing for training-data artifacts.
+//!
+//! The framework persists OU-runner output so experiments can be re-run
+//! without regenerating data. Fields are numeric or simple identifiers, so a
+//! small escaping-free dialect suffices (values containing `,`, `"` or
+//! newlines are rejected at write time rather than quoted).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::{DbError, DbResult};
+
+/// In-memory CSV table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    pub fn new(header: Vec<String>) -> CsvTable {
+        CsvTable { header, rows: Vec::new() }
+    }
+
+    /// Append a row; panics if the arity doesn't match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "csv row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a row of floats formatted with full precision.
+    pub fn push_f64_row(&mut self, row: &[f64]) {
+        self.push_row(row.iter().map(|v| format_f64(*v)).collect());
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> DbResult<usize> {
+        self.header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| DbError::Storage(format!("csv column '{name}' missing")))
+    }
+
+    /// Render to a CSV string.
+    pub fn to_csv_string(&self) -> DbResult<String> {
+        let mut out = String::new();
+        write_line(&mut out, &self.header)?;
+        for row in &self.rows {
+            write_line(&mut out, row)?;
+        }
+        Ok(out)
+    }
+
+    /// Write to a file.
+    pub fn write_to(&self, path: &Path) -> DbResult<()> {
+        let file = File::create(path).map_err(|e| DbError::Storage(format!("csv create: {e}")))?;
+        let mut w = BufWriter::new(file);
+        w.write_all(self.to_csv_string()?.as_bytes())
+            .map_err(|e| DbError::Storage(format!("csv write: {e}")))?;
+        Ok(())
+    }
+
+    /// Parse from a string.
+    pub fn parse(text: &str) -> DbResult<CsvTable> {
+        let mut lines = text.lines();
+        let header = match lines.next() {
+            Some(h) => split_line(h),
+            None => return Err(DbError::Storage("empty csv".into())),
+        };
+        let mut table = CsvTable::new(header);
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let row = split_line(line);
+            if row.len() != table.header.len() {
+                return Err(DbError::Storage(format!(
+                    "csv row arity {} != header arity {}",
+                    row.len(),
+                    table.header.len()
+                )));
+            }
+            table.rows.push(row);
+        }
+        Ok(table)
+    }
+
+    /// Read from a file.
+    pub fn read_from(path: &Path) -> DbResult<CsvTable> {
+        let file = File::open(path).map_err(|e| DbError::Storage(format!("csv open: {e}")))?;
+        let mut text = String::new();
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| DbError::Storage(format!("csv read: {e}")))?;
+            text.push_str(&line);
+            text.push('\n');
+        }
+        CsvTable::parse(&text)
+    }
+
+    /// Parse a cell as f64.
+    pub fn f64_at(&self, row: usize, col: usize) -> DbResult<f64> {
+        self.rows[row][col]
+            .parse()
+            .map_err(|e| DbError::Storage(format!("csv parse f64: {e}")))
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_line(out: &mut String, fields: &[String]) -> DbResult<()> {
+    for (i, f) in fields.iter().enumerate() {
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            return Err(DbError::Storage(format!("csv field needs quoting: {f:?}")));
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{f}");
+    }
+    out.push('\n');
+    Ok(())
+}
+
+fn split_line(line: &str) -> Vec<String> {
+    line.split(',').map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut t = CsvTable::new(vec!["a".into(), "b".into()]);
+        t.push_f64_row(&[1.0, 2.5]);
+        t.push_row(vec!["3".into(), "x".into()]);
+        let s = t.to_csv_string().unwrap();
+        let back = CsvTable::parse(&s).unwrap();
+        assert_eq!(back.header, t.header);
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.f64_at(0, 1).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn integral_floats_format_compactly() {
+        let mut t = CsvTable::new(vec!["v".into()]);
+        t.push_f64_row(&[42.0]);
+        assert_eq!(t.rows[0][0], "42");
+    }
+
+    #[test]
+    fn rejects_fields_needing_quotes() {
+        let mut t = CsvTable::new(vec!["v".into()]);
+        t.push_row(vec!["a,b".into()]);
+        assert!(t.to_csv_string().is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected_on_parse() {
+        assert!(CsvTable::parse("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = CsvTable::parse("x,y\n1,2\n").unwrap();
+        assert_eq!(t.column("y").unwrap(), 1);
+        assert!(t.column("z").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("mb2_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = CsvTable::new(vec!["a".into()]);
+        t.push_f64_row(&[7.0]);
+        t.write_to(&path).unwrap();
+        let back = CsvTable::read_from(&path).unwrap();
+        assert_eq!(back.rows[0][0], "7");
+        let _ = std::fs::remove_file(&path);
+    }
+}

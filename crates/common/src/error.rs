@@ -1,0 +1,68 @@
+//! Error type shared across every crate in the workspace.
+
+use std::fmt;
+
+/// Unified error type for the DBMS substrate and the MB2 framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A name (table, column, index) could not be resolved or already exists.
+    Catalog(String),
+    /// A plan or expression was semantically invalid (type mismatch, arity).
+    Plan(String),
+    /// Runtime execution failure (e.g. division by zero, overflow).
+    Execution(String),
+    /// Transaction conflict: a write-write conflict forced an abort.
+    WriteConflict { table: String },
+    /// The transaction was already committed or aborted.
+    TxnClosed,
+    /// WAL I/O failure.
+    Wal(String),
+    /// Storage-level invariant violation (bad slot, missing version).
+    Storage(String),
+    /// ML training/inference failure (singular matrix, empty dataset, ...).
+    Model(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::WriteConflict { table } => {
+                write!(f, "write-write conflict on table '{table}'")
+            }
+            DbError::TxnClosed => write!(f, "transaction is already closed"),
+            DbError::Wal(m) => write!(f, "wal error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used throughout the workspace.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = DbError::WriteConflict { table: "customer".into() };
+        assert!(e.to_string().contains("customer"));
+        let e = DbError::Parse("unexpected token".into());
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DbError::TxnClosed);
+    }
+}

@@ -1,0 +1,61 @@
+//! Hardware context (paper §4.2 / §8.6).
+//!
+//! The paper studies generalizing OU-models across CPU frequencies by
+//! appending the frequency to every model's input features. Real frequency
+//! scaling needs a power governor; this reproduction substitutes a
+//! `HardwareProfile` the engine consults: frequencies below the base inject
+//! calibrated spin-work proportional to `base/freq - 1` per unit of accounted
+//! work, so a "slower CPU" genuinely takes longer in wall-clock terms, and the
+//! simulated cycle counts scale the same way.
+
+/// Hardware profile attached to an engine instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareProfile {
+    /// Emulated CPU frequency in GHz.
+    pub cpu_freq_ghz: f64,
+    /// The frequency at which the host actually runs (slowdown baseline).
+    pub base_freq_ghz: f64,
+}
+
+impl HardwareProfile {
+    /// The paper's Xeon base frequency.
+    pub const DEFAULT_BASE_GHZ: f64 = 3.1;
+
+    pub fn new(cpu_freq_ghz: f64) -> HardwareProfile {
+        HardwareProfile { cpu_freq_ghz, base_freq_ghz: Self::DEFAULT_BASE_GHZ }
+    }
+
+    /// Multiplier on work cost relative to the base frequency (>= 1.0; the
+    /// emulation can only slow down, never speed up).
+    pub fn slowdown(&self) -> f64 {
+        (self.base_freq_ghz / self.cpu_freq_ghz).max(1.0)
+    }
+}
+
+impl Default for HardwareProfile {
+    fn default() -> HardwareProfile {
+        HardwareProfile::new(Self::DEFAULT_BASE_GHZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_no_slowdown() {
+        assert_eq!(HardwareProfile::default().slowdown(), 1.0);
+    }
+
+    #[test]
+    fn half_frequency_doubles_work() {
+        let hw = HardwareProfile::new(HardwareProfile::DEFAULT_BASE_GHZ / 2.0);
+        assert!((hw.slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overclock_clamps_to_one() {
+        let hw = HardwareProfile::new(10.0);
+        assert_eq!(hw.slowdown(), 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared kernel for the MB2 reproduction.
+//!
+//! This crate holds the types that every layer of the system agrees on:
+//! SQL values and schemas, the nine-element behavior-metric vector that all
+//! OU-models predict (paper §4.3), a deterministic PRNG so experiments are
+//! reproducible, the robust statistics MB2 uses to derive labels from noisy
+//! measurements (paper §6.2), and a small CSV layer for training-data
+//! artifacts.
+
+pub mod csv;
+pub mod error;
+pub mod hardware;
+pub mod metrics;
+pub mod ou;
+pub mod rng;
+pub mod schema;
+pub mod stats;
+pub mod types;
+
+pub use error::{DbError, DbResult};
+pub use hardware::HardwareProfile;
+pub use metrics::{Metrics, METRIC_COUNT, METRIC_NAMES};
+pub use ou::{OuCategory, OuKind};
+pub use rng::Prng;
+pub use schema::{Column, Schema};
+pub use types::{DataType, Value};

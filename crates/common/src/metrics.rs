@@ -1,0 +1,216 @@
+//! Behavior metrics — the common output-label vector of every OU-model.
+//!
+//! Paper §4.3: every OU-model predicts the same nine labels, which is what
+//! lets the interference model consume summary statistics of heterogeneous
+//! OUs: (1) elapsed time, (2) CPU time, (3) CPU cycles, (4) instructions,
+//! (5) cache references, (6) cache misses, (7) disk block reads, (8) disk
+//! block writes, (9) memory consumption.
+
+use std::ops::{Add, AddAssign, Index, IndexMut};
+
+/// Number of behavior metrics.
+pub const METRIC_COUNT: usize = 9;
+
+/// Human-readable metric names, in vector order.
+pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
+    "elapsed_us",
+    "cpu_us",
+    "cycles",
+    "instructions",
+    "cache_refs",
+    "cache_misses",
+    "block_reads",
+    "block_writes",
+    "memory_bytes",
+];
+
+/// Index constants for readable access into a [`Metrics`] vector.
+pub mod idx {
+    pub const ELAPSED_US: usize = 0;
+    pub const CPU_US: usize = 1;
+    pub const CYCLES: usize = 2;
+    pub const INSTRUCTIONS: usize = 3;
+    pub const CACHE_REFS: usize = 4;
+    pub const CACHE_MISSES: usize = 5;
+    pub const BLOCK_READS: usize = 6;
+    pub const BLOCK_WRITES: usize = 7;
+    pub const MEMORY_BYTES: usize = 8;
+}
+
+/// A vector of the nine behavior metrics. Stored as `f64` because both
+/// measured labels and model predictions flow through the same type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics(pub [f64; METRIC_COUNT]);
+
+impl Metrics {
+    pub const ZERO: Metrics = Metrics([0.0; METRIC_COUNT]);
+
+    pub fn new(values: [f64; METRIC_COUNT]) -> Metrics {
+        Metrics(values)
+    }
+
+    pub fn elapsed_us(&self) -> f64 {
+        self.0[idx::ELAPSED_US]
+    }
+
+    pub fn cpu_us(&self) -> f64 {
+        self.0[idx::CPU_US]
+    }
+
+    pub fn memory_bytes(&self) -> f64 {
+        self.0[idx::MEMORY_BYTES]
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Element-wise scale by a constant (used by complexity normalization).
+    pub fn scale(&self, factor: f64) -> Metrics {
+        let mut out = *self;
+        for v in &mut out.0 {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// Element-wise division; divisor elements of zero yield zero rather than
+    /// infinity so degenerate measurements don't poison training data.
+    pub fn div_elementwise(&self, other: &Metrics) -> Metrics {
+        let mut out = Metrics::ZERO;
+        for i in 0..METRIC_COUNT {
+            out.0[i] = if other.0[i] == 0.0 { 0.0 } else { self.0[i] / other.0[i] };
+        }
+        out
+    }
+
+    /// Element-wise multiplication (apply interference ratios to a base
+    /// prediction).
+    pub fn mul_elementwise(&self, other: &Metrics) -> Metrics {
+        let mut out = *self;
+        for i in 0..METRIC_COUNT {
+            out.0[i] *= other.0[i];
+        }
+        out
+    }
+
+    /// Element-wise maximum (used for parallel OUs where elapsed time is the
+    /// max over threads, paper §4.2 footnote 1).
+    pub fn max_elementwise(&self, other: &Metrics) -> Metrics {
+        let mut out = *self;
+        for i in 0..METRIC_COUNT {
+            out.0[i] = out.0[i].max(other.0[i]);
+        }
+        out
+    }
+
+    /// Clamp every element to at least `floor` (interference ratios are >= 1
+    /// by definition, paper §5.2).
+    pub fn clamp_min(&self, floor: f64) -> Metrics {
+        let mut out = *self;
+        for v in &mut out.0 {
+            *v = v.max(floor);
+        }
+        out
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.0.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Add for Metrics {
+    type Output = Metrics;
+    fn add(self, rhs: Metrics) -> Metrics {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for Metrics {
+    fn add_assign(&mut self, rhs: Metrics) {
+        for i in 0..METRIC_COUNT {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl Index<usize> for Metrics {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Metrics {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl FromIterator<f64> for Metrics {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Metrics {
+        let mut out = Metrics::ZERO;
+        for (i, v) in iter.into_iter().take(METRIC_COUNT).enumerate() {
+            out.0[i] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = Metrics::new([1.0; METRIC_COUNT]);
+        let b = a.scale(2.0);
+        assert_eq!((a + b).0[0], 3.0);
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        let a = Metrics::new([4.0; METRIC_COUNT]);
+        let mut b = Metrics::new([2.0; METRIC_COUNT]);
+        b.0[3] = 0.0;
+        let r = a.div_elementwise(&b);
+        assert_eq!(r.0[0], 2.0);
+        assert_eq!(r.0[3], 0.0);
+    }
+
+    #[test]
+    fn max_elementwise_takes_larger() {
+        let mut a = Metrics::ZERO;
+        let mut b = Metrics::ZERO;
+        a.0[0] = 5.0;
+        b.0[0] = 3.0;
+        b.0[1] = 7.0;
+        let m = a.max_elementwise(&b);
+        assert_eq!(m.0[0], 5.0);
+        assert_eq!(m.0[1], 7.0);
+    }
+
+    #[test]
+    fn clamp_min_enforces_floor() {
+        let a = Metrics::new([0.5; METRIC_COUNT]);
+        assert!(a.clamp_min(1.0).0.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Metrics::ZERO;
+        assert!(!a.has_non_finite());
+        a.0[2] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn metric_names_align_with_indices() {
+        assert_eq!(METRIC_NAMES[idx::ELAPSED_US], "elapsed_us");
+        assert_eq!(METRIC_NAMES[idx::MEMORY_BYTES], "memory_bytes");
+        assert_eq!(METRIC_NAMES.len(), METRIC_COUNT);
+    }
+}

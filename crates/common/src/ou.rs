@@ -1,0 +1,145 @@
+//! The operating-unit (OU) vocabulary — paper Table 1.
+//!
+//! This enum is the shared contract between the execution engine (which
+//! *measures* each OU invocation) and the MB2 framework (which *featurizes*
+//! each OU from plan information and trains one model per OU). NoisePage's
+//! 19 OUs are reproduced one-for-one.
+
+/// Behavior pattern of an OU (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OuCategory {
+    /// Features describe one invocation's work (execution engine OUs).
+    Singular,
+    /// Features describe a batch of work across invocations (WAL, GC).
+    Batch,
+    /// Parallel invocations contend on internal latches (index build, txns).
+    Contending,
+}
+
+/// The 19 operating units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OuKind {
+    SeqScan,
+    IdxScan,
+    JoinHashBuild,
+    JoinHashProbe,
+    AggBuild,
+    AggProbe,
+    SortBuild,
+    SortIter,
+    InsertTuple,
+    UpdateTuple,
+    DeleteTuple,
+    ArithmeticFilter,
+    OutputResult,
+    GarbageCollection,
+    IndexBuild,
+    LogSerialize,
+    LogFlush,
+    TxnBegin,
+    TxnCommit,
+}
+
+impl OuKind {
+    /// All OUs in a stable order (Table 1 order).
+    pub const ALL: [OuKind; 19] = [
+        OuKind::SeqScan,
+        OuKind::IdxScan,
+        OuKind::JoinHashBuild,
+        OuKind::JoinHashProbe,
+        OuKind::AggBuild,
+        OuKind::AggProbe,
+        OuKind::SortBuild,
+        OuKind::SortIter,
+        OuKind::InsertTuple,
+        OuKind::UpdateTuple,
+        OuKind::DeleteTuple,
+        OuKind::ArithmeticFilter,
+        OuKind::OutputResult,
+        OuKind::GarbageCollection,
+        OuKind::IndexBuild,
+        OuKind::LogSerialize,
+        OuKind::LogFlush,
+        OuKind::TxnBegin,
+        OuKind::TxnCommit,
+    ];
+
+    pub fn category(&self) -> OuCategory {
+        match self {
+            OuKind::GarbageCollection | OuKind::LogSerialize | OuKind::LogFlush => {
+                OuCategory::Batch
+            }
+            OuKind::IndexBuild | OuKind::TxnBegin | OuKind::TxnCommit => OuCategory::Contending,
+            _ => OuCategory::Singular,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            OuKind::SeqScan => "seq_scan",
+            OuKind::IdxScan => "idx_scan",
+            OuKind::JoinHashBuild => "hashjoin_build",
+            OuKind::JoinHashProbe => "hashjoin_probe",
+            OuKind::AggBuild => "agg_build",
+            OuKind::AggProbe => "agg_probe",
+            OuKind::SortBuild => "sort_build",
+            OuKind::SortIter => "sort_iter",
+            OuKind::InsertTuple => "insert",
+            OuKind::UpdateTuple => "update",
+            OuKind::DeleteTuple => "delete",
+            OuKind::ArithmeticFilter => "arithmetic_filter",
+            OuKind::OutputResult => "output",
+            OuKind::GarbageCollection => "gc",
+            OuKind::IndexBuild => "index_build",
+            OuKind::LogSerialize => "log_serialize",
+            OuKind::LogFlush => "log_flush",
+            OuKind::TxnBegin => "txn_begin",
+            OuKind::TxnCommit => "txn_commit",
+        }
+    }
+
+    /// Parse a name produced by [`OuKind::name`].
+    pub fn parse(name: &str) -> Option<OuKind> {
+        OuKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for OuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_ous_like_the_paper() {
+        assert_eq!(OuKind::ALL.len(), 19);
+    }
+
+    #[test]
+    fn categories_match_table_1() {
+        assert_eq!(OuKind::SeqScan.category(), OuCategory::Singular);
+        assert_eq!(OuKind::GarbageCollection.category(), OuCategory::Batch);
+        assert_eq!(OuKind::LogSerialize.category(), OuCategory::Batch);
+        assert_eq!(OuKind::LogFlush.category(), OuCategory::Batch);
+        assert_eq!(OuKind::IndexBuild.category(), OuCategory::Contending);
+        assert_eq!(OuKind::TxnBegin.category(), OuCategory::Contending);
+        assert_eq!(OuKind::TxnCommit.category(), OuCategory::Contending);
+        let contending = OuKind::ALL
+            .iter()
+            .filter(|k| k.category() == OuCategory::Contending)
+            .count();
+        assert_eq!(contending, 3);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in OuKind::ALL {
+            assert_eq!(OuKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(OuKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Table schemas.
+
+use crate::error::{DbError, DbResult};
+use crate::types::DataType;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    /// Declared average width for varchar columns; used by the OU feature
+    /// generator to estimate tuple sizes before execution.
+    pub varchar_len: usize,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty, varchar_len: 16 }
+    }
+
+    pub fn with_varchar_len(mut self, len: usize) -> Column {
+        self.varchar_len = len;
+        self
+    }
+
+    /// Estimated width in bytes of values in this column.
+    pub fn estimated_width(&self) -> usize {
+        match self.ty {
+            DataType::Varchar => 16 + self.varchar_len,
+            other => other.fixed_size(),
+        }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Resolve a column name (case-insensitive) to its index.
+    pub fn index_of(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::Plan(format!("unknown column '{name}'")))
+    }
+
+    /// Estimated tuple width in bytes (sum of column width estimates).
+    pub fn estimated_tuple_size(&self) -> usize {
+        self.columns.iter().map(Column::estimated_width).sum()
+    }
+
+    /// Concatenate two schemas (used for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Varchar).with_varchar_len(32),
+            Column::new("balance", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("ID").unwrap(), 0);
+        assert_eq!(s.index_of("Balance").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn tuple_size_estimate() {
+        let s = schema();
+        assert_eq!(s.estimated_tuple_size(), 8 + (16 + 32) + 8);
+    }
+
+    #[test]
+    fn join_and_project() {
+        let s = schema();
+        let joined = s.join(&schema());
+        assert_eq!(joined.len(), 6);
+        let projected = joined.project(&[0, 5]);
+        assert_eq!(projected.column(0).name, "id");
+        assert_eq!(projected.column(1).name, "balance");
+    }
+}

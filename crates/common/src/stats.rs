@@ -1,0 +1,140 @@
+//! Robust statistics used to derive OU-model labels (paper §6.2) and the
+//! summary statistics consumed by the interference model (paper §5.1).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Trimmed mean: drop the lowest and highest `trim_fraction` of samples
+/// before averaging. MB2 uses 20% trimming (breakdown point 0.4) to derive
+/// labels from repeated OU measurements (paper §6.2).
+pub fn trimmed_mean(xs: &[f64], trim_fraction: f64) -> f64 {
+    assert!((0.0..0.5).contains(&trim_fraction), "trim fraction must be in [0, 0.5)");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let k = (sorted.len() as f64 * trim_fraction).floor() as usize;
+    let kept = &sorted[k..sorted.len() - k];
+    mean(kept)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile, `p` in [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Average relative error `mean(|actual - predicted| / actual)`; pairs with
+/// `actual == 0` are skipped. This is the paper's OLAP evaluation metric.
+pub fn average_relative_error(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            total += (a - p).abs() / a.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Average absolute error `mean(|actual - predicted|)`; the paper's OLTP
+/// evaluation metric (per query template).
+pub fn average_absolute_error(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_outliers() {
+        // 10 samples around 100 plus two wild outliers; 20% trim drops both.
+        let xs = [99.0, 100.0, 101.0, 100.0, 99.0, 101.0, 100.0, 100.0, 1e9, -1e9];
+        let tm = trimmed_mean(&xs, 0.2);
+        assert!((tm - 100.0).abs() < 1.0, "trimmed mean {tm}");
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(trimmed_mean(&xs, 0.0), mean(&xs));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(median(&xs), 25.0);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_actual() {
+        let actual = [0.0, 10.0];
+        let predicted = [5.0, 12.0];
+        assert!((average_relative_error(&actual, &predicted) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_error() {
+        let actual = [1.0, 2.0];
+        let predicted = [2.0, 0.0];
+        assert!((average_absolute_error(&actual, &predicted) - 1.5).abs() < 1e-12);
+    }
+}

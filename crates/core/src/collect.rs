@@ -1,0 +1,312 @@
+//! Training-data collection (paper §6.1).
+//!
+//! [`TrainingCollector`] is the `OuRecorder` the runners attach to query
+//! execution: it joins plan-derived features (from the translator) with
+//! execution-measured labels by `(node id, OU)` key. Repeated measurements
+//! of the same plan are aggregated with the 20% trimmed mean (paper §6.2).
+//! [`TrainingRepo`] stores the joined samples per OU and exports
+//! `mb2-ml` datasets with labels normalized per §4.3.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use mb2_common::csv::CsvTable;
+use mb2_common::stats::trimmed_mean;
+use mb2_common::{DbError, DbResult, Metrics, OuKind, METRIC_COUNT, METRIC_NAMES};
+use mb2_exec::OuRecorder;
+use mb2_ml::Dataset;
+
+use crate::features::{feature_names, OuInstance};
+use crate::normalize::normalize_labels;
+
+/// One training sample: raw (unnormalized) labels with their features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuSample {
+    pub ou: OuKind,
+    pub features: Vec<f64>,
+    pub labels: Metrics,
+}
+
+/// Joins translator features with executor measurements for one plan.
+pub struct TrainingCollector {
+    expectations: HashMap<(u32, OuKind), Vec<f64>>,
+    sink: Mutex<Vec<(u32, OuKind, Metrics)>>,
+}
+
+impl TrainingCollector {
+    /// Build a collector expecting the given OU instances (from
+    /// [`crate::OuTranslator::translate_plan`]).
+    pub fn new(instances: &[OuInstance]) -> TrainingCollector {
+        let expectations = instances
+            .iter()
+            .map(|i| ((i.node_id, i.ou), i.features.clone()))
+            .collect();
+        TrainingCollector { expectations, sink: Mutex::new(Vec::new()) }
+    }
+
+    /// Raw measurements recorded so far (for interference training, which
+    /// needs actuals rather than joined samples).
+    pub fn raw(&self) -> Vec<(u32, OuKind, Metrics)> {
+        self.sink.lock().clone()
+    }
+
+    /// Join measurements with features, clearing the sink. Measurements
+    /// without a matching expectation are dropped (e.g. OUs from other
+    /// concurrently running queries when a collector is shared).
+    pub fn drain_joined(&self) -> Vec<OuSample> {
+        let measured: Vec<(u32, OuKind, Metrics)> = std::mem::take(&mut *self.sink.lock());
+        measured
+            .into_iter()
+            .filter_map(|(id, ou, labels)| {
+                self.expectations
+                    .get(&(id, ou))
+                    .map(|features| OuSample { ou, features: features.clone(), labels })
+            })
+            .collect()
+    }
+
+    /// Clear without joining.
+    pub fn reset(&self) {
+        self.sink.lock().clear();
+    }
+}
+
+impl OuRecorder for TrainingCollector {
+    fn record(&self, node_id: u32, ou: OuKind, metrics: Metrics) {
+        self.sink.lock().push((node_id, ou, metrics));
+    }
+}
+
+/// Aggregate repeated measurements of the same plan with a trimmed mean per
+/// `(node id, OU)` (paper §6.2: 20% trimming, breakdown point 0.4).
+pub fn aggregate_repeats(
+    repeats: &[Vec<(u32, OuKind, Metrics)>],
+    trim_fraction: f64,
+) -> Vec<(u32, OuKind, Metrics)> {
+    let mut grouped: HashMap<(u32, OuKind), Vec<Metrics>> = HashMap::new();
+    let mut order: Vec<(u32, OuKind)> = Vec::new();
+    for run in repeats {
+        for (id, ou, m) in run {
+            let key = (*id, *ou);
+            let entry = grouped.entry(key).or_default();
+            if entry.is_empty() {
+                order.push(key);
+            }
+            entry.push(*m);
+        }
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let samples = &grouped[&key];
+            let mut agg = Metrics::ZERO;
+            for i in 0..METRIC_COUNT {
+                let col: Vec<f64> = samples.iter().map(|m| m[i]).collect();
+                agg[i] = trimmed_mean(&col, trim_fraction);
+            }
+            (key.0, key.1, agg)
+        })
+        .collect()
+}
+
+/// Per-OU training-data repository.
+#[derive(Debug, Default)]
+pub struct TrainingRepo {
+    per_ou: HashMap<OuKind, Vec<OuSample>>,
+}
+
+impl TrainingRepo {
+    pub fn new() -> TrainingRepo {
+        TrainingRepo::default()
+    }
+
+    pub fn add(&mut self, sample: OuSample) {
+        self.per_ou.entry(sample.ou).or_default().push(sample);
+    }
+
+    pub fn add_all(&mut self, samples: impl IntoIterator<Item = OuSample>) {
+        for s in samples {
+            self.add(s);
+        }
+    }
+
+    pub fn merge(&mut self, other: TrainingRepo) {
+        for (ou, samples) in other.per_ou {
+            self.per_ou.entry(ou).or_default().extend(samples);
+        }
+    }
+
+    pub fn ous(&self) -> Vec<OuKind> {
+        let mut ous: Vec<OuKind> = self.per_ou.keys().copied().collect();
+        ous.sort();
+        ous
+    }
+
+    pub fn count(&self, ou: OuKind) -> usize {
+        self.per_ou.get(&ou).map_or(0, Vec::len)
+    }
+
+    pub fn total_samples(&self) -> usize {
+        self.per_ou.values().map(Vec::len).sum()
+    }
+
+    /// Approximate on-disk size of the raw data (Table 2 accounting).
+    pub fn data_size_bytes(&self) -> usize {
+        self.per_ou
+            .values()
+            .flatten()
+            .map(|s| (s.features.len() + METRIC_COUNT) * 8)
+            .sum()
+    }
+
+    pub fn samples(&self, ou: OuKind) -> &[OuSample] {
+        self.per_ou.get(&ou).map_or(&[], Vec::as_slice)
+    }
+
+    /// Export an ML dataset for one OU; labels are complexity-normalized
+    /// when `normalize` is set (paper §4.3 — the Fig. 6 ablation disables
+    /// it).
+    pub fn dataset(&self, ou: OuKind, normalize: bool) -> Dataset {
+        let mut data = Dataset::default();
+        for s in self.samples(ou) {
+            let labels = if normalize {
+                normalize_labels(ou, &s.features, &s.labels)
+            } else {
+                s.labels
+            };
+            data.push(s.features.clone(), labels.as_slice().to_vec());
+        }
+        data
+    }
+
+    /// Persist one OU's samples as CSV.
+    pub fn save_ou(&self, ou: OuKind, path: &Path) -> DbResult<()> {
+        let samples = self.samples(ou);
+        let width = samples.first().map_or(0, |s| s.features.len());
+        let mut header: Vec<String> = feature_names(ou)
+            .iter()
+            .map(|s| s.to_string())
+            .chain((feature_names(ou).len()..width).map(|i| format!("extra_{i}")))
+            .collect();
+        header.extend(METRIC_NAMES.iter().map(|s| s.to_string()));
+        let mut table = CsvTable::new(header);
+        for s in samples {
+            let mut row = s.features.clone();
+            row.extend_from_slice(s.labels.as_slice());
+            table.push_f64_row(&row);
+        }
+        table.write_to(path)
+    }
+
+    /// Load one OU's samples from CSV (appending).
+    pub fn load_ou(&mut self, ou: OuKind, path: &Path) -> DbResult<usize> {
+        let table = CsvTable::read_from(path)?;
+        let total_cols = table.header.len();
+        if total_cols < METRIC_COUNT {
+            return Err(DbError::Storage("csv too narrow for labels".into()));
+        }
+        let n_features = total_cols - METRIC_COUNT;
+        let mut loaded = 0;
+        for r in 0..table.rows.len() {
+            let features: Vec<f64> =
+                (0..n_features).map(|c| table.f64_at(r, c)).collect::<DbResult<_>>()?;
+            let labels: Metrics = (0..METRIC_COUNT)
+                .map(|c| table.f64_at(r, n_features + c))
+                .collect::<DbResult<Vec<f64>>>()?
+                .into_iter()
+                .collect();
+            self.add(OuSample { ou, features, labels });
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ou: OuKind, n: f64, elapsed: f64) -> OuSample {
+        let width = crate::features::feature_width(ou);
+        let mut features = vec![1.0; width];
+        features[0] = n;
+        let mut labels = Metrics::ZERO;
+        labels[0] = elapsed;
+        OuSample { ou, features, labels }
+    }
+
+    #[test]
+    fn collector_joins_by_node_and_ou() {
+        let instances = vec![
+            OuInstance { node_id: 1, ou: OuKind::SeqScan, features: vec![10.0; 7] },
+            OuInstance { node_id: 0, ou: OuKind::OutputResult, features: vec![5.0; 7] },
+        ];
+        let c = TrainingCollector::new(&instances);
+        c.record(1, OuKind::SeqScan, Metrics::new([1.0; 9]));
+        c.record(0, OuKind::OutputResult, Metrics::new([2.0; 9]));
+        c.record(9, OuKind::SortBuild, Metrics::new([3.0; 9])); // unmatched
+        let joined = c.drain_joined();
+        assert_eq!(joined.len(), 2);
+        assert!(joined.iter().any(|s| s.ou == OuKind::SeqScan && s.features[0] == 10.0));
+        // Sink cleared.
+        assert!(c.drain_joined().is_empty());
+    }
+
+    #[test]
+    fn aggregate_trims_outlier_runs() {
+        let mut runs = Vec::new();
+        for i in 0..10 {
+            let elapsed = if i == 9 { 1e9 } else { 100.0 + i as f64 };
+            let mut m = Metrics::ZERO;
+            m[0] = elapsed;
+            runs.push(vec![(0u32, OuKind::SeqScan, m)]);
+        }
+        let agg = aggregate_repeats(&runs, 0.2);
+        assert_eq!(agg.len(), 1);
+        assert!(agg[0].2[0] < 110.0, "outlier not trimmed: {}", agg[0].2[0]);
+    }
+
+    #[test]
+    fn repo_datasets_normalize() {
+        let mut repo = TrainingRepo::new();
+        repo.add(sample(OuKind::SeqScan, 100.0, 1000.0));
+        repo.add(sample(OuKind::SeqScan, 200.0, 2000.0));
+        let raw = repo.dataset(OuKind::SeqScan, false);
+        let norm = repo.dataset(OuKind::SeqScan, true);
+        assert_eq!(raw.y[0][0], 1000.0);
+        assert_eq!(norm.y[0][0], 10.0);
+        assert_eq!(norm.y[1][0], 10.0, "normalized labels converge");
+    }
+
+    #[test]
+    fn repo_counts_and_merge() {
+        let mut a = TrainingRepo::new();
+        a.add(sample(OuKind::SeqScan, 1.0, 1.0));
+        let mut b = TrainingRepo::new();
+        b.add(sample(OuKind::SeqScan, 2.0, 2.0));
+        b.add(sample(OuKind::SortBuild, 3.0, 3.0));
+        a.merge(b);
+        assert_eq!(a.count(OuKind::SeqScan), 2);
+        assert_eq!(a.total_samples(), 3);
+        assert_eq!(a.ous(), vec![OuKind::SortBuild, OuKind::SeqScan]
+            .into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert!(a.data_size_bytes() > 0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("mb2_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("seq_scan_{}.csv", std::process::id()));
+        let mut repo = TrainingRepo::new();
+        repo.add(sample(OuKind::SeqScan, 100.0, 1234.0));
+        repo.save_ou(OuKind::SeqScan, &path).unwrap();
+        let mut back = TrainingRepo::new();
+        let n = back.load_ou(OuKind::SeqScan, &path).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(back.samples(OuKind::SeqScan)[0].labels[0], 1234.0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,135 @@
+//! OU input-feature definitions (paper §4.2, Table 1).
+//!
+//! Every OU has a small fixed feature vector (at most ~7 base features plus
+//! behavior knobs, in line with the paper's ≤10 guidance). The widths here
+//! mirror Table 1's "Features + Knobs" counts adapted to this engine.
+
+use mb2_common::OuKind;
+
+/// One OU extracted from a plan or forecast, ready for model input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuInstance {
+    /// Pre-order plan-node id (matches the executor's numbering); util and
+    /// txn OUs that don't belong to a plan use id 0.
+    pub node_id: u32,
+    pub ou: OuKind,
+    pub features: Vec<f64>,
+}
+
+/// Feature names per OU (excluding the optional trailing hardware-context
+/// feature the translator can append, §8.6).
+pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
+    // The seven standard execution features (paper §4.2 "Singular OUs").
+    const EXEC: &[&str] = &[
+        "n_tuples",
+        "n_cols",
+        "avg_tuple_size",
+        "est_cardinality",
+        "payload_size",
+        "n_loops",
+        "exec_mode",
+    ];
+    match ou {
+        OuKind::SeqScan
+        | OuKind::IdxScan
+        | OuKind::JoinHashBuild
+        | OuKind::JoinHashProbe
+        | OuKind::AggBuild
+        | OuKind::AggProbe
+        | OuKind::SortBuild
+        | OuKind::SortIter
+        | OuKind::InsertTuple
+        | OuKind::UpdateTuple
+        | OuKind::DeleteTuple
+        | OuKind::OutputResult => EXEC,
+        OuKind::ArithmeticFilter => &["n_evals", "ops_per_eval", "exec_mode"],
+        OuKind::GarbageCollection => &["n_versions", "n_slots", "gc_interval_ms"],
+        OuKind::IndexBuild => {
+            &["n_tuples", "n_key_cols", "key_size", "est_key_cardinality", "n_threads"]
+        }
+        OuKind::LogSerialize => &["total_bytes", "n_records", "n_buffers", "avg_record_size"],
+        OuKind::LogFlush => &["total_bytes", "n_buffers", "flush_interval_ms"],
+        OuKind::TxnBegin | OuKind::TxnCommit => &["arrival_rate", "active_txns"],
+    }
+}
+
+/// Base feature-vector width for an OU (before any hardware context).
+pub fn feature_width(ou: OuKind) -> usize {
+    feature_names(ou).len()
+}
+
+/// Index of the "amount of work" feature used for output-label
+/// normalization (paper §4.3); `None` for OUs that are not normalized
+/// (short contending OUs).
+pub fn normalization_feature(ou: OuKind) -> Option<usize> {
+    match ou {
+        OuKind::TxnBegin | OuKind::TxnCommit => None,
+        // All remaining OUs put their work volume in feature 0
+        // (tuples / evals / versions / bytes).
+        _ => Some(0),
+    }
+}
+
+/// Index of the cardinality feature, where present (used for the
+/// aggregation hash-table memory normalization special case, §4.3).
+pub fn cardinality_feature(ou: OuKind) -> Option<usize> {
+    match ou {
+        OuKind::SeqScan
+        | OuKind::IdxScan
+        | OuKind::JoinHashBuild
+        | OuKind::JoinHashProbe
+        | OuKind::AggBuild
+        | OuKind::AggProbe
+        | OuKind::SortBuild
+        | OuKind::SortIter
+        | OuKind::InsertTuple
+        | OuKind::UpdateTuple
+        | OuKind::DeleteTuple
+        | OuKind::OutputResult => Some(3),
+        OuKind::IndexBuild => Some(3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_stay_low_dimensional() {
+        for ou in OuKind::ALL {
+            let w = feature_width(ou);
+            assert!((2..=7).contains(&w), "{ou}: width {w}");
+        }
+    }
+
+    #[test]
+    fn exec_ous_share_the_seven_features() {
+        assert_eq!(feature_width(OuKind::SeqScan), 7);
+        assert_eq!(feature_names(OuKind::SortBuild)[6], "exec_mode");
+    }
+
+    #[test]
+    fn txn_ous_have_two_features_like_table_1() {
+        assert_eq!(feature_width(OuKind::TxnBegin), 2);
+        assert_eq!(feature_width(OuKind::TxnCommit), 2);
+        assert!(normalization_feature(OuKind::TxnBegin).is_none());
+    }
+
+    #[test]
+    fn table_1_feature_counts() {
+        assert_eq!(feature_width(OuKind::GarbageCollection), 3);
+        assert_eq!(feature_width(OuKind::IndexBuild), 5);
+        assert_eq!(feature_width(OuKind::LogSerialize), 4);
+        assert_eq!(feature_width(OuKind::LogFlush), 3);
+    }
+
+    #[test]
+    fn cardinality_feature_indices_valid() {
+        for ou in OuKind::ALL {
+            if let Some(i) = cardinality_feature(ou) {
+                assert!(i < feature_width(ou), "{ou}");
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload forecasts (paper §3, assumption 1).
+//!
+//! MB2 consumes forecasted arrival rates per query template per fixed
+//! interval from an external forecasting system [37]. The paper's
+//! evaluation assumes a perfect forecast to isolate modeling error (§8.7);
+//! this type carries exactly that information.
+
+use mb2_sql::PlanNode;
+
+/// A recurring query template with its cached plan (paper §3 assumes
+/// repeated queries execute with cached plans).
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    pub name: String,
+    pub sql: String,
+    pub plan: PlanNode,
+}
+
+/// Forecasted arrival rates for one interval.
+#[derive(Debug, Clone)]
+pub struct ForecastInterval {
+    /// Interval length in seconds.
+    pub duration_s: f64,
+    /// `rates[i]` = arrivals per second for template `i`.
+    pub rates: Vec<f64>,
+}
+
+impl ForecastInterval {
+    /// Expected number of queries of template `i` in this interval.
+    pub fn expected_count(&self, template: usize) -> f64 {
+        self.rates.get(template).copied().unwrap_or(0.0) * self.duration_s
+    }
+
+    /// Total expected queries in the interval.
+    pub fn total_queries(&self) -> f64 {
+        self.rates.iter().sum::<f64>() * self.duration_s
+    }
+}
+
+/// A full workload forecast.
+#[derive(Debug, Clone)]
+pub struct WorkloadForecast {
+    pub templates: Vec<QueryTemplate>,
+    pub intervals: Vec<ForecastInterval>,
+    /// Worker threads executing the forecasted workload.
+    pub threads: usize,
+}
+
+impl WorkloadForecast {
+    pub fn new(templates: Vec<QueryTemplate>, threads: usize) -> WorkloadForecast {
+        WorkloadForecast { templates, intervals: Vec::new(), threads: threads.max(1) }
+    }
+
+    pub fn push_interval(&mut self, duration_s: f64, rates: Vec<f64>) {
+        assert_eq!(rates.len(), self.templates.len(), "one rate per template");
+        self.intervals.push(ForecastInterval { duration_s, rates });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_sql::plan::{Est, OutputSink};
+
+    fn dummy_template(name: &str) -> QueryTemplate {
+        let scan = PlanNode::SeqScan {
+            table: "t".into(),
+            filter: None,
+            est: Est::leaf(10.0, 1, 8.0),
+        };
+        QueryTemplate {
+            name: name.into(),
+            sql: "SELECT * FROM t".into(),
+            plan: PlanNode::Output {
+                input: Box::new(scan),
+                sink: OutputSink::Client,
+                est: Est::leaf(10.0, 1, 8.0),
+            },
+        }
+    }
+
+    #[test]
+    fn expected_counts() {
+        let mut f = WorkloadForecast::new(vec![dummy_template("a"), dummy_template("b")], 4);
+        f.push_interval(10.0, vec![5.0, 0.5]);
+        assert_eq!(f.intervals[0].expected_count(0), 50.0);
+        assert_eq!(f.intervals[0].expected_count(1), 5.0);
+        assert_eq!(f.intervals[0].total_queries(), 55.0);
+        assert_eq!(f.intervals[0].expected_count(7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per template")]
+    fn rate_arity_checked() {
+        let mut f = WorkloadForecast::new(vec![dummy_template("a")], 1);
+        f.push_interval(10.0, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Inference (paper §3, Fig. 3): combine OU-models and the interference
+//! model to predict the DBMS's behavior for a forecasted workload and a
+//! candidate self-driving action.
+
+use mb2_common::{Metrics, OuKind};
+use mb2_engine::Knobs;
+use mb2_sql::PlanNode;
+
+use crate::features::OuInstance;
+use crate::forecast::WorkloadForecast;
+use crate::interference::InterferenceModel;
+use crate::training::OuModelSet;
+use crate::translate::OuTranslator;
+
+/// Everything needed to answer "what will this cost?".
+pub struct BehaviorModels {
+    pub ou_models: OuModelSet,
+    pub interference: Option<InterferenceModel>,
+    pub translator: OuTranslator,
+}
+
+/// Predicted behavior of one plan in isolation.
+#[derive(Debug, Clone)]
+pub struct PlanPrediction {
+    pub per_ou: Vec<(OuInstance, Metrics)>,
+    /// Element-wise sum across OUs (elapsed = serial execution time).
+    pub total: Metrics,
+}
+
+impl PlanPrediction {
+    pub fn elapsed_us(&self) -> f64 {
+        self.total.elapsed_us()
+    }
+
+    pub fn cpu_us(&self) -> f64 {
+        self.total.cpu_us()
+    }
+
+    /// Sum of predictions for one OU kind only (used for explainability,
+    /// e.g. Fig. 11b attributes CPU to the index-build OU).
+    pub fn total_for(&self, ou: OuKind) -> Metrics {
+        let mut total = Metrics::ZERO;
+        for (inst, m) in &self.per_ou {
+            if inst.ou == ou {
+                total += *m;
+            }
+        }
+        total
+    }
+}
+
+/// Per-template outcome within an interval prediction.
+#[derive(Debug, Clone)]
+pub struct TemplatePrediction {
+    pub isolated_us: f64,
+    pub adjusted_us: f64,
+    pub expected_count: f64,
+}
+
+/// Prediction for one forecast interval (optionally with an action running).
+#[derive(Debug, Clone)]
+pub struct IntervalPrediction {
+    pub per_template: Vec<TemplatePrediction>,
+    /// (isolated, adjusted) elapsed µs of the action, when present.
+    pub action_us: Option<(f64, f64)>,
+    pub thread_totals: Vec<Metrics>,
+}
+
+impl IntervalPrediction {
+    /// Expected-count-weighted average isolated (un-adjusted) runtime —
+    /// what knob evaluations compare, since knobs change the isolated cost.
+    pub fn avg_isolated_runtime_us(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut count = 0.0;
+        for t in &self.per_template {
+            weighted += t.isolated_us * t.expected_count;
+            count += t.expected_count;
+        }
+        if count == 0.0 {
+            0.0
+        } else {
+            weighted / count
+        }
+    }
+
+    /// Expected-count-weighted average adjusted query runtime.
+    pub fn avg_query_runtime_us(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut count = 0.0;
+        for t in &self.per_template {
+            weighted += t.adjusted_us * t.expected_count;
+            count += t.expected_count;
+        }
+        if count == 0.0 {
+            0.0
+        } else {
+            weighted / count
+        }
+    }
+}
+
+/// A candidate action evaluated against a forecast interval.
+#[derive(Debug, Clone)]
+pub struct ActionForecast {
+    /// The action plan (e.g. a `CreateIndex` node).
+    pub plan: PlanNode,
+    /// Threads the action occupies (index-build parallelism).
+    pub threads: usize,
+}
+
+impl BehaviorModels {
+    pub fn new(ou_models: OuModelSet, interference: Option<InterferenceModel>) -> BehaviorModels {
+        BehaviorModels { ou_models, interference, translator: OuTranslator::default() }
+    }
+
+    /// Predict a plan's per-OU and total behavior in isolation.
+    pub fn predict_plan(&self, plan: &PlanNode, knobs: &Knobs) -> PlanPrediction {
+        let instances = self.translator.translate_plan(plan, knobs);
+        let mut per_ou = Vec::with_capacity(instances.len());
+        let mut total = Metrics::ZERO;
+        for inst in instances {
+            let pred = self.ou_models.predict(inst.ou, &inst.features);
+            total += pred;
+            per_ou.push((inst, pred));
+        }
+        PlanPrediction { per_ou, total }
+    }
+
+    /// Shortcut: predicted isolated query latency in µs.
+    pub fn predict_query_elapsed_us(&self, plan: &PlanNode, knobs: &Knobs) -> f64 {
+        self.predict_plan(plan, knobs).elapsed_us()
+    }
+
+    /// Predict one forecast interval, optionally with an action running
+    /// concurrently. Workload queries spread evenly over the forecast's
+    /// worker threads; the action occupies its own threads (paper §8.7's
+    /// setup). Per-OU predictions are then adjusted by the interference
+    /// model against the per-thread totals.
+    pub fn predict_interval(
+        &self,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        knobs: &Knobs,
+        action: Option<&ActionForecast>,
+    ) -> IntervalPrediction {
+        let iv = &forecast.intervals[interval];
+        let plan_preds: Vec<PlanPrediction> = forecast
+            .templates
+            .iter()
+            .map(|t| self.predict_plan(&t.plan, knobs))
+            .collect();
+
+        // Per-thread totals: each worker executes an even share of every
+        // template's expected invocations.
+        let n_threads = forecast.threads;
+        let mut workload_share = Metrics::ZERO;
+        for (i, pred) in plan_preds.iter().enumerate() {
+            let count = iv.expected_count(i);
+            workload_share += pred.total.scale(count / n_threads as f64);
+        }
+        let mut thread_totals = vec![workload_share; n_threads];
+
+        // The action contributes its per-thread share on its own threads.
+        let action_pred = action.map(|a| self.predict_plan(&a.plan, knobs));
+        if let (Some(a), Some(pred)) = (action, &action_pred) {
+            let share = pred.total.scale(1.0 / a.threads.max(1) as f64);
+            for _ in 0..a.threads.max(1) {
+                thread_totals.push(share);
+            }
+        }
+
+        // Adjust each template's OUs for interference.
+        let window_us = iv.duration_s * 1e6;
+        let adjust = |pred: &PlanPrediction| -> f64 {
+            match &self.interference {
+                Some(model) => pred
+                    .per_ou
+                    .iter()
+                    .map(|(_, m)| model.adjust(m, &thread_totals, window_us).elapsed_us())
+                    .sum(),
+                None => pred.elapsed_us(),
+            }
+        };
+        let per_template: Vec<TemplatePrediction> = plan_preds
+            .iter()
+            .enumerate()
+            .map(|(i, pred)| TemplatePrediction {
+                isolated_us: pred.elapsed_us(),
+                adjusted_us: adjust(pred),
+                expected_count: iv.expected_count(i),
+            })
+            .collect();
+
+        let action_us = action_pred.as_ref().map(|pred| (pred.elapsed_us(), adjust(pred)));
+
+        IntervalPrediction { per_template, action_us, thread_totals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::OuSample;
+    use crate::forecast::QueryTemplate;
+    use crate::training::{train_all, TrainingConfig};
+    use mb2_common::metrics::idx;
+    use mb2_engine::Database;
+    use mb2_ml::Algorithm;
+
+    /// Build a tiny model set from synthetic per-OU linear costs so the
+    /// inference plumbing can be tested deterministically.
+    fn synthetic_models(db: &Database, plan: &PlanNode) -> BehaviorModels {
+        let translator = OuTranslator::default();
+        let instances = translator.translate_plan(plan, &db.knobs());
+        let mut repo = crate::collect::TrainingRepo::new();
+        for inst in &instances {
+            // elapsed = 2 * n for every OU; generate a small sweep.
+            for scale in 1..=20 {
+                let mut features = inst.features.clone();
+                features[0] = (scale * 10) as f64;
+                let mut labels = Metrics::ZERO;
+                labels[idx::ELAPSED_US] = 2.0 * features[0];
+                labels[idx::CPU_US] = 2.0 * features[0];
+                repo.add(OuSample { ou: inst.ou, features, labels });
+            }
+        }
+        let (set, _) = train_all(
+            &repo,
+            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+        )
+        .unwrap();
+        BehaviorModels::new(set, None)
+    }
+
+    fn setup() -> (Database, PlanNode) {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        for i in 0..200 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 10)).unwrap();
+        }
+        db.execute("ANALYZE t").unwrap();
+        let plan = db.prepare("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
+        (db, plan)
+    }
+
+    #[test]
+    fn plan_prediction_sums_ou_predictions() {
+        let (db, plan) = setup();
+        let models = synthetic_models(&db, &plan);
+        let pred = models.predict_plan(&plan, &db.knobs());
+        assert!(!pred.per_ou.is_empty());
+        let manual: f64 = pred.per_ou.iter().map(|(_, m)| m.elapsed_us()).sum();
+        assert!((pred.elapsed_us() - manual).abs() < 1e-6);
+        assert!(pred.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn total_for_filters_by_ou() {
+        let (db, plan) = setup();
+        let models = synthetic_models(&db, &plan);
+        let pred = models.predict_plan(&plan, &db.knobs());
+        let agg_total = pred.total_for(OuKind::AggBuild);
+        assert!(agg_total.elapsed_us() > 0.0);
+        assert!(agg_total.elapsed_us() < pred.elapsed_us());
+        assert_eq!(pred.total_for(OuKind::LogFlush), Metrics::ZERO);
+    }
+
+    #[test]
+    fn interval_prediction_without_interference() {
+        let (db, plan) = setup();
+        let models = synthetic_models(&db, &plan);
+        let template = QueryTemplate {
+            name: "q".into(),
+            sql: "SELECT b, COUNT(*) FROM t GROUP BY b".into(),
+            plan,
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 4);
+        forecast.push_interval(10.0, vec![5.0]);
+        let pred = models.predict_interval(&forecast, 0, &db.knobs(), None);
+        assert_eq!(pred.per_template.len(), 1);
+        assert_eq!(pred.per_template[0].expected_count, 50.0);
+        // Without an interference model, adjusted == isolated.
+        assert_eq!(pred.per_template[0].isolated_us, pred.per_template[0].adjusted_us);
+        assert_eq!(pred.thread_totals.len(), 4);
+        assert!(pred.avg_query_runtime_us() > 0.0);
+    }
+
+    #[test]
+    fn action_adds_threads() {
+        let (db, plan) = setup();
+        let models = synthetic_models(&db, &plan);
+        let index_plan = db.prepare("CREATE INDEX t_b ON t (b) WITH (THREADS = 2)").unwrap();
+        let template = QueryTemplate {
+            name: "q".into(),
+            sql: "q".into(),
+            plan,
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 4);
+        forecast.push_interval(10.0, vec![1.0]);
+        let action = ActionForecast { plan: index_plan, threads: 2 };
+        let pred = models.predict_interval(&forecast, 0, &db.knobs(), Some(&action));
+        assert_eq!(pred.thread_totals.len(), 6);
+        assert!(pred.action_us.is_some());
+    }
+}

@@ -1,0 +1,235 @@
+//! The interference model (paper §5).
+//!
+//! OU-models predict behavior in isolation; concurrent OUs compete for CPU,
+//! caches, and memory bandwidth. Rather than modeling the exponential space
+//! of OU combinations, MB2 exploits that all OU-models share the same output
+//! labels: the interference model's inputs are the *target OU's predicted
+//! labels* plus *summary statistics* (sum-per-thread mean and variance) of
+//! the predicted labels of everything forecast to run in the same interval,
+//! all normalized by the target's predicted elapsed time (§5.1). Outputs are
+//! element-wise ratios actual/predicted, ≥ 1 by construction (§5.2) —
+//! which makes the model agnostic to absolute OU durations.
+
+use mb2_common::{DbError, DbResult, Metrics, METRIC_COUNT};
+use mb2_ml::{Algorithm, Dataset, ModelSelector, Regressor};
+
+/// Number of interference-model input features: 9 self labels per elapsed,
+/// 9 mean per-thread totals per elapsed, 9 std-devs of per-thread totals
+/// per elapsed, the thread count, and the aggregate demand (total predicted
+/// busy time per wall-clock µs — the oversubscription signal that dominates
+/// on small core counts).
+pub const INTERFERENCE_FEATURE_COUNT: usize = 3 * METRIC_COUNT + 2;
+
+/// Helper namespace for building interference feature vectors.
+pub struct InterferenceInputs;
+
+impl InterferenceInputs {
+    /// Build the input features for one target OU given the per-thread
+    /// predicted totals of everything running in the interval and the
+    /// interval length in µs.
+    pub fn features(self_pred: &Metrics, thread_totals: &[Metrics], window_us: f64) -> Vec<f64> {
+        let elapsed = self_pred.elapsed_us().max(1.0);
+        let n = thread_totals.len().max(1) as f64;
+        let mut mean = Metrics::ZERO;
+        for t in thread_totals {
+            mean += *t;
+        }
+        let mean = mean.scale(1.0 / n);
+        let mut var = Metrics::ZERO;
+        for t in thread_totals {
+            for i in 0..METRIC_COUNT {
+                let d = t[i] - mean[i];
+                var[i] += d * d;
+            }
+        }
+        let var = var.scale(1.0 / n);
+
+        let mut f = Vec::with_capacity(INTERFERENCE_FEATURE_COUNT);
+        for i in 0..METRIC_COUNT {
+            f.push(self_pred[i] / elapsed);
+        }
+        for i in 0..METRIC_COUNT {
+            f.push(mean[i] / elapsed);
+        }
+        for i in 0..METRIC_COUNT {
+            f.push(var[i].sqrt() / elapsed);
+        }
+        f.push(thread_totals.len() as f64);
+        let demand: f64 = thread_totals.iter().map(|t| t.cpu_us()).sum();
+        f.push(demand / window_us.max(1.0));
+        f
+    }
+
+    /// Ratio labels for training: element-wise actual / predicted (zero
+    /// where the prediction is zero).
+    pub fn ratio_labels(actual: &Metrics, predicted: &Metrics) -> Vec<f64> {
+        actual.div_elementwise(predicted).as_slice().to_vec()
+    }
+}
+
+/// The trained interference model.
+pub struct InterferenceModel {
+    model: Box<dyn Regressor>,
+    pub chosen: Algorithm,
+    pub validation_error: f64,
+}
+
+impl InterferenceModel {
+    /// Train from a dataset of interference features → ratio labels.
+    /// The paper found the neural network performs best for this model
+    /// (§8.4); we still run selection across NN and the tree ensembles.
+    /// Ratios are heavy-tailed under oversubscription, so extreme labels
+    /// are winsorized before fitting (the conditional mean stays the
+    /// prediction target — that is what the runtime-increment evaluation
+    /// compares).
+    pub fn train(data: &Dataset, seed: u64) -> DbResult<InterferenceModel> {
+        if data.is_empty() {
+            return Err(DbError::Model("interference model: no training data".into()));
+        }
+        const RATIO_CAP: f64 = 100.0;
+        let capped = Dataset::new(
+            data.x.clone(),
+            data.y
+                .iter()
+                .map(|row| row.iter().map(|&r| r.clamp(0.0, RATIO_CAP)).collect())
+                .collect(),
+        );
+        let selector = ModelSelector {
+            candidates: vec![
+                Algorithm::NeuralNetwork,
+                Algorithm::RandomForest,
+                Algorithm::GradientBoosting,
+            ],
+            train_fraction: 0.8,
+            seed,
+        };
+        let report = selector.select(&capped)?;
+        Ok(InterferenceModel {
+            chosen: report.chosen,
+            validation_error: report
+                .error_of(report.chosen)
+                .expect("chosen candidate evaluated"),
+            model: report.model,
+        })
+    }
+
+    /// Predict adjustment ratios (clamped to ≥ 1: concurrency never makes
+    /// an OU faster, §5.2).
+    pub fn predict_ratios(
+        &self,
+        self_pred: &Metrics,
+        thread_totals: &[Metrics],
+        window_us: f64,
+    ) -> Metrics {
+        let f = InterferenceInputs::features(self_pred, thread_totals, window_us);
+        let ratios: Metrics = self.model.predict_one(&f).into_iter().collect();
+        ratios.clamp_min(1.0)
+    }
+
+    /// Adjust an isolated OU prediction for the concurrent environment.
+    pub fn adjust(&self, self_pred: &Metrics, thread_totals: &[Metrics], window_us: f64) -> Metrics {
+        self_pred.mul_elementwise(&self.predict_ratios(self_pred, thread_totals, window_us))
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::metrics::idx;
+    use mb2_common::Prng;
+
+    fn metrics(elapsed: f64, cpu: f64) -> Metrics {
+        let mut m = Metrics::ZERO;
+        m[idx::ELAPSED_US] = elapsed;
+        m[idx::CPU_US] = cpu;
+        m[idx::CYCLES] = cpu * 3100.0;
+        m
+    }
+
+    #[test]
+    fn feature_vector_shape_and_normalization() {
+        let target = metrics(100.0, 90.0);
+        let totals = vec![metrics(1000.0, 900.0), metrics(2000.0, 1800.0)];
+        let f = InterferenceInputs::features(&target, &totals, 1_000_000.0);
+        assert_eq!(f.len(), INTERFERENCE_FEATURE_COUNT);
+        // Self elapsed / elapsed == 1.
+        assert!((f[idx::ELAPSED_US] - 1.0).abs() < 1e-12);
+        // Mean thread total elapsed = 1500 / 100 = 15.
+        assert!((f[METRIC_COUNT + idx::ELAPSED_US] - 15.0).abs() < 1e-12);
+        assert_eq!(f[f.len() - 2], 2.0);
+        // Demand: (900 + 1800) cpu-us over a 1s window.
+        assert!((f[f.len() - 1] - 2700.0 / 1_000_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_labels_elementwise() {
+        let actual = metrics(200.0, 90.0);
+        let pred = metrics(100.0, 90.0);
+        let r = InterferenceInputs::ratio_labels(&actual, &pred);
+        assert!((r[idx::ELAPSED_US] - 2.0).abs() < 1e-12);
+        assert!((r[idx::CPU_US] - 1.0).abs() < 1e-12);
+    }
+
+    /// Train on a synthetic law — slowdown grows with total concurrent CPU
+    /// demand — and check the model recovers it for unseen thread counts
+    /// (the Fig. 8 generalization axis).
+    #[test]
+    fn learns_synthetic_contention_law() {
+        let mut rng = Prng::new(9);
+        let mut data = Dataset::default();
+        let make_case = |threads: usize, rng: &mut Prng| {
+            let self_elapsed = 50.0 + rng.next_f64() * 500.0;
+            let self_pred = metrics(self_elapsed, self_elapsed * 0.9);
+            let totals: Vec<Metrics> = (0..threads)
+                .map(|_| {
+                    let e = 1000.0 + rng.next_f64() * 1000.0;
+                    metrics(e, e * 0.9)
+                })
+                .collect();
+            // Ground truth: ratio = 1 + 0.1 * (threads - 1).
+            let ratio = 1.0 + 0.1 * (threads as f64 - 1.0);
+            (self_pred, totals, ratio)
+        };
+        for _ in 0..300 {
+            // Train on odd thread counts only (paper §8.4 protocol).
+            let threads = *rng.choose(&[1usize, 3, 5, 7, 9]);
+            let (self_pred, totals, ratio) = make_case(threads, &mut rng);
+            let f = InterferenceInputs::features(&self_pred, &totals, 500_000.0);
+            let actual = self_pred.scale(ratio);
+            data.push(f, InterferenceInputs::ratio_labels(&actual, &self_pred));
+        }
+        let model = InterferenceModel::train(&data, 3).unwrap();
+        // Test on even thread counts.
+        for threads in [2usize, 4, 8] {
+            let (self_pred, totals, truth) = make_case(threads, &mut rng);
+            let ratios = model.predict_ratios(&self_pred, &totals, 500_000.0);
+            let err = (ratios[idx::ELAPSED_US] - truth).abs() / truth;
+            assert!(err < 0.15, "threads {threads}: pred {} truth {truth}", ratios[idx::ELAPSED_US]);
+        }
+    }
+
+    #[test]
+    fn ratios_clamped_to_one() {
+        let mut data = Dataset::default();
+        // All labels say "0.5× faster" — physically impossible; the clamp
+        // must floor predictions at 1.
+        for i in 0..50 {
+            let self_pred = metrics(100.0 + i as f64, 90.0);
+            let totals = vec![metrics(500.0, 450.0)];
+            let f = InterferenceInputs::features(&self_pred, &totals, 500_000.0);
+            data.push(f, vec![0.5; METRIC_COUNT]);
+        }
+        let model = InterferenceModel::train(&data, 5).unwrap();
+        let ratios = model.predict_ratios(&metrics(100.0, 90.0), &[metrics(500.0, 450.0)], 500_000.0);
+        assert!(ratios.as_slice().iter().all(|&r| r >= 1.0));
+    }
+
+    #[test]
+    fn empty_training_data_is_error() {
+        assert!(InterferenceModel::train(&Dataset::default(), 1).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! ModelBot2 (MB2): decomposed behavior modeling for self-driving DBMSs.
+//!
+//! This crate is the paper's primary contribution, reproduced end to end:
+//!
+//! * [`features`] / [`translate`] — the OU translator maps query/action
+//!   plans (plus behavior knobs and optional hardware context) to operating
+//!   units with low-dimensional feature vectors (paper §4.2, Table 1).
+//! * [`normalize`] — output-label normalization by per-OU asymptotic
+//!   complexity, the key to dataset-size generalization (paper §4.3).
+//! * [`collect`] — the lightweight data-collection layer: an
+//!   [`mb2_exec::OuRecorder`] that pairs plan-derived features with
+//!   execution-measured labels (paper §6.1).
+//! * [`runners`] — OU-runners that sweep each OU's input space over SQL,
+//!   util/txn runners for the batch and contending OUs, and concurrent
+//!   runners that execute end-to-end benchmarks for interference data
+//!   (paper §6.2–6.3).
+//! * [`training`] — per-OU model search over the seven ML algorithm
+//!   families with 80/20 validation, then refit on all data (paper §6.4).
+//! * [`interference`] — the resource-competition interference model over
+//!   summary statistics of concurrent OUs (paper §5).
+//! * [`forecast`] / [`inference`] — workload forecasts in, predicted
+//!   runtime/resource behavior out (paper §3, Fig. 3).
+//! * [`planner`] — the "oracle" self-driving planner used by the paper's
+//!   end-to-end demonstration (§8.7): it picks actions by comparing MB2's
+//!   predictions of their cost, benefit, and impact.
+
+pub mod collect;
+pub mod features;
+pub mod forecast;
+pub mod inference;
+pub mod interference;
+pub mod normalize;
+pub mod planner;
+pub mod runners;
+pub mod training;
+pub mod translate;
+
+pub use collect::{OuSample, TrainingCollector, TrainingRepo};
+pub use features::{feature_names, feature_width, OuInstance};
+pub use forecast::{ForecastInterval, QueryTemplate, WorkloadForecast};
+pub use inference::{BehaviorModels, PlanPrediction};
+pub use interference::{InterferenceInputs, InterferenceModel};
+pub use translate::{OuTranslator, TranslatorConfig};

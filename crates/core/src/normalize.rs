@@ -1,0 +1,120 @@
+//! Output-label normalization (paper §4.3).
+//!
+//! Many OUs have a known asymptotic complexity in the number of processed
+//! tuples `n`: hash-table builds are O(n), sort builds are O(n log n).
+//! Dividing the measured labels by that complexity (while leaving the
+//! features intact) makes the learned mapping converge for moderate `n`,
+//! so runners only need to sweep up to the convergence point and the models
+//! still generalize to tables orders of magnitude larger.
+//!
+//! Special case (paper §4.3): the join hash table pre-allocates by input
+//! tuple count, so its memory label normalizes by `n`; the aggregation hash
+//! table grows with unique keys, so its memory label normalizes by the
+//! cardinality feature.
+
+use mb2_common::metrics::idx;
+use mb2_common::{Metrics, OuKind};
+
+use crate::features::{cardinality_feature, normalization_feature};
+
+/// The complexity divisor for an OU given its feature vector; `1.0` for OUs
+/// that are not normalized.
+pub fn complexity(ou: OuKind, features: &[f64]) -> f64 {
+    let Some(nf) = normalization_feature(ou) else { return 1.0 };
+    let n = features[nf].max(1.0);
+    match ou {
+        // Sort-based operations: the builder sorts its input.
+        OuKind::SortBuild | OuKind::IndexBuild => n * n.log2().max(1.0),
+        _ => n,
+    }
+}
+
+/// The divisor for the memory label specifically.
+pub fn memory_divisor(ou: OuKind, features: &[f64]) -> f64 {
+    match ou {
+        OuKind::JoinHashBuild => features[normalization_feature(ou).expect("n")].max(1.0),
+        OuKind::AggBuild => features[cardinality_feature(ou).expect("card")].max(1.0),
+        _ => complexity(ou, features),
+    }
+}
+
+/// Divide measured labels by the OU's complexity (training direction).
+pub fn normalize_labels(ou: OuKind, features: &[f64], labels: &Metrics) -> Metrics {
+    let c = complexity(ou, features);
+    let mut out = labels.scale(1.0 / c);
+    out[idx::MEMORY_BYTES] = labels[idx::MEMORY_BYTES] / memory_divisor(ou, features);
+    out
+}
+
+/// Multiply predicted labels back to absolute values (inference direction).
+pub fn denormalize_labels(ou: OuKind, features: &[f64], labels: &Metrics) -> Metrics {
+    let c = complexity(ou, features);
+    let mut out = labels.scale(c);
+    out[idx::MEMORY_BYTES] = labels[idx::MEMORY_BYTES] * memory_divisor(ou, features);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec_features(n: f64, card: f64) -> Vec<f64> {
+        vec![n, 3.0, 24.0, card, 16.0, 0.0, 1.0]
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let labels = Metrics::new([100.0, 90.0, 1e6, 2e6, 5e4, 1e3, 0.0, 2.0, 4096.0]);
+        for ou in OuKind::ALL {
+            let width = crate::features::feature_width(ou);
+            let features: Vec<f64> = (0..width).map(|i| (i + 2) as f64 * 10.0).collect();
+            let norm = normalize_labels(ou, &features, &labels);
+            let back = denormalize_labels(ou, &features, &norm);
+            for i in 0..9 {
+                assert!((back[i] - labels[i]).abs() < 1e-6, "{ou} label {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_ou_normalizes_by_n() {
+        let labels = Metrics::new([1000.0; 9]);
+        let norm = normalize_labels(OuKind::SeqScan, &exec_features(500.0, 100.0), &labels);
+        assert!((norm[idx::ELAPSED_US] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_build_normalizes_by_nlogn() {
+        let n = 1024.0;
+        let labels = Metrics::new([n * 10.0; 9]);
+        let norm = normalize_labels(OuKind::SortBuild, &exec_features(n, n), &labels);
+        assert!((norm[idx::ELAPSED_US] - 10.0 / 10.0).abs() < 1e-9); // n*10 / (n * log2(1024)=10n)
+    }
+
+    #[test]
+    fn agg_memory_normalizes_by_cardinality() {
+        let mut labels = Metrics::ZERO;
+        labels[idx::MEMORY_BYTES] = 3200.0;
+        labels[idx::ELAPSED_US] = 1000.0;
+        let features = exec_features(1000.0, 100.0);
+        let norm = normalize_labels(OuKind::AggBuild, &features, &labels);
+        assert!((norm[idx::MEMORY_BYTES] - 32.0).abs() < 1e-9);
+        assert!((norm[idx::ELAPSED_US] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_memory_normalizes_by_n() {
+        let mut labels = Metrics::ZERO;
+        labels[idx::MEMORY_BYTES] = 64_000.0;
+        let features = exec_features(1000.0, 10.0);
+        let norm = normalize_labels(OuKind::JoinHashBuild, &features, &labels);
+        assert!((norm[idx::MEMORY_BYTES] - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn txn_ous_not_normalized() {
+        let labels = Metrics::new([5.0; 9]);
+        let norm = normalize_labels(OuKind::TxnBegin, &[100.0, 4.0], &labels);
+        assert_eq!(norm, labels);
+    }
+}

@@ -1,0 +1,266 @@
+//! The "oracle" self-driving planner used by the paper's end-to-end
+//! demonstration (§8.7): it evaluates candidate actions by comparing MB2's
+//! predictions of their cost (how long the action takes), impact (how much
+//! it slows the workload while running), and benefit (how much faster the
+//! workload becomes afterwards).
+
+use std::sync::Arc;
+
+use mb2_common::{DbResult, OuKind};
+use mb2_engine::{Database, Knobs};
+use mb2_exec::ExecutionMode;
+use mb2_engine::index::Index;
+use mb2_engine::storage::SlotId;
+
+use crate::forecast::WorkloadForecast;
+use crate::inference::{ActionForecast, BehaviorModels};
+
+/// A candidate self-driving action.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Change the execution-mode behavior knob.
+    SetExecutionMode(ExecutionMode),
+    /// Build an index with the given parallelism.
+    BuildIndex { sql: String, table: String, index: String, columns: Vec<String>, threads: usize },
+}
+
+/// Predicted consequences of an action (paper §2.1's four questions).
+#[derive(Debug, Clone)]
+pub struct ActionEvaluation {
+    /// Average query runtime (µs) for the interval without the action.
+    pub baseline_us: f64,
+    /// Average query runtime while the action deploys (impact).
+    pub during_us: f64,
+    /// Average query runtime after the action is deployed (benefit).
+    pub after_us: f64,
+    /// How long the action itself takes (µs); 0 for knob flips.
+    pub action_duration_us: f64,
+    /// Predicted CPU time (µs) the action consumes.
+    pub action_cpu_us: f64,
+}
+
+impl ActionEvaluation {
+    /// Relative runtime reduction the action is predicted to deliver.
+    pub fn predicted_gain(&self) -> f64 {
+        if self.baseline_us <= 0.0 {
+            return 0.0;
+        }
+        (self.baseline_us - self.after_us) / self.baseline_us
+    }
+}
+
+/// Evaluates actions against forecasts with behavior models.
+pub struct OraclePlanner<'a> {
+    pub db: &'a Database,
+    pub models: &'a BehaviorModels,
+}
+
+impl<'a> OraclePlanner<'a> {
+    pub fn new(db: &'a Database, models: &'a BehaviorModels) -> OraclePlanner<'a> {
+        OraclePlanner { db, models }
+    }
+
+    /// Evaluate an action against one forecast interval.
+    pub fn evaluate(
+        &self,
+        action: &Action,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        knobs: &Knobs,
+    ) -> DbResult<ActionEvaluation> {
+        let baseline = self.models.predict_interval(forecast, interval, knobs, None);
+        let baseline_us = baseline.avg_query_runtime_us();
+        match action {
+            Action::SetExecutionMode(mode) => {
+                // Knob flips change per-query cost directly; compare the
+                // isolated predictions so interference-model noise does not
+                // swamp the knob's (often modest) effect.
+                let new_knobs = Knobs { execution_mode: *mode, ..*knobs };
+                let after = self.models.predict_interval(forecast, interval, &new_knobs, None);
+                Ok(ActionEvaluation {
+                    baseline_us: baseline.avg_isolated_runtime_us(),
+                    during_us: baseline_us, // knob flips deploy instantly
+                    after_us: after.avg_isolated_runtime_us(),
+                    action_duration_us: 0.0,
+                    action_cpu_us: 0.0,
+                })
+            }
+            Action::BuildIndex { sql, table, index, columns, threads } => {
+                // Cost + impact: predict the interval with the build running.
+                let plan = self.db.prepare(sql)?;
+                let action_fc = ActionForecast { plan: plan.clone(), threads: *threads };
+                let during =
+                    self.models.predict_interval(forecast, interval, knobs, Some(&action_fc));
+                let (_, action_adjusted) = during.action_us.expect("action predicted");
+                let action_pred = self.models.predict_plan(&plan, knobs);
+                let action_cpu_us = action_pred.total_for(OuKind::IndexBuild).cpu_us();
+
+                // Benefit: re-plan the forecast's queries with a hypothetical
+                // (metadata-only) index and predict the new plans.
+                let after_us = self.with_hypothetical_index(table, index, columns, || {
+                    let replanned: DbResult<Vec<_>> = forecast
+                        .templates
+                        .iter()
+                        .map(|t| self.db.prepare(&t.sql))
+                        .collect();
+                    let replanned = replanned?;
+                    let mut fc = forecast.clone();
+                    for (t, plan) in fc.templates.iter_mut().zip(replanned) {
+                        t.plan = plan;
+                    }
+                    Ok(self
+                        .models
+                        .predict_interval(&fc, interval, knobs, None)
+                        .avg_query_runtime_us())
+                })?;
+                Ok(ActionEvaluation {
+                    baseline_us,
+                    during_us: during.avg_query_runtime_us(),
+                    after_us,
+                    action_duration_us: action_adjusted,
+                    action_cpu_us,
+                })
+            }
+        }
+    }
+
+    /// Register an empty index (metadata only) so the query planner chooses
+    /// index plans, run `f`, then remove it. This is how the planner reasons
+    /// about indexes that do not exist yet.
+    fn with_hypothetical_index<T>(
+        &self,
+        table: &str,
+        index: &str,
+        columns: &[String],
+        f: impl FnOnce() -> DbResult<T>,
+    ) -> DbResult<T> {
+        let entry = self.db.catalog().get(table)?;
+        let schema = entry.table.schema();
+        let positions: Vec<usize> = columns
+            .iter()
+            .map(|c| schema.index_of(c))
+            .collect::<DbResult<_>>()?;
+        let shadow: Arc<Index<SlotId>> = Arc::new(Index::new(index, positions));
+        entry.add_index(shadow)?;
+        let result = f();
+        let _ = entry.drop_index(index);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{OuSample, TrainingRepo};
+    use crate::forecast::QueryTemplate;
+    use crate::training::{train_all, TrainingConfig};
+    use mb2_common::metrics::idx;
+    use mb2_common::Metrics;
+    use mb2_ml::Algorithm;
+    use crate::translate::OuTranslator;
+
+    /// Models where index scans are predicted much cheaper than sequential
+    /// scans, so index actions show a benefit.
+    fn cost_models(db: &Database) -> BehaviorModels {
+        let mut repo = TrainingRepo::new();
+        let translator = OuTranslator::default();
+        // Synthesize per-OU linear costs with SeqScan 10× IdxScan.
+        let plans = [
+            db.prepare("SELECT * FROM big WHERE pk = 1").unwrap(),
+            db.prepare("SELECT * FROM big WHERE grp = 1").unwrap(),
+            db.prepare("CREATE INDEX hyp ON big (grp) WITH (THREADS = 4)").unwrap(),
+        ];
+        for plan in &plans {
+            for inst in translator.translate_plan(plan, &db.knobs()) {
+                for k in 1..=15 {
+                    let mut f = inst.features.clone();
+                    f[0] = (k * 50) as f64;
+                    // Synthetic costs matching each OU's real complexity
+                    // (index builds sort, so O(n log n)).
+                    let cost = match inst.ou {
+                        OuKind::SeqScan => 10.0 * f[0],
+                        OuKind::IdxScan => 1.0 * f[0],
+                        OuKind::IndexBuild => 5.0 * f[0] * f[0].log2(),
+                        _ => 2.0 * f[0],
+                    };
+                    let mut labels = Metrics::ZERO;
+                    labels[idx::ELAPSED_US] = cost;
+                    labels[idx::CPU_US] = cost;
+                    repo.add(OuSample { ou: inst.ou, features: f, labels });
+                }
+            }
+        }
+        let (set, _) = train_all(
+            &repo,
+            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+        )
+        .unwrap();
+        BehaviorModels::new(set, None)
+    }
+
+    fn setup() -> Database {
+        let db = Database::open();
+        db.execute("CREATE TABLE big (pk INT, grp INT, v FLOAT)").unwrap();
+        for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
+            let vals: Vec<String> =
+                chunk.iter().map(|i| format!("({i}, {}, 0.5)", i % 100)).collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+        }
+        db.execute("CREATE INDEX big_pk ON big (pk)").unwrap();
+        db.execute("ANALYZE big").unwrap();
+        db
+    }
+
+    #[test]
+    fn index_action_shows_benefit_and_cost() {
+        let db = setup();
+        let models = cost_models(&db);
+        let planner = OraclePlanner::new(&db, &models);
+        let sql = "SELECT * FROM big WHERE grp = 7";
+        let template = QueryTemplate {
+            name: "grp_lookup".into(),
+            sql: sql.into(),
+            plan: db.prepare(sql).unwrap(),
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 2);
+        forecast.push_interval(10.0, vec![20.0]);
+        let action = Action::BuildIndex {
+            sql: "CREATE INDEX big_grp ON big (grp) WITH (THREADS = 4)".into(),
+            table: "big".into(),
+            index: "big_grp".into(),
+            columns: vec!["grp".into()],
+            threads: 4,
+        };
+        let eval = planner.evaluate(&action, &forecast, 0, &db.knobs()).unwrap();
+        assert!(eval.after_us < eval.baseline_us, "{eval:?}");
+        assert!(eval.predicted_gain() > 0.5, "{eval:?}");
+        assert!(eval.action_duration_us > 0.0);
+        // The hypothetical index must be gone afterwards.
+        assert!(db.catalog().get("big").unwrap().index_named("big_grp").is_none());
+    }
+
+    #[test]
+    fn knob_action_evaluates_instantly() {
+        let db = setup();
+        let models = cost_models(&db);
+        let planner = OraclePlanner::new(&db, &models);
+        let sql = "SELECT * FROM big WHERE grp = 7";
+        let template = QueryTemplate {
+            name: "q".into(),
+            sql: sql.into(),
+            plan: db.prepare(sql).unwrap(),
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 2);
+        forecast.push_interval(10.0, vec![5.0]);
+        let eval = planner
+            .evaluate(
+                &Action::SetExecutionMode(ExecutionMode::Interpret),
+                &forecast,
+                0,
+                &db.knobs(),
+            )
+            .unwrap();
+        assert_eq!(eval.action_duration_us, 0.0);
+        assert!(eval.baseline_us > 0.0);
+    }
+}

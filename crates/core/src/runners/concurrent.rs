@@ -1,0 +1,293 @@
+//! Concurrent runners (paper §6.3): execute end-to-end workloads with
+//! multiple threads to produce interference-model training data.
+//!
+//! Each configuration is a (template subset, thread count, arrival rate)
+//! cell of the paper's grid. During the window every worker records its
+//! per-OU actual metrics; afterwards the runner pairs them with the
+//! OU-models' isolated predictions to produce (summary features → ratio
+//! labels) rows (paper §5).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_common::{DbResult, Metrics, Prng};
+use mb2_engine::Database;
+use mb2_ml::Dataset;
+
+use crate::collect::TrainingCollector;
+use crate::forecast::QueryTemplate;
+use crate::inference::BehaviorModels;
+use crate::interference::InterferenceInputs;
+use crate::training::OuModelSet;
+use crate::translate::OuTranslator;
+
+/// One concurrent execution window's configuration.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRunConfig {
+    pub threads: usize,
+    pub duration: Duration,
+    /// Per-thread target arrival rate in queries/second (`None` = maximum).
+    pub rate_per_thread: Option<f64>,
+    pub seed: u64,
+}
+
+/// Result of one window.
+pub struct ConcurrentOutcome {
+    /// Interference training rows (features → ratio labels).
+    pub interference_rows: Dataset,
+    /// Actual average query latency per template (µs), measured as the sum
+    /// of the query's OU spans — the measurement the interference model
+    /// adjusts (wall time additionally includes inter-OU scheduling gaps,
+    /// which §5 does not model).
+    pub per_template_actual_us: Vec<f64>,
+    /// Actual average wall-clock latency per template (µs).
+    pub per_template_wall_us: Vec<f64>,
+    /// Completed executions per template.
+    pub per_template_count: Vec<usize>,
+    /// Per-thread predicted totals (the summary the model consumed).
+    pub thread_totals: Vec<Metrics>,
+}
+
+/// Run one concurrent window and derive interference training data.
+pub fn run_concurrent_window(
+    db: &Arc<Database>,
+    templates: &[QueryTemplate],
+    models: &OuModelSet,
+    cfg: &ConcurrentRunConfig,
+) -> DbResult<ConcurrentOutcome> {
+    assert!(!templates.is_empty());
+    let translator = OuTranslator::default();
+    let knobs = db.knobs();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // (template idx, wall µs, per-OU samples) per executed query, per thread.
+    type Execution = (usize, f64, Vec<crate::collect::OuSample>);
+    let thread_results: Vec<Vec<Execution>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|worker| {
+                let db = db.clone();
+                let stop = stop.clone();
+                let translator = &translator;
+                scope.spawn(move || {
+                    let mut rng = Prng::new(cfg.seed.wrapping_add(worker as u64 * 7919));
+                    // Pre-translate every template once (cached plans).
+                    let prepared: Vec<(TrainingCollector, &QueryTemplate)> = templates
+                        .iter()
+                        .map(|t| {
+                            let instances = translator.translate_plan(&t.plan, &knobs);
+                            (TrainingCollector::new(&instances), t)
+                        })
+                        .collect();
+                    let mut executions: Vec<Execution> = Vec::new();
+                    let mut i = worker; // stagger template order across threads
+                    while !stop.load(Ordering::Relaxed) {
+                        let ti = i % prepared.len();
+                        i += 1;
+                        let (collector, template) = &prepared[ti];
+                        collector.reset();
+                        let started = Instant::now();
+                        if db.execute_plan(&template.plan, Some(collector)).is_err() {
+                            continue; // conflicts under concurrency: skip
+                        }
+                        let wall_us = started.elapsed().as_nanos() as f64 / 1000.0;
+                        executions.push((ti, wall_us, collector.drain_joined()));
+                        if let Some(rate) = cfg.rate_per_thread {
+                            let target_gap = 1.0 / rate;
+                            let jitter = rng.next_f64() * 0.2 * target_gap;
+                            std::thread::sleep(Duration::from_secs_f64(target_gap * 0.9 + jitter));
+                        }
+                    }
+                    executions
+                })
+            })
+            .collect();
+        // Drive the window.
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Per-thread predicted totals (paper §5.1 summary input).
+    let thread_totals: Vec<Metrics> = thread_results
+        .iter()
+        .map(|execs| {
+            let mut total = Metrics::ZERO;
+            for (_, _, samples) in execs {
+                for s in samples {
+                    total += models.predict(s.ou, &s.features);
+                }
+            }
+            total
+        })
+        .collect();
+
+    // Interference rows + per-template actual latencies.
+    let mut rows = Dataset::default();
+    let mut per_template_sum = vec![0.0; templates.len()];
+    let mut per_template_wall = vec![0.0; templates.len()];
+    let mut per_template_count = vec![0usize; templates.len()];
+    for execs in &thread_results {
+        for (ti, wall_us, samples) in execs {
+            per_template_wall[*ti] += wall_us;
+            per_template_sum[*ti] += samples.iter().map(|s| s.labels.elapsed_us()).sum::<f64>();
+            per_template_count[*ti] += 1;
+            for s in samples {
+                let pred = models.predict(s.ou, &s.features);
+                if pred.elapsed_us() < 0.5 {
+                    continue; // below measurement resolution; ratio undefined
+                }
+                let features = InterferenceInputs::features(&pred, &thread_totals, cfg.duration.as_nanos() as f64 / 1000.0);
+                let labels = InterferenceInputs::ratio_labels(&s.labels, &pred);
+                rows.push(features, labels);
+            }
+        }
+    }
+    let avg = |sums: &[f64]| -> Vec<f64> {
+        sums.iter()
+            .zip(&per_template_count)
+            .map(|(sum, &n)| if n == 0 { 0.0 } else { sum / n as f64 })
+            .collect()
+    };
+    Ok(ConcurrentOutcome {
+        interference_rows: rows,
+        per_template_actual_us: avg(&per_template_sum),
+        per_template_wall_us: avg(&per_template_wall),
+        per_template_count,
+        thread_totals,
+    })
+}
+
+/// Measure each template's isolated latency (single-threaded, sequential) —
+/// the denominator of the paper's Fig. 8 "runtime increment". Measured as
+/// the sum of OU spans, consistent with the concurrent measurement.
+pub fn measure_isolated(
+    db: &Database,
+    templates: &[QueryTemplate],
+    repetitions: usize,
+) -> DbResult<Vec<f64>> {
+    let translator = OuTranslator::default();
+    let knobs = db.knobs();
+    let mut out = Vec::with_capacity(templates.len());
+    for t in templates {
+        // Warm-up.
+        db.execute_plan(&t.plan, None)?;
+        let instances = translator.translate_plan(&t.plan, &knobs);
+        let collector = TrainingCollector::new(&instances);
+        let mut latencies = Vec::with_capacity(repetitions);
+        for _ in 0..repetitions {
+            collector.reset();
+            db.execute_plan(&t.plan, Some(&collector))?;
+            let ou_us: f64 =
+                collector.drain_joined().iter().map(|s| s.labels.elapsed_us()).sum();
+            latencies.push(ou_us);
+        }
+        out.push(mb2_common::stats::trimmed_mean(&latencies, 0.2));
+    }
+    Ok(out)
+}
+
+/// Convenience: predict each template's isolated latency with the models
+/// (sanity hook used by benches to sanity-check OU-model quality before the
+/// interference stage).
+pub fn predicted_isolated(
+    models: &BehaviorModels,
+    templates: &[QueryTemplate],
+    knobs: &mb2_engine::Knobs,
+) -> Vec<f64> {
+    templates
+        .iter()
+        .map(|t| models.predict_query_elapsed_us(&t.plan, knobs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{OuSample, TrainingRepo};
+    use crate::training::{train_all, TrainingConfig};
+    use mb2_common::metrics::idx;
+    use mb2_ml::Algorithm;
+
+    fn test_db() -> Arc<Database> {
+        let db = Database::open();
+        db.execute("CREATE TABLE ct (a INT, b INT)").unwrap();
+        for chunk in (0..2000).collect::<Vec<i64>>().chunks(500) {
+            let vals: Vec<String> =
+                chunk.iter().map(|i| format!("({i}, {})", i % 20)).collect();
+            db.execute(&format!("INSERT INTO ct VALUES {}", vals.join(", "))).unwrap();
+        }
+        db.execute("ANALYZE ct").unwrap();
+        Arc::new(db)
+    }
+
+    fn templates(db: &Database) -> Vec<QueryTemplate> {
+        ["SELECT b, COUNT(*) FROM ct GROUP BY b", "SELECT * FROM ct WHERE a < 500 ORDER BY a"]
+            .iter()
+            .map(|sql| QueryTemplate {
+                name: sql.to_string(),
+                sql: sql.to_string(),
+                plan: db.prepare(sql).unwrap(),
+            })
+            .collect()
+    }
+
+    /// A model set with synthetic constants is enough to drive the plumbing.
+    fn trivial_models(db: &Database, templates: &[QueryTemplate]) -> OuModelSet {
+        let translator = OuTranslator::default();
+        let mut repo = TrainingRepo::new();
+        for t in templates {
+            for inst in translator.translate_plan(&t.plan, &db.knobs()) {
+                for k in 1..=10 {
+                    let mut f = inst.features.clone();
+                    f[0] = (k * 100) as f64;
+                    let mut labels = Metrics::ZERO;
+                    labels[idx::ELAPSED_US] = f[0];
+                    labels[idx::CPU_US] = f[0];
+                    repo.add(OuSample { ou: inst.ou, features: f, labels });
+                }
+            }
+        }
+        train_all(
+            &repo,
+            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn window_produces_interference_rows() {
+        let db = test_db();
+        let ts = templates(&db);
+        let models = trivial_models(&db, &ts);
+        let outcome = run_concurrent_window(
+            &db,
+            &ts,
+            &models,
+            &ConcurrentRunConfig {
+                threads: 2,
+                duration: Duration::from_millis(300),
+                rate_per_thread: None,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(!outcome.interference_rows.is_empty(), "no interference rows");
+        assert_eq!(outcome.thread_totals.len(), 2);
+        assert!(outcome.per_template_count.iter().sum::<usize>() > 0);
+        assert_eq!(
+            outcome.interference_rows.n_features(),
+            crate::interference::INTERFERENCE_FEATURE_COUNT
+        );
+    }
+
+    #[test]
+    fn isolated_measurement_returns_latencies() {
+        let db = test_db();
+        let ts = templates(&db);
+        let lat = measure_isolated(&db, &ts, 3).unwrap();
+        assert_eq!(lat.len(), 2);
+        assert!(lat.iter().all(|&l| l > 0.0));
+    }
+}

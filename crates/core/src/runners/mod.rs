@@ -1,0 +1,158 @@
+//! Data-generation runners (paper §6.2–6.3).
+//!
+//! * [`execution`] — OU-runners for the execution-engine OUs: specialized
+//!   SQL microbenchmarks sweeping each OU's input-feature space with
+//!   exponential step sizes.
+//! * [`util`] — runners for the batch OUs (GC, WAL serialize/flush) and the
+//!   contending Index Build OU.
+//! * [`txn`] — arrival-rate sweeps for the Transaction Begin/Commit OUs.
+//! * [`concurrent`] — end-to-end workload execution across a
+//!   (query-subset × thread-count × arrival-rate) grid, producing the
+//!   interference model's training data.
+
+pub mod concurrent;
+pub mod execution;
+pub mod txn;
+pub mod util;
+
+use mb2_common::DbResult;
+use mb2_engine::Database;
+use mb2_sql::PlanNode;
+
+use crate::collect::{aggregate_repeats, OuSample, TrainingCollector};
+use crate::translate::OuTranslator;
+
+/// Shared measurement configuration (paper §6.2: 5 warm-ups, 10
+/// repetitions, 20% trimmed mean).
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    pub repetitions: usize,
+    pub warmups: usize,
+    pub trim_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig { repetitions: 10, warmups: 5, trim_fraction: 0.2, seed: 2021 }
+    }
+}
+
+/// Measure one plan: warm up, execute `repetitions` times each in its own
+/// transaction (rolled back when `mutating`, per §6.2 so the DBMS state is
+/// unchanged), aggregate labels with the trimmed mean, and join with the
+/// translator's features.
+pub fn measure_plan(
+    db: &Database,
+    plan: &PlanNode,
+    translator: &OuTranslator,
+    cfg: &RunnerConfig,
+    mutating: bool,
+) -> DbResult<Vec<OuSample>> {
+    let knobs = db.knobs();
+    let instances = translator.translate_plan(plan, &knobs);
+    let collector = TrainingCollector::new(&instances);
+
+    let run_once = |recorder: Option<&TrainingCollector>| -> DbResult<()> {
+        let mut txn = db.begin();
+        let result = db.execute_plan_in(
+            plan,
+            &mut txn,
+            recorder.map(|r| r as &dyn mb2_engine::exec::OuRecorder),
+        );
+        match result {
+            Ok(_) => {
+                if mutating {
+                    txn.abort();
+                } else {
+                    txn.commit()?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    };
+
+    for _ in 0..cfg.warmups {
+        run_once(None)?;
+    }
+    let mut repeats = Vec::with_capacity(cfg.repetitions);
+    for _ in 0..cfg.repetitions {
+        collector.reset();
+        run_once(Some(&collector))?;
+        repeats.push(collector.raw());
+    }
+    let aggregated = aggregate_repeats(&repeats, cfg.trim_fraction);
+
+    // Join aggregated labels with the expected features.
+    let feature_map: std::collections::HashMap<(u32, mb2_common::OuKind), &Vec<f64>> =
+        instances.iter().map(|i| ((i.node_id, i.ou), &i.features)).collect();
+    Ok(aggregated
+        .into_iter()
+        .filter_map(|(id, ou, labels)| {
+            feature_map
+                .get(&(id, ou))
+                .map(|features| OuSample { ou, features: (*features).clone(), labels })
+        })
+        .collect())
+}
+
+/// Exponential sweep steps `start, 2*start, ... <= max` (paper §6.2's
+/// exponential step sizes).
+pub fn exponential_steps(start: usize, max: usize) -> Vec<usize> {
+    let mut steps = Vec::new();
+    let mut v = start.max(1);
+    while v <= max {
+        steps.push(v);
+        v *= 2;
+    }
+    if steps.last() != Some(&max) {
+        steps.push(max);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::OuKind;
+
+    #[test]
+    fn exponential_steps_cover_range() {
+        assert_eq!(exponential_steps(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(exponential_steps(100, 450), vec![100, 200, 400, 450]);
+        assert_eq!(exponential_steps(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn measure_plan_joins_features_and_labels() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        db.execute("ANALYZE t").unwrap();
+        let plan = db.prepare("SELECT * FROM t WHERE a < 25").unwrap();
+        let cfg = RunnerConfig { repetitions: 4, warmups: 1, ..RunnerConfig::default() };
+        let samples = measure_plan(&db, &plan, &OuTranslator::default(), &cfg, false).unwrap();
+        // SeqScan + filter + Output = three OUs, one aggregated sample each.
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().any(|s| s.ou == OuKind::SeqScan));
+        assert!(samples.iter().all(|s| s.labels.elapsed_us() >= 0.0));
+    }
+
+    #[test]
+    fn mutating_measure_leaves_state_unchanged() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let plan = db.prepare("INSERT INTO t VALUES (2)").unwrap();
+        let cfg = RunnerConfig { repetitions: 3, warmups: 2, ..RunnerConfig::default() };
+        measure_plan(&db, &plan, &OuTranslator::default(), &cfg, true).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], mb2_common::Value::Int(1), "rollbacks must revert");
+    }
+}

@@ -1,0 +1,143 @@
+//! Runner for the Transaction Begin / Commit contending OUs.
+//!
+//! These OUs serialize on the transaction manager's shared active-set, so
+//! their cost depends on the transaction arrival rate and the number of
+//! concurrent workers — exactly the two features Table 1 assigns them. The
+//! runner sweeps both and measures per-invocation latencies directly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_common::metrics::idx;
+use mb2_common::{DbResult, Metrics, OuKind};
+use mb2_engine::{Database, DatabaseConfig};
+
+use crate::collect::{OuSample, TrainingRepo};
+use crate::translate::OuTranslator;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct TxnRunnerConfig {
+    /// Worker-thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Transactions per worker per configuration.
+    pub txns_per_worker: usize,
+    /// Inter-transaction pacing values (µs of sleep; 0 = max rate).
+    pub pacing_us: Vec<u64>,
+}
+
+impl Default for TxnRunnerConfig {
+    fn default() -> Self {
+        TxnRunnerConfig {
+            thread_counts: vec![1, 2, 4, 8],
+            txns_per_worker: 400,
+            pacing_us: vec![0, 50, 200],
+        }
+    }
+}
+
+impl TxnRunnerConfig {
+    pub fn smoke() -> TxnRunnerConfig {
+        TxnRunnerConfig { thread_counts: vec![1, 2], txns_per_worker: 50, pacing_us: vec![0] }
+    }
+}
+
+/// Run the sweep; produces TxnBegin and TxnCommit samples.
+pub fn run_txn_runner(cfg: &TxnRunnerConfig) -> DbResult<TrainingRepo> {
+    let mut repo = TrainingRepo::new();
+    let translator = OuTranslator::default();
+    for &threads in &cfg.thread_counts {
+        for &pacing in &cfg.pacing_us {
+            let db = Arc::new(Database::new(DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::bench()
+            })?);
+            db.execute("CREATE TABLE txn_t (a INT)")?;
+            db.execute("INSERT INTO txn_t VALUES (0)")?;
+
+            let window = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let db = db.clone();
+                    let n = cfg.txns_per_worker;
+                    std::thread::spawn(move || {
+                        let mut begin_us = Vec::with_capacity(n);
+                        let mut commit_us = Vec::with_capacity(n);
+                        for i in 0..n {
+                            let t0 = Instant::now();
+                            let mut txn = db.begin();
+                            begin_us.push(t0.elapsed().as_nanos() as f64 / 1000.0);
+                            // Minimal work so commit has something to stamp.
+                            let _ = db.execute_in(
+                                &format!("INSERT INTO txn_t VALUES ({i})"),
+                                &mut txn,
+                                None,
+                            );
+                            let t1 = Instant::now();
+                            let _ = txn.commit();
+                            commit_us.push(t1.elapsed().as_nanos() as f64 / 1000.0);
+                            if pacing > 0 {
+                                std::thread::sleep(Duration::from_micros(pacing));
+                            }
+                        }
+                        (begin_us, commit_us)
+                    })
+                })
+                .collect();
+            let mut begin_all = Vec::new();
+            let mut commit_all = Vec::new();
+            for h in handles {
+                let (b, c) = h.join().expect("txn worker");
+                begin_all.extend(b);
+                commit_all.extend(c);
+            }
+            let elapsed_s = window.elapsed().as_secs_f64().max(1e-6);
+            let total_txns = (threads * cfg.txns_per_worker) as f64;
+            let rate = total_txns / elapsed_s;
+            let knobs = db.knobs();
+
+            // Aggregate with the robust trimmed mean per chunk of
+            // invocations, emitting several samples per configuration
+            // (features: arrival rate, concurrent workers).
+            for (ou, lat) in
+                [(OuKind::TxnBegin, &begin_all), (OuKind::TxnCommit, &commit_all)]
+            {
+                let chunk = (lat.len() / 4).max(10).min(lat.len());
+                for group in lat.chunks(chunk) {
+                    if group.len() < 5 {
+                        continue;
+                    }
+                    let inst = translator.txn_features(ou, rate, threads as f64, &knobs);
+                    let mut labels = Metrics::ZERO;
+                    let mean = mb2_common::stats::trimmed_mean(group, 0.2);
+                    labels[idx::ELAPSED_US] = mean;
+                    labels[idx::CPU_US] = mean;
+                    labels[idx::CYCLES] = mean * 1000.0 * knobs.hw.cpu_freq_ghz;
+                    labels[idx::INSTRUCTIONS] = 200.0 + 50.0 * threads as f64;
+                    labels[idx::CACHE_REFS] = 20.0;
+                    labels[idx::CACHE_MISSES] = threads as f64;
+                    labels[idx::MEMORY_BYTES] = 128.0;
+                    repo.add(OuSample { ou, features: inst.features, labels });
+                }
+            }
+        }
+    }
+    Ok(repo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_both_txn_ous() {
+        let repo = run_txn_runner(&TxnRunnerConfig::smoke()).unwrap();
+        assert!(repo.count(OuKind::TxnBegin) >= 2);
+        assert!(repo.count(OuKind::TxnCommit) >= 2);
+        for s in repo.samples(OuKind::TxnBegin) {
+            assert_eq!(s.features.len(), 2);
+            assert!(s.features[0] > 0.0, "arrival rate recorded");
+            assert!(s.labels.elapsed_us() >= 0.0);
+        }
+    }
+}

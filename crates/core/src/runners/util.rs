@@ -1,0 +1,246 @@
+//! Runners for the batch OUs (garbage collection, WAL serialize/flush) and
+//! the contending Index Build OU (paper §6.2, Table 1).
+
+use std::time::Duration;
+
+use mb2_common::{DbResult, OuKind, Prng};
+use mb2_engine::{Database, DatabaseConfig, Knobs};
+use mb2_exec::OuTracker;
+use mb2_engine::wal::{LogManager, LogManagerConfig, LogRecord};
+
+use crate::collect::{OuSample, TrainingRepo};
+use crate::runners::{exponential_steps, measure_plan, RunnerConfig};
+use crate::translate::OuTranslator;
+
+/// Sweep configuration for the util runners.
+#[derive(Debug, Clone)]
+pub struct UtilRunnerConfig {
+    /// Max update count for the GC sweep / record count for the WAL sweep.
+    pub max_batch: usize,
+    pub min_batch: usize,
+    /// Max table size for the index-build sweep.
+    pub max_index_rows: usize,
+    /// Thread counts for the index-build contention sweep.
+    pub build_threads: Vec<usize>,
+    pub measure: RunnerConfig,
+}
+
+impl Default for UtilRunnerConfig {
+    fn default() -> Self {
+        UtilRunnerConfig {
+            max_batch: 4096,
+            min_batch: 64,
+            max_index_rows: 16_384,
+            build_threads: vec![1, 2, 4, 8],
+            measure: RunnerConfig::default(),
+        }
+    }
+}
+
+impl UtilRunnerConfig {
+    pub fn smoke() -> UtilRunnerConfig {
+        UtilRunnerConfig {
+            max_batch: 128,
+            min_batch: 64,
+            max_index_rows: 512,
+            build_threads: vec![1, 2],
+            measure: RunnerConfig { repetitions: 2, warmups: 0, ..RunnerConfig::default() },
+        }
+    }
+}
+
+/// Run all util runners.
+pub fn run_util_runners(cfg: &UtilRunnerConfig) -> DbResult<TrainingRepo> {
+    let mut repo = TrainingRepo::new();
+    run_gc_runner(cfg, &mut repo)?;
+    run_wal_runner(cfg, &mut repo)?;
+    run_index_build_runner(cfg, &mut repo)?;
+    Ok(repo)
+}
+
+/// GC runner: produce version garbage with updates, then measure one
+/// collection pass.
+pub fn run_gc_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResult<()> {
+    let translator = OuTranslator::default();
+    for &versions in &exponential_steps(cfg.min_batch, cfg.max_batch) {
+        for interval_ms in [1.0f64, 10.0, 100.0] {
+            let db = Database::new(DatabaseConfig { wal_enabled: false, ..DatabaseConfig::bench() })?;
+            db.execute("CREATE TABLE gc_t (a INT, b INT)")?;
+            let slots = versions.max(64);
+            let values: Vec<String> = (0..slots).map(|i| format!("({i}, 0)")).collect();
+            db.execute(&format!("INSERT INTO gc_t VALUES {}", values.join(", ")))?;
+            // Generate garbage: `versions` single-row updates.
+            for i in 0..versions {
+                db.execute(&format!("UPDATE gc_t SET b = {i} WHERE a = {}", i % slots))?;
+            }
+            let knobs = db.knobs();
+            let instance =
+                translator.gc_features(versions as f64, slots as f64, interval_ms, &knobs);
+            let mut tracker = OuTracker::start();
+            let report = db.gc().run_once();
+            tracker.add_tuples(report.versions_reclaimed as u64);
+            tracker.add_random_accesses(report.slots_scanned as u64);
+            tracker.add_bytes(report.versions_reclaimed as u64 * 32);
+            let labels = tracker.finish(&knobs.hw);
+            repo.add(OuSample {
+                ou: OuKind::GarbageCollection,
+                features: instance.features,
+                labels,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// WAL runner: measure serializing batches of records into buffers and
+/// flushing them, across batch sizes, record sizes, and flush intervals.
+pub fn run_wal_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResult<()> {
+    let translator = OuTranslator::default();
+    let mut rng = Prng::new(cfg.measure.seed);
+    for &records in &exponential_steps(cfg.min_batch, cfg.max_batch) {
+        for payload in [8usize, 64, 256] {
+            for interval_ms in [1u64, 10, 100] {
+                let knobs = Knobs {
+                    wal_flush_interval: Duration::from_millis(interval_ms),
+                    ..Knobs::default()
+                };
+                let wal_path = std::env::temp_dir()
+                    .join(format!("mb2_wal_runner_{}_{records}_{payload}_{interval_ms}.log", std::process::id()));
+                let _ = std::fs::remove_file(&wal_path);
+                let wal = LogManager::new(LogManagerConfig {
+                    path: Some(wal_path.clone()),
+                    ..LogManagerConfig::default()
+                })?;
+                let batch: Vec<LogRecord> = (0..records)
+                    .map(|i| LogRecord::Insert {
+                        txn_id: i as u64,
+                        table_id: 1,
+                        slot: i as u64,
+                        tuple: vec![
+                            mb2_common::Value::Int(i as i64),
+                            mb2_common::Value::Varchar(rng.string(payload)),
+                        ],
+                    })
+                    .collect();
+
+                // Serialize span.
+                let mut tracker = OuTracker::start();
+                let mut bytes = 0usize;
+                for rec in &batch {
+                    bytes += wal.append(rec);
+                }
+                tracker.add_tuples(records as u64);
+                tracker.add_bytes(bytes as u64);
+                tracker.add_allocated(bytes as u64);
+                let labels = tracker.finish(&knobs.hw);
+                let inst =
+                    translator.log_serialize_features(bytes as f64, records as f64, &knobs);
+                repo.add(OuSample { ou: OuKind::LogSerialize, features: inst.features, labels });
+
+                // Flush span.
+                let mut tracker = OuTracker::start();
+                let (buffers, flushed) = wal.flush_now()?;
+                tracker.add_bytes(flushed as u64);
+                tracker.add_block_writes(buffers as u64);
+                tracker.add_blocked_us(0.0);
+                let labels = tracker.finish(&knobs.hw);
+                let inst = translator.log_flush_features(flushed as f64, &knobs);
+                repo.add(OuSample { ou: OuKind::LogFlush, features: inst.features, labels });
+                drop(wal);
+                let _ = std::fs::remove_file(&wal_path);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Index-build runner: sweep table size, key cardinality, and thread count
+/// (the contention feature, paper §4.2).
+pub fn run_index_build_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResult<()> {
+    let translator = OuTranslator::default();
+    for &rows in &exponential_steps(cfg.max_index_rows.min(1024).max(cfg.min_batch), cfg.max_index_rows)
+    {
+        for card_div in [1usize, 16] {
+            let db = Database::new(DatabaseConfig { wal_enabled: false, ..DatabaseConfig::bench() })?;
+            db.execute("CREATE TABLE ib_t (a INT, b INT, c VARCHAR(16))")?;
+            let card = (rows / card_div).max(1);
+            let mut i = 0;
+            while i < rows {
+                let end = (i + 500).min(rows);
+                let values: Vec<String> =
+                    (i..end).map(|j| format!("({j}, {}, 'k{}')", j % card, j % card)).collect();
+                db.execute(&format!("INSERT INTO ib_t VALUES {}", values.join(", ")))?;
+                i = end;
+            }
+            db.execute("ANALYZE ib_t")?;
+            for &threads in &cfg.build_threads {
+                for (ki, key_cols) in ["b", "b, c", "a, b, c"].iter().enumerate() {
+                    let rep_cap = cfg.measure.repetitions.min(3);
+                    for rep in 0..rep_cap {
+                    let name = format!("ib_idx_{threads}_{ki}_{rep}");
+                    let sql =
+                        format!("CREATE INDEX {name} ON ib_t ({key_cols}) WITH (THREADS = {threads})");
+                    let plan = db.prepare(&sql)?;
+                    let instances = translator.translate_plan(&plan, &db.knobs());
+                    let collector = crate::collect::TrainingCollector::new(&instances);
+                    db.execute_plan(&plan, Some(&collector))?;
+                    repo.add_all(collector.drain_joined());
+                    db.execute(&format!("DROP INDEX {name} ON ib_t"))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Measure a one-off CREATE INDEX action (used by end-to-end experiments to
+/// record ground truth alongside predictions).
+pub fn measure_index_build(
+    db: &Database,
+    sql: &str,
+    translator: &OuTranslator,
+) -> DbResult<Vec<OuSample>> {
+    let plan = db.prepare(sql)?;
+    let cfg = RunnerConfig { repetitions: 1, warmups: 0, ..RunnerConfig::default() };
+    // CREATE INDEX is not rolled back: the caller owns dropping it.
+    measure_plan(db, &plan, translator, &cfg, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_runner_produces_samples() {
+        let mut repo = TrainingRepo::new();
+        run_gc_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
+        assert!(repo.count(OuKind::GarbageCollection) >= 6);
+        for s in repo.samples(OuKind::GarbageCollection) {
+            assert_eq!(s.features.len(), 3);
+            assert!(s.labels.elapsed_us() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn wal_runner_produces_serialize_and_flush() {
+        let mut repo = TrainingRepo::new();
+        run_wal_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
+        assert!(repo.count(OuKind::LogSerialize) > 0);
+        assert_eq!(repo.count(OuKind::LogSerialize), repo.count(OuKind::LogFlush));
+        // Serialize features: bytes grow with record count.
+        let samples = repo.samples(OuKind::LogSerialize);
+        assert!(samples.iter().any(|s| s.features[0] > 1000.0));
+    }
+
+    #[test]
+    fn index_build_runner_sweeps_threads() {
+        let mut repo = TrainingRepo::new();
+        run_index_build_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
+        let samples = repo.samples(OuKind::IndexBuild);
+        assert!(!samples.is_empty());
+        let threads: std::collections::BTreeSet<u64> =
+            samples.iter().map(|s| s.features[4] as u64).collect();
+        assert!(threads.contains(&1) && threads.contains(&2), "{threads:?}");
+    }
+}

@@ -1,0 +1,402 @@
+//! Per-OU model training (paper §6.4).
+//!
+//! For each OU, MB2 trains every candidate algorithm on an 80/20 split,
+//! selects the best by validation error, and refits it on all available
+//! data. [`OuModelSet`] is the resulting bundle of 19 OU-models;
+//! [`TrainingReport`] carries the Table-2-style accounting (training time,
+//! data size, model size).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use mb2_common::{DbError, DbResult, Metrics, OuKind};
+use mb2_ml::{Algorithm, ModelSelector, Regressor};
+
+use crate::collect::TrainingRepo;
+use crate::normalize::denormalize_labels;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    pub candidates: Vec<Algorithm>,
+    /// Apply output-label normalization (§4.3). The Fig. 6/7 ablations
+    /// disable this.
+    pub normalize: bool,
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig { candidates: Algorithm::ALL.to_vec(), normalize: true, seed: 2021 }
+    }
+}
+
+/// One trained OU-model.
+pub struct TrainedOuModel {
+    pub ou: OuKind,
+    pub chosen: Algorithm,
+    pub validation_error: f64,
+    pub candidate_errors: Vec<(Algorithm, f64)>,
+    pub normalize: bool,
+    model: Box<dyn Regressor>,
+}
+
+impl TrainedOuModel {
+    /// Predict the (denormalized) metric vector for one OU invocation.
+    pub fn predict(&self, features: &[f64]) -> Metrics {
+        let raw: Metrics = self.model.predict_one(features).into_iter().collect();
+        let m = if self.normalize {
+            denormalize_labels(self.ou, features, &raw)
+        } else {
+            raw
+        };
+        // Negative resource predictions are clamped: they are artifacts of
+        // extrapolating regressors, not meaningful outputs.
+        m.clamp_min(0.0)
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+/// The bundle of trained OU-models.
+#[derive(Default)]
+pub struct OuModelSet {
+    models: HashMap<OuKind, TrainedOuModel>,
+    pub normalize: bool,
+}
+
+impl OuModelSet {
+    pub fn get(&self, ou: OuKind) -> Option<&TrainedOuModel> {
+        self.models.get(&ou)
+    }
+
+    pub fn insert(&mut self, model: TrainedOuModel) {
+        self.models.insert(model.ou, model);
+    }
+
+    pub fn ous(&self) -> Vec<OuKind> {
+        let mut v: Vec<OuKind> = self.models.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Predict metrics for an OU instance; zero metrics for unknown OUs
+    /// (callers treat missing models as "free" rather than failing).
+    pub fn predict(&self, ou: OuKind, features: &[f64]) -> Metrics {
+        self.models.get(&ou).map_or(Metrics::ZERO, |m| m.predict(features))
+    }
+
+    pub fn total_size_bytes(&self) -> usize {
+        self.models.values().map(TrainedOuModel::size_bytes).sum()
+    }
+}
+
+impl OuModelSet {
+    /// Persist every OU-model under `dir` as `<ou>.model` files plus a
+    /// `manifest` recording the normalization flag and chosen algorithms.
+    pub fn save_dir(&self, dir: &std::path::Path) -> DbResult<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DbError::Model(format!("create {}: {e}", dir.display())))?;
+        let mut manifest = format!("normalize {}\n", self.normalize);
+        for ou in self.ous() {
+            let model = self.models.get(&ou).expect("listed ou exists");
+            let text = model.model.save_text()?;
+            let path = dir.join(format!("{ou}.model"));
+            std::fs::write(&path, text)
+                .map_err(|e| DbError::Model(format!("write {}: {e}", path.display())))?;
+            manifest.push_str(&format!(
+                "{ou} {} {}\n",
+                model.chosen.name(),
+                model.validation_error
+            ));
+        }
+        std::fs::write(dir.join("manifest"), manifest)
+            .map_err(|e| DbError::Model(format!("write manifest: {e}")))?;
+        Ok(())
+    }
+
+    /// Load a model set saved by [`OuModelSet::save_dir`].
+    pub fn load_dir(dir: &std::path::Path) -> DbResult<OuModelSet> {
+        let manifest = std::fs::read_to_string(dir.join("manifest"))
+            .map_err(|e| DbError::Model(format!("read manifest: {e}")))?;
+        let mut lines = manifest.lines();
+        let normalize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("normalize "))
+            .and_then(|v| v.parse::<bool>().ok())
+            .ok_or_else(|| DbError::Model("manifest missing normalize flag".into()))?;
+        let mut set = OuModelSet { normalize, ..OuModelSet::default() };
+        for line in lines {
+            let mut parts = line.split(' ');
+            let (Some(ou_name), Some(alg_name), Some(err)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let ou = OuKind::parse(ou_name)
+                .ok_or_else(|| DbError::Model(format!("unknown OU '{ou_name}'")))?;
+            let chosen = Algorithm::ALL
+                .into_iter()
+                .find(|a| a.name() == alg_name)
+                .ok_or_else(|| DbError::Model(format!("unknown algorithm '{alg_name}'")))?;
+            let text = std::fs::read_to_string(dir.join(format!("{ou}.model")))
+                .map_err(|e| DbError::Model(format!("read {ou}.model: {e}")))?;
+            let model = mb2_ml::load_model(&text)?;
+            set.insert(TrainedOuModel {
+                ou,
+                chosen,
+                validation_error: err.parse().unwrap_or(f64::NAN),
+                candidate_errors: Vec::new(),
+                normalize,
+                model,
+            });
+        }
+        Ok(set)
+    }
+}
+
+/// Table-2-style accounting for a training run.
+#[derive(Debug, Default, Clone)]
+pub struct TrainingReport {
+    pub per_ou: Vec<(OuKind, Algorithm, f64, Duration)>,
+    pub total_training_time: Duration,
+    pub data_size_bytes: usize,
+    pub model_size_bytes: usize,
+    pub total_samples: usize,
+}
+
+/// Train one OU's model with selection.
+pub fn train_ou(
+    repo: &TrainingRepo,
+    ou: OuKind,
+    config: &TrainingConfig,
+) -> DbResult<TrainedOuModel> {
+    let data = repo.dataset(ou, config.normalize);
+    if data.is_empty() {
+        return Err(DbError::Model(format!("no training data for OU {ou}")));
+    }
+    let selector = ModelSelector {
+        candidates: config.candidates.clone(),
+        train_fraction: 0.8,
+        seed: config.seed,
+    };
+    let report = selector.select(&data)?;
+    let best_err = report
+        .error_of(report.chosen)
+        .expect("chosen candidate has an error entry");
+    Ok(TrainedOuModel {
+        ou,
+        chosen: report.chosen,
+        validation_error: best_err,
+        candidate_errors: report.candidate_errors,
+        normalize: config.normalize,
+        model: report.model,
+    })
+}
+
+/// Train models for every OU present in the repo.
+pub fn train_all(repo: &TrainingRepo, config: &TrainingConfig) -> DbResult<(OuModelSet, TrainingReport)> {
+    let started = std::time::Instant::now();
+    let mut set = OuModelSet { normalize: config.normalize, ..OuModelSet::default() };
+    let mut report = TrainingReport {
+        data_size_bytes: repo.data_size_bytes(),
+        total_samples: repo.total_samples(),
+        ..TrainingReport::default()
+    };
+    for ou in repo.ous() {
+        let ou_started = std::time::Instant::now();
+        let model = train_ou(repo, ou, config)?;
+        report.per_ou.push((ou, model.chosen, model.validation_error, ou_started.elapsed()));
+        set.insert(model);
+    }
+    report.total_training_time = started.elapsed();
+    report.model_size_bytes = set.total_size_bytes();
+    Ok((set, report))
+}
+
+/// Fig. 5/6 evaluation helper: per-algorithm 80/20 test errors for one OU,
+/// returned as (average relative error across labels, per-label errors).
+pub fn evaluate_algorithms(
+    repo: &TrainingRepo,
+    ou: OuKind,
+    algorithms: &[Algorithm],
+    normalize: bool,
+    seed: u64,
+) -> DbResult<Vec<(Algorithm, f64, Vec<f64>)>> {
+    let data = repo.dataset(ou, normalize);
+    if data.len() < 5 {
+        return Err(DbError::Model(format!("not enough data for OU {ou}")));
+    }
+    let (train, test) = mb2_ml::train_test_split(&data, 0.8, seed);
+    let mut out = Vec::new();
+    for &alg in algorithms {
+        let mut model = alg.instantiate();
+        model.fit(&train.x, &train.y)?;
+        let preds = model.predict(&test.x);
+        let avg = mb2_ml::mean_relative_error(&test.y, &preds);
+        let n_labels = test.y[0].len();
+        let per_label: Vec<f64> = (0..n_labels)
+            .map(|j| {
+                let a: Vec<Vec<f64>> = test.y.iter().map(|r| vec![r[j]]).collect();
+                let p: Vec<Vec<f64>> = preds.iter().map(|r| vec![r[j]]).collect();
+                mb2_ml::mean_relative_error(&a, &p)
+            })
+            .collect();
+        out.push((alg, avg, per_label));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::OuSample;
+    use mb2_common::metrics::idx;
+
+    /// Synthesize linear-cost samples: elapsed = 3n + noise-free.
+    fn repo_with_linear_ou(n_samples: usize) -> TrainingRepo {
+        let mut repo = TrainingRepo::new();
+        for i in 1..=n_samples {
+            let n = (i * 10) as f64;
+            let mut features = vec![0.0; crate::features::feature_width(OuKind::SeqScan)];
+            features[0] = n;
+            features[1] = 3.0;
+            features[2] = 24.0;
+            features[3] = n;
+            let mut labels = Metrics::ZERO;
+            labels[idx::ELAPSED_US] = 3.0 * n;
+            labels[idx::CPU_US] = 3.0 * n;
+            labels[idx::MEMORY_BYTES] = 24.0 * n;
+            repo.add(OuSample { ou: OuKind::SeqScan, features, labels });
+        }
+        repo
+    }
+
+    #[test]
+    fn trained_model_predicts_and_denormalizes() {
+        let repo = repo_with_linear_ou(60);
+        let config = TrainingConfig {
+            candidates: vec![Algorithm::Linear, Algorithm::Huber],
+            ..TrainingConfig::default()
+        };
+        let model = train_ou(&repo, OuKind::SeqScan, &config).unwrap();
+        assert!(model.validation_error < 0.05, "err {}", model.validation_error);
+        // Extrapolate 10× beyond the training range: normalization makes
+        // this work (the core §4.3 claim).
+        let mut features = vec![0.0; crate::features::feature_width(OuKind::SeqScan)];
+        features[0] = 6000.0;
+        features[1] = 3.0;
+        features[2] = 24.0;
+        features[3] = 6000.0;
+        let pred = model.predict(&features);
+        assert!(
+            (pred[idx::ELAPSED_US] - 18_000.0).abs() / 18_000.0 < 0.1,
+            "elapsed {}",
+            pred[idx::ELAPSED_US]
+        );
+    }
+
+    #[test]
+    fn train_all_reports_accounting() {
+        let repo = repo_with_linear_ou(40);
+        let config = TrainingConfig {
+            candidates: vec![Algorithm::Linear],
+            ..TrainingConfig::default()
+        };
+        let (set, report) = train_all(&repo, &config).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(report.model_size_bytes > 0);
+        assert!(report.data_size_bytes > 0);
+        assert_eq!(report.total_samples, 40);
+        assert_eq!(report.per_ou[0].0, OuKind::SeqScan);
+    }
+
+    #[test]
+    fn missing_ou_predicts_zero() {
+        let set = OuModelSet::default();
+        assert_eq!(set.predict(OuKind::SortIter, &[1.0; 7]), Metrics::ZERO);
+    }
+
+    #[test]
+    fn evaluate_algorithms_returns_per_label_errors() {
+        let repo = repo_with_linear_ou(50);
+        let evals = evaluate_algorithms(
+            &repo,
+            OuKind::SeqScan,
+            &[Algorithm::Linear, Algorithm::RandomForest],
+            true,
+            7,
+        )
+        .unwrap();
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].2.len(), 9);
+        // Linear should nail a linear relationship.
+        let linear = evals.iter().find(|(a, _, _)| *a == Algorithm::Linear).unwrap();
+        assert!(linear.1 < 0.05, "{}", linear.1);
+    }
+
+    #[test]
+    fn empty_repo_is_error() {
+        let repo = TrainingRepo::new();
+        assert!(train_ou(&repo, OuKind::SeqScan, &TrainingConfig::default()).is_err());
+    }
+}
+// (appended by persistence work)
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::collect::OuSample;
+    use mb2_common::metrics::idx;
+
+    #[test]
+    fn model_set_save_load_round_trip() {
+        let mut repo = TrainingRepo::new();
+        for ou in [OuKind::SeqScan, OuKind::SortBuild, OuKind::TxnBegin] {
+            let width = crate::features::feature_width(ou);
+            for k in 1..=30 {
+                let mut features = vec![1.0; width];
+                features[0] = (k * 20) as f64;
+                let mut labels = Metrics::ZERO;
+                labels[idx::ELAPSED_US] = 3.0 * features[0];
+                labels[idx::MEMORY_BYTES] = 16.0 * features[0];
+                repo.add(OuSample { ou, features, labels });
+            }
+        }
+        let config = TrainingConfig {
+            candidates: vec![Algorithm::Linear, Algorithm::RandomForest, Algorithm::NeuralNetwork],
+            ..TrainingConfig::default()
+        };
+        let (set, _) = train_all(&repo, &config).unwrap();
+        let dir = std::env::temp_dir().join(format!("mb2_models_{}", std::process::id()));
+        set.save_dir(&dir).unwrap();
+        let loaded = OuModelSet::load_dir(&dir).unwrap();
+        assert_eq!(loaded.ous(), set.ous());
+        assert_eq!(loaded.normalize, set.normalize);
+        for ou in set.ous() {
+            let width = crate::features::feature_width(ou);
+            let mut probe = vec![1.0; width];
+            probe[0] = 333.0;
+            let a = set.predict(ou, &probe);
+            let b = loaded.predict(ou, &probe);
+            for i in 0..9 {
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-6 * a[i].abs().max(1.0),
+                    "{ou} label {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

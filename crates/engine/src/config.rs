@@ -1,0 +1,82 @@
+//! Database configuration and runtime-tunable knobs.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mb2_common::HardwareProfile;
+use mb2_exec::ExecutionMode;
+
+/// Startup configuration.
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Enable write-ahead logging.
+    pub wal_enabled: bool,
+    /// WAL file path (`None` = byte-counting sink).
+    pub wal_path: Option<PathBuf>,
+    /// Run the WAL flusher on a background thread.
+    pub wal_background: bool,
+    /// Run the garbage collector on a background thread at this interval.
+    pub gc_interval: Option<Duration>,
+    /// Initial knob values.
+    pub knobs: Knobs,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            wal_enabled: true,
+            wal_path: None,
+            wal_background: false,
+            gc_interval: None,
+            knobs: Knobs::default(),
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// Lean configuration for tests and OU-runners: no WAL thread, no GC
+    /// thread, compiled execution.
+    pub fn bench() -> DatabaseConfig {
+        DatabaseConfig::default()
+    }
+}
+
+/// Runtime-tunable behavior and resource knobs (paper §4.2). Behavior knobs
+/// are appended to the affected OUs' model features by the translator.
+#[derive(Debug, Clone, Copy)]
+pub struct Knobs {
+    /// Execution-mode behavior knob.
+    pub execution_mode: ExecutionMode,
+    /// WAL flush interval behavior knob (feature of the Log Flush OU).
+    pub wal_flush_interval: Duration,
+    /// Emulated hardware context (paper §8.6).
+    pub hw: HardwareProfile,
+    /// Fig. 9a software-update emulation: spin 1µs per this many join-hash
+    /// -table inserts (0 = off).
+    pub jht_sleep_every: usize,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            execution_mode: ExecutionMode::Compiled,
+            wal_flush_interval: Duration::from_millis(10),
+            hw: HardwareProfile::default(),
+            jht_sleep_every: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DatabaseConfig::default();
+        assert!(c.wal_enabled);
+        assert!(c.gc_interval.is_none());
+        assert_eq!(c.knobs.execution_mode, ExecutionMode::Compiled);
+        assert_eq!(c.knobs.jht_sleep_every, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Execution context: catalog, transaction, knobs, and tracking hooks.
+
+use mb2_catalog::Catalog;
+use mb2_common::HardwareProfile;
+use mb2_txn::Transaction;
+
+use crate::tracker::OuRecorder;
+
+/// The execution-mode behavior knob (paper §4.2 feature 7): NoisePage runs
+/// queries either through its bytecode interpreter or as JIT-compiled code.
+/// Here `Interpret` walks expression trees per tuple and `Compiled`
+/// pre-lowers expressions to native closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    Interpret,
+    Compiled,
+}
+
+impl ExecutionMode {
+    /// Feature encoding for OU-model inputs (0 = interpret, 1 = compiled).
+    pub fn as_feature(&self) -> f64 {
+        match self {
+            ExecutionMode::Interpret => 0.0,
+            ExecutionMode::Compiled => 1.0,
+        }
+    }
+}
+
+/// Everything an operator needs to run.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub txn: &'a mut Transaction,
+    pub mode: ExecutionMode,
+    /// Metrics sink; `None` disables per-OU tracking entirely.
+    pub recorder: Option<&'a dyn OuRecorder>,
+    pub hw: HardwareProfile,
+    /// Software-update emulation for the paper's Fig. 9a adaptation study:
+    /// sleep 1µs after every `n` tuples inserted into a join hash table
+    /// (`0` disables the injected regression).
+    pub jht_sleep_every: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(catalog: &'a Catalog, txn: &'a mut Transaction) -> ExecContext<'a> {
+        ExecContext {
+            catalog,
+            txn,
+            mode: ExecutionMode::Compiled,
+            recorder: None,
+            hw: HardwareProfile::default(),
+            jht_sleep_every: 0,
+        }
+    }
+
+    pub fn with_mode(mut self, mode: ExecutionMode) -> ExecContext<'a> {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_recorder(mut self, recorder: &'a dyn OuRecorder) -> ExecContext<'a> {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    pub fn with_hw(mut self, hw: HardwareProfile) -> ExecContext<'a> {
+        self.hw = hw;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_feature_encoding() {
+        assert_eq!(ExecutionMode::Interpret.as_feature(), 0.0);
+        assert_eq!(ExecutionMode::Compiled.as_feature(), 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Execution engine.
+//!
+//! Materialized operator-at-a-time execution of [`mb2_sql::PlanNode`] trees.
+//! Each operator phase corresponds to exactly one operating unit from paper
+//! Table 1 (hash-join build and probe are separate OUs, sort build and
+//! iterate are separate OUs, filters/projections are Arithmetic/Filter OU
+//! passes), and the [`tracker::OuTracker`] measures each span's behavior
+//! metrics. An optional [`OuRecorder`] receives `(node id, OU, metrics)`
+//! triples — the data-collection hook MB2's runners use (paper §6.1).
+//!
+//! Two execution modes implement the paper's `execution_mode` behavior knob:
+//! `Interpret` walks expression trees per tuple; `Compiled` pre-lowers
+//! expressions to nested native closures (the JIT analog).
+
+pub mod compile;
+pub mod context;
+pub mod executor;
+pub mod ops;
+pub mod tracker;
+
+pub use context::{ExecContext, ExecutionMode};
+pub use executor::{execute, subtree_size, QueryResult};
+pub use tracker::{OuRecorder, OuTracker};

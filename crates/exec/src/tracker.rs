@@ -1,0 +1,204 @@
+//! Per-OU resource tracking (paper §6.1 "Resource Tracker").
+//!
+//! Elapsed time is measured with a monotonic clock. The remaining behavior
+//! metrics substitute Linux `perf` hardware counters with a deterministic
+//! cost model over *work accounting*: operators report tuples processed,
+//! bytes touched, hash probes, random accesses, comparisons, allocations and
+//! block I/O, and `finish` converts those into counter values (plus small
+//! multiplicative noise so models face realistic measurement jitter). See
+//! DESIGN.md "Substitutions" for why this preserves the learning problem.
+//!
+//! The tracker is also where CPU-frequency emulation lands (paper §8.6):
+//! when the hardware profile's frequency is below base, `finish` spins until
+//! the span's wall-clock time is stretched by `base/freq`, so slower clocks
+//! genuinely produce longer measured (and experienced) latencies while the
+//! synthesized cycle count stays frequency-invariant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mb2_common::metrics::idx;
+use mb2_common::{HardwareProfile, Metrics, OuKind, Prng};
+
+/// Receives one measurement per OU invocation. Implemented by MB2's metrics
+/// collector; `None` in the execution context disables tracking (the paper's
+/// "turn off the tracker outside training mode").
+pub trait OuRecorder: Sync {
+    /// `node_id` identifies the plan node (pre-order DFS index) so features
+    /// generated from the plan can be joined with measurements.
+    fn record(&self, node_id: u32, ou: OuKind, metrics: Metrics);
+}
+
+/// Work accounted during one OU span.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkCounts {
+    pub tuples: u64,
+    pub bytes: u64,
+    pub hash_probes: u64,
+    pub random_accesses: u64,
+    pub comparisons: u64,
+    pub allocated_bytes: u64,
+    pub block_reads: u64,
+    pub block_writes: u64,
+}
+
+/// Per-process noise stream for synthesized counters (deterministic order
+/// within a thread).
+static NOISE_COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
+
+/// An in-flight OU measurement.
+pub struct OuTracker {
+    started: Instant,
+    pub work: WorkCounts,
+    /// Time this span spent blocked (I/O, sleeps) rather than on-CPU, in µs.
+    pub blocked_us: f64,
+}
+
+impl OuTracker {
+    pub fn start() -> OuTracker {
+        OuTracker { started: Instant::now(), work: WorkCounts::default(), blocked_us: 0.0 }
+    }
+
+    pub fn add_tuples(&mut self, n: u64) {
+        self.work.tuples += n;
+    }
+
+    pub fn add_bytes(&mut self, n: u64) {
+        self.work.bytes += n;
+    }
+
+    pub fn add_hash_probes(&mut self, n: u64) {
+        self.work.hash_probes += n;
+    }
+
+    pub fn add_random_accesses(&mut self, n: u64) {
+        self.work.random_accesses += n;
+    }
+
+    pub fn add_comparisons(&mut self, n: u64) {
+        self.work.comparisons += n;
+    }
+
+    pub fn add_allocated(&mut self, n: u64) {
+        self.work.allocated_bytes += n;
+    }
+
+    pub fn add_block_reads(&mut self, n: u64) {
+        self.work.block_reads += n;
+    }
+
+    pub fn add_block_writes(&mut self, n: u64) {
+        self.work.block_writes += n;
+    }
+
+    pub fn add_blocked_us(&mut self, us: f64) {
+        self.blocked_us += us;
+    }
+
+    /// Close the span: apply frequency pacing, then synthesize the metric
+    /// vector from measured elapsed time + accounted work.
+    pub fn finish(self, hw: &HardwareProfile) -> Metrics {
+        let slowdown = hw.slowdown();
+        let busy_elapsed_us = self.started.elapsed().as_nanos() as f64 / 1000.0;
+        if slowdown > 1.0 {
+            // Stretch the span: spin until elapsed reaches slowdown × busy
+            // time (the blocked portion is not stretched — I/O doesn't get
+            // slower with the CPU clock).
+            let on_cpu = (busy_elapsed_us - self.blocked_us).max(0.0);
+            let target_us = self.blocked_us + on_cpu * slowdown;
+            while (self.started.elapsed().as_nanos() as f64 / 1000.0) < target_us {
+                std::hint::spin_loop();
+            }
+        }
+        let elapsed_us = self.started.elapsed().as_nanos() as f64 / 1000.0;
+        let cpu_us = (elapsed_us - self.blocked_us).max(0.0);
+
+        let mut rng = Prng::new(NOISE_COUNTER.fetch_add(1, Ordering::Relaxed));
+        let mut noisy = |v: f64, sigma: f64| (v * (1.0 + sigma * rng.gaussian())).max(0.0);
+
+        let w = &self.work;
+        // Cycle count is frequency-invariant: cycles = on-CPU time × clock.
+        let cycles = cpu_us * 1000.0 * hw.cpu_freq_ghz;
+        let instructions = noisy(
+            60.0 + 14.0 * w.tuples as f64
+                + 0.55 * w.bytes as f64
+                + 9.0 * w.hash_probes as f64
+                + 4.0 * w.comparisons as f64
+                + 25.0 * (w.block_reads + w.block_writes) as f64,
+            0.05,
+        );
+        let cache_refs = noisy(
+            8.0 + 4.0 * w.tuples as f64 + w.bytes as f64 / 64.0 + 3.0 * w.hash_probes as f64,
+            0.08,
+        );
+        let cache_misses = noisy(
+            1.0 + w.random_accesses as f64
+                + 0.12 * (w.bytes as f64 / 64.0)
+                + 0.7 * w.hash_probes as f64,
+            0.15,
+        );
+
+        let mut m = Metrics::ZERO;
+        m[idx::ELAPSED_US] = elapsed_us;
+        m[idx::CPU_US] = cpu_us;
+        m[idx::CYCLES] = cycles;
+        m[idx::INSTRUCTIONS] = instructions;
+        m[idx::CACHE_REFS] = cache_refs;
+        m[idx::CACHE_MISSES] = cache_misses;
+        m[idx::BLOCK_READS] = w.block_reads as f64;
+        m[idx::BLOCK_WRITES] = w.block_writes as f64;
+        m[idx::MEMORY_BYTES] = w.allocated_bytes as f64;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_reflect_accounted_work() {
+        let mut t = OuTracker::start();
+        t.add_tuples(1000);
+        t.add_bytes(64_000);
+        t.add_allocated(4096);
+        t.add_block_writes(2);
+        let m = t.finish(&HardwareProfile::default());
+        assert!(m[idx::ELAPSED_US] >= 0.0);
+        assert!(m[idx::INSTRUCTIONS] > 10_000.0);
+        assert!(m[idx::CACHE_REFS] > 4000.0);
+        assert_eq!(m[idx::BLOCK_WRITES], 2.0);
+        assert_eq!(m[idx::MEMORY_BYTES], 4096.0);
+        assert!(!m.has_non_finite());
+    }
+
+    #[test]
+    fn frequency_pacing_stretches_elapsed() {
+        let work = || {
+            let t = OuTracker::start();
+            // Busy work for ~200µs.
+            let until = Instant::now() + std::time::Duration::from_micros(200);
+            while Instant::now() < until {
+                std::hint::spin_loop();
+            }
+            t
+        };
+        let base = work().finish(&HardwareProfile::default());
+        let half = work().finish(&HardwareProfile::new(HardwareProfile::DEFAULT_BASE_GHZ / 2.0));
+        let ratio = half[idx::ELAPSED_US] / base[idx::ELAPSED_US];
+        assert!(ratio > 1.6 && ratio < 2.6, "ratio {ratio}");
+        // Cycle counts stay roughly frequency-invariant.
+        let cycle_ratio = half[idx::CYCLES] / base[idx::CYCLES];
+        assert!(cycle_ratio > 0.7 && cycle_ratio < 1.4, "cycle ratio {cycle_ratio}");
+    }
+
+    #[test]
+    fn blocked_time_excluded_from_cpu() {
+        let mut t = OuTracker::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.add_blocked_us(5000.0);
+        let m = t.finish(&HardwareProfile::default());
+        assert!(m[idx::ELAPSED_US] >= 5000.0);
+        assert!(m[idx::CPU_US] < m[idx::ELAPSED_US] - 4000.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end executor tests: SQL → plan → execution over MVCC storage.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mb2_catalog::Catalog;
+use mb2_common::{Column, Metrics, OuKind, Schema, Value};
+use mb2_exec::{execute, ExecContext, ExecutionMode, OuRecorder};
+use mb2_sql::{parse, Planner, Statement};
+use mb2_txn::TxnManager;
+
+struct Harness {
+    catalog: Catalog,
+    txns: Arc<TxnManager>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness { catalog: Catalog::new(), txns: TxnManager::new(None) }
+    }
+
+    fn ddl(&self, sql: &str) {
+        match parse(sql).unwrap() {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|c| {
+                            let mut col = Column::new(c.name, c.ty);
+                            if let Some(len) = c.varchar_len {
+                                col = col.with_varchar_len(len);
+                            }
+                            col
+                        })
+                        .collect(),
+                );
+                self.catalog.create_table(&name, schema).unwrap();
+            }
+            other => panic!("not ddl: {other:?}"),
+        }
+    }
+
+    fn run(&self, sql: &str) -> mb2_exec::QueryResult {
+        self.run_mode(sql, ExecutionMode::Compiled)
+    }
+
+    fn run_mode(&self, sql: &str, mode: ExecutionMode) -> mb2_exec::QueryResult {
+        let stmt = parse(sql).unwrap();
+        let plan = Planner::new(&self.catalog).plan(&stmt).unwrap();
+        let mut txn = self.txns.begin();
+        let result = {
+            let mut ctx = ExecContext::new(&self.catalog, &mut txn).with_mode(mode);
+            execute(&plan, &mut ctx).unwrap()
+        };
+        txn.commit().unwrap();
+        result
+    }
+
+    fn analyze(&self, table: &str) {
+        let entry = self.catalog.get(table).unwrap();
+        entry.analyze(self.txns.now());
+    }
+}
+
+fn setup_orders(h: &Harness, n: i64) {
+    h.ddl("CREATE TABLE orders (o_id INT, o_cust INT, o_total FLOAT)");
+    h.ddl("CREATE TABLE customer (c_id INT, c_name VARCHAR(16))");
+    for i in 0..n {
+        h.run(&format!(
+            "INSERT INTO orders VALUES ({i}, {}, {}.5)",
+            i % 10,
+            i * 2
+        ));
+    }
+    for i in 0..10 {
+        h.run(&format!("INSERT INTO customer VALUES ({i}, 'cust{i}')"));
+    }
+    h.analyze("orders");
+    h.analyze("customer");
+}
+
+#[test]
+fn insert_and_select_star() {
+    let h = Harness::new();
+    setup_orders(&h, 20);
+    let r = h.run("SELECT * FROM orders");
+    assert_eq!(r.rows.len(), 20);
+    assert_eq!(r.rows[0].len(), 3);
+}
+
+#[test]
+fn filter_pushdown_works() {
+    let h = Harness::new();
+    setup_orders(&h, 100);
+    let r = h.run("SELECT o_id FROM orders WHERE o_cust = 3");
+    assert_eq!(r.rows.len(), 10);
+    assert!(r.rows.iter().all(|row| row[0].as_i64().unwrap() % 10 == 3));
+}
+
+#[test]
+fn join_produces_matches() {
+    let h = Harness::new();
+    setup_orders(&h, 50);
+    let r = h.run(
+        "SELECT o.o_id, c.c_name FROM orders o, customer c WHERE o.o_cust = c.c_id AND o.o_id < 5",
+    );
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        let oid = row[0].as_i64().unwrap();
+        assert_eq!(row[1].as_str().unwrap(), format!("cust{}", oid % 10));
+    }
+}
+
+#[test]
+fn aggregation_with_group_by() {
+    let h = Harness::new();
+    setup_orders(&h, 100);
+    let r = h.run(
+        "SELECT o_cust, COUNT(*), SUM(o_total) FROM orders GROUP BY o_cust ORDER BY o_cust",
+    );
+    assert_eq!(r.rows.len(), 10);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert_eq!(r.rows[0][1], Value::Int(10));
+    // Customers 0..9, orders i with o_total = 2i + 0.5, i ≡ cust (mod 10).
+    let expected: f64 = (0..10).map(|k| (k * 10) as f64 * 2.0 + 0.5).sum();
+    assert!((r.rows[0][2].as_f64().unwrap() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn scalar_aggregate_on_empty_input() {
+    let h = Harness::new();
+    h.ddl("CREATE TABLE empty_t (a INT)");
+    let r = h.run("SELECT COUNT(*), SUM(a), MIN(a) FROM empty_t");
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert!(r.rows[0][1].is_null());
+    assert!(r.rows[0][2].is_null());
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let h = Harness::new();
+    setup_orders(&h, 30);
+    let r = h.run("SELECT o_id FROM orders ORDER BY o_id DESC LIMIT 3");
+    let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+    assert_eq!(got, vec![29, 28, 27]);
+}
+
+#[test]
+fn update_changes_values_and_respects_filter() {
+    let h = Harness::new();
+    setup_orders(&h, 10);
+    let r = h.run("UPDATE orders SET o_total = 0.0 WHERE o_id < 4");
+    assert_eq!(r.rows_affected, 4);
+    let r = h.run("SELECT COUNT(*) FROM orders WHERE o_total = 0.0");
+    assert_eq!(r.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn delete_removes_rows() {
+    let h = Harness::new();
+    setup_orders(&h, 10);
+    let r = h.run("DELETE FROM orders WHERE o_cust = 0");
+    assert_eq!(r.rows_affected, 1);
+    let r = h.run("SELECT COUNT(*) FROM orders");
+    assert_eq!(r.rows[0][0], Value::Int(9));
+}
+
+#[test]
+fn create_index_then_point_lookup_uses_it() {
+    let h = Harness::new();
+    setup_orders(&h, 200);
+    let r = h.run("CREATE INDEX o_cust_idx ON orders (o_cust) WITH (THREADS = 2)");
+    assert_eq!(r.rows_affected, 200);
+    h.analyze("orders");
+    // Planner should now pick the index.
+    let stmt = parse("SELECT * FROM orders WHERE o_cust = 7").unwrap();
+    let plan = Planner::new(&h.catalog).plan(&stmt).unwrap();
+    assert!(plan.explain().contains("IndexScan"), "{}", plan.explain());
+    let r = h.run("SELECT * FROM orders WHERE o_cust = 7");
+    assert_eq!(r.rows.len(), 20);
+}
+
+#[test]
+fn index_maintained_by_dml() {
+    let h = Harness::new();
+    setup_orders(&h, 50);
+    h.run("CREATE INDEX o_cust_idx ON orders (o_cust)");
+    h.analyze("orders");
+    h.run("INSERT INTO orders VALUES (999, 7, 1.0)");
+    h.run("UPDATE orders SET o_cust = 8 WHERE o_id = 999");
+    let r = h.run("SELECT o_id FROM orders WHERE o_cust = 8");
+    assert!(r.rows.iter().any(|row| row[0] == Value::Int(999)));
+    h.run("DELETE FROM orders WHERE o_id = 999");
+    let r = h.run("SELECT o_id FROM orders WHERE o_cust = 8");
+    assert!(!r.rows.iter().any(|row| row[0] == Value::Int(999)));
+}
+
+#[test]
+fn modes_agree_on_results() {
+    let h = Harness::new();
+    setup_orders(&h, 60);
+    let sql = "SELECT o_cust, COUNT(*), AVG(o_total) FROM orders \
+               WHERE o_id >= 10 GROUP BY o_cust ORDER BY o_cust";
+    let a = h.run_mode(sql, ExecutionMode::Interpret);
+    let b = h.run_mode(sql, ExecutionMode::Compiled);
+    assert_eq!(a.rows, b.rows);
+}
+
+#[derive(Default)]
+struct CollectingRecorder {
+    records: Mutex<Vec<(u32, OuKind, Metrics)>>,
+}
+
+impl OuRecorder for CollectingRecorder {
+    fn record(&self, node_id: u32, ou: OuKind, metrics: Metrics) {
+        self.records.lock().push((node_id, ou, metrics));
+    }
+}
+
+#[test]
+fn recorder_sees_expected_ou_sequence() {
+    let h = Harness::new();
+    setup_orders(&h, 40);
+    let stmt = parse(
+        "SELECT o.o_id, c.c_name FROM orders o, customer c \
+         WHERE o.o_cust = c.c_id ORDER BY o.o_id",
+    )
+    .unwrap();
+    let plan = Planner::new(&h.catalog).plan(&stmt).unwrap();
+    let recorder = CollectingRecorder::default();
+    let mut txn = h.txns.begin();
+    {
+        let mut ctx = ExecContext::new(&h.catalog, &mut txn).with_recorder(&recorder);
+        execute(&plan, &mut ctx).unwrap();
+    }
+    txn.commit().unwrap();
+    let records = recorder.records.lock();
+    let kinds: Vec<OuKind> = records.iter().map(|(_, k, _)| *k).collect();
+    assert!(kinds.contains(&OuKind::SeqScan));
+    assert!(kinds.contains(&OuKind::JoinHashBuild));
+    assert!(kinds.contains(&OuKind::JoinHashProbe));
+    assert!(kinds.contains(&OuKind::SortBuild));
+    assert!(kinds.contains(&OuKind::SortIter));
+    assert!(kinds.contains(&OuKind::OutputResult));
+    // Build OU's tuple accounting should match the customer table size.
+    let build = records
+        .iter()
+        .find(|(_, k, _)| *k == OuKind::JoinHashBuild)
+        .unwrap();
+    assert!(build.2.memory_bytes() > 0.0);
+    // All metrics finite.
+    assert!(records.iter().all(|(_, _, m)| !m.has_non_finite()));
+}
+
+#[test]
+fn snapshot_isolation_across_queries() {
+    let h = Harness::new();
+    setup_orders(&h, 5);
+    // Reader opens before a concurrent write commits.
+    let reader_txn = h.txns.begin();
+    h.run("UPDATE orders SET o_total = 123.0 WHERE o_id = 0");
+    // Reader still sees the old value through a manual scan.
+    let entry = h.catalog.get("orders").unwrap();
+    let mut seen = None;
+    entry.table.scan_visible(reader_txn.read_ts(), reader_txn.id(), |_, t| {
+        if t[0] == Value::Int(0) {
+            seen = Some(t[2].clone());
+        }
+        true
+    });
+    assert_ne!(seen.unwrap(), Value::Float(123.0));
+}
+
+#[test]
+fn nested_loop_join_fallback() {
+    let h = Harness::new();
+    setup_orders(&h, 10);
+    // Non-equi join predicate forces the nested-loop path.
+    let r = h.run(
+        "SELECT o.o_id, c.c_id FROM orders o, customer c WHERE o.o_cust > c.c_id AND o.o_id = 5",
+    );
+    // o_id 5 -> o_cust 5, matches customers 0..4.
+    assert_eq!(r.rows.len(), 5);
+}
+
+#[test]
+fn division_by_zero_surfaces_as_error() {
+    let h = Harness::new();
+    setup_orders(&h, 3);
+    let stmt = parse("SELECT o_id / 0 FROM orders").unwrap();
+    let plan = Planner::new(&h.catalog).plan(&stmt).unwrap();
+    let mut txn = h.txns.begin();
+    let mut ctx = ExecContext::new(&h.catalog, &mut txn);
+    assert!(execute(&plan, &mut ctx).is_err());
+}
+
+#[test]
+fn projection_expressions() {
+    let h = Harness::new();
+    setup_orders(&h, 4);
+    let r = h.run("SELECT o_id * 10 + 1 FROM orders ORDER BY o_id * 10 + 1");
+    let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+    assert_eq!(got, vec![1, 11, 21, 31]);
+}
+
+#[test]
+fn select_distinct_deduplicates() {
+    let h = Harness::new();
+    h.ddl("CREATE TABLE d (a INT, b INT)");
+    for i in 0..30 {
+        h.run(&format!("INSERT INTO d VALUES ({}, {})", i % 3, i % 2));
+    }
+    let r = h.run("SELECT DISTINCT a FROM d ORDER BY a");
+    let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+    assert_eq!(got, vec![0, 1, 2]);
+    let r = h.run("SELECT DISTINCT a, b FROM d");
+    assert_eq!(r.rows.len(), 6);
+}
+
+#[test]
+fn having_filters_groups() {
+    let h = Harness::new();
+    setup_orders(&h, 100);
+    // Each customer has 10 orders; HAVING keeps none at > 10 and all at >= 10.
+    let r = h.run("SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust HAVING COUNT(*) > 10");
+    assert!(r.rows.is_empty());
+    let r = h.run(
+        "SELECT o_cust, COUNT(*) FROM orders GROUP BY o_cust HAVING COUNT(*) >= 10 ORDER BY o_cust",
+    );
+    assert_eq!(r.rows.len(), 10);
+}
+
+#[test]
+fn having_can_reference_unselected_aggregate() {
+    let h = Harness::new();
+    setup_orders(&h, 60);
+    let r = h.run(
+        "SELECT o_cust FROM orders GROUP BY o_cust HAVING SUM(o_total) > 100.0 ORDER BY o_cust",
+    );
+    // Groups exist and the filter executes; all rows have one column.
+    assert!(r.rows.iter().all(|row| row.len() == 1));
+}

@@ -1,0 +1,573 @@
+//! In-memory B+Tree over composite [`Value`] keys with duplicate support.
+//!
+//! Nodes hold up to [`ORDER`] keys. Deletes are lazy (no rebalancing): an
+//! emptied leaf stays in place until the next bulk rebuild, which is the
+//! standard trade-off for in-memory research systems.
+
+use mb2_common::types::tuple_size_bytes;
+use mb2_common::Value;
+
+/// Maximum keys per node.
+pub const ORDER: usize = 64;
+
+type Key = Vec<Value>;
+
+#[derive(Debug)]
+enum Node<V> {
+    Internal {
+        /// `keys[i]` is the smallest key in `children[i + 1]`.
+        keys: Vec<Key>,
+        children: Vec<Node<V>>,
+    },
+    Leaf {
+        keys: Vec<Key>,
+        /// Parallel to `keys`; each key may map to multiple values.
+        values: Vec<Vec<V>>,
+    },
+}
+
+/// The B+Tree. Not internally synchronized — see [`crate::Index`].
+#[derive(Debug)]
+pub struct BPlusTree<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V: Clone> Default for BPlusTree<V> {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.cmp_total(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Compare a key against a (possibly shorter) bound, considering only the
+/// bound's columns. A key that matches the bound on its full length compares
+/// Equal regardless of trailing key columns.
+fn cmp_prefix(key: &[Value], bound: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in key.iter().zip(bound) {
+        let ord = x.cmp_total(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    if key.len() < bound.len() {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    pub fn new() -> BPlusTree<V> {
+        BPlusTree { root: Node::Leaf { keys: Vec::new(), values: Vec::new() }, len: 0 }
+    }
+
+    /// Total number of (key, value) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value under a key (duplicates allowed).
+    pub fn insert(&mut self, key: Key, value: V) {
+        self.len += 1;
+        if let Some((split_key, right)) = Self::insert_into(&mut self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            );
+            self.root =
+                Node::Internal { keys: vec![split_key], children: vec![old_root, right] };
+        }
+    }
+
+    /// Returns `Some((first_key_of_right, right_node))` when the node split.
+    fn insert_into(node: &mut Node<V>, key: Key, value: V) -> Option<(Key, Node<V>)> {
+        match node {
+            Node::Leaf { keys, values } => {
+                match keys.binary_search_by(|k| cmp_keys(k, &key)) {
+                    Ok(i) => {
+                        values[i].push(value);
+                        None
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, vec![value]);
+                        if keys.len() > ORDER {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_values = values.split_off(mid);
+                            let split_key = right_keys[0].clone();
+                            Some((
+                                split_key,
+                                Node::Leaf { keys: right_keys, values: right_values },
+                            ))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let child_idx = match keys.binary_search_by(|k| cmp_keys(k, &key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let split = Self::insert_into(&mut children[child_idx], key, value)?;
+                let (split_key, right) = split;
+                keys.insert(child_idx, split_key);
+                children.insert(child_idx + 1, right);
+                if keys.len() > ORDER {
+                    let mid = keys.len() / 2;
+                    // Key at `mid` moves up; right node takes keys after it.
+                    let right_keys = keys.split_off(mid + 1);
+                    let up_key = keys.pop().expect("mid key");
+                    let right_children = children.split_off(mid + 1);
+                    Some((
+                        up_key,
+                        Node::Internal { keys: right_keys, children: right_children },
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// All values stored under `key`.
+    pub fn get(&self, key: &[Value]) -> Vec<V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return match keys.binary_search_by(|k| cmp_keys(k, key)) {
+                        Ok(i) => values[i].clone(),
+                        Err(_) => Vec::new(),
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| cmp_keys(k, key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Remove values matching `pred` under `key`; returns how many were
+    /// removed.
+    pub fn remove(&mut self, key: &[Value], pred: impl Fn(&V) -> bool) -> usize {
+        let removed = Self::remove_in(&mut self.root, key, &pred);
+        self.len -= removed;
+        removed
+    }
+
+    fn remove_in(node: &mut Node<V>, key: &[Value], pred: &impl Fn(&V) -> bool) -> usize {
+        match node {
+            Node::Leaf { keys, values } => {
+                if let Ok(i) = keys.binary_search_by(|k| cmp_keys(k, key)) {
+                    let before = values[i].len();
+                    values[i].retain(|v| !pred(v));
+                    let removed = before - values[i].len();
+                    if values[i].is_empty() {
+                        keys.remove(i);
+                        values.remove(i);
+                    }
+                    removed
+                } else {
+                    0
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search_by(|k| cmp_keys(k, key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                Self::remove_in(&mut children[idx], key, pred)
+            }
+        }
+    }
+
+    /// Visit all entries with `lo <= key <= hi` in key order; the callback
+    /// returns `false` to stop early.
+    pub fn range(&self, lo: &[Value], hi: &[Value], mut f: impl FnMut(&[Value], &V) -> bool) {
+        Self::range_in(&self.root, lo, hi, &mut f);
+    }
+
+    /// Prefix-range scan: visit entries whose key *prefix* (truncated to the
+    /// bound's length) lies within `lo..=hi`. With `lo == hi == [v1..vk]`
+    /// this yields every key starting with that k-column prefix — the
+    /// composite-index point-lookup the planner emits.
+    pub fn range_prefix(&self, lo: &[Value], hi: &[Value], mut f: impl FnMut(&[Value], &V) -> bool) {
+        Self::range_prefix_in(&self.root, lo, hi, &mut f);
+    }
+
+    fn range_prefix_in(
+        node: &Node<V>,
+        lo: &[Value],
+        hi: &[Value],
+        f: &mut impl FnMut(&[Value], &V) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf { keys, values } => {
+                let start = keys
+                    .partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
+                for i in start..keys.len() {
+                    if cmp_prefix(&keys[i], hi) == std::cmp::Ordering::Greater {
+                        return false;
+                    }
+                    for v in &values[i] {
+                        if !f(&keys[i], v) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Node::Internal { keys, children } => {
+                // Keys with a prefix equal to `lo` can sit on either side of
+                // a separator whose prefix equals `lo`, so descend from the
+                // first separator that is not prefix-less than lo.
+                let start =
+                    keys.partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
+                for idx in start..children.len() {
+                    if idx > 0 && cmp_prefix(&keys[idx - 1], hi) == std::cmp::Ordering::Greater {
+                        return true;
+                    }
+                    if !Self::range_prefix_in(&children[idx], lo, hi, f) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn range_in(
+        node: &Node<V>,
+        lo: &[Value],
+        hi: &[Value],
+        f: &mut impl FnMut(&[Value], &V) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf { keys, values } => {
+                let start = keys.partition_point(|k| cmp_keys(k, lo) == std::cmp::Ordering::Less);
+                for i in start..keys.len() {
+                    if cmp_keys(&keys[i], hi) == std::cmp::Ordering::Greater {
+                        return false;
+                    }
+                    for v in &values[i] {
+                        if !f(&keys[i], v) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Node::Internal { keys, children } => {
+                // Separators <= lo route right, so child `start` is the one
+                // whose key range contains `lo`.
+                let start =
+                    keys.partition_point(|k| cmp_keys(k, lo) != std::cmp::Ordering::Greater);
+                for idx in start..children.len() {
+                    // Prune children entirely above hi.
+                    if idx > 0 && cmp_keys(&keys[idx - 1], hi) == std::cmp::Ordering::Greater {
+                        return true;
+                    }
+                    if !Self::range_in(&children[idx], lo, hi, f) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Build a tree from entries already sorted by key (duplicate keys must
+    /// be adjacent). Used by the parallel bulk builder.
+    pub fn bulk_load(sorted: Vec<(Key, V)>) -> BPlusTree<V> {
+        let mut tree = BPlusTree::new();
+        if sorted.is_empty() {
+            return tree;
+        }
+        let total = sorted.len();
+        // Group duplicates.
+        let mut grouped_keys: Vec<Key> = Vec::new();
+        let mut grouped_values: Vec<Vec<V>> = Vec::new();
+        for (k, v) in sorted {
+            if grouped_keys
+                .last()
+                .is_some_and(|last| cmp_keys(last, &k) == std::cmp::Ordering::Equal)
+            {
+                grouped_values.last_mut().expect("non-empty").push(v);
+            } else {
+                grouped_keys.push(k);
+                grouped_values.push(vec![v]);
+            }
+        }
+        // Build leaves at ~3/4 fill.
+        let per_leaf = ORDER * 3 / 4;
+        let mut level: Vec<(Key, Node<V>)> = Vec::new();
+        let mut i = 0;
+        while i < grouped_keys.len() {
+            let end = (i + per_leaf).min(grouped_keys.len());
+            let keys: Vec<Key> = grouped_keys[i..end].to_vec();
+            let values: Vec<Vec<V>> = grouped_values[i..end].to_vec();
+            level.push((keys[0].clone(), Node::Leaf { keys, values }));
+            i = end;
+        }
+        // Build internal levels bottom-up.
+        while level.len() > 1 {
+            let mut next: Vec<(Key, Node<V>)> = Vec::new();
+            let mut j = 0;
+            let per_node = ORDER * 3 / 4 + 1;
+            while j < level.len() {
+                let end = (j + per_node).min(level.len());
+                let group = level.drain(..end - j).collect::<Vec<_>>();
+                let first_key = group[0].0.clone();
+                let mut keys = Vec::with_capacity(group.len() - 1);
+                let mut children = Vec::with_capacity(group.len());
+                for (gi, (k, node)) in group.into_iter().enumerate() {
+                    if gi > 0 {
+                        keys.push(k);
+                    }
+                    children.push(node);
+                }
+                next.push((first_key, Node::Internal { keys, children }));
+                j = 0; // we drained, restart at front
+            }
+            level = next;
+        }
+        tree.root = level.pop().expect("non-empty level").1;
+        tree.len = total;
+        tree
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        fn walk<V>(node: &Node<V>) -> usize {
+            match node {
+                Node::Leaf { keys, values } => {
+                    keys.iter().map(|k| tuple_size_bytes(k)).sum::<usize>()
+                        + values.iter().map(|v| 24 + v.len() * 16).sum::<usize>()
+                }
+                Node::Internal { keys, children } => {
+                    keys.iter().map(|k| tuple_size_bytes(k)).sum::<usize>()
+                        + children.iter().map(walk).sum::<usize>()
+                        + children.len() * 8
+                }
+            }
+        }
+        walk(&self.root) + 32
+    }
+
+    /// Depth of the tree (1 = just a root leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ik(v: i64) -> Vec<Value> {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        for i in 0..10 {
+            t.insert(ik(i), i * 10);
+        }
+        assert_eq!(t.get(&ik(5)), vec![50]);
+        assert_eq!(t.get(&ik(99)), Vec::<i64>::new());
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn survives_splits_with_many_keys() {
+        let mut t = BPlusTree::new();
+        let n = 10_000i64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            t.insert(ik(k), k);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.depth() > 1);
+        for probe in [0, 1, 1234, 9998, 9999] {
+            assert_eq!(t.get(&ik(probe)), vec![probe], "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = BPlusTree::new();
+        t.insert(ik(1), "a");
+        t.insert(ik(1), "b");
+        assert_eq!(t.get(&ik(1)).len(), 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut t = BPlusTree::new();
+        for i in (0..1000).rev() {
+            t.insert(ik(i), i);
+        }
+        let mut seen = Vec::new();
+        t.range(&ik(100), &ik(199), |_, &v| {
+            seen.push(v);
+            true
+        });
+        assert_eq!(seen, (100..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_early_stop() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000 {
+            t.insert(ik(i), i);
+        }
+        let mut count = 0;
+        t.range(&ik(0), &ik(999), |_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let mut t = BPlusTree::new();
+        for a in 0..20 {
+            for b in 0..20 {
+                t.insert(vec![Value::Int(a), Value::Int(b)], a * 100 + b);
+            }
+        }
+        let mut seen = Vec::new();
+        t.range(
+            &[Value::Int(3), Value::Int(5)],
+            &[Value::Int(3), Value::Int(8)],
+            |_, &v| {
+                seen.push(v);
+                true
+            },
+        );
+        assert_eq!(seen, vec![305, 306, 307, 308]);
+    }
+
+    #[test]
+    fn remove_with_predicate() {
+        let mut t = BPlusTree::new();
+        t.insert(ik(1), 10);
+        t.insert(ik(1), 20);
+        assert_eq!(t.remove(&ik(1), |&v| v == 10), 1);
+        assert_eq!(t.get(&ik(1)), vec![20]);
+        assert_eq!(t.remove(&ik(1), |_| true), 1);
+        assert!(t.get(&ik(1)).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let n = 5000i64;
+        let sorted: Vec<(Vec<Value>, i64)> = (0..n).map(|i| (ik(i), i)).collect();
+        let t = BPlusTree::bulk_load(sorted);
+        assert_eq!(t.len(), n as usize);
+        for probe in [0, 77, 2500, 4999] {
+            assert_eq!(t.get(&ik(probe)), vec![probe]);
+        }
+        let mut seen = Vec::new();
+        t.range(&ik(4990), &ik(4999), |_, &v| {
+            seen.push(v);
+            true
+        });
+        assert_eq!(seen, (4990..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_groups_duplicates() {
+        let sorted = vec![(ik(1), 10), (ik(1), 11), (ik(2), 20)];
+        let t = BPlusTree::bulk_load(sorted);
+        assert_eq!(t.get(&ik(1)), vec![10, 11]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t = BPlusTree::<i64>::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.get(&ik(1)).is_empty());
+    }
+
+    #[test]
+    fn mixed_type_keys() {
+        let mut t = BPlusTree::new();
+        t.insert(vec![Value::from("alice")], 1);
+        t.insert(vec![Value::from("bob")], 2);
+        assert_eq!(t.get(&[Value::from("alice")]), vec![1]);
+        let mut seen = Vec::new();
+        t.range(&[Value::from("a")], &[Value::from("z")], |_, &v| {
+            seen.push(v);
+            true
+        });
+        assert_eq!(seen, vec![1, 2]);
+    }
+    #[test]
+    fn prefix_range_finds_all_suffixes() {
+        let mut t = BPlusTree::new();
+        for a in 0..50 {
+            for b in 0..10 {
+                t.insert(vec![Value::Int(a), Value::Int(b)], a * 100 + b);
+            }
+        }
+        let mut seen = Vec::new();
+        let bound = vec![Value::Int(7)];
+        t.range_prefix(&bound, &bound, |_, &v| {
+            seen.push(v);
+            true
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, (700..710).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_range_between_prefixes() {
+        let mut t = BPlusTree::new();
+        for a in 0..20 {
+            for b in 0..3 {
+                t.insert(vec![Value::Int(a), Value::Int(b)], a * 10 + b);
+            }
+        }
+        let mut count = 0;
+        t.range_prefix(&[Value::Int(5)], &[Value::Int(7)], |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 9);
+    }
+}

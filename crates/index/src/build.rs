@@ -1,0 +1,178 @@
+//! Parallel index build — the paper's flagship contending OU (Fig. 1, §2.1).
+//!
+//! Builds follow the sort-merge strategy: the input is split into one
+//! partition per thread, each thread sorts its partition, and a final k-way
+//! merge bulk-loads the tree. More threads shorten the sort phase but add
+//! merge fan-in and scheduling overhead, giving the sub-linear scaling curve
+//! the Index Build OU-model learns from its thread-count feature.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use mb2_common::Value;
+
+use crate::btree::BPlusTree;
+
+/// Outcome of a parallel build.
+pub struct BuildReport<V> {
+    pub tree: BPlusTree<V>,
+    pub tuples: usize,
+    pub threads: usize,
+    pub sort_time: std::time::Duration,
+    pub merge_time: std::time::Duration,
+}
+
+fn cmp_entry<V>(a: &(Vec<Value>, V), b: &(Vec<Value>, V)) -> CmpOrdering {
+    for (x, y) in a.0.iter().zip(&b.0) {
+        let ord = x.cmp_total(y);
+        if ord != CmpOrdering::Equal {
+            return ord;
+        }
+    }
+    a.0.len().cmp(&b.0.len())
+}
+
+struct HeapItem<V> {
+    entry: (Vec<Value>, V),
+    source: usize,
+}
+
+impl<V> PartialEq for HeapItem<V> {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_entry(&self.entry, &other.entry) == CmpOrdering::Equal
+    }
+}
+impl<V> Eq for HeapItem<V> {}
+impl<V> PartialOrd for HeapItem<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for HeapItem<V> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reverse for a min-heap.
+        cmp_entry(&other.entry, &self.entry)
+    }
+}
+
+/// Build a B+Tree from unsorted `(key, value)` entries using `threads`
+/// parallel sorters. Pass `pace` to inject per-entry spin work (used by the
+/// hardware-context emulation); `&|| {}` disables pacing.
+pub fn parallel_build<V: Clone + Send>(
+    entries: Vec<(Vec<Value>, V)>,
+    threads: usize,
+    pace: &(dyn Fn() + Sync),
+) -> BuildReport<V> {
+    let threads = threads.max(1);
+    let tuples = entries.len();
+    let sort_started = Instant::now();
+
+    // Partition into contiguous chunks and sort each in its own thread.
+    let chunk = tuples.div_ceil(threads).max(1);
+    let mut partitions: Vec<Vec<(Vec<Value>, V)>> = Vec::with_capacity(threads);
+    let mut iter = entries.into_iter();
+    loop {
+        let part: Vec<_> = iter.by_ref().take(chunk).collect();
+        if part.is_empty() {
+            break;
+        }
+        partitions.push(part);
+    }
+    let sorted: Vec<Vec<(Vec<Value>, V)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|mut part| {
+                scope.spawn(move || {
+                    for _ in 0..part.len() {
+                        pace();
+                    }
+                    part.sort_by(cmp_entry);
+                    part
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sorter panicked")).collect()
+    });
+    let sort_time = sort_started.elapsed();
+
+    // K-way merge into one sorted vector, then bulk-load.
+    let merge_started = Instant::now();
+    let mut heads: Vec<std::vec::IntoIter<(Vec<Value>, V)>> =
+        sorted.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(heads.len());
+    for (i, head) in heads.iter_mut().enumerate() {
+        if let Some(entry) = head.next() {
+            heap.push(HeapItem { entry, source: i });
+        }
+    }
+    let mut merged: Vec<(Vec<Value>, V)> = Vec::with_capacity(tuples);
+    while let Some(HeapItem { entry, source }) = heap.pop() {
+        merged.push(entry);
+        if let Some(next) = heads[source].next() {
+            heap.push(HeapItem { entry: next, source });
+        }
+    }
+    let tree = BPlusTree::bulk_load(merged);
+    let merge_time = merge_started.elapsed();
+
+    BuildReport { tree, tuples, threads, sort_time, merge_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Prng;
+
+    fn entries(n: usize, seed: u64) -> Vec<(Vec<Value>, usize)> {
+        let mut rng = Prng::new(seed);
+        (0..n)
+            .map(|i| (vec![Value::Int(rng.range_i64(0, n as i64 * 4))], i))
+            .collect()
+    }
+
+    #[test]
+    fn build_produces_sorted_complete_tree() {
+        let input = entries(20_000, 1);
+        let report = parallel_build(input.clone(), 4, &|| {});
+        assert_eq!(report.tree.len(), 20_000);
+        // Every key present.
+        for (k, v) in input.iter().take(50) {
+            assert!(report.tree.get(k).contains(v));
+        }
+        // Range scan yields non-decreasing keys.
+        let mut last: Option<i64> = None;
+        report.tree.range(&[Value::Int(i64::MIN)], &[Value::Int(i64::MAX)], |k, _| {
+            let cur = k[0].as_i64().unwrap();
+            if let Some(prev) = last {
+                assert!(cur >= prev);
+            }
+            last = Some(cur);
+            true
+        });
+    }
+
+    #[test]
+    fn single_thread_build_equivalent() {
+        let input = entries(5000, 2);
+        let a = parallel_build(input.clone(), 1, &|| {});
+        let b = parallel_build(input, 8, &|| {});
+        assert_eq!(a.tree.len(), b.tree.len());
+        for probe in entries(5000, 2).iter().take(20) {
+            assert_eq!(a.tree.get(&probe.0).len(), b.tree.get(&probe.0).len());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = parallel_build(Vec::<(Vec<Value>, u32)>::new(), 4, &|| {});
+        assert_eq!(report.tree.len(), 0);
+    }
+
+    #[test]
+    fn thread_count_clamped_to_one() {
+        let report = parallel_build(entries(100, 3), 0, &|| {});
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.tree.len(), 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ordered secondary indexes: an in-memory B+Tree plus the parallel
+//! sort-merge bulk builder behind the **Index Build** contending OU.
+//!
+//! Keys are composite [`Value`] vectors ordered by `Value::cmp_total`.
+//! Values are generic (the catalog instantiates trees over tuple slot ids).
+//! The tree itself is single-writer / multi-reader behind a `RwLock` in
+//! [`Index`]; parallel builds scale via per-thread partition sorting followed
+//! by a k-way merge and a bulk load, with latch acquisitions on a shared
+//! progress structure providing the contention the OU's thread-count feature
+//! models.
+
+pub mod btree;
+pub mod build;
+
+pub use btree::BPlusTree;
+pub use build::{parallel_build, BuildReport};
+
+use parking_lot::RwLock;
+
+use mb2_common::Value;
+
+/// A thread-safe ordered index from composite keys to values.
+pub struct Index<V: Clone> {
+    pub name: String,
+    /// Column positions (in the base table) forming the key.
+    pub key_columns: Vec<usize>,
+    tree: RwLock<BPlusTree<V>>,
+}
+
+impl<V: Clone> Index<V> {
+    pub fn new(name: impl Into<String>, key_columns: Vec<usize>) -> Index<V> {
+        Index { name: name.into(), key_columns, tree: RwLock::new(BPlusTree::new()) }
+    }
+
+    /// Extract this index's key from a full base-table tuple.
+    pub fn key_of(&self, tuple: &[Value]) -> Vec<Value> {
+        self.key_columns.iter().map(|&i| tuple[i].clone()).collect()
+    }
+
+    pub fn insert(&self, key: Vec<Value>, value: V) {
+        self.tree.write().insert(key, value);
+    }
+
+    pub fn remove(&self, key: &[Value], pred: impl Fn(&V) -> bool) -> usize {
+        self.tree.write().remove(key, pred)
+    }
+
+    /// All values for an exact key.
+    pub fn get(&self, key: &[Value]) -> Vec<V> {
+        self.tree.read().get(key)
+    }
+
+    /// Visit every (key, value) with `lo <= key <= hi`; return `false` from
+    /// the callback to stop.
+    pub fn range(&self, lo: &[Value], hi: &[Value], f: impl FnMut(&[Value], &V) -> bool) {
+        self.tree.read().range(lo, hi, f)
+    }
+
+    /// Prefix-range scan (see [`BPlusTree::range_prefix`]): bounds shorter
+    /// than the key compare on their own length only.
+    pub fn range_prefix(&self, lo: &[Value], hi: &[Value], f: impl FnMut(&[Value], &V) -> bool) {
+        self.tree.read().range_prefix(lo, hi, f)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tree.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replace the tree wholesale (bulk build).
+    pub fn replace_tree(&self, tree: BPlusTree<V>) {
+        *self.tree.write() = tree;
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.tree.read().approx_bytes()
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the B+Tree must behave like a sorted multimap.
+
+use std::collections::BTreeMap;
+
+use mb2_common::Value;
+use mb2_index::BPlusTree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u32),
+    Remove(i64),
+    Get(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-50i64..50, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (-50i64..50).prop_map(Op::Remove),
+        (-50i64..50).prop_map(Op::Get),
+    ]
+}
+
+fn key(k: i64) -> Vec<Value> {
+    vec![Value::Int(k)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any op sequence keeps the tree consistent with a model multimap.
+    #[test]
+    fn behaves_like_model_multimap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(key(k), v);
+                    model.entry(k).or_default().push(v);
+                }
+                Op::Remove(k) => {
+                    let removed = tree.remove(&key(k), |_| true);
+                    let expected = model.remove(&k).map_or(0, |v| v.len());
+                    prop_assert_eq!(removed, expected);
+                }
+                Op::Get(k) => {
+                    let mut got = tree.get(&key(k));
+                    got.sort_unstable();
+                    let mut expected = model.get(&k).cloned().unwrap_or_default();
+                    expected.sort_unstable();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            let model_len: usize = model.values().map(Vec::len).sum();
+            prop_assert_eq!(tree.len(), model_len);
+        }
+        // Full range scan returns the model's flattened, key-ordered content.
+        let mut scanned: Vec<(i64, u32)> = Vec::new();
+        tree.range(&key(i64::MIN), &key(i64::MAX), |k, &v| {
+            scanned.push((k[0].as_i64().unwrap(), v));
+            true
+        });
+        let keys_in_order: Vec<i64> = scanned.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys_in_order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&keys_in_order, &sorted);
+        let expected_len: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(scanned.len(), expected_len);
+    }
+
+    /// Range queries agree with model filtering.
+    #[test]
+    fn range_matches_model(
+        entries in proptest::collection::vec((-100i64..100, any::<u16>()), 1..200),
+        lo in -100i64..100,
+        delta in 0i64..80,
+    ) {
+        let hi = lo + delta;
+        let mut tree = BPlusTree::new();
+        for &(k, v) in &entries {
+            tree.insert(key(k), v);
+        }
+        let mut got = 0usize;
+        tree.range(&key(lo), &key(hi), |_, _| {
+            got += 1;
+            true
+        });
+        let expected = entries.iter().filter(|(k, _)| (lo..=hi).contains(k)).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Bulk load and incremental insertion are observationally equivalent.
+    #[test]
+    fn bulk_load_equals_incremental(mut entries in proptest::collection::vec((-50i64..50, any::<u16>()), 1..200)) {
+        let mut incremental = BPlusTree::new();
+        for &(k, v) in &entries {
+            incremental.insert(key(k), v);
+        }
+        entries.sort_by_key(|(k, _)| *k);
+        let bulk = BPlusTree::bulk_load(entries.iter().map(|&(k, v)| (key(k), v)).collect());
+        prop_assert_eq!(incremental.len(), bulk.len());
+        for k in -50i64..50 {
+            let mut a = incremental.get(&key(k));
+            let mut b = bulk.get(&key(k));
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "key {}", k);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Dataset utilities: splits, folds, and feature standardization.
+
+use mb2_common::Prng;
+
+/// A supervised dataset: row-major features plus multi-output targets.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    pub x: Vec<Vec<f64>>,
+    pub y: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>) -> Dataset {
+        assert_eq!(x.len(), y.len(), "feature/target row count mismatch");
+        Dataset { x, y }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    pub fn n_outputs(&self) -> usize {
+        self.y.first().map_or(0, Vec::len)
+    }
+
+    pub fn push(&mut self, x: Vec<f64>, y: Vec<f64>) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Merge another dataset into this one.
+    pub fn extend(&mut self, other: Dataset) {
+        self.x.extend(other.x);
+        self.y.extend(other.y);
+    }
+
+    /// Select rows by index.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i].clone()).collect(),
+        }
+    }
+
+    /// Deterministically shuffle rows in place.
+    pub fn shuffle(&mut self, rng: &mut Prng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.range_usize(0, i + 1);
+            self.x.swap(i, j);
+            self.y.swap(i, j);
+        }
+    }
+}
+
+/// Split a dataset into train/test with the given train fraction, after a
+/// deterministic shuffle. MB2 uses 80/20 (paper §6.4).
+pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!((0.0..=1.0).contains(&train_fraction));
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = Prng::new(seed);
+    rng.shuffle(&mut indices);
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    let (train_idx, test_idx) = indices.split_at(cut.min(data.len()));
+    (data.select(train_idx), data.select(test_idx))
+}
+
+/// Produce `k` (train, validation) folds for cross-validation.
+pub fn k_folds(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = Prng::new(seed);
+    rng.shuffle(&mut indices);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let val: Vec<usize> =
+            indices.iter().copied().skip(fold).step_by(k).collect();
+        let train: Vec<usize> = indices
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != fold)
+            .map(|(_, i)| i)
+            .collect();
+        folds.push((data.select(&train), data.select(&val)));
+    }
+    folds
+}
+
+/// Per-feature standardization to zero mean / unit variance. Constant
+/// features get scale 1 so they pass through unchanged (minus their mean).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    pub means: Vec<f64>,
+    pub scales: Vec<f64>,
+}
+
+impl StandardScaler {
+    pub fn fit(x: &[Vec<f64>]) -> StandardScaler {
+        let n = x.len().max(1) as f64;
+        let d = x.first().map_or(0, Vec::len);
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                let dlt = v - m;
+                *s += dlt * dlt;
+            }
+        }
+        let scales = vars
+            .iter()
+            .map(|&v| {
+                let sd = (v / n).sqrt();
+                if sd < 1e-12 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        StandardScaler { means, scales }
+    }
+
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.scales)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn split_preserves_rows() {
+        let d = toy(100);
+        let (train, test) = train_test_split(&d, 0.8, 42);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        // Every y value appears exactly once across the two splits.
+        let mut seen: Vec<f64> =
+            train.y.iter().chain(test.y.iter()).map(|r| r[0]).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(50);
+        let (a, _) = train_test_split(&d, 0.8, 7);
+        let (b, _) = train_test_split(&d, 0.8, 7);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn folds_partition_data() {
+        let d = toy(30);
+        let folds = k_folds(&d, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total_val, 30);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 30);
+        }
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        // First feature: mean 3, sd sqrt(8/3).
+        assert!((t[0][0] + t[2][0]).abs() < 1e-12);
+        assert!(t[1][0].abs() < 1e-12);
+        // Constant feature maps to zero with scale 1 (no division blowup).
+        assert!(t.iter().all(|r| r[1].abs() < 1e-12));
+    }
+
+    #[test]
+    fn select_and_extend() {
+        let mut d = toy(5);
+        let s = d.select(&[4, 0]);
+        assert_eq!(s.y[0][0], 4.0);
+        assert_eq!(s.y[1][0], 0.0);
+        d.extend(s);
+        assert_eq!(d.len(), 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Model evaluation metrics (multi-output aware).
+
+/// Mean squared error over all samples and outputs.
+pub fn mean_squared_error(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> f64 {
+    agg(actual, predicted, |a, p| (a - p) * (a - p))
+}
+
+/// Mean absolute error over all samples and outputs.
+pub fn mean_absolute_error(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> f64 {
+    agg(actual, predicted, |a, p| (a - p).abs())
+}
+
+/// Mean relative error `|a - p| / |a|` over all samples/outputs, skipping
+/// pairs whose actual value is exactly zero (the paper's §8 metric does the
+/// same — a zero-valued label has no meaningful relative error).
+pub fn mean_relative_error(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (a_row, p_row) in actual.iter().zip(predicted) {
+        for (&a, &p) in a_row.iter().zip(p_row) {
+            if a != 0.0 {
+                total += (a - p).abs() / a.abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Coefficient of determination, averaged across outputs.
+pub fn r2_score(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let d = actual[0].len();
+    let n = actual.len() as f64;
+    let mut score = 0.0;
+    for j in 0..d {
+        let mean = actual.iter().map(|r| r[j]).sum::<f64>() / n;
+        let ss_tot: f64 = actual.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum();
+        let ss_res: f64 = actual
+            .iter()
+            .zip(predicted)
+            .map(|(a, p)| (a[j] - p[j]) * (a[j] - p[j]))
+            .sum();
+        score += if ss_tot < 1e-12 {
+            if ss_res < 1e-12 { 1.0 } else { 0.0 }
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+    }
+    score / d as f64
+}
+
+fn agg(actual: &[Vec<f64>], predicted: &[Vec<f64>], f: impl Fn(f64, f64) -> f64) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (a_row, p_row) in actual.iter().zip(predicted) {
+        debug_assert_eq!(a_row.len(), p_row.len());
+        for (&a, &p) in a_row.iter().zip(p_row) {
+            total += f(a, p);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_mae() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let p = vec![vec![1.0, 0.0], vec![3.0, 6.0]];
+        assert_eq!(mean_squared_error(&a, &p), 2.0);
+        assert_eq!(mean_absolute_error(&a, &p), 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction_r2_is_one() {
+        let a = vec![vec![1.0], vec![2.0], vec![3.0]];
+        assert!((r2_score(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_r2_is_zero() {
+        let a = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let p = vec![vec![2.0], vec![2.0], vec![2.0]];
+        assert!(r2_score(&a, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_scales_with_actual() {
+        let a = vec![vec![100.0]];
+        let p = vec![vec![80.0]];
+        assert!((mean_relative_error(&a, &p) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Random forest regressor: bagged multi-output CART trees with random
+//! feature subspaces. The paper uses 50 estimators (§8) and finds forests
+//! among the best-performing OU-model algorithms.
+
+use mb2_common::{DbError, DbResult, Prng};
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Regressor;
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    pub n_estimators: usize,
+    pub tree: TreeConfig,
+    /// Fraction of `sqrt(n_features)` heuristics is applied when `None`.
+    pub max_features: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_estimators: 50, tree: TreeConfig::default(), max_features: None, seed: 3 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    pub config: ForestConfig,
+    pub(crate) trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    pub fn new(config: ForestConfig) -> RandomForest {
+        RandomForest { config, trees: Vec::new() }
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest::new(ForestConfig::default())
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("random forest: empty training set".into()));
+        }
+        let n = x.len();
+        let n_features = x[0].len();
+        // Regression default: consider ~n_features/3 features per split,
+        // at least 1 (scikit-learn convention).
+        let max_features = self
+            .config
+            .max_features
+            .unwrap_or_else(|| (n_features / 3).max(1));
+        let mut rng = Prng::new(self.config.seed);
+        self.trees.clear();
+        for t in 0..self.config.n_estimators {
+            // Bootstrap sample.
+            let indices: Vec<usize> = (0..n).map(|_| rng.range_usize(0, n)).collect();
+            let tree_cfg = TreeConfig {
+                max_features: Some(max_features),
+                seed: self.config.seed.wrapping_add(t as u64 * 7919),
+                ..self.config.tree.clone()
+            };
+            let mut tree = DecisionTree::new(tree_cfg);
+            tree.fit_indices(x, y, &indices)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc: Vec<f64> = Vec::new();
+        for tree in &self.trees {
+            let p = tree.predict_one(x);
+            if acc.is_empty() {
+                acc = p;
+            } else {
+                for (a, v) in acc.iter_mut().zip(&p) {
+                    *a += v;
+                }
+            }
+        }
+        let n = self.trees.len().max(1) as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "random_forest"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.trees.iter().map(Regressor::size_bytes).sum()
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mean_relative_error;
+    use mb2_common::Prng;
+
+    fn noisy_data(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = Prng::new(42);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64() * 10.0;
+            let b = rng.next_f64() * 10.0;
+            let target = a * b + 5.0 * a + rng.gaussian() * 0.5;
+            x.push(vec![a, b]);
+            y.push(vec![target.max(0.1)]);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_interaction_term() {
+        let (x, y) = noisy_data(1500);
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 20,
+            ..ForestConfig::default()
+        });
+        forest.fit(&x, &y).unwrap();
+        let preds = forest.predict(&x[..200]);
+        let err = mean_relative_error(&y[..200], &preds);
+        assert!(err < 0.2, "relative error {err}");
+    }
+
+    #[test]
+    fn trains_requested_estimators() {
+        let (x, y) = noisy_data(100);
+        let mut forest =
+            RandomForest::new(ForestConfig { n_estimators: 7, ..ForestConfig::default() });
+        forest.fit(&x, &y).unwrap();
+        assert_eq!(forest.n_trees(), 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_data(200);
+        let mut a =
+            RandomForest::new(ForestConfig { n_estimators: 5, ..ForestConfig::default() });
+        let mut b =
+            RandomForest::new(ForestConfig { n_estimators: 5, ..ForestConfig::default() });
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_one(&x[0]), b.predict_one(&x[0]));
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut forest = RandomForest::default();
+        assert!(forest.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Gradient boosting machine: stagewise additive trees on squared-error
+//! residuals, fit independently per output dimension.
+
+use mb2_common::{DbError, DbResult};
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Regressor;
+
+/// GBM hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GbmConfig {
+    pub n_estimators: usize,
+    pub learning_rate: f64,
+    pub tree: TreeConfig,
+    pub seed: u64,
+}
+
+impl Default for GbmConfig {
+    fn default() -> Self {
+        GbmConfig {
+            n_estimators: 60,
+            learning_rate: 0.15,
+            tree: TreeConfig {
+                max_depth: 5,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+                seed: 5,
+            },
+            seed: 5,
+        }
+    }
+}
+
+/// A fitted gradient boosting machine (one boosted ensemble per output).
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    pub config: GbmConfig,
+    /// `base[j]` is the initial constant prediction for output `j`.
+    pub(crate) base: Vec<f64>,
+    /// `stages[j]` is the tree sequence for output `j`.
+    pub(crate) stages: Vec<Vec<DecisionTree>>,
+}
+
+impl GradientBoosting {
+    pub fn new(config: GbmConfig) -> GradientBoosting {
+        GradientBoosting { config, base: Vec::new(), stages: Vec::new() }
+    }
+}
+
+impl Default for GradientBoosting {
+    fn default() -> Self {
+        GradientBoosting::new(GbmConfig::default())
+    }
+}
+
+impl Regressor for GradientBoosting {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("gbm: empty training set".into()));
+        }
+        let n = x.len();
+        let n_outputs = y[0].len();
+        self.base = (0..n_outputs)
+            .map(|j| y.iter().map(|r| r[j]).sum::<f64>() / n as f64)
+            .collect();
+        self.stages = Vec::with_capacity(n_outputs);
+        for j in 0..n_outputs {
+            let mut preds = vec![self.base[j]; n];
+            let mut trees = Vec::with_capacity(self.config.n_estimators);
+            for stage in 0..self.config.n_estimators {
+                let residuals: Vec<Vec<f64>> =
+                    y.iter().zip(&preds).map(|(r, &p)| vec![r[j] - p]).collect();
+                // Early stop when residuals vanish (perfectly fit output).
+                let res_mag: f64 =
+                    residuals.iter().map(|r| r[0].abs()).sum::<f64>() / n as f64;
+                if res_mag < 1e-12 {
+                    break;
+                }
+                let cfg = TreeConfig {
+                    seed: self
+                        .config
+                        .seed
+                        .wrapping_add((j * 1000 + stage) as u64 * 104729),
+                    ..self.config.tree.clone()
+                };
+                let mut tree = DecisionTree::new(cfg);
+                tree.fit(x, &residuals)?;
+                for (p, row) in preds.iter_mut().zip(x) {
+                    *p += self.config.learning_rate * tree.predict_one(row)[0];
+                }
+                trees.push(tree);
+            }
+            self.stages.push(trees);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        self.base
+            .iter()
+            .zip(&self.stages)
+            .map(|(&b, trees)| {
+                b + trees
+                    .iter()
+                    .map(|t| self.config.learning_rate * t.predict_one(x)[0])
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient_boosting"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|ts| ts.iter().map(Regressor::size_bytes))
+            .sum::<usize>()
+            + self.base.len() * 8
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mean_relative_error;
+    use mb2_common::Prng;
+
+    #[test]
+    fn boosts_past_single_tree_on_smooth_target() {
+        let mut rng = Prng::new(8);
+        let x: Vec<Vec<f64>> = (0..800).map(|_| vec![rng.next_f64() * 6.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![(r[0]).exp()]).collect();
+        let mut gbm = GradientBoosting::default();
+        gbm.fit(&x, &y).unwrap();
+        let preds = gbm.predict(&x[..200]);
+        let err = mean_relative_error(&y[..200], &preds);
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn multi_output_fits_independently() {
+        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0], 1000.0 - r[0]]).collect();
+        let mut gbm = GradientBoosting::default();
+        gbm.fit(&x, &y).unwrap();
+        let p = gbm.predict_one(&[150.0]);
+        assert!((p[0] - 150.0).abs() < 10.0, "{p:?}");
+        assert!((p[1] - 850.0).abs() < 10.0, "{p:?}");
+    }
+
+    #[test]
+    fn constant_target_stops_early() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![vec![3.0]; 50];
+        let mut gbm = GradientBoosting::default();
+        gbm.fit(&x, &y).unwrap();
+        assert_eq!(gbm.stages[0].len(), 0, "no stages needed for constant target");
+        assert_eq!(gbm.predict_one(&[7.0])[0], 3.0);
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut gbm = GradientBoosting::default();
+        assert!(gbm.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Nadaraya–Watson kernel regression with an RBF kernel.
+//!
+//! Non-parametric: predictions are kernel-weighted averages of stored
+//! training targets. To bound inference cost, training data beyond
+//! `max_reference_points` is subsampled deterministically.
+
+use mb2_common::{DbError, DbResult, Prng};
+
+use crate::data::StandardScaler;
+use crate::Regressor;
+
+/// RBF kernel regression.
+#[derive(Debug, Clone)]
+pub struct KernelRegression {
+    /// Kernel bandwidth in standardized-feature units.
+    pub bandwidth: f64,
+    /// Cap on the number of stored reference points.
+    pub max_reference_points: usize,
+    pub seed: u64,
+    pub(crate) scaler: StandardScaler,
+    pub(crate) ref_x: Vec<Vec<f64>>,
+    pub(crate) ref_y: Vec<Vec<f64>>,
+}
+
+impl KernelRegression {
+    pub fn new(bandwidth: f64, max_reference_points: usize) -> KernelRegression {
+        KernelRegression {
+            bandwidth,
+            max_reference_points,
+            seed: 11,
+            scaler: StandardScaler::default(),
+            ref_x: Vec::new(),
+            ref_y: Vec::new(),
+        }
+    }
+}
+
+impl Default for KernelRegression {
+    fn default() -> Self {
+        KernelRegression::new(0.35, 2000)
+    }
+}
+
+impl Regressor for KernelRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("kernel regression: empty training set".into()));
+        }
+        self.scaler = StandardScaler::fit(x);
+        let mut indices: Vec<usize> = (0..x.len()).collect();
+        if x.len() > self.max_reference_points {
+            let mut rng = Prng::new(self.seed);
+            rng.shuffle(&mut indices);
+            indices.truncate(self.max_reference_points);
+        }
+        self.ref_x = indices.iter().map(|&i| self.scaler.transform_row(&x[i])).collect();
+        self.ref_y = indices.iter().map(|&i| y[i].clone()).collect();
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let q = self.scaler.transform_row(x);
+        let n_outputs = self.ref_y.first().map_or(0, Vec::len);
+        let inv_two_h2 = 1.0 / (2.0 * self.bandwidth * self.bandwidth);
+        let mut num = vec![0.0; n_outputs];
+        let mut den = 0.0;
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, r) in self.ref_x.iter().enumerate() {
+            let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d2 < best.0 {
+                best = (d2, i);
+            }
+            let w = (-d2 * inv_two_h2).exp();
+            den += w;
+            for (acc, &yv) in num.iter_mut().zip(&self.ref_y[i]) {
+                *acc += w * yv;
+            }
+        }
+        if den < 1e-300 {
+            // Query far outside the training support: fall back to the
+            // nearest reference point instead of returning 0/0.
+            return self.ref_y[best.1].clone();
+        }
+        num.iter().map(|v| v / den).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "kernel_regression"
+    }
+
+    fn size_bytes(&self) -> usize {
+        let per_row = self.ref_x.first().map_or(0, Vec::len) * 8
+            + self.ref_y.first().map_or(0, Vec::len) * 8;
+        self.ref_x.len() * per_row + self.scaler.means.len() * 16
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![(r[0]).sin()]).collect();
+        let mut m = KernelRegression::new(0.08, 2000);
+        m.fit(&x, &y).unwrap();
+        for q in [1.05_f64, 3.33, 7.77] {
+            let p = m.predict_one(&[q])[0];
+            assert!((p - q.sin()).abs() < 0.1, "q={q} pred={p} truth={}", q.sin());
+        }
+    }
+
+    #[test]
+    fn far_query_falls_back_to_nearest() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![vec![10.0], vec![20.0]];
+        let mut m = KernelRegression::new(0.01, 100);
+        m.fit(&x, &y).unwrap();
+        // Query at 1e6 standard deviations: all kernel weights underflow.
+        let p = m.predict_one(&[1e9]);
+        assert!(p[0].is_finite());
+        assert_eq!(p[0], 20.0);
+    }
+
+    #[test]
+    fn subsampling_caps_references() {
+        let x: Vec<Vec<f64>> = (0..5000).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0]]).collect();
+        let mut m = KernelRegression::new(0.35, 500);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.ref_x.len(), 500);
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut m = KernelRegression::default();
+        assert!(m.fit(&[], &[]).is_err());
+    }
+}

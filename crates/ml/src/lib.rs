@@ -1,0 +1,61 @@
+//! From-scratch ML library for MB2's behavior models.
+//!
+//! Implements the seven regression families the paper trains per OU
+//! (§6.4): linear regression, Huber regression, support-vector regression,
+//! kernel regression, random forest, gradient boosting machine, and a
+//! multi-layer-perceptron neural network — plus dataset utilities
+//! (train/test split, k-fold cross validation, standardization) and the
+//! model-selection procedure MB2 uses (train each candidate on an 80/20
+//! split, pick the best by validation error, refit on all data).
+//!
+//! All models implement [`Regressor`] and natively support multi-output
+//! regression because every OU-model predicts a nine-element metric vector.
+
+pub mod data;
+pub mod eval;
+pub mod forest;
+pub mod gbm;
+pub mod kernel;
+pub mod linalg;
+pub mod linear;
+pub mod nn;
+pub mod persist;
+pub mod selection;
+pub mod svr;
+pub mod tree;
+
+pub use data::{train_test_split, Dataset, StandardScaler};
+pub use eval::{mean_absolute_error, mean_relative_error, mean_squared_error, r2_score};
+pub use persist::{load_model, save_model, SaveableRegressor};
+pub use selection::{Algorithm, ModelSelector, SelectionReport};
+
+use mb2_common::DbResult;
+
+/// A multi-output regression model.
+///
+/// `fit` consumes row-major features `x` (`n_samples × n_features`) and
+/// targets `y` (`n_samples × n_outputs`). Implementations must tolerate
+/// repeated `fit` calls (refitting replaces prior state).
+pub trait Regressor: Send + Sync {
+    /// Train on the given data.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()>;
+
+    /// Predict the output vector for one sample.
+    fn predict_one(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Predict for a batch of samples.
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Short identifier for reports (e.g. `"random_forest"`).
+    fn name(&self) -> &'static str;
+
+    /// Approximate in-memory model size in bytes (for the paper's Table 2
+    /// model-size accounting).
+    fn size_bytes(&self) -> usize;
+
+    /// Serialize to the textual model format (see [`persist`]); the
+    /// counterpart of [`persist::load_model`].
+    fn save_text(&self) -> DbResult<String>;
+}

@@ -1,0 +1,204 @@
+//! Dense linear algebra kernels used by the closed-form regressors.
+
+use mb2_common::{DbError, DbResult};
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            debug_assert_eq!(row.len(), c);
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self^T * self` — the Gram matrix used by normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let vi = row[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * self.cols..(i + 1) * self.cols];
+                for (j, &vj) in row.iter().enumerate() {
+                    out_row[j] += vi * vj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * v` for a column vector `v` of length `rows`.
+    pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (r, &scale) in v.iter().enumerate() {
+            if scale == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += scale * x;
+            }
+        }
+        out
+    }
+
+    /// `self * v` for a vector `v` of length `cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
+    }
+}
+
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solve the symmetric positive-definite system `A x = b` via Cholesky
+/// decomposition. Adds no regularization itself — callers pass a ridged `A`.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> DbResult<Vec<f64>> {
+    let n = a.rows;
+    if a.cols != n || b.len() != n {
+        return Err(DbError::Model("solve_spd: dimension mismatch".into()));
+    }
+    // Cholesky: A = L L^T, lower triangle stored in `l`.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(DbError::Model(format!(
+                        "solve_spd: matrix not positive definite at pivot {i} (value {sum})"
+                    )));
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solve ridge regression `(X^T X + lambda I) w = X^T y` for one target.
+pub fn ridge_solve(x: &Matrix, y: &[f64], lambda: f64) -> DbResult<Vec<f64>> {
+    let mut gram = x.gram();
+    for i in 0..gram.rows {
+        let v = gram.get(i, i) + lambda;
+        gram.set(i, i, v);
+    }
+    let xty = x.t_matvec(y);
+    solve_spd(&gram, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let g = m.gram();
+        assert_eq!(g.get(0, 0), 10.0);
+        assert_eq!(g.get(0, 1), 14.0);
+        assert_eq!(g.get(1, 1), 20.0);
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        // A = [[4,1],[1,3]], x = [1,2], b = A x = [6,7].
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve_spd(&a, &[6.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_recovers_line() {
+        // y = 2a + 3b, plenty of samples, tiny ridge.
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let w = ridge_solve(&x, &y, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matvec_and_t_matvec() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(m.t_matvec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Linear models: ridge linear regression and Huber regression.
+//!
+//! The paper notes Huber regression — a robust variant of linear regression —
+//! suffices for simple OUs such as arithmetic/filter (§6.4), while remaining
+//! cheap to train and explainable.
+
+use mb2_common::{DbError, DbResult};
+
+use crate::data::StandardScaler;
+use crate::linalg::{dot, ridge_solve, Matrix};
+use crate::Regressor;
+
+/// Ordinary least squares with L2 (ridge) regularization, one weight vector
+/// per output. Features are standardized internally.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    pub lambda: f64,
+    pub(crate) scaler: StandardScaler,
+    /// Per-output weights; last element is the intercept.
+    pub(crate) weights: Vec<Vec<f64>>,
+}
+
+impl LinearRegression {
+    pub fn new(lambda: f64) -> LinearRegression {
+        LinearRegression { lambda, scaler: StandardScaler::default(), weights: Vec::new() }
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        LinearRegression::new(1e-6)
+    }
+}
+
+fn with_bias(row: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(row.len() + 1);
+    v.extend_from_slice(row);
+    v.push(1.0);
+    v
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("linear regression: empty training set".into()));
+        }
+        self.scaler = StandardScaler::fit(x);
+        let xs: Vec<Vec<f64>> =
+            self.scaler.transform(x).into_iter().map(|r| with_bias(&r)).collect();
+        let design = Matrix::from_rows(&xs);
+        let n_outputs = y[0].len();
+        self.weights.clear();
+        for j in 0..n_outputs {
+            let target: Vec<f64> = y.iter().map(|r| r[j]).collect();
+            self.weights.push(ridge_solve(&design, &target, self.lambda.max(1e-9))?);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let row = with_bias(&self.scaler.transform_row(x));
+        self.weights.iter().map(|w| dot(w, &row)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.weights.iter().map(|w| w.len() * 8).sum::<usize>()
+            + self.scaler.means.len() * 16
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+/// Huber regression via iteratively re-weighted least squares (IRLS).
+///
+/// Residuals within `delta` standard deviations get quadratic loss; larger
+/// residuals get linear loss, which bounds the influence of measurement
+/// outliers in runner data.
+#[derive(Debug, Clone)]
+pub struct HuberRegression {
+    pub delta: f64,
+    pub lambda: f64,
+    pub max_iters: usize,
+    pub(crate) scaler: StandardScaler,
+    pub(crate) weights: Vec<Vec<f64>>,
+}
+
+impl HuberRegression {
+    pub fn new(delta: f64, lambda: f64) -> HuberRegression {
+        HuberRegression {
+            delta,
+            lambda,
+            max_iters: 30,
+            scaler: StandardScaler::default(),
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl Default for HuberRegression {
+    fn default() -> Self {
+        HuberRegression::new(1.35, 1e-6)
+    }
+}
+
+impl Regressor for HuberRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("huber regression: empty training set".into()));
+        }
+        self.scaler = StandardScaler::fit(x);
+        let xs: Vec<Vec<f64>> =
+            self.scaler.transform(x).into_iter().map(|r| with_bias(&r)).collect();
+        let n_outputs = y[0].len();
+        self.weights.clear();
+        for j in 0..n_outputs {
+            let target: Vec<f64> = y.iter().map(|r| r[j]).collect();
+            self.weights.push(self.fit_one(&xs, &target)?);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let row = with_bias(&self.scaler.transform_row(x));
+        self.weights.iter().map(|w| dot(w, &row)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "huber_regression"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.weights.iter().map(|w| w.len() * 8).sum::<usize>()
+            + self.scaler.means.len() * 16
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+impl HuberRegression {
+    fn fit_one(&self, xs: &[Vec<f64>], y: &[f64]) -> DbResult<Vec<f64>> {
+        // Start from the OLS solution, then reweight.
+        let design = Matrix::from_rows(xs);
+        let mut w = ridge_solve(&design, y, self.lambda.max(1e-9))?;
+        for _ in 0..self.max_iters {
+            // Residual scale estimate (MAD-like, guarded from collapse).
+            let residuals: Vec<f64> =
+                xs.iter().zip(y).map(|(row, &t)| t - dot(&w, row)).collect();
+            let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+            abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let sigma = (abs[abs.len() / 2] / 0.6745).max(1e-9);
+            let threshold = self.delta * sigma;
+            // IRLS weights: 1 inside the quadratic zone, threshold/|r| outside.
+            let sample_w: Vec<f64> = residuals
+                .iter()
+                .map(|r| if r.abs() <= threshold { 1.0 } else { threshold / r.abs() })
+                .collect();
+            // Weighted ridge solve.
+            let weighted_rows: Vec<Vec<f64>> = xs
+                .iter()
+                .zip(&sample_w)
+                .map(|(row, &sw)| row.iter().map(|v| v * sw.sqrt()).collect())
+                .collect();
+            let weighted_y: Vec<f64> =
+                y.iter().zip(&sample_w).map(|(&t, &sw)| t * sw.sqrt()).collect();
+            let wd = Matrix::from_rows(&weighted_rows);
+            let next = ridge_solve(&wd, &weighted_y, self.lambda.max(1e-9))?;
+            let change: f64 =
+                next.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
+            w = next;
+            if change < 1e-9 {
+                break;
+            }
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Prng;
+
+    fn linear_data(n: usize, noise: f64, outliers: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = Prng::new(99);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = rng.next_f64() * 10.0;
+            let b = rng.next_f64() * 5.0;
+            let mut target = 3.0 * a - 2.0 * b + 7.0 + rng.gaussian() * noise;
+            if i < outliers {
+                target += 1000.0;
+            }
+            x.push(vec![a, b]);
+            y.push(vec![target, 2.0 * target]);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        let (x, y) = linear_data(200, 0.0, 0);
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_one(&[2.0, 1.0]);
+        assert!((p[0] - (3.0 * 2.0 - 2.0 + 7.0)).abs() < 1e-6, "got {p:?}");
+        assert!((p[1] - 2.0 * p[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_resists_outliers_better_than_ols() {
+        let (x, y) = linear_data(300, 0.5, 15);
+        let mut ols = LinearRegression::default();
+        let mut huber = HuberRegression::default();
+        ols.fit(&x, &y).unwrap();
+        huber.fit(&x, &y).unwrap();
+        let truth = 3.0 * 5.0 - 2.0 * 2.0 + 7.0;
+        let e_ols = (ols.predict_one(&[5.0, 2.0])[0] - truth).abs();
+        let e_huber = (huber.predict_one(&[5.0, 2.0])[0] - truth).abs();
+        assert!(e_huber < e_ols, "huber {e_huber} vs ols {e_ols}");
+        assert!(e_huber < 2.0, "huber error too large: {e_huber}");
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut m = LinearRegression::default();
+        assert!(m.fit(&[], &[]).is_err());
+        let mut h = HuberRegression::default();
+        assert!(h.fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn refit_replaces_state() {
+        let mut m = LinearRegression::default();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]]).unwrap();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![10.0], vec![20.0]]).unwrap();
+        assert!((m.predict_one(&[3.0])[0] - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn model_size_nonzero_after_fit() {
+        let mut m = LinearRegression::default();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]]).unwrap();
+        assert!(m.size_bytes() > 0);
+    }
+}

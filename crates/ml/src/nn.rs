@@ -1,0 +1,402 @@
+//! Neural networks: dense layers with ReLU activations, Adam optimization,
+//! and an `MlpRegressor` implementing [`Regressor`].
+//!
+//! The layer machinery (`Dense`, `Mlp`) exposes explicit forward caches and
+//! gradient accumulation so the QPPNet baseline can compose per-operator
+//! networks into plan trees and backpropagate through the tree structure.
+
+use mb2_common::{DbError, DbResult, Prng};
+
+use crate::data::StandardScaler;
+use crate::Regressor;
+
+/// One fully connected layer with accumulated gradients and Adam state.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    pub in_dim: usize,
+    pub out_dim: usize,
+    /// Row-major `out_dim × in_dim` weights.
+    pub(crate) w: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    /// He-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Prng) -> Dense {
+        let scale = (2.0 / in_dim.max(1) as f64).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.gaussian() * scale).collect();
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+                self.b[o] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Accumulate gradients for one sample; returns dL/dx.
+    pub fn backward(&mut self, x: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.in_dim];
+        for (o, &g) in grad_out.iter().enumerate().take(self.out_dim) {
+            if g == 0.0 {
+                continue;
+            }
+            self.gb[o] += g;
+            let row = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row + i] += g * x[i];
+                grad_in[i] += g * self.w[row + i];
+            }
+        }
+        grad_in
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Adam update with bias correction; `t` is the 1-based step count.
+    pub fn adam_step(&mut self, lr: f64, t: usize, batch: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let corr1 = 1.0 - B1.powi(t as i32);
+        let corr2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            let g = self.gw[i] / batch;
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
+            self.w[i] -= lr * (self.mw[i] / corr1) / ((self.vw[i] / corr2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            let g = self.gb[i] / batch;
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
+            self.b[i] -= lr * (self.mb[i] / corr1) / ((self.vb[i] / corr2).sqrt() + EPS);
+        }
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Rebuild a layer from saved weights (fresh optimizer state).
+    pub(crate) fn from_params(
+        in_dim: usize,
+        out_dim: usize,
+        w: Vec<f64>,
+        b: Vec<f64>,
+    ) -> mb2_common::DbResult<Dense> {
+        if w.len() != in_dim * out_dim || b.len() != out_dim {
+            return Err(mb2_common::DbError::Model("dense layer shape mismatch".into()));
+        }
+        Ok(Dense {
+            in_dim,
+            out_dim,
+            gw: vec![0.0; w.len()],
+            gb: vec![0.0; b.len()],
+            mw: vec![0.0; w.len()],
+            vw: vec![0.0; w.len()],
+            mb: vec![0.0; b.len()],
+            vb: vec![0.0; b.len()],
+            w,
+            b,
+        })
+    }
+}
+
+/// Forward-pass cache for backprop: layer inputs and pre-activations.
+#[derive(Debug, Clone, Default)]
+pub struct MlpCache {
+    inputs: Vec<Vec<f64>>,
+    preacts: Vec<Vec<f64>>,
+}
+
+/// A multi-layer perceptron with ReLU on all hidden layers and a linear
+/// output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[8, 25, 25, 9]`.
+    pub fn new(sizes: &[usize], rng: &mut Prng) -> Mlp {
+        assert!(sizes.len() >= 2);
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
+        Mlp { layers }
+    }
+
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if li != last {
+                h.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+        }
+        h
+    }
+
+    /// Forward with cached intermediates for a later `backward` call.
+    pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, MlpCache) {
+        let mut cache = MlpCache::default();
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            cache.inputs.push(h.clone());
+            let pre = layer.forward(&h);
+            cache.preacts.push(pre.clone());
+            h = pre;
+            if li != last {
+                h.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+        }
+        (h, cache)
+    }
+
+    /// Accumulate gradients for one sample given dL/d(output); returns
+    /// dL/d(input) for upstream composition (QPPNet plan trees).
+    pub fn backward(&mut self, cache: &MlpCache, grad_out: &[f64]) -> Vec<f64> {
+        let mut grad = grad_out.to_vec();
+        let last = self.layers.len() - 1;
+        for li in (0..self.layers.len()).rev() {
+            if li != last {
+                // ReLU derivative on the pre-activations.
+                for (g, &pre) in grad.iter_mut().zip(&cache.preacts[li]) {
+                    if pre <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[li].backward(&cache.inputs[li], &grad);
+        }
+        grad
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Dense::zero_grad);
+    }
+
+    pub fn adam_step(&mut self, lr: f64, t: usize, batch: f64) {
+        self.layers.iter_mut().for_each(|l| l.adam_step(lr, t, batch));
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+}
+
+/// MLP regressor with the paper's default topology (two hidden layers of 25
+/// neurons) and internal input/target standardization.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    pub hidden: Vec<usize>,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f64,
+    pub seed: u64,
+    pub(crate) net: Option<Mlp>,
+    pub(crate) x_scaler: StandardScaler,
+    pub(crate) y_means: Vec<f64>,
+    pub(crate) y_scales: Vec<f64>,
+}
+
+impl MlpRegressor {
+    pub fn new(hidden: Vec<usize>, epochs: usize) -> MlpRegressor {
+        MlpRegressor {
+            hidden,
+            epochs,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 13,
+            net: None,
+            x_scaler: StandardScaler::default(),
+            y_means: Vec::new(),
+            y_scales: Vec::new(),
+        }
+    }
+}
+
+impl Default for MlpRegressor {
+    fn default() -> Self {
+        MlpRegressor::new(vec![25, 25], 200)
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("mlp: empty training set".into()));
+        }
+        let n = x.len();
+        let n_outputs = y[0].len();
+        self.x_scaler = StandardScaler::fit(x);
+        let xs = self.x_scaler.transform(x);
+        self.y_means = vec![0.0; n_outputs];
+        self.y_scales = vec![1.0; n_outputs];
+        for j in 0..n_outputs {
+            let col: Vec<f64> = y.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            self.y_means[j] = mean;
+            self.y_scales[j] = var.sqrt().max(1e-9);
+        }
+        let ys: Vec<Vec<f64>> = y
+            .iter()
+            .map(|r| {
+                (0..n_outputs)
+                    .map(|j| (r[j] - self.y_means[j]) / self.y_scales[j])
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = Prng::new(self.seed);
+        let mut sizes = vec![xs[0].len()];
+        sizes.extend_from_slice(&self.hidden);
+        sizes.push(n_outputs);
+        let mut net = Mlp::new(&sizes, &mut rng);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut step = 0usize;
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.batch_size) {
+                net.zero_grad();
+                for &i in chunk {
+                    let (out, cache) = net.forward_cached(&xs[i]);
+                    // Squared-error gradient: 2 * (pred - target) / n_outputs.
+                    let grad: Vec<f64> = out
+                        .iter()
+                        .zip(&ys[i])
+                        .map(|(p, t)| 2.0 * (p - t) / n_outputs as f64)
+                        .collect();
+                    net.backward(&cache, &grad);
+                }
+                step += 1;
+                net.adam_step(self.learning_rate, step, chunk.len() as f64);
+            }
+        }
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let net = self.net.as_ref().expect("predict before fit");
+        let out = net.forward(&self.x_scaler.transform_row(x));
+        out.iter()
+            .enumerate()
+            .map(|(j, v)| v * self.y_scales[j] + self.y_means[j])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "neural_network"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.net.as_ref().map_or(0, |n| n.param_count() * 8)
+            + self.x_scaler.means.len() * 16
+            + self.y_means.len() * 16
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        if self.net.is_none() {
+            return Err(DbError::Model("cannot save an untrained mlp".into()));
+        }
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::mean_relative_error;
+
+    #[test]
+    fn dense_backward_matches_numeric_gradient() {
+        let mut rng = Prng::new(2);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = vec![0.5, -1.0, 2.0];
+        let grad_out = vec![1.0, -0.5];
+        layer.zero_grad();
+        let _ = layer.backward(&x, &grad_out);
+        // Numeric check for w[0][1]: loss = sum(grad_out * out).
+        let base: f64 = layer.forward(&x).iter().zip(&grad_out).map(|(o, g)| o * g).sum();
+        let eps = 1e-6;
+        let idx = 1; // w[out=0][in=1]
+        layer.w[idx] += eps;
+        let bumped: f64 = layer.forward(&x).iter().zip(&grad_out).map(|(o, g)| o * g).sum();
+        layer.w[idx] -= eps;
+        let numeric = (bumped - base) / eps;
+        assert!((layer.gw[idx] - numeric).abs() < 1e-4, "analytic {} numeric {}", layer.gw[idx], numeric);
+    }
+
+    #[test]
+    fn mlp_backward_returns_input_gradient() {
+        let mut rng = Prng::new(3);
+        let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+        let x = vec![0.3, -0.7];
+        let (out, cache) = net.forward_cached(&x);
+        net.zero_grad();
+        let gin = net.backward(&cache, &[1.0]);
+        // Numeric input gradient for x[0].
+        let eps = 1e-6;
+        let bumped = net.forward(&[x[0] + eps, x[1]])[0];
+        let numeric = (bumped - out[0]) / eps;
+        assert!((gin[0] - numeric).abs() < 1e-4, "analytic {} numeric {numeric}", gin[0]);
+    }
+
+    #[test]
+    fn learns_nonlinear_target() {
+        let mut rng = Prng::new(4);
+        let x: Vec<Vec<f64>> =
+            (0..600).map(|_| vec![rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * r[0] + r[1] * 0.5 + 1.0]).collect();
+        let mut m = MlpRegressor::new(vec![16, 16], 150);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x[..100]);
+        let err = mean_relative_error(&y[..100], &preds);
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn multi_output_heads() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![2.0 * r[0], -r[0] + 1.0]).collect();
+        let mut m = MlpRegressor::new(vec![16], 200);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_one(&[1.0]);
+        assert!((p[0] - 2.0).abs() < 0.2, "{p:?}");
+        assert!((p[1] - 0.0).abs() < 0.2, "{p:?}");
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut m = MlpRegressor::default();
+        assert!(m.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,471 @@
+//! Model persistence: a line-oriented textual format for every regressor.
+//!
+//! Trained models save to a self-describing text document (`save_model`) and
+//! load back into a `Box<dyn Regressor>` (`load_model`). The format is
+//! deliberately simple — one `key value...` record per line, vectors as
+//! space-separated decimal floats — so saved models are diffable and stable
+//! across versions.
+
+use mb2_common::{DbError, DbResult};
+
+use crate::data::StandardScaler;
+use crate::forest::{ForestConfig, RandomForest};
+use crate::gbm::{GbmConfig, GradientBoosting};
+use crate::kernel::KernelRegression;
+use crate::linear::{HuberRegression, LinearRegression};
+use crate::nn::MlpRegressor;
+use crate::svr::LinearSvr;
+use crate::tree::{DecisionTree, Node, TreeConfig};
+use crate::Regressor;
+
+// ----------------------------------------------------------------------
+// Low-level line writer/reader
+// ----------------------------------------------------------------------
+
+/// Line-oriented serialization sink (opaque to implementors outside this
+/// crate; constructed only by [`save_model`]).
+pub struct Writer {
+    out: String,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { out: String::new() }
+    }
+
+    fn line(&mut self, key: &str, values: &[f64]) {
+        self.out.push_str(key);
+        for v in values {
+            self.out.push(' ');
+            self.out.push_str(&format!("{v:?}"));
+        }
+        self.out.push('\n');
+    }
+
+    fn tag(&mut self, key: &str) {
+        self.out.push_str(key);
+        self.out.push('\n');
+    }
+}
+
+struct Reader<'a> {
+    lines: std::iter::Peekable<std::str::Lines<'a>>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Reader<'a> {
+        Reader { lines: text.lines().peekable() }
+    }
+
+    /// Consume the next line, verifying its key, and return its values.
+    fn expect(&mut self, key: &str) -> DbResult<Vec<f64>> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| DbError::Model(format!("model file ended, wanted '{key}'")))?;
+        let mut parts = line.split(' ');
+        let got = parts.next().unwrap_or("");
+        if got != key {
+            return Err(DbError::Model(format!("expected '{key}', found '{got}'")));
+        }
+        parts
+            .map(|p| {
+                p.parse::<f64>()
+                    .map_err(|e| DbError::Model(format!("bad float '{p}' in '{key}': {e}")))
+            })
+            .collect()
+    }
+
+    fn peek_key(&mut self) -> Option<&str> {
+        self.lines.peek().map(|l| l.split(' ').next().unwrap_or(""))
+    }
+}
+
+fn one(values: &[f64], key: &str) -> DbResult<f64> {
+    values
+        .first()
+        .copied()
+        .ok_or_else(|| DbError::Model(format!("'{key}' needs a value")))
+}
+
+// ----------------------------------------------------------------------
+// Scalers and trees
+// ----------------------------------------------------------------------
+
+fn write_scaler(w: &mut Writer, prefix: &str, s: &StandardScaler) {
+    w.line(&format!("{prefix}.means"), &s.means);
+    w.line(&format!("{prefix}.scales"), &s.scales);
+}
+
+fn read_scaler(r: &mut Reader<'_>, prefix: &str) -> DbResult<StandardScaler> {
+    Ok(StandardScaler {
+        means: r.expect(&format!("{prefix}.means"))?,
+        scales: r.expect(&format!("{prefix}.scales"))?,
+    })
+}
+
+fn write_tree(w: &mut Writer, tree: &DecisionTree) {
+    w.line("tree.nodes", &[tree.nodes.len() as f64]);
+    for node in &tree.nodes {
+        match node {
+            Node::Leaf { value } => w.line("leaf", value),
+            Node::Split { feature, threshold, left, right } => w.line(
+                "split",
+                &[*feature as f64, *threshold, *left as f64, *right as f64],
+            ),
+        }
+    }
+    w.line("tree.y_means", &tree.y_means);
+    w.line("tree.y_scales", &tree.y_scales);
+}
+
+fn read_tree(r: &mut Reader<'_>) -> DbResult<DecisionTree> {
+    let n = one(&r.expect("tree.nodes")?, "tree.nodes")? as usize;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.peek_key() {
+            Some("leaf") => nodes.push(Node::Leaf { value: r.expect("leaf")? }),
+            Some("split") => {
+                let v = r.expect("split")?;
+                if v.len() != 4 {
+                    return Err(DbError::Model("split needs 4 values".into()));
+                }
+                nodes.push(Node::Split {
+                    feature: v[0] as usize,
+                    threshold: v[1],
+                    left: v[2] as usize,
+                    right: v[3] as usize,
+                });
+            }
+            other => {
+                return Err(DbError::Model(format!("unexpected tree line {other:?}")))
+            }
+        }
+    }
+    let y_means = r.expect("tree.y_means")?;
+    let y_scales = r.expect("tree.y_scales")?;
+    Ok(DecisionTree { config: TreeConfig::default(), nodes, y_means, y_scales })
+}
+
+fn write_matrix(w: &mut Writer, key: &str, rows: &[Vec<f64>]) {
+    w.line(&format!("{key}.rows"), &[rows.len() as f64]);
+    for row in rows {
+        w.line(key, row);
+    }
+}
+
+fn read_matrix(r: &mut Reader<'_>, key: &str) -> DbResult<Vec<Vec<f64>>> {
+    let n = one(&r.expect(&format!("{key}.rows"))?, key)? as usize;
+    (0..n).map(|_| r.expect(key)).collect()
+}
+
+// ----------------------------------------------------------------------
+// Public API
+// ----------------------------------------------------------------------
+
+/// Serialize a trained model to its textual form.
+pub fn save_model(model: &dyn SaveableRegressor) -> String {
+    let mut w = Writer::new();
+    w.tag(&format!("mb2-model {}", model.name()));
+    model.write(&mut w);
+    w.out
+}
+
+/// Load a model saved by [`save_model`].
+pub fn load_model(text: &str) -> DbResult<Box<dyn Regressor>> {
+    let mut r = Reader::new(text);
+    let header = r
+        .lines
+        .next()
+        .ok_or_else(|| DbError::Model("empty model file".into()))?;
+    let kind = header
+        .strip_prefix("mb2-model ")
+        .ok_or_else(|| DbError::Model(format!("bad model header '{header}'")))?;
+    match kind {
+        "linear_regression" => Ok(Box::new(LinearRegression::read(&mut r)?)),
+        "huber_regression" => Ok(Box::new(HuberRegression::read(&mut r)?)),
+        "svr" => Ok(Box::new(LinearSvr::read(&mut r)?)),
+        "kernel_regression" => Ok(Box::new(KernelRegression::read(&mut r)?)),
+        "decision_tree" => Ok(Box::new(read_tree(&mut r)?)),
+        "random_forest" => Ok(Box::new(RandomForest::read(&mut r)?)),
+        "gradient_boosting" => Ok(Box::new(GradientBoosting::read(&mut r)?)),
+        "neural_network" => Ok(Box::new(MlpRegressor::read(&mut r)?)),
+        other => Err(DbError::Model(format!("unknown model kind '{other}'"))),
+    }
+}
+
+/// A regressor that can serialize itself. Implemented by every model in
+/// this crate; object-safe so `Box<dyn Regressor>` can be saved through
+/// [`crate::selection::SelectionReport`] results.
+pub trait SaveableRegressor: Regressor {
+    fn write(&self, w: &mut Writer);
+}
+
+use Writer as W;
+
+impl SaveableRegressor for LinearRegression {
+    fn write(&self, w: &mut W) {
+        w.line("lambda", &[self.lambda]);
+        write_scaler(w, "x", &self.scaler);
+        write_matrix(w, "weights", &self.weights);
+    }
+}
+
+impl LinearRegression {
+    fn read(r: &mut Reader<'_>) -> DbResult<LinearRegression> {
+        let mut m = LinearRegression::new(one(&r.expect("lambda")?, "lambda")?);
+        m.scaler = read_scaler(r, "x")?;
+        m.weights = read_matrix(r, "weights")?;
+        Ok(m)
+    }
+}
+
+impl SaveableRegressor for HuberRegression {
+    fn write(&self, w: &mut W) {
+        w.line("delta", &[self.delta]);
+        w.line("lambda", &[self.lambda]);
+        write_scaler(w, "x", &self.scaler);
+        write_matrix(w, "weights", &self.weights);
+    }
+}
+
+impl HuberRegression {
+    fn read(r: &mut Reader<'_>) -> DbResult<HuberRegression> {
+        let delta = one(&r.expect("delta")?, "delta")?;
+        let lambda = one(&r.expect("lambda")?, "lambda")?;
+        let mut m = HuberRegression::new(delta, lambda);
+        m.scaler = read_scaler(r, "x")?;
+        m.weights = read_matrix(r, "weights")?;
+        Ok(m)
+    }
+}
+
+impl SaveableRegressor for LinearSvr {
+    fn write(&self, w: &mut W) {
+        w.line("epsilon", &[self.epsilon]);
+        w.line("c", &[self.c]);
+        write_scaler(w, "x", &self.x_scaler);
+        w.line("y_means", &self.y_means);
+        w.line("y_scales", &self.y_scales);
+        write_matrix(w, "weights", &self.weights);
+    }
+}
+
+impl LinearSvr {
+    fn read(r: &mut Reader<'_>) -> DbResult<LinearSvr> {
+        let epsilon = one(&r.expect("epsilon")?, "epsilon")?;
+        let c = one(&r.expect("c")?, "c")?;
+        let mut m = LinearSvr::new(epsilon, c, 0);
+        m.x_scaler = read_scaler(r, "x")?;
+        m.y_means = r.expect("y_means")?;
+        m.y_scales = r.expect("y_scales")?;
+        m.weights = read_matrix(r, "weights")?;
+        Ok(m)
+    }
+}
+
+impl SaveableRegressor for KernelRegression {
+    fn write(&self, w: &mut W) {
+        w.line("bandwidth", &[self.bandwidth]);
+        write_scaler(w, "x", &self.scaler);
+        write_matrix(w, "ref_x", &self.ref_x);
+        write_matrix(w, "ref_y", &self.ref_y);
+    }
+}
+
+impl KernelRegression {
+    fn read(r: &mut Reader<'_>) -> DbResult<KernelRegression> {
+        let bandwidth = one(&r.expect("bandwidth")?, "bandwidth")?;
+        let mut m = KernelRegression::new(bandwidth, usize::MAX);
+        m.scaler = read_scaler(r, "x")?;
+        m.ref_x = read_matrix(r, "ref_x")?;
+        m.ref_y = read_matrix(r, "ref_y")?;
+        Ok(m)
+    }
+}
+
+impl SaveableRegressor for DecisionTree {
+    fn write(&self, w: &mut W) {
+        write_tree(w, self);
+    }
+}
+
+impl SaveableRegressor for RandomForest {
+    fn write(&self, w: &mut W) {
+        w.line("n_trees", &[self.trees.len() as f64]);
+        for tree in &self.trees {
+            write_tree(w, tree);
+        }
+    }
+}
+
+impl RandomForest {
+    fn read(r: &mut Reader<'_>) -> DbResult<RandomForest> {
+        let n = one(&r.expect("n_trees")?, "n_trees")? as usize;
+        let mut forest = RandomForest::new(ForestConfig::default());
+        forest.trees = (0..n).map(|_| read_tree(r)).collect::<DbResult<_>>()?;
+        Ok(forest)
+    }
+}
+
+impl SaveableRegressor for GradientBoosting {
+    fn write(&self, w: &mut W) {
+        w.line("learning_rate", &[self.config.learning_rate]);
+        w.line("base", &self.base);
+        w.line("n_outputs", &[self.stages.len() as f64]);
+        for stage in &self.stages {
+            w.line("n_trees", &[stage.len() as f64]);
+            for tree in stage {
+                write_tree(w, tree);
+            }
+        }
+    }
+}
+
+impl GradientBoosting {
+    fn read(r: &mut Reader<'_>) -> DbResult<GradientBoosting> {
+        let lr = one(&r.expect("learning_rate")?, "learning_rate")?;
+        let mut gbm =
+            GradientBoosting::new(GbmConfig { learning_rate: lr, ..GbmConfig::default() });
+        gbm.base = r.expect("base")?;
+        let n_outputs = one(&r.expect("n_outputs")?, "n_outputs")? as usize;
+        gbm.stages = (0..n_outputs)
+            .map(|_| {
+                let n = one(&r.expect("n_trees")?, "n_trees")? as usize;
+                (0..n).map(|_| read_tree(r)).collect::<DbResult<Vec<_>>>()
+            })
+            .collect::<DbResult<_>>()?;
+        Ok(gbm)
+    }
+}
+
+impl SaveableRegressor for MlpRegressor {
+    fn write(&self, w: &mut W) {
+        write_scaler(w, "x", &self.x_scaler);
+        w.line("y_means", &self.y_means);
+        w.line("y_scales", &self.y_scales);
+        let net = self.net.as_ref().expect("save of untrained mlp");
+        w.line("n_layers", &[net.layers.len() as f64]);
+        for layer in &net.layers {
+            w.line("dims", &[layer.in_dim as f64, layer.out_dim as f64]);
+            w.line("w", &layer.w);
+            w.line("b", &layer.b);
+        }
+    }
+}
+
+impl MlpRegressor {
+    fn read(r: &mut Reader<'_>) -> DbResult<MlpRegressor> {
+        let mut m = MlpRegressor::new(Vec::new(), 0);
+        m.x_scaler = read_scaler(r, "x")?;
+        m.y_means = r.expect("y_means")?;
+        m.y_scales = r.expect("y_scales")?;
+        let n_layers = one(&r.expect("n_layers")?, "n_layers")? as usize;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let dims = r.expect("dims")?;
+            if dims.len() != 2 {
+                return Err(DbError::Model("dims needs 2 values".into()));
+            }
+            let w = r.expect("w")?;
+            let b = r.expect("b")?;
+            layers.push(crate::nn::Dense::from_params(
+                dims[0] as usize,
+                dims[1] as usize,
+                w,
+                b,
+            )?);
+        }
+        m.net = Some(crate::nn::Mlp { layers });
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Prng;
+
+    fn data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = Prng::new(2);
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.next_f64() * 8.0, rng.next_f64() * 3.0]).collect();
+        let y: Vec<Vec<f64>> =
+            x.iter().map(|r| vec![2.0 * r[0] + r[1] * r[1], r[0] - r[1]]).collect();
+        (x, y)
+    }
+
+    fn round_trip(model: &dyn SaveableRegressor, x: &[Vec<f64>]) {
+        let text = save_model(model);
+        let loaded = load_model(&text).unwrap();
+        assert_eq!(loaded.name(), model.name());
+        for row in x.iter().take(20) {
+            let a = model.predict_one(row);
+            let b = loaded.predict_one(row);
+            for (p, q) in a.iter().zip(&b) {
+                assert!(
+                    (p - q).abs() < 1e-9 * p.abs().max(1.0),
+                    "{}: {p} vs {q}",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_model_round_trips() {
+        let (x, y) = data();
+        let mut linear = LinearRegression::default();
+        linear.fit(&x, &y).unwrap();
+        round_trip(&linear, &x);
+
+        let mut huber = HuberRegression::default();
+        huber.fit(&x, &y).unwrap();
+        round_trip(&huber, &x);
+
+        let mut svr = LinearSvr { epochs: 10, ..LinearSvr::default() };
+        svr.fit(&x, &y).unwrap();
+        round_trip(&svr, &x);
+
+        let mut kernel = KernelRegression::default();
+        kernel.fit(&x, &y).unwrap();
+        round_trip(&kernel, &x);
+
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y).unwrap();
+        round_trip(&tree, &x);
+
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 5,
+            ..ForestConfig::default()
+        });
+        forest.fit(&x, &y).unwrap();
+        round_trip(&forest, &x);
+
+        let mut gbm = GradientBoosting::new(GbmConfig {
+            n_estimators: 5,
+            ..GbmConfig::default()
+        });
+        gbm.fit(&x, &y).unwrap();
+        round_trip(&gbm, &x);
+
+        let mut mlp = MlpRegressor::new(vec![8], 20);
+        mlp.fit(&x, &y).unwrap();
+        round_trip(&mlp, &x);
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error() {
+        assert!(load_model("").is_err());
+        assert!(load_model("mb2-model nonsense\n").is_err());
+        assert!(load_model("mb2-model linear_regression\nlambda not-a-float\n").is_err());
+        // Truncated body.
+        let (x, y) = data();
+        let mut linear = LinearRegression::default();
+        linear.fit(&x, &y).unwrap();
+        let text = save_model(&linear);
+        let truncated: String =
+            text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(load_model(&truncated).is_err());
+    }
+}

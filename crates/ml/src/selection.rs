@@ -1,0 +1,217 @@
+//! Model selection: MB2 trains every candidate algorithm per OU on an 80/20
+//! split, picks the algorithm with the lowest validation error, and refits it
+//! on all available data (paper §6.4).
+
+use mb2_common::{DbError, DbResult};
+
+use crate::data::{train_test_split, Dataset};
+use crate::eval::mean_relative_error;
+use crate::forest::{ForestConfig, RandomForest};
+use crate::gbm::{GbmConfig, GradientBoosting};
+use crate::kernel::KernelRegression;
+use crate::linear::{HuberRegression, LinearRegression};
+use crate::nn::MlpRegressor;
+use crate::svr::LinearSvr;
+use crate::Regressor;
+
+/// The seven candidate algorithm families (paper §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    Linear,
+    Huber,
+    Svr,
+    Kernel,
+    RandomForest,
+    GradientBoosting,
+    NeuralNetwork,
+}
+
+impl Algorithm {
+    /// All seven families, in a stable order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Linear,
+        Algorithm::Huber,
+        Algorithm::Svr,
+        Algorithm::Kernel,
+        Algorithm::RandomForest,
+        Algorithm::GradientBoosting,
+        Algorithm::NeuralNetwork,
+    ];
+
+    /// The four families the paper's Figures 5/6 report.
+    pub const FIGURE5: [Algorithm; 4] = [
+        Algorithm::RandomForest,
+        Algorithm::NeuralNetwork,
+        Algorithm::Huber,
+        Algorithm::GradientBoosting,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Linear => "linear_regression",
+            Algorithm::Huber => "huber_regression",
+            Algorithm::Svr => "svr",
+            Algorithm::Kernel => "kernel_regression",
+            Algorithm::RandomForest => "random_forest",
+            Algorithm::GradientBoosting => "gradient_boosting",
+            Algorithm::NeuralNetwork => "neural_network",
+        }
+    }
+
+    /// Instantiate an untrained model with the paper's default
+    /// hyperparameters (50-tree forest, 2×25 MLP, deep GBM).
+    pub fn instantiate(&self) -> Box<dyn Regressor> {
+        match self {
+            Algorithm::Linear => Box::new(LinearRegression::default()),
+            Algorithm::Huber => Box::new(HuberRegression::default()),
+            Algorithm::Svr => Box::new(LinearSvr::default()),
+            Algorithm::Kernel => Box::new(KernelRegression::default()),
+            Algorithm::RandomForest => Box::new(RandomForest::new(ForestConfig {
+                n_estimators: 50,
+                ..ForestConfig::default()
+            })),
+            Algorithm::GradientBoosting => Box::new(GradientBoosting::new(GbmConfig::default())),
+            Algorithm::NeuralNetwork => Box::new(MlpRegressor::default()),
+        }
+    }
+}
+
+/// Validation results for each candidate plus the chosen final model.
+pub struct SelectionReport {
+    /// `(algorithm, validation relative error)` for every candidate tried.
+    pub candidate_errors: Vec<(Algorithm, f64)>,
+    pub chosen: Algorithm,
+    /// Final model refit on all data.
+    pub model: Box<dyn Regressor>,
+    /// Total wall-clock training time across candidates + final refit.
+    pub training_time: std::time::Duration,
+}
+
+impl SelectionReport {
+    pub fn error_of(&self, alg: Algorithm) -> Option<f64> {
+        self.candidate_errors.iter().find(|(a, _)| *a == alg).map(|(_, e)| *e)
+    }
+}
+
+/// Runs MB2's selection procedure over a set of candidate algorithms.
+pub struct ModelSelector {
+    pub candidates: Vec<Algorithm>,
+    pub train_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for ModelSelector {
+    fn default() -> Self {
+        ModelSelector { candidates: Algorithm::ALL.to_vec(), train_fraction: 0.8, seed: 2021 }
+    }
+}
+
+impl ModelSelector {
+    pub fn with_candidates(candidates: Vec<Algorithm>) -> ModelSelector {
+        ModelSelector { candidates, ..ModelSelector::default() }
+    }
+
+    /// Train/validate every candidate on an internal split, choose the best
+    /// by mean relative error, refit on all data.
+    pub fn select(&self, data: &Dataset) -> DbResult<SelectionReport> {
+        if data.is_empty() {
+            return Err(DbError::Model("model selection: empty dataset".into()));
+        }
+        let started = std::time::Instant::now();
+        let (train, validation) = train_test_split(data, self.train_fraction, self.seed);
+        // Degenerate split (tiny dataset): validate on the training data.
+        let (train, validation) = if validation.is_empty() {
+            (data.clone(), data.clone())
+        } else {
+            (train, validation)
+        };
+
+        let mut candidate_errors = Vec::with_capacity(self.candidates.len());
+        for &alg in &self.candidates {
+            let mut model = alg.instantiate();
+            let err = match model.fit(&train.x, &train.y) {
+                Ok(()) => {
+                    let preds = model.predict(&validation.x);
+                    let e = mean_relative_error(&validation.y, &preds);
+                    if e.is_finite() { e } else { f64::INFINITY }
+                }
+                Err(_) => f64::INFINITY,
+            };
+            candidate_errors.push((alg, err));
+        }
+        let &(chosen, best_err) = candidate_errors
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one candidate");
+        if best_err.is_infinite() {
+            return Err(DbError::Model("model selection: every candidate failed".into()));
+        }
+        // Refit the winner on all available data (paper §6.4).
+        let mut model = chosen.instantiate();
+        model.fit(&data.x, &data.y)?;
+        Ok(SelectionReport {
+            candidate_errors,
+            chosen,
+            model,
+            training_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Prng;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        let mut rng = Prng::new(55);
+        let mut d = Dataset::default();
+        for _ in 0..n {
+            let a = rng.next_f64() * 10.0;
+            d.push(vec![a], vec![4.0 * a + 1.0]);
+        }
+        d
+    }
+
+    #[test]
+    fn selects_low_error_model_on_linear_data() {
+        let data = linear_dataset(300);
+        let selector = ModelSelector::with_candidates(vec![
+            Algorithm::Linear,
+            Algorithm::RandomForest,
+        ]);
+        let report = selector.select(&data).unwrap();
+        // Linear data: OLS should be essentially exact and win.
+        assert_eq!(report.chosen, Algorithm::Linear);
+        let p = report.model.predict_one(&[5.0]);
+        assert!((p[0] - 21.0).abs() < 0.1, "{p:?}");
+    }
+
+    #[test]
+    fn report_contains_all_candidates() {
+        let data = linear_dataset(100);
+        let selector = ModelSelector::with_candidates(vec![
+            Algorithm::Linear,
+            Algorithm::Huber,
+            Algorithm::GradientBoosting,
+        ]);
+        let report = selector.select(&data).unwrap();
+        assert_eq!(report.candidate_errors.len(), 3);
+        assert!(report.error_of(Algorithm::Huber).is_some());
+        assert!(report.error_of(Algorithm::Svr).is_none());
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let selector = ModelSelector::default();
+        assert!(selector.select(&Dataset::default()).is_err());
+    }
+
+    #[test]
+    fn all_seven_instantiate() {
+        for alg in Algorithm::ALL {
+            let m = alg.instantiate();
+            assert_eq!(m.name(), alg.name());
+        }
+    }
+}

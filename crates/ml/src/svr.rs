@@ -1,0 +1,194 @@
+//! Linear support-vector regression trained with averaged SGD on the
+//! epsilon-insensitive loss (one weight vector per output).
+
+use mb2_common::{DbError, DbResult, Prng};
+
+use crate::data::StandardScaler;
+use crate::linalg::dot;
+use crate::Regressor;
+
+/// Linear epsilon-SVR.
+///
+/// Minimizes `C * sum(max(0, |w·x + b - y| - epsilon)) + ||w||²/2` with
+/// stochastic subgradient descent and iterate averaging. Targets are
+/// standardized internally so `epsilon` is in target-standard-deviation
+/// units.
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    pub epsilon: f64,
+    pub c: f64,
+    pub epochs: usize,
+    pub seed: u64,
+    pub(crate) x_scaler: StandardScaler,
+    /// Per-output target mean/scale for internal standardization.
+    pub(crate) y_means: Vec<f64>,
+    pub(crate) y_scales: Vec<f64>,
+    /// Per-output weights; last element is the intercept.
+    pub(crate) weights: Vec<Vec<f64>>,
+}
+
+impl LinearSvr {
+    pub fn new(epsilon: f64, c: f64, epochs: usize) -> LinearSvr {
+        LinearSvr {
+            epsilon,
+            c,
+            epochs,
+            seed: 7,
+            x_scaler: StandardScaler::default(),
+            y_means: Vec::new(),
+            y_scales: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl Default for LinearSvr {
+    fn default() -> Self {
+        LinearSvr::new(0.05, 10.0, 60)
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        if x.is_empty() {
+            return Err(DbError::Model("svr: empty training set".into()));
+        }
+        self.x_scaler = StandardScaler::fit(x);
+        let xs: Vec<Vec<f64>> = self.x_scaler.transform(x);
+        let n = xs.len();
+        let d = xs[0].len();
+        let n_outputs = y[0].len();
+
+        self.y_means = vec![0.0; n_outputs];
+        self.y_scales = vec![1.0; n_outputs];
+        for j in 0..n_outputs {
+            let col: Vec<f64> = y.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            self.y_means[j] = mean;
+            self.y_scales[j] = var.sqrt().max(1e-9);
+        }
+
+        self.weights.clear();
+        let mut rng = Prng::new(self.seed);
+        // Minimize lambda/2 ||w||^2 + mean(max(0, |w·x + b - y| - eps)) with
+        // stochastic subgradient descent, eta_t = eta0 / sqrt(t), and iterate
+        // averaging over the second half of training.
+        let lambda = 1.0 / (self.c * n as f64);
+        let eta0 = 0.5;
+        for j in 0..n_outputs {
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|r| (r[j] - self.y_means[j]) / self.y_scales[j])
+                .collect();
+            let mut w = vec![0.0f64; d + 1];
+            let mut w_avg = vec![0.0f64; d + 1];
+            let mut avg_count = 0usize;
+            let mut t = 0usize;
+            for epoch in 0..self.epochs {
+                for _ in 0..n {
+                    t += 1;
+                    let i = rng.range_usize(0, n);
+                    let eta = eta0 / (t as f64).sqrt();
+                    let pred = dot(&w[..d], &xs[i]) + w[d];
+                    let resid = pred - targets[i];
+                    // L2 shrink on the weights (not the intercept).
+                    let shrink = 1.0 - (eta * lambda).min(0.5);
+                    for wv in &mut w[..d] {
+                        *wv *= shrink;
+                    }
+                    if resid.abs() > self.epsilon {
+                        let step = eta * resid.signum();
+                        for (wv, &xv) in w[..d].iter_mut().zip(&xs[i]) {
+                            *wv -= step * xv;
+                        }
+                        w[d] -= step;
+                    }
+                }
+                if epoch >= self.epochs / 2 {
+                    for (a, &v) in w_avg.iter_mut().zip(&w) {
+                        *a += v;
+                    }
+                    avg_count += 1;
+                }
+            }
+            if avg_count > 0 {
+                for a in &mut w_avg {
+                    *a /= avg_count as f64;
+                }
+                self.weights.push(w_avg);
+            } else {
+                self.weights.push(w);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let row = self.x_scaler.transform_row(x);
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(j, w)| {
+                let d = w.len() - 1;
+                let std_pred = dot(&w[..d], &row) + w[d];
+                std_pred * self.y_scales[j] + self.y_means[j]
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "svr"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.weights.iter().map(|w| w.len() * 8).sum::<usize>()
+            + self.x_scaler.means.len() * 16
+            + self.y_means.len() * 16
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Prng;
+
+    #[test]
+    fn learns_linear_relation() {
+        let mut rng = Prng::new(5);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..400 {
+            let a = rng.next_f64() * 4.0;
+            let b = rng.next_f64() * 4.0;
+            x.push(vec![a, b]);
+            y.push(vec![5.0 * a + 1.0 * b + 2.0]);
+        }
+        let mut m = LinearSvr::default();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_one(&[2.0, 2.0])[0];
+        let truth = 5.0 * 2.0 + 2.0 + 2.0;
+        assert!((p - truth).abs() / truth < 0.15, "pred {p} truth {truth}");
+    }
+
+    #[test]
+    fn multi_output_independent() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0], -3.0 * r[0]]).collect();
+        let mut m = LinearSvr::default();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_one(&[10.0]);
+        assert!((p[0] - 10.0).abs() < 2.0, "{p:?}");
+        assert!((p[1] + 30.0).abs() < 6.0, "{p:?}");
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut m = LinearSvr::default();
+        assert!(m.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Multi-output CART regression trees — the base learner for the random
+//! forest and gradient-boosting models.
+
+use mb2_common::{DbError, DbResult, Prng};
+
+use crate::Regressor;
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    pub min_samples_leaf: usize,
+    /// If set, consider only this many randomly chosen features per split
+    /// (random-subspace mode used by the forest).
+    pub max_features: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Leaf { value: Vec<f64> },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree. Targets are standardized internally so the
+/// variance-reduction criterion weighs the nine behavior metrics equally
+/// despite their wildly different scales (µs vs bytes vs cycle counts).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    pub config: TreeConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) y_means: Vec<f64>,
+    pub(crate) y_scales: Vec<f64>,
+}
+
+impl DecisionTree {
+    pub fn new(config: TreeConfig) -> DecisionTree {
+        DecisionTree { config, nodes: Vec::new(), y_means: Vec::new(), y_scales: Vec::new() }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fit on a subset of rows given by `indices` (used for bagging without
+    /// copying the dataset).
+    pub fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        indices: &[usize],
+    ) -> DbResult<()> {
+        if indices.is_empty() {
+            return Err(DbError::Model("decision tree: empty training set".into()));
+        }
+        let n_outputs = y[0].len();
+        // Standardize targets over the provided rows.
+        self.y_means = vec![0.0; n_outputs];
+        self.y_scales = vec![1.0; n_outputs];
+        for (j, (mean_slot, scale_slot)) in
+            self.y_means.iter_mut().zip(&mut self.y_scales).enumerate()
+        {
+            let col: Vec<f64> = indices.iter().map(|&i| y[i][j]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            *mean_slot = mean;
+            *scale_slot = var.sqrt().max(1e-12);
+        }
+        let ys: Vec<Vec<f64>> = indices
+            .iter()
+            .map(|&i| {
+                (0..n_outputs)
+                    .map(|j| (y[i][j] - self.y_means[j]) / self.y_scales[j])
+                    .collect()
+            })
+            .collect();
+        let xs: Vec<&Vec<f64>> = indices.iter().map(|&i| &x[i]).collect();
+        self.nodes.clear();
+        let rows: Vec<usize> = (0..indices.len()).collect();
+        let mut rng = Prng::new(self.config.seed);
+        self.grow(&xs, &ys, rows, 0, &mut rng);
+        Ok(())
+    }
+
+    fn leaf_value(ys: &[Vec<f64>], rows: &[usize]) -> Vec<f64> {
+        let n_outputs = ys[0].len();
+        let mut mean = vec![0.0; n_outputs];
+        for &r in rows {
+            for (m, v) in mean.iter_mut().zip(&ys[r]) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= rows.len() as f64;
+        }
+        mean
+    }
+
+    /// Grow a subtree over `rows`; returns the node index.
+    fn grow(
+        &mut self,
+        xs: &[&Vec<f64>],
+        ys: &[Vec<f64>],
+        rows: Vec<usize>,
+        depth: usize,
+        rng: &mut Prng,
+    ) -> usize {
+        let make_leaf = |nodes: &mut Vec<Node>, rows: &[usize]| {
+            nodes.push(Node::Leaf { value: Self::leaf_value(ys, rows) });
+            nodes.len() - 1
+        };
+        if depth >= self.config.max_depth || rows.len() < self.config.min_samples_split {
+            return make_leaf(&mut self.nodes, &rows);
+        }
+        match self.best_split(xs, ys, &rows, rng) {
+            None => make_leaf(&mut self.nodes, &rows),
+            Some((feature, threshold)) => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.into_iter().partition(|&r| xs[r][feature] <= threshold);
+                if left_rows.len() < self.config.min_samples_leaf
+                    || right_rows.len() < self.config.min_samples_leaf
+                {
+                    let mut all = left_rows;
+                    all.extend(right_rows);
+                    return make_leaf(&mut self.nodes, &all);
+                }
+                // Reserve our slot before children so the index is stable.
+                self.nodes.push(Node::Leaf { value: Vec::new() });
+                let me = self.nodes.len() - 1;
+                let left = self.grow(xs, ys, left_rows, depth + 1, rng);
+                let right = self.grow(xs, ys, right_rows, depth + 1, rng);
+                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    /// Pick the (feature, threshold) pair with the best total-SSE reduction
+    /// across outputs, scanning sorted feature values with running sums.
+    fn best_split(
+        &self,
+        xs: &[&Vec<f64>],
+        ys: &[Vec<f64>],
+        rows: &[usize],
+        rng: &mut Prng,
+    ) -> Option<(usize, f64)> {
+        let n_features = xs[0].len();
+        let n_outputs = ys[0].len();
+        let n = rows.len() as f64;
+
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if let Some(k) = self.config.max_features {
+            rng.shuffle(&mut features);
+            features.truncate(k.max(1).min(n_features));
+        }
+
+        // Total sums for the parent node.
+        let mut total_sum = vec![0.0; n_outputs];
+        let mut total_sq = vec![0.0; n_outputs];
+        for &r in rows {
+            for j in 0..n_outputs {
+                total_sum[j] += ys[r][j];
+                total_sq[j] += ys[r][j] * ys[r][j];
+            }
+        }
+        let parent_sse: f64 =
+            (0..n_outputs).map(|j| total_sq[j] - total_sum[j] * total_sum[j] / n).sum();
+        if parent_sse <= 1e-12 {
+            return None; // pure node
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+        let mut sorted = rows.to_vec();
+        let mut left_sum = vec![0.0; n_outputs];
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            left_sum.iter_mut().for_each(|v| *v = 0.0);
+            let mut left_sq_per = vec![0.0; n_outputs];
+            for (k, &r) in sorted.iter().enumerate().take(sorted.len() - 1) {
+                for j in 0..n_outputs {
+                    left_sum[j] += ys[r][j];
+                    left_sq_per[j] += ys[r][j] * ys[r][j];
+                }
+                let next_val = xs[sorted[k + 1]][f];
+                let cur_val = xs[r][f];
+                if next_val <= cur_val {
+                    continue; // can't split between equal values
+                }
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                let mut sse = 0.0;
+                for j in 0..n_outputs {
+                    let rs = total_sum[j] - left_sum[j];
+                    let rq = total_sq[j] - left_sq_per[j];
+                    sse += left_sq_per[j] - left_sum[j] * left_sum[j] / nl;
+                    sse += rq - rs * rs / nr;
+                }
+                if best.is_none_or(|(b, _, _)| sse < b) {
+                    best = Some((sse, f, (cur_val + next_val) / 2.0));
+                }
+            }
+        }
+        best.and_then(|(sse, f, t)| if sse < parent_sse - 1e-12 { Some((f, t)) } else { None })
+    }
+
+    fn predict_standardized(&self, x: &[f64]) -> &[f64] {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
+        let indices: Vec<usize> = (0..x.len()).collect();
+        self.fit_indices(x, y, &indices)
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let std = self.predict_standardized(x);
+        std.iter()
+            .enumerate()
+            .map(|(j, v)| v * self.y_scales[j] + self.y_means[j])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { value } => 16 + value.len() * 8,
+                Node::Split { .. } => 32,
+            })
+            .sum()
+    }
+
+    fn save_text(&self) -> DbResult<String> {
+        Ok(crate::persist::save_model(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> =
+            x.iter().map(|r| vec![if r[0] < 50.0 { 1.0 } else { 9.0 }]).collect();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_one(&[10.0])[0], 1.0);
+        assert_eq!(t.predict_one(&[90.0])[0], 9.0);
+    }
+
+    #[test]
+    fn multi_output_leaves() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                if r[0] < 30.0 {
+                    vec![1.0, 100.0]
+                } else {
+                    vec![2.0, 200.0]
+                }
+            })
+            .collect();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        let p = t.predict_one(&[5.0]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!((p[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0]]).collect();
+        let mut t = DecisionTree::new(TreeConfig { max_depth: 2, ..TreeConfig::default() });
+        t.fit(&x, &y).unwrap();
+        // Depth 2 => at most 3 splits + 4 leaves.
+        assert!(t.n_nodes() <= 7, "nodes {}", t.n_nodes());
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![vec![5.0]; 20];
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict_one(&[3.0])[0], 5.0);
+    }
+
+    #[test]
+    fn approximates_nonlinear_function() {
+        let x: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 / 50.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0].sin() * 10.0]).collect();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        let mut err = 0.0;
+        for r in &x {
+            err += (t.predict_one(r)[0] - r[0].sin() * 10.0).abs();
+        }
+        assert!(err / (x.len() as f64) < 0.5, "avg err {}", err / x.len() as f64);
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut t = DecisionTree::new(TreeConfig::default());
+        assert!(t.fit(&[], &[]).is_err());
+    }
+}

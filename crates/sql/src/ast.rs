@@ -1,0 +1,107 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use mb2_common::{DataType, Value};
+
+/// Unbound expression as parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `t.col` or `col`.
+    Column { table: Option<String>, name: String },
+    Literal(Value),
+    Binary { op: crate::expr::BinOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: crate::expr::UnOp, operand: Box<Expr> },
+    /// Aggregate call, e.g. `SUM(a + b)`; `COUNT(*)` has `arg == None`.
+    Agg { func: crate::expr::AggFunc, arg: Option<Box<Expr>> },
+}
+
+/// A projection item: expression plus optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// Table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Empty means `SELECT *`.
+    pub items: Vec<SelectItem>,
+    /// `SELECT DISTINCT` (desugars to grouping on the select list).
+    pub distinct: bool,
+    pub from: Vec<TableRef>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate over the grouped output.
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    /// Declared VARCHAR length (feature input for tuple-size estimates).
+    pub varchar_len: Option<usize>,
+}
+
+/// Top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        /// `WITH (THREADS = n)` parallel-build option.
+        threads: Option<usize>,
+    },
+    DropIndex {
+        name: String,
+        table: String,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list; empty means full schema order.
+        columns: Vec<String>,
+        /// One or more VALUES rows of expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    Select(Select),
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    Analyze {
+        table: String,
+    },
+    Begin,
+    Commit,
+    Rollback,
+}

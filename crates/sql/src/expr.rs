@@ -1,0 +1,328 @@
+//! Bound (resolved) expressions and their evaluation.
+//!
+//! Expression evaluation is the **Arithmetic or Filter** OU: the executor
+//! counts evaluations per tuple and the translator derives the OU's features
+//! from the expression tree size and the number of tuples flowing through.
+
+use std::fmt;
+
+use mb2_common::{DbError, DbResult, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression with column references resolved to positions in the input
+/// tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    Col(usize),
+    Lit(Value),
+    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    Unary { op: UnOp, operand: Box<BoundExpr> },
+}
+
+impl BoundExpr {
+    /// Evaluate against an input tuple.
+    pub fn eval(&self, tuple: &[Value]) -> DbResult<Value> {
+        match self {
+            BoundExpr::Col(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Execution(format!("column index {i} out of range"))),
+            BoundExpr::Lit(v) => Ok(v.clone()),
+            BoundExpr::Unary { op, operand } => {
+                let v = operand.eval(tuple)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(x) => Ok(Value::Int(-x)),
+                        Value::Float(x) => Ok(Value::Float(-x)),
+                        other => {
+                            Err(DbError::Execution(format!("cannot negate {other}")))
+                        }
+                    },
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            BoundExpr::Binary { op, left, right } => {
+                // Short-circuit logic operators.
+                if *op == BinOp::And {
+                    let l = left.eval(tuple)?;
+                    if !l.is_null() && !l.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = right.eval(tuple)?;
+                    return Ok(Value::Bool(
+                        !l.is_null() && l.as_bool()? && !r.is_null() && r.as_bool()?,
+                    ));
+                }
+                if *op == BinOp::Or {
+                    let l = left.eval(tuple)?;
+                    if !l.is_null() && l.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = right.eval(tuple)?;
+                    return Ok(Value::Bool(!r.is_null() && r.as_bool()?));
+                }
+                let l = left.eval(tuple)?;
+                let r = right.eval(tuple)?;
+                if l.is_null() || r.is_null() {
+                    // SQL three-valued logic simplified: NULL propagates for
+                    // arithmetic; comparisons with NULL are false.
+                    return Ok(if op.is_comparison() { Value::Bool(false) } else { Value::Null });
+                }
+                if op.is_comparison() {
+                    let ord = l.cmp_total(&r);
+                    let out = match op {
+                        BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                        BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                        BinOp::Lt => ord == std::cmp::Ordering::Less,
+                        BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                        BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                        BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                        _ => unreachable!(),
+                    };
+                    return Ok(Value::Bool(out));
+                }
+                // Arithmetic: integer ops stay integer; mixed promotes.
+                match (&l, &r) {
+                    (Value::Int(a), Value::Int(b)) => {
+                        let a = *a;
+                        let b = *b;
+                        Ok(match op {
+                            BinOp::Add => Value::Int(a.wrapping_add(b)),
+                            BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+                            BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+                            BinOp::Div => {
+                                if b == 0 {
+                                    return Err(DbError::Execution("division by zero".into()));
+                                }
+                                Value::Int(a / b)
+                            }
+                            BinOp::Mod => {
+                                if b == 0 {
+                                    return Err(DbError::Execution("modulo by zero".into()));
+                                }
+                                Value::Int(a % b)
+                            }
+                            _ => unreachable!(),
+                        })
+                    }
+                    _ => {
+                        let a = l.as_f64()?;
+                        let b = r.as_f64()?;
+                        Ok(match op {
+                            BinOp::Add => Value::Float(a + b),
+                            BinOp::Sub => Value::Float(a - b),
+                            BinOp::Mul => Value::Float(a * b),
+                            BinOp::Div => {
+                                if b == 0.0 {
+                                    return Err(DbError::Execution("division by zero".into()));
+                                }
+                                Value::Float(a / b)
+                            }
+                            BinOp::Mod => Value::Float(a % b),
+                            _ => unreachable!(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate (NULL counts as false).
+    pub fn eval_bool(&self, tuple: &[Value]) -> DbResult<bool> {
+        match self.eval(tuple)? {
+            Value::Null => Ok(false),
+            v => v.as_bool(),
+        }
+    }
+
+    /// Number of operator nodes — the Arithmetic/Filter OU's "amount of
+    /// work per tuple" feature.
+    pub fn op_count(&self) -> usize {
+        match self {
+            BoundExpr::Col(_) | BoundExpr::Lit(_) => 0,
+            BoundExpr::Unary { operand, .. } => 1 + operand.op_count(),
+            BoundExpr::Binary { left, right, .. } => 1 + left.op_count() + right.op_count(),
+        }
+    }
+
+    /// All column positions referenced.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Col(i) => out.push(*i),
+            BoundExpr::Lit(_) => {}
+            BoundExpr::Unary { operand, .. } => operand.collect_columns(out),
+            BoundExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite column indices through a mapping (old position -> new).
+    pub fn remap(&self, map: &dyn Fn(usize) -> usize) -> BoundExpr {
+        match self {
+            BoundExpr::Col(i) => BoundExpr::Col(map(*i)),
+            BoundExpr::Lit(v) => BoundExpr::Lit(v.clone()),
+            BoundExpr::Unary { op, operand } => {
+                BoundExpr::Unary { op: *op, operand: Box::new(operand.remap(map)) }
+            }
+            BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.remap(map)),
+                right: Box::new(right.remap(map)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Col(i)
+    }
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Lit(v.into())
+    }
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let t = vec![Value::Int(7), Value::Float(2.0)];
+        assert_eq!(bin(BinOp::Add, col(0), lit(3)).eval(&t).unwrap(), Value::Int(10));
+        assert_eq!(bin(BinOp::Div, col(0), col(1)).eval(&t).unwrap(), Value::Float(3.5));
+        assert_eq!(bin(BinOp::Mod, col(0), lit(4)).eval(&t).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let t = vec![Value::Int(1)];
+        assert!(bin(BinOp::Div, col(0), lit(0)).eval(&t).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = vec![Value::Int(5)];
+        assert_eq!(bin(BinOp::Lt, col(0), lit(6)).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(bin(BinOp::GtEq, col(0), lit(5)).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin(BinOp::Eq, col(0), lit("x")).eval(&t).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn null_semantics() {
+        let t = vec![Value::Null];
+        assert_eq!(bin(BinOp::Eq, col(0), lit(1)).eval(&t).unwrap(), Value::Bool(false));
+        assert!(bin(BinOp::Add, col(0), lit(1)).eval(&t).unwrap().is_null());
+        assert!(!bin(BinOp::Eq, col(0), lit(1)).eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        let t = vec![Value::Bool(false), Value::Int(0)];
+        // Right side would divide by zero; AND short-circuits.
+        let bad = bin(BinOp::Div, lit(1), col(1));
+        let guarded = bin(BinOp::And, col(0), bin(BinOp::Gt, bad.clone(), lit(0)));
+        assert_eq!(guarded.eval(&t).unwrap(), Value::Bool(false));
+        let t2 = vec![Value::Bool(true), Value::Int(0)];
+        let guarded_or = bin(BinOp::Or, col(0), bin(BinOp::Gt, bad, lit(0)));
+        assert_eq!(guarded_or.eval(&t2).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unary_ops() {
+        let t = vec![Value::Int(5), Value::Bool(true)];
+        assert_eq!(
+            BoundExpr::Unary { op: UnOp::Neg, operand: Box::new(col(0)) }.eval(&t).unwrap(),
+            Value::Int(-5)
+        );
+        assert_eq!(
+            BoundExpr::Unary { op: UnOp::Not, operand: Box::new(col(1)) }.eval(&t).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn op_count_and_columns() {
+        let e = bin(BinOp::Add, bin(BinOp::Mul, col(0), col(2)), lit(1));
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(e.columns(), vec![0, 2]);
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = bin(BinOp::Eq, col(1), col(3));
+        let r = e.remap(&|i| i + 10);
+        assert_eq!(r.columns(), vec![11, 13]);
+    }
+}

@@ -1,0 +1,223 @@
+//! SQL tokenizer.
+
+use mb2_common::{DbError, DbResult};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (uppercased for keywords at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut tokens, Symbol::LParen, &mut i),
+            ')' => push_sym(&mut tokens, Symbol::RParen, &mut i),
+            ',' => push_sym(&mut tokens, Symbol::Comma, &mut i),
+            ';' => push_sym(&mut tokens, Symbol::Semicolon, &mut i),
+            '*' => push_sym(&mut tokens, Symbol::Star, &mut i),
+            '+' => push_sym(&mut tokens, Symbol::Plus, &mut i),
+            '-' => push_sym(&mut tokens, Symbol::Minus, &mut i),
+            '/' => push_sym(&mut tokens, Symbol::Slash, &mut i),
+            '%' => push_sym(&mut tokens, Symbol::Percent, &mut i),
+            '.' => push_sym(&mut tokens, Symbol::Dot, &mut i),
+            '=' => push_sym(&mut tokens, Symbol::Eq, &mut i),
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol(Symbol::NotEq));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Token::Symbol(Symbol::LtEq));
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Token::Symbol(Symbol::NotEq));
+                        i += 2;
+                    }
+                    _ => push_sym(&mut tokens, Symbol::Lt, &mut i),
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::GtEq));
+                    i += 2;
+                } else {
+                    push_sym(&mut tokens, Symbol::Gt, &mut i);
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a quote.
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Multi-byte UTF-8 passthrough.
+                    let ch_len = utf8_len(bytes[i]);
+                    s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|e| {
+                        DbError::Parse(format!("invalid utf8 in string: {e}"))
+                    })?);
+                    i += ch_len;
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|e| {
+                        DbError::Parse(format!("bad float '{text}': {e}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| {
+                        DbError::Parse(format!("bad int '{text}': {e}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(DbError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn push_sym(tokens: &mut Vec<Token>, sym: Symbol, i: &mut usize) {
+    tokens.push(Token::Symbol(sym));
+    *i += 1;
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t.contains(&Token::Symbol(Symbol::GtEq)));
+        assert!(t.contains(&Token::Int(10)));
+        assert_eq!(*t.last().unwrap(), Token::Symbol(Symbol::Semicolon));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn floats_vs_qualified_names() {
+        let t = tokenize("1.5 t.c").unwrap();
+        assert_eq!(t[0], Token::Float(1.5));
+        assert_eq!(t[1], Token::Ident("t".into()));
+        assert_eq!(t[2], Token::Symbol(Symbol::Dot));
+        assert_eq!(t[3], Token::Ident("c".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn not_equal_forms() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::Symbol(Symbol::NotEq)]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::Symbol(Symbol::NotEq)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = tokenize("'héllo'").unwrap();
+        assert_eq!(t, vec![Token::Str("héllo".into())]);
+    }
+}

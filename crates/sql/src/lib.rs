@@ -1,0 +1,26 @@
+//! SQL front end: lexer, parser, binder/planner, and cost-based optimizer.
+//!
+//! The OU-runners exercise the DBMS through SQL (paper §6.2 chose SQL-level
+//! runners over internal-API runners for maintainability), so this crate
+//! implements the subset the paper's workloads need: CREATE/DROP TABLE,
+//! CREATE/DROP INDEX (with a thread-count option for parallel builds),
+//! INSERT, multi-table SELECT with WHERE / GROUP BY / ORDER BY / LIMIT,
+//! UPDATE, DELETE, and ANALYZE.
+//!
+//! The planner produces a [`plan::PlanNode`] tree annotated with cardinality
+//! estimates; `mb2-exec` executes that tree and `mb2-core`'s OU translator
+//! maps it to operating units with the estimates as model features.
+
+pub mod ast;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+
+pub use ast::Statement;
+pub use expr::{AggFunc, BinOp, BoundExpr, UnOp};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+pub use plan::{OutputSink, PlanNode, ScanRange};
+pub use planner::Planner;

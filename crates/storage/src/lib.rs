@@ -1,0 +1,17 @@
+//! In-memory MVCC row storage.
+//!
+//! The NoisePage-analog storage layer: tables are segmented slot arrays where
+//! each slot holds a newest-first version chain. Transactions (managed by
+//! `mb2-txn`) install uncommitted versions tagged with their transaction id,
+//! stamp them with a commit timestamp on commit, and unlink them on abort.
+//! Visibility follows snapshot isolation: a reader at timestamp `t` sees the
+//! newest version whose begin timestamp is committed and `<= t`.
+
+mod proptests;
+pub mod table;
+pub mod ts;
+pub mod version;
+
+pub use table::{SlotId, Table, TableId};
+pub use ts::{Ts, TXN_FLAG};
+pub use version::{Version, VersionChain};

@@ -1,0 +1,154 @@
+//! Property tests for MVCC visibility: a sequential mix of transactions
+//! (insert/update/delete, commit or abort) must leave the table looking
+//! exactly like a model map of committed state, and historical snapshots
+//! must keep seeing their versions.
+
+#![cfg(test)]
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mb2_common::{Column, DataType, Schema, Value};
+
+use crate::{SlotId, Table, TableId, Ts};
+
+#[derive(Debug, Clone)]
+enum TxnOp {
+    /// Insert a fresh row with this payload.
+    Insert(i64),
+    /// Update the row inserted by step `k` (mod live rows) to this payload.
+    Update(usize, i64),
+    /// Delete the row inserted by step `k` (mod live rows).
+    Delete(usize),
+}
+
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    ops: Vec<TxnOp>,
+    commit: bool,
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnSpec> {
+    let op = prop_oneof![
+        any::<i64>().prop_map(TxnOp::Insert),
+        (any::<usize>(), any::<i64>()).prop_map(|(k, v)| TxnOp::Update(k, v)),
+        any::<usize>().prop_map(TxnOp::Delete),
+    ];
+    (proptest::collection::vec(op, 1..6), any::<bool>())
+        .prop_map(|(ops, commit)| TxnSpec { ops, commit })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn committed_state_matches_model(txns in proptest::collection::vec(txn_strategy(), 1..25)) {
+        let table = Table::new(
+            TableId(1),
+            "t",
+            Schema::new(vec![Column::new("v", DataType::Int)]),
+        );
+        // Model: slot -> committed payload.
+        let mut model: HashMap<usize, i64> = HashMap::new();
+        let mut slots: Vec<SlotId> = Vec::new();
+        let mut clock = 10u64;
+        let mut txn_counter = 1u64;
+
+        for spec in txns {
+            let txn = Ts::txn(txn_counter);
+            txn_counter += 1;
+            let read_ts = Ts(clock);
+            // Staged changes for this transaction.
+            let mut staged: Vec<(usize, Option<i64>, bool)> = Vec::new(); // (idx, new, is_insert)
+            let mut new_slots: Vec<SlotId> = Vec::new();
+            let mut failed = false;
+            for op in &spec.ops {
+                match op {
+                    TxnOp::Insert(v) => {
+                        let slot = table.insert(vec![Value::Int(*v)], txn).unwrap();
+                        new_slots.push(slot);
+                        slots.push(slot);
+                        staged.push((slots.len() - 1, Some(*v), true));
+                    }
+                    TxnOp::Update(k, v) => {
+                        let live: Vec<usize> =
+                            model.keys().copied().collect();
+                        if live.is_empty() { continue; }
+                        let idx = live[k % live.len()];
+                        match table.update(slots[idx], vec![Value::Int(*v)], txn, read_ts) {
+                            Ok(_) => staged.push((idx, Some(*v), false)),
+                            Err(_) => { failed = true; break; }
+                        }
+                    }
+                    TxnOp::Delete(k) => {
+                        // Only delete rows not already touched this txn (the
+                        // model below doesn't track intra-txn delete-after-
+                        // update chains).
+                        let live: Vec<usize> = model
+                            .keys()
+                            .copied()
+                            .filter(|i| !staged.iter().any(|(si, _, _)| si == i))
+                            .collect();
+                        if live.is_empty() { continue; }
+                        let idx = live[k % live.len()];
+                        match table.delete(slots[idx], txn, read_ts) {
+                            Ok(_) => staged.push((idx, None, false)),
+                            Err(_) => { failed = true; break; }
+                        }
+                    }
+                }
+            }
+            if spec.commit && !failed {
+                clock += 1;
+                let commit_ts = Ts(clock);
+                for (idx, new, is_insert) in &staged {
+                    let delta = match (new, is_insert) {
+                        (Some(_), true) => 1,
+                        (None, _) => -1,
+                        _ => 0,
+                    };
+                    table.commit_slot(slots[*idx], txn, commit_ts, delta);
+                    match new {
+                        Some(v) => { model.insert(*idx, *v); }
+                        None => { model.remove(idx); }
+                    }
+                }
+            } else {
+                // Abort everything (in reverse, like the real txn manager).
+                // Re-writes of the same slot collapse into one version, so
+                // abort each touched slot exactly once.
+                for slot in new_slots.iter().rev() {
+                    table.abort_slot(*slot, txn);
+                }
+                let mut aborted: Vec<usize> = Vec::new();
+                for (idx, _, is_insert) in staged.iter().rev() {
+                    if !is_insert && !aborted.contains(idx) {
+                        table.abort_slot(slots[*idx], txn);
+                        aborted.push(*idx);
+                    }
+                }
+            }
+        }
+
+        // Final visible state equals the model.
+        let mut seen: HashMap<SlotId, i64> = HashMap::new();
+        table.scan_visible(Ts(clock), Ts::txn(0), |slot, tuple| {
+            seen.insert(slot, tuple[0].as_i64().unwrap());
+            true
+        });
+        prop_assert_eq!(seen.len(), model.len());
+        for (idx, v) in &model {
+            prop_assert_eq!(seen.get(&slots[*idx]), Some(v));
+        }
+
+        // GC never changes the current snapshot's contents.
+        table.gc(Ts(clock));
+        let mut after_gc: HashMap<SlotId, i64> = HashMap::new();
+        table.scan_visible(Ts(clock), Ts::txn(0), |slot, tuple| {
+            after_gc.insert(slot, tuple[0].as_i64().unwrap());
+            true
+        });
+        prop_assert_eq!(&after_gc, &seen);
+    }
+}

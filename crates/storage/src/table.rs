@@ -1,0 +1,430 @@
+//! Segmented table heap.
+//!
+//! A table is an append-only array of slots, organized into fixed-size
+//! segments so concurrent appends never invalidate existing slot references.
+//! Each slot holds a [`VersionChain`] behind a light mutex.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mb2_common::types::Tuple;
+use mb2_common::{DbError, DbResult, Schema};
+
+use crate::ts::Ts;
+use crate::version::VersionChain;
+
+/// Identifies a table within the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Physical tuple address: segment index + offset within the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId {
+    pub segment: u32,
+    pub offset: u32,
+}
+
+/// Number of slots per segment.
+pub const SEGMENT_SIZE: usize = 4096;
+
+struct Segment {
+    chains: Vec<Mutex<VersionChain>>,
+}
+
+impl Segment {
+    fn new() -> Segment {
+        let mut chains = Vec::with_capacity(SEGMENT_SIZE);
+        chains.resize_with(SEGMENT_SIZE, || Mutex::new(VersionChain::default()));
+        Segment { chains }
+    }
+}
+
+/// A table heap with MVCC slots.
+pub struct Table {
+    pub id: TableId,
+    pub name: String,
+    schema: Schema,
+    segments: RwLock<Vec<Arc<Segment>>>,
+    /// Total slots ever allocated (tail pointer).
+    next_slot: AtomicUsize,
+    /// Approximate count of live (committed, non-deleted) tuples; maintained
+    /// by commit/GC bookkeeping in higher layers calling the delta methods.
+    live_tuples: AtomicUsize,
+    /// Approximate total version count across all slots.
+    version_count: AtomicUsize,
+}
+
+impl Table {
+    pub fn new(id: TableId, name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            id,
+            name: name.into(),
+            schema,
+            segments: RwLock::new(Vec::new()),
+            next_slot: AtomicUsize::new(0),
+            live_tuples: AtomicUsize::new(0),
+            version_count: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of slots allocated so far (upper bound on tuple count).
+    pub fn num_slots(&self) -> usize {
+        self.next_slot.load(Ordering::Acquire)
+    }
+
+    /// Approximate live tuple count (used by the optimizer's statistics).
+    pub fn live_tuples(&self) -> usize {
+        self.live_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Approximate number of versions (live + garbage) across the heap.
+    pub fn version_count(&self) -> usize {
+        self.version_count.load(Ordering::Relaxed)
+    }
+
+    fn segment(&self, idx: u32) -> Arc<Segment> {
+        self.segments.read()[idx as usize].clone()
+    }
+
+    fn chain<R>(&self, slot: SlotId, f: impl FnOnce(&mut VersionChain) -> R) -> R {
+        let seg = self.segment(slot.segment);
+        let mut chain = seg.chains[slot.offset as usize].lock();
+        f(&mut chain)
+    }
+
+    /// Validate a tuple against the schema (arity; types are permissive with
+    /// NULL allowed everywhere).
+    fn check_tuple(&self, tuple: &Tuple) -> DbResult<()> {
+        if tuple.len() != self.schema.len() {
+            return Err(DbError::Storage(format!(
+                "tuple arity {} does not match schema arity {} for table '{}'",
+                tuple.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple as an uncommitted version owned by `txn`.
+    pub fn insert(&self, tuple: Tuple, txn: Ts) -> DbResult<SlotId> {
+        self.check_tuple(&tuple)?;
+        let idx = self.next_slot.fetch_add(1, Ordering::AcqRel);
+        let segment = (idx / SEGMENT_SIZE) as u32;
+        let offset = (idx % SEGMENT_SIZE) as u32;
+        {
+            // Grow the segment directory if needed.
+            let need = segment as usize + 1;
+            let mut segs = self.segments.write();
+            while segs.len() < need {
+                segs.push(Arc::new(Segment::new()));
+            }
+        }
+        let slot = SlotId { segment, offset };
+        self.chain(slot, |c| {
+            *c = VersionChain::new_insert(tuple, txn);
+        });
+        self.version_count.fetch_add(1, Ordering::Relaxed);
+        Ok(slot)
+    }
+
+    /// Read the version of `slot` visible at `read_ts` to transaction `own`.
+    pub fn read(&self, slot: SlotId, read_ts: Ts, own: Ts) -> Option<Arc<Tuple>> {
+        self.chain(slot, |c| c.visible(read_ts, own).cloned())
+    }
+
+    /// Update `slot`, installing a new uncommitted version. Returns the old
+    /// data for undo logging.
+    pub fn update(&self, slot: SlotId, tuple: Tuple, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
+        self.check_tuple(&tuple)?;
+        let old = self
+            .chain(slot, |c| c.install(Some(tuple), txn, read_ts))
+            .map_err(|e| self.annotate(e))?;
+        self.version_count.fetch_add(1, Ordering::Relaxed);
+        old.ok_or_else(|| DbError::Storage("update produced no prior version".into()))
+    }
+
+    /// Delete `slot` (install a tombstone). Returns the old data.
+    pub fn delete(&self, slot: SlotId, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
+        let old = self
+            .chain(slot, |c| c.install(None, txn, read_ts))
+            .map_err(|e| self.annotate(e))?;
+        self.version_count.fetch_add(1, Ordering::Relaxed);
+        old.ok_or_else(|| DbError::Storage("delete of already-deleted tuple".into()))
+    }
+
+    fn annotate(&self, e: DbError) -> DbError {
+        match e {
+            DbError::WriteConflict { .. } => DbError::WriteConflict { table: self.name.clone() },
+            other => other,
+        }
+    }
+
+    /// Stamp the uncommitted version of `txn` at `slot` with `commit_ts`.
+    /// `delta_live` is +1 for inserts, -1 for deletes, 0 for updates.
+    pub fn commit_slot(&self, slot: SlotId, txn: Ts, commit_ts: Ts, delta_live: i64) {
+        self.chain(slot, |c| c.commit(txn, commit_ts));
+        if delta_live > 0 {
+            self.live_tuples.fetch_add(delta_live as usize, Ordering::Relaxed);
+        } else if delta_live < 0 {
+            let d = (-delta_live) as usize;
+            let mut cur = self.live_tuples.load(Ordering::Relaxed);
+            while cur > 0 {
+                match self.live_tuples.compare_exchange_weak(
+                    cur,
+                    cur.saturating_sub(d),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Roll back `txn`'s uncommitted version at `slot`.
+    pub fn abort_slot(&self, slot: SlotId, txn: Ts) {
+        self.chain(slot, |c| {
+            c.abort(txn);
+        });
+        self.version_count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Visit every slot's visible version at `read_ts`. The callback gets the
+    /// slot id and a borrowed tuple; returning `false` stops the scan early.
+    pub fn scan_visible(
+        &self,
+        read_ts: Ts,
+        own: Ts,
+        mut f: impl FnMut(SlotId, &Tuple) -> bool,
+    ) {
+        let total = self.num_slots();
+        let segs = self.segments.read().clone();
+        'outer: for (si, seg) in segs.iter().enumerate() {
+            let upper = if (si + 1) * SEGMENT_SIZE <= total {
+                SEGMENT_SIZE
+            } else {
+                total - si * SEGMENT_SIZE
+            };
+            for off in 0..upper {
+                let chain = seg.chains[off].lock();
+                if let Some(data) = chain.visible(read_ts, own) {
+                    let slot = SlotId { segment: si as u32, offset: off as u32 };
+                    if !f(slot, data) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Garbage-collect version chains against the watermark. Returns the
+    /// number of versions reclaimed.
+    pub fn gc(&self, watermark: Ts) -> usize {
+        let total = self.num_slots();
+        let segs = self.segments.read().clone();
+        let mut reclaimed = 0usize;
+        for (si, seg) in segs.iter().enumerate() {
+            let upper = if (si + 1) * SEGMENT_SIZE <= total {
+                SEGMENT_SIZE
+            } else {
+                total - si * SEGMENT_SIZE
+            };
+            for off in 0..upper {
+                let mut chain = seg.chains[off].lock();
+                reclaimed += chain.prune(watermark);
+            }
+        }
+        if reclaimed > 0 {
+            self.version_count.fetch_sub(
+                reclaimed.min(self.version_count.load(Ordering::Relaxed)),
+                Ordering::Relaxed,
+            );
+        }
+        reclaimed
+    }
+
+    /// Approximate heap size in bytes (live + garbage versions).
+    pub fn approx_bytes(&self) -> usize {
+        let total = self.num_slots();
+        let segs = self.segments.read().clone();
+        let mut bytes = 0usize;
+        for (si, seg) in segs.iter().enumerate() {
+            let upper = if (si + 1) * SEGMENT_SIZE <= total {
+                SEGMENT_SIZE
+            } else {
+                total - si * SEGMENT_SIZE
+            };
+            for off in 0..upper {
+                bytes += seg.chains[off].lock().approx_bytes();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::{Column, DataType, Value};
+
+    fn table() -> Table {
+        Table::new(
+            TableId(1),
+            "t",
+            Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+        )
+    }
+
+    fn tup(a: i64, b: i64) -> Tuple {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let t = table();
+        let slot = t.insert(tup(1, 2), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(10), 1);
+        assert_eq!(t.read(slot, Ts(10), Ts::txn(2)).unwrap()[0], Value::Int(1));
+        assert!(t.read(slot, Ts(9), Ts::txn(2)).is_none());
+        assert_eq!(t.live_tuples(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = table();
+        assert!(t.insert(vec![Value::Int(1)], Ts::txn(1)).is_err());
+    }
+
+    #[test]
+    fn update_and_abort_round_trip() {
+        let t = table();
+        let slot = t.insert(tup(1, 1), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        let old = t.update(slot, tup(2, 2), Ts::txn(2), Ts(6)).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        t.abort_slot(slot, Ts::txn(2));
+        assert_eq!(t.read(slot, Ts(10), Ts::txn(3)).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn conflict_names_table() {
+        let t = table();
+        let slot = t.insert(tup(1, 1), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        t.update(slot, tup(2, 2), Ts::txn(2), Ts(6)).unwrap();
+        match t.update(slot, tup(3, 3), Ts::txn(3), Ts(6)) {
+            Err(DbError::WriteConflict { table }) => assert_eq!(table, "t"),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_sees_committed_only() {
+        let t = table();
+        for i in 0..10 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        // One uncommitted insert from another transaction.
+        t.insert(tup(99, 99), Ts::txn(2)).unwrap();
+        let mut seen = Vec::new();
+        t.scan_visible(Ts(5), Ts::txn(3), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(seen.len(), 10);
+        assert!(!seen.contains(&99));
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let t = table();
+        for i in 0..10 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        let mut count = 0;
+        t.scan_visible(Ts(5), Ts::txn(2), |_, _| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn segments_grow_across_boundary() {
+        let t = table();
+        let n = SEGMENT_SIZE + 10;
+        for i in 0..n {
+            let slot = t.insert(tup(i as i64, 0), Ts::txn(1)).unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        assert_eq!(t.num_slots(), n);
+        let mut count = 0;
+        t.scan_visible(Ts(5), Ts::txn(2), |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn gc_reclaims_old_versions() {
+        let t = table();
+        let slot = t.insert(tup(0, 0), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        for i in 0..5u64 {
+            let txn = Ts::txn(10 + i);
+            let ts = 10 + i;
+            t.update(slot, tup(i as i64 + 1, 0), txn, Ts(ts - 1)).unwrap();
+            t.commit_slot(slot, txn, Ts(ts), 0);
+        }
+        let before = t.version_count();
+        let reclaimed = t.gc(Ts(14));
+        assert!(reclaimed >= 4, "reclaimed {reclaimed}");
+        assert!(t.version_count() < before);
+        // Newest version still readable.
+        assert_eq!(t.read(slot, Ts(20), Ts::txn(99)).unwrap()[0], Value::Int(5));
+    }
+
+    #[test]
+    fn delete_decrements_live_count() {
+        let t = table();
+        let slot = t.insert(tup(1, 1), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        t.delete(slot, Ts::txn(2), Ts(6)).unwrap();
+        t.commit_slot(slot, Ts::txn(2), Ts(7), -1);
+        assert_eq!(t.live_tuples(), 0);
+        assert!(t.read(slot, Ts(7), Ts::txn(3)).is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let t = Arc::new(table());
+        let threads: Vec<_> = (0..4)
+            .map(|ti| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let txn = Ts::txn((ti * 1000 + i) as u64 + 1);
+                        let slot = t.insert(tup(i as i64, ti as i64), txn).unwrap();
+                        t.commit_slot(slot, txn, Ts(100), 1);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.num_slots(), 2000);
+        assert_eq!(t.live_tuples(), 2000);
+    }
+}

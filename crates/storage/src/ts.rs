@@ -1,0 +1,86 @@
+//! Logical timestamps for MVCC.
+//!
+//! Committed timestamps are plain counters. Transaction ids carry the high
+//! bit (`TXN_FLAG`) so a version's begin/end field encodes either "committed
+//! at time t" or "written by in-flight transaction txn".
+
+use std::fmt;
+
+/// High bit marking a timestamp value as an in-flight transaction id.
+pub const TXN_FLAG: u64 = 1 << 63;
+
+/// A logical timestamp or transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// Sentinel meaning "infinity": the version is the live newest version.
+    pub const INF: Ts = Ts(!TXN_FLAG);
+
+    /// Smallest committed timestamp.
+    pub const ZERO: Ts = Ts(0);
+
+    /// Construct a transaction-id timestamp.
+    pub fn txn(id: u64) -> Ts {
+        debug_assert_eq!(id & TXN_FLAG, 0, "txn id overflow");
+        Ts(id | TXN_FLAG)
+    }
+
+    /// Is this value an in-flight transaction id?
+    pub fn is_txn(&self) -> bool {
+        self.0 & TXN_FLAG != 0
+    }
+
+    /// Is this a committed timestamp (not a txn id)?
+    pub fn is_committed(&self) -> bool {
+        !self.is_txn()
+    }
+
+    /// The raw transaction id, if this is a txn-id timestamp.
+    pub fn txn_id(&self) -> Option<u64> {
+        if self.is_txn() {
+            Some(self.0 & !TXN_FLAG)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Ts::INF {
+            f.write_str("inf")
+        } else if let Some(id) = self.txn_id() {
+            write!(f, "txn#{id}")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_flag_round_trip() {
+        let t = Ts::txn(42);
+        assert!(t.is_txn());
+        assert!(!t.is_committed());
+        assert_eq!(t.txn_id(), Some(42));
+    }
+
+    #[test]
+    fn committed_ordering() {
+        assert!(Ts(5) < Ts(9));
+        assert!(Ts(9) < Ts::INF);
+        assert!(Ts::ZERO.is_committed());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ts(3).to_string(), "t3");
+        assert_eq!(Ts::txn(3).to_string(), "txn#3");
+        assert_eq!(Ts::INF.to_string(), "inf");
+    }
+}

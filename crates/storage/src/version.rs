@@ -1,0 +1,326 @@
+//! MVCC version chains.
+//!
+//! Each table slot owns a [`VersionChain`]: a newest-first list of tuple
+//! versions. The chain implements snapshot-isolation visibility and
+//! first-updater-wins write-write conflict detection (NoisePage's MVCC
+//! protocol family [71]).
+
+use std::sync::Arc;
+
+use mb2_common::types::{tuple_size_bytes, Tuple};
+use mb2_common::{DbError, DbResult};
+
+use crate::ts::Ts;
+
+/// One tuple version. `data == None` is a delete tombstone.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// Commit timestamp of the writing transaction, or its txn id while the
+    /// write is uncommitted.
+    pub begin: Ts,
+    /// Timestamp at which this version was superseded ([`Ts::INF`] if live).
+    pub end: Ts,
+    pub data: Option<Arc<Tuple>>,
+}
+
+/// Newest-first version chain for one slot.
+#[derive(Debug, Default)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Create a chain whose first version was installed by `txn`.
+    pub fn new_insert(data: Tuple, txn: Ts) -> VersionChain {
+        debug_assert!(txn.is_txn());
+        VersionChain {
+            versions: vec![Version { begin: txn, end: Ts::INF, data: Some(Arc::new(data)) }],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Approximate heap size of the chain in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.versions
+            .iter()
+            .map(|v| 48 + v.data.as_ref().map_or(0, |d| tuple_size_bytes(d)))
+            .sum()
+    }
+
+    /// Return the version visible to a reader with snapshot `read_ts` that
+    /// belongs to transaction `own` (own uncommitted writes are visible).
+    /// `None` means no visible version (never existed, or deleted).
+    pub fn visible(&self, read_ts: Ts, own: Ts) -> Option<&Arc<Tuple>> {
+        debug_assert!(read_ts.is_committed());
+        for v in &self.versions {
+            let visible = if v.begin.is_txn() { v.begin == own } else { v.begin <= read_ts };
+            if visible {
+                return v.data.as_ref();
+            }
+        }
+        None
+    }
+
+    /// Install a new version written by `txn` (update, or delete when
+    /// `data == None`). Enforces first-updater-wins: fails if the newest
+    /// version is an uncommitted write of another transaction, or was
+    /// committed after the writer's snapshot `read_ts`.
+    ///
+    /// Returns the data of the previously newest version (for undo logging).
+    pub fn install(
+        &mut self,
+        data: Option<Tuple>,
+        txn: Ts,
+        read_ts: Ts,
+    ) -> DbResult<Option<Arc<Tuple>>> {
+        debug_assert!(txn.is_txn());
+        let newest = self
+            .versions
+            .first_mut()
+            .ok_or_else(|| DbError::Storage("install on empty version chain".into()))?;
+        if newest.begin.is_txn() {
+            if newest.begin != txn {
+                return Err(DbError::WriteConflict { table: String::new() });
+            }
+            // Same transaction re-writes the slot: collapse into its own
+            // uncommitted version.
+            let old = newest.data.clone();
+            newest.data = data.map(Arc::new);
+            return Ok(old);
+        }
+        if newest.begin > read_ts {
+            // Committed by someone who serialized after our snapshot.
+            return Err(DbError::WriteConflict { table: String::new() });
+        }
+        if newest.data.is_none() {
+            return Err(DbError::Storage("update of deleted tuple".into()));
+        }
+        let old = newest.data.clone();
+        newest.end = txn;
+        self.versions.insert(
+            0,
+            Version { begin: txn, end: Ts::INF, data: data.map(Arc::new) },
+        );
+        Ok(old)
+    }
+
+    /// Stamp this chain's uncommitted version owned by `txn` with
+    /// `commit_ts`. No-op if the transaction doesn't own the newest version
+    /// (it may have been collapsed by an abort already).
+    pub fn commit(&mut self, txn: Ts, commit_ts: Ts) {
+        debug_assert!(commit_ts.is_committed());
+        if let Some(newest) = self.versions.first_mut() {
+            if newest.begin == txn {
+                newest.begin = commit_ts;
+            }
+        }
+        if let Some(next) = self.versions.get_mut(1) {
+            if next.end == txn {
+                next.end = commit_ts;
+            }
+        }
+    }
+
+    /// Remove the uncommitted version owned by `txn`, restoring the prior
+    /// newest version. Returns true if the chain is now empty (aborted
+    /// insert) and the slot can be reused.
+    pub fn abort(&mut self, txn: Ts) -> bool {
+        if let Some(newest) = self.versions.first() {
+            if newest.begin == txn {
+                self.versions.remove(0);
+                if let Some(prior) = self.versions.first_mut() {
+                    if prior.end == txn {
+                        prior.end = Ts::INF;
+                    }
+                }
+            }
+        }
+        self.versions.is_empty()
+    }
+
+    /// Prune versions no longer visible to any transaction with snapshot
+    /// `>= watermark`. Returns the number of versions reclaimed.
+    ///
+    /// A version can go once a *newer committed* version exists whose begin
+    /// timestamp is `<= watermark` (every live reader will see that newer
+    /// version instead). Tombstone chains whose newest committed tombstone is
+    /// below the watermark collapse entirely.
+    pub fn prune(&mut self, watermark: Ts) -> usize {
+        debug_assert!(watermark.is_committed());
+        // Find the newest committed version visible at the watermark.
+        let mut cutoff = None;
+        for (i, v) in self.versions.iter().enumerate() {
+            if v.begin.is_committed() && v.begin <= watermark {
+                cutoff = Some(i);
+                break;
+            }
+        }
+        let Some(cut) = cutoff else { return 0 };
+        let mut reclaimed = self.versions.len().saturating_sub(cut + 1);
+        self.versions.truncate(cut + 1);
+        // If the surviving watermark-visible version is a tombstone and it is
+        // the only version left, the whole chain is dead.
+        if cut == 0 && self.versions.len() == 1 && self.versions[0].data.is_none() {
+            self.versions.clear();
+            reclaimed += 1;
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::Value;
+
+    fn tup(v: i64) -> Tuple {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn own_uncommitted_write_visible_only_to_owner() {
+        let chain = VersionChain::new_insert(tup(1), Ts::txn(7));
+        assert!(chain.visible(Ts(100), Ts::txn(7)).is_some());
+        assert!(chain.visible(Ts(100), Ts::txn(8)).is_none());
+    }
+
+    #[test]
+    fn committed_version_visible_at_or_after_commit() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(7));
+        chain.commit(Ts::txn(7), Ts(10));
+        assert!(chain.visible(Ts(9), Ts::txn(9)).is_none());
+        assert!(chain.visible(Ts(10), Ts::txn(9)).is_some());
+    }
+
+    #[test]
+    fn snapshot_reads_old_version_during_concurrent_update() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        // Reader with snapshot 6 sees the old value; snapshot 8 the new one.
+        assert_eq!(chain.visible(Ts(6), Ts::txn(9)).unwrap()[0], Value::Int(1));
+        assert_eq!(chain.visible(Ts(8), Ts::txn(9)).unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        let err = chain.install(Some(tup(3)), Ts::txn(3), Ts(6));
+        assert!(matches!(err, Err(DbError::WriteConflict { .. })));
+    }
+
+    #[test]
+    fn stale_snapshot_update_conflicts() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        // Txn with snapshot 6 tries to update after commit at 8.
+        let err = chain.install(Some(tup(3)), Ts::txn(3), Ts(6));
+        assert!(matches!(err, Err(DbError::WriteConflict { .. })));
+    }
+
+    #[test]
+    fn same_txn_rewrites_collapse() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        chain.install(Some(tup(3)), Ts::txn(2), Ts(6)).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.visible(Ts(6), Ts::txn(2)).unwrap()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn abort_restores_prior_version() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        let empty = chain.abort(Ts::txn(2));
+        assert!(!empty);
+        assert_eq!(chain.visible(Ts(10), Ts::txn(9)).unwrap()[0], Value::Int(1));
+        // The restored version is live again (end == INF), so a new update
+        // succeeds.
+        chain.install(Some(tup(5)), Ts::txn(4), Ts(10)).unwrap();
+    }
+
+    #[test]
+    fn aborted_insert_empties_chain() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        assert!(chain.abort(Ts::txn(1)));
+    }
+
+    #[test]
+    fn delete_then_read_sees_tombstone() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(None, Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        assert!(chain.visible(Ts(8), Ts::txn(9)).is_none());
+        assert!(chain.visible(Ts(7), Ts::txn(9)).is_some());
+    }
+
+    #[test]
+    fn update_of_deleted_tuple_fails() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(None, Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        assert!(chain.install(Some(tup(2)), Ts::txn(3), Ts(9)).is_err());
+    }
+
+    #[test]
+    fn prune_reclaims_superseded_versions() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        for (i, ts) in [(2u64, 10u64), (3, 15), (4, 20)] {
+            chain.install(Some(tup(i as i64)), Ts::txn(i), Ts(ts - 1)).unwrap();
+            chain.commit(Ts::txn(i), Ts(ts));
+        }
+        assert_eq!(chain.len(), 4);
+        // Watermark 15: version committed at 15 is the oldest needed.
+        let reclaimed = chain.prune(Ts(15));
+        assert_eq!(reclaimed, 2);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.visible(Ts(15), Ts::txn(9)).unwrap()[0], Value::Int(3));
+        assert_eq!(chain.visible(Ts(20), Ts::txn(9)).unwrap()[0], Value::Int(4));
+    }
+
+    #[test]
+    fn prune_keeps_versions_needed_by_watermark() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(Some(tup(2)), Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(10));
+        // Watermark 7: a reader at 7 still needs the version from t5.
+        assert_eq!(chain.prune(Ts(7)), 0);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn prune_collapses_dead_tombstone_chain() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(None, Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        let reclaimed = chain.prune(Ts(9));
+        assert_eq!(reclaimed, 2);
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn prune_ignores_uncommitted_chains() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        assert_eq!(chain.prune(Ts(100)), 0);
+        assert_eq!(chain.len(), 1);
+    }
+}

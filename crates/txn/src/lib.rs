@@ -1,0 +1,14 @@
+//! Transactions and garbage collection.
+//!
+//! Implements the MVCC transaction manager (snapshot isolation over
+//! `mb2-storage` version chains, WAL integration) and the background version
+//! garbage collector. These back three of paper Table 1's OUs:
+//! **Transaction Begin** and **Transaction Commit** (contending — they
+//! serialize on the shared active-transaction table, so their cost grows with
+//! arrival rate) and **Garbage Collection** (batch).
+
+pub mod gc;
+pub mod manager;
+
+pub use gc::{GarbageCollector, GcReport};
+pub use manager::{Transaction, TxnManager, TxnState};

@@ -1,0 +1,69 @@
+//! Fixed-capacity log buffers.
+
+use bytes::BytesMut;
+
+/// Capacity of one log buffer in bytes (one "disk block" for the block-write
+/// accounting in the behavior metrics).
+pub const LOG_BUFFER_CAPACITY: usize = 4096;
+
+/// A log buffer being filled with serialized records.
+#[derive(Debug)]
+pub struct LogBuffer {
+    pub data: BytesMut,
+    /// Number of records encoded into this buffer.
+    pub record_count: usize,
+}
+
+impl LogBuffer {
+    pub fn new() -> LogBuffer {
+        LogBuffer { data: BytesMut::with_capacity(LOG_BUFFER_CAPACITY), record_count: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remaining capacity before this buffer should be handed to the flusher.
+    pub fn remaining(&self) -> usize {
+        LOG_BUFFER_CAPACITY.saturating_sub(self.data.len())
+    }
+
+    /// True once the buffer has reached its capacity target.
+    pub fn is_full(&self) -> bool {
+        self.data.len() >= LOG_BUFFER_CAPACITY
+    }
+}
+
+impl Default for LogBuffer {
+    fn default() -> Self {
+        LogBuffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BufMut;
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut b = LogBuffer::new();
+        assert!(b.is_empty());
+        assert_eq!(b.remaining(), LOG_BUFFER_CAPACITY);
+        b.data.put_slice(&vec![0u8; LOG_BUFFER_CAPACITY]);
+        assert!(b.is_full());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn oversize_payload_reports_full() {
+        let mut b = LogBuffer::new();
+        b.data.put_slice(&vec![0u8; LOG_BUFFER_CAPACITY + 100]);
+        assert!(b.is_full());
+        assert_eq!(b.remaining(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Write-ahead logging.
+//!
+//! Implements the two WAL operating units of paper Table 1:
+//! * **Log Record Serialize** (batch OU) — encode logical log records into
+//!   fixed-size log buffers.
+//! * **Log Record Flush** (batch OU) — write filled buffers to stable
+//!   storage; runs either synchronously (runners) or on a background flusher
+//!   thread with a configurable flush interval (a behavior knob).
+
+pub mod buffer;
+pub mod manager;
+pub mod reader;
+pub mod record;
+
+pub use buffer::{LogBuffer, LOG_BUFFER_CAPACITY};
+pub use manager::{LogManager, LogManagerConfig, WalStats};
+pub use reader::read_log;
+pub use record::{LogRecord, LoggedColumn};

@@ -1,0 +1,394 @@
+//! Logical log records and their binary encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use mb2_common::types::Tuple;
+use mb2_common::{DbError, DbResult, Value};
+
+/// A column description inside a [`LogRecord::CreateTable`] record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedColumn {
+    pub name: String,
+    /// Type tag as produced by `type_tag` (stable across versions).
+    pub type_tag: u8,
+    pub varchar_len: u32,
+}
+
+/// A logical WAL record. DML records are redo-only: `Insert` carries the
+/// slot the engine assigned so recovery can remap later `Update`/`Delete`
+/// references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    Begin { txn_id: u64 },
+    Insert { txn_id: u64, table_id: u32, slot: u64, tuple: Tuple },
+    Update { txn_id: u64, table_id: u32, slot: u64, tuple: Tuple },
+    Delete { txn_id: u64, table_id: u32, slot: u64 },
+    Commit { txn_id: u64 },
+    Abort { txn_id: u64 },
+    /// DDL: table creation (autocommit; applied immediately on replay).
+    CreateTable { table_id: u32, name: String, columns: Vec<LoggedColumn> },
+    /// DDL: index creation over the named table's column positions.
+    CreateIndex { table_id: u32, name: String, columns: Vec<u32> },
+    /// DDL: table removal.
+    DropTable { table_id: u32 },
+    /// DDL: index removal.
+    DropIndex { table_id: u32, name: String },
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_ABORT: u8 = 6;
+const TAG_CREATE_TABLE: u8 = 7;
+const TAG_CREATE_INDEX: u8 = 8;
+const TAG_DROP_TABLE: u8 = 9;
+const TAG_DROP_INDEX: u8 = 10;
+
+const VTAG_NULL: u8 = 0;
+const VTAG_INT: u8 = 1;
+const VTAG_FLOAT: u8 = 2;
+const VTAG_VARCHAR: u8 = 3;
+const VTAG_BOOL: u8 = 4;
+const VTAG_TS: u8 = 5;
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(VTAG_NULL),
+        Value::Int(x) => {
+            buf.put_u8(VTAG_INT);
+            buf.put_i64_le(*x);
+        }
+        Value::Float(x) => {
+            buf.put_u8(VTAG_FLOAT);
+            buf.put_f64_le(*x);
+        }
+        Value::Varchar(s) => {
+            buf.put_u8(VTAG_VARCHAR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.put_u8(VTAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Timestamp(x) => {
+            buf.put_u8(VTAG_TS);
+            buf.put_i64_le(*x);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> DbResult<Value> {
+    if buf.remaining() < 1 {
+        return Err(DbError::Wal("truncated value".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        VTAG_NULL => Value::Null,
+        VTAG_INT => Value::Int(need(buf, 8)?.get_i64_le()),
+        VTAG_FLOAT => Value::Float(need(buf, 8)?.get_f64_le()),
+        VTAG_VARCHAR => {
+            let len = need(buf, 4)?.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(DbError::Wal("truncated varchar".into()));
+            }
+            let bytes = buf.split_to(len);
+            Value::Varchar(String::from_utf8(bytes.to_vec()).map_err(|e| {
+                DbError::Wal(format!("invalid utf8 in log: {e}"))
+            })?)
+        }
+        VTAG_BOOL => Value::Bool(need(buf, 1)?.get_u8() != 0),
+        VTAG_TS => Value::Timestamp(need(buf, 8)?.get_i64_le()),
+        other => return Err(DbError::Wal(format!("unknown value tag {other}"))),
+    })
+}
+
+fn need(buf: &mut Bytes, n: usize) -> DbResult<&mut Bytes> {
+    if buf.remaining() < n {
+        Err(DbError::Wal("truncated record".into()))
+    } else {
+        Ok(buf)
+    }
+}
+
+fn put_tuple(buf: &mut BytesMut, tuple: &Tuple) {
+    buf.put_u16_le(tuple.len() as u16);
+    for v in tuple {
+        put_value(buf, v);
+    }
+}
+
+fn get_tuple(buf: &mut Bytes) -> DbResult<Tuple> {
+    let n = need(buf, 2)?.get_u16_le() as usize;
+    (0..n).map(|_| get_value(buf)).collect()
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> DbResult<String> {
+    let len = need(buf, 4)?.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DbError::Wal("truncated string".into()));
+    }
+    let bytes = buf.split_to(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| DbError::Wal(format!("invalid utf8: {e}")))
+}
+
+impl LogRecord {
+    /// Serialize into `out`, returning the encoded length in bytes. The
+    /// format is `[u32 length][u8 tag][payload]`.
+    pub fn serialize_into(&self, out: &mut BytesMut) -> usize {
+        let start = out.len();
+        out.put_u32_le(0); // length placeholder
+        match self {
+            LogRecord::Begin { txn_id } => {
+                out.put_u8(TAG_BEGIN);
+                out.put_u64_le(*txn_id);
+            }
+            LogRecord::Insert { txn_id, table_id, slot, tuple } => {
+                out.put_u8(TAG_INSERT);
+                out.put_u64_le(*txn_id);
+                out.put_u32_le(*table_id);
+                out.put_u64_le(*slot);
+                put_tuple(out, tuple);
+            }
+            LogRecord::Update { txn_id, table_id, slot, tuple } => {
+                out.put_u8(TAG_UPDATE);
+                out.put_u64_le(*txn_id);
+                out.put_u32_le(*table_id);
+                out.put_u64_le(*slot);
+                put_tuple(out, tuple);
+            }
+            LogRecord::Delete { txn_id, table_id, slot } => {
+                out.put_u8(TAG_DELETE);
+                out.put_u64_le(*txn_id);
+                out.put_u32_le(*table_id);
+                out.put_u64_le(*slot);
+            }
+            LogRecord::Commit { txn_id } => {
+                out.put_u8(TAG_COMMIT);
+                out.put_u64_le(*txn_id);
+            }
+            LogRecord::Abort { txn_id } => {
+                out.put_u8(TAG_ABORT);
+                out.put_u64_le(*txn_id);
+            }
+            LogRecord::CreateTable { table_id, name, columns } => {
+                out.put_u8(TAG_CREATE_TABLE);
+                out.put_u32_le(*table_id);
+                put_string(out, name);
+                out.put_u16_le(columns.len() as u16);
+                for c in columns {
+                    put_string(out, &c.name);
+                    out.put_u8(c.type_tag);
+                    out.put_u32_le(c.varchar_len);
+                }
+            }
+            LogRecord::CreateIndex { table_id, name, columns } => {
+                out.put_u8(TAG_CREATE_INDEX);
+                out.put_u32_le(*table_id);
+                put_string(out, name);
+                out.put_u16_le(columns.len() as u16);
+                for c in columns {
+                    out.put_u32_le(*c);
+                }
+            }
+            LogRecord::DropTable { table_id } => {
+                out.put_u8(TAG_DROP_TABLE);
+                out.put_u32_le(*table_id);
+            }
+            LogRecord::DropIndex { table_id, name } => {
+                out.put_u8(TAG_DROP_INDEX);
+                out.put_u32_le(*table_id);
+                put_string(out, name);
+            }
+        }
+        let len = out.len() - start;
+        let body = (len - 4) as u32;
+        out[start..start + 4].copy_from_slice(&body.to_le_bytes());
+        len
+    }
+
+    /// Deserialize one record from the front of `buf` (which must start at a
+    /// length prefix).
+    pub fn deserialize(buf: &mut Bytes) -> DbResult<LogRecord> {
+        let body_len = need(buf, 4)?.get_u32_le() as usize;
+        if buf.remaining() < body_len {
+            return Err(DbError::Wal("truncated record body".into()));
+        }
+        let mut body = buf.split_to(body_len);
+        let tag = need(&mut body, 1)?.get_u8();
+        let rec = match tag {
+            TAG_BEGIN => LogRecord::Begin { txn_id: need(&mut body, 8)?.get_u64_le() },
+            TAG_INSERT => LogRecord::Insert {
+                txn_id: need(&mut body, 8)?.get_u64_le(),
+                table_id: need(&mut body, 4)?.get_u32_le(),
+                slot: need(&mut body, 8)?.get_u64_le(),
+                tuple: get_tuple(&mut body)?,
+            },
+            TAG_UPDATE => LogRecord::Update {
+                txn_id: need(&mut body, 8)?.get_u64_le(),
+                table_id: need(&mut body, 4)?.get_u32_le(),
+                slot: need(&mut body, 8)?.get_u64_le(),
+                tuple: get_tuple(&mut body)?,
+            },
+            TAG_DELETE => LogRecord::Delete {
+                txn_id: need(&mut body, 8)?.get_u64_le(),
+                table_id: need(&mut body, 4)?.get_u32_le(),
+                slot: need(&mut body, 8)?.get_u64_le(),
+            },
+            TAG_COMMIT => LogRecord::Commit { txn_id: need(&mut body, 8)?.get_u64_le() },
+            TAG_ABORT => LogRecord::Abort { txn_id: need(&mut body, 8)?.get_u64_le() },
+            TAG_CREATE_TABLE => {
+                let table_id = need(&mut body, 4)?.get_u32_le();
+                let name = get_string(&mut body)?;
+                let n = need(&mut body, 2)?.get_u16_le() as usize;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(LoggedColumn {
+                        name: get_string(&mut body)?,
+                        type_tag: need(&mut body, 1)?.get_u8(),
+                        varchar_len: need(&mut body, 4)?.get_u32_le(),
+                    });
+                }
+                LogRecord::CreateTable { table_id, name, columns }
+            }
+            TAG_CREATE_INDEX => {
+                let table_id = need(&mut body, 4)?.get_u32_le();
+                let name = get_string(&mut body)?;
+                let n = need(&mut body, 2)?.get_u16_le() as usize;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(need(&mut body, 4)?.get_u32_le());
+                }
+                LogRecord::CreateIndex { table_id, name, columns }
+            }
+            TAG_DROP_TABLE => LogRecord::DropTable { table_id: need(&mut body, 4)?.get_u32_le() },
+            TAG_DROP_INDEX => LogRecord::DropIndex {
+                table_id: need(&mut body, 4)?.get_u32_le(),
+                name: get_string(&mut body)?,
+            },
+            other => return Err(DbError::Wal(format!("unknown record tag {other}"))),
+        };
+        Ok(rec)
+    }
+
+    pub fn txn_id(&self) -> u64 {
+        match self {
+            LogRecord::Begin { txn_id }
+            | LogRecord::Insert { txn_id, .. }
+            | LogRecord::Update { txn_id, .. }
+            | LogRecord::Delete { txn_id, .. }
+            | LogRecord::Commit { txn_id }
+            | LogRecord::Abort { txn_id } => *txn_id,
+            LogRecord::CreateTable { .. }
+            | LogRecord::CreateIndex { .. }
+            | LogRecord::DropTable { .. }
+            | LogRecord::DropIndex { .. } => 0,
+        }
+    }
+
+    /// Type tag used by [`LoggedColumn`] (stable encoding).
+    pub fn type_tag(ty: mb2_common::DataType) -> u8 {
+        match ty {
+            mb2_common::DataType::Int => 0,
+            mb2_common::DataType::Float => 1,
+            mb2_common::DataType::Varchar => 2,
+            mb2_common::DataType::Bool => 3,
+            mb2_common::DataType::Timestamp => 4,
+        }
+    }
+
+    /// Inverse of [`LogRecord::type_tag`].
+    pub fn tag_type(tag: u8) -> DbResult<mb2_common::DataType> {
+        Ok(match tag {
+            0 => mb2_common::DataType::Int,
+            1 => mb2_common::DataType::Float,
+            2 => mb2_common::DataType::Varchar,
+            3 => mb2_common::DataType::Bool,
+            4 => mb2_common::DataType::Timestamp,
+            other => return Err(DbError::Wal(format!("unknown type tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rec: LogRecord) {
+        let mut buf = BytesMut::new();
+        let len = rec.serialize_into(&mut buf);
+        assert_eq!(len, buf.len());
+        let mut bytes = buf.freeze();
+        let back = LogRecord::deserialize(&mut bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(LogRecord::Begin { txn_id: 1 });
+        round_trip(LogRecord::Insert {
+            txn_id: 2,
+            table_id: 3,
+            slot: 41,
+            tuple: vec![
+                Value::Int(42),
+                Value::Float(2.5),
+                Value::Varchar("héllo".into()),
+                Value::Bool(true),
+                Value::Timestamp(123456),
+                Value::Null,
+            ],
+        });
+        round_trip(LogRecord::Update {
+            txn_id: 4,
+            table_id: 5,
+            slot: 77,
+            tuple: vec![Value::Int(-1)],
+        });
+        round_trip(LogRecord::Delete { txn_id: 6, table_id: 7, slot: 88 });
+        round_trip(LogRecord::Commit { txn_id: 8 });
+        round_trip(LogRecord::Abort { txn_id: 9 });
+    }
+
+    #[test]
+    fn multiple_records_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        let recs = vec![
+            LogRecord::Begin { txn_id: 1 },
+            LogRecord::Insert { txn_id: 1, table_id: 2, slot: 0, tuple: vec![Value::Int(5)] },
+            LogRecord::Commit { txn_id: 1 },
+        ];
+        for r in &recs {
+            r.serialize_into(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for r in &recs {
+            assert_eq!(&LogRecord::deserialize(&mut bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut buf = BytesMut::new();
+        LogRecord::Commit { txn_id: 1 }.serialize_into(&mut buf);
+        let mut short = buf.freeze().slice(0..6);
+        assert!(LogRecord::deserialize(&mut short).is_err());
+    }
+
+    #[test]
+    fn txn_id_accessor() {
+        assert_eq!(LogRecord::Begin { txn_id: 9 }.txn_id(), 9);
+        assert_eq!(
+            LogRecord::Delete { txn_id: 3, table_id: 1, slot: 0 }.txn_id(),
+            3
+        );
+    }
+}

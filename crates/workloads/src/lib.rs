@@ -1,0 +1,108 @@
+//! Benchmark workloads (the OLTP-Bench analog, paper §8).
+//!
+//! Four benchmarks drive the evaluation, matching the paper:
+//! * [`smallbank`] — 3 tables / 5 transactions (bank accounts).
+//! * [`tatp`] — 4 tables / 7 transactions (cellphone registration).
+//! * [`tpcc`] — 9 tables / 5 transactions (order fulfilment).
+//! * [`tpch`] — 8 tables / analytical queries (business analytics).
+//!
+//! Scales are configurable and default to laptop-sized datasets; the
+//! structure (tables, transaction mix, access patterns, skew) follows the
+//! originals. TPC-H queries are simplified to this engine's SQL subset
+//! while preserving each query's operator mix (see DESIGN.md).
+
+pub mod smallbank;
+pub mod tatp;
+pub mod tpcc;
+pub mod tpch;
+
+use mb2_common::{DbResult, Prng};
+use mb2_engine::Database;
+
+/// A runnable benchmark workload.
+pub trait Workload {
+    fn name(&self) -> &'static str;
+
+    /// Create tables and load data.
+    fn load(&self, db: &Database) -> DbResult<()>;
+
+    /// Names of this workload's transaction/query templates.
+    fn template_names(&self) -> Vec<&'static str>;
+
+    /// Produce one concrete SQL instance list for the given template
+    /// (an OLTP transaction is a statement sequence; an OLAP query is a
+    /// single statement).
+    fn sample_transaction(&self, template: &str, rng: &mut Prng) -> Vec<String>;
+
+    /// Execute one randomly chosen transaction end-to-end (with retry-free
+    /// abort-on-conflict semantics); returns the template name.
+    fn run_one(&self, db: &Database, rng: &mut Prng) -> DbResult<&'static str> {
+        let names = self.template_names();
+        let name = *rng.choose(&names);
+        let statements = self.sample_transaction(name, rng);
+        execute_transaction(db, &statements)?;
+        Ok(name)
+    }
+}
+
+/// Execute a statement sequence as one transaction; conflicts abort.
+pub fn execute_transaction(db: &Database, statements: &[String]) -> DbResult<()> {
+    let mut txn = db.begin();
+    for sql in statements {
+        if let Err(e) = db.execute_in(sql, &mut txn, None) {
+            txn.abort();
+            return Err(e);
+        }
+    }
+    txn.commit()?;
+    Ok(())
+}
+
+/// Bulk-insert helper shared by the loaders.
+pub fn insert_batch(
+    db: &Database,
+    table: &str,
+    rows: usize,
+    mut gen: impl FnMut(usize) -> String,
+) -> DbResult<()> {
+    const BATCH: usize = 400;
+    let mut i = 0;
+    while i < rows {
+        let end = (i + BATCH).min(rows);
+        let values: Vec<String> = (i..end).map(&mut gen).collect();
+        db.execute(&format!("INSERT INTO {table} VALUES {}", values.join(", ")))?;
+        i = end;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_transaction_commits_all_or_nothing() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        // Failing second statement rolls back the first.
+        let err = execute_transaction(
+            &db,
+            &["INSERT INTO t VALUES (1)".into(), "INSERT INTO nope VALUES (1)".into()],
+        );
+        assert!(err.is_err());
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], mb2_common::Value::Int(0));
+        execute_transaction(&db, &["INSERT INTO t VALUES (1)".into()]).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], mb2_common::Value::Int(1));
+    }
+
+    #[test]
+    fn insert_batch_loads_requested_rows() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        insert_batch(&db, "t", 1234, |i| format!("({i})")).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], mb2_common::Value::Int(1234));
+    }
+}

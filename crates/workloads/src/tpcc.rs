@@ -1,0 +1,403 @@
+//! TPC-C [60]: nine tables, five transactions modeling back-end warehouses
+//! fulfilling orders. This is the workload behind the paper's Fig. 1 and
+//! Fig. 11 index-build scenarios: the CUSTOMER table carries an optional
+//! secondary index on `(c_w_id, c_d_id, c_last)` that Payment/OrderStatus
+//! lookups by last name depend on.
+
+use mb2_common::{DbResult, Prng};
+use mb2_engine::Database;
+
+use crate::{insert_batch, Workload};
+
+/// The 10 TPC-C last-name syllables (clause 4.3.2.3).
+const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Compose a last name from a number in 0..=999.
+pub fn last_name(num: usize) -> String {
+    format!(
+        "{}{}{}",
+        SYLLABLES[(num / 100) % 10],
+        SYLLABLES[(num / 10) % 10],
+        SYLLABLES[num % 10]
+    )
+}
+
+/// TPC-C configuration (scaled-down defaults; see DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct Tpcc {
+    pub warehouses: usize,
+    pub districts_per_warehouse: usize,
+    pub customers_per_district: usize,
+    pub items: usize,
+    /// Load the secondary index on CUSTOMER(c_w_id, c_d_id, c_last).
+    pub customer_last_name_index: bool,
+}
+
+impl Default for Tpcc {
+    fn default() -> Self {
+        Tpcc {
+            warehouses: 2,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            items: 1000,
+            customer_last_name_index: true,
+        }
+    }
+}
+
+impl Tpcc {
+    pub fn small() -> Tpcc {
+        Tpcc {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 60,
+            items: 100,
+            ..Tpcc::default()
+        }
+    }
+
+    fn pick_warehouse(&self, rng: &mut Prng) -> usize {
+        rng.range_usize(0, self.warehouses)
+    }
+
+    fn pick_district(&self, rng: &mut Prng) -> usize {
+        rng.range_usize(0, self.districts_per_warehouse)
+    }
+
+    fn pick_customer(&self, rng: &mut Prng) -> usize {
+        rng.nurand(1023, 0, self.customers_per_district as u64 - 1, 259) as usize
+    }
+
+    fn pick_item(&self, rng: &mut Prng) -> usize {
+        rng.nurand(8191, 0, self.items as u64 - 1, 7911) as usize
+    }
+
+    fn pick_last_name(&self, rng: &mut Prng) -> String {
+        last_name(rng.nurand(255, 0, 999, 123) as usize % self.customers_per_district.max(1))
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> &'static str {
+        "tpcc"
+    }
+
+    fn load(&self, db: &Database) -> DbResult<()> {
+        db.execute("CREATE TABLE warehouse (w_id INT, w_name VARCHAR(10), w_tax FLOAT, w_ytd FLOAT)")?;
+        db.execute(
+            "CREATE TABLE district (d_w_id INT, d_id INT, d_name VARCHAR(10), \
+             d_tax FLOAT, d_ytd FLOAT, d_next_o_id INT)",
+        )?;
+        db.execute(
+            "CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, \
+             c_first VARCHAR(16), c_last VARCHAR(16), c_balance FLOAT, \
+             c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(64))",
+        )?;
+        db.execute(
+            "CREATE TABLE history (h_c_w_id INT, h_c_d_id INT, h_c_id INT, \
+             h_date INT, h_amount FLOAT)",
+        )?;
+        db.execute("CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT)")?;
+        db.execute(
+            "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, \
+             o_entry_d INT, o_carrier_id INT, o_ol_cnt INT)",
+        )?;
+        db.execute(
+            "CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, \
+             ol_number INT, ol_i_id INT, ol_quantity INT, ol_amount FLOAT, ol_delivery_d INT)",
+        )?;
+        db.execute("CREATE TABLE item (i_id INT, i_name VARCHAR(24), i_price FLOAT)")?;
+        db.execute(
+            "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, \
+             s_ytd INT, s_order_cnt INT)",
+        )?;
+
+        let w = self.warehouses;
+        let d = self.districts_per_warehouse;
+        let c = self.customers_per_district;
+        insert_batch(db, "warehouse", w, |i| format!("({i}, 'wh_{i}', 0.07, 0.0)"))?;
+        insert_batch(db, "district", w * d, |k| {
+            format!("({}, {}, 'dist_{k}', 0.05, 0.0, {})", k / d, k % d, c)
+        })?;
+        insert_batch(db, "customer", w * d * c, |k| {
+            let cid = k % c;
+            format!(
+                "({}, {}, {cid}, 'first_{cid}', '{}', 100.0, 0.0, 0, 0, 'data_{k}')",
+                k / (d * c),
+                (k / c) % d,
+                last_name(cid % 1000),
+            )
+        })?;
+        insert_batch(db, "item", self.items, |i| format!("({i}, 'item_{i}', {}.5)", 1 + i % 99))?;
+        insert_batch(db, "stock", w * self.items, |k| {
+            format!("({}, {}, {}, 0, 0)", k / self.items, k % self.items, 50 + k % 50)
+        })?;
+        // Initial orders: one delivered order per customer.
+        insert_batch(db, "orders", w * d * c, |k| {
+            let cid = k % c;
+            format!("({}, {}, {cid}, {cid}, 0, 1, 5)", k / (d * c), (k / c) % d)
+        })?;
+        insert_batch(db, "order_line", w * d * c, |k| {
+            let oid = k % c;
+            format!(
+                "({}, {}, {oid}, 0, {}, 5, 19.5, 0)",
+                k / (d * c),
+                (k / c) % d,
+                k % self.items
+            )
+        })?;
+
+        db.execute("CREATE INDEX warehouse_pk ON warehouse (w_id)")?;
+        db.execute("CREATE INDEX district_pk ON district (d_w_id, d_id)")?;
+        db.execute("CREATE INDEX customer_pk ON customer (c_w_id, c_d_id, c_id)")?;
+        db.execute("CREATE INDEX orders_pk ON orders (o_w_id, o_d_id, o_id)")?;
+        db.execute("CREATE INDEX new_order_pk ON new_order (no_w_id, no_d_id)")?;
+        db.execute("CREATE INDEX order_line_pk ON order_line (ol_w_id, ol_d_id, ol_o_id)")?;
+        db.execute("CREATE INDEX stock_pk ON stock (s_w_id, s_i_id)")?;
+        db.execute("CREATE INDEX item_pk ON item (i_id)")?;
+        if self.customer_last_name_index {
+            db.execute(&self.customer_index_sql(1))?;
+        }
+        db.analyze_all();
+        Ok(())
+    }
+
+    fn template_names(&self) -> Vec<&'static str> {
+        vec!["new_order", "payment", "order_status", "delivery", "stock_level"]
+    }
+
+    fn sample_transaction(&self, template: &str, rng: &mut Prng) -> Vec<String> {
+        let w = self.pick_warehouse(rng);
+        let d = self.pick_district(rng);
+        match template {
+            "new_order" => {
+                let c = self.pick_customer(rng);
+                let o_id = 100_000 + rng.range_usize(0, 1 << 20);
+                let ol_cnt = 5 + rng.range_usize(0, 11);
+                let mut stmts = vec![
+                    format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"),
+                    format!(
+                        "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
+                    ),
+                    format!(
+                        "UPDATE district SET d_next_o_id = d_next_o_id + 1 \
+                         WHERE d_w_id = {w} AND d_id = {d}"
+                    ),
+                    format!(
+                        "SELECT c_balance FROM customer \
+                         WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                    ),
+                    format!(
+                        "INSERT INTO orders VALUES ({w}, {d}, {o_id}, {c}, 1, 0, {ol_cnt})"
+                    ),
+                    format!("INSERT INTO new_order VALUES ({w}, {d}, {o_id})"),
+                ];
+                for line in 0..ol_cnt {
+                    let item = self.pick_item(rng);
+                    let qty = 1 + rng.range_usize(0, 10);
+                    stmts.push(format!("SELECT i_price FROM item WHERE i_id = {item}"));
+                    stmts.push(format!(
+                        "UPDATE stock SET s_quantity = s_quantity - {qty}, \
+                         s_ytd = s_ytd + {qty}, s_order_cnt = s_order_cnt + 1 \
+                         WHERE s_w_id = {w} AND s_i_id = {item}"
+                    ));
+                    stmts.push(format!(
+                        "INSERT INTO order_line VALUES \
+                         ({w}, {d}, {o_id}, {line}, {item}, {qty}, {}.25, 0)",
+                        qty * 20
+                    ));
+                }
+                stmts
+            }
+            "payment" => {
+                let amount = 1 + rng.range_usize(0, 5000);
+                let mut stmts = vec![
+                    format!("UPDATE warehouse SET w_ytd = w_ytd + {amount}.0 WHERE w_id = {w}"),
+                    format!(
+                        "UPDATE district SET d_ytd = d_ytd + {amount}.0 \
+                         WHERE d_w_id = {w} AND d_id = {d}"
+                    ),
+                ];
+                if rng.chance(0.6) {
+                    // Lookup by last name — exercises the secondary index.
+                    let name = self.pick_last_name(rng);
+                    stmts.push(format!(
+                        "SELECT c_id, c_balance FROM customer \
+                         WHERE c_w_id = {w} AND c_d_id = {d} AND c_last = '{name}' \
+                         ORDER BY c_first"
+                    ));
+                    stmts.push(format!(
+                        "UPDATE customer SET c_balance = c_balance - {amount}.0, \
+                         c_ytd_payment = c_ytd_payment + {amount}.0, \
+                         c_payment_cnt = c_payment_cnt + 1 \
+                         WHERE c_w_id = {w} AND c_d_id = {d} AND c_last = '{name}'"
+                    ));
+                } else {
+                    let c = self.pick_customer(rng);
+                    stmts.push(format!(
+                        "UPDATE customer SET c_balance = c_balance - {amount}.0, \
+                         c_ytd_payment = c_ytd_payment + {amount}.0, \
+                         c_payment_cnt = c_payment_cnt + 1 \
+                         WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                    ));
+                }
+                stmts.push(format!(
+                    "INSERT INTO history VALUES ({w}, {d}, {}, 1, {amount}.0)",
+                    self.pick_customer(rng)
+                ));
+                stmts
+            }
+            "order_status" => {
+                if rng.chance(0.6) {
+                    let name = self.pick_last_name(rng);
+                    vec![
+                        format!(
+                            "SELECT c_id, c_balance FROM customer \
+                             WHERE c_w_id = {w} AND c_d_id = {d} AND c_last = '{name}' \
+                             ORDER BY c_first"
+                        ),
+                        format!(
+                            "SELECT o_id, o_carrier_id FROM orders \
+                             WHERE o_w_id = {w} AND o_d_id = {d} \
+                             ORDER BY o_id DESC LIMIT 1"
+                        ),
+                    ]
+                } else {
+                    let c = self.pick_customer(rng);
+                    vec![
+                        format!(
+                            "SELECT c_balance FROM customer \
+                             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+                        ),
+                        format!(
+                            "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line \
+                             WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {c}"
+                        ),
+                    ]
+                }
+            }
+            "delivery" => {
+                let carrier = 1 + rng.range_usize(0, 10);
+                vec![
+                    format!(
+                        "SELECT no_o_id FROM new_order \
+                         WHERE no_w_id = {w} AND no_d_id = {d} ORDER BY no_o_id LIMIT 1"
+                    ),
+                    format!(
+                        "DELETE FROM new_order WHERE no_w_id = {w} AND no_d_id = {d}"
+                    ),
+                    format!(
+                        "UPDATE orders SET o_carrier_id = {carrier} \
+                         WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {}",
+                        self.pick_customer(rng)
+                    ),
+                ]
+            }
+            "stock_level" => {
+                let threshold = 10 + rng.range_usize(0, 11);
+                vec![format!(
+                    "SELECT COUNT(*) FROM order_line ol, stock s \
+                     WHERE ol.ol_w_id = {w} AND ol.ol_d_id = {d} \
+                     AND s.s_w_id = {w} AND s.s_i_id = ol.ol_i_id \
+                     AND s.s_quantity < {threshold}"
+                )]
+            }
+            other => panic!("unknown tpcc template '{other}'"),
+        }
+    }
+}
+
+impl Tpcc {
+    /// The Fig. 1 / Fig. 11 secondary-index build statement.
+    pub fn customer_index_sql(&self, threads: usize) -> String {
+        format!(
+            "CREATE INDEX customer_last_name ON customer (c_w_id, c_d_id, c_last) \
+             WITH (THREADS = {threads})"
+        )
+    }
+
+    pub fn drop_customer_index_sql(&self) -> &'static str {
+        "DROP INDEX customer_last_name ON customer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_names_follow_syllables() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn loads_and_runs_all_templates() {
+        let tpcc = Tpcc::small();
+        let db = Database::open();
+        tpcc.load(&db).unwrap();
+        let mut rng = Prng::new(11);
+        for template in tpcc.template_names() {
+            let stmts = tpcc.sample_transaction(template, &mut rng);
+            crate::execute_transaction(&db, &stmts).unwrap();
+        }
+    }
+
+    #[test]
+    fn last_name_lookup_uses_secondary_index() {
+        let tpcc = Tpcc::small();
+        let db = Database::open();
+        tpcc.load(&db).unwrap();
+        let plan = db
+            .prepare(
+                "SELECT c_id FROM customer WHERE c_w_id = 0 AND c_d_id = 0 \
+                 AND c_last = 'BARBARBAR' ORDER BY c_first",
+            )
+            .unwrap();
+        assert!(plan.explain().contains("IndexScan"), "{}", plan.explain());
+    }
+
+    #[test]
+    fn index_can_be_dropped_and_rebuilt() {
+        let tpcc = Tpcc::small();
+        let db = Database::open();
+        tpcc.load(&db).unwrap();
+        db.execute(tpcc.drop_customer_index_sql()).unwrap();
+        let plan = db
+            .prepare(
+                "SELECT c_id FROM customer WHERE c_w_id = 0 AND c_d_id = 0 \
+                 AND c_last = 'BARBARBAR'",
+            )
+            .unwrap();
+        // Still answerable via the primary (c_w_id, c_d_id, c_id) prefix.
+        let text = plan.explain();
+        assert!(!text.contains("customer_last_name"));
+        db.execute(&tpcc.customer_index_sql(2)).unwrap();
+        let r = db
+            .execute(
+                "SELECT c_id FROM customer WHERE c_w_id = 0 AND c_d_id = 0 \
+                 AND c_last = 'BARBARBAR'",
+            )
+            .unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn new_order_grows_orders_table() {
+        let tpcc = Tpcc::small();
+        let db = Database::open();
+        tpcc.load(&db).unwrap();
+        let before = db.execute("SELECT COUNT(*) FROM orders").unwrap().rows[0][0]
+            .as_i64()
+            .unwrap();
+        let mut rng = Prng::new(13);
+        let stmts = tpcc.sample_transaction("new_order", &mut rng);
+        crate::execute_transaction(&db, &stmts).unwrap();
+        let after = db.execute("SELECT COUNT(*) FROM orders").unwrap().rows[0][0]
+            .as_i64()
+            .unwrap();
+        assert_eq!(after, before + 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Index advisor: the paper's motivating scenario (§2.1, Fig. 1).
+//!
+//! A self-driving DBMS must decide whether to build an index and with how
+//! many threads. This example trains behavior models, then uses the oracle
+//! planner to evaluate `CREATE INDEX` actions with 1–8 build threads on a
+//! TPC-C CUSTOMER table, showing the predicted cost (build time), impact
+//! (workload slowdown while building), and benefit (speedup afterwards) —
+//! and finally executes the chosen action to compare prediction with
+//! reality.
+//!
+//! Run with: `cargo run --release --example index_advisor`
+
+use mb2::engine::Database;
+use mb2::framework::planner::{Action, OraclePlanner};
+use mb2::framework::runners::execution::{run_execution_runners, ExecutionRunnerConfig};
+use mb2::framework::runners::util::{run_util_runners, UtilRunnerConfig};
+use mb2::framework::runners::RunnerConfig;
+use mb2::framework::training::{train_all, TrainingConfig};
+use mb2::framework::{BehaviorModels, QueryTemplate, WorkloadForecast};
+use mb2::ml::Algorithm;
+use mb2::workloads::tpcc::Tpcc;
+use mb2::workloads::Workload;
+
+fn main() {
+    println!("== MB2 index advisor ==");
+    println!("[1/4] collecting training data (execution + util runners)...");
+    let mut repo = run_execution_runners(&ExecutionRunnerConfig {
+        max_rows: 4096,
+        min_rows: 64,
+        measure: RunnerConfig { repetitions: 4, warmups: 2, ..RunnerConfig::default() },
+        ..ExecutionRunnerConfig::default()
+    })
+    .expect("execution runners");
+    repo.merge(
+        run_util_runners(&UtilRunnerConfig {
+            max_index_rows: 8192,
+            build_threads: vec![1, 2, 4, 8],
+            measure: RunnerConfig { repetitions: 3, warmups: 0, ..RunnerConfig::default() },
+            ..UtilRunnerConfig::default()
+        })
+        .expect("util runners"),
+    );
+
+    println!("[2/4] training OU-models...");
+    let (models, _) = train_all(
+        &repo,
+        &TrainingConfig {
+            candidates: vec![Algorithm::Linear, Algorithm::RandomForest, Algorithm::GradientBoosting],
+            ..TrainingConfig::default()
+        },
+    )
+    .expect("training");
+    let behavior = BehaviorModels::new(models, None);
+
+    println!("[3/4] loading TPC-C without the customer last-name index...");
+    let tpcc = Tpcc { customer_last_name_index: false, customers_per_district: 400, ..Tpcc::default() };
+    let db = Database::open();
+    tpcc.load(&db).unwrap();
+
+    // The workload the forecast says is coming: payment-style last-name
+    // lookups (they benefit from the index).
+    let lookup_sql = "SELECT c_id, c_balance FROM customer \
+                      WHERE c_w_id = 0 AND c_d_id = 3 AND c_last = 'BARBARBAR' \
+                      ORDER BY c_first";
+    let template = QueryTemplate {
+        name: "payment_by_last_name".into(),
+        sql: lookup_sql.into(),
+        plan: db.prepare(lookup_sql).unwrap(),
+    };
+    let mut forecast = WorkloadForecast::new(vec![template], 4);
+    forecast.push_interval(10.0, vec![100.0]);
+
+    let planner = OraclePlanner::new(&db, &behavior);
+    println!("[4/4] evaluating CREATE INDEX actions:");
+    println!(
+        "      {:>7} {:>14} {:>14} {:>14} {:>9}",
+        "threads", "build time", "query before", "query after", "gain"
+    );
+    let mut best: Option<(usize, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let action = Action::BuildIndex {
+            sql: tpcc.customer_index_sql(threads),
+            table: "customer".into(),
+            index: "customer_last_name".into(),
+            columns: vec!["c_w_id".into(), "c_d_id".into(), "c_last".into()],
+            threads,
+        };
+        let eval = planner.evaluate(&action, &forecast, 0, &db.knobs()).unwrap();
+        println!(
+            "      {threads:>7} {:>11.1} ms {:>11.0} us {:>11.0} us {:>8.0}%",
+            eval.action_duration_us / 1000.0,
+            eval.baseline_us,
+            eval.after_us,
+            eval.predicted_gain() * 100.0
+        );
+        if best.is_none_or(|(_, d)| eval.action_duration_us < d) {
+            best = Some((threads, eval.action_duration_us));
+        }
+    }
+
+    let (threads, predicted_us) = best.unwrap();
+    println!("\nexecuting the {threads}-thread build to check the prediction...");
+    let started = std::time::Instant::now();
+    db.execute(&tpcc.customer_index_sql(threads)).unwrap();
+    let actual_us = started.elapsed().as_nanos() as f64 / 1000.0;
+    println!(
+        "predicted build: {:.1} ms | actual build: {:.1} ms",
+        predicted_us / 1000.0,
+        actual_us / 1000.0
+    );
+    let started = std::time::Instant::now();
+    db.execute(lookup_sql).unwrap();
+    println!(
+        "last-name lookup now takes {:.0} us with the index.",
+        started.elapsed().as_nanos() as f64 / 1000.0
+    );
+}

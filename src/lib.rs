@@ -1,0 +1,36 @@
+//! # MB2: Decomposed Behavior Modeling for Self-Driving DBMSs
+//!
+//! A from-scratch Rust reproduction of *"MB2: Decomposed Behavior Modeling
+//! for Self-Driving Database Management Systems"* (Ma et al., SIGMOD 2021),
+//! including the in-memory MVCC DBMS substrate it instruments (the
+//! NoisePage analog), the ML library behind its models, the four benchmark
+//! workloads, and the QPPNet-style baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mb2::engine::Database;
+//!
+//! let db = Database::open();
+//! db.execute("CREATE TABLE t (a INT, b VARCHAR(8))").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let result = db.execute("SELECT COUNT(*) FROM t").unwrap();
+//! assert_eq!(result.rows[0][0].as_i64().unwrap(), 2);
+//! ```
+//!
+//! The MB2 pipeline end to end (see `examples/quickstart.rs` for a
+//! narrated version):
+//!
+//! 1. Run OU-runners ([`framework::runners`]) against a scratch database to
+//!    collect per-OU training data.
+//! 2. Train one model per OU ([`framework::training::train_all`]).
+//! 3. Run concurrent runners and train the interference model.
+//! 4. Predict workload/action behavior ([`framework::BehaviorModels`]) and
+//!    let the oracle planner ([`framework::planner`]) pick actions.
+
+pub use mb2_baselines as baselines;
+pub use mb2_common as common;
+pub use mb2_core as framework;
+pub use mb2_engine as engine;
+pub use mb2_ml as ml;
+pub use mb2_workloads as workloads;

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full MB2 pipeline over the real
+//! engine, runners, training, and inference.
+
+use mb2::common::{OuKind, Prng};
+use mb2::engine::exec::ExecutionMode;
+use mb2::engine::Database;
+use mb2::framework::runners::execution::{run_execution_runners, ExecutionRunnerConfig};
+use mb2::framework::runners::RunnerConfig;
+use mb2::framework::training::{train_all, TrainingConfig};
+use mb2::framework::BehaviorModels;
+use mb2::ml::Algorithm;
+
+fn small_models() -> BehaviorModels {
+    let cfg = ExecutionRunnerConfig {
+        max_rows: 2048,
+        min_rows: 128,
+        measure: RunnerConfig { repetitions: 4, warmups: 1, ..RunnerConfig::default() },
+        ..ExecutionRunnerConfig::default()
+    };
+    let repo = run_execution_runners(&cfg).expect("runners");
+    // Forest-only: on sweeps this small, a linear candidate can win the
+    // validation split yet extrapolate the normalized cost below zero;
+    // trees clamp to the training range, which is what this
+    // order-of-magnitude test needs.
+    let (models, report) = train_all(
+        &repo,
+        &TrainingConfig {
+            candidates: vec![Algorithm::RandomForest],
+            ..TrainingConfig::default()
+        },
+    )
+    .expect("training");
+    assert!(!report.per_ou.is_empty());
+    BehaviorModels::new(models, None)
+}
+
+/// The core promise of §4.3: models trained on small sweeps predict much
+/// larger datasets with sane (same order of magnitude) latencies.
+#[test]
+fn pipeline_trains_and_extrapolates() {
+    let behavior = small_models();
+
+    // An unseen dataset 20x larger than the training sweep.
+    let db = Database::open();
+    db.execute("CREATE TABLE big (k INT, g INT, v FLOAT)").unwrap();
+    for chunk in (0..20_000i64).collect::<Vec<_>>().chunks(500) {
+        let vals: Vec<String> =
+            chunk.iter().map(|i| format!("({i}, {}, 1.5)", i % 50)).collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+    }
+    db.execute("ANALYZE big").unwrap();
+
+    for sql in [
+        "SELECT * FROM big WHERE k < 10000",
+        "SELECT g, COUNT(*), SUM(v) FROM big GROUP BY g",
+        "SELECT * FROM big ORDER BY v LIMIT 50",
+    ] {
+        let plan = db.prepare(sql).unwrap();
+        let predicted = behavior.predict_query_elapsed_us(&plan, &db.knobs());
+        // Actual latency: minimum of several runs. Tests execute in
+        // parallel, so individual runs can be inflated arbitrarily by
+        // scheduling; the minimum is the cleanest observation, and the
+        // bounds below are deliberately loose (this is an
+        // orders-of-magnitude sanity check, precision is Fig. 7's job).
+        let mut lat = Vec::new();
+        db.execute_plan(&plan, None).unwrap();
+        for _ in 0..7 {
+            let t0 = std::time::Instant::now();
+            db.execute_plan(&plan, None).unwrap();
+            lat.push(t0.elapsed().as_nanos() as f64 / 1000.0);
+        }
+        let actual = lat.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(predicted > 0.0, "{sql}: no prediction");
+        let ratio = predicted / actual;
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "{sql}: predicted {predicted:.0}us actual {actual:.0}us (ratio {ratio:.2})"
+        );
+    }
+}
+
+/// Every OU the executor measures for a workload query must have a model
+/// after the runner sweep (the "comprehensive" decomposition principle).
+#[test]
+fn models_cover_workload_query_ous() {
+    let behavior = small_models();
+    let db = Database::open();
+    let tpcc = mb2::workloads::tpcc::Tpcc::small();
+    use mb2::workloads::Workload;
+    tpcc.load(&db).unwrap();
+    let mut rng = Prng::new(3);
+    for template in ["new_order", "payment", "order_status", "stock_level"] {
+        for sql in tpcc.sample_transaction(template, &mut rng) {
+            let plan = db.prepare(&sql).unwrap();
+            for inst in behavior.translator.translate_plan(&plan, &db.knobs()) {
+                // Txn/GC/WAL OUs are exercised by other runners; execution
+                // OUs must all be covered here.
+                if matches!(
+                    inst.ou,
+                    OuKind::TxnBegin
+                        | OuKind::TxnCommit
+                        | OuKind::GarbageCollection
+                        | OuKind::LogSerialize
+                        | OuKind::LogFlush
+                        | OuKind::IndexBuild
+                ) {
+                    continue;
+                }
+                assert!(
+                    behavior.ou_models.get(inst.ou).is_some(),
+                    "no model for {} (query {sql})",
+                    inst.ou
+                );
+            }
+        }
+    }
+}
+
+/// Execution-mode knob: predictions must reflect the knob through the
+/// exec_mode feature (predictions differ across modes for expression-heavy
+/// plans).
+#[test]
+fn knob_feature_flows_into_predictions() {
+    let behavior = small_models();
+    let db = Database::open();
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    for i in 0..500 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7)).unwrap();
+    }
+    db.execute("ANALYZE t").unwrap();
+    let plan = db.prepare("SELECT a * 2 + b, a - b FROM t WHERE a % 3 = 0").unwrap();
+    let knobs_i = mb2::engine::Knobs {
+        execution_mode: ExecutionMode::Interpret,
+        ..db.knobs()
+    };
+    let knobs_c = mb2::engine::Knobs {
+        execution_mode: ExecutionMode::Compiled,
+        ..db.knobs()
+    };
+    let pi = behavior.predict_plan(&plan, &knobs_i);
+    let pc = behavior.predict_plan(&plan, &knobs_c);
+    // Feature vectors must differ (mode flag), hence predictions may differ;
+    // at minimum the translator encodes the knob.
+    let fi: Vec<f64> = pi.per_ou.iter().flat_map(|(i, _)| i.features.clone()).collect();
+    let fc: Vec<f64> = pc.per_ou.iter().flat_map(|(i, _)| i.features.clone()).collect();
+    assert_ne!(fi, fc, "exec-mode knob must appear in OU features");
+}
+
+/// TPC-H queries translate into OUs fully covered by the runner sweep, and
+/// isolated predictions sum the per-OU metrics coherently.
+#[test]
+fn tpch_queries_predictable() {
+    let behavior = small_models();
+    let db = Database::open();
+    let tpch = mb2::workloads::tpch::Tpch::with_scale(0.02);
+    use mb2::workloads::Workload;
+    tpch.load(&db).unwrap();
+    for (name, sql) in tpch.fixed_queries() {
+        let plan = db.prepare(&sql).unwrap();
+        let pred = behavior.predict_plan(&plan, &db.knobs());
+        assert!(!pred.per_ou.is_empty(), "{name}: no OUs");
+        assert!(pred.elapsed_us() >= 0.0);
+        assert!(!pred.total.has_non_finite(), "{name}: non-finite prediction");
+    }
+}
