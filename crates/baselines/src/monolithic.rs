@@ -51,7 +51,10 @@ pub struct MonolithicModel {
 impl Default for MonolithicModel {
     fn default() -> Self {
         MonolithicModel {
-            forest: RandomForest::new(ForestConfig { n_estimators: 30, ..ForestConfig::default() }),
+            forest: RandomForest::new(ForestConfig {
+                n_estimators: 30,
+                ..ForestConfig::default()
+            }),
             trained: false,
         }
     }
@@ -98,7 +101,9 @@ mod tests {
         db.execute("ANALYZE m").unwrap();
         let mut samples = Vec::new();
         for bound in [100, 300, 600, 900] {
-            let plan = db.prepare(&format!("SELECT * FROM m WHERE a < {bound}")).unwrap();
+            let plan = db
+                .prepare(&format!("SELECT * FROM m WHERE a < {bound}"))
+                .unwrap();
             let latency = plan.est().rows_out * 2.0;
             samples.push((plan, latency));
         }
@@ -115,7 +120,9 @@ mod tests {
         let db = Database::open();
         db.execute("CREATE TABLE m (a INT)").unwrap();
         db.execute("INSERT INTO m VALUES (1)").unwrap();
-        let plan = db.prepare("SELECT * FROM m WHERE a = 1 ORDER BY a").unwrap();
+        let plan = db
+            .prepare("SELECT * FROM m WHERE a = 1 ORDER BY a")
+            .unwrap();
         let f = plan_features(&plan);
         assert_eq!(f.len(), MONO_FEATURES);
         // At least scan + sort + output counted.

@@ -127,10 +127,15 @@ impl QppNet {
         let root_idx = caches.len() - 1;
         pending.insert(root_idx, grad_root);
         // Map each node pointer to its cache index for child routing.
-        let ptr_to_idx: HashMap<*const PlanNode, usize> =
-            caches.iter().enumerate().map(|(i, (_, n, _, _))| (*n as *const PlanNode, i)).collect();
+        let ptr_to_idx: HashMap<*const PlanNode, usize> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, (_, n, _, _))| (*n as *const PlanNode, i))
+            .collect();
         for i in (0..caches.len()).rev() {
-            let Some(grad_out) = pending.remove(&i) else { continue };
+            let Some(grad_out) = pending.remove(&i) else {
+                continue;
+            };
             let (label, node, cache, _input) = &caches[i];
             let grad_in = {
                 let (net, _) = self.units.get_mut(label).expect("unit exists");
@@ -164,9 +169,15 @@ impl QppNet {
             walk(plan, &mut |label| self.ensure_unit(label, &mut rng));
         }
         // Log-space latency normalization.
-        let logs: Vec<f64> = samples.iter().map(|(_, l)| (l.max(0.0) + 1.0).ln()).collect();
+        let logs: Vec<f64> = samples
+            .iter()
+            .map(|(_, l)| (l.max(0.0) + 1.0).ln())
+            .collect();
         self.target_mean = logs.iter().sum::<f64>() / logs.len() as f64;
-        let var = logs.iter().map(|v| (v - self.target_mean).powi(2)).sum::<f64>()
+        let var = logs
+            .iter()
+            .map(|v| (v - self.target_mean).powi(2))
+            .sum::<f64>()
             / logs.len() as f64;
         self.target_std = var.sqrt().max(1e-6);
 
@@ -205,7 +216,10 @@ impl QppNet {
     }
 
     pub fn size_bytes(&self) -> usize {
-        self.units.values().map(|(net, _)| net.param_count() * 8).sum()
+        self.units
+            .values()
+            .map(|(net, _)| net.param_count() * 8)
+            .sum()
     }
 }
 
@@ -216,11 +230,15 @@ mod tests {
 
     fn setup() -> Database {
         let db = Database::open();
-        db.execute("CREATE TABLE q (a INT, b INT, v FLOAT)").unwrap();
+        db.execute("CREATE TABLE q (a INT, b INT, v FLOAT)")
+            .unwrap();
         for chunk in (0..4000i64).collect::<Vec<_>>().chunks(500) {
-            let vals: Vec<String> =
-                chunk.iter().map(|i| format!("({i}, {}, 1.5)", i % 50)).collect();
-            db.execute(&format!("INSERT INTO q VALUES {}", vals.join(", "))).unwrap();
+            let vals: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, {}, 1.5)", i % 50))
+                .collect();
+            db.execute(&format!("INSERT INTO q VALUES {}", vals.join(", ")))
+                .unwrap();
         }
         db.execute("ANALYZE q").unwrap();
         db

@@ -106,7 +106,8 @@ fn bench_wal(c: &mut Criterion) {
                     table_id: 1,
                     slot: i,
                     tuple: vec![Value::Int(i as i64), Value::Varchar("payload".into())],
-                });
+                })
+                .unwrap();
             }
             wal.flush_now().unwrap()
         })
@@ -119,22 +120,29 @@ fn bench_exec(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(5));
     group.sample_size(20);
     let db = Database::open();
-    db.execute("CREATE TABLE b1 (k INT, g INT, v FLOAT)").unwrap();
+    db.execute("CREATE TABLE b1 (k INT, g INT, v FLOAT)")
+        .unwrap();
     db.execute("CREATE TABLE b2 (k INT, w FLOAT)").unwrap();
     for chunk in (0..10_000i64).collect::<Vec<_>>().chunks(500) {
-        let vals: Vec<String> =
-            chunk.iter().map(|i| format!("({i}, {}, 1.5)", i % 100)).collect();
-        db.execute(&format!("INSERT INTO b1 VALUES {}", vals.join(", "))).unwrap();
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 1.5)", i % 100))
+            .collect();
+        db.execute(&format!("INSERT INTO b1 VALUES {}", vals.join(", ")))
+            .unwrap();
     }
     for chunk in (0..1000i64).collect::<Vec<_>>().chunks(500) {
         let vals: Vec<String> = chunk.iter().map(|i| format!("({i}, 2.5)")).collect();
-        db.execute(&format!("INSERT INTO b2 VALUES {}", vals.join(", "))).unwrap();
+        db.execute(&format!("INSERT INTO b2 VALUES {}", vals.join(", ")))
+            .unwrap();
     }
     db.analyze_all();
     let join = db
         .prepare("SELECT * FROM b1, b2 WHERE b1.g = b2.k AND b2.w > 1.0")
         .unwrap();
-    let agg = db.prepare("SELECT g, COUNT(*), SUM(v) FROM b1 GROUP BY g").unwrap();
+    let agg = db
+        .prepare("SELECT g, COUNT(*), SUM(v) FROM b1 GROUP BY g")
+        .unwrap();
     let sort = db.prepare("SELECT * FROM b1 ORDER BY v LIMIT 100").unwrap();
     group.bench_function("hash_join_10k_x_1k", |b| {
         b.iter(|| db.execute_plan(&join, None).unwrap().rows_affected)
@@ -146,11 +154,16 @@ fn bench_exec(c: &mut Criterion) {
         b.iter(|| db.execute_plan(&sort, None).unwrap().rows_affected)
     });
     for (name, mode) in [
-        ("filter_interpret", mb2_engine::exec::ExecutionMode::Interpret),
+        (
+            "filter_interpret",
+            mb2_engine::exec::ExecutionMode::Interpret,
+        ),
         ("filter_compiled", mb2_engine::exec::ExecutionMode::Compiled),
     ] {
         db.set_execution_mode(mode);
-        let plan = db.prepare("SELECT k * 2 + g FROM b1 WHERE v > 1.0").unwrap();
+        let plan = db
+            .prepare("SELECT k * 2 + g FROM b1 WHERE v > 1.0")
+            .unwrap();
         group.bench_function(name, |b| {
             b.iter(|| db.execute_plan(&plan, None).unwrap().rows_affected)
         });
@@ -166,10 +179,13 @@ fn bench_ml(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(5));
     group.sample_size(10);
     let mut rng = mb2_common::Prng::new(5);
-    let x: Vec<Vec<f64>> =
-        (0..500).map(|_| (0..7).map(|_| rng.next_f64() * 10.0).collect()).collect();
-    let y: Vec<Vec<f64>> =
-        x.iter().map(|r| vec![r[0] * 3.0 + r[1] * r[2], r[3] + 1.0]).collect();
+    let x: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..7).map(|_| rng.next_f64() * 10.0).collect())
+        .collect();
+    let y: Vec<Vec<f64>> = x
+        .iter()
+        .map(|r| vec![r[0] * 3.0 + r[1] * r[2], r[3] + 1.0])
+        .collect();
     group.bench_function("random_forest_train_500x7", |b| {
         b.iter(|| {
             let mut f = RandomForest::new(ForestConfig {
@@ -179,10 +195,14 @@ fn bench_ml(c: &mut Criterion) {
             f.fit(&x, &y).unwrap();
         })
     });
-    let mut forest =
-        RandomForest::new(ForestConfig { n_estimators: 50, ..ForestConfig::default() });
+    let mut forest = RandomForest::new(ForestConfig {
+        n_estimators: 50,
+        ..ForestConfig::default()
+    });
     forest.fit(&x, &y).unwrap();
-    group.bench_function("random_forest_predict", |b| b.iter(|| forest.predict_one(&x[0])));
+    group.bench_function("random_forest_predict", |b| {
+        b.iter(|| forest.predict_one(&x[0]))
+    });
     group.finish();
 }
 
@@ -191,11 +211,15 @@ fn bench_mb2(c: &mut Criterion) {
     let mut group = c.benchmark_group("mb2");
     group.measurement_time(Duration::from_secs(3));
     let db = Database::open();
-    db.execute("CREATE TABLE m (k INT, g INT, v FLOAT)").unwrap();
+    db.execute("CREATE TABLE m (k INT, g INT, v FLOAT)")
+        .unwrap();
     for chunk in (0..2000i64).collect::<Vec<_>>().chunks(500) {
-        let vals: Vec<String> =
-            chunk.iter().map(|i| format!("({i}, {}, 1.0)", i % 20)).collect();
-        db.execute(&format!("INSERT INTO m VALUES {}", vals.join(", "))).unwrap();
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 1.0)", i % 20))
+            .collect();
+        db.execute(&format!("INSERT INTO m VALUES {}", vals.join(", ")))
+            .unwrap();
     }
     db.analyze_all();
     let plan = db
@@ -214,12 +238,19 @@ fn bench_mb2(c: &mut Criterion) {
             f[0] = (k * 100) as f64;
             let mut labels = Metrics::ZERO;
             labels[0] = f[0] * 2.0;
-            repo.add(OuSample { ou: inst.ou, features: f, labels });
+            repo.add(OuSample {
+                ou: inst.ou,
+                features: f,
+                labels,
+            });
         }
     }
     let (models, _) = train_all(
         &repo,
-        &TrainingConfig { candidates: vec![Algorithm::RandomForest], ..TrainingConfig::default() },
+        &TrainingConfig {
+            candidates: vec![Algorithm::RandomForest],
+            ..TrainingConfig::default()
+        },
     )
     .unwrap();
     let behavior = BehaviorModels::new(models, None);
@@ -230,7 +261,11 @@ fn bench_mb2(c: &mut Criterion) {
     let instances = translator.translate_plan(&plan, &knobs);
     let collector = mb2_core::TrainingCollector::new(&instances);
     group.bench_function("tracked_query_execution", |b| {
-        b.iter(|| db.execute_plan(&plan, Some(&collector)).unwrap().rows_affected)
+        b.iter(|| {
+            db.execute_plan(&plan, Some(&collector))
+                .unwrap()
+                .rows_affected
+        })
     });
     let _ = OuKind::ALL; // keep import referenced
     group.finish();

@@ -59,7 +59,11 @@ fn collect(scale: Scale, dir: &Path) -> mb2_common::DbResult<()> {
         repo.save_ou(ou, &path)?;
         eprintln!("  {ou}: {} samples -> {}", repo.count(ou), path.display());
     }
-    eprintln!("total: {} samples, {} KiB", repo.total_samples(), repo.data_size_bytes() / 1024);
+    eprintln!(
+        "total: {} samples, {} KiB",
+        repo.total_samples(),
+        repo.data_size_bytes() / 1024
+    );
     Ok(())
 }
 
@@ -90,13 +94,20 @@ fn train(scale: Scale, data_dir: &Path, model_dir: &Path) -> mb2_common::DbResul
 
 fn evaluate(scale: Scale, model_dir: &Path) -> mb2_common::DbResult<()> {
     let models = OuModelSet::load_dir(model_dir)?;
-    eprintln!("loaded {} OU-models from {}", models.len(), model_dir.display());
+    eprintln!(
+        "loaded {} OU-models from {}",
+        models.len(),
+        model_dir.display()
+    );
     let behavior = BehaviorModels::new(models, None);
     let tpch = Tpch::with_scale(scale.pick(0.05, 0.5));
     let db = Database::open();
     eprintln!("loading TPC-H ({} lineitem rows)...", tpch.lineitem_rows());
     tpch.load(&db)?;
-    println!("{:<8} {:>14} {:>14} {:>9}", "query", "predicted (us)", "actual (us)", "rel-err");
+    println!(
+        "{:<8} {:>14} {:>14} {:>9}",
+        "query", "predicted (us)", "actual (us)", "rel-err"
+    );
     for (name, sql) in tpch.fixed_queries() {
         let plan = db.prepare(&sql)?;
         let predicted = behavior.predict_query_elapsed_us(&plan, &db.knobs());

@@ -11,8 +11,14 @@ fn main() {
         ("table02_overhead", experiments::table02_overhead::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
-        ("fig06_label_accuracy", experiments::fig06_label_accuracy::run),
-        ("fig07_generalization", experiments::fig07_generalization::run),
+        (
+            "fig06_label_accuracy",
+            experiments::fig06_label_accuracy::run,
+        ),
+        (
+            "fig07_generalization",
+            experiments::fig07_generalization::run,
+        ),
         ("fig08_interference", experiments::fig08_interference::run),
         ("fig09a_update", experiments::fig09a_update::run),
         ("fig09b_noisy_card", experiments::fig09b_noisy_card::run),

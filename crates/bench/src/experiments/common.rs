@@ -111,7 +111,13 @@ pub fn run_phase(
         .collect();
     Ok(PhaseOutcome {
         bucket_avg_us,
-        bucket_counts: counts.iter().map(|c| c.load(Ordering::Relaxed) as usize).collect(),
-        bucket_busy_us: sums.iter().map(|s| s.load(Ordering::Relaxed) as f64).collect(),
+        bucket_counts: counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as usize)
+            .collect(),
+        bucket_busy_us: sums
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed) as f64)
+            .collect(),
     })
 }

@@ -38,8 +38,8 @@ pub fn run(scale: Scale) -> String {
         tpcc.load(&db).expect("load tpcc");
 
         // Phase 1: workload without the index.
-        let before = run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 1)
-            .expect("phase");
+        let before =
+            run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 1).expect("phase");
         // Phase 2: workload while the index builds on its own thread pool.
         let db2 = db.clone();
         let sql = tpcc.customer_index_sql(threads);
@@ -48,17 +48,19 @@ pub fn run(scale: Scale) -> String {
             db2.execute(&sql).expect("index build");
             t0.elapsed()
         });
-        let during = run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 2)
-            .expect("phase");
+        let during =
+            run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 2).expect("phase");
         let build_time = builder.join().expect("builder");
         build_times.push((threads, build_time));
         // Phase 3: workload with the index.
-        let after = run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 3)
-            .expect("phase");
+        let after =
+            run_phase(&db, &tpcc, 4, Duration::from_secs(phase_s), interval, 3).expect("phase");
 
-        for (phase, outcome) in
-            [("no-index", &before), ("building", &during), ("indexed", &after)]
-        {
+        for (phase, outcome) in [
+            ("no-index", &before),
+            ("building", &during),
+            ("indexed", &after),
+        ] {
             for (b, avg) in outcome.bucket_avg_us.iter().enumerate() {
                 table.row(&[
                     threads.to_string(),

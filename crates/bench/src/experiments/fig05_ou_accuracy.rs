@@ -18,7 +18,14 @@ pub fn run(scale: Scale) -> String {
     let algorithms = Algorithm::FIGURE5;
     let mut table = Table::new(
         "test relative error averaged across the nine output labels",
-        &["OU", "random_forest", "neural_network", "huber", "gbm", "best"],
+        &[
+            "OU",
+            "random_forest",
+            "neural_network",
+            "huber",
+            "gbm",
+            "best",
+        ],
     );
     let mut under_20 = 0usize;
     let mut total = 0usize;

@@ -19,14 +19,14 @@ pub fn run(scale: Scale) -> String {
     let built = build_ou_models(&cfg).expect("pipeline");
     let algorithms = [Algorithm::RandomForest, Algorithm::GradientBoosting];
 
-    for (title, normalize) in
-        [("with normalization", true), ("without normalization", false)]
-    {
+    for (title, normalize) in [
+        ("with normalization", true),
+        ("without normalization", false),
+    ] {
         let mut per_label_sums = vec![vec![0.0f64; 9]; algorithms.len()];
         let mut counts = vec![0usize; algorithms.len()];
         for ou in built.repo.ous() {
-            let Ok(evals) = evaluate_algorithms(&built.repo, ou, &algorithms, normalize, 6)
-            else {
+            let Ok(evals) = evaluate_algorithms(&built.repo, ou, &algorithms, normalize, 6) else {
                 continue;
             };
             for (ai, alg) in algorithms.iter().enumerate() {

@@ -11,8 +11,8 @@ use mb2_baselines::{MonolithicModel, QppNet};
 use mb2_common::Prng;
 use mb2_core::training::{train_all, TrainingConfig};
 use mb2_core::BehaviorModels;
-use mb2_engine::Database;
 use mb2_engine::sql::PlanNode;
+use mb2_engine::Database;
 use mb2_workloads::smallbank::SmallBank;
 use mb2_workloads::tatp::Tatp;
 use mb2_workloads::tpcc::Tpcc;
@@ -35,7 +35,10 @@ pub fn run(scale: Scale) -> String {
     // Ablation: same data without output-label normalization.
     let (no_norm_models, _) = train_all(
         &built.repo,
-        &TrainingConfig { normalize: false, ..cfg.training.clone() },
+        &TrainingConfig {
+            normalize: false,
+            ..cfg.training.clone()
+        },
     )
     .expect("no-norm training");
     let behavior_no_norm = BehaviorModels::new(no_norm_models, None);
@@ -166,12 +169,10 @@ fn oltp(scale: Scale, behavior: &BehaviorModels) -> String {
         }
         if wi == 0 {
             // Train QPPNet on TPC-C.
-            let refs: Vec<(&PlanNode, f64)> =
-                measured.iter().map(|(_, p, l)| (p, *l)).collect();
+            let refs: Vec<(&PlanNode, f64)> = measured.iter().map(|(_, p, l)| (p, *l)).collect();
             let mut net = QppNet::new(8, 32, scale.pick(80, 250), 1e-3, 23);
             net.fit(&refs).expect("qppnet oltp fit");
-            train_mean =
-                measured.iter().map(|(_, _, l)| l).sum::<f64>() / measured.len() as f64;
+            train_mean = measured.iter().map(|(_, _, l)| l).sum::<f64>() / measured.len() as f64;
             qppnet = Some(net);
         }
         let net = qppnet.as_ref().expect("trained");
@@ -181,7 +182,9 @@ fn oltp(scale: Scale, behavior: &BehaviorModels) -> String {
         for (name, plan, actual) in &measured {
             let q = net.predict(plan).unwrap_or(train_mean);
             let m = behavior.predict_query_elapsed_us(plan, &db.knobs());
-            let entry = per_template_errs.entry(name.clone()).or_insert((0.0, 0.0, 0));
+            let entry = per_template_errs
+                .entry(name.clone())
+                .or_insert((0.0, 0.0, 0));
             entry.0 += (actual - q).abs();
             entry.1 += (actual - m).abs();
             entry.2 += 1;

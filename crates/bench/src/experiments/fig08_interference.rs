@@ -9,9 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use mb2_core::runners::concurrent::{
-    measure_isolated, run_concurrent_window, ConcurrentRunConfig,
-};
+use mb2_core::runners::concurrent::{measure_isolated, run_concurrent_window, ConcurrentRunConfig};
 use mb2_core::{BehaviorModels, WorkloadForecast};
 use mb2_engine::exec::ExecutionMode;
 use mb2_engine::Database;
@@ -63,8 +61,7 @@ pub fn run(scale: Scale) -> String {
         &["threads", "actual", "estimated"],
     );
     for &threads in &scale.pick(vec![2usize, 4], vec![2, 4, 8, 16]) {
-        let (actual, estimated) =
-            increments(&db, &templates, &behavior, threads, window);
+        let (actual, estimated) = increments(&db, &templates, &behavior, threads, window);
         table.row(&[threads.to_string(), fmt(actual), fmt(estimated)]);
     }
     out.push_str(&table.render());
@@ -104,7 +101,12 @@ fn increments(
         db,
         templates,
         &behavior.ou_models,
-        &ConcurrentRunConfig { threads, duration: window, rate_per_thread: None, seed: 13 },
+        &ConcurrentRunConfig {
+            threads,
+            duration: window,
+            rate_per_thread: None,
+            seed: 13,
+        },
     )
     .expect("concurrent window");
 

@@ -107,7 +107,10 @@ pub fn run(scale: Scale) -> String {
         times.row(&[
             label.to_string(),
             format!("{t:.1?}"),
-            format!("{:.1}x", full_time.as_secs_f64() / t.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                full_time.as_secs_f64() / t.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     out.push('\n');
@@ -120,4 +123,3 @@ pub fn run(scale: Scale) -> String {
     );
     out
 }
-

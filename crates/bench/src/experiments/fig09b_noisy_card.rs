@@ -52,7 +52,11 @@ pub fn run(scale: Scale) -> String {
             }
             n += 1;
         }
-        table.row(&[format!("{ts}x"), fmt(errs[0] / n as f64), fmt(errs[1] / n as f64)]);
+        table.row(&[
+            format!("{ts}x"),
+            fmt(errs[0] / n as f64),
+            fmt(errs[1] / n as f64),
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(

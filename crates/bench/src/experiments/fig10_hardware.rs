@@ -23,8 +23,10 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("# Fig. 10 — hardware context (CPU-frequency feature)\n\n");
 
-    let hw_translator =
-        TranslatorConfig { include_hw_context: true, cardinality_noise: None };
+    let hw_translator = TranslatorConfig {
+        include_hw_context: true,
+        cardinality_noise: None,
+    };
     let mut cfg = PipelineConfig::for_scale(scale);
     // Hardware sweeps multiply runner cost; shrink the per-frequency sweep.
     cfg.exec.max_rows = scale.pick(512, 4096);
@@ -39,9 +41,7 @@ pub fn run(scale: Scale) -> String {
         for &f in freqs {
             let mut c = cfg.exec.clone();
             c.hw = HardwareProfile::new(f);
-            repo.merge(
-                mb2_core::runners::execution::run_execution_runners(&c).expect("runner"),
-            );
+            repo.merge(mb2_core::runners::execution::run_execution_runners(&c).expect("runner"));
         }
         repo
     };
@@ -67,13 +67,15 @@ pub fn run(scale: Scale) -> String {
     );
     for &f in &test_freqs {
         db.set_hw(HardwareProfile::new(f));
-        let knobs = Knobs { hw: HardwareProfile::new(f), ..db.knobs() };
+        let knobs = Knobs {
+            hw: HardwareProfile::new(f),
+            ..db.knobs()
+        };
         let mut errs = [0.0f64; 2];
         let mut n = 0;
         for (_, sql) in tpch.fixed_queries() {
             let plan = db.prepare(&sql).expect("plan");
-            let actual =
-                crate::pipeline::measure_latency_us(&db, &plan, reps).max(1.0);
+            let actual = crate::pipeline::measure_latency_us(&db, &plan, reps).max(1.0);
             let preds = [
                 model_a.predict_query_elapsed_us(&plan, &knobs),
                 model_b.predict_query_elapsed_us(&plan, &knobs),
@@ -83,7 +85,11 @@ pub fn run(scale: Scale) -> String {
             }
             n += 1;
         }
-        table.row(&[format!("{f}"), fmt(errs[0] / n as f64), fmt(errs[1] / n as f64)]);
+        table.row(&[
+            format!("{f}"),
+            fmt(errs[0] / n as f64),
+            fmt(errs[1] / n as f64),
+        ]);
     }
     out.push_str(&table.render());
     out.push('\n');
@@ -104,7 +110,10 @@ pub fn run(scale: Scale) -> String {
     );
     for &f in &test_freqs {
         db2.set_hw(HardwareProfile::new(f));
-        let knobs = Knobs { hw: HardwareProfile::new(f), ..db2.knobs() };
+        let knobs = Knobs {
+            hw: HardwareProfile::new(f),
+            ..db2.knobs()
+        };
         let mut errs = [0.0f64; 2];
         let mut n = 0;
         for sql in &statements {
@@ -119,7 +128,11 @@ pub fn run(scale: Scale) -> String {
             }
             n += 1;
         }
-        table.row(&[format!("{f}"), fmt(errs[0] / n as f64), fmt(errs[1] / n as f64)]);
+        table.row(&[
+            format!("{f}"),
+            fmt(errs[0] / n as f64),
+            fmt(errs[1] / n as f64),
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(

@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 use mb2_core::planner::{Action, OraclePlanner};
 use mb2_core::{BehaviorModels, QueryTemplate, WorkloadForecast};
 use mb2_engine::exec::ExecutionMode;
-use mb2_engine::Database;
 use mb2_engine::sql::PlanNode;
+use mb2_engine::Database;
 use mb2_workloads::tpcc::Tpcc;
 use mb2_workloads::tpch::Tpch;
 use mb2_workloads::Workload;
@@ -129,11 +129,14 @@ fn scenario(
     let tpcc_templates = make_tpcc_templates(db);
     let (actual, predicted) =
         drive_and_predict(db, behavior, &tpcc_templates, workers, phase, None);
-    table.row(&["tpcc (interpret, no index)".into(), fmt(actual), fmt(predicted)]);
+    table.row(&[
+        "tpcc (interpret, no index)".into(),
+        fmt(actual),
+        fmt(predicted),
+    ]);
 
     // Phase 2: TPC-H, interpret mode.
-    let (actual, predicted) =
-        drive_and_predict(db, behavior, tpch_templates, workers, phase, None);
+    let (actual, predicted) = drive_and_predict(db, behavior, tpch_templates, workers, phase, None);
     table.row(&["tpch (interpret)".into(), fmt(actual), fmt(predicted)]);
 
     // Action 1: the planner evaluates flipping the execution mode.
@@ -153,22 +156,27 @@ fn scenario(
     // Phase 3: TPC-H, compiled mode.
     let (actual_compiled, predicted) =
         drive_and_predict(db, behavior, tpch_templates, workers, phase, None);
-    table.row(&["tpch (compiled)".into(), fmt(actual_compiled), fmt(predicted)]);
+    table.row(&[
+        "tpch (compiled)".into(),
+        fmt(actual_compiled),
+        fmt(predicted),
+    ]);
 
     // Action 2: build the index while TPC-H still runs; the "during" window
     // is measured for exactly the build duration.
     let index_sql = tpcc.customer_index_sql(build_threads);
     let index_plan = db.prepare(&index_sql).expect("index plan");
     let action_pred = behavior.predict_plan(&index_plan, &db.knobs());
-    let (actual_during, predicted_during, predicted_build_adjusted, actual_build) = drive_during_build(
-        db,
-        behavior,
-        tpch_templates,
-        workers,
-        &index_sql,
-        &index_plan,
-        build_threads,
-    );
+    let (actual_during, predicted_during, predicted_build_adjusted, actual_build) =
+        drive_during_build(
+            db,
+            behavior,
+            tpch_templates,
+            workers,
+            &index_sql,
+            &index_plan,
+            build_threads,
+        );
     table.row(&[
         "tpch (compiled, index building)".into(),
         fmt(actual_during),
@@ -270,7 +278,12 @@ fn drive_during_build(
     };
     let prediction = behavior.predict_interval(&forecast, 0, &db.knobs(), Some(&action_fc));
     let adjusted_action = prediction.action_us.map_or(0.0, |(_, adj)| adj);
-    (actual_avg, prediction.avg_query_runtime_us(), adjusted_action, build_elapsed)
+    (
+        actual_avg,
+        prediction.avg_query_runtime_us(),
+        adjusted_action,
+        build_elapsed,
+    )
 }
 
 /// Drive the templates concurrently for one phase, returning the actual

@@ -16,7 +16,9 @@ use crate::Scale;
 
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
-    out.push_str("# Table 2 — MB2 overhead (runner time, data size, training time, model size)\n\n");
+    out.push_str(
+        "# Table 2 — MB2 overhead (runner time, data size, training time, model size)\n\n",
+    );
 
     // OU-model pipeline.
     let cfg = PipelineConfig::for_scale(scale);
@@ -40,7 +42,13 @@ pub fn run(scale: Scale) -> String {
 
     let mut table = Table::new(
         "behavior model computation and storage cost",
-        &["model type", "runner time", "data size", "training time", "model size"],
+        &[
+            "model type",
+            "runner time",
+            "data size",
+            "training time",
+            "model size",
+        ],
     );
     table.row(&[
         "OUs".into(),
@@ -49,7 +57,8 @@ pub fn run(scale: Scale) -> String {
         format!("{:.1?}", built.report.total_training_time),
         format!("{} KiB", built.report.model_size_bytes / 1024),
     ]);
-    let interference_data_bytes = rows * (mb2_core::interference::INTERFERENCE_FEATURE_COUNT + 9) * 8;
+    let interference_data_bytes =
+        rows * (mb2_core::interference::INTERFERENCE_FEATURE_COUNT + 9) * 8;
     table.row(&[
         "Interference".into(),
         format!("{conc_time:.1?}"),
@@ -61,7 +70,13 @@ pub fn run(scale: Scale) -> String {
 
     let mut detail = Table::new(
         "per-OU training detail",
-        &["OU", "samples", "chosen algorithm", "validation rel-err", "train time"],
+        &[
+            "OU",
+            "samples",
+            "chosen algorithm",
+            "validation rel-err",
+            "train time",
+        ],
     );
     for (ou, alg, err, t) in &built.report.per_ou {
         detail.row(&[
@@ -114,7 +129,10 @@ pub fn run(scale: Scale) -> String {
     );
     micro.row(&["OU translation (q3 plan)".into(), fmt(translate_us)]);
     micro.row(&["OU-model inference (q3 plan)".into(), fmt(infer_us)]);
-    micro.row(&["tracker overhead per query".into(), fmt((with_tracker - without).max(0.0))]);
+    micro.row(&[
+        "tracker overhead per query".into(),
+        fmt((with_tracker - without).max(0.0)),
+    ]);
     out.push('\n');
     out.push_str(&micro.render());
     out

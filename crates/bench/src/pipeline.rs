@@ -36,13 +36,21 @@ impl PipelineConfig {
                 exec: ExecutionRunnerConfig {
                     max_rows: 32_768,
                     min_rows: 64,
-                    measure: RunnerConfig { repetitions: 7, warmups: 3, ..RunnerConfig::default() },
+                    measure: RunnerConfig {
+                        repetitions: 7,
+                        warmups: 3,
+                        ..RunnerConfig::default()
+                    },
                     ..ExecutionRunnerConfig::default()
                 },
                 util: UtilRunnerConfig {
                     max_batch: 2048,
                     max_index_rows: 32_768,
-                    measure: RunnerConfig { repetitions: 3, warmups: 1, ..RunnerConfig::default() },
+                    measure: RunnerConfig {
+                        repetitions: 3,
+                        warmups: 1,
+                        ..RunnerConfig::default()
+                    },
                     ..UtilRunnerConfig::default()
                 },
                 txn: TxnRunnerConfig::default(),
@@ -60,14 +68,22 @@ impl PipelineConfig {
                 exec: ExecutionRunnerConfig {
                     max_rows: 1024,
                     min_rows: 64,
-                    measure: RunnerConfig { repetitions: 3, warmups: 1, ..RunnerConfig::default() },
+                    measure: RunnerConfig {
+                        repetitions: 3,
+                        warmups: 1,
+                        ..RunnerConfig::default()
+                    },
                     ..ExecutionRunnerConfig::default()
                 },
                 util: UtilRunnerConfig {
                     max_batch: 256,
                     max_index_rows: 2048,
                     build_threads: vec![1, 2, 4],
-                    measure: RunnerConfig { repetitions: 2, warmups: 0, ..RunnerConfig::default() },
+                    measure: RunnerConfig {
+                        repetitions: 2,
+                        warmups: 0,
+                        ..RunnerConfig::default()
+                    },
                     ..UtilRunnerConfig::default()
                 },
                 txn: TxnRunnerConfig::smoke(),
@@ -96,7 +112,12 @@ pub fn build_ou_models(cfg: &PipelineConfig) -> DbResult<BuiltModels> {
     repo.merge(run_txn_runner(&cfg.txn)?);
     let runner_time = started.elapsed();
     let (models, report) = train_all(&repo, &cfg.training)?;
-    Ok(BuiltModels { repo, models, report, runner_time })
+    Ok(BuiltModels {
+        repo,
+        models,
+        report,
+        runner_time,
+    })
 }
 
 /// Train the interference model from concurrent windows over the given
@@ -135,7 +156,10 @@ pub fn build_interference_model(
 }
 
 /// Bundle OU-models (and optionally interference) into `BehaviorModels`.
-pub fn behavior_models(models: OuModelSet, interference: Option<InterferenceModel>) -> BehaviorModels {
+pub fn behavior_models(
+    models: OuModelSet,
+    interference: Option<InterferenceModel>,
+) -> BehaviorModels {
     BehaviorModels::new(models, interference)
 }
 

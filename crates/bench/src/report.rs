@@ -95,8 +95,7 @@ mod tests {
         assert!(text.contains("## demo"));
         assert!(text.lines().count() >= 4);
         // All data lines have equal width.
-        let widths: Vec<usize> =
-            text.lines().skip(1).map(str::len).collect();
+        let widths: Vec<usize> = text.lines().skip(1).map(str::len).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
     }
 

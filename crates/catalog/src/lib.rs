@@ -45,7 +45,11 @@ impl TableEntry {
     }
 
     pub fn index_named(&self, name: &str) -> Option<Arc<Index<SlotId>>> {
-        self.indexes.read().iter().find(|idx| idx.name == name).cloned()
+        self.indexes
+            .read()
+            .iter()
+            .find(|idx| idx.name == name)
+            .cloned()
     }
 
     pub fn stats(&self) -> TableStats {
@@ -65,7 +69,10 @@ impl TableEntry {
     pub fn add_index(&self, index: Arc<Index<SlotId>>) -> DbResult<()> {
         let mut indexes = self.indexes.write();
         if indexes.iter().any(|i| i.name == index.name) {
-            return Err(DbError::Catalog(format!("index '{}' already exists", index.name)));
+            return Err(DbError::Catalog(format!(
+                "index '{}' already exists",
+                index.name
+            )));
         }
         indexes.push(index);
         Ok(())
@@ -197,8 +204,12 @@ mod tests {
     fn index_management() {
         let cat = Catalog::new();
         let entry = cat.create_table("t", schema()).unwrap();
-        entry.add_index(Arc::new(Index::new("t_pk", vec![0]))).unwrap();
-        assert!(entry.add_index(Arc::new(Index::new("t_pk", vec![0]))).is_err());
+        entry
+            .add_index(Arc::new(Index::new("t_pk", vec![0])))
+            .unwrap();
+        assert!(entry
+            .add_index(Arc::new(Index::new("t_pk", vec![0])))
+            .is_err());
         assert!(entry.index_on(&[0]).is_some());
         assert!(entry.index_on(&[1]).is_none());
         assert!(entry.index_named("t_pk").is_some());
@@ -211,7 +222,9 @@ mod tests {
     fn prefix_index_match() {
         let cat = Catalog::new();
         let entry = cat.create_table("t", schema()).unwrap();
-        entry.add_index(Arc::new(Index::new("t_idx", vec![0, 1]))).unwrap();
+        entry
+            .add_index(Arc::new(Index::new("t_idx", vec![0, 1])))
+            .unwrap();
         // Exact match and prefix-compatible lookups resolve.
         assert!(entry.index_on(&[0, 1]).is_some());
     }
@@ -242,6 +255,9 @@ mod tests {
         let cat = Catalog::new();
         cat.create_table("zeta", schema()).unwrap();
         cat.create_table("alpha", schema()).unwrap();
-        assert_eq!(cat.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            cat.table_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct TableStats {
 
 impl TableStats {
     pub fn empty(n_cols: usize) -> TableStats {
-        TableStats { row_count: 0, columns: vec![ColumnStats::default(); n_cols] }
+        TableStats {
+            row_count: 0,
+            columns: vec![ColumnStats::default(); n_cols],
+        }
     }
 
     /// Compute statistics with a full visible scan at `read_ts`.
@@ -64,11 +67,22 @@ impl TableStats {
                 distinct: distinct[c].len(),
                 min: min[c].is_finite().then_some(min[c]),
                 max: max[c].is_finite().then_some(max[c]),
-                null_fraction: if rows == 0 { 0.0 } else { nulls[c] as f64 / rows as f64 },
-                avg_width: if rows == 0 { 0.0 } else { width[c] as f64 / rows as f64 },
+                null_fraction: if rows == 0 {
+                    0.0
+                } else {
+                    nulls[c] as f64 / rows as f64
+                },
+                avg_width: if rows == 0 {
+                    0.0
+                } else {
+                    width[c] as f64 / rows as f64
+                },
             })
             .collect();
-        TableStats { row_count: rows, columns }
+        TableStats {
+            row_count: rows,
+            columns,
+        }
     }
 
     /// Estimated selectivity of an equality predicate on `column`.
@@ -82,8 +96,12 @@ impl TableStats {
     /// Estimated selectivity of a range predicate `lo <= col <= hi` (either
     /// bound optional) assuming a uniform distribution.
     pub fn range_selectivity(&self, column: usize, lo: Option<f64>, hi: Option<f64>) -> f64 {
-        let Some(c) = self.columns.get(column) else { return 0.3 };
-        let (Some(cmin), Some(cmax)) = (c.min, c.max) else { return 0.3 };
+        let Some(c) = self.columns.get(column) else {
+            return 0.3;
+        };
+        let (Some(cmin), Some(cmax)) = (c.min, c.max) else {
+            return 0.3;
+        };
         if cmax <= cmin {
             return 1.0;
         }
@@ -118,7 +136,11 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            let maybe = if i % 4 == 0 { Value::Null } else { Value::Int(i) };
+            let maybe = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
             let slot = t
                 .insert(vec![Value::Int(i), Value::Int(i % 7), maybe], Ts::txn(1))
                 .unwrap();

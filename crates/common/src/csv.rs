@@ -21,7 +21,10 @@ pub struct CsvTable {
 
 impl CsvTable {
     pub fn new(header: Vec<String>) -> CsvTable {
-        CsvTable { header, rows: Vec::new() }
+        CsvTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics if the arity doesn't match the header.

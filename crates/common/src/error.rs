@@ -19,6 +19,9 @@ pub enum DbError {
     TxnClosed,
     /// WAL I/O failure.
     Wal(String),
+    /// The WAL is poisoned: an unrecoverable flush failure latched the log
+    /// into a rejecting state and the engine has degraded to read-only.
+    WalUnavailable(String),
     /// Storage-level invariant violation (bad slot, missing version).
     Storage(String),
     /// ML training/inference failure (singular matrix, empty dataset, ...).
@@ -37,6 +40,9 @@ impl fmt::Display for DbError {
             }
             DbError::TxnClosed => write!(f, "transaction is already closed"),
             DbError::Wal(m) => write!(f, "wal error: {m}"),
+            DbError::WalUnavailable(m) => {
+                write!(f, "wal unavailable (engine is read-only): {m}")
+            }
             DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::Model(m) => write!(f, "model error: {m}"),
         }
@@ -54,7 +60,9 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        let e = DbError::WriteConflict { table: "customer".into() };
+        let e = DbError::WriteConflict {
+            table: "customer".into(),
+        };
         assert!(e.to_string().contains("customer"));
         let e = DbError::Parse("unexpected token".into());
         assert!(e.to_string().contains("unexpected token"));

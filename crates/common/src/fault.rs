@@ -1,0 +1,265 @@
+//! Deterministic fault injection for durability testing.
+//!
+//! A [`FaultInjector`] is a registry of *named fault points* that production
+//! code consults at the moments where real systems fail: opening the log
+//! file, writing a buffer, calling fsync. Tests arm a point with a
+//! [`FaultMode`] and the next matching call reports an injected failure; the
+//! code under test then exercises its real error path (retry, backoff,
+//! poisoning, read-only degradation) with no actual I/O fault required.
+//!
+//! Probabilistic modes draw from the workspace's seeded [`Prng`], so a run
+//! that fails can be replayed byte-for-byte from its seed.
+//!
+//! The injector is cheap when unarmed (one mutex lock and a hash probe per
+//! checked point) and is only ever constructed by tests and torture
+//! harnesses; production configs leave it `None`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::rng::Prng;
+
+/// Well-known fault-point names used by the WAL layer.
+pub mod points {
+    /// Opening (creating) the log file in `LogManager::new`.
+    pub const WAL_OPEN: &str = "wal.open";
+    /// Writing a sealed buffer to the log file.
+    pub const WAL_WRITE: &str = "wal.write";
+    /// The fsync (`File::sync_all`) after a successful write.
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// One-shot torn write: persist a prefix of the buffer, then "crash".
+    pub const WAL_TORN_WRITE: &str = "wal.torn_write";
+}
+
+/// When an armed fault point trips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Fail exactly the `n`-th call (1-based) to this point, then disarm.
+    Nth(u64),
+    /// Fail the `n`-th call (1-based) and every call after it.
+    FromNth(u64),
+    /// Fail each call independently with probability `p` (seeded PRNG).
+    Probability(f64),
+    /// Fail every call. Equivalent to `FromNth(1)`.
+    Always,
+}
+
+#[derive(Debug)]
+struct Armed {
+    mode: FaultMode,
+    calls: u64,
+    fired: u64,
+}
+
+impl Armed {
+    fn trips(&mut self, rng: &mut Prng) -> bool {
+        self.calls += 1;
+        let hit = match self.mode {
+            FaultMode::Nth(n) => self.calls == n,
+            FaultMode::FromNth(n) => self.calls >= n,
+            FaultMode::Probability(p) => rng.chance(p),
+            FaultMode::Always => true,
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    points: HashMap<String, Armed>,
+    /// Point name -> fraction of the buffer to keep. One-shot: consumed on use.
+    torn: HashMap<String, f64>,
+}
+
+/// Registry of named fault points. Shared as `Arc<FaultInjector>` between the
+/// test and the component under test (including its background threads).
+pub struct FaultInjector {
+    seed: u64,
+    state: Mutex<State>,
+    rng: Mutex<Prng>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// An injector whose probabilistic decisions derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            state: Mutex::new(State::default()),
+            rng: Mutex::new(Prng::new(seed)),
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Arm `point` with `mode`, replacing any previous arming (and resetting
+    /// its call counter).
+    pub fn arm(&self, point: &str, mode: FaultMode) {
+        let mut st = self.lock_state();
+        st.points.insert(
+            point.to_string(),
+            Armed {
+                mode,
+                calls: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Arm a one-shot torn write at `point`: the next [`torn_write`]
+    /// consultation reports that only `keep_fraction` of the buffer (clamped
+    /// to `[0, 1]`, rounded down, always short of the full length) reached
+    /// disk before the simulated crash.
+    ///
+    /// [`torn_write`]: FaultInjector::torn_write
+    pub fn arm_torn_write(&self, point: &str, keep_fraction: f64) {
+        let mut st = self.lock_state();
+        st.torn
+            .insert(point.to_string(), keep_fraction.clamp(0.0, 1.0));
+    }
+
+    /// Remove any arming (failure mode and torn-write) from `point`.
+    pub fn disarm(&self, point: &str) {
+        let mut st = self.lock_state();
+        st.points.remove(point);
+        st.torn.remove(point);
+    }
+
+    /// Consult `point`. Returns `Some(description)` when the armed fault
+    /// trips — the caller should fail with that description — and `None`
+    /// when the call should proceed normally.
+    pub fn should_fail(&self, point: &str) -> Option<String> {
+        let mut st = self.lock_state();
+        let armed = st.points.get_mut(point)?;
+        let mut rng = match self.rng.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if armed.trips(&mut rng) {
+            let call = armed.calls;
+            if matches!(armed.mode, FaultMode::Nth(_)) {
+                st.points.remove(point);
+            }
+            Some(format!("injected fault at '{point}' (call #{call})"))
+        } else {
+            None
+        }
+    }
+
+    /// Consult a one-shot torn-write arming at `point` for a buffer of
+    /// `total` bytes. Returns `Some(keep)` — the number of bytes that should
+    /// reach disk before the simulated crash, strictly less than `total` —
+    /// and consumes the arming. Returns `None` when not armed or `total` is 0.
+    pub fn torn_write(&self, point: &str, total: usize) -> Option<usize> {
+        if total == 0 {
+            return None;
+        }
+        let mut st = self.lock_state();
+        let fraction = st.torn.remove(point)?;
+        let keep = ((total as f64 * fraction) as usize).min(total - 1);
+        Some(keep)
+    }
+
+    /// How many times `point` has been consulted since it was (re-)armed.
+    pub fn calls(&self, point: &str) -> u64 {
+        self.lock_state().points.get(point).map_or(0, |a| a.calls)
+    }
+
+    /// How many times `point` has tripped since it was (re-)armed.
+    pub fn fired(&self, point: &str) -> u64 {
+        self.lock_state().points.get(point).map_or(0, |a| a.fired)
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_never_fail() {
+        let inj = FaultInjector::new(7);
+        for _ in 0..100 {
+            assert!(inj.should_fail(points::WAL_WRITE).is_none());
+        }
+        assert_eq!(inj.calls(points::WAL_WRITE), 0);
+    }
+
+    #[test]
+    fn nth_fires_once_then_disarms() {
+        let inj = FaultInjector::new(7);
+        inj.arm(points::WAL_FSYNC, FaultMode::Nth(3));
+        assert!(inj.should_fail(points::WAL_FSYNC).is_none());
+        assert!(inj.should_fail(points::WAL_FSYNC).is_none());
+        let msg = inj
+            .should_fail(points::WAL_FSYNC)
+            .expect("third call trips");
+        assert!(msg.contains("wal.fsync"), "{msg}");
+        // Disarmed after firing: subsequent calls pass.
+        assert!(inj.should_fail(points::WAL_FSYNC).is_none());
+    }
+
+    #[test]
+    fn from_nth_fails_persistently() {
+        let inj = FaultInjector::new(7);
+        inj.arm(points::WAL_WRITE, FaultMode::FromNth(2));
+        assert!(inj.should_fail(points::WAL_WRITE).is_none());
+        for _ in 0..5 {
+            assert!(inj.should_fail(points::WAL_WRITE).is_some());
+        }
+        assert_eq!(inj.fired(points::WAL_WRITE), 5);
+        inj.disarm(points::WAL_WRITE);
+        assert!(inj.should_fail(points::WAL_WRITE).is_none());
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inj = FaultInjector::new(seed);
+            inj.arm(points::WAL_WRITE, FaultMode::Probability(0.5));
+            (0..64)
+                .map(|_| inj.should_fail(points::WAL_WRITE).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        // With p=0.5 over 64 trials, both outcomes must appear.
+        let outcomes = run(42);
+        assert!(outcomes.iter().any(|&b| b) && outcomes.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn torn_write_is_one_shot_and_partial() {
+        let inj = FaultInjector::new(7);
+        inj.arm_torn_write(points::WAL_TORN_WRITE, 0.5);
+        let keep = inj.torn_write(points::WAL_TORN_WRITE, 100).expect("armed");
+        assert!(keep < 100, "torn write must be partial, kept {keep}");
+        assert_eq!(keep, 50);
+        assert!(
+            inj.torn_write(points::WAL_TORN_WRITE, 100).is_none(),
+            "one-shot"
+        );
+        // keep_fraction 1.0 still drops at least one byte.
+        inj.arm_torn_write(points::WAL_TORN_WRITE, 1.0);
+        assert_eq!(inj.torn_write(points::WAL_TORN_WRITE, 10), Some(9));
+    }
+}

@@ -22,7 +22,10 @@ impl HardwareProfile {
     pub const DEFAULT_BASE_GHZ: f64 = 3.1;
 
     pub fn new(cpu_freq_ghz: f64) -> HardwareProfile {
-        HardwareProfile { cpu_freq_ghz, base_freq_ghz: Self::DEFAULT_BASE_GHZ }
+        HardwareProfile {
+            cpu_freq_ghz,
+            base_freq_ghz: Self::DEFAULT_BASE_GHZ,
+        }
     }
 
     /// Multiplier on work cost relative to the base frequency (>= 1.0; the

@@ -7,8 +7,10 @@
 //! measurements (paper §6.2), and a small CSV layer for training-data
 //! artifacts.
 
+pub mod crc32;
 pub mod csv;
 pub mod error;
+pub mod fault;
 pub mod hardware;
 pub mod metrics;
 pub mod ou;
@@ -17,7 +19,9 @@ pub mod schema;
 pub mod stats;
 pub mod types;
 
+pub use crc32::{crc32, Crc32};
 pub use error::{DbError, DbResult};
+pub use fault::{FaultInjector, FaultMode};
 pub use hardware::HardwareProfile;
 pub use metrics::{Metrics, METRIC_COUNT, METRIC_NAMES};
 pub use ou::{OuCategory, OuKind};

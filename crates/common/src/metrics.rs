@@ -79,7 +79,11 @@ impl Metrics {
     pub fn div_elementwise(&self, other: &Metrics) -> Metrics {
         let mut out = Metrics::ZERO;
         for i in 0..METRIC_COUNT {
-            out.0[i] = if other.0[i] == 0.0 { 0.0 } else { self.0[i] / other.0[i] };
+            out.0[i] = if other.0[i] == 0.0 {
+                0.0
+            } else {
+                self.0[i] / other.0[i]
+            };
         }
         out
     }

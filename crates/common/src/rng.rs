@@ -25,7 +25,10 @@ impl Prng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             z ^ (z >> 31)
         };
-        Prng { s: [next(), next(), next(), next()], gauss_spare: None }
+        Prng {
+            s: [next(), next(), next(), next()],
+            gauss_spare: None,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -121,12 +124,16 @@ impl Prng {
 
     /// Random lowercase ASCII string of the given length.
     pub fn string(&mut self, len: usize) -> String {
-        (0..len).map(|_| (b'a' + self.range_u64(0, 26) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b'a' + self.range_u64(0, 26) as u8) as char)
+            .collect()
     }
 
     /// Random numeric string (TPC-C zip codes etc.).
     pub fn digit_string(&mut self, len: usize) -> String {
-        (0..len).map(|_| (b'0' + self.range_u64(0, 10) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b'0' + self.range_u64(0, 10) as u8) as char)
+            .collect()
     }
 
     /// TPC-C non-uniform random (clause 2.1.6): `NURand(A, x, y)`.
@@ -256,7 +263,11 @@ mod tests {
         let head = (0..n).filter(|_| zipf.sample(&mut rng) < 10).count();
         // With theta=0.9 the top-10 of 1000 items should get far more than
         // the uniform 1% of traffic.
-        assert!(head as f64 / n as f64 > 0.15, "head fraction {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.15,
+            "head fraction {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: DataType) -> Column {
-        Column { name: name.into(), ty, varchar_len: 16 }
+        Column {
+            name: name.into(),
+            ty,
+            varchar_len: 16,
+        }
     }
 
     pub fn with_varchar_len(mut self, len: usize) -> Column {
@@ -81,7 +85,9 @@ impl Schema {
 
     /// Project a subset of columns by index.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
     }
 }
 

@@ -26,7 +26,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// before averaging. MB2 uses 20% trimming (breakdown point 0.4) to derive
 /// labels from repeated OU measurements (paper §6.2).
 pub fn trimmed_mean(xs: &[f64], trim_fraction: f64) -> f64 {
-    assert!((0.0..0.5).contains(&trim_fraction), "trim fraction must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&trim_fraction),
+        "trim fraction must be in [0, 0.5)"
+    );
     if xs.is_empty() {
         return 0.0;
     }
@@ -86,7 +89,12 @@ pub fn average_absolute_error(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 #[cfg(test)]
@@ -105,7 +113,9 @@ mod tests {
     #[test]
     fn trimmed_mean_rejects_outliers() {
         // 10 samples around 100 plus two wild outliers; 20% trim drops both.
-        let xs = [99.0, 100.0, 101.0, 100.0, 99.0, 101.0, 100.0, 100.0, 1e9, -1e9];
+        let xs = [
+            99.0, 100.0, 101.0, 100.0, 99.0, 101.0, 100.0, 100.0, 1e9, -1e9,
+        ];
         let tm = trimmed_mean(&xs, 0.2);
         assert!((tm - 100.0).abs() < 1.0, "trimmed mean {tm}");
     }

@@ -185,7 +185,13 @@ impl Value {
             }
             Value::Float(v) => {
                 // Normalize -0.0 / NaN so equal keys hash equally.
-                let bits = if *v == 0.0 { 0u64 } else if v.is_nan() { u64::MAX } else { v.to_bits() };
+                let bits = if *v == 0.0 {
+                    0u64
+                } else if v.is_nan() {
+                    u64::MAX
+                } else {
+                    v.to_bits()
+                };
                 2u8.hash(state);
                 bits.hash(state);
             }
@@ -303,7 +309,10 @@ mod tests {
     fn int_float_cross_compare() {
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).cmp_total(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).cmp_total(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -320,14 +329,26 @@ mod tests {
     #[test]
     fn equal_values_hash_equal() {
         assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
-        assert_eq!(hash_of(&Value::Varchar("abc".into())), hash_of(&Value::from("abc")));
+        assert_eq!(
+            hash_of(&Value::Varchar("abc".into())),
+            hash_of(&Value::from("abc"))
+        );
     }
 
     #[test]
     fn casts() {
-        assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
-        assert_eq!(Value::Float(3.9).cast(DataType::Int).unwrap(), Value::Int(3));
-        assert_eq!(Value::Int(7).cast(DataType::Varchar).unwrap(), Value::from("7"));
+        assert_eq!(
+            Value::Int(3).cast(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Float(3.9).cast(DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(7).cast(DataType::Varchar).unwrap(),
+            Value::from("7")
+        );
         assert!(Value::Null.cast(DataType::Int).unwrap().is_null());
     }
 

@@ -43,7 +43,10 @@ impl TrainingCollector {
             .iter()
             .map(|i| ((i.node_id, i.ou), i.features.clone()))
             .collect();
-        TrainingCollector { expectations, sink: Mutex::new(Vec::new()) }
+        TrainingCollector {
+            expectations,
+            sink: Mutex::new(Vec::new()),
+        }
     }
 
     /// Raw measurements recorded so far (for interference training, which
@@ -60,9 +63,11 @@ impl TrainingCollector {
         measured
             .into_iter()
             .filter_map(|(id, ou, labels)| {
-                self.expectations
-                    .get(&(id, ou))
-                    .map(|features| OuSample { ou, features: features.clone(), labels })
+                self.expectations.get(&(id, ou)).map(|features| OuSample {
+                    ou,
+                    features: features.clone(),
+                    labels,
+                })
             })
             .collect()
     }
@@ -210,14 +215,19 @@ impl TrainingRepo {
         let n_features = total_cols - METRIC_COUNT;
         let mut loaded = 0;
         for r in 0..table.rows.len() {
-            let features: Vec<f64> =
-                (0..n_features).map(|c| table.f64_at(r, c)).collect::<DbResult<_>>()?;
+            let features: Vec<f64> = (0..n_features)
+                .map(|c| table.f64_at(r, c))
+                .collect::<DbResult<_>>()?;
             let labels: Metrics = (0..METRIC_COUNT)
                 .map(|c| table.f64_at(r, n_features + c))
                 .collect::<DbResult<Vec<f64>>>()?
                 .into_iter()
                 .collect();
-            self.add(OuSample { ou, features, labels });
+            self.add(OuSample {
+                ou,
+                features,
+                labels,
+            });
             loaded += 1;
         }
         Ok(loaded)
@@ -234,14 +244,26 @@ mod tests {
         features[0] = n;
         let mut labels = Metrics::ZERO;
         labels[0] = elapsed;
-        OuSample { ou, features, labels }
+        OuSample {
+            ou,
+            features,
+            labels,
+        }
     }
 
     #[test]
     fn collector_joins_by_node_and_ou() {
         let instances = vec![
-            OuInstance { node_id: 1, ou: OuKind::SeqScan, features: vec![10.0; 7] },
-            OuInstance { node_id: 0, ou: OuKind::OutputResult, features: vec![5.0; 7] },
+            OuInstance {
+                node_id: 1,
+                ou: OuKind::SeqScan,
+                features: vec![10.0; 7],
+            },
+            OuInstance {
+                node_id: 0,
+                ou: OuKind::OutputResult,
+                features: vec![5.0; 7],
+            },
         ];
         let c = TrainingCollector::new(&instances);
         c.record(1, OuKind::SeqScan, Metrics::new([1.0; 9]));
@@ -249,7 +271,9 @@ mod tests {
         c.record(9, OuKind::SortBuild, Metrics::new([3.0; 9])); // unmatched
         let joined = c.drain_joined();
         assert_eq!(joined.len(), 2);
-        assert!(joined.iter().any(|s| s.ou == OuKind::SeqScan && s.features[0] == 10.0));
+        assert!(joined
+            .iter()
+            .any(|s| s.ou == OuKind::SeqScan && s.features[0] == 10.0));
         // Sink cleared.
         assert!(c.drain_joined().is_empty());
     }
@@ -290,8 +314,14 @@ mod tests {
         a.merge(b);
         assert_eq!(a.count(OuKind::SeqScan), 2);
         assert_eq!(a.total_samples(), 3);
-        assert_eq!(a.ous(), vec![OuKind::SortBuild, OuKind::SeqScan]
-            .into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            a.ous(),
+            vec![OuKind::SortBuild, OuKind::SeqScan]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
         assert!(a.data_size_bytes() > 0);
     }
 

@@ -44,9 +44,13 @@ pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
         | OuKind::OutputResult => EXEC,
         OuKind::ArithmeticFilter => &["n_evals", "ops_per_eval", "exec_mode"],
         OuKind::GarbageCollection => &["n_versions", "n_slots", "gc_interval_ms"],
-        OuKind::IndexBuild => {
-            &["n_tuples", "n_key_cols", "key_size", "est_key_cardinality", "n_threads"]
-        }
+        OuKind::IndexBuild => &[
+            "n_tuples",
+            "n_key_cols",
+            "key_size",
+            "est_key_cardinality",
+            "n_threads",
+        ],
         OuKind::LogSerialize => &["total_bytes", "n_records", "n_buffers", "avg_record_size"],
         OuKind::LogFlush => &["total_bytes", "n_buffers", "flush_interval_ms"],
         OuKind::TxnBegin | OuKind::TxnCommit => &["arrival_rate", "active_txns"],

@@ -48,7 +48,11 @@ pub struct WorkloadForecast {
 
 impl WorkloadForecast {
     pub fn new(templates: Vec<QueryTemplate>, threads: usize) -> WorkloadForecast {
-        WorkloadForecast { templates, intervals: Vec::new(), threads: threads.max(1) }
+        WorkloadForecast {
+            templates,
+            intervals: Vec::new(),
+            threads: threads.max(1),
+        }
     }
 
     pub fn push_interval(&mut self, duration_s: f64, rates: Vec<f64>) {

@@ -110,7 +110,11 @@ pub struct ActionForecast {
 
 impl BehaviorModels {
     pub fn new(ou_models: OuModelSet, interference: Option<InterferenceModel>) -> BehaviorModels {
-        BehaviorModels { ou_models, interference, translator: OuTranslator::default() }
+        BehaviorModels {
+            ou_models,
+            interference,
+            translator: OuTranslator::default(),
+        }
     }
 
     /// Predict a plan's per-OU and total behavior in isolation.
@@ -191,9 +195,15 @@ impl BehaviorModels {
             })
             .collect();
 
-        let action_us = action_pred.as_ref().map(|pred| (pred.elapsed_us(), adjust(pred)));
+        let action_us = action_pred
+            .as_ref()
+            .map(|pred| (pred.elapsed_us(), adjust(pred)));
 
-        IntervalPrediction { per_template, action_us, thread_totals }
+        IntervalPrediction {
+            per_template,
+            action_us,
+            thread_totals,
+        }
     }
 }
 
@@ -221,12 +231,19 @@ mod tests {
                 let mut labels = Metrics::ZERO;
                 labels[idx::ELAPSED_US] = 2.0 * features[0];
                 labels[idx::CPU_US] = 2.0 * features[0];
-                repo.add(OuSample { ou: inst.ou, features, labels });
+                repo.add(OuSample {
+                    ou: inst.ou,
+                    features,
+                    labels,
+                });
             }
         }
         let (set, _) = train_all(
             &repo,
-            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+            &TrainingConfig {
+                candidates: vec![Algorithm::Linear],
+                ..TrainingConfig::default()
+            },
         )
         .unwrap();
         BehaviorModels::new(set, None)
@@ -236,7 +253,8 @@ mod tests {
         let db = Database::open();
         db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
         for i in 0..200 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 10)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 10))
+                .unwrap();
         }
         db.execute("ANALYZE t").unwrap();
         let plan = db.prepare("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
@@ -280,7 +298,10 @@ mod tests {
         assert_eq!(pred.per_template.len(), 1);
         assert_eq!(pred.per_template[0].expected_count, 50.0);
         // Without an interference model, adjusted == isolated.
-        assert_eq!(pred.per_template[0].isolated_us, pred.per_template[0].adjusted_us);
+        assert_eq!(
+            pred.per_template[0].isolated_us,
+            pred.per_template[0].adjusted_us
+        );
         assert_eq!(pred.thread_totals.len(), 4);
         assert!(pred.avg_query_runtime_us() > 0.0);
     }
@@ -289,7 +310,9 @@ mod tests {
     fn action_adds_threads() {
         let (db, plan) = setup();
         let models = synthetic_models(&db, &plan);
-        let index_plan = db.prepare("CREATE INDEX t_b ON t (b) WITH (THREADS = 2)").unwrap();
+        let index_plan = db
+            .prepare("CREATE INDEX t_b ON t (b) WITH (THREADS = 2)")
+            .unwrap();
         let template = QueryTemplate {
             name: "q".into(),
             sql: "q".into(),
@@ -297,7 +320,10 @@ mod tests {
         };
         let mut forecast = WorkloadForecast::new(vec![template], 4);
         forecast.push_interval(10.0, vec![1.0]);
-        let action = ActionForecast { plan: index_plan, threads: 2 };
+        let action = ActionForecast {
+            plan: index_plan,
+            threads: 2,
+        };
         let pred = models.predict_interval(&forecast, 0, &db.knobs(), Some(&action));
         assert_eq!(pred.thread_totals.len(), 6);
         assert!(pred.action_us.is_some());

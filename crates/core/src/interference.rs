@@ -84,7 +84,9 @@ impl InterferenceModel {
     /// compares).
     pub fn train(data: &Dataset, seed: u64) -> DbResult<InterferenceModel> {
         if data.is_empty() {
-            return Err(DbError::Model("interference model: no training data".into()));
+            return Err(DbError::Model(
+                "interference model: no training data".into(),
+            ));
         }
         const RATIO_CAP: f64 = 100.0;
         let capped = Dataset::new(
@@ -127,7 +129,12 @@ impl InterferenceModel {
     }
 
     /// Adjust an isolated OU prediction for the concurrent environment.
-    pub fn adjust(&self, self_pred: &Metrics, thread_totals: &[Metrics], window_us: f64) -> Metrics {
+    pub fn adjust(
+        &self,
+        self_pred: &Metrics,
+        thread_totals: &[Metrics],
+        window_us: f64,
+    ) -> Metrics {
         self_pred.mul_elementwise(&self.predict_ratios(self_pred, thread_totals, window_us))
     }
 
@@ -208,7 +215,11 @@ mod tests {
             let (self_pred, totals, truth) = make_case(threads, &mut rng);
             let ratios = model.predict_ratios(&self_pred, &totals, 500_000.0);
             let err = (ratios[idx::ELAPSED_US] - truth).abs() / truth;
-            assert!(err < 0.15, "threads {threads}: pred {} truth {truth}", ratios[idx::ELAPSED_US]);
+            assert!(
+                err < 0.15,
+                "threads {threads}: pred {} truth {truth}",
+                ratios[idx::ELAPSED_US]
+            );
         }
     }
 
@@ -224,7 +235,8 @@ mod tests {
             data.push(f, vec![0.5; METRIC_COUNT]);
         }
         let model = InterferenceModel::train(&data, 5).unwrap();
-        let ratios = model.predict_ratios(&metrics(100.0, 90.0), &[metrics(500.0, 450.0)], 500_000.0);
+        let ratios =
+            model.predict_ratios(&metrics(100.0, 90.0), &[metrics(500.0, 450.0)], 500_000.0);
         assert!(ratios.as_slice().iter().all(|&r| r >= 1.0));
     }
 

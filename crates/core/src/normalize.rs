@@ -20,7 +20,9 @@ use crate::features::{cardinality_feature, normalization_feature};
 /// The complexity divisor for an OU given its feature vector; `1.0` for OUs
 /// that are not normalized.
 pub fn complexity(ou: OuKind, features: &[f64]) -> f64 {
-    let Some(nf) = normalization_feature(ou) else { return 1.0 };
+    let Some(nf) = normalization_feature(ou) else {
+        return 1.0;
+    };
     let n = features[nf].max(1.0);
     match ou {
         // Sort-based operations: the builder sorts its input.

@@ -7,10 +7,10 @@
 use std::sync::Arc;
 
 use mb2_common::{DbResult, OuKind};
-use mb2_engine::{Database, Knobs};
-use mb2_exec::ExecutionMode;
 use mb2_engine::index::Index;
 use mb2_engine::storage::SlotId;
+use mb2_engine::{Database, Knobs};
+use mb2_exec::ExecutionMode;
 
 use crate::forecast::WorkloadForecast;
 use crate::inference::{ActionForecast, BehaviorModels};
@@ -21,7 +21,13 @@ pub enum Action {
     /// Change the execution-mode behavior knob.
     SetExecutionMode(ExecutionMode),
     /// Build an index with the given parallelism.
-    BuildIndex { sql: String, table: String, index: String, columns: Vec<String>, threads: usize },
+    BuildIndex {
+        sql: String,
+        table: String,
+        index: String,
+        columns: Vec<String>,
+        threads: usize,
+    },
 }
 
 /// Predicted consequences of an action (paper §2.1's four questions).
@@ -68,15 +74,22 @@ impl<'a> OraclePlanner<'a> {
         interval: usize,
         knobs: &Knobs,
     ) -> DbResult<ActionEvaluation> {
-        let baseline = self.models.predict_interval(forecast, interval, knobs, None);
+        let baseline = self
+            .models
+            .predict_interval(forecast, interval, knobs, None);
         let baseline_us = baseline.avg_query_runtime_us();
         match action {
             Action::SetExecutionMode(mode) => {
                 // Knob flips change per-query cost directly; compare the
                 // isolated predictions so interference-model noise does not
                 // swamp the knob's (often modest) effect.
-                let new_knobs = Knobs { execution_mode: *mode, ..*knobs };
-                let after = self.models.predict_interval(forecast, interval, &new_knobs, None);
+                let new_knobs = Knobs {
+                    execution_mode: *mode,
+                    ..*knobs
+                };
+                let after = self
+                    .models
+                    .predict_interval(forecast, interval, &new_knobs, None);
                 Ok(ActionEvaluation {
                     baseline_us: baseline.avg_isolated_runtime_us(),
                     during_us: baseline_us, // knob flips deploy instantly
@@ -85,12 +98,22 @@ impl<'a> OraclePlanner<'a> {
                     action_cpu_us: 0.0,
                 })
             }
-            Action::BuildIndex { sql, table, index, columns, threads } => {
+            Action::BuildIndex {
+                sql,
+                table,
+                index,
+                columns,
+                threads,
+            } => {
                 // Cost + impact: predict the interval with the build running.
                 let plan = self.db.prepare(sql)?;
-                let action_fc = ActionForecast { plan: plan.clone(), threads: *threads };
+                let action_fc = ActionForecast {
+                    plan: plan.clone(),
+                    threads: *threads,
+                };
                 let during =
-                    self.models.predict_interval(forecast, interval, knobs, Some(&action_fc));
+                    self.models
+                        .predict_interval(forecast, interval, knobs, Some(&action_fc));
                 let (_, action_adjusted) = during.action_us.expect("action predicted");
                 let action_pred = self.models.predict_plan(&plan, knobs);
                 let action_cpu_us = action_pred.total_for(OuKind::IndexBuild).cpu_us();
@@ -154,10 +177,10 @@ mod tests {
     use crate::collect::{OuSample, TrainingRepo};
     use crate::forecast::QueryTemplate;
     use crate::training::{train_all, TrainingConfig};
+    use crate::translate::OuTranslator;
     use mb2_common::metrics::idx;
     use mb2_common::Metrics;
     use mb2_ml::Algorithm;
-    use crate::translate::OuTranslator;
 
     /// Models where index scans are predicted much cheaper than sequential
     /// scans, so index actions show a benefit.
@@ -168,7 +191,8 @@ mod tests {
         let plans = [
             db.prepare("SELECT * FROM big WHERE pk = 1").unwrap(),
             db.prepare("SELECT * FROM big WHERE grp = 1").unwrap(),
-            db.prepare("CREATE INDEX hyp ON big (grp) WITH (THREADS = 4)").unwrap(),
+            db.prepare("CREATE INDEX hyp ON big (grp) WITH (THREADS = 4)")
+                .unwrap(),
         ];
         for plan in &plans {
             for inst in translator.translate_plan(plan, &db.knobs()) {
@@ -186,13 +210,20 @@ mod tests {
                     let mut labels = Metrics::ZERO;
                     labels[idx::ELAPSED_US] = cost;
                     labels[idx::CPU_US] = cost;
-                    repo.add(OuSample { ou: inst.ou, features: f, labels });
+                    repo.add(OuSample {
+                        ou: inst.ou,
+                        features: f,
+                        labels,
+                    });
                 }
             }
         }
         let (set, _) = train_all(
             &repo,
-            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+            &TrainingConfig {
+                candidates: vec![Algorithm::Linear],
+                ..TrainingConfig::default()
+            },
         )
         .unwrap();
         BehaviorModels::new(set, None)
@@ -200,11 +231,15 @@ mod tests {
 
     fn setup() -> Database {
         let db = Database::open();
-        db.execute("CREATE TABLE big (pk INT, grp INT, v FLOAT)").unwrap();
+        db.execute("CREATE TABLE big (pk INT, grp INT, v FLOAT)")
+            .unwrap();
         for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
-            let vals: Vec<String> =
-                chunk.iter().map(|i| format!("({i}, {}, 0.5)", i % 100)).collect();
-            db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+            let vals: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({i}, {}, 0.5)", i % 100))
+                .collect();
+            db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", ")))
+                .unwrap();
         }
         db.execute("CREATE INDEX big_pk ON big (pk)").unwrap();
         db.execute("ANALYZE big").unwrap();
@@ -231,12 +266,19 @@ mod tests {
             columns: vec!["grp".into()],
             threads: 4,
         };
-        let eval = planner.evaluate(&action, &forecast, 0, &db.knobs()).unwrap();
+        let eval = planner
+            .evaluate(&action, &forecast, 0, &db.knobs())
+            .unwrap();
         assert!(eval.after_us < eval.baseline_us, "{eval:?}");
         assert!(eval.predicted_gain() > 0.5, "{eval:?}");
         assert!(eval.action_duration_us > 0.0);
         // The hypothetical index must be gone afterwards.
-        assert!(db.catalog().get("big").unwrap().index_named("big_grp").is_none());
+        assert!(db
+            .catalog()
+            .get("big")
+            .unwrap()
+            .index_named("big_grp")
+            .is_none());
     }
 
     #[test]

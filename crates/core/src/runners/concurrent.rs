@@ -105,7 +105,10 @@ pub fn run_concurrent_window(
         // Drive the window.
         std::thread::sleep(cfg.duration);
         stop.store(true, Ordering::Release);
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     // Per-thread predicted totals (paper §5.1 summary input).
@@ -137,7 +140,11 @@ pub fn run_concurrent_window(
                 if pred.elapsed_us() < 0.5 {
                     continue; // below measurement resolution; ratio undefined
                 }
-                let features = InterferenceInputs::features(&pred, &thread_totals, cfg.duration.as_nanos() as f64 / 1000.0);
+                let features = InterferenceInputs::features(
+                    &pred,
+                    &thread_totals,
+                    cfg.duration.as_nanos() as f64 / 1000.0,
+                );
                 let labels = InterferenceInputs::ratio_labels(&s.labels, &pred);
                 rows.push(features, labels);
             }
@@ -178,8 +185,11 @@ pub fn measure_isolated(
         for _ in 0..repetitions {
             collector.reset();
             db.execute_plan(&t.plan, Some(&collector))?;
-            let ou_us: f64 =
-                collector.drain_joined().iter().map(|s| s.labels.elapsed_us()).sum();
+            let ou_us: f64 = collector
+                .drain_joined()
+                .iter()
+                .map(|s| s.labels.elapsed_us())
+                .sum();
             latencies.push(ou_us);
         }
         out.push(mb2_common::stats::trimmed_mean(&latencies, 0.2));
@@ -213,23 +223,26 @@ mod tests {
         let db = Database::open();
         db.execute("CREATE TABLE ct (a INT, b INT)").unwrap();
         for chunk in (0..2000).collect::<Vec<i64>>().chunks(500) {
-            let vals: Vec<String> =
-                chunk.iter().map(|i| format!("({i}, {})", i % 20)).collect();
-            db.execute(&format!("INSERT INTO ct VALUES {}", vals.join(", "))).unwrap();
+            let vals: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i % 20)).collect();
+            db.execute(&format!("INSERT INTO ct VALUES {}", vals.join(", ")))
+                .unwrap();
         }
         db.execute("ANALYZE ct").unwrap();
         Arc::new(db)
     }
 
     fn templates(db: &Database) -> Vec<QueryTemplate> {
-        ["SELECT b, COUNT(*) FROM ct GROUP BY b", "SELECT * FROM ct WHERE a < 500 ORDER BY a"]
-            .iter()
-            .map(|sql| QueryTemplate {
-                name: sql.to_string(),
-                sql: sql.to_string(),
-                plan: db.prepare(sql).unwrap(),
-            })
-            .collect()
+        [
+            "SELECT b, COUNT(*) FROM ct GROUP BY b",
+            "SELECT * FROM ct WHERE a < 500 ORDER BY a",
+        ]
+        .iter()
+        .map(|sql| QueryTemplate {
+            name: sql.to_string(),
+            sql: sql.to_string(),
+            plan: db.prepare(sql).unwrap(),
+        })
+        .collect()
     }
 
     /// A model set with synthetic constants is enough to drive the plumbing.
@@ -244,13 +257,20 @@ mod tests {
                     let mut labels = Metrics::ZERO;
                     labels[idx::ELAPSED_US] = f[0];
                     labels[idx::CPU_US] = f[0];
-                    repo.add(OuSample { ou: inst.ou, features: f, labels });
+                    repo.add(OuSample {
+                        ou: inst.ou,
+                        features: f,
+                        labels,
+                    });
                 }
             }
         }
         train_all(
             &repo,
-            &TrainingConfig { candidates: vec![Algorithm::Linear], ..TrainingConfig::default() },
+            &TrainingConfig {
+                candidates: vec![Algorithm::Linear],
+                ..TrainingConfig::default()
+            },
         )
         .unwrap()
         .0
@@ -273,7 +293,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!outcome.interference_rows.is_empty(), "no interference rows");
+        assert!(
+            !outcome.interference_rows.is_empty(),
+            "no interference rows"
+        );
         assert_eq!(outcome.thread_totals.len(), 2);
         assert!(outcome.per_template_count.iter().sum::<usize>() > 0);
         assert_eq!(

@@ -53,7 +53,11 @@ impl ExecutionRunnerConfig {
             max_rows: 256,
             min_rows: 64,
             modes: vec![ExecutionMode::Compiled],
-            measure: RunnerConfig { repetitions: 3, warmups: 1, ..RunnerConfig::default() },
+            measure: RunnerConfig {
+                repetitions: 3,
+                warmups: 1,
+                ..RunnerConfig::default()
+            },
             ..ExecutionRunnerConfig::default()
         }
     }
@@ -103,9 +107,7 @@ pub fn run_join_runner(cfg: &ExecutionRunnerConfig) -> DbResult<TrainingRepo> {
 /// build side).
 fn build_dataset(rows: usize, seed: u64) -> DbResult<Database> {
     let db = Database::new(DatabaseConfig::bench())?;
-    db.execute(
-        "CREATE TABLE ou_r1 (k INT, g1 INT, g2 INT, jk INT, v FLOAT, pad VARCHAR(32))",
-    )?;
+    db.execute("CREATE TABLE ou_r1 (k INT, g1 INT, g2 INT, jk INT, v FLOAT, pad VARCHAR(32))")?;
     db.execute("CREATE TABLE ou_r2 (k INT, w FLOAT, pad VARCHAR(16))")?;
     let mut rng = Prng::new(seed);
     let g1_card = (rows / 64).max(2);
@@ -176,15 +178,27 @@ fn sweep_queries(
     }
     // Arithmetic-heavy projections (two expression sizes).
     run("SELECT k + 1 FROM ou_r1", false)?;
-    run("SELECT k * 2 + g1 * g2 - 7, v / 2.0 + 1.0 FROM ou_r1", false)?;
+    run(
+        "SELECT k * 2 + g1 * g2 - 7, v / 2.0 + 1.0 FROM ou_r1",
+        false,
+    )?;
 
     // Index scans: point lookups and short prefix ranges.
-    run(&format!("SELECT * FROM ou_r1 WHERE k = {}", rows / 2), false)?;
-    run(&format!("SELECT * FROM ou_r1 WHERE k = {} AND g1 >= 0", rows / 3), false)?;
+    run(
+        &format!("SELECT * FROM ou_r1 WHERE k = {}", rows / 2),
+        false,
+    )?;
+    run(
+        &format!("SELECT * FROM ou_r1 WHERE k = {} AND g1 >= 0", rows / 3),
+        false,
+    )?;
 
     // Aggregations at three key cardinalities.
     for g in ["g1", "g2", "k"] {
-        run(&format!("SELECT {g}, COUNT(*), SUM(v) FROM ou_r1 GROUP BY {g}"), false)?;
+        run(
+            &format!("SELECT {g}, COUNT(*), SUM(v) FROM ou_r1 GROUP BY {g}"),
+            false,
+        )?;
     }
 
     // Sorts: high- and low-cardinality keys, plus a composite key.
@@ -217,8 +231,14 @@ fn sweep_queries(
     let multi: Vec<String> = (0..32)
         .map(|i| format!("({}, 0, 0, 0, 0.5, 'zz')", rows + i))
         .collect();
-    run(&format!("INSERT INTO ou_r1 VALUES {}", multi.join(", ")), true)?;
-    run(&format!("UPDATE ou_r1 SET v = v + 1.0 WHERE k < {}", rows / 4), true)?;
+    run(
+        &format!("INSERT INTO ou_r1 VALUES {}", multi.join(", ")),
+        true,
+    )?;
+    run(
+        &format!("UPDATE ou_r1 SET v = v + 1.0 WHERE k < {}", rows / 4),
+        true,
+    )?;
     run(&format!("DELETE FROM ou_r1 WHERE k < {}", rows / 8), true)?;
     Ok(())
 }
@@ -256,7 +276,11 @@ mod tests {
             max_rows: 256,
             min_rows: 64,
             modes: vec![ExecutionMode::Compiled],
-            measure: RunnerConfig { repetitions: 2, warmups: 0, ..RunnerConfig::default() },
+            measure: RunnerConfig {
+                repetitions: 2,
+                warmups: 0,
+                ..RunnerConfig::default()
+            },
             ..ExecutionRunnerConfig::default()
         };
         let repo = run_execution_runners(&cfg).unwrap();

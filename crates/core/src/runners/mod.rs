@@ -34,7 +34,12 @@ pub struct RunnerConfig {
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { repetitions: 10, warmups: 5, trim_fraction: 0.2, seed: 2021 }
+        RunnerConfig {
+            repetitions: 10,
+            warmups: 5,
+            trim_fraction: 0.2,
+            seed: 2021,
+        }
     }
 }
 
@@ -88,14 +93,18 @@ pub fn measure_plan(
     let aggregated = aggregate_repeats(&repeats, cfg.trim_fraction);
 
     // Join aggregated labels with the expected features.
-    let feature_map: std::collections::HashMap<(u32, mb2_common::OuKind), &Vec<f64>> =
-        instances.iter().map(|i| ((i.node_id, i.ou), &i.features)).collect();
+    let feature_map: std::collections::HashMap<(u32, mb2_common::OuKind), &Vec<f64>> = instances
+        .iter()
+        .map(|i| ((i.node_id, i.ou), &i.features))
+        .collect();
     Ok(aggregated
         .into_iter()
         .filter_map(|(id, ou, labels)| {
-            feature_map
-                .get(&(id, ou))
-                .map(|features| OuSample { ou, features: (*features).clone(), labels })
+            feature_map.get(&(id, ou)).map(|features| OuSample {
+                ou,
+                features: (*features).clone(),
+                labels,
+            })
         })
         .collect())
 }
@@ -136,7 +145,11 @@ mod tests {
         }
         db.execute("ANALYZE t").unwrap();
         let plan = db.prepare("SELECT * FROM t WHERE a < 25").unwrap();
-        let cfg = RunnerConfig { repetitions: 4, warmups: 1, ..RunnerConfig::default() };
+        let cfg = RunnerConfig {
+            repetitions: 4,
+            warmups: 1,
+            ..RunnerConfig::default()
+        };
         let samples = measure_plan(&db, &plan, &OuTranslator::default(), &cfg, false).unwrap();
         // SeqScan + filter + Output = three OUs, one aggregated sample each.
         assert_eq!(samples.len(), 3);
@@ -150,9 +163,17 @@ mod tests {
         db.execute("CREATE TABLE t (a INT)").unwrap();
         db.execute("INSERT INTO t VALUES (1)").unwrap();
         let plan = db.prepare("INSERT INTO t VALUES (2)").unwrap();
-        let cfg = RunnerConfig { repetitions: 3, warmups: 2, ..RunnerConfig::default() };
+        let cfg = RunnerConfig {
+            repetitions: 3,
+            warmups: 2,
+            ..RunnerConfig::default()
+        };
         measure_plan(&db, &plan, &OuTranslator::default(), &cfg, true).unwrap();
         let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
-        assert_eq!(r.rows[0][0], mb2_common::Value::Int(1), "rollbacks must revert");
+        assert_eq!(
+            r.rows[0][0],
+            mb2_common::Value::Int(1),
+            "rollbacks must revert"
+        );
     }
 }

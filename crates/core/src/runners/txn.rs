@@ -38,7 +38,11 @@ impl Default for TxnRunnerConfig {
 
 impl TxnRunnerConfig {
     pub fn smoke() -> TxnRunnerConfig {
-        TxnRunnerConfig { thread_counts: vec![1, 2], txns_per_worker: 50, pacing_us: vec![0] }
+        TxnRunnerConfig {
+            thread_counts: vec![1, 2],
+            txns_per_worker: 50,
+            pacing_us: vec![0],
+        }
     }
 }
 
@@ -99,9 +103,10 @@ pub fn run_txn_runner(cfg: &TxnRunnerConfig) -> DbResult<TrainingRepo> {
             // Aggregate with the robust trimmed mean per chunk of
             // invocations, emitting several samples per configuration
             // (features: arrival rate, concurrent workers).
-            for (ou, lat) in
-                [(OuKind::TxnBegin, &begin_all), (OuKind::TxnCommit, &commit_all)]
-            {
+            for (ou, lat) in [
+                (OuKind::TxnBegin, &begin_all),
+                (OuKind::TxnCommit, &commit_all),
+            ] {
                 let chunk = (lat.len() / 4).max(10).min(lat.len());
                 for group in lat.chunks(chunk) {
                     if group.len() < 5 {
@@ -117,7 +122,11 @@ pub fn run_txn_runner(cfg: &TxnRunnerConfig) -> DbResult<TrainingRepo> {
                     labels[idx::CACHE_REFS] = 20.0;
                     labels[idx::CACHE_MISSES] = threads as f64;
                     labels[idx::MEMORY_BYTES] = 128.0;
-                    repo.add(OuSample { ou, features: inst.features, labels });
+                    repo.add(OuSample {
+                        ou,
+                        features: inst.features,
+                        labels,
+                    });
                 }
             }
         }

@@ -4,9 +4,9 @@
 use std::time::Duration;
 
 use mb2_common::{DbResult, OuKind, Prng};
+use mb2_engine::wal::{LogManager, LogManagerConfig, LogRecord};
 use mb2_engine::{Database, DatabaseConfig, Knobs};
 use mb2_exec::OuTracker;
-use mb2_engine::wal::{LogManager, LogManagerConfig, LogRecord};
 
 use crate::collect::{OuSample, TrainingRepo};
 use crate::runners::{exponential_steps, measure_plan, RunnerConfig};
@@ -44,7 +44,11 @@ impl UtilRunnerConfig {
             min_batch: 64,
             max_index_rows: 512,
             build_threads: vec![1, 2],
-            measure: RunnerConfig { repetitions: 2, warmups: 0, ..RunnerConfig::default() },
+            measure: RunnerConfig {
+                repetitions: 2,
+                warmups: 0,
+                ..RunnerConfig::default()
+            },
         }
     }
 }
@@ -64,7 +68,10 @@ pub fn run_gc_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResul
     let translator = OuTranslator::default();
     for &versions in &exponential_steps(cfg.min_batch, cfg.max_batch) {
         for interval_ms in [1.0f64, 10.0, 100.0] {
-            let db = Database::new(DatabaseConfig { wal_enabled: false, ..DatabaseConfig::bench() })?;
+            let db = Database::new(DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::bench()
+            })?;
             db.execute("CREATE TABLE gc_t (a INT, b INT)")?;
             let slots = versions.max(64);
             let values: Vec<String> = (0..slots).map(|i| format!("({i}, 0)")).collect();
@@ -104,8 +111,10 @@ pub fn run_wal_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResu
                     wal_flush_interval: Duration::from_millis(interval_ms),
                     ..Knobs::default()
                 };
-                let wal_path = std::env::temp_dir()
-                    .join(format!("mb2_wal_runner_{}_{records}_{payload}_{interval_ms}.log", std::process::id()));
+                let wal_path = std::env::temp_dir().join(format!(
+                    "mb2_wal_runner_{}_{records}_{payload}_{interval_ms}.log",
+                    std::process::id()
+                ));
                 let _ = std::fs::remove_file(&wal_path);
                 let wal = LogManager::new(LogManagerConfig {
                     path: Some(wal_path.clone()),
@@ -127,15 +136,18 @@ pub fn run_wal_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResu
                 let mut tracker = OuTracker::start();
                 let mut bytes = 0usize;
                 for rec in &batch {
-                    bytes += wal.append(rec);
+                    bytes += wal.append(rec)?;
                 }
                 tracker.add_tuples(records as u64);
                 tracker.add_bytes(bytes as u64);
                 tracker.add_allocated(bytes as u64);
                 let labels = tracker.finish(&knobs.hw);
-                let inst =
-                    translator.log_serialize_features(bytes as f64, records as f64, &knobs);
-                repo.add(OuSample { ou: OuKind::LogSerialize, features: inst.features, labels });
+                let inst = translator.log_serialize_features(bytes as f64, records as f64, &knobs);
+                repo.add(OuSample {
+                    ou: OuKind::LogSerialize,
+                    features: inst.features,
+                    labels,
+                });
 
                 // Flush span.
                 let mut tracker = OuTracker::start();
@@ -145,7 +157,11 @@ pub fn run_wal_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResu
                 tracker.add_blocked_us(0.0);
                 let labels = tracker.finish(&knobs.hw);
                 let inst = translator.log_flush_features(flushed as f64, &knobs);
-                repo.add(OuSample { ou: OuKind::LogFlush, features: inst.features, labels });
+                repo.add(OuSample {
+                    ou: OuKind::LogFlush,
+                    features: inst.features,
+                    labels,
+                });
                 drop(wal);
                 let _ = std::fs::remove_file(&wal_path);
             }
@@ -158,17 +174,23 @@ pub fn run_wal_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResu
 /// (the contention feature, paper §4.2).
 pub fn run_index_build_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResult<()> {
     let translator = OuTranslator::default();
-    for &rows in &exponential_steps(cfg.max_index_rows.min(1024).max(cfg.min_batch), cfg.max_index_rows)
-    {
+    for &rows in &exponential_steps(
+        cfg.max_index_rows.min(1024).max(cfg.min_batch),
+        cfg.max_index_rows,
+    ) {
         for card_div in [1usize, 16] {
-            let db = Database::new(DatabaseConfig { wal_enabled: false, ..DatabaseConfig::bench() })?;
+            let db = Database::new(DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::bench()
+            })?;
             db.execute("CREATE TABLE ib_t (a INT, b INT, c VARCHAR(16))")?;
             let card = (rows / card_div).max(1);
             let mut i = 0;
             while i < rows {
                 let end = (i + 500).min(rows);
-                let values: Vec<String> =
-                    (i..end).map(|j| format!("({j}, {}, 'k{}')", j % card, j % card)).collect();
+                let values: Vec<String> = (i..end)
+                    .map(|j| format!("({j}, {}, 'k{}')", j % card, j % card))
+                    .collect();
                 db.execute(&format!("INSERT INTO ib_t VALUES {}", values.join(", ")))?;
                 i = end;
             }
@@ -177,15 +199,16 @@ pub fn run_index_build_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -
                 for (ki, key_cols) in ["b", "b, c", "a, b, c"].iter().enumerate() {
                     let rep_cap = cfg.measure.repetitions.min(3);
                     for rep in 0..rep_cap {
-                    let name = format!("ib_idx_{threads}_{ki}_{rep}");
-                    let sql =
-                        format!("CREATE INDEX {name} ON ib_t ({key_cols}) WITH (THREADS = {threads})");
-                    let plan = db.prepare(&sql)?;
-                    let instances = translator.translate_plan(&plan, &db.knobs());
-                    let collector = crate::collect::TrainingCollector::new(&instances);
-                    db.execute_plan(&plan, Some(&collector))?;
-                    repo.add_all(collector.drain_joined());
-                    db.execute(&format!("DROP INDEX {name} ON ib_t"))?;
+                        let name = format!("ib_idx_{threads}_{ki}_{rep}");
+                        let sql = format!(
+                            "CREATE INDEX {name} ON ib_t ({key_cols}) WITH (THREADS = {threads})"
+                        );
+                        let plan = db.prepare(&sql)?;
+                        let instances = translator.translate_plan(&plan, &db.knobs());
+                        let collector = crate::collect::TrainingCollector::new(&instances);
+                        db.execute_plan(&plan, Some(&collector))?;
+                        repo.add_all(collector.drain_joined());
+                        db.execute(&format!("DROP INDEX {name} ON ib_t"))?;
                     }
                 }
             }
@@ -202,7 +225,11 @@ pub fn measure_index_build(
     translator: &OuTranslator,
 ) -> DbResult<Vec<OuSample>> {
     let plan = db.prepare(sql)?;
-    let cfg = RunnerConfig { repetitions: 1, warmups: 0, ..RunnerConfig::default() };
+    let cfg = RunnerConfig {
+        repetitions: 1,
+        warmups: 0,
+        ..RunnerConfig::default()
+    };
     // CREATE INDEX is not rolled back: the caller owns dropping it.
     measure_plan(db, &plan, translator, &cfg, false)
 }
@@ -227,7 +254,10 @@ mod tests {
         let mut repo = TrainingRepo::new();
         run_wal_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
         assert!(repo.count(OuKind::LogSerialize) > 0);
-        assert_eq!(repo.count(OuKind::LogSerialize), repo.count(OuKind::LogFlush));
+        assert_eq!(
+            repo.count(OuKind::LogSerialize),
+            repo.count(OuKind::LogFlush)
+        );
         // Serialize features: bytes grow with record count.
         let samples = repo.samples(OuKind::LogSerialize);
         assert!(samples.iter().any(|s| s.features[0] > 1000.0));

@@ -27,7 +27,11 @@ pub struct TrainingConfig {
 
 impl Default for TrainingConfig {
     fn default() -> Self {
-        TrainingConfig { candidates: Algorithm::ALL.to_vec(), normalize: true, seed: 2021 }
+        TrainingConfig {
+            candidates: Algorithm::ALL.to_vec(),
+            normalize: true,
+            seed: 2021,
+        }
     }
 }
 
@@ -93,7 +97,9 @@ impl OuModelSet {
     /// Predict metrics for an OU instance; zero metrics for unknown OUs
     /// (callers treat missing models as "free" rather than failing).
     pub fn predict(&self, ou: OuKind, features: &[f64]) -> Metrics {
-        self.models.get(&ou).map_or(Metrics::ZERO, |m| m.predict(features))
+        self.models
+            .get(&ou)
+            .map_or(Metrics::ZERO, |m| m.predict(features))
     }
 
     pub fn total_size_bytes(&self) -> usize {
@@ -135,7 +141,10 @@ impl OuModelSet {
             .and_then(|l| l.strip_prefix("normalize "))
             .and_then(|v| v.parse::<bool>().ok())
             .ok_or_else(|| DbError::Model("manifest missing normalize flag".into()))?;
-        let mut set = OuModelSet { normalize, ..OuModelSet::default() };
+        let mut set = OuModelSet {
+            normalize,
+            ..OuModelSet::default()
+        };
         for line in lines {
             let mut parts = line.split(' ');
             let (Some(ou_name), Some(alg_name), Some(err)) =
@@ -205,9 +214,15 @@ pub fn train_ou(
 }
 
 /// Train models for every OU present in the repo.
-pub fn train_all(repo: &TrainingRepo, config: &TrainingConfig) -> DbResult<(OuModelSet, TrainingReport)> {
+pub fn train_all(
+    repo: &TrainingRepo,
+    config: &TrainingConfig,
+) -> DbResult<(OuModelSet, TrainingReport)> {
     let started = std::time::Instant::now();
-    let mut set = OuModelSet { normalize: config.normalize, ..OuModelSet::default() };
+    let mut set = OuModelSet {
+        normalize: config.normalize,
+        ..OuModelSet::default()
+    };
     let mut report = TrainingReport {
         data_size_bytes: repo.data_size_bytes(),
         total_samples: repo.total_samples(),
@@ -216,7 +231,12 @@ pub fn train_all(repo: &TrainingRepo, config: &TrainingConfig) -> DbResult<(OuMo
     for ou in repo.ous() {
         let ou_started = std::time::Instant::now();
         let model = train_ou(repo, ou, config)?;
-        report.per_ou.push((ou, model.chosen, model.validation_error, ou_started.elapsed()));
+        report.per_ou.push((
+            ou,
+            model.chosen,
+            model.validation_error,
+            ou_started.elapsed(),
+        ));
         set.insert(model);
     }
     report.total_training_time = started.elapsed();
@@ -277,7 +297,11 @@ mod tests {
             labels[idx::ELAPSED_US] = 3.0 * n;
             labels[idx::CPU_US] = 3.0 * n;
             labels[idx::MEMORY_BYTES] = 24.0 * n;
-            repo.add(OuSample { ou: OuKind::SeqScan, features, labels });
+            repo.add(OuSample {
+                ou: OuKind::SeqScan,
+                features,
+                labels,
+            });
         }
         repo
     }
@@ -290,7 +314,11 @@ mod tests {
             ..TrainingConfig::default()
         };
         let model = train_ou(&repo, OuKind::SeqScan, &config).unwrap();
-        assert!(model.validation_error < 0.05, "err {}", model.validation_error);
+        assert!(
+            model.validation_error < 0.05,
+            "err {}",
+            model.validation_error
+        );
         // Extrapolate 10× beyond the training range: normalization makes
         // this work (the core §4.3 claim).
         let mut features = vec![0.0; crate::features::feature_width(OuKind::SeqScan)];
@@ -341,7 +369,10 @@ mod tests {
         assert_eq!(evals.len(), 2);
         assert_eq!(evals[0].2.len(), 9);
         // Linear should nail a linear relationship.
-        let linear = evals.iter().find(|(a, _, _)| *a == Algorithm::Linear).unwrap();
+        let linear = evals
+            .iter()
+            .find(|(a, _, _)| *a == Algorithm::Linear)
+            .unwrap();
         assert!(linear.1 < 0.05, "{}", linear.1);
     }
 
@@ -369,11 +400,19 @@ mod persistence_tests {
                 let mut labels = Metrics::ZERO;
                 labels[idx::ELAPSED_US] = 3.0 * features[0];
                 labels[idx::MEMORY_BYTES] = 16.0 * features[0];
-                repo.add(OuSample { ou, features, labels });
+                repo.add(OuSample {
+                    ou,
+                    features,
+                    labels,
+                });
             }
         }
         let config = TrainingConfig {
-            candidates: vec![Algorithm::Linear, Algorithm::RandomForest, Algorithm::NeuralNetwork],
+            candidates: vec![
+                Algorithm::Linear,
+                Algorithm::RandomForest,
+                Algorithm::NeuralNetwork,
+            ],
             ..TrainingConfig::default()
         };
         let (set, _) = train_all(&repo, &config).unwrap();

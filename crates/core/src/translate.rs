@@ -10,8 +10,7 @@ use mb2_sql::PlanNode;
 use crate::features::OuInstance;
 
 /// Translator configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TranslatorConfig {
     /// Append the CPU frequency (GHz) to every OU's features (paper §8.6).
     pub include_hw_context: bool,
@@ -20,13 +19,11 @@ pub struct TranslatorConfig {
     pub cardinality_noise: Option<(f64, u64)>,
 }
 
-
 /// Extracts OUs and features from plans.
 #[derive(Default)]
 pub struct OuTranslator {
     pub config: TranslatorConfig,
 }
-
 
 impl OuTranslator {
     pub fn new(config: TranslatorConfig) -> OuTranslator {
@@ -42,12 +39,10 @@ impl OuTranslator {
             let mut rng = Prng::new(seed);
             for inst in &mut out {
                 if let Some(i) = crate::features::normalization_feature(inst.ou) {
-                    inst.features[i] =
-                        (inst.features[i] * (1.0 + sigma * rng.gaussian())).max(1.0);
+                    inst.features[i] = (inst.features[i] * (1.0 + sigma * rng.gaussian())).max(1.0);
                 }
                 if let Some(i) = crate::features::cardinality_feature(inst.ou) {
-                    inst.features[i] =
-                        (inst.features[i] * (1.0 + sigma * rng.gaussian())).max(1.0);
+                    inst.features[i] = (inst.features[i] * (1.0 + sigma * rng.gaussian())).max(1.0);
                 }
             }
         }
@@ -66,7 +61,11 @@ impl OuTranslator {
         if self.config.include_hw_context {
             features.push(knobs.hw.cpu_freq_ghz);
         }
-        out.push(OuInstance { node_id, ou, features });
+        out.push(OuInstance {
+            node_id,
+            ou,
+            features,
+        });
     }
 
     fn walk(&self, node: &PlanNode, id: u32, knobs: &Knobs, out: &mut Vec<OuInstance>) {
@@ -77,7 +76,15 @@ impl OuTranslator {
                     out,
                     id,
                     OuKind::SeqScan,
-                    vec![est.rows_in, est.n_cols as f64, est.width, est.rows_in, 0.0, 0.0, mode],
+                    vec![
+                        est.rows_in,
+                        est.n_cols as f64,
+                        est.width,
+                        est.rows_in,
+                        0.0,
+                        0.0,
+                        mode,
+                    ],
                     knobs,
                 );
                 if let Some(f) = filter {
@@ -90,7 +97,9 @@ impl OuTranslator {
                     );
                 }
             }
-            PlanNode::IndexScan { filter, est, range, .. } => {
+            PlanNode::IndexScan {
+                filter, est, range, ..
+            } => {
                 self.push(
                     out,
                     id,
@@ -116,7 +125,14 @@ impl OuTranslator {
                     );
                 }
             }
-            PlanNode::HashJoin { build, probe, filter, est, build_keys, .. } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                filter,
+                est,
+                build_keys,
+                ..
+            } => {
                 let build_id = id + 1;
                 let probe_id = id + 1 + subtree_size(build);
                 self.walk(build, build_id, knobs, out);
@@ -163,16 +179,32 @@ impl OuTranslator {
                     );
                 }
             }
-            PlanNode::NestedLoopJoin { outer, inner, filter, .. } => {
+            PlanNode::NestedLoopJoin {
+                outer,
+                inner,
+                filter,
+                ..
+            } => {
                 let outer_id = id + 1;
                 let inner_id = id + 1 + subtree_size(outer);
                 self.walk(outer, outer_id, knobs, out);
                 self.walk(inner, inner_id, knobs, out);
                 let pairs = outer.est().rows_out.max(1.0) * inner.est().rows_out.max(1.0);
                 let ops = filter.as_ref().map_or(0, |f| f.op_count()) as f64;
-                self.push(out, id, OuKind::ArithmeticFilter, vec![pairs, ops, mode], knobs);
+                self.push(
+                    out,
+                    id,
+                    OuKind::ArithmeticFilter,
+                    vec![pairs, ops, mode],
+                    knobs,
+                );
             }
-            PlanNode::Aggregate { input, group_by, aggs, est } => {
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+                est,
+            } => {
                 self.walk(input, id + 1, knobs, out);
                 let i = input.est();
                 let payload = (group_by.len() + aggs.len()) as f64 * 16.0;
@@ -241,7 +273,11 @@ impl OuTranslator {
                     knobs,
                 );
             }
-            PlanNode::Filter { input, predicate, est } => {
+            PlanNode::Filter {
+                input,
+                predicate,
+                est,
+            } => {
                 self.walk(input, id + 1, knobs, out);
                 self.push(
                     out,
@@ -300,7 +336,12 @@ impl OuTranslator {
                     knobs,
                 );
             }
-            PlanNode::Update { scan, est, assignments, .. } => {
+            PlanNode::Update {
+                scan,
+                est,
+                assignments,
+                ..
+            } => {
                 self.walk(scan, id + 1, knobs, out);
                 self.push(
                     out,
@@ -336,7 +377,12 @@ impl OuTranslator {
                     knobs,
                 );
             }
-            PlanNode::CreateIndex { columns, threads, est, .. } => {
+            PlanNode::CreateIndex {
+                columns,
+                threads,
+                est,
+                ..
+            } => {
                 self.push(
                     out,
                     id,
@@ -365,8 +411,14 @@ impl OuTranslator {
         n_records: f64,
         knobs: &Knobs,
     ) -> OuInstance {
-        let n_buffers = (total_bytes / mb2_engine::wal::LOG_BUFFER_CAPACITY as f64).ceil().max(1.0);
-        let avg = if n_records > 0.0 { total_bytes / n_records } else { 0.0 };
+        let n_buffers = (total_bytes / mb2_engine::wal::LOG_BUFFER_CAPACITY as f64)
+            .ceil()
+            .max(1.0);
+        let avg = if n_records > 0.0 {
+            total_bytes / n_records
+        } else {
+            0.0
+        };
         self.finish_util(
             OuKind::LogSerialize,
             vec![total_bytes, n_records, n_buffers, avg],
@@ -376,10 +428,16 @@ impl OuTranslator {
 
     /// Log Record Flush OU features for one forecast interval.
     pub fn log_flush_features(&self, total_bytes: f64, knobs: &Knobs) -> OuInstance {
-        let n_buffers = (total_bytes / mb2_engine::wal::LOG_BUFFER_CAPACITY as f64).ceil().max(1.0);
+        let n_buffers = (total_bytes / mb2_engine::wal::LOG_BUFFER_CAPACITY as f64)
+            .ceil()
+            .max(1.0);
         self.finish_util(
             OuKind::LogFlush,
-            vec![total_bytes, n_buffers, knobs.wal_flush_interval.as_millis() as f64],
+            vec![
+                total_bytes,
+                n_buffers,
+                knobs.wal_flush_interval.as_millis() as f64,
+            ],
             knobs,
         )
     }
@@ -392,7 +450,11 @@ impl OuTranslator {
         interval_ms: f64,
         knobs: &Knobs,
     ) -> OuInstance {
-        self.finish_util(OuKind::GarbageCollection, vec![n_versions, n_slots, interval_ms], knobs)
+        self.finish_util(
+            OuKind::GarbageCollection,
+            vec![n_versions, n_slots, interval_ms],
+            knobs,
+        )
     }
 
     /// Transaction Begin / Commit OU features.
@@ -429,7 +491,11 @@ impl OuTranslator {
         if self.config.include_hw_context {
             features.push(knobs.hw.cpu_freq_ghz);
         }
-        OuInstance { node_id: 0, ou, features }
+        OuInstance {
+            node_id: 0,
+            ou,
+            features,
+        }
     }
 }
 
@@ -440,9 +506,11 @@ mod tests {
 
     fn db_with_data() -> Database {
         let db = Database::open();
-        db.execute("CREATE TABLE t (a INT, b INT, c FLOAT)").unwrap();
+        db.execute("CREATE TABLE t (a INT, b INT, c FLOAT)")
+            .unwrap();
         for i in 0..100 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 1.5)", i % 10)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 1.5)", i % 10))
+                .unwrap();
         }
         db.execute("ANALYZE t").unwrap();
         db
@@ -505,7 +573,10 @@ mod tests {
             cardinality_noise: None,
         });
         for inst in translator.translate_plan(&plan, &db.knobs()) {
-            assert_eq!(inst.features.len(), crate::features::feature_width(inst.ou) + 1);
+            assert_eq!(
+                inst.features.len(),
+                crate::features::feature_width(inst.ou) + 1
+            );
             assert_eq!(*inst.features.last().unwrap(), db.knobs().hw.cpu_freq_ghz);
         }
     }
@@ -534,12 +605,24 @@ mod tests {
     fn util_features_shapes() {
         let t = OuTranslator::default();
         let knobs = Knobs::default();
-        assert_eq!(t.log_serialize_features(8192.0, 100.0, &knobs).features.len(), 4);
+        assert_eq!(
+            t.log_serialize_features(8192.0, 100.0, &knobs)
+                .features
+                .len(),
+            4
+        );
         assert_eq!(t.log_flush_features(8192.0, &knobs).features.len(), 3);
         assert_eq!(t.gc_features(10.0, 100.0, 5.0, &knobs).features.len(), 3);
-        assert_eq!(t.txn_features(OuKind::TxnBegin, 100.0, 4.0, &knobs).features.len(), 2);
         assert_eq!(
-            t.index_build_features(1000.0, 2.0, 16.0, 500.0, 4.0, &knobs).features.len(),
+            t.txn_features(OuKind::TxnBegin, 100.0, 4.0, &knobs)
+                .features
+                .len(),
+            2
+        );
+        assert_eq!(
+            t.index_build_features(1000.0, 2.0, 16.0, 500.0, 4.0, &knobs)
+                .features
+                .len(),
             5
         );
     }

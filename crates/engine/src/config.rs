@@ -1,9 +1,10 @@
 //! Database configuration and runtime-tunable knobs.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-use mb2_common::HardwareProfile;
+use mb2_common::{FaultInjector, HardwareProfile};
 use mb2_exec::ExecutionMode;
 
 /// Startup configuration.
@@ -15,6 +16,20 @@ pub struct DatabaseConfig {
     pub wal_path: Option<PathBuf>,
     /// Run the WAL flusher on a background thread.
     pub wal_background: bool,
+    /// fsync the log file after each flush (real durability; off by default
+    /// so OU measurements see OS-buffered latencies).
+    pub wal_fsync: bool,
+    /// Flush (and, with `wal_fsync`, sync) the log at every commit before
+    /// the transaction's writes become visible. Foreground WAL mode only.
+    pub wal_sync_commit: bool,
+    /// Retries for a failed WAL flush before the log is poisoned and the
+    /// engine degrades to read-only.
+    pub wal_flush_retries: u32,
+    /// Base backoff between WAL flush retries (doubles per attempt).
+    pub wal_retry_backoff: Duration,
+    /// Deterministic fault injection for durability tests; `None` in
+    /// production.
+    pub wal_faults: Option<Arc<FaultInjector>>,
     /// Run the garbage collector on a background thread at this interval.
     pub gc_interval: Option<Duration>,
     /// Initial knob values.
@@ -27,6 +42,11 @@ impl Default for DatabaseConfig {
             wal_enabled: true,
             wal_path: None,
             wal_background: false,
+            wal_fsync: false,
+            wal_sync_commit: false,
+            wal_flush_retries: 3,
+            wal_retry_backoff: Duration::from_millis(1),
+            wal_faults: None,
             gc_interval: None,
             knobs: Knobs::default(),
         }

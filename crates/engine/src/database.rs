@@ -30,6 +30,11 @@ impl Database {
                 path: config.wal_path.clone(),
                 flush_interval: config.knobs.wal_flush_interval,
                 background: config.wal_background,
+                fsync: config.wal_fsync,
+                sync_commit: config.wal_sync_commit,
+                max_flush_retries: config.wal_flush_retries,
+                retry_backoff: config.wal_retry_backoff,
+                faults: config.wal_faults.clone(),
             })?))
         } else {
             None
@@ -83,6 +88,34 @@ impl Database {
 
     pub fn set_jht_sleep_every(&self, n: usize) {
         self.knobs.write().jht_sleep_every = n;
+    }
+
+    /// Whether the WAL has latched into the read-only (poisoned) state.
+    pub fn is_read_only(&self) -> bool {
+        self.wal.as_ref().is_some_and(|w| w.is_poisoned())
+    }
+
+    /// Fail with [`DbError::WalUnavailable`] if durable writes are
+    /// impossible. DDL checks this before mutating the catalog so schema
+    /// changes never outrun what the log can persist.
+    fn check_wal_writable(&self) -> DbResult<()> {
+        match &self.wal {
+            Some(wal) => wal.check_writable(),
+            None => Ok(()),
+        }
+    }
+
+    /// Log a DDL record with the same durability as a committed transaction:
+    /// under `wal_sync_commit` the record is flushed before the DDL is
+    /// acknowledged.
+    fn log_ddl(&self, record: &LogRecord) -> DbResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(record)?;
+            if wal.config().sync_commit {
+                wal.flush_now()?;
+            }
+        }
+        Ok(())
     }
 
     /// Begin an explicit transaction.
@@ -175,15 +208,26 @@ impl Database {
             hw: knobs.hw,
             jht_sleep_every: knobs.jht_sleep_every,
         };
+        // Index builds must be loggable before we spend the work building
+        // them; a poisoned WAL rejects the DDL up front.
+        if matches!(plan, mb2_sql::PlanNode::CreateIndex { .. }) {
+            self.check_wal_writable()?;
+        }
         let result = execute(plan, &mut ctx)?;
         // DDL-through-the-executor (index builds) is logged for recovery.
-        if let mb2_sql::PlanNode::CreateIndex { table, index, columns, .. } = plan {
-            if let (Some(wal), Ok(entry)) = (&self.wal, self.catalog.get(table)) {
-                wal.append(&LogRecord::CreateIndex {
+        if let mb2_sql::PlanNode::CreateIndex {
+            table,
+            index,
+            columns,
+            ..
+        } = plan
+        {
+            if let Ok(entry) = self.catalog.get(table) {
+                self.log_ddl(&LogRecord::CreateIndex {
                     table_id: entry.table.id.0,
                     name: index.clone(),
                     columns: columns.iter().map(|&c| c as u32).collect(),
-                });
+                })?;
             }
         }
         Ok(result)
@@ -216,6 +260,7 @@ impl Database {
     fn try_handle_ddl(&self, stmt: &Statement) -> DbResult<Option<QueryResult>> {
         match stmt {
             Statement::CreateTable { name, columns } => {
+                self.check_wal_writable()?;
                 let schema = Schema::new(
                     columns
                         .iter()
@@ -230,42 +275,38 @@ impl Database {
                 );
                 let entry = self.catalog.create_table(name, schema)?;
                 self.gc.register(entry.table.clone());
-                if let Some(wal) = &self.wal {
-                    wal.append(&LogRecord::CreateTable {
-                        table_id: entry.table.id.0,
-                        name: entry.table.name.clone(),
-                        columns: entry
-                            .table
-                            .schema()
-                            .columns()
-                            .iter()
-                            .map(|c| LoggedColumn {
-                                name: c.name.clone(),
-                                type_tag: LogRecord::type_tag(c.ty),
-                                varchar_len: c.varchar_len as u32,
-                            })
-                            .collect(),
-                    });
-                }
+                self.log_ddl(&LogRecord::CreateTable {
+                    table_id: entry.table.id.0,
+                    name: entry.table.name.clone(),
+                    columns: entry
+                        .table
+                        .schema()
+                        .columns()
+                        .iter()
+                        .map(|c| LoggedColumn {
+                            name: c.name.clone(),
+                            type_tag: LogRecord::type_tag(c.ty),
+                            varchar_len: c.varchar_len as u32,
+                        })
+                        .collect(),
+                })?;
                 Ok(Some(QueryResult::default()))
             }
             Statement::DropTable { name } => {
+                self.check_wal_writable()?;
                 let id = self.catalog.get(name)?.table.id.0;
                 self.catalog.drop_table(name)?;
-                if let Some(wal) = &self.wal {
-                    wal.append(&LogRecord::DropTable { table_id: id });
-                }
+                self.log_ddl(&LogRecord::DropTable { table_id: id })?;
                 Ok(Some(QueryResult::default()))
             }
             Statement::DropIndex { name, table } => {
+                self.check_wal_writable()?;
                 let entry = self.catalog.get(table)?;
                 entry.drop_index(name)?;
-                if let Some(wal) = &self.wal {
-                    wal.append(&LogRecord::DropIndex {
-                        table_id: entry.table.id.0,
-                        name: name.clone(),
-                    });
-                }
+                self.log_ddl(&LogRecord::DropIndex {
+                    table_id: entry.table.id.0,
+                    name: name.clone(),
+                })?;
                 Ok(Some(QueryResult::default()))
             }
             Statement::Analyze { table } => {
@@ -311,7 +352,8 @@ mod tests {
     fn ddl_and_autocommit_dml() {
         let db = Database::open();
         db.execute("CREATE TABLE t (a INT, b VARCHAR(8))").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
         let r = db.execute("SELECT * FROM t ORDER BY a").unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[1][0], Value::Int(2));
@@ -357,7 +399,8 @@ mod tests {
         let db = Database::open();
         db.execute("CREATE TABLE t (a INT)").unwrap();
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t VALUES ({})", i % 5)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({})", i % 5))
+                .unwrap();
         }
         db.execute("ANALYZE t").unwrap();
         let stats = db.catalog().get("t").unwrap().stats();

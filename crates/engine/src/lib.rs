@@ -13,7 +13,7 @@ pub mod session;
 
 pub use config::{DatabaseConfig, Knobs};
 pub use database::Database;
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, recover_with, RecoveryOptions, RecoveryReport};
 pub use session::Session;
 
 // Re-export the layers so downstream crates (runners, workloads, benches)

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use mb2_catalog::TableEntry;
 use mb2_common::{Column, DbError, DbResult, Schema};
 use mb2_storage::SlotId;
-use mb2_wal::{read_log, LogRecord};
+use mb2_wal::{read_log_with, LogCorruption, LogRecord};
 
 use crate::config::DatabaseConfig;
 use crate::database::Database;
@@ -29,12 +29,36 @@ pub struct RecoveryReport {
     pub tables_created: usize,
     pub indexes_created: usize,
     pub tuples_applied: usize,
+    /// Bytes of an incomplete trailing record dropped by the reader (the
+    /// expected crash signature; always tolerated).
+    pub torn_tail_bytes: usize,
+    /// Set when salvage mode dropped a corrupt log suffix.
+    pub salvaged_corruption: Option<LogCorruption>,
 }
 
-/// Rebuild a database from `log_path`. `config` configures the *new*
-/// instance — point its WAL somewhere else (or disable it) to avoid
-/// re-logging the replay into the log being read.
+/// Recovery behavior switches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// Tolerate mid-file corruption by replaying only the valid prefix
+    /// (reported in [`RecoveryReport::salvaged_corruption`]). When false
+    /// (the default), corruption fails recovery.
+    pub salvage: bool,
+}
+
+/// Rebuild a database from `log_path` with default (strict) options.
+/// `config` configures the *new* instance — point its WAL somewhere else
+/// (or disable it) to avoid re-logging the replay into the log being read.
 pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, RecoveryReport)> {
+    recover_with(log_path, config, RecoveryOptions::default())
+}
+
+/// Rebuild a database from `log_path`. See [`recover`] and
+/// [`RecoveryOptions`].
+pub fn recover_with(
+    log_path: &Path,
+    config: DatabaseConfig,
+    options: RecoveryOptions,
+) -> DbResult<(Database, RecoveryReport)> {
     if let Some(new_path) = &config.wal_path {
         if new_path == log_path {
             return Err(DbError::Wal(
@@ -42,15 +66,31 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
             ));
         }
     }
-    let records = read_log(log_path)?;
+    let scan = read_log_with(log_path, options.salvage)?;
+    let records = scan.records;
     let db = Database::new(config)?;
-    let mut report = RecoveryReport { records_read: records.len(), ..RecoveryReport::default() };
+    let mut report = RecoveryReport {
+        records_read: records.len(),
+        torn_tail_bytes: scan.torn_tail_bytes,
+        salvaged_corruption: scan.corruption,
+        ..RecoveryReport::default()
+    };
 
-    // Pass 1: committed transactions.
+    // Pass 1: the committed-transaction set. A transaction counts as
+    // committed only with a Commit record and no Abort record — if both
+    // exist the Abort wins, since an abort after a failed durable commit
+    // means the commit was never acknowledged.
+    let aborted: HashSet<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Abort { txn_id } => Some(*txn_id),
+            _ => None,
+        })
+        .collect();
     let committed: HashSet<u64> = records
         .iter()
         .filter_map(|r| match r {
-            LogRecord::Commit { txn_id } => Some(*txn_id),
+            LogRecord::Commit { txn_id } if !aborted.contains(txn_id) => Some(*txn_id),
             _ => None,
         })
         .collect();
@@ -61,22 +101,29 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
     let mut pending: HashMap<u64, Vec<&LogRecord>> = HashMap::new();
     let mut began: HashSet<u64> = HashSet::new();
 
-    let entry_of = |db: &Database, names: &HashMap<u32, String>, id: u32| -> DbResult<Arc<TableEntry>> {
-        let name = names
-            .get(&id)
-            .ok_or_else(|| DbError::Wal(format!("log references unknown table id {id}")))?;
-        db.catalog().get(name)
-    };
+    let entry_of =
+        |db: &Database, names: &HashMap<u32, String>, id: u32| -> DbResult<Arc<TableEntry>> {
+            let name = names
+                .get(&id)
+                .ok_or_else(|| DbError::Wal(format!("log references unknown table id {id}")))?;
+            db.catalog().get(name)
+        };
 
     for rec in &records {
         match rec {
-            LogRecord::CreateTable { table_id, name, columns } => {
+            LogRecord::CreateTable {
+                table_id,
+                name,
+                columns,
+            } => {
                 let schema = Schema::new(
                     columns
                         .iter()
                         .map(|c| {
-                            Ok(Column::new(c.name.clone(), LogRecord::tag_type(c.type_tag)?)
-                                .with_varchar_len(c.varchar_len as usize))
+                            Ok(
+                                Column::new(c.name.clone(), LogRecord::tag_type(c.type_tag)?)
+                                    .with_varchar_len(c.varchar_len as usize),
+                            )
                         })
                         .collect::<DbResult<Vec<_>>>()?,
                 );
@@ -85,17 +132,23 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
                 names.insert(*table_id, name.clone());
                 report.tables_created += 1;
             }
-            LogRecord::CreateIndex { table_id, name, columns } => {
+            LogRecord::CreateIndex {
+                table_id,
+                name,
+                columns,
+            } => {
                 let entry = entry_of(&db, &names, *table_id)?;
                 let positions: Vec<usize> = columns.iter().map(|&c| c as usize).collect();
                 let index = mb2_index::Index::new(name.clone(), positions);
                 // Populate from the currently visible heap.
                 let now = db.txn_manager().now();
                 let mut entries = Vec::new();
-                entry.table.scan_visible(now, mb2_storage::Ts::txn(0), |slot, tuple| {
-                    entries.push((index.key_of(tuple), slot));
-                    true
-                });
+                entry
+                    .table
+                    .scan_visible(now, mb2_storage::Ts::txn(0), |slot, tuple| {
+                        entries.push((index.key_of(tuple), slot));
+                        true
+                    });
                 let built = mb2_index::parallel_build(entries, 1, &|| {});
                 index.replace_tree(built.tree);
                 entry.add_index(Arc::new(index))?;
@@ -124,14 +177,23 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
             }
             LogRecord::Abort { txn_id } => {
                 pending.remove(txn_id);
-                report.transactions_discarded += 1;
             }
             LogRecord::Commit { txn_id } => {
+                if !committed.contains(txn_id) {
+                    // Commit-then-Abort: the durable commit failed and the
+                    // transaction rolled back. Nothing to replay.
+                    continue;
+                }
                 let ops = pending.remove(txn_id).unwrap_or_default();
                 let mut txn = db.begin();
                 for op in ops {
                     match op {
-                        LogRecord::Insert { table_id, slot, tuple, .. } => {
+                        LogRecord::Insert {
+                            table_id,
+                            slot,
+                            tuple,
+                            ..
+                        } => {
                             let entry = entry_of(&db, &names, *table_id)?;
                             let new_slot = txn.insert(&entry.table, tuple.clone())?;
                             for index in entry.indexes() {
@@ -140,7 +202,12 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
                             slot_map.insert((*table_id, *slot), new_slot);
                             report.tuples_applied += 1;
                         }
-                        LogRecord::Update { table_id, slot, tuple, .. } => {
+                        LogRecord::Update {
+                            table_id,
+                            slot,
+                            tuple,
+                            ..
+                        } => {
                             let entry = entry_of(&db, &names, *table_id)?;
                             let new_slot = *slot_map.get(&(*table_id, *slot)).ok_or_else(|| {
                                 DbError::Wal(format!("update references unlogged slot {slot}"))
@@ -175,8 +242,12 @@ pub fn recover(log_path: &Path, config: DatabaseConfig) -> DbResult<(Database, R
             }
         }
     }
-    report.transactions_discarded +=
-        began.len() - report.transactions_committed - report.transactions_discarded.min(began.len());
+    // Every transaction that began but did not commit was discarded —
+    // whether it logged an Abort record, was in flight at the crash, or had
+    // its Commit record overridden by a later Abort. Counting directly from
+    // the two sets avoids double-counting transactions that show up both as
+    // Abort records and as in-flight leftovers.
+    report.transactions_discarded = began.iter().filter(|t| !committed.contains(t)).count();
     db.analyze_all();
     Ok((db, report))
 }
@@ -187,8 +258,8 @@ mod tests {
     use mb2_common::Value;
 
     fn temp_wal(name: &str) -> std::path::PathBuf {
-        let p = std::env::temp_dir()
-            .join(format!("mb2_recovery_{}_{name}.log", std::process::id()));
+        let p =
+            std::env::temp_dir().join(format!("mb2_recovery_{}_{name}.log", std::process::id()));
         let _ = std::fs::remove_file(&p);
         p
     }
@@ -212,14 +283,21 @@ mod tests {
         {
             let db = logged_db(&path);
             db.execute("CREATE TABLE t (a INT, b VARCHAR(8))").unwrap();
-            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
-            db.execute("UPDATE t SET b = 'updated' WHERE a = 2").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+                .unwrap();
+            db.execute("UPDATE t SET b = 'updated' WHERE a = 2")
+                .unwrap();
             db.execute("DELETE FROM t WHERE a = 3").unwrap();
             flush(&db);
         }
-        let (db, report) =
-            recover(&path, DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() })
-                .unwrap();
+        let (db, report) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(report.tables_created, 1);
         assert!(report.tuples_applied >= 5);
         let r = db.execute("SELECT a, b FROM t ORDER BY a").unwrap();
@@ -242,9 +320,14 @@ mod tests {
             flush(&db); // crash before COMMIT
             std::mem::forget(s); // do not run the rollback path
         }
-        let (db, _) =
-            recover(&path, DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() })
-                .unwrap();
+        let (db, _) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
         let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(1));
         let _ = std::fs::remove_file(&path);
@@ -257,7 +340,8 @@ mod tests {
             let db = logged_db(&path);
             db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
             for i in 0..50 {
-                db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 5)).unwrap();
+                db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 5))
+                    .unwrap();
             }
             db.execute("CREATE INDEX t_a ON t (a)").unwrap();
             // Post-index DML must be index-maintained through recovery too.
@@ -265,9 +349,14 @@ mod tests {
             db.execute("UPDATE t SET a = 200 WHERE a = 100").unwrap();
             flush(&db);
         }
-        let (db, report) =
-            recover(&path, DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() })
-                .unwrap();
+        let (db, report) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(report.indexes_created, 1);
         db.execute("ANALYZE t").unwrap();
         let plan = db.prepare("SELECT * FROM t WHERE a = 200").unwrap();
@@ -292,13 +381,24 @@ mod tests {
             db.execute("DROP TABLE gone").unwrap();
             flush(&db);
         }
-        let (db, report) =
-            recover(&path, DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() })
-                .unwrap();
+        let (db, report) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(report.tables_created, 2);
-        assert!(db.catalog().get("gone").is_err(), "dropped table resurrected");
+        assert!(
+            db.catalog().get("gone").is_err(),
+            "dropped table resurrected"
+        );
         let keep = db.catalog().get("keep").unwrap();
-        assert!(keep.index_named("keep_a").is_none(), "dropped index resurrected");
+        assert!(
+            keep.index_named("keep_a").is_none(),
+            "dropped index resurrected"
+        );
         assert_eq!(
             db.execute("SELECT COUNT(*) FROM keep").unwrap().rows[0][0],
             Value::Int(1)
@@ -323,14 +423,136 @@ mod tests {
     }
 
     #[test]
+    fn abort_records_and_in_flight_txns_each_discarded_once() {
+        // Regression: the discarded count used to be derived with a min()
+        // clamp that double-counted when a log held both explicit Abort
+        // records and transactions still in flight at the crash. Each must
+        // count exactly once.
+        let path = temp_wal("abort_accounting");
+        {
+            let db = logged_db(&path);
+            db.execute("CREATE TABLE t (a INT)").unwrap();
+            db.execute("INSERT INTO t VALUES (1)").unwrap(); // 1 committed txn
+
+            // Explicitly rolled back: Begin + Insert + Abort in the log.
+            let mut a = db.session();
+            a.execute("BEGIN").unwrap();
+            a.execute("INSERT INTO t VALUES (10)").unwrap();
+            a.execute("ROLLBACK").unwrap();
+            drop(a);
+
+            // In flight at the crash: Begin + Insert, no terminator.
+            let mut b = db.session();
+            b.execute("BEGIN").unwrap();
+            b.execute("INSERT INTO t VALUES (11)").unwrap();
+            flush(&db);
+            std::mem::forget(b);
+        }
+        let (db, report) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.transactions_committed, 1);
+        assert_eq!(report.transactions_discarded, 2);
+        let r = db.execute("SELECT a FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn aborted_updates_never_surface_after_recovery() {
+        let path = temp_wal("abort_invisible");
+        {
+            let db = logged_db(&path);
+            db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 100), (2, 200)")
+                .unwrap();
+            let mut s = db.session();
+            s.execute("BEGIN").unwrap();
+            s.execute("UPDATE t SET b = 0 WHERE a = 1").unwrap();
+            s.execute("DELETE FROM t WHERE a = 2").unwrap();
+            s.execute("ROLLBACK").unwrap();
+            drop(s);
+            flush(&db);
+        }
+        let (db, _) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
+        let r = db.execute("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(200)]
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_log_rejected_strictly_and_salvaged_on_request() {
+        let path = temp_wal("corrupt");
+        {
+            let db = logged_db(&path);
+            db.execute("CREATE TABLE t (a INT)").unwrap();
+            for i in 0..8 {
+                db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+            }
+            flush(&db);
+        }
+        // Flip one CRC bit in a record past the middle of the file.
+        let mut data = std::fs::read(&path).unwrap();
+        let mut off = 0usize;
+        while off < data.len() / 2 {
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+            off += 8 + len;
+        }
+        data[off + 4] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let cfg = || DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        };
+        match recover(&path, cfg()) {
+            Err(DbError::Wal(m)) => assert!(m.contains("checksum"), "{m}"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("strict recovery accepted a corrupt log"),
+        }
+        let (db, report) = recover_with(&path, cfg(), RecoveryOptions { salvage: true }).unwrap();
+        let c = report
+            .salvaged_corruption
+            .expect("corruption must be reported");
+        assert_eq!(c.offset, off);
+        // The valid prefix survived: the table plus every insert before the
+        // corrupted record.
+        let n = db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0]
+            .as_i64()
+            .unwrap();
+        assert!(n > 0 && n < 8, "salvage kept {n} of 8 rows");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn workload_survives_recovery_round_trip() {
         let path = temp_wal("workload");
         let expected;
         {
             let db = logged_db(&path);
-            db.execute("CREATE TABLE accts (id INT, bal FLOAT)").unwrap();
+            db.execute("CREATE TABLE accts (id INT, bal FLOAT)")
+                .unwrap();
             for i in 0..30 {
-                db.execute(&format!("INSERT INTO accts VALUES ({i}, 100.0)")).unwrap();
+                db.execute(&format!("INSERT INTO accts VALUES ({i}, 100.0)"))
+                    .unwrap();
             }
             for i in 0..20 {
                 db.execute(&format!(
@@ -345,9 +567,14 @@ mod tests {
                 .unwrap();
             flush(&db);
         }
-        let (db, _) =
-            recover(&path, DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() })
-                .unwrap();
+        let (db, _) = recover(
+            &path,
+            DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::default()
+            },
+        )
+        .unwrap();
         let got = db.execute("SELECT SUM(bal) FROM accts").unwrap().rows[0][0]
             .as_f64()
             .unwrap();

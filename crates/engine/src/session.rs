@@ -91,11 +91,20 @@ mod tests {
         s.execute("BEGIN").unwrap();
         s.execute("INSERT INTO t VALUES (1)").unwrap();
         // Another autocommit reader doesn't see it yet.
-        assert_eq!(db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(0));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(0)
+        );
         // The session itself does (own writes).
-        assert_eq!(s.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(1));
+        assert_eq!(
+            s.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(1)
+        );
         s.execute("COMMIT").unwrap();
-        assert_eq!(db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(1));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -106,7 +115,10 @@ mod tests {
         s.execute("BEGIN").unwrap();
         s.execute("INSERT INTO t VALUES (1)").unwrap();
         s.execute("ROLLBACK").unwrap();
-        assert_eq!(db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(0));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -118,7 +130,10 @@ mod tests {
             s.execute("BEGIN").unwrap();
             s.execute("INSERT INTO t VALUES (1)").unwrap();
         }
-        assert_eq!(db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(0));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -144,6 +159,9 @@ mod tests {
         let mut s = db.session();
         s.execute("INSERT INTO t VALUES (7)").unwrap();
         assert!(!s.in_transaction());
-        assert_eq!(db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0], Value::Int(1));
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(1)
+        );
     }
 }

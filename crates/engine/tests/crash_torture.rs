@@ -1,0 +1,276 @@
+//! Crash-point recovery torture.
+//!
+//! Build a log from a mixed DDL/DML workload whose state obeys simple
+//! invariants (atomic group inserts, sum-conserving transfers), then
+//! simulate a crash at *every* record boundary by truncating the log and
+//! recovering. Every prefix must recover to a consistent database with no
+//! partially-applied transactions. On top of the clean truncations we also
+//! torture with torn tails (partial trailing record — tolerated) and
+//! bit-flipped records (mid-file corruption — rejected strictly, salvaged
+//! on request).
+
+use std::path::PathBuf;
+
+use mb2_common::DbError;
+use mb2_engine::{recover, recover_with, Database, DatabaseConfig, RecoveryOptions};
+
+/// Rows per atomic insert group; every consistent state has COUNT % GROUP == 0.
+const GROUP: i64 = 3;
+const GROUPS: i64 = 6;
+const BAL: i64 = 100;
+
+fn temp_log(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("mb2_torture_{}_{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Run the torture workload against a WAL at `path` and return the final
+/// log image.
+///
+/// The workload mixes DDL and DML so every record kind shows up in the log:
+/// - `GROUPS` atomic multi-row inserts of `GROUP` rows, each with bal=BAL
+///   (invariant: row count divisible by GROUP, sum == BAL * count);
+/// - five explicit transfer transactions moving 10 between accounts
+///   (sum-conserving; a torn one must vanish entirely);
+/// - a CREATE INDEX;
+/// - a scratch table created, filled, and dropped;
+/// - a rolled-back update (must never surface);
+/// - a single-statement DELETE of one whole untouched group.
+fn build_workload(path: &std::path::Path) -> Vec<u8> {
+    let db = Database::new(DatabaseConfig {
+        wal_enabled: true,
+        wal_path: Some(path.to_path_buf()),
+        ..DatabaseConfig::default()
+    })
+    .unwrap();
+
+    db.execute("CREATE TABLE accts (id INT, bal INT, grp INT)")
+        .unwrap();
+    for g in 0..GROUPS {
+        let rows: Vec<String> = (0..GROUP)
+            .map(|i| format!("({}, {BAL}, {g})", g * GROUP + i))
+            .collect();
+        db.execute(&format!("INSERT INTO accts VALUES {}", rows.join(", ")))
+            .unwrap();
+    }
+
+    // Transfers touch only ids 0..=10, leaving the last group untouched.
+    for i in 0..5 {
+        let mut s = db.session();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE accts SET bal = bal - 10 WHERE id = {i}"))
+            .unwrap();
+        s.execute(&format!(
+            "UPDATE accts SET bal = bal + 10 WHERE id = {}",
+            i + 6
+        ))
+        .unwrap();
+        s.execute("COMMIT").unwrap();
+    }
+
+    db.execute("CREATE INDEX accts_id ON accts (id)").unwrap();
+
+    db.execute("CREATE TABLE scratch (x INT)").unwrap();
+    db.execute("INSERT INTO scratch VALUES (1), (2)").unwrap();
+    db.execute("DROP TABLE scratch").unwrap();
+
+    let mut s = db.session();
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE accts SET bal = 0 WHERE id = 0").unwrap();
+    s.execute("ROLLBACK").unwrap();
+    drop(s);
+
+    // Delete an entire group that no transfer touched: count stays divisible
+    // by GROUP and the sum invariant survives.
+    db.execute(&format!("DELETE FROM accts WHERE grp = {}", GROUPS - 1))
+        .unwrap();
+
+    let (_, _) = db.wal().unwrap().flush_now().unwrap();
+    drop(db);
+    std::fs::read(path).unwrap()
+}
+
+/// Walk the v2 record framing (`[u32 len][u32 crc][body]`) and return every
+/// record boundary offset, including 0 and the file length.
+fn record_boundaries(data: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    let mut off = 0usize;
+    while off < data.len() {
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        off += 8 + len;
+        assert!(off <= data.len(), "workload log ends mid-record");
+        bounds.push(off);
+    }
+    bounds
+}
+
+fn count(db: &Database, table: &str) -> Option<i64> {
+    match db.execute(&format!("SELECT COUNT(*) FROM {table}")) {
+        Ok(r) => Some(r.rows[0][0].as_i64().unwrap()),
+        Err(DbError::Catalog(_)) => None,
+        Err(e) => panic!("unexpected error counting {table}: {e}"),
+    }
+}
+
+/// The workload invariants that must hold at *every* crash point.
+fn assert_consistent(db: &Database, ctx: &str) {
+    if let Some(n) = count(db, "accts") {
+        assert_eq!(
+            n % GROUP,
+            0,
+            "{ctx}: partial insert group visible ({n} rows)"
+        );
+        if n > 0 {
+            let sum = db.execute("SELECT SUM(bal) FROM accts").unwrap().rows[0][0]
+                .as_i64()
+                .unwrap();
+            assert_eq!(
+                sum,
+                BAL * n,
+                "{ctx}: balance sum not conserved ({n} rows, sum {sum})"
+            );
+            let zeroed = db
+                .execute("SELECT COUNT(*) FROM accts WHERE bal = 0")
+                .unwrap()
+                .rows[0][0]
+                .as_i64()
+                .unwrap();
+            assert_eq!(zeroed, 0, "{ctx}: rolled-back update surfaced");
+        }
+    }
+    if let Some(n) = count(db, "scratch") {
+        assert!(
+            n == 0 || n == 2,
+            "{ctx}: partial scratch insert visible ({n} rows)"
+        );
+    }
+}
+
+fn recover_prefix(data: &[u8], name: &str) -> (Database, mb2_engine::RecoveryReport) {
+    let p = temp_log(name);
+    std::fs::write(&p, data).unwrap();
+    let out = recover(
+        &p,
+        DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        },
+    );
+    let _ = std::fs::remove_file(&p);
+    out.unwrap()
+}
+
+#[test]
+fn every_record_boundary_recovers_consistently() {
+    let path = temp_log("build_bounds");
+    let data = build_workload(&path);
+    let _ = std::fs::remove_file(&path);
+    let bounds = record_boundaries(&data);
+    assert!(
+        bounds.len() > 40,
+        "workload too small to be interesting: {}",
+        bounds.len()
+    );
+
+    for (i, &b) in bounds.iter().enumerate() {
+        let (db, report) = recover_prefix(&data[..b], "prefix");
+        assert_eq!(
+            report.torn_tail_bytes, 0,
+            "boundary {i}: clean cut reported torn"
+        );
+        assert!(report.salvaged_corruption.is_none(), "boundary {i}");
+        assert_consistent(&db, &format!("boundary {i} (offset {b})"));
+    }
+
+    // The full log recovers the exact final state: one group deleted, all
+    // transfers committed, scratch gone, rollback invisible.
+    let (db, report) = recover_prefix(&data, "full");
+    assert_eq!(count(&db, "accts"), Some(GROUP * (GROUPS - 1)));
+    assert_eq!(
+        count(&db, "scratch"),
+        None,
+        "scratch table must stay dropped"
+    );
+    assert_eq!(
+        report.transactions_discarded, 1,
+        "only the explicit ROLLBACK discards"
+    );
+    assert_consistent(&db, "full log");
+}
+
+#[test]
+fn torn_tails_recover_to_the_last_boundary() {
+    let path = temp_log("build_torn");
+    let data = build_workload(&path);
+    let _ = std::fs::remove_file(&path);
+    let bounds = record_boundaries(&data);
+
+    // At every boundary, append a partial next record (half of it, and the
+    // degenerate 1-byte and 7-byte cuts that can't even hold a header).
+    for w in bounds.windows(2) {
+        let (b, next) = (w[0], w[1]);
+        let reference = recover_prefix(&data[..b], "torn_ref").1;
+        for cut in [b + 1, b + 7.min(next - b - 1).max(1), (b + next) / 2] {
+            let cut = cut.min(next - 1);
+            if cut <= b {
+                continue;
+            }
+            let (db, report) = recover_prefix(&data[..cut], "torn");
+            assert_eq!(
+                report.torn_tail_bytes,
+                cut - b,
+                "cut at {cut} inside record [{b}, {next})"
+            );
+            assert_eq!(
+                report.records_read, reference.records_read,
+                "torn tail changed what was replayed"
+            );
+            assert_consistent(&db, &format!("torn cut {cut} in [{b}, {next})"));
+        }
+    }
+}
+
+#[test]
+fn bit_flips_fail_strict_recovery_and_salvage_to_the_boundary() {
+    let path = temp_log("build_flip");
+    let data = build_workload(&path);
+    let _ = std::fs::remove_file(&path);
+    let bounds = record_boundaries(&data);
+
+    // Corrupt the record that starts at every 5th boundary (plus the very
+    // first) by flipping one CRC bit: the record stays complete, so this is
+    // mid-file corruption, not a torn tail.
+    for &b in bounds[..bounds.len() - 1].iter().step_by(5) {
+        let mut bad = data.clone();
+        bad[b + 4] ^= 0x01;
+
+        let p = temp_log("flip");
+        std::fs::write(&p, &bad).unwrap();
+        let cfg = || DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        };
+
+        // Strict recovery refuses to silently drop committed work.
+        match recover(&p, cfg()) {
+            Err(DbError::Wal(m)) if m.contains("checksum") => {}
+            Err(e) => panic!("offset {b}: wrong error {e}"),
+            Ok(_) => panic!("offset {b}: strict recovery accepted corruption"),
+        }
+
+        // Salvage replays the valid prefix and reports what it dropped.
+        let (db, report) = recover_with(&p, cfg(), RecoveryOptions { salvage: true }).unwrap();
+        let c = report
+            .salvaged_corruption
+            .expect("salvage must report corruption");
+        assert_eq!(
+            c.offset, b,
+            "corruption must be pinned to the flipped record"
+        );
+        assert_eq!(c.offset + c.dropped_bytes, bad.len());
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_consistent(&db, &format!("salvaged at offset {b}"));
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,171 @@
+//! Engine-level durability behavior under injected WAL faults:
+//! transient flush failures are retried transparently; persistent failures
+//! poison the log and degrade the engine to read-only, without ever
+//! reporting a commit durable that is not on disk.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mb2_common::fault::{points, FaultMode};
+use mb2_common::{DbError, FaultInjector, Value};
+use mb2_engine::{recover, Database, DatabaseConfig};
+
+fn temp_wal(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("mb2_faults_{}_{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A database with real durability on: fsync at every commit, fault
+/// injection wired in.
+fn durable_db(path: &Path, faults: &Arc<FaultInjector>, retries: u32) -> Database {
+    Database::new(DatabaseConfig {
+        wal_enabled: true,
+        wal_path: Some(path.to_path_buf()),
+        wal_fsync: true,
+        wal_sync_commit: true,
+        wal_flush_retries: retries,
+        wal_retry_backoff: Duration::from_micros(50),
+        wal_faults: Some(faults.clone()),
+        ..DatabaseConfig::default()
+    })
+    .unwrap()
+}
+
+fn count_rows(db: &Database, table: &str) -> i64 {
+    db.execute(&format!("SELECT COUNT(*) FROM {table}"))
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap()
+}
+
+#[test]
+fn transient_fsync_failure_is_retried_transparently() {
+    let path = temp_wal("transient");
+    let faults = Arc::new(FaultInjector::new(17));
+    let db = durable_db(&path, &faults, 3);
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    faults.arm(points::WAL_FSYNC, FaultMode::Nth(1));
+    // The commit's flush hits one fsync failure and retries; the caller
+    // never sees it.
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert!(!db.is_read_only());
+    let stats = db.wal().unwrap().stats();
+    assert_eq!(
+        stats
+            .flush_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        stats
+            .flush_retries
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert!(stats.last_error().unwrap().contains("wal.fsync"));
+    drop(db);
+
+    // The commit really is on disk.
+    let (db, report) = recover(
+        &path,
+        DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.transactions_committed, 1);
+    assert_eq!(count_rows(&db, "t"), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn persistent_fsync_failure_degrades_to_read_only() {
+    let path = temp_wal("persistent");
+    let faults = Arc::new(FaultInjector::new(17));
+    let db = durable_db(&path, &faults, 2);
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    // From here on every fsync fails: the next durable commit must fail
+    // fast, and the failed transaction must be invisible.
+    faults.arm(points::WAL_FSYNC, FaultMode::Always);
+    let err = db.execute("INSERT INTO t VALUES (2)").unwrap_err();
+    assert!(matches!(err, DbError::WalUnavailable(_)), "{err}");
+    assert!(db.is_read_only());
+
+    // Reads still work and show no trace of the unacknowledged commit.
+    assert_eq!(count_rows(&db, "t"), 1);
+    let r = db.execute("SELECT a FROM t").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+
+    // Writes and DDL fail fast with the latched error.
+    assert!(matches!(
+        db.execute("INSERT INTO t VALUES (3)").unwrap_err(),
+        DbError::WalUnavailable(_)
+    ));
+    assert!(matches!(
+        db.execute("CREATE TABLE u (x INT)").unwrap_err(),
+        DbError::WalUnavailable(_)
+    ));
+    assert!(matches!(
+        db.execute("CREATE INDEX t_a ON t (a)").unwrap_err(),
+        DbError::WalUnavailable(_)
+    ));
+    assert!(matches!(
+        db.execute("DROP TABLE t").unwrap_err(),
+        DbError::WalUnavailable(_)
+    ));
+    drop(db);
+
+    // What recovery sees matches exactly what was acknowledged: one table,
+    // one row, and no half-applied second insert.
+    faults.disarm(points::WAL_FSYNC);
+    let (db, report) = recover(
+        &path,
+        DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.transactions_committed, 1);
+    assert_eq!(count_rows(&db, "t"), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explicit_transactions_roll_back_on_durable_commit_failure() {
+    let path = temp_wal("session");
+    let faults = Arc::new(FaultInjector::new(17));
+    let db = durable_db(&path, &faults, 1);
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+
+    let mut s = db.session();
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t VALUES (10)").unwrap();
+    s.execute("INSERT INTO t VALUES (11)").unwrap();
+    faults.arm(points::WAL_FSYNC, FaultMode::Always);
+    let err = s.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, DbError::WalUnavailable(_)), "{err}");
+    drop(s);
+
+    // Both inserts rolled back in memory...
+    assert_eq!(count_rows(&db, "t"), 0);
+    drop(db);
+    // ...and neither is on disk.
+    faults.disarm(points::WAL_FSYNC);
+    let (db, _) = recover(
+        &path,
+        DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(count_rows(&db, "t"), 0);
+    let _ = std::fs::remove_file(&path);
+}

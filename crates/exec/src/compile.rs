@@ -116,7 +116,11 @@ fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
 
 fn apply_binary(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
     if l.is_null() || r.is_null() {
-        return Ok(if op.is_comparison() { Value::Bool(false) } else { Value::Null });
+        return Ok(if op.is_comparison() {
+            Value::Bool(false)
+        } else {
+            Value::Null
+        });
     }
     if op.is_comparison() {
         return Ok(Value::Bool(cmp_matches(op, l.cmp_total(&r))));
@@ -208,7 +212,11 @@ mod tests {
     use mb2_common::Prng;
 
     fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// Compiled and interpreted evaluation must agree on random expressions.
@@ -251,7 +259,11 @@ mod tests {
             BinOp::And,
             BinOp::Or,
         ];
-        bin(*rng.choose(&ops), random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+        bin(
+            *rng.choose(&ops),
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
+        )
     }
 
     #[test]

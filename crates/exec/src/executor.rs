@@ -30,23 +30,49 @@ pub fn execute(plan: &PlanNode, ctx: &mut ExecContext<'_>) -> DbResult<QueryResu
     match plan {
         PlanNode::Insert { table, rows, .. } => {
             let n = ops::insert(table, rows, ctx, 0)?;
-            Ok(QueryResult { rows: Vec::new(), rows_affected: n })
+            Ok(QueryResult {
+                rows: Vec::new(),
+                rows_affected: n,
+            })
         }
-        PlanNode::Update { table, scan, assignments, .. } => {
+        PlanNode::Update {
+            table,
+            scan,
+            assignments,
+            ..
+        } => {
             let n = ops::update(table, scan, assignments, ctx, 0)?;
-            Ok(QueryResult { rows: Vec::new(), rows_affected: n })
+            Ok(QueryResult {
+                rows: Vec::new(),
+                rows_affected: n,
+            })
         }
         PlanNode::Delete { table, scan, .. } => {
             let n = ops::delete(table, scan, ctx, 0)?;
-            Ok(QueryResult { rows: Vec::new(), rows_affected: n })
+            Ok(QueryResult {
+                rows: Vec::new(),
+                rows_affected: n,
+            })
         }
-        PlanNode::CreateIndex { table, index, columns, threads, .. } => {
+        PlanNode::CreateIndex {
+            table,
+            index,
+            columns,
+            threads,
+            ..
+        } => {
             let n = ops::create_index(table, index, columns, *threads, ctx, 0)?;
-            Ok(QueryResult { rows: Vec::new(), rows_affected: n })
+            Ok(QueryResult {
+                rows: Vec::new(),
+                rows_affected: n,
+            })
         }
         _ => {
             let rows = run(plan, 0, ctx)?;
-            Ok(QueryResult { rows_affected: rows.len(), rows })
+            Ok(QueryResult {
+                rows_affected: rows.len(),
+                rows,
+            })
         }
     }
 }
@@ -58,11 +84,24 @@ pub(crate) fn run(node: &PlanNode, id: u32, ctx: &mut ExecContext<'_>) -> DbResu
             let (rows, _) = ops::seq_scan(table, filter.as_ref(), ctx, id, false)?;
             Ok(rows)
         }
-        PlanNode::IndexScan { table, index, range, filter, .. } => {
+        PlanNode::IndexScan {
+            table,
+            index,
+            range,
+            filter,
+            ..
+        } => {
             let (rows, _) = ops::index_scan(table, index, range, filter.as_ref(), ctx, id, false)?;
             Ok(rows)
         }
-        PlanNode::HashJoin { build, probe, build_keys, probe_keys, filter, .. } => {
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            filter,
+            ..
+        } => {
             let build_id = id + 1;
             let probe_id = id + 1 + subtree_size(build);
             let build_rows = run(build, build_id, ctx)?;
@@ -77,18 +116,30 @@ pub(crate) fn run(node: &PlanNode, id: u32, ctx: &mut ExecContext<'_>) -> DbResu
                 id,
             )
         }
-        PlanNode::NestedLoopJoin { outer, inner, filter, .. } => {
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            filter,
+            ..
+        } => {
             let outer_id = id + 1;
             let inner_id = id + 1 + subtree_size(outer);
             let outer_rows = run(outer, outer_id, ctx)?;
             let inner_rows = run(inner, inner_id, ctx)?;
             ops::nested_loop_join(outer_rows, inner_rows, filter.as_ref(), ctx, id)
         }
-        PlanNode::Aggregate { input, group_by, aggs, .. } => {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             let rows = run(input, id + 1, ctx)?;
             ops::aggregate(rows, group_by, aggs, ctx, id)
         }
-        PlanNode::Filter { input, predicate, .. } => {
+        PlanNode::Filter {
+            input, predicate, ..
+        } => {
             let rows = run(input, id + 1, ctx)?;
             ops::standalone_filter(rows, predicate, ctx, id)
         }

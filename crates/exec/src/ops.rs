@@ -23,7 +23,9 @@ struct Span {
 impl Span {
     fn begin(ctx: &ExecContext<'_>) -> Span {
         let active = ctx.recorder.is_some() || ctx.hw.slowdown() > 1.0;
-        Span { tracker: active.then(OuTracker::start) }
+        Span {
+            tracker: active.then(OuTracker::start),
+        }
     }
 
     fn work(&mut self, f: impl FnOnce(&mut OuTracker)) {
@@ -73,14 +75,16 @@ pub fn seq_scan(
 
     let mut span = Span::begin(ctx);
     let mut bytes = 0u64;
-    entry.table.scan_visible(ctx.txn.read_ts(), ctx.txn.id(), |slot, tuple| {
-        bytes += tuple_size_bytes(tuple) as u64;
-        rows.push(tuple.clone());
-        if want_slots {
-            slots.push(slot);
-        }
-        true
-    });
+    entry
+        .table
+        .scan_visible(ctx.txn.read_ts(), ctx.txn.id(), |slot, tuple| {
+            bytes += tuple_size_bytes(tuple) as u64;
+            rows.push(tuple.clone());
+            if want_slots {
+                slots.push(slot);
+            }
+            true
+        });
     span.work(|t| {
         t.add_tuples(rows.len() as u64);
         t.add_bytes(bytes);
@@ -88,7 +92,13 @@ pub fn seq_scan(
     });
     span.end(ctx, id, OuKind::SeqScan);
 
-    apply_filter(filter, &mut rows, if want_slots { Some(&mut slots) } else { None }, ctx, id)?;
+    apply_filter(
+        filter,
+        &mut rows,
+        if want_slots { Some(&mut slots) } else { None },
+        ctx,
+        id,
+    )?;
     Ok((rows, slots))
 }
 
@@ -135,7 +145,13 @@ pub fn index_scan(
     });
     span.end(ctx, id, OuKind::IdxScan);
 
-    apply_filter(filter, &mut rows, if want_slots { Some(&mut slots) } else { None }, ctx, id)?;
+    apply_filter(
+        filter,
+        &mut rows,
+        if want_slots { Some(&mut slots) } else { None },
+        ctx,
+        id,
+    )?;
     Ok((rows, slots))
 }
 
@@ -291,8 +307,15 @@ pub fn nested_loop_join(
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { total: f64, all_int: bool, seen: bool },
-    Avg { total: f64, n: i64 },
+    Sum {
+        total: f64,
+        all_int: bool,
+        seen: bool,
+    },
+    Avg {
+        total: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -301,7 +324,11 @@ impl AggState {
     fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { total: 0.0, all_int: true, seen: false },
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                all_int: true,
+                seen: false,
+            },
             AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
@@ -317,7 +344,11 @@ impl AggState {
                     _ => *c += 1,
                 }
             }
-            AggState::Sum { total, all_int, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
                 if let Some(val) = v {
                     if !val.is_null() {
                         if !matches!(val, Value::Int(_)) {
@@ -339,7 +370,9 @@ impl AggState {
             AggState::Min(cur) => {
                 if let Some(val) = v {
                     if !val.is_null()
-                        && cur.as_ref().is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Less)
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Less)
                     {
                         *cur = Some(val);
                     }
@@ -363,7 +396,11 @@ impl AggState {
     fn finalize(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
-            AggState::Sum { total, all_int, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if all_int {
@@ -392,8 +429,10 @@ pub fn aggregate(
     id: u32,
 ) -> DbResult<Vec<Tuple>> {
     let use_compiled = compiled(ctx);
-    let group_eval: Vec<Evaluator> =
-        group_by.iter().map(|g| Evaluator::new(g, use_compiled)).collect();
+    let group_eval: Vec<Evaluator> = group_by
+        .iter()
+        .map(|g| Evaluator::new(g, use_compiled))
+        .collect();
     let agg_eval: Vec<Option<Evaluator>> = aggs
         .iter()
         .map(|a| a.arg.as_ref().map(|e| Evaluator::new(e, use_compiled)))
@@ -423,7 +462,10 @@ pub fn aggregate(
     }
     if groups.is_empty() && group_by.is_empty() {
         // Scalar aggregate over an empty input still yields one row.
-        groups.insert(Vec::new(), aggs.iter().map(|a| AggState::new(a.func)).collect());
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
     }
     let n_groups = groups.len() as u64;
     span.work(|t| {
@@ -464,8 +506,10 @@ pub fn sort(
     id: u32,
 ) -> DbResult<Vec<Tuple>> {
     let use_compiled = compiled(ctx);
-    let evals: Vec<Evaluator> =
-        keys.iter().map(|k| Evaluator::new(&k.expr, use_compiled)).collect();
+    let evals: Vec<Evaluator> = keys
+        .iter()
+        .map(|k| Evaluator::new(&k.expr, use_compiled))
+        .collect();
 
     // Build phase (Sort Build OU): materialize sort keys and sort.
     let mut span = Span::begin(ctx);
@@ -473,7 +517,10 @@ pub fn sort(
     let mut bytes = 0u64;
     for row in rows {
         bytes += tuple_size_bytes(&row) as u64;
-        let key: Vec<Value> = evals.iter().map(|e| e.eval(&row)).collect::<DbResult<_>>()?;
+        let key: Vec<Value> = evals
+            .iter()
+            .map(|e| e.eval(&row))
+            .collect::<DbResult<_>>()?;
         keyed.push((key, row));
     }
     let mut comparisons = 0u64;
@@ -527,7 +574,10 @@ pub fn project(
     id: u32,
 ) -> DbResult<Vec<Tuple>> {
     let use_compiled = compiled(ctx);
-    let evals: Vec<Evaluator> = exprs.iter().map(|e| Evaluator::new(e, use_compiled)).collect();
+    let evals: Vec<Evaluator> = exprs
+        .iter()
+        .map(|e| Evaluator::new(e, use_compiled))
+        .collect();
     let ops_per: u64 = exprs.iter().map(|e| e.op_count() as u64).sum();
     let mut span = Span::begin(ctx);
     let n = rows.len() as u64;
@@ -569,12 +619,7 @@ pub fn output(
 // DML
 // ----------------------------------------------------------------------
 
-pub fn insert(
-    table: &str,
-    rows: &[Tuple],
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<usize> {
+pub fn insert(table: &str, rows: &[Tuple], ctx: &mut ExecContext<'_>, id: u32) -> DbResult<usize> {
     let entry = ctx.catalog.get(table)?;
     let indexes = entry.indexes();
     let mut span = Span::begin(ctx);
@@ -666,9 +711,13 @@ fn run_scan_with_slots(
 ) -> DbResult<(Vec<Tuple>, Vec<SlotId>)> {
     match scan {
         PlanNode::SeqScan { table, filter, .. } => seq_scan(table, filter.as_ref(), ctx, id, true),
-        PlanNode::IndexScan { table, index, range, filter, .. } => {
-            index_scan(table, index, range, filter.as_ref(), ctx, id, true)
-        }
+        PlanNode::IndexScan {
+            table,
+            index,
+            range,
+            filter,
+            ..
+        } => index_scan(table, index, range, filter.as_ref(), ctx, id, true),
         other => Err(DbError::Execution(format!(
             "DML scan must be a table scan, found {}",
             other.label()
@@ -693,12 +742,14 @@ pub fn create_index(
     // Snapshot the key/slot pairs visible to this transaction.
     let mut entries: Vec<(Vec<Value>, SlotId)> = Vec::new();
     let mut key_bytes = 0u64;
-    entry.table.scan_visible(ctx.txn.read_ts(), ctx.txn.id(), |slot, tuple| {
-        let key: Vec<Value> = columns.iter().map(|&c| tuple[c].clone()).collect();
-        key_bytes += tuple_size_bytes(&key) as u64;
-        entries.push((key, slot));
-        true
-    });
+    entry
+        .table
+        .scan_visible(ctx.txn.read_ts(), ctx.txn.id(), |slot, tuple| {
+            let key: Vec<Value> = columns.iter().map(|&c| tuple[c].clone()).collect();
+            key_bytes += tuple_size_bytes(&key) as u64;
+            entries.push((key, slot));
+            true
+        });
     let n = entries.len();
 
     // Parallel sort-merge build with hardware pacing per entry.

@@ -56,7 +56,11 @@ pub struct OuTracker {
 
 impl OuTracker {
     pub fn start() -> OuTracker {
-        OuTracker { started: Instant::now(), work: WorkCounts::default(), blocked_us: 0.0 }
+        OuTracker {
+            started: Instant::now(),
+            work: WorkCounts::default(),
+            blocked_us: 0.0,
+        }
     }
 
     pub fn add_tuples(&mut self, n: u64) {
@@ -184,12 +188,17 @@ mod tests {
             t
         };
         let base = work().finish(&HardwareProfile::default());
-        let half = work().finish(&HardwareProfile::new(HardwareProfile::DEFAULT_BASE_GHZ / 2.0));
+        let half = work().finish(&HardwareProfile::new(
+            HardwareProfile::DEFAULT_BASE_GHZ / 2.0,
+        ));
         let ratio = half[idx::ELAPSED_US] / base[idx::ELAPSED_US];
         assert!(ratio > 1.6 && ratio < 2.6, "ratio {ratio}");
         // Cycle counts stay roughly frequency-invariant.
         let cycle_ratio = half[idx::CYCLES] / base[idx::CYCLES];
-        assert!(cycle_ratio > 0.7 && cycle_ratio < 1.4, "cycle ratio {cycle_ratio}");
+        assert!(
+            cycle_ratio > 0.7 && cycle_ratio < 1.4,
+            "cycle ratio {cycle_ratio}"
+        );
     }
 
     #[test]

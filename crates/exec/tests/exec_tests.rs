@@ -17,7 +17,10 @@ struct Harness {
 
 impl Harness {
     fn new() -> Harness {
-        Harness { catalog: Catalog::new(), txns: TxnManager::new(None) }
+        Harness {
+            catalog: Catalog::new(),
+            txns: TxnManager::new(None),
+        }
     }
 
     fn ddl(&self, sql: &str) {
@@ -116,9 +119,8 @@ fn join_produces_matches() {
 fn aggregation_with_group_by() {
     let h = Harness::new();
     setup_orders(&h, 100);
-    let r = h.run(
-        "SELECT o_cust, COUNT(*), SUM(o_total) FROM orders GROUP BY o_cust ORDER BY o_cust",
-    );
+    let r =
+        h.run("SELECT o_cust, COUNT(*), SUM(o_total) FROM orders GROUP BY o_cust ORDER BY o_cust");
     assert_eq!(r.rows.len(), 10);
     assert_eq!(r.rows[0][0], Value::Int(0));
     assert_eq!(r.rows[0][1], Value::Int(10));
@@ -264,12 +266,14 @@ fn snapshot_isolation_across_queries() {
     // Reader still sees the old value through a manual scan.
     let entry = h.catalog.get("orders").unwrap();
     let mut seen = None;
-    entry.table.scan_visible(reader_txn.read_ts(), reader_txn.id(), |_, t| {
-        if t[0] == Value::Int(0) {
-            seen = Some(t[2].clone());
-        }
-        true
-    });
+    entry
+        .table
+        .scan_visible(reader_txn.read_ts(), reader_txn.id(), |_, t| {
+            if t[0] == Value::Int(0) {
+                seen = Some(t[2].clone());
+            }
+            true
+        });
     assert_ne!(seen.unwrap(), Value::Float(123.0));
 }
 

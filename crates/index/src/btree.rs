@@ -68,7 +68,13 @@ fn cmp_prefix(key: &[Value], bound: &[Value]) -> std::cmp::Ordering {
 
 impl<V: Clone> BPlusTree<V> {
     pub fn new() -> BPlusTree<V> {
-        BPlusTree { root: Node::Leaf { keys: Vec::new(), values: Vec::new() }, len: 0 }
+        BPlusTree {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
+            len: 0,
+        }
     }
 
     /// Total number of (key, value) entries.
@@ -87,40 +93,46 @@ impl<V: Clone> BPlusTree<V> {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(
                 &mut self.root,
-                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+                Node::Leaf {
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
             );
-            self.root =
-                Node::Internal { keys: vec![split_key], children: vec![old_root, right] };
+            self.root = Node::Internal {
+                keys: vec![split_key],
+                children: vec![old_root, right],
+            };
         }
     }
 
     /// Returns `Some((first_key_of_right, right_node))` when the node split.
     fn insert_into(node: &mut Node<V>, key: Key, value: V) -> Option<(Key, Node<V>)> {
         match node {
-            Node::Leaf { keys, values } => {
-                match keys.binary_search_by(|k| cmp_keys(k, &key)) {
-                    Ok(i) => {
-                        values[i].push(value);
+            Node::Leaf { keys, values } => match keys.binary_search_by(|k| cmp_keys(k, &key)) {
+                Ok(i) => {
+                    values[i].push(value);
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, vec![value]);
+                    if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_values = values.split_off(mid);
+                        let split_key = right_keys[0].clone();
+                        Some((
+                            split_key,
+                            Node::Leaf {
+                                keys: right_keys,
+                                values: right_values,
+                            },
+                        ))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        values.insert(i, vec![value]);
-                        if keys.len() > ORDER {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_values = values.split_off(mid);
-                            let split_key = right_keys[0].clone();
-                            Some((
-                                split_key,
-                                Node::Leaf { keys: right_keys, values: right_values },
-                            ))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let child_idx = match keys.binary_search_by(|k| cmp_keys(k, &key)) {
                     Ok(i) => i + 1,
@@ -138,7 +150,10 @@ impl<V: Clone> BPlusTree<V> {
                     let right_children = children.split_off(mid + 1);
                     Some((
                         up_key,
-                        Node::Internal { keys: right_keys, children: right_children },
+                        Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
                     ))
                 } else {
                     None
@@ -213,7 +228,12 @@ impl<V: Clone> BPlusTree<V> {
     /// bound's length) lies within `lo..=hi`. With `lo == hi == [v1..vk]`
     /// this yields every key starting with that k-column prefix — the
     /// composite-index point-lookup the planner emits.
-    pub fn range_prefix(&self, lo: &[Value], hi: &[Value], mut f: impl FnMut(&[Value], &V) -> bool) {
+    pub fn range_prefix(
+        &self,
+        lo: &[Value],
+        hi: &[Value],
+        mut f: impl FnMut(&[Value], &V) -> bool,
+    ) {
         Self::range_prefix_in(&self.root, lo, hi, &mut f);
     }
 
@@ -225,8 +245,7 @@ impl<V: Clone> BPlusTree<V> {
     ) -> bool {
         match node {
             Node::Leaf { keys, values } => {
-                let start = keys
-                    .partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
+                let start = keys.partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
                 for i in start..keys.len() {
                     if cmp_prefix(&keys[i], hi) == std::cmp::Ordering::Greater {
                         return false;
@@ -243,8 +262,7 @@ impl<V: Clone> BPlusTree<V> {
                 // Keys with a prefix equal to `lo` can sit on either side of
                 // a separator whose prefix equals `lo`, so descend from the
                 // first separator that is not prefix-less than lo.
-                let start =
-                    keys.partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
+                let start = keys.partition_point(|k| cmp_prefix(k, lo) == std::cmp::Ordering::Less);
                 for idx in start..children.len() {
                     if idx > 0 && cmp_prefix(&keys[idx - 1], hi) == std::cmp::Ordering::Greater {
                         return true;

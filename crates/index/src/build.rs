@@ -92,7 +92,10 @@ pub fn parallel_build<V: Clone + Send>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sorter panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sorter panicked"))
+            .collect()
     });
     let sort_time = sort_started.elapsed();
 
@@ -110,13 +113,22 @@ pub fn parallel_build<V: Clone + Send>(
     while let Some(HeapItem { entry, source }) = heap.pop() {
         merged.push(entry);
         if let Some(next) = heads[source].next() {
-            heap.push(HeapItem { entry: next, source });
+            heap.push(HeapItem {
+                entry: next,
+                source,
+            });
         }
     }
     let tree = BPlusTree::bulk_load(merged);
     let merge_time = merge_started.elapsed();
 
-    BuildReport { tree, tuples, threads, sort_time, merge_time }
+    BuildReport {
+        tree,
+        tuples,
+        threads,
+        sort_time,
+        merge_time,
+    }
 }
 
 #[cfg(test)]
@@ -142,14 +154,16 @@ mod tests {
         }
         // Range scan yields non-decreasing keys.
         let mut last: Option<i64> = None;
-        report.tree.range(&[Value::Int(i64::MIN)], &[Value::Int(i64::MAX)], |k, _| {
-            let cur = k[0].as_i64().unwrap();
-            if let Some(prev) = last {
-                assert!(cur >= prev);
-            }
-            last = Some(cur);
-            true
-        });
+        report
+            .tree
+            .range(&[Value::Int(i64::MIN)], &[Value::Int(i64::MAX)], |k, _| {
+                let cur = k[0].as_i64().unwrap();
+                if let Some(prev) = last {
+                    assert!(cur >= prev);
+                }
+                last = Some(cur);
+                true
+            });
     }
 
     #[test]

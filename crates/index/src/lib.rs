@@ -29,7 +29,11 @@ pub struct Index<V: Clone> {
 
 impl<V: Clone> Index<V> {
     pub fn new(name: impl Into<String>, key_columns: Vec<usize>) -> Index<V> {
-        Index { name: name.into(), key_columns, tree: RwLock::new(BPlusTree::new()) }
+        Index {
+            name: name.into(),
+            key_columns,
+            tree: RwLock::new(BPlusTree::new()),
+        }
     }
 
     /// Extract this index's key from a full base-table tuple.

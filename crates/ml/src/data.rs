@@ -80,8 +80,7 @@ pub fn k_folds(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
     rng.shuffle(&mut indices);
     let mut folds = Vec::with_capacity(k);
     for fold in 0..k {
-        let val: Vec<usize> =
-            indices.iter().copied().skip(fold).step_by(k).collect();
+        let val: Vec<usize> = indices.iter().copied().skip(fold).step_by(k).collect();
         let train: Vec<usize> = indices
             .iter()
             .copied()
@@ -166,8 +165,7 @@ mod tests {
         assert_eq!(train.len(), 80);
         assert_eq!(test.len(), 20);
         // Every y value appears exactly once across the two splits.
-        let mut seen: Vec<f64> =
-            train.y.iter().chain(test.y.iter()).map(|r| r[0]).collect();
+        let mut seen: Vec<f64> = train.y.iter().chain(test.y.iter()).map(|r| r[0]).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(seen, (0..100).map(|i| i as f64).collect::<Vec<_>>());
     }

@@ -50,7 +50,11 @@ pub fn r2_score(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> f64 {
             .map(|(a, p)| (a[j] - p[j]) * (a[j] - p[j]))
             .sum();
         score += if ss_tot < 1e-12 {
-            if ss_res < 1e-12 { 1.0 } else { 0.0 }
+            if ss_res < 1e-12 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             1.0 - ss_res / ss_tot
         };

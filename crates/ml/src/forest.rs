@@ -19,7 +19,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_estimators: 50, tree: TreeConfig::default(), max_features: None, seed: 3 }
+        ForestConfig {
+            n_estimators: 50,
+            tree: TreeConfig::default(),
+            max_features: None,
+            seed: 3,
+        }
     }
 }
 
@@ -32,7 +37,10 @@ pub struct RandomForest {
 
 impl RandomForest {
     pub fn new(config: ForestConfig) -> RandomForest {
-        RandomForest { config, trees: Vec::new() }
+        RandomForest {
+            config,
+            trees: Vec::new(),
+        }
     }
 
     pub fn n_trees(&self) -> usize {
@@ -144,8 +152,10 @@ mod tests {
     #[test]
     fn trains_requested_estimators() {
         let (x, y) = noisy_data(100);
-        let mut forest =
-            RandomForest::new(ForestConfig { n_estimators: 7, ..ForestConfig::default() });
+        let mut forest = RandomForest::new(ForestConfig {
+            n_estimators: 7,
+            ..ForestConfig::default()
+        });
         forest.fit(&x, &y).unwrap();
         assert_eq!(forest.n_trees(), 7);
     }
@@ -153,10 +163,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = noisy_data(200);
-        let mut a =
-            RandomForest::new(ForestConfig { n_estimators: 5, ..ForestConfig::default() });
-        let mut b =
-            RandomForest::new(ForestConfig { n_estimators: 5, ..ForestConfig::default() });
+        let mut a = RandomForest::new(ForestConfig {
+            n_estimators: 5,
+            ..ForestConfig::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            n_estimators: 5,
+            ..ForestConfig::default()
+        });
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_one(&x[0]), b.predict_one(&x[0]));

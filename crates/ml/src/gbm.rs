@@ -44,7 +44,11 @@ pub struct GradientBoosting {
 
 impl GradientBoosting {
     pub fn new(config: GbmConfig) -> GradientBoosting {
-        GradientBoosting { config, base: Vec::new(), stages: Vec::new() }
+        GradientBoosting {
+            config,
+            base: Vec::new(),
+            stages: Vec::new(),
+        }
     }
 }
 
@@ -72,8 +76,7 @@ impl Regressor for GradientBoosting {
                 let residuals: Vec<Vec<f64>> =
                     y.iter().zip(&preds).map(|(r, &p)| vec![r[j] - p]).collect();
                 // Early stop when residuals vanish (perfectly fit output).
-                let res_mag: f64 =
-                    residuals.iter().map(|r| r[0].abs()).sum::<f64>() / n as f64;
+                let res_mag: f64 = residuals.iter().map(|r| r[0].abs()).sum::<f64>() / n as f64;
                 if res_mag < 1e-12 {
                     break;
                 }
@@ -161,7 +164,11 @@ mod tests {
         let y = vec![vec![3.0]; 50];
         let mut gbm = GradientBoosting::default();
         gbm.fit(&x, &y).unwrap();
-        assert_eq!(gbm.stages[0].len(), 0, "no stages needed for constant target");
+        assert_eq!(
+            gbm.stages[0].len(),
+            0,
+            "no stages needed for constant target"
+        );
         assert_eq!(gbm.predict_one(&[7.0])[0], 3.0);
     }
 

@@ -44,7 +44,9 @@ impl Default for KernelRegression {
 impl Regressor for KernelRegression {
     fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
         if x.is_empty() {
-            return Err(DbError::Model("kernel regression: empty training set".into()));
+            return Err(DbError::Model(
+                "kernel regression: empty training set".into(),
+            ));
         }
         self.scaler = StandardScaler::fit(x);
         let mut indices: Vec<usize> = (0..x.len()).collect();
@@ -53,7 +55,10 @@ impl Regressor for KernelRegression {
             rng.shuffle(&mut indices);
             indices.truncate(self.max_reference_points);
         }
-        self.ref_x = indices.iter().map(|&i| self.scaler.transform_row(&x[i])).collect();
+        self.ref_x = indices
+            .iter()
+            .map(|&i| self.scaler.transform_row(&x[i]))
+            .collect();
         self.ref_y = indices.iter().map(|&i| y[i].clone()).collect();
         Ok(())
     }
@@ -89,8 +94,8 @@ impl Regressor for KernelRegression {
     }
 
     fn size_bytes(&self) -> usize {
-        let per_row = self.ref_x.first().map_or(0, Vec::len) * 8
-            + self.ref_y.first().map_or(0, Vec::len) * 8;
+        let per_row =
+            self.ref_x.first().map_or(0, Vec::len) * 8 + self.ref_y.first().map_or(0, Vec::len) * 8;
         self.ref_x.len() * per_row + self.scaler.means.len() * 16
     }
 
@@ -111,7 +116,11 @@ mod tests {
         m.fit(&x, &y).unwrap();
         for q in [1.05_f64, 3.33, 7.77] {
             let p = m.predict_one(&[q])[0];
-            assert!((p - q.sin()).abs() < 0.1, "q={q} pred={p} truth={}", q.sin());
+            assert!(
+                (p - q.sin()).abs() < 0.1,
+                "q={q} pred={p} truth={}",
+                q.sin()
+            );
         }
     }
 

@@ -12,7 +12,11 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn identity(n: usize) -> Matrix {
@@ -31,7 +35,11 @@ impl Matrix {
             debug_assert_eq!(row.len(), c);
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     #[inline]
@@ -186,8 +194,9 @@ mod tests {
     #[test]
     fn ridge_recovers_line() {
         // y = 2a + 3b, plenty of samples, tiny ridge.
-        let rows: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
         let x = Matrix::from_rows(&rows);
         let w = ridge_solve(&x, &y, 1e-9).unwrap();

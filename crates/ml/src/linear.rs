@@ -22,7 +22,11 @@ pub struct LinearRegression {
 
 impl LinearRegression {
     pub fn new(lambda: f64) -> LinearRegression {
-        LinearRegression { lambda, scaler: StandardScaler::default(), weights: Vec::new() }
+        LinearRegression {
+            lambda,
+            scaler: StandardScaler::default(),
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -42,17 +46,24 @@ fn with_bias(row: &[f64]) -> Vec<f64> {
 impl Regressor for LinearRegression {
     fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
         if x.is_empty() {
-            return Err(DbError::Model("linear regression: empty training set".into()));
+            return Err(DbError::Model(
+                "linear regression: empty training set".into(),
+            ));
         }
         self.scaler = StandardScaler::fit(x);
-        let xs: Vec<Vec<f64>> =
-            self.scaler.transform(x).into_iter().map(|r| with_bias(&r)).collect();
+        let xs: Vec<Vec<f64>> = self
+            .scaler
+            .transform(x)
+            .into_iter()
+            .map(|r| with_bias(&r))
+            .collect();
         let design = Matrix::from_rows(&xs);
         let n_outputs = y[0].len();
         self.weights.clear();
         for j in 0..n_outputs {
             let target: Vec<f64> = y.iter().map(|r| r[j]).collect();
-            self.weights.push(ridge_solve(&design, &target, self.lambda.max(1e-9))?);
+            self.weights
+                .push(ridge_solve(&design, &target, self.lambda.max(1e-9))?);
         }
         Ok(())
     }
@@ -67,8 +78,7 @@ impl Regressor for LinearRegression {
     }
 
     fn size_bytes(&self) -> usize {
-        self.weights.iter().map(|w| w.len() * 8).sum::<usize>()
-            + self.scaler.means.len() * 16
+        self.weights.iter().map(|w| w.len() * 8).sum::<usize>() + self.scaler.means.len() * 16
     }
 
     fn save_text(&self) -> DbResult<String> {
@@ -111,11 +121,17 @@ impl Default for HuberRegression {
 impl Regressor for HuberRegression {
     fn fit(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> DbResult<()> {
         if x.is_empty() {
-            return Err(DbError::Model("huber regression: empty training set".into()));
+            return Err(DbError::Model(
+                "huber regression: empty training set".into(),
+            ));
         }
         self.scaler = StandardScaler::fit(x);
-        let xs: Vec<Vec<f64>> =
-            self.scaler.transform(x).into_iter().map(|r| with_bias(&r)).collect();
+        let xs: Vec<Vec<f64>> = self
+            .scaler
+            .transform(x)
+            .into_iter()
+            .map(|r| with_bias(&r))
+            .collect();
         let n_outputs = y[0].len();
         self.weights.clear();
         for j in 0..n_outputs {
@@ -135,8 +151,7 @@ impl Regressor for HuberRegression {
     }
 
     fn size_bytes(&self) -> usize {
-        self.weights.iter().map(|w| w.len() * 8).sum::<usize>()
-            + self.scaler.means.len() * 16
+        self.weights.iter().map(|w| w.len() * 8).sum::<usize>() + self.scaler.means.len() * 16
     }
 
     fn save_text(&self) -> DbResult<String> {
@@ -151,8 +166,7 @@ impl HuberRegression {
         let mut w = ridge_solve(&design, y, self.lambda.max(1e-9))?;
         for _ in 0..self.max_iters {
             // Residual scale estimate (MAD-like, guarded from collapse).
-            let residuals: Vec<f64> =
-                xs.iter().zip(y).map(|(row, &t)| t - dot(&w, row)).collect();
+            let residuals: Vec<f64> = xs.iter().zip(y).map(|(row, &t)| t - dot(&w, row)).collect();
             let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
             abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let sigma = (abs[abs.len() / 2] / 0.6745).max(1e-9);
@@ -160,7 +174,13 @@ impl HuberRegression {
             // IRLS weights: 1 inside the quadratic zone, threshold/|r| outside.
             let sample_w: Vec<f64> = residuals
                 .iter()
-                .map(|r| if r.abs() <= threshold { 1.0 } else { threshold / r.abs() })
+                .map(|r| {
+                    if r.abs() <= threshold {
+                        1.0
+                    } else {
+                        threshold / r.abs()
+                    }
+                })
                 .collect();
             // Weighted ridge solve.
             let weighted_rows: Vec<Vec<f64>> = xs
@@ -168,12 +188,14 @@ impl HuberRegression {
                 .zip(&sample_w)
                 .map(|(row, &sw)| row.iter().map(|v| v * sw.sqrt()).collect())
                 .collect();
-            let weighted_y: Vec<f64> =
-                y.iter().zip(&sample_w).map(|(&t, &sw)| t * sw.sqrt()).collect();
+            let weighted_y: Vec<f64> = y
+                .iter()
+                .zip(&sample_w)
+                .map(|(&t, &sw)| t * sw.sqrt())
+                .collect();
             let wd = Matrix::from_rows(&weighted_rows);
             let next = ridge_solve(&wd, &weighted_y, self.lambda.max(1e-9))?;
-            let change: f64 =
-                next.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
+            let change: f64 = next.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
             w = next;
             if change < 1e-9 {
                 break;
@@ -240,15 +262,18 @@ mod tests {
     #[test]
     fn refit_replaces_state() {
         let mut m = LinearRegression::default();
-        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]]).unwrap();
-        m.fit(&[vec![1.0], vec![2.0]], &[vec![10.0], vec![20.0]]).unwrap();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]])
+            .unwrap();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![10.0], vec![20.0]])
+            .unwrap();
         assert!((m.predict_one(&[3.0])[0] - 30.0).abs() < 1e-3);
     }
 
     #[test]
     fn model_size_nonzero_after_fit() {
         let mut m = LinearRegression::default();
-        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]]).unwrap();
+        m.fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]])
+            .unwrap();
         assert!(m.size_bytes() > 0);
     }
 }

@@ -30,7 +30,9 @@ impl Dense {
     /// He-initialized layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut Prng) -> Dense {
         let scale = (2.0 / in_dim.max(1) as f64).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.gaussian() * scale).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gaussian() * scale)
+            .collect();
         Dense {
             in_dim,
             out_dim,
@@ -110,7 +112,9 @@ impl Dense {
         b: Vec<f64>,
     ) -> mb2_common::DbResult<Dense> {
         if w.len() != in_dim * out_dim || b.len() != out_dim {
-            return Err(mb2_common::DbError::Model("dense layer shape mismatch".into()));
+            return Err(mb2_common::DbError::Model(
+                "dense layer shape mismatch".into(),
+            ));
         }
         Ok(Dense {
             in_dim,
@@ -145,7 +149,10 @@ impl Mlp {
     /// Build an MLP with the given layer sizes, e.g. `[8, 25, 25, 9]`.
     pub fn new(sizes: &[usize], rng: &mut Prng) -> Mlp {
         assert!(sizes.len() >= 2);
-        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -202,7 +209,9 @@ impl Mlp {
     }
 
     pub fn adam_step(&mut self, lr: f64, t: usize, batch: f64) {
-        self.layers.iter_mut().for_each(|l| l.adam_step(lr, t, batch));
+        self.layers
+            .iter_mut()
+            .for_each(|l| l.adam_step(lr, t, batch));
     }
 
     pub fn param_count(&self) -> usize {
@@ -345,14 +354,29 @@ mod tests {
         layer.zero_grad();
         let _ = layer.backward(&x, &grad_out);
         // Numeric check for w[0][1]: loss = sum(grad_out * out).
-        let base: f64 = layer.forward(&x).iter().zip(&grad_out).map(|(o, g)| o * g).sum();
+        let base: f64 = layer
+            .forward(&x)
+            .iter()
+            .zip(&grad_out)
+            .map(|(o, g)| o * g)
+            .sum();
         let eps = 1e-6;
         let idx = 1; // w[out=0][in=1]
         layer.w[idx] += eps;
-        let bumped: f64 = layer.forward(&x).iter().zip(&grad_out).map(|(o, g)| o * g).sum();
+        let bumped: f64 = layer
+            .forward(&x)
+            .iter()
+            .zip(&grad_out)
+            .map(|(o, g)| o * g)
+            .sum();
         layer.w[idx] -= eps;
         let numeric = (bumped - base) / eps;
-        assert!((layer.gw[idx] - numeric).abs() < 1e-4, "analytic {} numeric {}", layer.gw[idx], numeric);
+        assert!(
+            (layer.gw[idx] - numeric).abs() < 1e-4,
+            "analytic {} numeric {}",
+            layer.gw[idx],
+            numeric
+        );
     }
 
     #[test]
@@ -367,15 +391,23 @@ mod tests {
         let eps = 1e-6;
         let bumped = net.forward(&[x[0] + eps, x[1]])[0];
         let numeric = (bumped - out[0]) / eps;
-        assert!((gin[0] - numeric).abs() < 1e-4, "analytic {} numeric {numeric}", gin[0]);
+        assert!(
+            (gin[0] - numeric).abs() < 1e-4,
+            "analytic {} numeric {numeric}",
+            gin[0]
+        );
     }
 
     #[test]
     fn learns_nonlinear_target() {
         let mut rng = Prng::new(4);
-        let x: Vec<Vec<f64>> =
-            (0..600).map(|_| vec![rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0]).collect();
-        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * r[0] + r[1] * 0.5 + 1.0]).collect();
+        let x: Vec<Vec<f64>> = (0..600)
+            .map(|_| vec![rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0])
+            .collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![r[0] * r[0] + r[1] * 0.5 + 1.0])
+            .collect();
         let mut m = MlpRegressor::new(vec![16, 16], 150);
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x[..100]);

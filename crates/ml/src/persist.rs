@@ -54,7 +54,9 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(text: &'a str) -> Reader<'a> {
-        Reader { lines: text.lines().peekable() }
+        Reader {
+            lines: text.lines().peekable(),
+        }
     }
 
     /// Consume the next line, verifying its key, and return its values.
@@ -109,7 +111,12 @@ fn write_tree(w: &mut Writer, tree: &DecisionTree) {
     for node in &tree.nodes {
         match node {
             Node::Leaf { value } => w.line("leaf", value),
-            Node::Split { feature, threshold, left, right } => w.line(
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => w.line(
                 "split",
                 &[*feature as f64, *threshold, *left as f64, *right as f64],
             ),
@@ -124,7 +131,9 @@ fn read_tree(r: &mut Reader<'_>) -> DbResult<DecisionTree> {
     let mut nodes = Vec::with_capacity(n);
     for _ in 0..n {
         match r.peek_key() {
-            Some("leaf") => nodes.push(Node::Leaf { value: r.expect("leaf")? }),
+            Some("leaf") => nodes.push(Node::Leaf {
+                value: r.expect("leaf")?,
+            }),
             Some("split") => {
                 let v = r.expect("split")?;
                 if v.len() != 4 {
@@ -137,14 +146,17 @@ fn read_tree(r: &mut Reader<'_>) -> DbResult<DecisionTree> {
                     right: v[3] as usize,
                 });
             }
-            other => {
-                return Err(DbError::Model(format!("unexpected tree line {other:?}")))
-            }
+            other => return Err(DbError::Model(format!("unexpected tree line {other:?}"))),
         }
     }
     let y_means = r.expect("tree.y_means")?;
     let y_scales = r.expect("tree.y_scales")?;
-    Ok(DecisionTree { config: TreeConfig::default(), nodes, y_means, y_scales })
+    Ok(DecisionTree {
+        config: TreeConfig::default(),
+        nodes,
+        y_means,
+        y_scales,
+    })
 }
 
 fn write_matrix(w: &mut Writer, key: &str, rows: &[Vec<f64>]) {
@@ -325,8 +337,10 @@ impl SaveableRegressor for GradientBoosting {
 impl GradientBoosting {
     fn read(r: &mut Reader<'_>) -> DbResult<GradientBoosting> {
         let lr = one(&r.expect("learning_rate")?, "learning_rate")?;
-        let mut gbm =
-            GradientBoosting::new(GbmConfig { learning_rate: lr, ..GbmConfig::default() });
+        let mut gbm = GradientBoosting::new(GbmConfig {
+            learning_rate: lr,
+            ..GbmConfig::default()
+        });
         gbm.base = r.expect("base")?;
         let n_outputs = one(&r.expect("n_outputs")?, "n_outputs")? as usize;
         gbm.stages = (0..n_outputs)
@@ -388,10 +402,13 @@ mod tests {
 
     fn data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let mut rng = Prng::new(2);
-        let x: Vec<Vec<f64>> =
-            (0..200).map(|_| vec![rng.next_f64() * 8.0, rng.next_f64() * 3.0]).collect();
-        let y: Vec<Vec<f64>> =
-            x.iter().map(|r| vec![2.0 * r[0] + r[1] * r[1], r[0] - r[1]]).collect();
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.next_f64() * 8.0, rng.next_f64() * 3.0])
+            .collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![2.0 * r[0] + r[1] * r[1], r[0] - r[1]])
+            .collect();
         (x, y)
     }
 
@@ -423,7 +440,10 @@ mod tests {
         huber.fit(&x, &y).unwrap();
         round_trip(&huber, &x);
 
-        let mut svr = LinearSvr { epochs: 10, ..LinearSvr::default() };
+        let mut svr = LinearSvr {
+            epochs: 10,
+            ..LinearSvr::default()
+        };
         svr.fit(&x, &y).unwrap();
         round_trip(&svr, &x);
 
@@ -464,8 +484,7 @@ mod tests {
         let mut linear = LinearRegression::default();
         linear.fit(&x, &y).unwrap();
         let text = save_model(&linear);
-        let truncated: String =
-            text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
         assert!(load_model(&truncated).is_err());
     }
 }

@@ -89,7 +89,10 @@ pub struct SelectionReport {
 
 impl SelectionReport {
     pub fn error_of(&self, alg: Algorithm) -> Option<f64> {
-        self.candidate_errors.iter().find(|(a, _)| *a == alg).map(|(_, e)| *e)
+        self.candidate_errors
+            .iter()
+            .find(|(a, _)| *a == alg)
+            .map(|(_, e)| *e)
     }
 }
 
@@ -102,13 +105,20 @@ pub struct ModelSelector {
 
 impl Default for ModelSelector {
     fn default() -> Self {
-        ModelSelector { candidates: Algorithm::ALL.to_vec(), train_fraction: 0.8, seed: 2021 }
+        ModelSelector {
+            candidates: Algorithm::ALL.to_vec(),
+            train_fraction: 0.8,
+            seed: 2021,
+        }
     }
 }
 
 impl ModelSelector {
     pub fn with_candidates(candidates: Vec<Algorithm>) -> ModelSelector {
-        ModelSelector { candidates, ..ModelSelector::default() }
+        ModelSelector {
+            candidates,
+            ..ModelSelector::default()
+        }
     }
 
     /// Train/validate every candidate on an internal split, choose the best
@@ -133,7 +143,11 @@ impl ModelSelector {
                 Ok(()) => {
                     let preds = model.predict(&validation.x);
                     let e = mean_relative_error(&validation.y, &preds);
-                    if e.is_finite() { e } else { f64::INFINITY }
+                    if e.is_finite() {
+                        e
+                    } else {
+                        f64::INFINITY
+                    }
                 }
                 Err(_) => f64::INFINITY,
             };
@@ -144,7 +158,9 @@ impl ModelSelector {
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .expect("at least one candidate");
         if best_err.is_infinite() {
-            return Err(DbError::Model("model selection: every candidate failed".into()));
+            return Err(DbError::Model(
+                "model selection: every candidate failed".into(),
+            ));
         }
         // Refit the winner on all available data (paper §6.4).
         let mut model = chosen.instantiate();
@@ -176,10 +192,8 @@ mod tests {
     #[test]
     fn selects_low_error_model_on_linear_data() {
         let data = linear_dataset(300);
-        let selector = ModelSelector::with_candidates(vec![
-            Algorithm::Linear,
-            Algorithm::RandomForest,
-        ]);
+        let selector =
+            ModelSelector::with_candidates(vec![Algorithm::Linear, Algorithm::RandomForest]);
         let report = selector.select(&data).unwrap();
         // Linear data: OLS should be essentially exact and win.
         assert_eq!(report.chosen, Algorithm::Linear);

@@ -31,8 +31,15 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone)]
 pub(crate) enum Node {
-    Leaf { value: Vec<f64> },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted regression tree. Targets are standardized internally so the
@@ -48,7 +55,12 @@ pub struct DecisionTree {
 
 impl DecisionTree {
     pub fn new(config: TreeConfig) -> DecisionTree {
-        DecisionTree { config, nodes: Vec::new(), y_means: Vec::new(), y_scales: Vec::new() }
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            y_means: Vec::new(),
+            y_scales: Vec::new(),
+        }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -75,8 +87,7 @@ impl DecisionTree {
         {
             let col: Vec<f64> = indices.iter().map(|&i| y[i][j]).collect();
             let mean = col.iter().sum::<f64>() / col.len() as f64;
-            let var =
-                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             *mean_slot = mean;
             *scale_slot = var.sqrt().max(1e-12);
         }
@@ -120,7 +131,9 @@ impl DecisionTree {
         rng: &mut Prng,
     ) -> usize {
         let make_leaf = |nodes: &mut Vec<Node>, rows: &[usize]| {
-            nodes.push(Node::Leaf { value: Self::leaf_value(ys, rows) });
+            nodes.push(Node::Leaf {
+                value: Self::leaf_value(ys, rows),
+            });
             nodes.len() - 1
         };
         if depth >= self.config.max_depth || rows.len() < self.config.min_samples_split {
@@ -143,7 +156,12 @@ impl DecisionTree {
                 let me = self.nodes.len() - 1;
                 let left = self.grow(xs, ys, left_rows, depth + 1, rng);
                 let right = self.grow(xs, ys, right_rows, depth + 1, rng);
-                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -177,8 +195,9 @@ impl DecisionTree {
                 total_sq[j] += ys[r][j] * ys[r][j];
             }
         }
-        let parent_sse: f64 =
-            (0..n_outputs).map(|j| total_sq[j] - total_sum[j] * total_sum[j] / n).sum();
+        let parent_sse: f64 = (0..n_outputs)
+            .map(|j| total_sq[j] - total_sum[j] * total_sum[j] / n)
+            .sum();
         if parent_sse <= 1e-12 {
             return None; // pure node
         }
@@ -188,7 +207,9 @@ impl DecisionTree {
         let mut left_sum = vec![0.0; n_outputs];
         for &f in &features {
             sorted.sort_by(|&a, &b| {
-                xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                xs[a][f]
+                    .partial_cmp(&xs[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             left_sum.iter_mut().for_each(|v| *v = 0.0);
             let mut left_sq_per = vec![0.0; n_outputs];
@@ -216,7 +237,13 @@ impl DecisionTree {
                 }
             }
         }
-        best.and_then(|(sse, f, t)| if sse < parent_sse - 1e-12 { Some((f, t)) } else { None })
+        best.and_then(|(sse, f, t)| {
+            if sse < parent_sse - 1e-12 {
+                Some((f, t))
+            } else {
+                None
+            }
+        })
     }
 
     fn predict_standardized(&self, x: &[f64]) -> &[f64] {
@@ -224,8 +251,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -272,8 +308,10 @@ mod tests {
     #[test]
     fn fits_step_function_exactly() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-        let y: Vec<Vec<f64>> =
-            x.iter().map(|r| vec![if r[0] < 50.0 { 1.0 } else { 9.0 }]).collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![if r[0] < 50.0 { 1.0 } else { 9.0 }])
+            .collect();
         let mut t = DecisionTree::new(TreeConfig::default());
         t.fit(&x, &y).unwrap();
         assert_eq!(t.predict_one(&[10.0])[0], 1.0);
@@ -304,7 +342,10 @@ mod tests {
     fn respects_max_depth() {
         let x: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
         let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0]]).collect();
-        let mut t = DecisionTree::new(TreeConfig { max_depth: 2, ..TreeConfig::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        });
         t.fit(&x, &y).unwrap();
         // Depth 2 => at most 3 splits + 4 leaves.
         assert!(t.n_nodes() <= 7, "nodes {}", t.n_nodes());
@@ -330,7 +371,11 @@ mod tests {
         for r in &x {
             err += (t.predict_one(r)[0] - r[0].sin() * 10.0).abs();
         }
-        assert!(err / (x.len() as f64) < 0.5, "avg err {}", err / x.len() as f64);
+        assert!(
+            err / (x.len() as f64) < 0.5,
+            "avg err {}",
+            err / x.len() as f64
+        );
     }
 
     #[test]

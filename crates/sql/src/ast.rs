@@ -6,12 +6,25 @@ use mb2_common::{DataType, Value};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Column reference, optionally qualified: `t.col` or `col`.
-    Column { table: Option<String>, name: String },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
     Literal(Value),
-    Binary { op: crate::expr::BinOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: crate::expr::UnOp, operand: Box<Expr> },
+    Binary {
+        op: crate::expr::BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: crate::expr::UnOp,
+        operand: Box<Expr>,
+    },
     /// Aggregate call, e.g. `SUM(a + b)`; `COUNT(*)` has `arg == None`.
-    Agg { func: crate::expr::AggFunc, arg: Option<Box<Expr>> },
+    Agg {
+        func: crate::expr::AggFunc,
+        arg: Option<Box<Expr>>,
+    },
 }
 
 /// A projection item: expression plus optional alias.

@@ -71,8 +71,15 @@ impl fmt::Display for AggFunc {
 pub enum BoundExpr {
     Col(usize),
     Lit(Value),
-    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
-    Unary { op: UnOp, operand: Box<BoundExpr> },
+    Binary {
+        op: BinOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<BoundExpr>,
+    },
 }
 
 impl BoundExpr {
@@ -93,9 +100,7 @@ impl BoundExpr {
                     UnOp::Neg => match v {
                         Value::Int(x) => Ok(Value::Int(-x)),
                         Value::Float(x) => Ok(Value::Float(-x)),
-                        other => {
-                            Err(DbError::Execution(format!("cannot negate {other}")))
-                        }
+                        other => Err(DbError::Execution(format!("cannot negate {other}"))),
                     },
                     UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
                 }
@@ -125,7 +130,11 @@ impl BoundExpr {
                 if l.is_null() || r.is_null() {
                     // SQL three-valued logic simplified: NULL propagates for
                     // arithmetic; comparisons with NULL are false.
-                    return Ok(if op.is_comparison() { Value::Bool(false) } else { Value::Null });
+                    return Ok(if op.is_comparison() {
+                        Value::Bool(false)
+                    } else {
+                        Value::Null
+                    });
                 }
                 if op.is_comparison() {
                     let ord = l.cmp_total(&r);
@@ -228,9 +237,10 @@ impl BoundExpr {
         match self {
             BoundExpr::Col(i) => BoundExpr::Col(map(*i)),
             BoundExpr::Lit(v) => BoundExpr::Lit(v.clone()),
-            BoundExpr::Unary { op, operand } => {
-                BoundExpr::Unary { op: *op, operand: Box::new(operand.remap(map)) }
-            }
+            BoundExpr::Unary { op, operand } => BoundExpr::Unary {
+                op: *op,
+                operand: Box::new(operand.remap(map)),
+            },
             BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
                 op: *op,
                 left: Box::new(left.remap(map)),
@@ -251,15 +261,28 @@ mod tests {
         BoundExpr::Lit(v.into())
     }
     fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
     fn arithmetic_int_and_float() {
         let t = vec![Value::Int(7), Value::Float(2.0)];
-        assert_eq!(bin(BinOp::Add, col(0), lit(3)).eval(&t).unwrap(), Value::Int(10));
-        assert_eq!(bin(BinOp::Div, col(0), col(1)).eval(&t).unwrap(), Value::Float(3.5));
-        assert_eq!(bin(BinOp::Mod, col(0), lit(4)).eval(&t).unwrap(), Value::Int(3));
+        assert_eq!(
+            bin(BinOp::Add, col(0), lit(3)).eval(&t).unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            bin(BinOp::Div, col(0), col(1)).eval(&t).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            bin(BinOp::Mod, col(0), lit(4)).eval(&t).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -271,8 +294,14 @@ mod tests {
     #[test]
     fn comparisons() {
         let t = vec![Value::Int(5)];
-        assert_eq!(bin(BinOp::Lt, col(0), lit(6)).eval(&t).unwrap(), Value::Bool(true));
-        assert_eq!(bin(BinOp::GtEq, col(0), lit(5)).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin(BinOp::Lt, col(0), lit(6)).eval(&t).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(BinOp::GtEq, col(0), lit(5)).eval(&t).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             bin(BinOp::Eq, col(0), lit("x")).eval(&t).unwrap(),
             Value::Bool(false)
@@ -282,7 +311,10 @@ mod tests {
     #[test]
     fn null_semantics() {
         let t = vec![Value::Null];
-        assert_eq!(bin(BinOp::Eq, col(0), lit(1)).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(
+            bin(BinOp::Eq, col(0), lit(1)).eval(&t).unwrap(),
+            Value::Bool(false)
+        );
         assert!(bin(BinOp::Add, col(0), lit(1)).eval(&t).unwrap().is_null());
         assert!(!bin(BinOp::Eq, col(0), lit(1)).eval_bool(&t).unwrap());
     }
@@ -303,11 +335,21 @@ mod tests {
     fn unary_ops() {
         let t = vec![Value::Int(5), Value::Bool(true)];
         assert_eq!(
-            BoundExpr::Unary { op: UnOp::Neg, operand: Box::new(col(0)) }.eval(&t).unwrap(),
+            BoundExpr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(col(0))
+            }
+            .eval(&t)
+            .unwrap(),
             Value::Int(-5)
         );
         assert_eq!(
-            BoundExpr::Unary { op: UnOp::Not, operand: Box::new(col(1)) }.eval(&t).unwrap(),
+            BoundExpr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(col(1))
+            }
+            .eval(&t)
+            .unwrap(),
             Value::Bool(false)
         );
     }

@@ -67,19 +67,17 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                 tokens.push(Token::Symbol(Symbol::NotEq));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        tokens.push(Token::Symbol(Symbol::LtEq));
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        tokens.push(Token::Symbol(Symbol::NotEq));
-                        i += 2;
-                    }
-                    _ => push_sym(&mut tokens, Symbol::Lt, &mut i),
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Symbol(Symbol::LtEq));
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    tokens.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                }
+                _ => push_sym(&mut tokens, Symbol::Lt, &mut i),
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Symbol(Symbol::GtEq));
@@ -107,9 +105,10 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     }
                     // Multi-byte UTF-8 passthrough.
                     let ch_len = utf8_len(bytes[i]);
-                    s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|e| {
-                        DbError::Parse(format!("invalid utf8 in string: {e}"))
-                    })?);
+                    s.push_str(
+                        std::str::from_utf8(&bytes[i..i + ch_len])
+                            .map_err(|e| DbError::Parse(format!("invalid utf8 in string: {e}")))?,
+                    );
                     i += ch_len;
                 }
                 tokens.push(Token::Str(s));
@@ -120,7 +119,12 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -129,13 +133,15 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|e| {
-                        DbError::Parse(format!("bad float '{text}': {e}"))
-                    })?));
+                    tokens
+                        .push(Token::Float(text.parse().map_err(|e| {
+                            DbError::Parse(format!("bad float '{text}': {e}"))
+                        })?));
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|e| {
-                        DbError::Parse(format!("bad int '{text}': {e}"))
-                    })?));
+                    tokens
+                        .push(Token::Int(text.parse().map_err(|e| {
+                            DbError::Parse(format!("bad int '{text}': {e}"))
+                        })?));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

@@ -13,7 +13,10 @@ pub fn parse(sql: &str) -> DbResult<Statement> {
     let stmt = p.statement()?;
     p.eat_symbol(Symbol::Semicolon);
     if !p.at_end() {
-        return Err(DbError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+        return Err(DbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
     }
     Ok(stmt)
 }
@@ -85,7 +88,9 @@ impl Parser {
     fn ident(&mut self) -> DbResult<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -99,7 +104,11 @@ impl Parser {
     fn statement(&mut self) -> DbResult<Statement> {
         let head = match self.peek() {
             Some(Token::Ident(s)) => s.to_ascii_uppercase(),
-            other => return Err(DbError::Parse(format!("expected statement, found {other:?}"))),
+            other => {
+                return Err(DbError::Parse(format!(
+                    "expected statement, found {other:?}"
+                )))
+            }
         };
         match head.as_str() {
             "CREATE" => self.create(),
@@ -110,7 +119,9 @@ impl Parser {
             "DELETE" => self.delete(),
             "ANALYZE" => {
                 self.pos += 1;
-                Ok(Statement::Analyze { table: self.ident()? })
+                Ok(Statement::Analyze {
+                    table: self.ident()?,
+                })
             }
             "BEGIN" | "START" => {
                 self.pos += 1;
@@ -149,7 +160,11 @@ impl Parser {
                     self.eat_kw("KEY");
                     self.eat_kw("NULL");
                 }
-                columns.push(ColumnDef { name: col_name, ty, varchar_len });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    varchar_len,
+                });
                 if !self.eat_symbol(Symbol::Comma) {
                     break;
                 }
@@ -174,16 +189,25 @@ impl Parser {
                 threads = Some(self.integer()? as usize);
                 self.expect_symbol(Symbol::RParen)?;
             }
-            Ok(Statement::CreateIndex { name, table, columns, threads })
+            Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                threads,
+            })
         } else {
-            Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()))
+            Err(DbError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ))
         }
     }
 
     fn drop(&mut self) -> DbResult<Statement> {
         self.expect_kw("DROP")?;
         if self.eat_kw("TABLE") {
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else if self.eat_kw("INDEX") {
             let name = self.ident()?;
             self.expect_kw("ON")?;
@@ -220,7 +244,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn select(&mut self) -> DbResult<Select> {
@@ -283,7 +311,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -305,7 +337,16 @@ impl Parser {
         if self.eat_kw("LIMIT") {
             limit = Some(self.integer()? as usize);
         }
-        Ok(Select { items, distinct, from, predicate, group_by, having, order_by, limit })
+        Ok(Select {
+            items,
+            distinct,
+            from,
+            predicate,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn table_ref(&mut self) -> DbResult<TableRef> {
@@ -334,15 +375,27 @@ impl Parser {
                 break;
             }
         }
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, assignments, predicate })
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
     }
 
     fn delete(&mut self) -> DbResult<Statement> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, predicate })
     }
 
@@ -355,7 +408,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -364,7 +421,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -372,7 +433,10 @@ impl Parser {
     fn not_expr(&mut self) -> DbResult<Expr> {
         if self.eat_kw("NOT") {
             let operand = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -410,7 +474,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -425,7 +493,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -441,7 +513,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -449,7 +525,10 @@ impl Parser {
     fn unary(&mut self) -> DbResult<Expr> {
         if self.eat_symbol(Symbol::Minus) {
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         self.primary()
     }
@@ -489,24 +568,32 @@ impl Parser {
                     }
                     let arg = self.expr()?;
                     self.expect_symbol(Symbol::RParen)?;
-                    return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: Some(Box::new(arg)),
+                    });
                 }
                 // Qualified column?
                 if self.eat_symbol(Symbol::Dot) {
                     let col = self.ident()?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
-            other => Err(DbError::Parse(format!("unexpected token in expression: {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 }
 
 fn is_clause_keyword(s: &str) -> bool {
     const KEYWORDS: [&str; 15] = [
-        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "ON", "SET", "VALUES", "AND",
-        "OR", "AS", "INNER", "LEFT", "FROM",
+        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "ON", "SET", "VALUES", "AND", "OR",
+        "AS", "INNER", "LEFT", "FROM",
     ];
     KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -517,10 +604,8 @@ mod tests {
 
     #[test]
     fn create_table_with_types() {
-        let s = parse(
-            "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(32), score FLOAT)",
-        )
-        .unwrap();
+        let s = parse("CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(32), score FLOAT)")
+            .unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "users");
@@ -534,10 +619,15 @@ mod tests {
 
     #[test]
     fn create_index_with_threads() {
-        let s = parse("CREATE INDEX idx_c ON customer (c_w_id, c_d_id) WITH (THREADS = 8)")
-            .unwrap();
+        let s =
+            parse("CREATE INDEX idx_c ON customer (c_w_id, c_d_id) WITH (THREADS = 8)").unwrap();
         match s {
-            Statement::CreateIndex { name, table, columns, threads } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                threads,
+            } => {
                 assert_eq!(name, "idx_c");
                 assert_eq!(table, "customer");
                 assert_eq!(columns, vec!["c_w_id", "c_d_id"]);
@@ -644,10 +734,20 @@ mod tests {
         let s = parse("SELECT COUNT(*), 1 + 2 * 3 FROM t").unwrap();
         match s {
             Statement::Select(sel) => {
-                assert!(matches!(sel.items[0].expr, Expr::Agg { func: AggFunc::Count, arg: None }));
+                assert!(matches!(
+                    sel.items[0].expr,
+                    Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: None
+                    }
+                ));
                 // 1 + (2 * 3)
                 match &sel.items[1].expr {
-                    Expr::Binary { op: BinOp::Add, right, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    } => {
                         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("{other:?}"),
@@ -666,15 +766,20 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_error() {
-        assert!(parse("SELECT * FROM t garbage garbage").is_err() || {
-            // "garbage garbage" parses as alias + trailing token -> error.
-            false
-        });
+        assert!(
+            parse("SELECT * FROM t garbage garbage").is_err() || {
+                // "garbage garbage" parses as alias + trailing token -> error.
+                false
+            }
+        );
     }
 
     #[test]
     fn errors_are_parse_errors() {
-        assert!(matches!(parse("FLY ME TO THE MOON"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            parse("FLY ME TO THE MOON"),
+            Err(DbError::Parse(_))
+        ));
         assert!(matches!(parse("SELECT FROM"), Err(DbError::Parse(_))));
     }
 }
@@ -702,10 +807,8 @@ mod distinct_having_tests {
 
     #[test]
     fn having_clause_parses() {
-        let s = parse(
-            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 3 ORDER BY g",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 3 ORDER BY g").unwrap();
         match s {
             Statement::Select(sel) => {
                 assert!(sel.having.is_some());

@@ -39,7 +39,10 @@ impl Scope {
         let mut found = None;
         for t in &self.tables {
             if let Some(q) = table {
-                let matches = t.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                let matches = t
+                    .alias
+                    .as_deref()
+                    .is_some_and(|a| a.eq_ignore_ascii_case(q))
                     || t.name.eq_ignore_ascii_case(q);
                 if !matches {
                     continue;
@@ -76,16 +79,23 @@ impl<'a> Planner<'a> {
     pub fn plan(&self, stmt: &Statement) -> DbResult<PlanNode> {
         match stmt {
             Statement::Select(select) => self.plan_select(select),
-            Statement::Insert { table, columns, rows } => self.plan_insert(table, columns, rows),
-            Statement::Update { table, assignments, predicate } => {
-                self.plan_update(table, assignments, predicate.as_ref())
-            }
-            Statement::Delete { table, predicate } => {
-                self.plan_delete(table, predicate.as_ref())
-            }
-            Statement::CreateIndex { name, table, columns, threads } => {
-                self.plan_create_index(name, table, columns, threads.unwrap_or(1))
-            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.plan_insert(table, columns, rows),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self.plan_update(table, assignments, predicate.as_ref()),
+            Statement::Delete { table, predicate } => self.plan_delete(table, predicate.as_ref()),
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                threads,
+            } => self.plan_create_index(name, table, columns, threads.unwrap_or(1)),
             other => Err(DbError::Plan(format!(
                 "statement {other:?} is handled by the engine, not the planner"
             ))),
@@ -121,7 +131,12 @@ impl<'a> Planner<'a> {
                     table_filters[t].push(c);
                 }
                 2 => {
-                    if let BoundExpr::Binary { op: BinOp::Eq, left, right } = &c {
+                    if let BoundExpr::Binary {
+                        op: BinOp::Eq,
+                        left,
+                        right,
+                    } = &c
+                    {
                         if let (BoundExpr::Col(a), BoundExpr::Col(b)) = (&**left, &**right) {
                             join_edges.push((*a, *b));
                             continue;
@@ -285,9 +300,7 @@ impl<'a> Planner<'a> {
         if !residual.is_empty() {
             let combined = residual
                 .into_iter()
-                .map(|e| {
-                    remap_checked(&e, &layout)
-                })
+                .map(|e| remap_checked(&e, &layout))
                 .collect::<DbResult<Vec<_>>>()?
                 .into_iter()
                 .reduce(|a, b| BoundExpr::Binary {
@@ -318,7 +331,10 @@ impl<'a> Planner<'a> {
         if has_aggs || !effective_group_by.is_empty() {
             let group_bound: Vec<BoundExpr> = effective_group_by
                 .iter()
-                .map(|g| self.bind(g, &scope).and_then(|b| remap_checked(&b, &layout)))
+                .map(|g| {
+                    self.bind(g, &scope)
+                        .and_then(|b| remap_checked(&b, &layout))
+                })
                 .collect::<DbResult<_>>()?;
             // Collect aggregate specs from the select items and HAVING.
             let mut specs: Vec<AggSpecEntry> = Vec::new();
@@ -326,7 +342,10 @@ impl<'a> Planner<'a> {
             for expr in select.items.iter().map(|i| &i.expr).chain(having_exprs) {
                 collect_aggs(expr, &mut |func, arg| -> DbResult<()> {
                     let bound = arg
-                        .map(|a| self.bind(a, &scope).and_then(|b| remap_checked(&b, &layout)))
+                        .map(|a| {
+                            self.bind(a, &scope)
+                                .and_then(|b| remap_checked(&b, &layout))
+                        })
                         .transpose()?;
                     let ast = Expr::Agg {
                         func,
@@ -339,14 +358,24 @@ impl<'a> Planner<'a> {
                 })?;
             }
             if specs.is_empty() && select.items.is_empty() {
-                return Err(DbError::Plan("GROUP BY requires an explicit select list".into()));
+                return Err(DbError::Plan(
+                    "GROUP BY requires an explicit select list".into(),
+                ));
             }
             let n_groups = group_bound.len();
             let input_est = *node.est();
-            let group_card: f64 = estimate_group_cardinality(&scope, &effective_group_by, &layout, input_est.rows_out);
+            let group_card: f64 = estimate_group_cardinality(
+                &scope,
+                &effective_group_by,
+                &layout,
+                input_est.rows_out,
+            );
             let agg_specs: Vec<AggSpec> = specs
                 .iter()
-                .map(|(func, arg, _)| AggSpec { func: *func, arg: arg.clone() })
+                .map(|(func, arg, _)| AggSpec {
+                    func: *func,
+                    arg: arg.clone(),
+                })
                 .collect();
             let est = Est {
                 rows_in: input_est.rows_out,
@@ -370,7 +399,11 @@ impl<'a> Planner<'a> {
                     rows_out: (input_est.rows_out * 0.5).max(1.0),
                     ..input_est
                 };
-                node = PlanNode::Filter { input: Box::new(node), predicate, est };
+                node = PlanNode::Filter {
+                    input: Box::new(node),
+                    predicate,
+                    est,
+                };
             }
             // Projection over the aggregate output.
             for item in &select.items {
@@ -428,7 +461,11 @@ impl<'a> Planner<'a> {
                 width: (post_layout_exprs.len() * 8) as f64,
                 cardinality: input_est.cardinality,
             };
-            node = PlanNode::Project { input: Box::new(node), exprs: post_layout_exprs.clone(), est };
+            node = PlanNode::Project {
+                input: Box::new(node),
+                exprs: post_layout_exprs.clone(),
+                est,
+            };
         }
 
         if !sort_keys.is_empty() {
@@ -440,11 +477,18 @@ impl<'a> Planner<'a> {
                 width: input_est.width,
                 cardinality: input_est.rows_out,
             };
-            node = PlanNode::Sort { input: Box::new(node), keys: sort_keys, est };
+            node = PlanNode::Sort {
+                input: Box::new(node),
+                keys: sort_keys,
+                est,
+            };
             // Strip hidden sort columns.
             if post_layout_exprs.len() > n_visible && n_visible > 0 {
                 let input_est = *node.est();
-                let est = Est { n_cols: n_visible, ..input_est };
+                let est = Est {
+                    n_cols: n_visible,
+                    ..input_est
+                };
                 node = PlanNode::Project {
                     input: Box::new(node),
                     exprs: (0..n_visible).map(BoundExpr::Col).collect(),
@@ -460,11 +504,19 @@ impl<'a> Planner<'a> {
                 rows_out: input_est.rows_out.min(n as f64),
                 ..input_est
             };
-            node = PlanNode::Limit { input: Box::new(node), n, est };
+            node = PlanNode::Limit {
+                input: Box::new(node),
+                n,
+                est,
+            };
         }
 
         let input_est = *node.est();
-        Ok(PlanNode::Output { input: Box::new(node), sink: OutputSink::Client, est: input_est })
+        Ok(PlanNode::Output {
+            input: Box::new(node),
+            sink: OutputSink::Client,
+            est: input_est,
+        })
     }
 
     fn build_scope(&self, select: &Select) -> DbResult<Scope> {
@@ -501,9 +553,9 @@ impl<'a> Planner<'a> {
                 op: *op,
                 operand: Box::new(self.bind(operand, scope)?),
             }),
-            Expr::Agg { .. } => {
-                Err(DbError::Plan("aggregate not allowed in this context".into()))
-            }
+            Expr::Agg { .. } => Err(DbError::Plan(
+                "aggregate not allowed in this context".into(),
+            )),
         }
     }
 
@@ -528,7 +580,12 @@ impl<'a> Planner<'a> {
         // Equality literals per column, for index-prefix matching.
         let mut eq_lit: std::collections::HashMap<usize, Value> = std::collections::HashMap::new();
         for c in &conjuncts {
-            if let BoundExpr::Binary { op: BinOp::Eq, left, right } = c {
+            if let BoundExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = c
+            {
                 match (&**left, &**right) {
                     (BoundExpr::Col(i), BoundExpr::Lit(v))
                     | (BoundExpr::Lit(v), BoundExpr::Col(i)) => {
@@ -560,8 +617,7 @@ impl<'a> Planner<'a> {
 
         if let Some((index, prefix)) = best_index {
             let prefix_cols: Vec<usize> = index.key_columns[..prefix].to_vec();
-            let bound: Vec<Value> =
-                prefix_cols.iter().map(|c| eq_lit[c].clone()).collect();
+            let bound: Vec<Value> = prefix_cols.iter().map(|c| eq_lit[c].clone()).collect();
             // Residual: everything not fully expressed by the prefix.
             let residual: Vec<BoundExpr> = conjuncts
                 .into_iter()
@@ -589,7 +645,10 @@ impl<'a> Planner<'a> {
             return Ok(PlanNode::IndexScan {
                 table: table_name.to_string(),
                 index: index.name.clone(),
-                range: ScanRange { lo: bound.clone(), hi: bound },
+                range: ScanRange {
+                    lo: bound.clone(),
+                    hi: bound,
+                },
                 filter,
                 est,
             });
@@ -603,7 +662,11 @@ impl<'a> Planner<'a> {
             width,
             cardinality: est_rows.max(1.0),
         };
-        Ok(PlanNode::SeqScan { table: table_name.to_string(), filter, est })
+        Ok(PlanNode::SeqScan {
+            table: table_name.to_string(),
+            filter,
+            est,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -694,7 +757,11 @@ impl<'a> Planner<'a> {
         let conjuncts = self.bind_conjuncts(predicate, &scope)?;
         let scan = self.plan_scan(&entry, &table.to_ascii_lowercase(), conjuncts)?;
         let est = *scan.est();
-        Ok(PlanNode::Delete { table: table.to_ascii_lowercase(), scan: Box::new(scan), est })
+        Ok(PlanNode::Delete {
+            table: table.to_ascii_lowercase(),
+            scan: Box::new(scan),
+            est,
+        })
     }
 
     fn plan_create_index(
@@ -748,11 +815,7 @@ impl<'a> Planner<'a> {
         })
     }
 
-    fn bind_conjuncts(
-        &self,
-        predicate: Option<&Expr>,
-        scope: &Scope,
-    ) -> DbResult<Vec<BoundExpr>> {
+    fn bind_conjuncts(&self, predicate: Option<&Expr>, scope: &Scope) -> DbResult<Vec<BoundExpr>> {
         let mut out = Vec::new();
         if let Some(p) = predicate {
             let bound = self.bind(p, scope)?;
@@ -771,7 +834,11 @@ type AggSpecEntry = (crate::expr::AggFunc, Option<BoundExpr>, Expr);
 
 fn split_conjuncts(expr: BoundExpr, out: &mut Vec<BoundExpr>) {
     match expr {
-        BoundExpr::Binary { op: BinOp::And, left, right } => {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             split_conjuncts(*left, out);
             split_conjuncts(*right, out);
         }
@@ -812,25 +879,50 @@ fn attach_filter(node: PlanNode, extra: BoundExpr) -> PlanNode {
         None => Some(extra),
     };
     match node {
-        PlanNode::HashJoin { build, probe, build_keys, probe_keys, filter, est } => {
-            PlanNode::HashJoin {
-                build,
-                probe,
-                build_keys,
-                probe_keys,
-                filter: and(filter, extra),
-                est,
-            }
-        }
-        PlanNode::NestedLoopJoin { outer, inner, filter, est } => {
-            PlanNode::NestedLoopJoin { outer, inner, filter: and(filter, extra), est }
-        }
-        PlanNode::SeqScan { table, filter, est } => {
-            PlanNode::SeqScan { table, filter: and(filter, extra), est }
-        }
-        PlanNode::IndexScan { table, index, range, filter, est } => {
-            PlanNode::IndexScan { table, index, range, filter: and(filter, extra), est }
-        }
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            filter,
+            est,
+        } => PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            filter: and(filter, extra),
+            est,
+        },
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            filter,
+            est,
+        } => PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            filter: and(filter, extra),
+            est,
+        },
+        PlanNode::SeqScan { table, filter, est } => PlanNode::SeqScan {
+            table,
+            filter: and(filter, extra),
+            est,
+        },
+        PlanNode::IndexScan {
+            table,
+            index,
+            range,
+            filter,
+            est,
+        } => PlanNode::IndexScan {
+            table,
+            index,
+            range,
+            filter: and(filter, extra),
+            est,
+        },
         other => other,
     }
 }
@@ -967,17 +1059,13 @@ fn map_post_agg(
 
 /// Resolve an ORDER BY expression to a projected output column: by alias, or
 /// by structural equality with a select item.
-fn resolve_order_expr(
-    e: &Expr,
-    select: &Select,
-    _names: &[Option<String>],
-) -> Option<usize> {
+fn resolve_order_expr(e: &Expr, select: &Select, _names: &[Option<String>]) -> Option<usize> {
     if let Expr::Column { table: None, name } = e {
-        if let Some(i) = select
-            .items
-            .iter()
-            .position(|it| it.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name)))
-        {
+        if let Some(i) = select.items.iter().position(|it| {
+            it.alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+        }) {
             return Some(i);
         }
     }
@@ -994,7 +1082,10 @@ fn left_right_tables(
 fn const_eval(expr: &Expr) -> DbResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Unary { op: UnOp::Neg, operand } => match const_eval(operand)? {
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => match const_eval(operand)? {
             Value::Int(x) => Ok(Value::Int(-x)),
             Value::Float(x) => Ok(Value::Float(-x)),
             other => Err(DbError::Plan(format!("cannot negate {other}"))),
@@ -1005,7 +1096,9 @@ fn const_eval(expr: &Expr) -> DbResult<Value> {
                 left: Box::new(BoundExpr::Lit(const_eval(left)?)),
                 right: Box::new(BoundExpr::Lit(const_eval(right)?)),
             };
-            bound.eval(&[]).map_err(|e| DbError::Plan(format!("INSERT value: {e}")))
+            bound
+                .eval(&[])
+                .map_err(|e| DbError::Plan(format!("INSERT value: {e}")))
         }
         other => Err(DbError::Plan(format!(
             "INSERT values must be constants, found {other:?}"
@@ -1055,13 +1148,17 @@ mod tests {
         for i in 0..100 {
             let slot = cust
                 .table
-                .insert(vec![Value::Int(i), Value::Varchar(format!("c{i}"))], Ts::txn(1))
+                .insert(
+                    vec![Value::Int(i), Value::Varchar(format!("c{i}"))],
+                    Ts::txn(1),
+                )
                 .unwrap();
             cust.table.commit_slot(slot, Ts::txn(1), Ts(2), 1);
         }
         orders.analyze(Ts(2));
         cust.analyze(Ts(2));
-        cust.add_index(Arc::new(mb2_index::Index::new("cust_pk", vec![0]))).unwrap();
+        cust.add_index(Arc::new(mb2_index::Index::new("cust_pk", vec![0])))
+            .unwrap();
         cat
     }
 
@@ -1093,7 +1190,9 @@ mod tests {
         let p = plan(&cat, "SELECT * FROM customer WHERE c_id = 5");
         match &p {
             PlanNode::Output { input, .. } => match &**input {
-                PlanNode::IndexScan { index, range, est, .. } => {
+                PlanNode::IndexScan {
+                    index, range, est, ..
+                } => {
                     assert_eq!(index, "cust_pk");
                     assert_eq!(range.lo, vec![Value::Int(5)]);
                     assert!(est.rows_out <= 2.0);
@@ -1114,7 +1213,9 @@ mod tests {
         // Expect Output -> Project -> HashJoin(build=customer, probe=orders).
         let join = find_node(&p, "HashJoin").expect("hash join present");
         match join {
-            PlanNode::HashJoin { build, probe, est, .. } => {
+            PlanNode::HashJoin {
+                build, probe, est, ..
+            } => {
                 assert_eq!(node_table(build), Some("customer"));
                 assert_eq!(node_table(probe), Some("orders"));
                 assert!(est.rows_out > 500.0, "{est:?}");
@@ -1158,9 +1259,14 @@ mod tests {
     #[test]
     fn update_plan_binds_assignments() {
         let cat = setup();
-        let p = plan(&cat, "UPDATE orders SET o_total = o_total + 1.0 WHERE o_id = 3");
+        let p = plan(
+            &cat,
+            "UPDATE orders SET o_total = o_total + 1.0 WHERE o_id = 3",
+        );
         match &p {
-            PlanNode::Update { assignments, scan, .. } => {
+            PlanNode::Update {
+                assignments, scan, ..
+            } => {
                 assert_eq!(assignments[0].0, 2);
                 assert!(matches!(**scan, PlanNode::SeqScan { .. }));
             }
@@ -1171,7 +1277,10 @@ mod tests {
     #[test]
     fn insert_const_evaluates_and_casts() {
         let cat = setup();
-        let p = plan(&cat, "INSERT INTO customer (c_id, c_name) VALUES (1 + 2, 'x')");
+        let p = plan(
+            &cat,
+            "INSERT INTO customer (c_id, c_name) VALUES (1 + 2, 'x')",
+        );
         match &p {
             PlanNode::Insert { rows, .. } => {
                 assert_eq!(rows[0][0], Value::Int(3));
@@ -1191,9 +1300,17 @@ mod tests {
     #[test]
     fn create_index_plan() {
         let cat = setup();
-        let p = plan(&cat, "CREATE INDEX o_cust_idx ON orders (o_cust) WITH (THREADS = 4)");
+        let p = plan(
+            &cat,
+            "CREATE INDEX o_cust_idx ON orders (o_cust) WITH (THREADS = 4)",
+        );
         match &p {
-            PlanNode::CreateIndex { columns, threads, est, .. } => {
+            PlanNode::CreateIndex {
+                columns,
+                threads,
+                est,
+                ..
+            } => {
                 assert_eq!(columns, &vec![1]);
                 assert_eq!(*threads, 4);
                 assert_eq!(est.rows_in, 1000.0);
@@ -1207,7 +1324,10 @@ mod tests {
     fn unknown_column_is_plan_error() {
         let cat = setup();
         let stmt = parse("SELECT nope FROM orders").unwrap();
-        assert!(matches!(Planner::new(&cat).plan(&stmt), Err(DbError::Plan(_))));
+        assert!(matches!(
+            Planner::new(&cat).plan(&stmt),
+            Err(DbError::Plan(_))
+        ));
     }
 
     #[test]
@@ -1223,7 +1343,9 @@ mod tests {
         if node.label() == label {
             return Some(node);
         }
-        node.children().into_iter().find_map(|c| find_node(c, label))
+        node.children()
+            .into_iter()
+            .find_map(|c| find_node(c, label))
     }
 
     fn node_table(node: &PlanNode) -> Option<&str> {

@@ -53,11 +53,9 @@ proptest! {
         let mut model: HashMap<usize, i64> = HashMap::new();
         let mut slots: Vec<SlotId> = Vec::new();
         let mut clock = 10u64;
-        let mut txn_counter = 1u64;
 
-        for spec in txns {
+        for (txn_counter, spec) in (1u64..).zip(txns) {
             let txn = Ts::txn(txn_counter);
-            txn_counter += 1;
             let read_ts = Ts(clock);
             // Staged changes for this transaction.
             let mut staged: Vec<(usize, Option<i64>, bool)> = Vec::new(); // (idx, new, is_insert)

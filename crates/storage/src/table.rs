@@ -161,7 +161,9 @@ impl Table {
 
     fn annotate(&self, e: DbError) -> DbError {
         match e {
-            DbError::WriteConflict { .. } => DbError::WriteConflict { table: self.name.clone() },
+            DbError::WriteConflict { .. } => DbError::WriteConflict {
+                table: self.name.clone(),
+            },
             other => other,
         }
     }
@@ -171,7 +173,8 @@ impl Table {
     pub fn commit_slot(&self, slot: SlotId, txn: Ts, commit_ts: Ts, delta_live: i64) {
         self.chain(slot, |c| c.commit(txn, commit_ts));
         if delta_live > 0 {
-            self.live_tuples.fetch_add(delta_live as usize, Ordering::Relaxed);
+            self.live_tuples
+                .fetch_add(delta_live as usize, Ordering::Relaxed);
         } else if delta_live < 0 {
             let d = (-delta_live) as usize;
             let mut cur = self.live_tuples.load(Ordering::Relaxed);
@@ -199,12 +202,7 @@ impl Table {
 
     /// Visit every slot's visible version at `read_ts`. The callback gets the
     /// slot id and a borrowed tuple; returning `false` stops the scan early.
-    pub fn scan_visible(
-        &self,
-        read_ts: Ts,
-        own: Ts,
-        mut f: impl FnMut(SlotId, &Tuple) -> bool,
-    ) {
+    pub fn scan_visible(&self, read_ts: Ts, own: Ts, mut f: impl FnMut(SlotId, &Tuple) -> bool) {
         let total = self.num_slots();
         let segs = self.segments.read().clone();
         'outer: for (si, seg) in segs.iter().enumerate() {
@@ -216,7 +214,10 @@ impl Table {
             for off in 0..upper {
                 let chain = seg.chains[off].lock();
                 if let Some(data) = chain.visible(read_ts, own) {
-                    let slot = SlotId { segment: si as u32, offset: off as u32 };
+                    let slot = SlotId {
+                        segment: si as u32,
+                        offset: off as u32,
+                    };
                     if !f(slot, data) {
                         break 'outer;
                     }
@@ -279,7 +280,10 @@ mod tests {
         Table::new(
             TableId(1),
             "t",
-            Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
         )
     }
 
@@ -384,7 +388,8 @@ mod tests {
         for i in 0..5u64 {
             let txn = Ts::txn(10 + i);
             let ts = 10 + i;
-            t.update(slot, tup(i as i64 + 1, 0), txn, Ts(ts - 1)).unwrap();
+            t.update(slot, tup(i as i64 + 1, 0), txn, Ts(ts - 1))
+                .unwrap();
             t.commit_slot(slot, txn, Ts(ts), 0);
         }
         let before = t.version_count();

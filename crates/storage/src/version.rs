@@ -34,7 +34,11 @@ impl VersionChain {
     pub fn new_insert(data: Tuple, txn: Ts) -> VersionChain {
         debug_assert!(txn.is_txn());
         VersionChain {
-            versions: vec![Version { begin: txn, end: Ts::INF, data: Some(Arc::new(data)) }],
+            versions: vec![Version {
+                begin: txn,
+                end: Ts::INF,
+                data: Some(Arc::new(data)),
+            }],
         }
     }
 
@@ -60,7 +64,11 @@ impl VersionChain {
     pub fn visible(&self, read_ts: Ts, own: Ts) -> Option<&Arc<Tuple>> {
         debug_assert!(read_ts.is_committed());
         for v in &self.versions {
-            let visible = if v.begin.is_txn() { v.begin == own } else { v.begin <= read_ts };
+            let visible = if v.begin.is_txn() {
+                v.begin == own
+            } else {
+                v.begin <= read_ts
+            };
             if visible {
                 return v.data.as_ref();
             }
@@ -87,7 +95,9 @@ impl VersionChain {
             .ok_or_else(|| DbError::Storage("install on empty version chain".into()))?;
         if newest.begin.is_txn() {
             if newest.begin != txn {
-                return Err(DbError::WriteConflict { table: String::new() });
+                return Err(DbError::WriteConflict {
+                    table: String::new(),
+                });
             }
             // Same transaction re-writes the slot: collapse into its own
             // uncommitted version.
@@ -97,7 +107,9 @@ impl VersionChain {
         }
         if newest.begin > read_ts {
             // Committed by someone who serialized after our snapshot.
-            return Err(DbError::WriteConflict { table: String::new() });
+            return Err(DbError::WriteConflict {
+                table: String::new(),
+            });
         }
         if newest.data.is_none() {
             return Err(DbError::Storage("update of deleted tuple".into()));
@@ -106,7 +118,11 @@ impl VersionChain {
         newest.end = txn;
         self.versions.insert(
             0,
-            Version { begin: txn, end: Ts::INF, data: data.map(Arc::new) },
+            Version {
+                begin: txn,
+                end: Ts::INF,
+                data: data.map(Arc::new),
+            },
         );
         Ok(old)
     }
@@ -283,7 +299,9 @@ mod tests {
         let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
         chain.commit(Ts::txn(1), Ts(5));
         for (i, ts) in [(2u64, 10u64), (3, 15), (4, 20)] {
-            chain.install(Some(tup(i as i64)), Ts::txn(i), Ts(ts - 1)).unwrap();
+            chain
+                .install(Some(tup(i as i64)), Ts::txn(i), Ts(ts - 1))
+                .unwrap();
             chain.commit(Ts::txn(i), Ts(ts));
         }
         assert_eq!(chain.len(), 4);

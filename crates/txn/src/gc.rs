@@ -60,9 +60,14 @@ impl GarbageCollector {
             scanned += table.num_slots();
             reclaimed += table.gc(watermark);
         }
-        self.total_reclaimed.fetch_add(reclaimed as u64, Ordering::Relaxed);
+        self.total_reclaimed
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
         self.invocations.fetch_add(1, Ordering::Relaxed);
-        GcReport { versions_reclaimed: reclaimed, slots_scanned: scanned, elapsed: started.elapsed() }
+        GcReport {
+            versions_reclaimed: reclaimed,
+            slots_scanned: scanned,
+            elapsed: started.elapsed(),
+        }
     }
 
     /// Start the background GC thread with the given interval knob.

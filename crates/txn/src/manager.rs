@@ -75,20 +75,30 @@ impl Transaction {
         self.check_active()?;
         let logged = self.mgr.wal.as_ref().map(|_| tuple.clone());
         let slot = table.insert(tuple, self.id)?;
+        // Track the write before logging so that if the append fails (e.g.
+        // the WAL is poisoned) the abort path rolls this insert back too.
+        self.writes.push(WriteOp::Insert {
+            table: table.clone(),
+            slot,
+        });
         if let (Some(wal), Some(tuple)) = (&self.mgr.wal, logged) {
             wal.append(&LogRecord::Insert {
                 txn_id: self.id.txn_id().expect("txn id"),
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
                 tuple,
-            });
+            })?;
         }
-        self.writes.push(WriteOp::Insert { table: table.clone(), slot });
         Ok(slot)
     }
 
     /// Update a tuple in place (installs a new version).
-    pub fn update(&mut self, table: &Arc<Table>, slot: SlotId, tuple: Tuple) -> DbResult<Arc<Tuple>> {
+    pub fn update(
+        &mut self,
+        table: &Arc<Table>,
+        slot: SlotId,
+        tuple: Tuple,
+    ) -> DbResult<Arc<Tuple>> {
         self.check_active()?;
         if let Some(wal) = &self.mgr.wal {
             wal.append(&LogRecord::Update {
@@ -96,10 +106,13 @@ impl Transaction {
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
                 tuple: tuple.clone(),
-            });
+            })?;
         }
         let old = table.update(slot, tuple, self.id, self.read_ts)?;
-        self.writes.push(WriteOp::Update { table: table.clone(), slot });
+        self.writes.push(WriteOp::Update {
+            table: table.clone(),
+            slot,
+        });
         Ok(old)
     }
 
@@ -111,10 +124,13 @@ impl Transaction {
                 txn_id: self.id.txn_id().expect("txn id"),
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
-            });
+            })?;
         }
         let old = table.delete(slot, self.id, self.read_ts)?;
-        self.writes.push(WriteOp::Delete { table: table.clone(), slot });
+        self.writes.push(WriteOp::Delete {
+            table: table.clone(),
+            slot,
+        });
         Ok(old)
     }
 
@@ -194,7 +210,11 @@ impl TxnManager {
         }
         self.stats.begins.fetch_add(1, Ordering::Relaxed);
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Begin { txn_id: id });
+            // Deliberately ignore append failure: a poisoned WAL must not
+            // prevent read-only transactions (the engine degrades to
+            // read-only, not to unavailable). Any write this transaction
+            // attempts will hit the same latched error and fail there.
+            let _ = wal.append(&LogRecord::Begin { txn_id: id });
         }
         Transaction {
             id: Ts::txn(id),
@@ -216,17 +236,35 @@ impl TxnManager {
     }
 
     fn finish_begin_commit(&self, mut txn: Transaction, log: bool) -> DbResult<Ts> {
+        // Durability point: the commit record must be accepted by the WAL
+        // (and, under sync_commit, be flushed to disk) *before* any version
+        // is stamped visible. If logging fails, `txn` is dropped here and
+        // its Drop impl aborts, unwinding every write — the commit was never
+        // reported durable, and it never becomes visible.
+        if log {
+            if let Some(wal) = &self.wal {
+                let commit = LogRecord::Commit {
+                    txn_id: txn.id.txn_id().expect("txn id"),
+                };
+                if txn.writes.is_empty() {
+                    // Read-only: nothing needs to become durable, so a
+                    // poisoned WAL must not fail the commit (the engine
+                    // degrades to read-only, not to unavailable).
+                    let _ = wal.append(&commit);
+                } else {
+                    wal.append(&commit)?;
+                    if wal.config().sync_commit {
+                        wal.flush_now()?;
+                    }
+                }
+            }
+        }
         let commit_ts = Ts(self.clock.fetch_add(1, Ordering::AcqRel) + 1);
         for op in &txn.writes {
             match op {
                 WriteOp::Insert { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, 1),
                 WriteOp::Update { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, 0),
                 WriteOp::Delete { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, -1),
-            }
-        }
-        if log {
-            if let Some(wal) = &self.wal {
-                wal.append(&LogRecord::Commit { txn_id: txn.id.txn_id().expect("txn id") });
             }
         }
         self.deregister(txn.read_ts);
@@ -248,7 +286,12 @@ impl TxnManager {
         }
         txn.writes.clear();
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Abort { txn_id: txn.id.txn_id().expect("txn id") });
+            // Best effort: if the WAL is poisoned the Abort record is lost,
+            // but recovery discards transactions without a Commit record
+            // anyway, so the outcome is identical.
+            let _ = wal.append(&LogRecord::Abort {
+                txn_id: txn.id.txn_id().expect("txn id"),
+            });
         }
         self.deregister(txn.read_ts);
         self.stats.aborts.fetch_add(1, Ordering::Relaxed);
@@ -400,9 +443,7 @@ mod tests {
 
     #[test]
     fn wal_records_emitted() {
-        let wal = Arc::new(
-            LogManager::new(mb2_wal::LogManagerConfig::default()).unwrap(),
-        );
+        let wal = Arc::new(LogManager::new(mb2_wal::LogManagerConfig::default()).unwrap());
         let mgr = TxnManager::new(Some(wal.clone()));
         let t = table();
         let mut txn = mgr.begin();

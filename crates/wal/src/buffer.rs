@@ -16,7 +16,10 @@ pub struct LogBuffer {
 
 impl LogBuffer {
     pub fn new() -> LogBuffer {
-        LogBuffer { data: BytesMut::with_capacity(LOG_BUFFER_CAPACITY), record_count: 0 }
+        LogBuffer {
+            data: BytesMut::with_capacity(LOG_BUFFER_CAPACITY),
+            record_count: 0,
+        }
     }
 
     pub fn len(&self) -> usize {

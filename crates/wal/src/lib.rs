@@ -14,5 +14,5 @@ pub mod record;
 
 pub use buffer::{LogBuffer, LOG_BUFFER_CAPACITY};
 pub use manager::{LogManager, LogManagerConfig, WalStats};
-pub use reader::read_log;
-pub use record::{LogRecord, LoggedColumn};
+pub use reader::{read_log, read_log_with, scan_records, LogCorruption, LogReadReport};
+pub use record::{LogRecord, LoggedColumn, MAX_RECORD_LEN, RECORD_HEADER_LEN};

@@ -1,6 +1,18 @@
 //! The log manager: record serialization into buffers, a flush queue, and a
 //! background flusher thread with a configurable flush interval (a behavior
 //! knob, paper §4.2).
+//!
+//! The flush path is the durability boundary, so it is hardened:
+//!
+//! * an optional fsync (`File::sync_all`) after each write batch,
+//! * bounded retry with exponential backoff on transient flush errors
+//!   (each failed attempt is rolled back with `set_len` so a retry never
+//!   duplicates records),
+//! * a latched **poisoned** state once retries are exhausted or a simulated
+//!   crash occurs: every subsequent append fails fast with
+//!   [`DbError::WalUnavailable`] and the engine degrades to read-only,
+//! * named fault points ([`mb2_common::fault::points`]) consulted at open,
+//!   write, and fsync time so tests can inject deterministic failures.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -13,6 +25,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use mb2_common::fault::{points, FaultInjector};
 use mb2_common::{DbError, DbResult};
 
 use crate::buffer::LogBuffer;
@@ -31,6 +44,21 @@ pub struct LogManagerConfig {
     pub flush_interval: Duration,
     /// Whether to start the background flusher thread.
     pub background: bool,
+    /// Call `sync_all` (fsync) after each successful write batch. Off by
+    /// default: the OU-measurement harness wants OS-buffered latencies, but
+    /// durability experiments and the torture tests turn it on.
+    pub fsync: bool,
+    /// Make each commit flush (and, with `fsync`, sync) the log before the
+    /// transaction's writes become visible. Only effective in foreground
+    /// mode, where `flush_now` drains the queue synchronously.
+    pub sync_commit: bool,
+    /// How many times a failed flush is retried before the log is poisoned.
+    pub max_flush_retries: u32,
+    /// Base backoff between retries; doubles each attempt (capped at 100ms).
+    pub retry_backoff: Duration,
+    /// Deterministic fault injection for durability tests; `None` in
+    /// production.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for LogManagerConfig {
@@ -39,6 +67,11 @@ impl Default for LogManagerConfig {
             path: None,
             flush_interval: Duration::from_millis(10),
             background: false,
+            fsync: false,
+            sync_commit: false,
+            max_flush_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            faults: None,
         }
     }
 }
@@ -51,9 +84,19 @@ pub struct WalStats {
     pub buffers_flushed: AtomicU64,
     pub bytes_flushed: AtomicU64,
     pub flush_calls: AtomicU64,
+    /// Successful `sync_all` calls.
+    pub fsync_calls: AtomicU64,
+    /// Failed flush attempts (each retry that fails counts once).
+    pub flush_errors: AtomicU64,
+    /// Retries performed after a failed flush attempt.
+    pub flush_retries: AtomicU64,
+    last_error: Mutex<Option<String>>,
 }
 
 impl WalStats {
+    /// The five serialization/flush throughput counters, in declaration
+    /// order. (Kept at five fields for existing metric-collector callers;
+    /// error counters have their own accessors.)
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.bytes_serialized.load(Ordering::Relaxed),
@@ -63,6 +106,44 @@ impl WalStats {
             self.flush_calls.load(Ordering::Relaxed),
         )
     }
+
+    /// The most recent flush error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    fn record_error(&self, error: &DbError) {
+        self.flush_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock() = Some(error.to_string());
+    }
+}
+
+/// Durability settings shared by the foreground path and the flusher thread.
+#[derive(Clone)]
+struct DurabilityOpts {
+    fsync: bool,
+    max_retries: u32,
+    backoff: Duration,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl DurabilityOpts {
+    fn from_config(config: &LogManagerConfig) -> Self {
+        DurabilityOpts {
+            fsync: config.fsync,
+            max_retries: config.max_flush_retries,
+            backoff: config.retry_backoff,
+            faults: config.faults.clone(),
+        }
+    }
+}
+
+/// A failed flush attempt. `crash` marks simulated crashes (torn writes):
+/// those are not transient and must not be retried — the partial bytes stay
+/// on disk exactly as a real crash would leave them.
+struct FlushFailure {
+    error: DbError,
+    crash: bool,
 }
 
 struct Flusher {
@@ -70,6 +151,8 @@ struct Flusher {
     rx: Receiver<LogBuffer>,
     stats: Arc<WalStats>,
     stop: Arc<AtomicBool>,
+    poisoned: Arc<AtomicBool>,
+    opts: DurabilityOpts,
     interval: Duration,
 }
 
@@ -81,44 +164,168 @@ impl Flusher {
             while let Ok(buf) = self.rx.try_recv() {
                 drained.push(buf);
             }
-            if !drained.is_empty() {
-                let _ = flush_buffers(&mut self.file, &drained, &self.stats);
-            }
+            self.flush(&drained);
             if self.stop.load(Ordering::Acquire) {
                 // Final drain before exiting.
                 let mut rest = Vec::new();
                 while let Ok(buf) = self.rx.try_recv() {
                     rest.push(buf);
                 }
-                if !rest.is_empty() {
-                    let _ = flush_buffers(&mut self.file, &rest, &self.stats);
-                }
+                self.flush(&rest);
                 return;
             }
             std::thread::sleep(self.interval);
         }
     }
+
+    fn flush(&mut self, buffers: &[LogBuffer]) {
+        if buffers.is_empty() || self.poisoned.load(Ordering::Acquire) {
+            // Once poisoned the log accepts no more data; queued buffers are
+            // dropped, matching what the latched append-rejection tells the
+            // engine (`WalUnavailable`).
+            return;
+        }
+        // An error here is not discarded: flush_with_retry records it in
+        // WalStats (flush_errors / last_error) and latches the poisoned
+        // flag, which the engine surfaces as `DbError::WalUnavailable` on
+        // the next append.
+        let _ = flush_with_retry(
+            &mut self.file,
+            buffers,
+            &self.stats,
+            &self.opts,
+            &self.poisoned,
+        );
+    }
 }
 
-fn flush_buffers(
+/// One write attempt: all buffers, a stream flush, and an optional fsync.
+/// On transient failure the file is truncated back to its pre-attempt
+/// length, so the caller may retry without duplicating records.
+fn write_once(
+    file: &mut Option<File>,
+    buffers: &[LogBuffer],
+    opts: &DurabilityOpts,
+    stats: &WalStats,
+) -> Result<usize, FlushFailure> {
+    let total: usize = buffers.iter().map(|b| b.data.len()).sum();
+    let Some(f) = file.as_mut() else {
+        // Sink mode: account the bytes, no I/O to fail.
+        stats
+            .buffers_flushed
+            .fetch_add(buffers.len() as u64, Ordering::Relaxed);
+        stats
+            .bytes_flushed
+            .fetch_add(total as u64, Ordering::Relaxed);
+        stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+        return Ok(total);
+    };
+
+    // One-shot torn write: persist a strict prefix, then report a crash.
+    if let Some(inj) = &opts.faults {
+        if let Some(keep) = inj.torn_write(points::WAL_TORN_WRITE, total) {
+            let mut left = keep;
+            for buf in buffers {
+                let n = left.min(buf.data.len());
+                let _ = f.write_all(&buf.data[..n]);
+                left -= n;
+                if left == 0 {
+                    break;
+                }
+            }
+            let _ = f.flush();
+            let _ = f.sync_all();
+            return Err(FlushFailure {
+                error: DbError::Wal(format!(
+                    "injected torn write: {keep} of {total} bytes reached disk"
+                )),
+                crash: true,
+            });
+        }
+    }
+
+    let start_len = f.metadata().map(|m| m.len()).ok();
+    let res: DbResult<()> = (|| {
+        for buf in buffers {
+            if let Some(inj) = &opts.faults {
+                if let Some(msg) = inj.should_fail(points::WAL_WRITE) {
+                    return Err(DbError::Wal(msg));
+                }
+            }
+            f.write_all(&buf.data)
+                .map_err(|e| DbError::Wal(format!("write: {e}")))?;
+        }
+        f.flush().map_err(|e| DbError::Wal(format!("flush: {e}")))?;
+        if opts.fsync {
+            if let Some(inj) = &opts.faults {
+                if let Some(msg) = inj.should_fail(points::WAL_FSYNC) {
+                    return Err(DbError::Wal(msg));
+                }
+            }
+            f.sync_all()
+                .map_err(|e| DbError::Wal(format!("fsync: {e}")))?;
+            stats.fsync_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    })();
+    match res {
+        Ok(()) => {
+            stats
+                .buffers_flushed
+                .fetch_add(buffers.len() as u64, Ordering::Relaxed);
+            stats
+                .bytes_flushed
+                .fetch_add(total as u64, Ordering::Relaxed);
+            stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(total)
+        }
+        Err(error) => {
+            // Roll back any partial write so a retry starts clean. (Best
+            // effort: if even set_len fails the retry's write will fail too.)
+            if let Some(len) = start_len {
+                let _ = f.set_len(len);
+            }
+            Err(FlushFailure {
+                error,
+                crash: false,
+            })
+        }
+    }
+}
+
+/// Flush with bounded exponential-backoff retry. Exhausted retries or a
+/// simulated crash latch `poisoned` and return [`DbError::WalUnavailable`];
+/// every failed attempt is recorded in [`WalStats`].
+fn flush_with_retry(
     file: &mut Option<File>,
     buffers: &[LogBuffer],
     stats: &WalStats,
+    opts: &DurabilityOpts,
+    poisoned: &AtomicBool,
 ) -> DbResult<usize> {
-    let mut bytes = 0usize;
-    for buf in buffers {
-        if let Some(f) = file.as_mut() {
-            f.write_all(&buf.data).map_err(|e| DbError::Wal(format!("flush: {e}")))?;
+    let mut attempt: u32 = 0;
+    loop {
+        match write_once(file, buffers, opts, stats) {
+            Ok(bytes) => return Ok(bytes),
+            Err(failure) => {
+                stats.record_error(&failure.error);
+                if failure.crash || attempt >= opts.max_retries {
+                    poisoned.store(true, Ordering::Release);
+                    return Err(DbError::WalUnavailable(format!(
+                        "{} (after {attempt} retries)",
+                        failure.error
+                    )));
+                }
+                let backoff = opts
+                    .backoff
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(Duration::from_millis(100));
+                attempt += 1;
+                stats.flush_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+            }
         }
-        bytes += buf.data.len();
     }
-    if let Some(f) = file.as_mut() {
-        f.flush().map_err(|e| DbError::Wal(format!("flush: {e}")))?;
-    }
-    stats.buffers_flushed.fetch_add(buffers.len() as u64, Ordering::Relaxed);
-    stats.bytes_flushed.fetch_add(bytes as u64, Ordering::Relaxed);
-    stats.flush_calls.fetch_add(1, Ordering::Relaxed);
-    Ok(bytes)
 }
 
 /// The write-ahead log manager.
@@ -131,12 +338,19 @@ pub struct LogManager {
     sync_queue: Mutex<Vec<LogBuffer>>,
     sync_file: Mutex<Option<File>>,
     stop: Arc<AtomicBool>,
+    poisoned: Arc<AtomicBool>,
+    opts: DurabilityOpts,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl LogManager {
     pub fn new(config: LogManagerConfig) -> DbResult<LogManager> {
         let open = |path: &PathBuf| -> DbResult<File> {
+            if let Some(inj) = &config.faults {
+                if let Some(msg) = inj.should_fail(points::WAL_OPEN) {
+                    return Err(DbError::Wal(msg));
+                }
+            }
             OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -146,6 +360,8 @@ impl LogManager {
         let (tx, rx) = bounded::<LogBuffer>(1024);
         let stats = Arc::new(WalStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let opts = DurabilityOpts::from_config(&config);
         let mut flusher_handle = None;
         let mut sync_file = None;
         if config.background {
@@ -155,6 +371,8 @@ impl LogManager {
                 rx,
                 stats: stats.clone(),
                 stop: stop.clone(),
+                poisoned: poisoned.clone(),
+                opts: opts.clone(),
                 interval: config.flush_interval,
             };
             flusher_handle = Some(std::thread::spawn(move || flusher.run()));
@@ -169,6 +387,8 @@ impl LogManager {
             sync_queue: Mutex::new(Vec::new()),
             sync_file: Mutex::new(sync_file),
             stop,
+            poisoned,
+            opts,
             flusher: Mutex::new(flusher_handle),
         })
     }
@@ -181,20 +401,56 @@ impl LogManager {
         &self.config
     }
 
+    /// Whether an unrecoverable flush failure has latched the log into the
+    /// rejecting (read-only) state.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Fail with [`DbError::WalUnavailable`] if the log is poisoned.
+    pub fn check_writable(&self) -> DbResult<()> {
+        if self.is_poisoned() {
+            let detail = self
+                .stats
+                .last_error()
+                .unwrap_or_else(|| "unrecoverable flush failure".to_string());
+            Err(DbError::WalUnavailable(detail))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Serialize a record into the current buffer; full buffers move to the
-    /// flush queue. Returns the encoded size in bytes.
-    pub fn append(&self, record: &LogRecord) -> usize {
+    /// flush queue. Returns the encoded size in bytes, or
+    /// [`DbError::WalUnavailable`] once the log is poisoned.
+    pub fn append(&self, record: &LogRecord) -> DbResult<usize> {
+        self.check_writable()?;
         let mut current = self.current.lock();
+        let start = current.data.len();
         let len = record.serialize_into(&mut current.data);
+        if len - crate::record::RECORD_HEADER_LEN > crate::record::MAX_RECORD_LEN {
+            // Oversized records are rejected here so the reader can treat
+            // any on-disk length claim above MAX_RECORD_LEN as corruption.
+            current.data.truncate(start);
+            return Err(DbError::Wal(format!(
+                "record body of {} bytes exceeds the {} byte limit",
+                len - crate::record::RECORD_HEADER_LEN,
+                crate::record::MAX_RECORD_LEN
+            )));
+        }
         current.record_count += 1;
-        self.stats.bytes_serialized.fetch_add(len as u64, Ordering::Relaxed);
-        self.stats.records_serialized.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_serialized
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.stats
+            .records_serialized
+            .fetch_add(1, Ordering::Relaxed);
         if current.is_full() {
             let full = std::mem::take(&mut *current);
             drop(current);
             self.enqueue(full);
         }
-        len
+        Ok(len)
     }
 
     fn enqueue(&self, buffer: LogBuffer) {
@@ -220,13 +476,14 @@ impl LogManager {
     /// Synchronously flush everything queued (and the current buffer).
     /// Returns (buffers, bytes) flushed. Only valid in foreground mode.
     pub fn flush_now(&self) -> DbResult<(usize, usize)> {
+        self.check_writable()?;
         self.seal_current();
         let drained: Vec<LogBuffer> = std::mem::take(&mut *self.sync_queue.lock());
         if drained.is_empty() {
             return Ok((0, 0));
         }
         let mut file = self.sync_file.lock();
-        let bytes = flush_buffers(&mut file, &drained, &self.stats)?;
+        let bytes = flush_with_retry(&mut file, &drained, &self.stats, &self.opts, &self.poisoned)?;
         Ok((drained.len(), bytes))
     }
 
@@ -254,6 +511,7 @@ impl Drop for LogManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mb2_common::fault::FaultMode;
     use mb2_common::Value;
 
     fn insert_record(i: u64) -> LogRecord {
@@ -265,11 +523,19 @@ mod tests {
         }
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mb2_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("wal_{}_{name}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
     #[test]
     fn append_accumulates_bytes() {
         let mgr = LogManager::new(LogManagerConfig::default()).unwrap();
-        let n1 = mgr.append(&LogRecord::Begin { txn_id: 1 });
-        let n2 = mgr.append(&insert_record(1));
+        let n1 = mgr.append(&LogRecord::Begin { txn_id: 1 }).unwrap();
+        let n2 = mgr.append(&insert_record(1)).unwrap();
         assert!(n2 > n1);
         let (bytes, records, ..) = mgr.stats().snapshot();
         assert_eq!(bytes, (n1 + n2) as u64);
@@ -281,7 +547,7 @@ mod tests {
         let mgr = LogManager::new(LogManagerConfig::default()).unwrap();
         // Each record is ~100 bytes; write enough to fill several buffers.
         for i in 0..400 {
-            mgr.append(&insert_record(i));
+            mgr.append(&insert_record(i)).unwrap();
         }
         assert!(mgr.pending_buffers() > 0);
         let (buffers, bytes) = mgr.flush_now().unwrap();
@@ -300,10 +566,7 @@ mod tests {
 
     #[test]
     fn flush_writes_to_file() {
-        let dir = std::env::temp_dir().join("mb2_wal_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("wal_{}.log", std::process::id()));
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("basic");
         {
             let mgr = LogManager::new(LogManagerConfig {
                 path: Some(path.clone()),
@@ -311,12 +574,27 @@ mod tests {
             })
             .unwrap();
             for i in 0..10 {
-                mgr.append(&insert_record(i));
+                mgr.append(&insert_record(i)).unwrap();
             }
             mgr.flush_now().unwrap();
         }
         let meta = std::fs::metadata(&path).unwrap();
         assert!(meta.len() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_knob_counts_syncs() {
+        let path = temp_path("fsync");
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            fsync: true,
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        mgr.append(&insert_record(1)).unwrap();
+        mgr.flush_now().unwrap();
+        assert_eq!(mgr.stats().fsync_calls.load(Ordering::Relaxed), 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -329,16 +607,116 @@ mod tests {
         })
         .unwrap();
         for i in 0..400 {
-            mgr.append(&insert_record(i));
+            mgr.append(&insert_record(i)).unwrap();
         }
         mgr.shutdown();
         let (_, _, flushed, ..) = mgr.stats().snapshot();
-        assert!(flushed > 0, "background flusher should have flushed buffers");
+        assert!(
+            flushed > 0,
+            "background flusher should have flushed buffers"
+        );
     }
 
     #[test]
     fn empty_flush_is_noop() {
         let mgr = LogManager::new(LogManagerConfig::default()).unwrap();
         assert_eq!(mgr.flush_now().unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn transient_write_failure_is_retried_transparently() {
+        let path = temp_path("transient");
+        let faults = Arc::new(FaultInjector::new(11));
+        faults.arm(points::WAL_WRITE, FaultMode::Nth(1));
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            faults: Some(faults),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        mgr.append(&insert_record(1)).unwrap();
+        // First write attempt fails, the retry succeeds; callers never see it.
+        let (buffers, _) = mgr.flush_now().unwrap();
+        assert_eq!(buffers, 1);
+        assert!(!mgr.is_poisoned());
+        assert_eq!(mgr.stats().flush_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(mgr.stats().flush_retries.load(Ordering::Relaxed), 1);
+        assert!(mgr.stats().last_error().unwrap().contains("wal.write"));
+        // The retried flush must not have duplicated the record.
+        let records = crate::reader::read_log(&path).unwrap();
+        assert_eq!(records, vec![insert_record(1)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_failure_poisons_and_rejects_appends() {
+        let path = temp_path("poison");
+        let faults = Arc::new(FaultInjector::new(11));
+        faults.arm(points::WAL_WRITE, FaultMode::Always);
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            max_flush_retries: 2,
+            retry_backoff: Duration::from_micros(10),
+            faults: Some(faults.clone()),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        mgr.append(&insert_record(1)).unwrap();
+        let err = mgr.flush_now().unwrap_err();
+        assert!(matches!(err, DbError::WalUnavailable(_)), "{err}");
+        assert!(mgr.is_poisoned());
+        // 1 initial attempt + 2 retries, all failed.
+        assert_eq!(mgr.stats().flush_errors.load(Ordering::Relaxed), 3);
+        assert_eq!(mgr.stats().flush_retries.load(Ordering::Relaxed), 2);
+        // Latched: appends and further flushes fail fast.
+        assert!(matches!(
+            mgr.append(&insert_record(2)),
+            Err(DbError::WalUnavailable(_))
+        ));
+        assert!(matches!(mgr.flush_now(), Err(DbError::WalUnavailable(_))));
+        // Nothing unsound reached the file.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_fault_fails_construction() {
+        let faults = Arc::new(FaultInjector::new(3));
+        faults.arm(points::WAL_OPEN, FaultMode::Always);
+        let res = LogManager::new(LogManagerConfig {
+            path: Some(temp_path("openfail")),
+            faults: Some(faults),
+            ..LogManagerConfig::default()
+        });
+        match res {
+            Err(DbError::Wal(ref m)) if m.contains("wal.open") => {}
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("open fault should fail construction"),
+        }
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_record_and_poisons() {
+        let path = temp_path("torn");
+        let faults = Arc::new(FaultInjector::new(5));
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            faults: Some(faults.clone()),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        mgr.append(&insert_record(1)).unwrap();
+        mgr.flush_now().unwrap();
+        faults.arm_torn_write(points::WAL_TORN_WRITE, 0.5);
+        mgr.append(&insert_record(2)).unwrap();
+        let err = mgr.flush_now().unwrap_err();
+        assert!(matches!(err, DbError::WalUnavailable(_)), "{err}");
+        assert!(mgr.is_poisoned());
+        // The file holds the first record plus a torn tail; the reader
+        // tolerates exactly that shape.
+        let report = crate::reader::read_log_with(&path, false).unwrap();
+        assert_eq!(report.records, vec![insert_record(1)]);
+        assert!(report.torn_tail_bytes > 0, "torn tail expected");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -3,7 +3,20 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use mb2_common::types::Tuple;
-use mb2_common::{DbError, DbResult, Value};
+use mb2_common::{Crc32, DbError, DbResult, Value};
+
+/// Size of the on-disk record header: `[u32 length][u32 crc]`.
+///
+/// This is format v2. v1 had no checksum (`[u32 length][body]`); v2 adds a
+/// CRC-32 (IEEE) computed over the little-endian length bytes followed by the
+/// body, so recovery can distinguish a torn tail from mid-file corruption.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Largest record body the log will accept (enforced at append time). The
+/// reader uses the same bound as a plausibility check: an on-disk length
+/// claim above it can only be a damaged length field, so it is classified
+/// as corruption rather than a tolerated torn tail.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
 
 /// A column description inside a [`LogRecord::CreateTable`] record.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,20 +32,53 @@ pub struct LoggedColumn {
 /// references.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
-    Begin { txn_id: u64 },
-    Insert { txn_id: u64, table_id: u32, slot: u64, tuple: Tuple },
-    Update { txn_id: u64, table_id: u32, slot: u64, tuple: Tuple },
-    Delete { txn_id: u64, table_id: u32, slot: u64 },
-    Commit { txn_id: u64 },
-    Abort { txn_id: u64 },
+    Begin {
+        txn_id: u64,
+    },
+    Insert {
+        txn_id: u64,
+        table_id: u32,
+        slot: u64,
+        tuple: Tuple,
+    },
+    Update {
+        txn_id: u64,
+        table_id: u32,
+        slot: u64,
+        tuple: Tuple,
+    },
+    Delete {
+        txn_id: u64,
+        table_id: u32,
+        slot: u64,
+    },
+    Commit {
+        txn_id: u64,
+    },
+    Abort {
+        txn_id: u64,
+    },
     /// DDL: table creation (autocommit; applied immediately on replay).
-    CreateTable { table_id: u32, name: String, columns: Vec<LoggedColumn> },
+    CreateTable {
+        table_id: u32,
+        name: String,
+        columns: Vec<LoggedColumn>,
+    },
     /// DDL: index creation over the named table's column positions.
-    CreateIndex { table_id: u32, name: String, columns: Vec<u32> },
+    CreateIndex {
+        table_id: u32,
+        name: String,
+        columns: Vec<u32>,
+    },
     /// DDL: table removal.
-    DropTable { table_id: u32 },
+    DropTable {
+        table_id: u32,
+    },
     /// DDL: index removal.
-    DropIndex { table_id: u32, name: String },
+    DropIndex {
+        table_id: u32,
+        name: String,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -95,9 +141,10 @@ fn get_value(buf: &mut Bytes) -> DbResult<Value> {
                 return Err(DbError::Wal("truncated varchar".into()));
             }
             let bytes = buf.split_to(len);
-            Value::Varchar(String::from_utf8(bytes.to_vec()).map_err(|e| {
-                DbError::Wal(format!("invalid utf8 in log: {e}"))
-            })?)
+            Value::Varchar(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|e| DbError::Wal(format!("invalid utf8 in log: {e}")))?,
+            )
         }
         VTAG_BOOL => Value::Bool(need(buf, 1)?.get_u8() != 0),
         VTAG_TS => Value::Timestamp(need(buf, 8)?.get_i64_le()),
@@ -141,30 +188,46 @@ fn get_string(buf: &mut Bytes) -> DbResult<String> {
 
 impl LogRecord {
     /// Serialize into `out`, returning the encoded length in bytes. The
-    /// format is `[u32 length][u8 tag][payload]`.
+    /// format (v2) is `[u32 length][u32 crc][u8 tag][payload]`, where the CRC
+    /// covers the length bytes and the body (`tag` + `payload`).
     pub fn serialize_into(&self, out: &mut BytesMut) -> usize {
         let start = out.len();
         out.put_u32_le(0); // length placeholder
+        out.put_u32_le(0); // crc placeholder
         match self {
             LogRecord::Begin { txn_id } => {
                 out.put_u8(TAG_BEGIN);
                 out.put_u64_le(*txn_id);
             }
-            LogRecord::Insert { txn_id, table_id, slot, tuple } => {
+            LogRecord::Insert {
+                txn_id,
+                table_id,
+                slot,
+                tuple,
+            } => {
                 out.put_u8(TAG_INSERT);
                 out.put_u64_le(*txn_id);
                 out.put_u32_le(*table_id);
                 out.put_u64_le(*slot);
                 put_tuple(out, tuple);
             }
-            LogRecord::Update { txn_id, table_id, slot, tuple } => {
+            LogRecord::Update {
+                txn_id,
+                table_id,
+                slot,
+                tuple,
+            } => {
                 out.put_u8(TAG_UPDATE);
                 out.put_u64_le(*txn_id);
                 out.put_u32_le(*table_id);
                 out.put_u64_le(*slot);
                 put_tuple(out, tuple);
             }
-            LogRecord::Delete { txn_id, table_id, slot } => {
+            LogRecord::Delete {
+                txn_id,
+                table_id,
+                slot,
+            } => {
                 out.put_u8(TAG_DELETE);
                 out.put_u64_le(*txn_id);
                 out.put_u32_le(*table_id);
@@ -178,7 +241,11 @@ impl LogRecord {
                 out.put_u8(TAG_ABORT);
                 out.put_u64_le(*txn_id);
             }
-            LogRecord::CreateTable { table_id, name, columns } => {
+            LogRecord::CreateTable {
+                table_id,
+                name,
+                columns,
+            } => {
                 out.put_u8(TAG_CREATE_TABLE);
                 out.put_u32_le(*table_id);
                 put_string(out, name);
@@ -189,7 +256,11 @@ impl LogRecord {
                     out.put_u32_le(c.varchar_len);
                 }
             }
-            LogRecord::CreateIndex { table_id, name, columns } => {
+            LogRecord::CreateIndex {
+                table_id,
+                name,
+                columns,
+            } => {
                 out.put_u8(TAG_CREATE_INDEX);
                 out.put_u32_le(*table_id);
                 put_string(out, name);
@@ -209,69 +280,112 @@ impl LogRecord {
             }
         }
         let len = out.len() - start;
-        let body = (len - 4) as u32;
-        out[start..start + 4].copy_from_slice(&body.to_le_bytes());
+        let body_len = (len - RECORD_HEADER_LEN) as u32;
+        out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&body_len.to_le_bytes());
+        crc.update(&out[start + RECORD_HEADER_LEN..]);
+        out[start + 4..start + 8].copy_from_slice(&crc.finalize().to_le_bytes());
         len
     }
 
     /// Deserialize one record from the front of `buf` (which must start at a
-    /// length prefix).
+    /// record header). Verifies the CRC before decoding.
     pub fn deserialize(buf: &mut Bytes) -> DbResult<LogRecord> {
         let body_len = need(buf, 4)?.get_u32_le() as usize;
+        let stored_crc = need(buf, 4)?.get_u32_le();
         if buf.remaining() < body_len {
             return Err(DbError::Wal("truncated record body".into()));
         }
         let mut body = buf.split_to(body_len);
-        let tag = need(&mut body, 1)?.get_u8();
+        let mut crc = Crc32::new();
+        crc.update(&(body_len as u32).to_le_bytes());
+        crc.update(&body);
+        let actual = crc.finalize();
+        if actual != stored_crc {
+            return Err(DbError::Wal(format!(
+                "record checksum mismatch (stored {stored_crc:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let rec = Self::decode_body(&mut body)?;
+        if body.remaining() > 0 {
+            return Err(DbError::Wal(format!(
+                "{} trailing bytes after record body",
+                body.remaining()
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// Decode a record body (`tag` + `payload`) whose framing and CRC have
+    /// already been verified.
+    fn decode_body(body: &mut Bytes) -> DbResult<LogRecord> {
+        let tag = need(body, 1)?.get_u8();
         let rec = match tag {
-            TAG_BEGIN => LogRecord::Begin { txn_id: need(&mut body, 8)?.get_u64_le() },
+            TAG_BEGIN => LogRecord::Begin {
+                txn_id: need(body, 8)?.get_u64_le(),
+            },
             TAG_INSERT => LogRecord::Insert {
-                txn_id: need(&mut body, 8)?.get_u64_le(),
-                table_id: need(&mut body, 4)?.get_u32_le(),
-                slot: need(&mut body, 8)?.get_u64_le(),
-                tuple: get_tuple(&mut body)?,
+                txn_id: need(body, 8)?.get_u64_le(),
+                table_id: need(body, 4)?.get_u32_le(),
+                slot: need(body, 8)?.get_u64_le(),
+                tuple: get_tuple(body)?,
             },
             TAG_UPDATE => LogRecord::Update {
-                txn_id: need(&mut body, 8)?.get_u64_le(),
-                table_id: need(&mut body, 4)?.get_u32_le(),
-                slot: need(&mut body, 8)?.get_u64_le(),
-                tuple: get_tuple(&mut body)?,
+                txn_id: need(body, 8)?.get_u64_le(),
+                table_id: need(body, 4)?.get_u32_le(),
+                slot: need(body, 8)?.get_u64_le(),
+                tuple: get_tuple(body)?,
             },
             TAG_DELETE => LogRecord::Delete {
-                txn_id: need(&mut body, 8)?.get_u64_le(),
-                table_id: need(&mut body, 4)?.get_u32_le(),
-                slot: need(&mut body, 8)?.get_u64_le(),
+                txn_id: need(body, 8)?.get_u64_le(),
+                table_id: need(body, 4)?.get_u32_le(),
+                slot: need(body, 8)?.get_u64_le(),
             },
-            TAG_COMMIT => LogRecord::Commit { txn_id: need(&mut body, 8)?.get_u64_le() },
-            TAG_ABORT => LogRecord::Abort { txn_id: need(&mut body, 8)?.get_u64_le() },
+            TAG_COMMIT => LogRecord::Commit {
+                txn_id: need(body, 8)?.get_u64_le(),
+            },
+            TAG_ABORT => LogRecord::Abort {
+                txn_id: need(body, 8)?.get_u64_le(),
+            },
             TAG_CREATE_TABLE => {
-                let table_id = need(&mut body, 4)?.get_u32_le();
-                let name = get_string(&mut body)?;
-                let n = need(&mut body, 2)?.get_u16_le() as usize;
+                let table_id = need(body, 4)?.get_u32_le();
+                let name = get_string(body)?;
+                let n = need(body, 2)?.get_u16_le() as usize;
                 let mut columns = Vec::with_capacity(n);
                 for _ in 0..n {
                     columns.push(LoggedColumn {
-                        name: get_string(&mut body)?,
-                        type_tag: need(&mut body, 1)?.get_u8(),
-                        varchar_len: need(&mut body, 4)?.get_u32_le(),
+                        name: get_string(body)?,
+                        type_tag: need(body, 1)?.get_u8(),
+                        varchar_len: need(body, 4)?.get_u32_le(),
                     });
                 }
-                LogRecord::CreateTable { table_id, name, columns }
+                LogRecord::CreateTable {
+                    table_id,
+                    name,
+                    columns,
+                }
             }
             TAG_CREATE_INDEX => {
-                let table_id = need(&mut body, 4)?.get_u32_le();
-                let name = get_string(&mut body)?;
-                let n = need(&mut body, 2)?.get_u16_le() as usize;
+                let table_id = need(body, 4)?.get_u32_le();
+                let name = get_string(body)?;
+                let n = need(body, 2)?.get_u16_le() as usize;
                 let mut columns = Vec::with_capacity(n);
                 for _ in 0..n {
-                    columns.push(need(&mut body, 4)?.get_u32_le());
+                    columns.push(need(body, 4)?.get_u32_le());
                 }
-                LogRecord::CreateIndex { table_id, name, columns }
+                LogRecord::CreateIndex {
+                    table_id,
+                    name,
+                    columns,
+                }
             }
-            TAG_DROP_TABLE => LogRecord::DropTable { table_id: need(&mut body, 4)?.get_u32_le() },
+            TAG_DROP_TABLE => LogRecord::DropTable {
+                table_id: need(body, 4)?.get_u32_le(),
+            },
             TAG_DROP_INDEX => LogRecord::DropIndex {
-                table_id: need(&mut body, 4)?.get_u32_le(),
-                name: get_string(&mut body)?,
+                table_id: need(body, 4)?.get_u32_le(),
+                name: get_string(body)?,
             },
             other => return Err(DbError::Wal(format!("unknown record tag {other}"))),
         };
@@ -353,7 +467,11 @@ mod tests {
             slot: 77,
             tuple: vec![Value::Int(-1)],
         });
-        round_trip(LogRecord::Delete { txn_id: 6, table_id: 7, slot: 88 });
+        round_trip(LogRecord::Delete {
+            txn_id: 6,
+            table_id: 7,
+            slot: 88,
+        });
         round_trip(LogRecord::Commit { txn_id: 8 });
         round_trip(LogRecord::Abort { txn_id: 9 });
     }
@@ -363,7 +481,12 @@ mod tests {
         let mut buf = BytesMut::new();
         let recs = vec![
             LogRecord::Begin { txn_id: 1 },
-            LogRecord::Insert { txn_id: 1, table_id: 2, slot: 0, tuple: vec![Value::Int(5)] },
+            LogRecord::Insert {
+                txn_id: 1,
+                table_id: 2,
+                slot: 0,
+                tuple: vec![Value::Int(5)],
+            },
             LogRecord::Commit { txn_id: 1 },
         ];
         for r in &recs {
@@ -384,10 +507,46 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_fails_checksum() {
+        let mut buf = BytesMut::new();
+        let len = LogRecord::Commit { txn_id: 1 }.serialize_into(&mut buf);
+        // Flip one bit in every position (header and body) in turn: each
+        // corruption must be detected.
+        for i in 0..len {
+            let mut corrupt = buf.to_vec();
+            corrupt[i] ^= 0x01;
+            let mut bytes = Bytes::from(corrupt);
+            let res = LogRecord::deserialize(&mut bytes);
+            // A flipped length byte may instead report truncation; either
+            // way the corrupt record must not decode successfully.
+            assert!(res.is_err(), "bit flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn header_includes_crc() {
+        let mut buf = BytesMut::new();
+        let len = LogRecord::Begin { txn_id: 7 }.serialize_into(&mut buf);
+        assert!(len >= RECORD_HEADER_LEN);
+        let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, RECORD_HEADER_LEN + body_len);
+        let stored = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let mut crc = Crc32::new();
+        crc.update(&buf[0..4]);
+        crc.update(&buf[RECORD_HEADER_LEN..]);
+        assert_eq!(stored, crc.finalize());
+    }
+
+    #[test]
     fn txn_id_accessor() {
         assert_eq!(LogRecord::Begin { txn_id: 9 }.txn_id(), 9);
         assert_eq!(
-            LogRecord::Delete { txn_id: 3, table_id: 1, slot: 0 }.txn_id(),
+            LogRecord::Delete {
+                txn_id: 3,
+                table_id: 1,
+                slot: 0
+            }
+            .txn_id(),
             3
         );
     }

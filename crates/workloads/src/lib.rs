@@ -87,7 +87,10 @@ mod tests {
         // Failing second statement rolls back the first.
         let err = execute_transaction(
             &db,
-            &["INSERT INTO t VALUES (1)".into(), "INSERT INTO nope VALUES (1)".into()],
+            &[
+                "INSERT INTO t VALUES (1)".into(),
+                "INSERT INTO nope VALUES (1)".into(),
+            ],
         );
         assert!(err.is_err());
         let r = db.execute("SELECT COUNT(*) FROM t").unwrap();

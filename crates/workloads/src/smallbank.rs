@@ -17,13 +17,20 @@ pub struct SmallBank {
 
 impl Default for SmallBank {
     fn default() -> Self {
-        SmallBank { accounts: 10_000, hotspot_fraction: 0.25, hotspot_size: 100 }
+        SmallBank {
+            accounts: 10_000,
+            hotspot_fraction: 0.25,
+            hotspot_size: 100,
+        }
     }
 }
 
 impl SmallBank {
     pub fn small() -> SmallBank {
-        SmallBank { accounts: 1000, ..SmallBank::default() }
+        SmallBank {
+            accounts: 1000,
+            ..SmallBank::default()
+        }
     }
 
     fn pick_account(&self, rng: &mut Prng) -> usize {
@@ -41,13 +48,15 @@ impl Workload for SmallBank {
     }
 
     fn load(&self, db: &Database) -> DbResult<()> {
-        db.execute(
-            "CREATE TABLE sb_accounts (custid INT, name VARCHAR(24))",
-        )?;
+        db.execute("CREATE TABLE sb_accounts (custid INT, name VARCHAR(24))")?;
         db.execute("CREATE TABLE sb_savings (custid INT, bal FLOAT)")?;
         db.execute("CREATE TABLE sb_checking (custid INT, bal FLOAT)")?;
-        insert_batch(db, "sb_accounts", self.accounts, |i| format!("({i}, 'cust_{i}')"))?;
-        insert_batch(db, "sb_savings", self.accounts, |i| format!("({i}, {}.0)", 1000 + i % 500))?;
+        insert_batch(db, "sb_accounts", self.accounts, |i| {
+            format!("({i}, 'cust_{i}')")
+        })?;
+        insert_batch(db, "sb_savings", self.accounts, |i| {
+            format!("({i}, {}.0)", 1000 + i % 500)
+        })?;
         insert_batch(db, "sb_checking", self.accounts, |i| {
             format!("({i}, {}.0)", 500 + i % 300)
         })?;
@@ -59,7 +68,13 @@ impl Workload for SmallBank {
     }
 
     fn template_names(&self) -> Vec<&'static str> {
-        vec!["balance", "deposit_checking", "transact_savings", "amalgamate", "write_check"]
+        vec![
+            "balance",
+            "deposit_checking",
+            "transact_savings",
+            "amalgamate",
+            "write_check",
+        ]
     }
 
     fn sample_transaction(&self, template: &str, rng: &mut Prng) -> Vec<String> {
@@ -102,7 +117,10 @@ mod tests {
 
     #[test]
     fn loads_and_runs_all_templates() {
-        let sb = SmallBank { accounts: 200, ..SmallBank::default() };
+        let sb = SmallBank {
+            accounts: 200,
+            ..SmallBank::default()
+        };
         let db = Database::open();
         sb.load(&db).unwrap();
         let mut rng = Prng::new(1);
@@ -111,13 +129,18 @@ mod tests {
             crate::execute_transaction(&db, &stmts).unwrap();
         }
         // Indexes make point lookups index scans.
-        let plan = db.prepare("SELECT bal FROM sb_checking WHERE custid = 5").unwrap();
+        let plan = db
+            .prepare("SELECT bal FROM sb_checking WHERE custid = 5")
+            .unwrap();
         assert!(plan.explain().contains("IndexScan"));
     }
 
     #[test]
     fn run_one_picks_templates() {
-        let sb = SmallBank { accounts: 50, ..SmallBank::default() };
+        let sb = SmallBank {
+            accounts: 50,
+            ..SmallBank::default()
+        };
         let db = Database::open();
         sb.load(&db).unwrap();
         let mut rng = Prng::new(2);
@@ -128,7 +151,11 @@ mod tests {
 
     #[test]
     fn hotspot_skews_access() {
-        let sb = SmallBank { accounts: 10_000, hotspot_fraction: 0.5, hotspot_size: 10 };
+        let sb = SmallBank {
+            accounts: 10_000,
+            hotspot_fraction: 0.5,
+            hotspot_size: 10,
+        };
         let mut rng = Prng::new(3);
         let hot = (0..2000).filter(|_| sb.pick_account(&mut rng) < 10).count();
         assert!(hot > 800, "hotspot fraction not applied: {hot}");

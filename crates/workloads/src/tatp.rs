@@ -14,7 +14,9 @@ pub struct Tatp {
 
 impl Default for Tatp {
     fn default() -> Self {
-        Tatp { subscribers: 10_000 }
+        Tatp {
+            subscribers: 10_000,
+        }
     }
 }
 
@@ -53,7 +55,14 @@ impl Workload for Tatp {
         )?;
         let n = self.subscribers;
         insert_batch(db, "tatp_subscriber", n, |i| {
-            format!("({i}, '{:015}', {}, {}, {}, {})", i, i % 2, i % 16, i % 256, i * 31 % 65536)
+            format!(
+                "({i}, '{:015}', {}, {}, {}, {})",
+                i,
+                i % 2,
+                i % 16,
+                i % 256,
+                i * 31 % 65536
+            )
         })?;
         // 1-4 access-info rows per subscriber (deterministic 2.5 avg).
         insert_batch(db, "tatp_access_info", n * 2, |k| {
@@ -64,7 +73,11 @@ impl Workload for Tatp {
         insert_batch(db, "tatp_special_facility", n * 2, |k| {
             let s = k / 2;
             let sf = 1 + (k % 2) * 2;
-            format!("({s}, {sf}, {}, 0, {}, 'fghij')", (k % 10 != 0) as i32, k % 256)
+            format!(
+                "({s}, {sf}, {}, 0, {}, 'fghij')",
+                (k % 10 != 0) as i32,
+                k % 256
+            )
         })?;
         // Call forwarding for ~half the special facilities.
         insert_batch(db, "tatp_call_forwarding", n, |k| {

@@ -10,8 +10,9 @@ use mb2_engine::Database;
 use crate::{insert_batch, Workload};
 
 /// The 10 TPC-C last-name syllables (clause 4.3.2.3).
-const SYLLABLES: [&str; 10] =
-    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
 
 /// Compose a last name from a number in 0..=999.
 pub fn last_name(num: usize) -> String {
@@ -84,7 +85,9 @@ impl Workload for Tpcc {
     }
 
     fn load(&self, db: &Database) -> DbResult<()> {
-        db.execute("CREATE TABLE warehouse (w_id INT, w_name VARCHAR(10), w_tax FLOAT, w_ytd FLOAT)")?;
+        db.execute(
+            "CREATE TABLE warehouse (w_id INT, w_name VARCHAR(10), w_tax FLOAT, w_ytd FLOAT)",
+        )?;
         db.execute(
             "CREATE TABLE district (d_w_id INT, d_id INT, d_name VARCHAR(10), \
              d_tax FLOAT, d_ytd FLOAT, d_next_o_id INT)",
@@ -116,7 +119,9 @@ impl Workload for Tpcc {
         let w = self.warehouses;
         let d = self.districts_per_warehouse;
         let c = self.customers_per_district;
-        insert_batch(db, "warehouse", w, |i| format!("({i}, 'wh_{i}', 0.07, 0.0)"))?;
+        insert_batch(db, "warehouse", w, |i| {
+            format!("({i}, 'wh_{i}', 0.07, 0.0)")
+        })?;
         insert_batch(db, "district", w * d, |k| {
             format!("({}, {}, 'dist_{k}', 0.05, 0.0, {})", k / d, k % d, c)
         })?;
@@ -129,9 +134,16 @@ impl Workload for Tpcc {
                 last_name(cid % 1000),
             )
         })?;
-        insert_batch(db, "item", self.items, |i| format!("({i}, 'item_{i}', {}.5)", 1 + i % 99))?;
+        insert_batch(db, "item", self.items, |i| {
+            format!("({i}, 'item_{i}', {}.5)", 1 + i % 99)
+        })?;
         insert_batch(db, "stock", w * self.items, |k| {
-            format!("({}, {}, {}, 0, 0)", k / self.items, k % self.items, 50 + k % 50)
+            format!(
+                "({}, {}, {}, 0, 0)",
+                k / self.items,
+                k % self.items,
+                50 + k % 50
+            )
         })?;
         // Initial orders: one delivered order per customer.
         insert_batch(db, "orders", w * d * c, |k| {
@@ -164,7 +176,13 @@ impl Workload for Tpcc {
     }
 
     fn template_names(&self) -> Vec<&'static str> {
-        vec!["new_order", "payment", "order_status", "delivery", "stock_level"]
+        vec![
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        ]
     }
 
     fn sample_transaction(&self, template: &str, rng: &mut Prng) -> Vec<String> {
@@ -188,9 +206,7 @@ impl Workload for Tpcc {
                         "SELECT c_balance FROM customer \
                          WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
                     ),
-                    format!(
-                        "INSERT INTO orders VALUES ({w}, {d}, {o_id}, {c}, 1, 0, {ol_cnt})"
-                    ),
+                    format!("INSERT INTO orders VALUES ({w}, {d}, {o_id}, {c}, 1, 0, {ol_cnt})"),
                     format!("INSERT INTO new_order VALUES ({w}, {d}, {o_id})"),
                 ];
                 for line in 0..ol_cnt {
@@ -284,9 +300,7 @@ impl Workload for Tpcc {
                         "SELECT no_o_id FROM new_order \
                          WHERE no_w_id = {w} AND no_d_id = {d} ORDER BY no_o_id LIMIT 1"
                     ),
-                    format!(
-                        "DELETE FROM new_order WHERE no_w_id = {w} AND no_d_id = {d}"
-                    ),
+                    format!("DELETE FROM new_order WHERE no_w_id = {w} AND no_d_id = {d}"),
                     format!(
                         "UPDATE orders SET o_carrier_id = {carrier} \
                          WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {}",

@@ -16,7 +16,13 @@ use crate::{insert_batch, Workload};
 /// Day-number range covering the TPC-H 1992-1998 window.
 pub const MAX_DATE: usize = 2556;
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT", "5-LOW"];
 const FLAGS: [&str; 3] = ["A", "N", "R"];
 const STATUSES: [&str; 2] = ["F", "O"];
@@ -32,13 +38,19 @@ pub struct Tpch {
 
 impl Default for Tpch {
     fn default() -> Self {
-        Tpch { scale: 1.0, seed: 42 }
+        Tpch {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
 impl Tpch {
     pub fn with_scale(scale: f64) -> Tpch {
-        Tpch { scale, ..Tpch::default() }
+        Tpch {
+            scale,
+            ..Tpch::default()
+        }
     }
 
     fn rows(&self, base: usize) -> usize {
@@ -73,9 +85,7 @@ impl Workload for Tpch {
 
     fn load(&self, db: &Database) -> DbResult<()> {
         db.execute("CREATE TABLE region (r_regionkey INT, r_name VARCHAR(12))")?;
-        db.execute(
-            "CREATE TABLE nation (n_nationkey INT, n_name VARCHAR(16), n_regionkey INT)",
-        )?;
+        db.execute("CREATE TABLE nation (n_nationkey INT, n_name VARCHAR(16), n_regionkey INT)")?;
         db.execute(
             "CREATE TABLE supplier (s_suppkey INT, s_name VARCHAR(18), s_nationkey INT, \
              s_acctbal FLOAT)",
@@ -102,14 +112,21 @@ impl Workload for Tpch {
 
         let mut rng = Prng::new(self.seed);
         insert_batch(db, "region", 5, |i| format!("({i}, '{}')", REGIONS[i]))?;
-        insert_batch(db, "nation", 25, |i| format!("({i}, 'nation_{i}', {})", i % 5))?;
+        insert_batch(db, "nation", 25, |i| {
+            format!("({i}, 'nation_{i}', {})", i % 5)
+        })?;
         let suppliers = self.supplier_rows();
         insert_batch(db, "supplier", suppliers, |i| {
             format!("({i}, 'supp_{i}', {}, {}.5)", i % 25, i % 1000)
         })?;
         let customers = self.customer_rows();
         insert_batch(db, "h_customer", customers, |i| {
-            format!("({i}, 'cust_{i}', {}, {}.25, '{}')", i % 25, i % 5000, SEGMENTS[i % 5])
+            format!(
+                "({i}, 'cust_{i}', {}, {}.25, '{}')",
+                i % 25,
+                i % 5000,
+                SEGMENTS[i % 5]
+            )
         })?;
         let orders = self.orders_rows();
         {
@@ -151,10 +168,20 @@ impl Workload for Tpch {
         }
         let parts = self.part_rows();
         insert_batch(db, "part", parts, |i| {
-            format!("({i}, 'part_{i}', 'type_{}', {}.99)", i % 20, 900 + i % 1000)
+            format!(
+                "({i}, 'part_{i}', 'type_{}', {}.99)",
+                i % 20,
+                900 + i % 1000
+            )
         })?;
         insert_batch(db, "partsupp", parts * 4, |k| {
-            format!("({}, {}, {}, {}.5)", k / 4, k % suppliers, 100 + k % 900, 10 + k % 90)
+            format!(
+                "({}, {}, {}, {}.5)",
+                k / 4,
+                k % suppliers,
+                100 + k % 900,
+                10 + k % 90
+            )
         })?;
 
         db.execute("CREATE INDEX h_orders_pk ON h_orders (o_orderkey)")?;
@@ -309,7 +336,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tpch {
-        Tpch { scale: 0.02, seed: 9 }
+        Tpch {
+            scale: 0.02,
+            seed: 9,
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@ fn main() {
     println!("== TPC-H analytics explorer ==");
     let tpch = Tpch::with_scale(0.25);
     let db = Database::open();
-    println!("loading TPC-H at scale 0.25 ({} lineitem rows)...", tpch.lineitem_rows());
+    println!(
+        "loading TPC-H at scale 0.25 ({} lineitem rows)...",
+        tpch.lineitem_rows()
+    );
     tpch.load(&db).unwrap();
 
     let mut rng = Prng::new(7);
@@ -36,8 +39,7 @@ fn main() {
         for (mode, elapsed, rows) in &timings {
             println!("{mode:?}: {elapsed:.2?} ({rows} rows)");
         }
-        let speedup =
-            timings[0].1.as_secs_f64() / timings[1].1.as_secs_f64().max(1e-9);
+        let speedup = timings[0].1.as_secs_f64() / timings[1].1.as_secs_f64().max(1e-9);
         println!("compiled-mode speedup: {speedup:.2}x");
     }
 }

@@ -27,7 +27,11 @@ fn main() {
     let mut repo = run_execution_runners(&ExecutionRunnerConfig {
         max_rows: 4096,
         min_rows: 64,
-        measure: RunnerConfig { repetitions: 4, warmups: 2, ..RunnerConfig::default() },
+        measure: RunnerConfig {
+            repetitions: 4,
+            warmups: 2,
+            ..RunnerConfig::default()
+        },
         ..ExecutionRunnerConfig::default()
     })
     .expect("execution runners");
@@ -35,7 +39,11 @@ fn main() {
         run_util_runners(&UtilRunnerConfig {
             max_index_rows: 8192,
             build_threads: vec![1, 2, 4, 8],
-            measure: RunnerConfig { repetitions: 3, warmups: 0, ..RunnerConfig::default() },
+            measure: RunnerConfig {
+                repetitions: 3,
+                warmups: 0,
+                ..RunnerConfig::default()
+            },
             ..UtilRunnerConfig::default()
         })
         .expect("util runners"),
@@ -45,7 +53,11 @@ fn main() {
     let (models, _) = train_all(
         &repo,
         &TrainingConfig {
-            candidates: vec![Algorithm::Linear, Algorithm::RandomForest, Algorithm::GradientBoosting],
+            candidates: vec![
+                Algorithm::Linear,
+                Algorithm::RandomForest,
+                Algorithm::GradientBoosting,
+            ],
             ..TrainingConfig::default()
         },
     )
@@ -53,7 +65,11 @@ fn main() {
     let behavior = BehaviorModels::new(models, None);
 
     println!("[3/4] loading TPC-C without the customer last-name index...");
-    let tpcc = Tpcc { customer_last_name_index: false, customers_per_district: 400, ..Tpcc::default() };
+    let tpcc = Tpcc {
+        customer_last_name_index: false,
+        customers_per_district: 400,
+        ..Tpcc::default()
+    };
     let db = Database::open();
     tpcc.load(&db).unwrap();
 
@@ -85,7 +101,9 @@ fn main() {
             columns: vec!["c_w_id".into(), "c_d_id".into(), "c_last".into()],
             threads,
         };
-        let eval = planner.evaluate(&action, &forecast, 0, &db.knobs()).unwrap();
+        let eval = planner
+            .evaluate(&action, &forecast, 0, &db.knobs())
+            .unwrap();
         println!(
             "      {threads:>7} {:>11.1} ms {:>11.0} us {:>11.0} us {:>8.0}%",
             eval.action_duration_us / 1000.0,

@@ -21,7 +21,11 @@ fn main() {
     let runner_cfg = ExecutionRunnerConfig {
         max_rows: 4096,
         min_rows: 64,
-        measure: RunnerConfig { repetitions: 5, warmups: 2, ..RunnerConfig::default() },
+        measure: RunnerConfig {
+            repetitions: 5,
+            warmups: 2,
+            ..RunnerConfig::default()
+        },
         ..ExecutionRunnerConfig::default()
     };
     let repo = run_execution_runners(&runner_cfg).expect("runners");
@@ -39,7 +43,10 @@ fn main() {
     };
     let (models, report) = train_all(&repo, &training_cfg).expect("training");
     for (ou, alg, err, _) in &report.per_ou {
-        println!("      {ou:<18} -> {:<18} (validation rel-err {err:.3})", alg.name());
+        println!(
+            "      {ou:<18} -> {:<18} (validation rel-err {err:.3})",
+            alg.name()
+        );
     }
     println!(
         "      total: {:.1?} training time, {} KiB of models",
@@ -51,12 +58,14 @@ fn main() {
     // --- 3. Prediction vs reality --------------------------------------
     println!("[3/3] predicting unseen queries on an unseen dataset...");
     let db = Database::new(DatabaseConfig::bench()).unwrap();
-    db.execute("CREATE TABLE sensors (id INT, room INT, reading FLOAT)").unwrap();
+    db.execute("CREATE TABLE sensors (id INT, room INT, reading FLOAT)")
+        .unwrap();
     let mut batch = Vec::new();
     for i in 0..20_000 {
         batch.push(format!("({i}, {}, {}.5)", i % 40, i % 97));
         if batch.len() == 500 {
-            db.execute(&format!("INSERT INTO sensors VALUES {}", batch.join(", "))).unwrap();
+            db.execute(&format!("INSERT INTO sensors VALUES {}", batch.join(", ")))
+                .unwrap();
             batch.clear();
         }
     }

@@ -14,7 +14,11 @@ fn small_models() -> BehaviorModels {
     let cfg = ExecutionRunnerConfig {
         max_rows: 2048,
         min_rows: 128,
-        measure: RunnerConfig { repetitions: 4, warmups: 1, ..RunnerConfig::default() },
+        measure: RunnerConfig {
+            repetitions: 4,
+            warmups: 1,
+            ..RunnerConfig::default()
+        },
         ..ExecutionRunnerConfig::default()
     };
     let repo = run_execution_runners(&cfg).expect("runners");
@@ -42,11 +46,15 @@ fn pipeline_trains_and_extrapolates() {
 
     // An unseen dataset 20x larger than the training sweep.
     let db = Database::open();
-    db.execute("CREATE TABLE big (k INT, g INT, v FLOAT)").unwrap();
+    db.execute("CREATE TABLE big (k INT, g INT, v FLOAT)")
+        .unwrap();
     for chunk in (0..20_000i64).collect::<Vec<_>>().chunks(500) {
-        let vals: Vec<String> =
-            chunk.iter().map(|i| format!("({i}, {}, 1.5)", i % 50)).collect();
-        db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 1.5)", i % 50))
+            .collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", ")))
+            .unwrap();
     }
     db.execute("ANALYZE big").unwrap();
 
@@ -125,10 +133,13 @@ fn knob_feature_flows_into_predictions() {
     let db = Database::open();
     db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
     for i in 0..500 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7))
+            .unwrap();
     }
     db.execute("ANALYZE t").unwrap();
-    let plan = db.prepare("SELECT a * 2 + b, a - b FROM t WHERE a % 3 = 0").unwrap();
+    let plan = db
+        .prepare("SELECT a * 2 + b, a - b FROM t WHERE a % 3 = 0")
+        .unwrap();
     let knobs_i = mb2::engine::Knobs {
         execution_mode: ExecutionMode::Interpret,
         ..db.knobs()
@@ -141,8 +152,16 @@ fn knob_feature_flows_into_predictions() {
     let pc = behavior.predict_plan(&plan, &knobs_c);
     // Feature vectors must differ (mode flag), hence predictions may differ;
     // at minimum the translator encodes the knob.
-    let fi: Vec<f64> = pi.per_ou.iter().flat_map(|(i, _)| i.features.clone()).collect();
-    let fc: Vec<f64> = pc.per_ou.iter().flat_map(|(i, _)| i.features.clone()).collect();
+    let fi: Vec<f64> = pi
+        .per_ou
+        .iter()
+        .flat_map(|(i, _)| i.features.clone())
+        .collect();
+    let fc: Vec<f64> = pc
+        .per_ou
+        .iter()
+        .flat_map(|(i, _)| i.features.clone())
+        .collect();
     assert_ne!(fi, fc, "exec-mode knob must appear in OU features");
 }
 
@@ -160,6 +179,9 @@ fn tpch_queries_predictable() {
         let pred = behavior.predict_plan(&plan, &db.knobs());
         assert!(!pred.per_ou.is_empty(), "{name}: no OUs");
         assert!(pred.elapsed_us() >= 0.0);
-        assert!(!pred.total.has_non_finite(), "{name}: non-finite prediction");
+        assert!(
+            !pred.total.has_non_finite(),
+            "{name}: non-finite prediction"
+        );
     }
 }

@@ -13,7 +13,10 @@ use proptest::prelude::*;
 
 #[test]
 fn all_workloads_run_concurrently_without_corruption() {
-    let sb = SmallBank { accounts: 200, ..SmallBank::default() };
+    let sb = SmallBank {
+        accounts: 200,
+        ..SmallBank::default()
+    };
     let db = Arc::new(Database::open());
     sb.load(&db).unwrap();
     let initial: f64 = total_balance(&db);
@@ -36,15 +39,16 @@ fn all_workloads_run_concurrently_without_corruption() {
     // matter how transactions interleave or abort.
     let after = total_balance(&db);
     assert!(after.is_finite());
-    assert!((after - initial).abs() < 1e-6, "balances must be preserved: {initial} -> {after}");
+    assert!(
+        (after - initial).abs() < 1e-6,
+        "balances must be preserved: {initial} -> {after}"
+    );
     let r = db.execute("SELECT COUNT(*) FROM sb_checking").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(200));
 }
 
 fn total_balance(db: &Database) -> f64 {
-    let r = db
-        .execute("SELECT SUM(bal) FROM sb_checking")
-        .unwrap();
+    let r = db.execute("SELECT SUM(bal) FROM sb_checking").unwrap();
     let c = r.rows[0][0].as_f64().unwrap();
     let r = db.execute("SELECT SUM(bal) FROM sb_savings").unwrap();
     c + r.rows[0][0].as_f64().unwrap()

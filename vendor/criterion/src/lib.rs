@@ -1,0 +1,196 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors the slice of `criterion` its benches use: `Criterion`,
+//! `benchmark_group` (with `measurement_time`/`sample_size`), `Bencher::iter`
+//! and `iter_batched`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs a warmup, then samples for (a scaled-down fraction of)
+//! the configured measurement time and prints mean iteration latency. There
+//! is no statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. All variants behave identically
+/// here: setup runs outside the timed section for every batch of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 50,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, Duration::from_secs(1), 50, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.measurement_time, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, samples: usize, f: &mut F) {
+    // The vendored harness targets CI smoke timing, not statistics: cap the
+    // budget well below criterion's defaults so `cargo bench` stays fast.
+    let budget = measurement.min(Duration::from_millis(500));
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        budget,
+        max_samples: samples,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let mean = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!(
+            "bench {name:<40} {:>12.0} ns/iter ({} iters)",
+            mean, bencher.iters
+        );
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warmup iteration.
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget && (self.iters as usize) < self.max_samples * 100 {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        while start.elapsed() < self.budget && (self.iters as usize) < self.max_samples * 100 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like `iter_batched` but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut i| routine(&mut i), _size);
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| v.into_iter().sum::<i32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
