@@ -1,6 +1,6 @@
 //! Baseline models the paper compares MB2 against (§8.3 / §9).
 //!
-//! * [`qppnet`] — a QPPNet-style [40] tree-structured neural network: one
+//! * [`qppnet`] — a QPPNet-style \[40\] tree-structured neural network: one
 //!   neural unit per plan-operator type; each unit consumes its operator's
 //!   features plus its children's output vectors and emits a latency plus a
 //!   hidden "data vector" for its parent. Trained end-to-end per plan tree

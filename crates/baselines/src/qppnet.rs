@@ -1,4 +1,4 @@
-//! QPPNet-style plan-structured neural network [40].
+//! QPPNet-style plan-structured neural network \[40\].
 //!
 //! One MLP ("neural unit") per operator type. A unit's input is its
 //! operator's plan features concatenated with its children's output vectors

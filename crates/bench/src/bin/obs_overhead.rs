@@ -1,0 +1,6 @@
+//! Measures runtime-metrics overhead; see `mb2_bench::experiments::obs_overhead`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::obs_overhead::run(scale);
+    mb2_bench::report::emit("obs_overhead", &report);
+}

@@ -9,6 +9,7 @@ fn main() {
     let scale = Scale::from_env();
     let suite: &[Experiment] = &[
         ("table02_overhead", experiments::table02_overhead::run),
+        ("obs_overhead", experiments::obs_overhead::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
         (

@@ -11,6 +11,7 @@ pub mod fig09a_update;
 pub mod fig09b_noisy_card;
 pub mod fig10_hardware;
 pub mod fig11_end_to_end;
+pub mod obs_overhead;
 pub mod table02_overhead;
 
 pub mod common;

@@ -1,7 +1,7 @@
 //! Workload forecasts (paper §3, assumption 1).
 //!
 //! MB2 consumes forecasted arrival rates per query template per fixed
-//! interval from an external forecasting system [37]. The paper's
+//! interval from an external forecasting system \[37\]. The paper's
 //! evaluation assumes a perfect forecast to isolate modeling error (§8.7);
 //! this type carries exactly that information.
 

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use mb2_common::{FaultInjector, HardwareProfile};
 use mb2_exec::ExecutionMode;
+use mb2_obs::MetricsRegistry;
 
 /// Startup configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +33,13 @@ pub struct DatabaseConfig {
     pub wal_faults: Option<Arc<FaultInjector>>,
     /// Run the garbage collector on a background thread at this interval.
     pub gc_interval: Option<Duration>,
+    /// Metrics registry every subsystem publishes into. `None` creates a
+    /// fresh registry per database; pass a shared one to scrape several
+    /// databases (or external components) together.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Initial state of the registry's enable switch (span timing). Counters
+    /// stay live either way; see `MetricsRegistry::set_enabled`.
+    pub metrics_enabled: bool,
     /// Initial knob values.
     pub knobs: Knobs,
 }
@@ -48,6 +56,8 @@ impl Default for DatabaseConfig {
             wal_retry_backoff: Duration::from_millis(1),
             wal_faults: None,
             gc_interval: None,
+            metrics: None,
+            metrics_enabled: true,
             knobs: Knobs::default(),
         }
     }

@@ -6,12 +6,15 @@ use parking_lot::RwLock;
 
 use mb2_catalog::Catalog;
 use mb2_common::{Column, DbError, DbResult, Schema};
-use mb2_exec::{execute, ExecContext, ExecutionMode, OuRecorder, QueryResult};
+use mb2_exec::{execute, ExecContext, ExecutionMode, ObsRecorder, OuRecorder, QueryResult};
+use mb2_index::IndexObs;
+use mb2_obs::MetricsRegistry;
 use mb2_sql::{parse, PlanNode, Planner, Statement};
 use mb2_txn::{GarbageCollector, Transaction, TxnManager};
 use mb2_wal::{LogManager, LogManagerConfig, LogRecord, LoggedColumn};
 
 use crate::config::{DatabaseConfig, Knobs};
+use crate::metrics::{classify, EngineMetrics, StatementKind};
 use crate::session::Session;
 
 /// An embedded in-memory DBMS instance.
@@ -21,10 +24,19 @@ pub struct Database {
     gc: Arc<GarbageCollector>,
     wal: Option<Arc<LogManager>>,
     knobs: RwLock<Knobs>,
+    metrics: Arc<MetricsRegistry>,
+    engine_metrics: EngineMetrics,
+    obs_recorder: Arc<ObsRecorder>,
+    index_obs: Arc<IndexObs>,
 }
 
 impl Database {
     pub fn new(config: DatabaseConfig) -> DbResult<Database> {
+        let metrics = config
+            .metrics
+            .clone()
+            .unwrap_or_else(MetricsRegistry::shared);
+        metrics.set_enabled(config.metrics_enabled);
         let wal = if config.wal_enabled {
             Some(Arc::new(LogManager::new(LogManagerConfig {
                 path: config.wal_path.clone(),
@@ -35,12 +47,13 @@ impl Database {
                 max_flush_retries: config.wal_flush_retries,
                 retry_backoff: config.wal_retry_backoff,
                 faults: config.wal_faults.clone(),
+                metrics: Some(metrics.clone()),
             })?))
         } else {
             None
         };
-        let txns = TxnManager::new(wal.clone());
-        let gc = GarbageCollector::new(txns.clone());
+        let txns = TxnManager::with_metrics(wal.clone(), &metrics);
+        let gc = GarbageCollector::with_metrics(txns.clone(), &metrics);
         if let Some(interval) = config.gc_interval {
             gc.start_background(interval);
         }
@@ -50,6 +63,10 @@ impl Database {
             gc,
             wal,
             knobs: RwLock::new(config.knobs),
+            engine_metrics: EngineMetrics::new(&metrics),
+            obs_recorder: ObsRecorder::new(&metrics),
+            index_obs: IndexObs::new(&metrics),
+            metrics,
         })
     }
 
@@ -72,6 +89,40 @@ impl Database {
 
     pub fn wal(&self) -> Option<&Arc<LogManager>> {
         self.wal.as_ref()
+    }
+
+    /// The registry every subsystem of this database publishes into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Render all metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.prometheus_text()
+    }
+
+    /// Render all metrics as a JSON snapshot.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.json_snapshot()
+    }
+
+    /// Flip the registry's enable switch ("turn off the tracker"): `false`
+    /// stops span clock reads; counters and histogram handles stay live.
+    pub fn set_metrics_enabled(&self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+    }
+
+    /// An [`OuRecorder`] that folds per-OU measurements into this database's
+    /// registry. Pass it to `execute_recorded` to populate the
+    /// `mb2_ou_elapsed_us{ou=...}` runtime histograms.
+    pub fn obs_recorder(&self) -> &Arc<ObsRecorder> {
+        &self.obs_recorder
+    }
+
+    /// Latch/build instrumentation shared by every index this database
+    /// creates.
+    pub fn index_obs(&self) -> &Arc<IndexObs> {
+        &self.index_obs
     }
 
     pub fn knobs(&self) -> Knobs {
@@ -125,6 +176,7 @@ impl Database {
 
     /// Open a session (supports BEGIN/COMMIT/ROLLBACK statements).
     pub fn session(&self) -> Session<'_> {
+        self.engine_metrics.sessions.inc();
         Session::new(self)
     }
 
@@ -147,8 +199,22 @@ impl Database {
         recorder: Option<&dyn OuRecorder>,
     ) -> DbResult<QueryResult> {
         let stmt = parse(sql)?;
-        if let Some(result) = self.try_handle_ddl(&stmt)? {
-            return Ok(result);
+        let ddl_series = self.engine_metrics.stmt(StatementKind::Ddl);
+        let ddl_span = self.metrics.span();
+        match self.try_handle_ddl(&stmt) {
+            Ok(Some(result)) => {
+                ddl_series.count.inc();
+                ddl_span.observe(&ddl_series.latency_us);
+                return Ok(result);
+            }
+            Ok(None) => {}
+            // `try_handle_ddl` only fails inside a DDL arm, so the error
+            // belongs to the `ddl` kind.
+            Err(e) => {
+                ddl_series.count.inc();
+                ddl_series.errors.inc();
+                return Err(e);
+            }
         }
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Plan(
@@ -199,6 +265,25 @@ impl Database {
         txn: &mut Transaction,
         recorder: Option<&dyn OuRecorder>,
     ) -> DbResult<QueryResult> {
+        let series = self.engine_metrics.stmt(classify(plan));
+        series.count.inc();
+        let span = self.metrics.span();
+        let result = self.execute_plan_inner(plan, txn, recorder);
+        match &result {
+            Ok(_) => {
+                span.observe(&series.latency_us);
+            }
+            Err(_) => series.errors.inc(),
+        }
+        result
+    }
+
+    fn execute_plan_inner(
+        &self,
+        plan: &PlanNode,
+        txn: &mut Transaction,
+        recorder: Option<&dyn OuRecorder>,
+    ) -> DbResult<QueryResult> {
         let knobs = self.knobs();
         let mut ctx = ExecContext {
             catalog: &self.catalog,
@@ -207,6 +292,7 @@ impl Database {
             recorder,
             hw: knobs.hw,
             jht_sleep_every: knobs.jht_sleep_every,
+            index_obs: Some(self.index_obs.clone()),
         };
         // Index builds must be loggable before we spend the work building
         // them; a poisoned WAL rejects the DDL up front.

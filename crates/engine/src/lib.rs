@@ -8,6 +8,7 @@
 
 pub mod config;
 pub mod database;
+pub(crate) mod metrics;
 pub mod recovery;
 pub mod session;
 
@@ -21,6 +22,7 @@ pub use session::Session;
 pub use mb2_catalog as catalog;
 pub use mb2_exec as exec;
 pub use mb2_index as index;
+pub use mb2_obs as obs;
 pub use mb2_sql as sql;
 pub use mb2_storage as storage;
 pub use mb2_txn as txn;

@@ -53,18 +53,8 @@ fn transient_fsync_failure_is_retried_transparently() {
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     assert!(!db.is_read_only());
     let stats = db.wal().unwrap().stats();
-    assert_eq!(
-        stats
-            .flush_errors
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
-    assert_eq!(
-        stats
-            .flush_retries
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(stats.flush_errors.get(), 1);
+    assert_eq!(stats.flush_retries.get(), 1);
     assert!(stats.last_error().unwrap().contains("wal.fsync"));
     drop(db);
 

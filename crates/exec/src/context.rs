@@ -1,7 +1,10 @@
 //! Execution context: catalog, transaction, knobs, and tracking hooks.
 
+use std::sync::Arc;
+
 use mb2_catalog::Catalog;
 use mb2_common::HardwareProfile;
+use mb2_index::IndexObs;
 use mb2_txn::Transaction;
 
 use crate::tracker::OuRecorder;
@@ -38,6 +41,9 @@ pub struct ExecContext<'a> {
     /// sleep 1µs after every `n` tuples inserted into a join hash table
     /// (`0` disables the injected regression).
     pub jht_sleep_every: usize,
+    /// Latch/build instrumentation attached to indexes created by this
+    /// context; `None` leaves new indexes uninstrumented.
+    pub index_obs: Option<Arc<IndexObs>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -49,6 +55,7 @@ impl<'a> ExecContext<'a> {
             recorder: None,
             hw: HardwareProfile::default(),
             jht_sleep_every: 0,
+            index_obs: None,
         }
     }
 
@@ -64,6 +71,11 @@ impl<'a> ExecContext<'a> {
 
     pub fn with_hw(mut self, hw: HardwareProfile) -> ExecContext<'a> {
         self.hw = hw;
+        self
+    }
+
+    pub fn with_index_obs(mut self, obs: Arc<IndexObs>) -> ExecContext<'a> {
+        self.index_obs = Some(obs);
         self
     }
 }

@@ -15,9 +15,11 @@
 pub mod compile;
 pub mod context;
 pub mod executor;
+pub mod obs;
 pub mod ops;
 pub mod tracker;
 
 pub use context::{ExecContext, ExecutionMode};
 pub use executor::{execute, subtree_size, QueryResult};
+pub use obs::ObsRecorder;
 pub use tracker::{OuRecorder, OuTracker};

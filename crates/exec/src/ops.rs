@@ -765,8 +765,13 @@ pub fn create_index(
     } else {
         Box::new(|| {})
     };
-    let report = mb2_index::parallel_build(entries, threads, pace.as_ref());
-    let index = mb2_index::Index::new(index_name, columns.to_vec());
+    let report = mb2_index::parallel_build_observed(
+        entries,
+        threads,
+        pace.as_ref(),
+        ctx.index_obs.as_deref(),
+    );
+    let index = mb2_index::Index::with_obs(index_name, columns.to_vec(), ctx.index_obs.clone());
     index.replace_tree(report.tree);
     let tree_bytes = index.approx_bytes() as u64;
     entry.add_index(std::sync::Arc::new(index))?;

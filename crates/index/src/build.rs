@@ -13,6 +13,7 @@ use std::time::Instant;
 use mb2_common::Value;
 
 use crate::btree::BPlusTree;
+use crate::obs::IndexObs;
 
 /// Outcome of a parallel build.
 pub struct BuildReport<V> {
@@ -64,8 +65,28 @@ pub fn parallel_build<V: Clone + Send>(
     threads: usize,
     pace: &(dyn Fn() + Sync),
 ) -> BuildReport<V> {
+    parallel_build_observed(entries, threads, pace, None)
+}
+
+/// How often the merge loop publishes progress into
+/// [`IndexObs::build_entries`]. A batch keeps the per-entry cost at one
+/// branch + one addition.
+const PROGRESS_BATCH: usize = 1024;
+
+/// [`parallel_build`] with optional instrumentation: per-phase latency,
+/// completed-build and in-progress counts, and live entry progress
+/// published every 1024 merged entries.
+pub fn parallel_build_observed<V: Clone + Send>(
+    entries: Vec<(Vec<Value>, V)>,
+    threads: usize,
+    pace: &(dyn Fn() + Sync),
+    obs: Option<&IndexObs>,
+) -> BuildReport<V> {
     let threads = threads.max(1);
     let tuples = entries.len();
+    if let Some(obs) = obs {
+        obs.builds_in_progress.inc();
+    }
     let sort_started = Instant::now();
 
     // Partition into contiguous chunks and sort each in its own thread.
@@ -98,9 +119,13 @@ pub fn parallel_build<V: Clone + Send>(
             .collect()
     });
     let sort_time = sort_started.elapsed();
+    if let Some(obs) = obs {
+        obs.build_sort_us.record_duration(sort_time);
+    }
 
     // K-way merge into one sorted vector, then bulk-load.
     let merge_started = Instant::now();
+    let mut since_progress = 0usize;
     let mut heads: Vec<std::vec::IntoIter<(Vec<Value>, V)>> =
         sorted.into_iter().map(Vec::into_iter).collect();
     let mut heap = BinaryHeap::with_capacity(heads.len());
@@ -112,6 +137,13 @@ pub fn parallel_build<V: Clone + Send>(
     let mut merged: Vec<(Vec<Value>, V)> = Vec::with_capacity(tuples);
     while let Some(HeapItem { entry, source }) = heap.pop() {
         merged.push(entry);
+        if let Some(obs) = obs {
+            since_progress += 1;
+            if since_progress == PROGRESS_BATCH {
+                obs.build_entries.add(PROGRESS_BATCH as u64);
+                since_progress = 0;
+            }
+        }
         if let Some(next) = heads[source].next() {
             heap.push(HeapItem {
                 entry: next,
@@ -121,6 +153,12 @@ pub fn parallel_build<V: Clone + Send>(
     }
     let tree = BPlusTree::bulk_load(merged);
     let merge_time = merge_started.elapsed();
+    if let Some(obs) = obs {
+        obs.build_entries.add(since_progress as u64);
+        obs.build_merge_us.record_duration(merge_time);
+        obs.builds.inc();
+        obs.builds_in_progress.dec();
+    }
 
     BuildReport {
         tree,

@@ -11,11 +11,15 @@
 
 pub mod btree;
 pub mod build;
+pub mod obs;
 
 pub use btree::BPlusTree;
-pub use build::{parallel_build, BuildReport};
+pub use build::{parallel_build, parallel_build_observed, BuildReport};
+pub use obs::IndexObs;
 
-use parking_lot::RwLock;
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockWriteGuard};
 
 use mb2_common::Value;
 
@@ -25,6 +29,8 @@ pub struct Index<V: Clone> {
     /// Column positions (in the base table) forming the key.
     pub key_columns: Vec<usize>,
     tree: RwLock<BPlusTree<V>>,
+    /// Latch instrumentation; `None` means uninstrumented (zero overhead).
+    obs: Option<Arc<IndexObs>>,
 }
 
 impl<V: Clone> Index<V> {
@@ -33,7 +39,36 @@ impl<V: Clone> Index<V> {
             name: name.into(),
             key_columns,
             tree: RwLock::new(BPlusTree::new()),
+            obs: None,
         }
+    }
+
+    /// Like [`Index::new`], but counting write-latch acquisitions and
+    /// contention into `obs`.
+    pub fn with_obs(
+        name: impl Into<String>,
+        key_columns: Vec<usize>,
+        obs: Option<Arc<IndexObs>>,
+    ) -> Index<V> {
+        Index {
+            name: name.into(),
+            key_columns,
+            tree: RwLock::new(BPlusTree::new()),
+            obs,
+        }
+    }
+
+    /// Take the write latch, counting the acquisition — and, when the latch
+    /// is already held, the contention — into `obs`.
+    fn write_tree(&self) -> RwLockWriteGuard<'_, BPlusTree<V>> {
+        if let Some(obs) = &self.obs {
+            obs.latch_acquires.inc();
+            match self.tree.try_write() {
+                Some(guard) => return guard,
+                None => obs.latch_contended.inc(),
+            }
+        }
+        self.tree.write()
     }
 
     /// Extract this index's key from a full base-table tuple.
@@ -42,11 +77,11 @@ impl<V: Clone> Index<V> {
     }
 
     pub fn insert(&self, key: Vec<Value>, value: V) {
-        self.tree.write().insert(key, value);
+        self.write_tree().insert(key, value);
     }
 
     pub fn remove(&self, key: &[Value], pred: impl Fn(&V) -> bool) -> usize {
-        self.tree.write().remove(key, pred)
+        self.write_tree().remove(key, pred)
     }
 
     /// All values for an exact key.
@@ -76,7 +111,7 @@ impl<V: Clone> Index<V> {
 
     /// Replace the tree wholesale (bulk build).
     pub fn replace_tree(&self, tree: BPlusTree<V>) {
-        *self.tree.write() = tree;
+        *self.write_tree() = tree;
     }
 
     /// Approximate memory footprint in bytes.

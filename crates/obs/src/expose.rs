@@ -1,0 +1,261 @@
+//! Exposition: Prometheus v0 text format and a JSON snapshot.
+//!
+//! Both formats are rendered from [`MetricsRegistry::snapshot`], so a scrape
+//! never holds the registry lock while formatting. Output order is
+//! deterministic (sorted by series key) — tests can assert on substrings and
+//! diffs between scrapes stay readable.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{MetricHandle, MetricsRegistry};
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+impl MetricsRegistry {
+    /// Render every registered series in Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers once per family, then
+    /// one sample line per series. Histograms render as cumulative
+    /// `_bucket{le="..."}` samples (only non-empty buckets, plus the
+    /// mandatory `le="+Inf"`), `_sum`, and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for m in self.snapshot() {
+            if last_family.as_deref() != Some(m.family.as_str()) {
+                let kind = match m.handle {
+                    MetricHandle::Counter(_) => "counter",
+                    MetricHandle::Gauge(_) => "gauge",
+                    MetricHandle::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", m.family, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.family, kind);
+                last_family = Some(m.family.clone());
+            }
+            match &m.handle {
+                MetricHandle::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.family,
+                        render_labels(&m.labels, None),
+                        c.get()
+                    );
+                }
+                MetricHandle::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.family,
+                        render_labels(&m.labels, None),
+                        g.get()
+                    );
+                }
+                MetricHandle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (upper, cum) in snap.cumulative_buckets() {
+                        let le = upper.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.family,
+                            render_labels(&m.labels, Some(("le", &le))),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.family,
+                        render_labels(&m.labels, Some(("le", "+Inf"))),
+                        snap.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.family,
+                        render_labels(&m.labels, None),
+                        snap.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.family,
+                        render_labels(&m.labels, None),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render every registered series as a JSON array. Counters and gauges
+    /// carry `value`; histograms carry summary stats and the common
+    /// quantiles instead of raw buckets (dashboards want p50/p95/p99, not
+    /// 1920 numbers).
+    pub fn json_snapshot(&self) -> String {
+        let mut entries = Vec::new();
+        for m in self.snapshot() {
+            let family = escape_json(&m.family);
+            let labels = json_labels(&m.labels);
+            let entry = match &m.handle {
+                MetricHandle::Counter(c) => format!(
+                    "{{\"name\":\"{family}\",\"type\":\"counter\",\"labels\":{labels},\"value\":{}}}",
+                    c.get()
+                ),
+                MetricHandle::Gauge(g) => format!(
+                    "{{\"name\":\"{family}\",\"type\":\"gauge\",\"labels\":{labels},\"value\":{}}}",
+                    g.get()
+                ),
+                MetricHandle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    format!(
+                        "{{\"name\":\"{family}\",\"type\":\"histogram\",\"labels\":{labels},\
+                         \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+                         \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        snap.count,
+                        snap.sum,
+                        if snap.is_empty() { 0 } else { snap.min },
+                        snap.max,
+                        snap.mean(),
+                        snap.quantile(0.5),
+                        snap.quantile(0.95),
+                        snap.quantile(0.99),
+                    )
+                }
+            };
+            entries.push(entry);
+        }
+        format!("[{}]", entries.join(","))
+    }
+}
+
+/// Format a one-line human summary of a histogram snapshot (used by bench
+/// reports).
+pub fn summarize(snap: &HistogramSnapshot) -> String {
+    if snap.is_empty() {
+        return "count=0".to_string();
+    }
+    format!(
+        "count={} mean={:.1} p50={} p95={} p99={} max={}",
+        snap.count,
+        snap.mean(),
+        snap.quantile(0.5),
+        snap.quantile(0.95),
+        snap.quantile(0.99),
+        snap.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_counter_and_gauge() {
+        let r = MetricsRegistry::new();
+        r.counter("mb2_a_total", "Counts a.").add(7);
+        r.gauge("mb2_b", "Gauges b.").set(-3);
+        let text = r.prometheus_text();
+        assert!(text.contains("# HELP mb2_a_total Counts a."));
+        assert!(text.contains("# TYPE mb2_a_total counter"));
+        assert!(text.contains("mb2_a_total 7"));
+        assert!(text.contains("# TYPE mb2_b gauge"));
+        assert!(text.contains("mb2_b -3"));
+    }
+
+    #[test]
+    fn prometheus_labeled_series_share_one_header() {
+        let r = MetricsRegistry::new();
+        r.counter_with("mb2_stmt_total", &[("kind", "insert")], "Statements.")
+            .inc();
+        r.counter_with("mb2_stmt_total", &[("kind", "select")], "Statements.")
+            .add(2);
+        let text = r.prometheus_text();
+        assert_eq!(text.matches("# TYPE mb2_stmt_total counter").count(), 1);
+        assert!(text.contains("mb2_stmt_total{kind=\"insert\"} 1"));
+        assert!(text.contains("mb2_stmt_total{kind=\"select\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_histogram_shape() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("mb2_lat_us", "Latency.");
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE mb2_lat_us histogram"));
+        assert!(text.contains("mb2_lat_us_bucket{le=\"5\"} 2"));
+        assert!(text.contains("mb2_lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("mb2_lat_us_sum 110"));
+        assert!(text.contains("mb2_lat_us_count 3"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("mb2_c_total", "C.").inc();
+        r.histogram("mb2_h_us", "H.").record(42);
+        let json = r.json_snapshot();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"mb2_c_total\""));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter_with("mb2_esc_total", &[("q", "say \"hi\"")], "Esc.")
+            .inc();
+        let text = r.prometheus_text();
+        assert!(text.contains("q=\"say \\\"hi\\\"\""));
+    }
+}

@@ -1,0 +1,366 @@
+//! Log-linear (HDR-style) latency/size histograms.
+//!
+//! Values are non-negative integers (microseconds, bytes, tuples). The
+//! bucket layout is *log-linear*: below `2^P` (with `P =`
+//! [`HISTOGRAM_PRECISION_BITS`]) every value has its own bucket; above, each
+//! power-of-two segment is split into `2^P` equal sub-buckets. Recording is
+//! one atomic add; the worst-case relative error of any reported quantile is
+//! bounded by `2^-P` (3.2% at the default `P = 5`).
+//!
+//! Every histogram shares the same fixed shape, so **merge** is element-wise
+//! bucket addition — associative and commutative, which is what lets
+//! per-shard or per-epoch histograms be combined into fleet-wide views (and
+//! what the property tests in `tests/histogram_props.rs` pin down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket precision bits `P`. Quantile relative error is bounded by
+/// `2^-P`.
+pub const HISTOGRAM_PRECISION_BITS: u32 = 5;
+
+const SUB_BUCKETS: u64 = 1 << HISTOGRAM_PRECISION_BITS;
+
+/// Total bucket count. Each of the `64 - P` power-of-two segments above
+/// `2^P` contributes `2^P` buckets, plus the `2^P` unit-width buckets below;
+/// the top bucket's upper bound is exactly `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize =
+    ((64 - HISTOGRAM_PRECISION_BITS + 1) << HISTOGRAM_PRECISION_BITS) as usize;
+
+/// Bucket index for `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros(); // >= P
+    let shift = top - HISTOGRAM_PRECISION_BITS;
+    let segment = (shift + 1) as u64;
+    ((segment << HISTOGRAM_PRECISION_BITS) + (value >> shift) - SUB_BUCKETS) as usize
+}
+
+/// Smallest value mapping to bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let segment = i >> HISTOGRAM_PRECISION_BITS; // >= 1
+    let sub = i & (SUB_BUCKETS - 1);
+    (SUB_BUCKETS + sub) << (segment - 1)
+}
+
+/// Largest value mapping to bucket `index`.
+fn bucket_upper(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let segment = i >> HISTOGRAM_PRECISION_BITS;
+    // Width minus one first: the top bucket's upper bound is exactly
+    // `u64::MAX`, so `lower + width` would overflow.
+    bucket_lower(index) + ((1u64 << (segment - 1)) - 1)
+}
+
+/// A fixed-shape concurrent histogram. `record` is wait-free (atomic adds);
+/// `snapshot` walks the bucket array.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of the same value.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Fold another histogram into this one (element-wise bucket addition).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate over the live buckets; see
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the bucket array and summary stats.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plain (non-atomic) copy of a histogram: what scrapes, merges-for-report
+/// and the property tests operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    /// `0` when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the maximum recorded value. Returns 0 for an empty
+    /// histogram. Monotone in `q`, and within `2^-P` relative error of the
+    /// true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge two snapshots (element-wise). Associative and commutative.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            // Wrapping, to match the atomic `fetch_add` in `record_n`.
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs — the
+    /// shape Prometheus exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
+    /// Inclusive value bounds of the bucket `value` falls into — the
+    /// guarantee `record(v)` makes about where `v` is counted.
+    pub fn bucket_bounds(value: u64) -> (u64, u64) {
+        let i = bucket_index(value);
+        (bucket_lower(i), bucket_upper(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_ordered() {
+        // Every bucket's lower bound is exactly the previous upper + 1.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_upper(i - 1) + 1,
+                "gap/overlap at bucket {i}"
+            );
+        }
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn values_map_into_their_bucket_bounds() {
+        for shift in 0..64 {
+            for delta in [0u64, 1, 2, 3] {
+                let v = (1u64 << shift).saturating_add(delta);
+                let i = bucket_index(v);
+                assert!(
+                    bucket_lower(i) <= v && v <= bucket_upper(i),
+                    "value {v} outside bucket {i} [{}, {}]",
+                    bucket_lower(i),
+                    bucket_upper(i)
+                );
+            }
+        }
+        assert!(bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(snap.counts[v as usize], 1);
+        }
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3u64, 700, 12_345, 1 << 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [9u64, 700, 1 << 20] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn record_duration_uses_microseconds() {
+        let h = Histogram::new();
+        h.record_duration(std::time::Duration::from_millis(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 3000);
+        assert_eq!(snap.count, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Runtime observability for the MB2 engine.
+//!
+//! MB2's premise is that a self-driving DBMS can observe itself cheaply —
+//! the paper's Table 2 reports training-data collection at <1% runtime
+//! overhead, and §6.1's resource tracker is the primitive the whole
+//! framework learns from. The per-OU [`OuTracker`] path covers *training*;
+//! this crate covers *runtime*: a system-wide [`MetricsRegistry`] every
+//! subsystem (WAL, transactions, GC, indexes, the executor) publishes into,
+//! scrapeable as Prometheus v0 text or a JSON snapshot from
+//! `Database::metrics_prometheus` / `Database::metrics_json`.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Hot-path cost near zero.** Counters are sharded over cache-padded
+//!    atomics (no lock, no false sharing under multi-thread increment);
+//!    histograms are one atomic add into a fixed-size bucket array; span
+//!    timers collapse to a single relaxed load when the registry is
+//!    disabled (the paper's "turn off the tracker" mode).
+//! 2. **Mergeable, quantile-capable histograms.** [`Histogram`] uses a
+//!    log-linear (HDR-style) bucket layout with a fixed shape, so merging
+//!    two histograms is element-wise addition and any quantile is
+//!    answerable to a bounded relative error (≤ 1/32 ≈ 3.2%).
+//! 3. **One registry, everywhere.** Subsystem stats structs (`WalStats`,
+//!    `TxnStats`, GC counters) hold handles into the registry rather than
+//!    parallel hand-rolled atomics, so a single scrape sees the whole
+//!    engine.
+//!
+//! [`OuTracker`]: https://docs.rs/mb2-exec
+//!
+//! # Example
+//!
+//! ```
+//! use mb2_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::shared();
+//! let requests = registry.counter("mb2_requests_total", "Requests served.");
+//! let latency = registry.histogram("mb2_request_latency_us", "Request latency (µs).");
+//!
+//! let span = registry.span();
+//! requests.inc();
+//! span.observe(&latency);
+//!
+//! let text = registry.prometheus_text();
+//! assert!(text.contains("mb2_requests_total 1"));
+//! ```
+
+pub mod counter;
+pub mod expose;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, HISTOGRAM_PRECISION_BITS};
+pub use registry::{MetricHandle, MetricSnapshot, MetricsRegistry};
+pub use span::SpanTimer;

@@ -1,0 +1,296 @@
+//! The metrics registry: named handles, idempotent registration, and the
+//! global enable switch.
+//!
+//! Subsystems register metrics once (at construction) and keep the returned
+//! `Arc` handle; the hot path touches only the handle's atomics, never the
+//! registry lock. Registering the same name (and labels) again returns the
+//! *same* handle, so two components describing the same series share it
+//! instead of clobbering each other. Registering a name under a different
+//! metric type is a programming error and panics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::span::SpanTimer;
+
+/// A typed handle stored in the registry.
+#[derive(Debug, Clone)]
+pub enum MetricHandle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl MetricHandle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    handle: MetricHandle,
+}
+
+/// One registered metric as seen by a scrape.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric family name (without labels), e.g. `mb2_txn_commits_total`.
+    pub family: String,
+    /// Label pairs in registration order (may be empty).
+    pub labels: Vec<(String, String)>,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Live handle (values read at exposition time).
+    pub handle: MetricHandle,
+}
+
+/// The system-wide metrics registry. Cheap to share (`Arc`), cheap to
+/// consult (`is_enabled` is one relaxed load).
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    metrics: RwLock<BTreeMap<String, Entry>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .field("metrics", &self.metrics.read().len())
+            .finish()
+    }
+}
+
+fn render_key(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let rendered: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{family}{{{}}}", rendered.join(","))
+}
+
+fn validate_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name '{name}' (use [a-zA-Z0-9_:])"
+    );
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: AtomicBool::new(true),
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A fresh registry behind an `Arc` (the shape every consumer wants).
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Whether span timing is on. Counters and histograms attached to
+    /// handles keep working regardless — the switch gates *clock reads*,
+    /// the expensive part of instrumentation.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn span timing on or off at runtime (the paper's
+    /// "turn off the tracker" mode).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// A timer that is live only while the registry is enabled.
+    #[inline]
+    pub fn span(&self) -> SpanTimer {
+        if self.is_enabled() {
+            SpanTimer::started()
+        } else {
+            SpanTimer::disabled()
+        }
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Register (or fetch) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.register(name, labels, help, || {
+            MetricHandle::Counter(Arc::new(Counter::new()))
+        }) {
+            MetricHandle::Counter(c) => c,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Register (or fetch) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, || {
+            MetricHandle::Gauge(Arc::new(Gauge::new()))
+        }) {
+            MetricHandle::Gauge(g) => g,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Register (or fetch) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self.register(name, labels, help, || {
+            MetricHandle::Histogram(Arc::new(Histogram::new()))
+        }) {
+            MetricHandle::Histogram(h) => h,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> MetricHandle,
+    ) -> MetricHandle {
+        validate_name(name);
+        let key = render_key(name, labels);
+        // Fast path: already registered.
+        if let Some(entry) = self.metrics.read().get(&key) {
+            return entry.handle.clone();
+        }
+        let mut metrics = self.metrics.write();
+        metrics
+            .entry(key)
+            .or_insert_with(|| Entry {
+                family: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                help: help.to_string(),
+                handle: make(),
+            })
+            .handle
+            .clone()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered series in stable (sorted-key) order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.metrics
+            .read()
+            .values()
+            .map(|e| MetricSnapshot {
+                family: e.family.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                handle: e.handle.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("mb2_test_total", "a test counter");
+        let b = r.counter("mb2_test_total", "a test counter");
+        a.inc();
+        assert_eq!(b.get(), 1, "same handle must be shared");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labels_create_distinct_series() {
+        let r = MetricsRegistry::new();
+        let sel = r.counter_with("mb2_stmt_total", &[("kind", "select")], "statements");
+        let ins = r.counter_with("mb2_stmt_total", &[("kind", "insert")], "statements");
+        sel.inc();
+        assert_eq!(ins.get(), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("mb2_conflict", "as counter");
+        r.gauge("mb2_conflict", "as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        MetricsRegistry::new().counter("has space", "nope");
+    }
+
+    #[test]
+    fn disable_kills_span_timing() {
+        let r = MetricsRegistry::new();
+        assert!(r.span().is_live());
+        r.set_enabled(false);
+        assert!(!r.span().is_live());
+        r.set_enabled(true);
+        assert!(r.span().is_live());
+    }
+}

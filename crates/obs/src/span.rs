@@ -1,0 +1,82 @@
+//! Span-style timing that is near-free when observability is off.
+//!
+//! A [`SpanTimer`] wraps the "read the clock twice, record the difference"
+//! pattern. When the owning registry is disabled (the paper's turn-off-the-
+//! tracker mode), [`MetricsRegistry::span`] hands out a dead timer: no
+//! `Instant::now()` call is made at either end, so the entire cost of an
+//! instrumented span collapses to one relaxed atomic load.
+//!
+//! [`MetricsRegistry::span`]: crate::registry::MetricsRegistry::span
+
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// An in-flight timed span. Obtain from [`MetricsRegistry::span`] (gated on
+/// the enable flag) or [`SpanTimer::started`] (always live).
+///
+/// [`MetricsRegistry::span`]: crate::registry::MetricsRegistry::span
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// A live timer: the clock is read now.
+    #[inline]
+    pub fn started() -> SpanTimer {
+        SpanTimer {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// A dead timer: both ends are no-ops.
+    #[inline]
+    pub fn disabled() -> SpanTimer {
+        SpanTimer { start: None }
+    }
+
+    /// Whether this timer is live.
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Close the span into `histogram` (elapsed microseconds). Returns the
+    /// recorded value, or `None` for a dead timer.
+    #[inline]
+    pub fn observe(self, histogram: &Histogram) -> Option<u64> {
+        let start = self.start?;
+        let us = start.elapsed().as_micros() as u64;
+        histogram.record(us);
+        Some(us)
+    }
+
+    /// Elapsed microseconds without recording (`None` for a dead timer).
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_span_records() {
+        let h = Histogram::new();
+        let t = SpanTimer::started();
+        assert!(t.is_live());
+        let v = t.observe(&h);
+        assert!(v.is_some());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn dead_span_is_a_noop() {
+        let h = Histogram::new();
+        let t = SpanTimer::disabled();
+        assert!(!t.is_live());
+        assert_eq!(t.observe(&h), None);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Concurrency stress: many threads hammering the same handles must never
+//! lose an update, and a scrape racing the writers must see sane values.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mb2_obs::MetricsRegistry;
+
+#[test]
+fn one_counter_many_threads_loses_nothing() {
+    const THREADS: usize = 16;
+    const PER_THREAD: u64 = 50_000;
+
+    let registry = MetricsRegistry::shared();
+    let counter = registry.counter("mb2_stress_total", "Stress counter.");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let c = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_under_concurrent_recording() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+
+    let registry = MetricsRegistry::shared();
+    let hist = registry.histogram("mb2_stress_us", "Stress histogram.");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = hist.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of magnitudes so many buckets are hit.
+                    h.record((i % 1000) * (t + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 999 * THREADS);
+}
+
+#[test]
+fn scrape_races_with_writers() {
+    let registry = MetricsRegistry::shared();
+    let counter = registry.counter("mb2_race_total", "Raced counter.");
+    let hist = registry.histogram("mb2_race_us", "Raced histogram.");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let c = counter.clone();
+            let h = hist.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    h.record(n % 4096);
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    // Under racing writers a scrape can't promise a consistent cut, but it
+    // must always render and counter reads must be monotone.
+    let mut last_count = 0u64;
+    for _ in 0..50 {
+        let text = registry.prometheus_text();
+        assert!(text.contains("mb2_race_total"));
+        let c = counter.get();
+        assert!(
+            c >= last_count,
+            "counter went backwards: {c} < {last_count}"
+        );
+        last_count = c;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(counter.get(), total);
+    assert_eq!(hist.count(), total);
+}
+
+#[test]
+fn registration_races_return_one_handle() {
+    let registry = MetricsRegistry::shared();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let r = registry.clone();
+            std::thread::spawn(move || {
+                let c = r.counter("mb2_reg_race_total", "Registered from many threads.");
+                c.inc();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(registry.len(), 1);
+    assert_eq!(
+        registry
+            .counter("mb2_reg_race_total", "Registered from many threads.")
+            .get(),
+        8
+    );
+}

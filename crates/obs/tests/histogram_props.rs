@@ -1,0 +1,130 @@
+//! Property tests for the log-linear histogram core.
+//!
+//! These pin down the three invariants everything downstream leans on:
+//! merge is associative (so per-shard / per-epoch histograms can be folded
+//! in any grouping), quantiles are monotone in `q`, and every recorded
+//! value lands in a bucket whose bounds contain it within the advertised
+//! `2^-P` relative error.
+
+use mb2_obs::{Histogram, HistogramSnapshot, HISTOGRAM_PRECISION_BITS};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spanning the full log range, not just small ints.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..1024, any::<u64>().prop_map(|v| v >> 32), any::<u64>(),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and both equal recording everything
+    /// into one histogram.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(value_strategy(), 0..40),
+        b in proptest::collection::vec(value_strategy(), 0..40),
+        c in proptest::collection::vec(value_strategy(), 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merged(&sb).merged(&sc);
+        let right = sa.merged(&sb.merged(&sc));
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// Merge is commutative: a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(value_strategy(), 0..60),
+        b in proptest::collection::vec(value_strategy(), 0..60),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa));
+    }
+
+    /// quantile(q) is non-decreasing in q, and pinned to [min-bucket, max].
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(value_strategy(), 1..80),
+        qs in proptest::collection::vec((0u64..1001).prop_map(|v| v as f64 / 1000.0), 2..10),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut prev = 0u64;
+        for &q in &sorted_qs {
+            let v = snap.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(snap.quantile(1.0), max);
+        prop_assert!(snap.quantile(0.0) <= max);
+    }
+
+    /// Every recorded value is inside the bounds of the bucket it counts
+    /// toward, and the bucket's relative width respects the 2^-P error
+    /// budget.
+    #[test]
+    fn recorded_values_stay_in_bounds(v in value_strategy()) {
+        let (lo, hi) = HistogramSnapshot::bucket_bounds(v);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        if lo > 0 {
+            let width = hi - lo;
+            let budget = lo >> HISTOGRAM_PRECISION_BITS;
+            prop_assert!(
+                width <= budget,
+                "bucket [{lo}, {hi}] wider than 2^-P of its lower bound"
+            );
+        }
+    }
+
+    /// count/sum/min/max agree with the raw data (sum saturates, but these
+    /// inputs stay far from overflow at <80 values).
+    #[test]
+    fn summary_stats_match_raw_data(
+        values in proptest::collection::vec(0u64..(1 << 40), 1..80),
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+
+    /// The quantile estimate is within 2^-P relative error of the true
+    /// (nearest-rank) quantile.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in proptest::collection::vec(1u64..(1 << 48), 1..60),
+        q in (1u64..101).prop_map(|v| v as f64 / 100.0),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        let truth = sorted[rank - 1] as f64;
+        let est = snap.quantile(q) as f64;
+        // The estimate is a bucket upper bound clamped to max, so it can
+        // only overshoot, and by at most the bucket width (2^-P relative).
+        prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+        let tolerance = truth / f64::from(1u32 << HISTOGRAM_PRECISION_BITS) + 1.0;
+        prop_assert!(
+            est - truth <= tolerance,
+            "estimate {est} overshoots true quantile {truth} by more than {tolerance}"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! Each table slot owns a [`VersionChain`]: a newest-first list of tuple
 //! versions. The chain implements snapshot-isolation visibility and
 //! first-updater-wins write-write conflict detection (NoisePage's MVCC
-//! protocol family [71]).
+//! protocol family \[71\]).
 
 use std::sync::Arc;
 

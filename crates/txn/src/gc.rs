@@ -2,13 +2,14 @@
 //! OU. Each invocation prunes version chains across all registered tables
 //! up to the transaction manager's watermark.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use mb2_obs::{Counter, Histogram, MetricsRegistry};
 use mb2_storage::Table;
 
 use crate::manager::TxnManager;
@@ -26,19 +27,41 @@ pub struct GcReport {
 pub struct GarbageCollector {
     txn_mgr: Arc<TxnManager>,
     tables: Mutex<Vec<Arc<Table>>>,
-    pub total_reclaimed: AtomicU64,
-    pub invocations: AtomicU64,
+    /// Versions reclaimed over the collector's lifetime
+    /// (`mb2_gc_versions_reclaimed_total`).
+    pub total_reclaimed: Arc<Counter>,
+    /// Collection passes run (`mb2_gc_invocations_total`).
+    pub invocations: Arc<Counter>,
+    /// Duration of one collection pass in microseconds (`mb2_gc_pause_us`).
+    pub pause_us: Arc<Histogram>,
     stop: Arc<AtomicBool>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl GarbageCollector {
     pub fn new(txn_mgr: Arc<TxnManager>) -> Arc<GarbageCollector> {
+        GarbageCollector::with_metrics(txn_mgr, &MetricsRegistry::new())
+    }
+
+    /// Like [`GarbageCollector::new`], but publishing counters and the pause
+    /// histogram into the given registry instead of a private one.
+    pub fn with_metrics(
+        txn_mgr: Arc<TxnManager>,
+        registry: &MetricsRegistry,
+    ) -> Arc<GarbageCollector> {
         Arc::new(GarbageCollector {
             txn_mgr,
             tables: Mutex::new(Vec::new()),
-            total_reclaimed: AtomicU64::new(0),
-            invocations: AtomicU64::new(0),
+            total_reclaimed: registry.counter(
+                "mb2_gc_versions_reclaimed_total",
+                "MVCC versions reclaimed by garbage collection.",
+            ),
+            invocations: registry
+                .counter("mb2_gc_invocations_total", "Garbage collection passes run."),
+            pause_us: registry.histogram(
+                "mb2_gc_pause_us",
+                "Duration of one garbage collection pass in microseconds.",
+            ),
             stop: Arc::new(AtomicBool::new(false)),
             worker: Mutex::new(None),
         })
@@ -60,13 +83,14 @@ impl GarbageCollector {
             scanned += table.num_slots();
             reclaimed += table.gc(watermark);
         }
-        self.total_reclaimed
-            .fetch_add(reclaimed as u64, Ordering::Relaxed);
-        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.total_reclaimed.add(reclaimed as u64);
+        self.invocations.inc();
+        let elapsed = started.elapsed();
+        self.pause_us.record_duration(elapsed);
         GcReport {
             versions_reclaimed: reclaimed,
             slots_scanned: scanned,
-            elapsed: started.elapsed(),
+            elapsed,
         }
     }
 
@@ -168,7 +192,7 @@ mod tests {
         gc.start_background(Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(20));
         gc.shutdown();
-        assert!(gc.invocations.load(Ordering::Relaxed) > 0);
+        assert!(gc.invocations.get() > 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 
 use mb2_common::types::Tuple;
 use mb2_common::{DbError, DbResult};
+use mb2_obs::{Counter, Gauge, MetricsRegistry};
 use mb2_storage::{SlotId, Table, Ts};
 use mb2_wal::{LogManager, LogRecord};
 
@@ -164,12 +165,34 @@ impl Drop for Transaction {
     }
 }
 
-/// Counters exported for the metrics collector (txn OUs).
-#[derive(Debug, Default)]
+/// Transaction lifecycle counters, registry-backed (`mb2_txn_*` families)
+/// so an engine scrape sees them alongside every other subsystem.
+#[derive(Debug)]
 pub struct TxnStats {
-    pub begins: AtomicU64,
-    pub commits: AtomicU64,
-    pub aborts: AtomicU64,
+    pub begins: Arc<Counter>,
+    pub commits: Arc<Counter>,
+    pub aborts: Arc<Counter>,
+    /// In-flight transactions right now.
+    pub active: Arc<Gauge>,
+}
+
+impl TxnStats {
+    pub fn new(registry: &MetricsRegistry) -> TxnStats {
+        TxnStats {
+            begins: registry.counter("mb2_txn_begins_total", "Transactions begun."),
+            commits: registry.counter("mb2_txn_commits_total", "Transactions committed."),
+            aborts: registry.counter("mb2_txn_aborts_total", "Transactions aborted."),
+            active: registry.gauge("mb2_txn_active", "In-flight transactions."),
+        }
+    }
+}
+
+impl Default for TxnStats {
+    /// A stats block backed by a private registry (unit tests, standalone
+    /// managers).
+    fn default() -> Self {
+        TxnStats::new(&MetricsRegistry::new())
+    }
 }
 
 /// The transaction manager: timestamp allocation plus the shared
@@ -195,6 +218,21 @@ impl TxnManager {
         })
     }
 
+    /// Like [`TxnManager::new`], but publishing lifecycle counters into the
+    /// given registry instead of a private one.
+    pub fn with_metrics(
+        wal: Option<Arc<LogManager>>,
+        registry: &MetricsRegistry,
+    ) -> Arc<TxnManager> {
+        Arc::new(TxnManager {
+            clock: AtomicU64::new(1),
+            next_txn_id: AtomicU64::new(1),
+            active: Mutex::new(BTreeMap::new()),
+            wal,
+            stats: TxnStats::new(registry),
+        })
+    }
+
     /// Current committed timestamp.
     pub fn now(&self) -> Ts {
         Ts(self.clock.load(Ordering::Acquire))
@@ -208,7 +246,8 @@ impl TxnManager {
             let mut active = self.active.lock();
             *active.entry(read_ts).or_insert(0) += 1;
         }
-        self.stats.begins.fetch_add(1, Ordering::Relaxed);
+        self.stats.begins.inc();
+        self.stats.active.inc();
         if let Some(wal) = &self.wal {
             // Deliberately ignore append failure: a poisoned WAL must not
             // prevent read-only transactions (the engine degrades to
@@ -233,6 +272,8 @@ impl TxnManager {
                 active.remove(&read_ts.0);
             }
         }
+        drop(active);
+        self.stats.active.dec();
     }
 
     fn finish_begin_commit(&self, mut txn: Transaction, log: bool) -> DbResult<Ts> {
@@ -268,7 +309,7 @@ impl TxnManager {
             }
         }
         self.deregister(txn.read_ts);
-        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.stats.commits.inc();
         txn.state = TxnState::Committed;
         txn.writes.clear();
         std::mem::forget(txn); // cleanup done; skip Drop's abort path
@@ -294,7 +335,7 @@ impl TxnManager {
             });
         }
         self.deregister(txn.read_ts);
-        self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        self.stats.aborts.inc();
         Ok(())
     }
 

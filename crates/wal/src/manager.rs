@@ -17,7 +17,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 
 use mb2_common::fault::{points, FaultInjector};
 use mb2_common::{DbError, DbResult};
+use mb2_obs::{Counter, Histogram, MetricsRegistry, SpanTimer};
 
 use crate::buffer::LogBuffer;
 #[cfg(test)]
@@ -59,6 +60,10 @@ pub struct LogManagerConfig {
     /// Deterministic fault injection for durability tests; `None` in
     /// production.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Metrics registry the WAL publishes into. `None` gives the manager a
+    /// private registry (counters still work, nothing is scraped with the
+    /// rest of the engine).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for LogManagerConfig {
@@ -72,38 +77,104 @@ impl Default for LogManagerConfig {
             max_flush_retries: 3,
             retry_backoff: Duration::from_millis(1),
             faults: None,
+            metrics: None,
         }
     }
 }
 
-/// Counters exported for the metrics collector.
-#[derive(Debug, Default)]
+/// WAL counters and latency histograms, registry-backed: every field is a
+/// handle into a [`MetricsRegistry`] (`mb2_wal_*` families), so one engine
+/// scrape sees them alongside every other subsystem.
+#[derive(Debug)]
 pub struct WalStats {
-    pub bytes_serialized: AtomicU64,
-    pub records_serialized: AtomicU64,
-    pub buffers_flushed: AtomicU64,
-    pub bytes_flushed: AtomicU64,
-    pub flush_calls: AtomicU64,
+    pub bytes_serialized: Arc<Counter>,
+    pub records_serialized: Arc<Counter>,
+    pub buffers_flushed: Arc<Counter>,
+    pub bytes_flushed: Arc<Counter>,
+    pub flush_calls: Arc<Counter>,
     /// Successful `sync_all` calls.
-    pub fsync_calls: AtomicU64,
+    pub fsync_calls: Arc<Counter>,
     /// Failed flush attempts (each retry that fails counts once).
-    pub flush_errors: AtomicU64,
+    pub flush_errors: Arc<Counter>,
     /// Retries performed after a failed flush attempt.
-    pub flush_retries: AtomicU64,
+    pub flush_retries: Arc<Counter>,
+    /// End-to-end latency of one successful write batch (µs), fsync
+    /// included when enabled.
+    pub flush_latency_us: Arc<Histogram>,
+    /// Latency of the `sync_all` call alone (µs).
+    pub fsync_latency_us: Arc<Histogram>,
+    /// Bytes per flushed batch.
+    pub flush_batch_bytes: Arc<Histogram>,
     last_error: Mutex<Option<String>>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Default for WalStats {
+    /// A stats block backed by a private registry (unit tests, standalone
+    /// managers).
+    fn default() -> Self {
+        WalStats::new(MetricsRegistry::shared())
+    }
 }
 
 impl WalStats {
+    pub fn new(registry: Arc<MetricsRegistry>) -> WalStats {
+        WalStats {
+            bytes_serialized: registry.counter(
+                "mb2_wal_bytes_serialized_total",
+                "Bytes of log records serialized into WAL buffers.",
+            ),
+            records_serialized: registry.counter(
+                "mb2_wal_records_serialized_total",
+                "Log records serialized into WAL buffers.",
+            ),
+            buffers_flushed: registry.counter(
+                "mb2_wal_buffers_flushed_total",
+                "WAL buffers written to the log device.",
+            ),
+            bytes_flushed: registry.counter(
+                "mb2_wal_bytes_flushed_total",
+                "Bytes written to the log device.",
+            ),
+            flush_calls: registry
+                .counter("mb2_wal_flush_calls_total", "Successful WAL write batches."),
+            fsync_calls: registry.counter(
+                "mb2_wal_fsync_calls_total",
+                "Successful sync_all (fsync) calls on the log file.",
+            ),
+            flush_errors: registry.counter(
+                "mb2_wal_flush_errors_total",
+                "Failed WAL flush attempts (each failed retry counts once).",
+            ),
+            flush_retries: registry.counter(
+                "mb2_wal_flush_retries_total",
+                "Retries performed after a failed WAL flush attempt.",
+            ),
+            flush_latency_us: registry.histogram(
+                "mb2_wal_flush_latency_us",
+                "Latency of one successful WAL write batch in microseconds.",
+            ),
+            fsync_latency_us: registry.histogram(
+                "mb2_wal_fsync_latency_us",
+                "Latency of the fsync call alone in microseconds.",
+            ),
+            flush_batch_bytes: registry
+                .histogram("mb2_wal_flush_batch_bytes", "Bytes per flushed WAL batch."),
+            last_error: Mutex::new(None),
+            registry,
+        }
+    }
+
     /// The five serialization/flush throughput counters, in declaration
     /// order. (Kept at five fields for existing metric-collector callers;
     /// error counters have their own accessors.)
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.bytes_serialized.load(Ordering::Relaxed),
-            self.records_serialized.load(Ordering::Relaxed),
-            self.buffers_flushed.load(Ordering::Relaxed),
-            self.bytes_flushed.load(Ordering::Relaxed),
-            self.flush_calls.load(Ordering::Relaxed),
+            self.bytes_serialized.get(),
+            self.records_serialized.get(),
+            self.buffers_flushed.get(),
+            self.bytes_flushed.get(),
+            self.flush_calls.get(),
         )
     }
 
@@ -112,8 +183,13 @@ impl WalStats {
         self.last_error.lock().clone()
     }
 
+    /// A span timer gated on the backing registry's enable flag.
+    fn span(&self) -> SpanTimer {
+        self.registry.span()
+    }
+
     fn record_error(&self, error: &DbError) {
-        self.flush_errors.fetch_add(1, Ordering::Relaxed);
+        self.flush_errors.inc();
         *self.last_error.lock() = Some(error.to_string());
     }
 }
@@ -210,16 +286,14 @@ fn write_once(
 ) -> Result<usize, FlushFailure> {
     let total: usize = buffers.iter().map(|b| b.data.len()).sum();
     let Some(f) = file.as_mut() else {
-        // Sink mode: account the bytes, no I/O to fail.
-        stats
-            .buffers_flushed
-            .fetch_add(buffers.len() as u64, Ordering::Relaxed);
-        stats
-            .bytes_flushed
-            .fetch_add(total as u64, Ordering::Relaxed);
-        stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+        // Sink mode: account the bytes, no I/O to fail (or time).
+        stats.buffers_flushed.add(buffers.len() as u64);
+        stats.bytes_flushed.add(total as u64);
+        stats.flush_calls.inc();
+        stats.flush_batch_bytes.record(total as u64);
         return Ok(total);
     };
+    let flush_span = stats.span();
 
     // One-shot torn write: persist a strict prefix, then report a crash.
     if let Some(inj) = &opts.faults {
@@ -262,21 +336,21 @@ fn write_once(
                     return Err(DbError::Wal(msg));
                 }
             }
+            let fsync_span = stats.span();
             f.sync_all()
                 .map_err(|e| DbError::Wal(format!("fsync: {e}")))?;
-            stats.fsync_calls.fetch_add(1, Ordering::Relaxed);
+            fsync_span.observe(&stats.fsync_latency_us);
+            stats.fsync_calls.inc();
         }
         Ok(())
     })();
     match res {
         Ok(()) => {
-            stats
-                .buffers_flushed
-                .fetch_add(buffers.len() as u64, Ordering::Relaxed);
-            stats
-                .bytes_flushed
-                .fetch_add(total as u64, Ordering::Relaxed);
-            stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+            stats.buffers_flushed.add(buffers.len() as u64);
+            stats.bytes_flushed.add(total as u64);
+            stats.flush_calls.inc();
+            stats.flush_batch_bytes.record(total as u64);
+            flush_span.observe(&stats.flush_latency_us);
             Ok(total)
         }
         Err(error) => {
@@ -321,7 +395,7 @@ fn flush_with_retry(
                     .saturating_mul(1u32 << attempt.min(16))
                     .min(Duration::from_millis(100));
                 attempt += 1;
-                stats.flush_retries.fetch_add(1, Ordering::Relaxed);
+                stats.flush_retries.inc();
                 std::thread::sleep(backoff);
             }
         }
@@ -358,7 +432,11 @@ impl LogManager {
                 .map_err(|e| DbError::Wal(format!("open {}: {e}", path.display())))
         };
         let (tx, rx) = bounded::<LogBuffer>(1024);
-        let stats = Arc::new(WalStats::default());
+        let registry = config
+            .metrics
+            .clone()
+            .unwrap_or_else(MetricsRegistry::shared);
+        let stats = Arc::new(WalStats::new(registry));
         let stop = Arc::new(AtomicBool::new(false));
         let poisoned = Arc::new(AtomicBool::new(false));
         let opts = DurabilityOpts::from_config(&config);
@@ -439,12 +517,8 @@ impl LogManager {
             )));
         }
         current.record_count += 1;
-        self.stats
-            .bytes_serialized
-            .fetch_add(len as u64, Ordering::Relaxed);
-        self.stats
-            .records_serialized
-            .fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_serialized.add(len as u64);
+        self.stats.records_serialized.inc();
         if current.is_full() {
             let full = std::mem::take(&mut *current);
             drop(current);
@@ -594,7 +668,7 @@ mod tests {
         .unwrap();
         mgr.append(&insert_record(1)).unwrap();
         mgr.flush_now().unwrap();
-        assert_eq!(mgr.stats().fsync_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(mgr.stats().fsync_calls.get(), 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -639,8 +713,8 @@ mod tests {
         let (buffers, _) = mgr.flush_now().unwrap();
         assert_eq!(buffers, 1);
         assert!(!mgr.is_poisoned());
-        assert_eq!(mgr.stats().flush_errors.load(Ordering::Relaxed), 1);
-        assert_eq!(mgr.stats().flush_retries.load(Ordering::Relaxed), 1);
+        assert_eq!(mgr.stats().flush_errors.get(), 1);
+        assert_eq!(mgr.stats().flush_retries.get(), 1);
         assert!(mgr.stats().last_error().unwrap().contains("wal.write"));
         // The retried flush must not have duplicated the record.
         let records = crate::reader::read_log(&path).unwrap();
@@ -666,8 +740,8 @@ mod tests {
         assert!(matches!(err, DbError::WalUnavailable(_)), "{err}");
         assert!(mgr.is_poisoned());
         // 1 initial attempt + 2 retries, all failed.
-        assert_eq!(mgr.stats().flush_errors.load(Ordering::Relaxed), 3);
-        assert_eq!(mgr.stats().flush_retries.load(Ordering::Relaxed), 2);
+        assert_eq!(mgr.stats().flush_errors.get(), 3);
+        assert_eq!(mgr.stats().flush_retries.get(), 2);
         // Latched: appends and further flushes fail fast.
         assert!(matches!(
             mgr.append(&insert_record(2)),

@@ -1,4 +1,4 @@
-//! SmallBank [10]: three tables, five transactions modeling customers
+//! SmallBank \[10\]: three tables, five transactions modeling customers
 //! interacting with a bank branch.
 
 use mb2_common::{DbResult, Prng};

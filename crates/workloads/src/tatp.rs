@@ -1,4 +1,4 @@
-//! TATP [47]: four tables, seven transactions modeling a cellphone
+//! TATP \[47\]: four tables, seven transactions modeling a cellphone
 //! registration service. Read-heavy (the standard mix is 80% reads).
 
 use mb2_common::{DbResult, Prng};

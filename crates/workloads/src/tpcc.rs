@@ -1,4 +1,4 @@
-//! TPC-C [60]: nine tables, five transactions modeling back-end warehouses
+//! TPC-C \[60\]: nine tables, five transactions modeling back-end warehouses
 //! fulfilling orders. This is the workload behind the paper's Fig. 1 and
 //! Fig. 11 index-build scenarios: the CUSTOMER table carries an optional
 //! secondary index on `(c_w_id, c_d_id, c_last)` that Payment/OrderStatus

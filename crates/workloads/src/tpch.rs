@@ -1,4 +1,4 @@
-//! TPC-H [61]: eight tables and analytical queries.
+//! TPC-H \[61\]: eight tables and analytical queries.
 //!
 //! Scales are miniaturized (scale 1.0 ≈ 1% of true TPC-H row counts) so the
 //! full modeling pipeline runs in CI time; the paper's generalization axis —

@@ -91,6 +91,16 @@ impl<T: ?Sized> RwLock<T> {
         RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Acquire the write lock only if it is free right now (`None` when the
+    /// lock is held). Matches `parking_lot::RwLock::try_write`.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(RwLockWriteGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard(e.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         match self.0.get_mut() {
             Ok(v) => v,
