@@ -1,0 +1,6 @@
+//! Batch-pipeline throughput; see `mb2_bench::experiments::exec_throughput`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::exec_throughput::run(scale);
+    mb2_bench::report::emit("exec_throughput", &report);
+}

@@ -10,6 +10,7 @@ fn main() {
     let suite: &[Experiment] = &[
         ("table02_overhead", experiments::table02_overhead::run),
         ("obs_overhead", experiments::obs_overhead::run),
+        ("exec_throughput", experiments::exec_throughput::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
         (

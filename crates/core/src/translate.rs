@@ -556,6 +556,47 @@ mod tests {
     }
 
     #[test]
+    fn translated_tuple_features_match_measured_work() {
+        // On an ANALYZEd table with exact-cardinality queries (no filters),
+        // the translator's leading tuple-count feature must equal the tuple
+        // work the batch executor actually accounts per (node, OU) — the
+        // feature/label join the OU models train on.
+        use parking_lot::Mutex;
+        use std::collections::HashMap;
+        struct Rec(Mutex<HashMap<(u32, OuKind), u64>>);
+        impl mb2_exec::OuRecorder for Rec {
+            fn record(&self, _: u32, _: OuKind, _: mb2_common::Metrics) {}
+            fn record_work(&self, id: u32, ou: OuKind, w: mb2_exec::WorkCounts) {
+                *self.0.lock().entry((id, ou)).or_insert(0) += w.tuples;
+            }
+        }
+
+        let db = db_with_data();
+        let translator = OuTranslator::default();
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT a FROM t ORDER BY a",
+            "SELECT COUNT(*) FROM t",
+        ] {
+            let plan = db.prepare(sql).unwrap();
+            let rec = Rec(Mutex::new(HashMap::new()));
+            db.execute_plan(&plan, Some(&rec)).unwrap();
+            let measured = rec.0.into_inner();
+            for inst in translator.translate_plan(&plan, &db.knobs()) {
+                let got = measured
+                    .get(&(inst.node_id, inst.ou))
+                    .copied()
+                    .unwrap_or(0);
+                assert_eq!(
+                    got as f64, inst.features[0],
+                    "tuple feature mismatch for {sql}, node {} {:?}",
+                    inst.node_id, inst.ou
+                );
+            }
+        }
+    }
+
+    #[test]
     fn feature_vectors_have_declared_width() {
         let db = db_with_data();
         let plan = db.prepare("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();

@@ -84,6 +84,13 @@ pub struct Knobs {
     /// Fig. 9a software-update emulation: spin 1µs per this many join-hash
     /// -table inserts (0 = off).
     pub jht_sleep_every: usize,
+    /// Rows per batch in the pull-based execution pipeline. `1` reproduces
+    /// the legacy tuple-at-a-time engine (every tuple traverses the full
+    /// pull chain; scan predicates evaluate in a separate operator above
+    /// the scan); sizes ≥ 2 run vectorized with predicate pushdown into
+    /// the scan. Per-OU work features are identical either way. Clamped to
+    /// at least 1.
+    pub batch_size: usize,
 }
 
 impl Default for Knobs {
@@ -93,6 +100,7 @@ impl Default for Knobs {
             wal_flush_interval: Duration::from_millis(10),
             hw: HardwareProfile::default(),
             jht_sleep_every: 0,
+            batch_size: mb2_exec::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -108,5 +116,6 @@ mod tests {
         assert!(c.gc_interval.is_none());
         assert_eq!(c.knobs.execution_mode, ExecutionMode::Compiled);
         assert_eq!(c.knobs.jht_sleep_every, 0);
+        assert_eq!(c.knobs.batch_size, mb2_exec::DEFAULT_BATCH_SIZE);
     }
 }

@@ -6,7 +6,10 @@ use parking_lot::RwLock;
 
 use mb2_catalog::Catalog;
 use mb2_common::{Column, DbError, DbResult, Schema};
-use mb2_exec::{execute, ExecContext, ExecutionMode, ObsRecorder, OuRecorder, QueryResult};
+use mb2_exec::{
+    execute, execute_batched, Batch, ExecContext, ExecutionMode, ObsRecorder, OuRecorder,
+    QueryResult,
+};
 use mb2_index::IndexObs;
 use mb2_obs::MetricsRegistry;
 use mb2_sql::{parse, PlanNode, Planner, Statement};
@@ -139,6 +142,12 @@ impl Database {
 
     pub fn set_jht_sleep_every(&self, n: usize) {
         self.knobs.write().jht_sleep_every = n;
+    }
+
+    /// Rows per batch in the execution pipeline (clamped to at least 1;
+    /// `1` = tuple-at-a-time execution).
+    pub fn set_batch_size(&self, n: usize) {
+        self.knobs.write().batch_size = n.max(1);
     }
 
     /// Whether the WAL has latched into the read-only (poisoned) state.
@@ -293,6 +302,7 @@ impl Database {
             hw: knobs.hw,
             jht_sleep_every: knobs.jht_sleep_every,
             index_obs: Some(self.index_obs.clone()),
+            batch_size: knobs.batch_size.max(1),
         };
         // Index builds must be loggable before we spend the work building
         // them; a poisoned WAL rejects the DDL up front.
@@ -317,6 +327,82 @@ impl Database {
             }
         }
         Ok(result)
+    }
+
+    /// Execute one statement in autocommit mode, streaming result batches
+    /// to `on_batch` instead of materializing a [`QueryResult`] — result
+    /// rows reach the caller as they are produced, and a callback error
+    /// aborts the query (and its upstream scans) early. DDL runs through
+    /// the normal path; DML runs to completion without invoking the
+    /// callback. Returns the number of rows streamed (or rows affected).
+    pub fn execute_streaming(
+        &self,
+        sql: &str,
+        recorder: Option<&dyn OuRecorder>,
+        on_batch: &mut dyn FnMut(Batch) -> DbResult<()>,
+    ) -> DbResult<usize> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Plan(
+                "transaction control requires a session (Database::session)".into(),
+            )),
+            // DDL (including index builds, which must be WAL-logged) takes
+            // the materializing path; it produces no result rows anyway.
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::DropIndex { .. }
+            | Statement::Analyze { .. }
+            | Statement::CreateIndex { .. } => self
+                .execute_recorded(sql, recorder)
+                .map(|r| r.rows_affected),
+            other => {
+                let plan = Planner::new(&self.catalog).plan(&other)?;
+                let mut txn = self.txns.begin();
+                let result = self.execute_plan_streaming_in(&plan, &mut txn, recorder, on_batch);
+                match result {
+                    Ok(n) => {
+                        txn.commit()?;
+                        Ok(n)
+                    }
+                    Err(e) => {
+                        txn.abort();
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streaming analog of [`Database::execute_plan_in`].
+    pub fn execute_plan_streaming_in(
+        &self,
+        plan: &PlanNode,
+        txn: &mut Transaction,
+        recorder: Option<&dyn OuRecorder>,
+        on_batch: &mut dyn FnMut(Batch) -> DbResult<()>,
+    ) -> DbResult<usize> {
+        let series = self.engine_metrics.stmt(classify(plan));
+        series.count.inc();
+        let span = self.metrics.span();
+        let knobs = self.knobs();
+        let mut ctx = ExecContext {
+            catalog: &self.catalog,
+            txn,
+            mode: knobs.execution_mode,
+            recorder,
+            hw: knobs.hw,
+            jht_sleep_every: knobs.jht_sleep_every,
+            index_obs: Some(self.index_obs.clone()),
+            batch_size: knobs.batch_size.max(1),
+        };
+        let result = execute_batched(plan, &mut ctx, on_batch);
+        match &result {
+            Ok(_) => {
+                span.observe(&series.latency_us);
+            }
+            Err(_) => series.errors.inc(),
+        }
+        result
     }
 
     /// Execute a statement inside an existing transaction (used by sessions
@@ -517,5 +603,48 @@ mod tests {
     fn transaction_control_requires_session() {
         let db = Database::open();
         assert!(db.execute("BEGIN").is_err());
+    }
+
+    #[test]
+    fn streaming_matches_materialized_at_any_batch_size() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        for i in 0..25 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 4))
+                .unwrap();
+        }
+        let want = db
+            .execute("SELECT a FROM t WHERE b = 1 ORDER BY a")
+            .unwrap()
+            .rows;
+        assert!(!want.is_empty());
+        for batch_size in [1usize, 3, 1024] {
+            db.set_batch_size(batch_size);
+            let mut got: Vec<Vec<Value>> = Vec::new();
+            let mut batches = 0usize;
+            let n = db
+                .execute_streaming("SELECT a FROM t WHERE b = 1 ORDER BY a", None, &mut |b| {
+                    batches += 1;
+                    got.extend(b.rows.iter().map(|r| r.as_ref().clone()));
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(n, want.len());
+            assert_eq!(got, want);
+            if batch_size == 1 {
+                assert_eq!(batches, want.len(), "one row per batch at size 1");
+            }
+        }
+        // DML and DDL run through the streaming entry point too, without
+        // producing batches.
+        let mut calls = 0usize;
+        let n = db
+            .execute_streaming("UPDATE t SET b = 9 WHERE a = 0", None, &mut |_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(calls, 0);
     }
 }

@@ -64,6 +64,32 @@ impl<'db> Session<'db> {
         }
     }
 
+    /// Execute a statement, streaming result batches to `on_batch` instead
+    /// of materializing them. Honors the session's open transaction.
+    /// Transaction control and DDL take the materializing path (they
+    /// produce no result rows). Returns rows streamed / rows affected.
+    pub fn execute_streaming(
+        &mut self,
+        sql: &str,
+        recorder: Option<&dyn OuRecorder>,
+        on_batch: &mut dyn FnMut(mb2_exec::Batch) -> DbResult<()>,
+    ) -> DbResult<usize> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => self
+                .execute_recorded(sql, recorder)
+                .map(|r| r.rows_affected),
+            _ => match self.txn.as_mut() {
+                Some(txn) => {
+                    let plan = mb2_sql::Planner::new(self.db.catalog()).plan(&stmt)?;
+                    self.db
+                        .execute_plan_streaming_in(&plan, txn, recorder, on_batch)
+                }
+                None => self.db.execute_streaming(sql, recorder, on_batch),
+            },
+        }
+    }
+
     /// Abort any open transaction (also happens on drop).
     pub fn rollback_open(&mut self) {
         if let Some(txn) = self.txn.take() {

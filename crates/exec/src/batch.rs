@@ -1,0 +1,1411 @@
+//! Pull-based batch execution pipeline.
+//!
+//! A [`Batch`] of up to `ExecContext::batch_size` rows flows through a
+//! `BatchOperator` tree. Operators pull from their children with
+//! `next_batch(ctx, max_rows)` — `None` means exhausted, `Some` with fewer
+//! rows (even zero) does not. Rows travel as `Arc<Tuple>` straight out of
+//! the MVCC version chains, so a tuple is only deep-cloned at the client
+//! boundary (or when an operator genuinely builds a new row).
+//!
+//! OU accounting: each operator owns one `OpSpan` per OU it implements.
+//! A span folds per-batch work into a single `OuTracker` via pause/resume
+//! sections, so the recorded tuple/byte features are identical to the totals
+//! the old materialize-everything executor produced per operator; only
+//! elapsed time changes (it shrinks — that is the point). Spans are recorded
+//! exactly once by `close`, which the pipeline driver calls after the root
+//! returns `None` *or* after a LIMIT cuts execution short — so the
+//! `(node id, OU)` set seen by a recorder is the same as before even when
+//! upstream operators never ran.
+//!
+//! Pipeline breakers (join build, agg build, sort build) consume their input
+//! fully on first pull; those edges are exactly the OU span boundaries the
+//! paper's models key on, so batching never blurs them.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use mb2_common::types::{tuple_size_bytes, Tuple};
+use mb2_common::{DbError, DbResult, OuKind, Value};
+use mb2_index::Index;
+use mb2_sql::plan::{AggSpec, OutputSink, ScanRange, SortKey};
+use mb2_sql::{AggFunc, PlanNode};
+use mb2_storage::{SlotId, Table};
+
+use crate::compile::Evaluator;
+use crate::context::ExecContext;
+use crate::executor::subtree_size;
+use crate::ops::{compiled, spin_us};
+use crate::tracker::OuTracker;
+
+/// Default rows per batch. 1 degenerates to tuple-at-a-time execution.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Upper bound on per-batch buffer pre-allocation (callers may pass huge
+/// `max_rows`; don't trust it for `Vec::with_capacity`).
+const MAX_PREALLOC: usize = 4096;
+
+/// One batch of rows flowing through the pipeline.
+#[derive(Debug, Default)]
+pub struct Batch {
+    pub rows: Vec<Arc<Tuple>>,
+    /// Slot provenance, parallel to `rows`. Only populated by scans built
+    /// with `want_slots` (the DML victim path); empty otherwise.
+    pub slots: Vec<SlotId>,
+}
+
+impl Batch {
+    fn with_capacity(n: usize) -> Batch {
+        Batch {
+            rows: Vec::with_capacity(n.min(MAX_PREALLOC)),
+            slots: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Per-operator OU span. Work from every batch folds into one tracker; the
+/// measurement is recorded exactly once, at `finish`. Inactive spans (no
+/// recorder, no hardware pacing) cost two branches per batch.
+struct OpSpan {
+    id: u32,
+    ou: OuKind,
+    tracker: Option<OuTracker>,
+    active: bool,
+    recorded: bool,
+}
+
+impl OpSpan {
+    fn new(ctx: &ExecContext<'_>, id: u32, ou: OuKind) -> OpSpan {
+        OpSpan {
+            id,
+            ou,
+            tracker: None,
+            active: ctx.recorder.is_some() || ctx.hw.slowdown() > 1.0,
+
+            recorded: false,
+        }
+    }
+
+    /// Whether work counters need to be maintained at all.
+    fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Open a timed section covering this batch's work.
+    fn enter(&mut self) {
+        if self.active {
+            self.tracker
+                .get_or_insert_with(OuTracker::start_paused)
+                .resume();
+        }
+    }
+
+    /// Close the current timed section (downstream operators run next).
+    fn exit(&mut self) {
+        if let Some(t) = self.tracker.as_mut() {
+            t.pause();
+        }
+    }
+
+    /// Fold work counts into the span (with or without an open section).
+    fn work(&mut self, f: impl FnOnce(&mut OuTracker)) {
+        if self.active {
+            f(self.tracker.get_or_insert_with(OuTracker::start_paused));
+        }
+    }
+
+    /// Record the folded measurement. Idempotent; an operator that was never
+    /// pulled (LIMIT 0 upstream cut) still records a zero-work span so the
+    /// recorder sees the full `(node id, OU)` set of the plan.
+    fn finish(&mut self, ctx: &ExecContext<'_>) {
+        if !self.active || self.recorded {
+            return;
+        }
+        self.recorded = true;
+        let tracker = self.tracker.take().unwrap_or_else(OuTracker::start_paused);
+        let work = tracker.work;
+        let metrics = tracker.finish(&ctx.hw);
+        if let Some(r) = ctx.recorder {
+            r.record_work(self.id, self.ou, work);
+            r.record(self.id, self.ou, metrics);
+        }
+    }
+}
+
+/// A node in the executable pipeline.
+pub(crate) trait BatchOperator {
+    /// Pull up to `max_rows` rows. `None` = exhausted; `Some` with fewer
+    /// rows (even zero) = not necessarily exhausted, pull again.
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>, max_rows: usize)
+        -> DbResult<Option<Batch>>;
+
+    /// Finish and record this operator's spans (children first, matching
+    /// the record order of full bottom-up materialization). Called once by
+    /// the driver after the root is drained or a LIMIT cut execution short.
+    fn close(&mut self, ctx: &mut ExecContext<'_>);
+}
+
+type BoxedOp = Box<dyn BatchOperator>;
+
+// ----------------------------------------------------------------------
+// Scans
+// ----------------------------------------------------------------------
+
+/// Sequential scan with the filter pushed into the visibility visitor:
+/// filtered-out tuples are never cloned, and the scan suspends mid-heap as
+/// soon as the batch fills (resumable via `scan_visible_from`).
+struct SeqScanOp {
+    table: Arc<Table>,
+    filter: Option<Evaluator>,
+    filter_ops: u64,
+    want_slots: bool,
+    pos: usize,
+    done: bool,
+    scan_span: OpSpan,
+    filter_span: Option<OpSpan>,
+}
+
+impl BatchOperator for SeqScanOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let max = max_rows.max(1);
+        let mut batch = Batch::with_capacity(max);
+        self.scan_span.enter();
+        let track = self.scan_span.active();
+        let want_slots = self.want_slots;
+        let filter = self.filter.as_ref();
+        let mut scanned = 0u64;
+        let mut scanned_bytes = 0u64;
+        let mut err: Option<DbError> = None;
+        self.pos = self.table.scan_visible_from(
+            self.pos,
+            ctx.txn.read_ts(),
+            ctx.txn.id(),
+            |slot, tuple| {
+                if track {
+                    scanned += 1;
+                    scanned_bytes += tuple_size_bytes(tuple) as u64;
+                }
+                let keep = match filter {
+                    None => true,
+                    Some(ev) => match ev.eval_bool(tuple) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            err = Some(e);
+                            return false;
+                        }
+                    },
+                };
+                if keep {
+                    batch.rows.push(Arc::clone(tuple));
+                    if want_slots {
+                        batch.slots.push(slot);
+                    }
+                }
+                batch.rows.len() < max
+            },
+        );
+        self.scan_span.work(|t| {
+            t.add_tuples(scanned);
+            t.add_bytes(scanned_bytes);
+            t.add_allocated(scanned_bytes);
+        });
+        self.scan_span.exit();
+        if let Some(span) = self.filter_span.as_mut() {
+            // The fused predicate ran inside the scan section; its *work*
+            // counts still land on the Arithmetic/Filter span (features are
+            // preserved; elapsed time legitimately collapses — see
+            // DESIGN.md "Batch execution model").
+            let ops = self.filter_ops;
+            span.work(|t| {
+                t.add_tuples(scanned);
+                t.add_comparisons(scanned * ops);
+            });
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if batch.rows.len() < max {
+            // The heap ended before the batch filled.
+            self.done = true;
+            if batch.rows.is_empty() {
+                return Ok(None);
+            }
+        }
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.scan_span.finish(ctx);
+        if let Some(span) = self.filter_span.as_mut() {
+            span.finish(ctx);
+        }
+    }
+}
+
+/// Index scan: candidate slots come from one `range_prefix` pass (done
+/// lazily on first pull), then visibility + residual filter are applied a
+/// batch at a time against the base table.
+struct IndexScanOp {
+    table: Arc<Table>,
+    index: Arc<Index<SlotId>>,
+    range: ScanRange,
+    filter: Option<Evaluator>,
+    filter_ops: u64,
+    want_slots: bool,
+    candidates: Option<Vec<SlotId>>,
+    cursor: usize,
+    scan_span: OpSpan,
+    filter_span: Option<OpSpan>,
+}
+
+impl BatchOperator for IndexScanOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        let max = max_rows.max(1);
+        self.scan_span.enter();
+        if self.candidates.is_none() {
+            let mut c: Vec<SlotId> = Vec::new();
+            self.index
+                .range_prefix(&self.range.lo, &self.range.hi, |_, &slot| {
+                    c.push(slot);
+                    true
+                });
+            self.candidates = Some(c);
+        }
+        let candidates = self.candidates.as_ref().expect("index candidates");
+        if self.cursor >= candidates.len() {
+            self.scan_span.exit();
+            return Ok(None);
+        }
+        let track = self.scan_span.active();
+        let mut batch = Batch::with_capacity(max);
+        let mut visible = 0u64;
+        let mut bytes = 0u64;
+        let mut probed = 0u64;
+        let mut err: Option<DbError> = None;
+        while self.cursor < candidates.len() && batch.rows.len() < max {
+            let slot = candidates[self.cursor];
+            self.cursor += 1;
+            probed += 1;
+            if let Some(tuple) = ctx.txn.read(&self.table, slot) {
+                if track {
+                    visible += 1;
+                    bytes += tuple_size_bytes(&tuple) as u64;
+                }
+                let keep = match &self.filter {
+                    None => true,
+                    Some(ev) => match ev.eval_bool(&tuple) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    },
+                };
+                if keep {
+                    batch.rows.push(tuple);
+                    if self.want_slots {
+                        batch.slots.push(slot);
+                    }
+                }
+            }
+        }
+        self.scan_span.work(|t| {
+            t.add_tuples(visible);
+            t.add_bytes(bytes);
+            t.add_random_accesses(probed);
+            t.add_hash_probes(0);
+            t.add_allocated(bytes);
+        });
+        self.scan_span.exit();
+        if let Some(span) = self.filter_span.as_mut() {
+            let ops = self.filter_ops;
+            span.work(|t| {
+                t.add_tuples(visible);
+                t.add_comparisons(visible * ops);
+            });
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.scan_span.finish(ctx);
+        if let Some(span) = self.filter_span.as_mut() {
+            span.finish(ctx);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stateless streaming operators
+// ----------------------------------------------------------------------
+
+/// Standalone filter node (HAVING and other post-operator predicates).
+struct FilterOp {
+    child: BoxedOp,
+    eval: Evaluator,
+    ops_per: u64,
+    span: OpSpan,
+}
+
+impl BatchOperator for FilterOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        let Some(input) = self.child.next_batch(ctx, max_rows)? else {
+            return Ok(None);
+        };
+        self.span.enter();
+        let n_in = input.rows.len() as u64;
+        let mut out = Batch::with_capacity(input.rows.len());
+        for row in input.rows {
+            if self.eval.eval_bool(&row)? {
+                out.rows.push(row);
+            }
+        }
+        let ops = self.ops_per;
+        self.span.work(|t| {
+            t.add_tuples(n_in);
+            t.add_comparisons(n_in * ops);
+        });
+        self.span.exit();
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+        self.span.finish(ctx);
+    }
+}
+
+struct ProjectOp {
+    child: BoxedOp,
+    evals: Vec<Evaluator>,
+    ops_per: u64,
+    span: OpSpan,
+}
+
+impl BatchOperator for ProjectOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        let Some(input) = self.child.next_batch(ctx, max_rows)? else {
+            return Ok(None);
+        };
+        self.span.enter();
+        let n = input.rows.len() as u64;
+        let mut out = Batch::with_capacity(input.rows.len());
+        for row in &input.rows {
+            let projected: Tuple = self
+                .evals
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<DbResult<_>>()?;
+            out.rows.push(Arc::new(projected));
+        }
+        let ops = self.ops_per;
+        self.span.work(|t| {
+            t.add_tuples(n);
+            t.add_comparisons(n * ops.max(1));
+        });
+        self.span.exit();
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+        self.span.finish(ctx);
+    }
+}
+
+/// LIMIT: the early-termination driver. Narrows the row budget it passes
+/// upstream to `remaining`, so scans stop pulling tuples off the heap the
+/// moment the quota is met — upstream operators are simply never pulled
+/// again (and record their partial work at close).
+struct LimitOp {
+    child: BoxedOp,
+    remaining: usize,
+}
+
+impl BatchOperator for LimitOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let want = max_rows.max(1).min(self.remaining);
+        match self.child.next_batch(ctx, want)? {
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+            Some(mut batch) => {
+                if batch.rows.len() > self.remaining {
+                    batch.rows.truncate(self.remaining);
+                    batch.slots.truncate(self.remaining);
+                }
+                self.remaining -= batch.rows.len();
+                Ok(Some(batch))
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+    }
+}
+
+/// Result materialization (Output Result OU).
+struct OutputOp {
+    child: BoxedOp,
+    sink: OutputSink,
+    span: OpSpan,
+}
+
+impl BatchOperator for OutputOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        let Some(input) = self.child.next_batch(ctx, max_rows)? else {
+            return Ok(None);
+        };
+        self.span.enter();
+        let bytes: u64 = input
+            .rows
+            .iter()
+            .map(|r| tuple_size_bytes(r) as u64)
+            .sum();
+        let out_tuples = match self.sink {
+            OutputSink::Client => input.rows.len() as u64,
+            OutputSink::Discard => 0,
+        };
+        self.span.work(|t| {
+            t.add_tuples(out_tuples);
+            t.add_bytes(bytes);
+            t.add_allocated(bytes);
+        });
+        self.span.exit();
+        match self.sink {
+            OutputSink::Client => Ok(Some(input)),
+            OutputSink::Discard => Ok(Some(Batch::default())),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+        self.span.finish(ctx);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Joins
+// ----------------------------------------------------------------------
+
+/// Hash join. The build side is a pipeline breaker: fully consumed on the
+/// first pull (Join Hash Table Build OU). Probing then streams: each probe
+/// batch is pulled on demand and matches beyond the caller's row budget are
+/// buffered in `pending`, so a LIMIT above the join stops probe-side scans
+/// early.
+struct HashJoinOp {
+    build: BoxedOp,
+    probe: BoxedOp,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    residual: Option<Evaluator>,
+    residual_ops: u64,
+    built: bool,
+    build_rows: Vec<Arc<Tuple>>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    probe_buf: Vec<Arc<Tuple>>,
+    probe_cursor: usize,
+    probe_done: bool,
+    pending: VecDeque<Arc<Tuple>>,
+    build_span: OpSpan,
+    probe_span: OpSpan,
+    filter_span: Option<OpSpan>,
+}
+
+impl HashJoinOp {
+    fn build_table(&mut self, ctx: &mut ExecContext<'_>) -> DbResult<()> {
+        let pull = ctx.batch_size.max(1);
+        let track = self.build_span.active();
+        let mut build_bytes = 0u64;
+        loop {
+            // The child times itself; our span only covers insert work.
+            let pulled = self.build.next_batch(ctx, pull)?;
+            let Some(batch) = pulled else { break };
+            self.build_span.enter();
+            self.table.reserve(batch.rows.len());
+            for row in batch.rows {
+                let key: Vec<Value> =
+                    self.build_keys.iter().map(|&k| row[k].clone()).collect();
+                if track {
+                    build_bytes += tuple_size_bytes(&row) as u64;
+                }
+                self.table.entry(key).or_default().push(self.build_rows.len());
+                self.build_rows.push(row);
+                if ctx.jht_sleep_every > 0
+                    && self.build_rows.len().is_multiple_of(ctx.jht_sleep_every)
+                {
+                    spin_us(1);
+                }
+            }
+            self.build_span.exit();
+        }
+        let n = self.build_rows.len() as u64;
+        let alloc = n * (32 + self.build_keys.len() as u64 * 16) + build_bytes;
+        let uniq = self.table.len() as u64;
+        self.build_span.work(|t| {
+            t.add_tuples(n);
+            t.add_bytes(build_bytes);
+            t.add_hash_probes(n);
+            t.add_random_accesses(uniq);
+            t.add_allocated(alloc);
+        });
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl BatchOperator for HashJoinOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if !self.built {
+            self.build_table(ctx)?;
+        }
+        let max = max_rows.max(1);
+        let mut out = Batch::with_capacity(max);
+        let track = self.probe_span.active();
+        let mut probe_tuples = 0u64;
+        let mut probe_bytes = 0u64;
+        let mut out_bytes = 0u64;
+        let mut matched = 0u64;
+        self.probe_span.enter();
+        while out.rows.len() < max {
+            if let Some(row) = self.pending.pop_front() {
+                out.rows.push(row);
+                continue;
+            }
+            if self.probe_cursor >= self.probe_buf.len() {
+                if self.probe_done {
+                    break;
+                }
+                self.probe_span.exit();
+                let pulled = self.probe.next_batch(ctx, max)?;
+                self.probe_span.enter();
+                match pulled {
+                    None => self.probe_done = true,
+                    Some(batch) => {
+                        self.probe_buf = batch.rows;
+                        self.probe_cursor = 0;
+                    }
+                }
+                continue;
+            }
+            let row = Arc::clone(&self.probe_buf[self.probe_cursor]);
+            self.probe_cursor += 1;
+            if track {
+                probe_tuples += 1;
+                probe_bytes += tuple_size_bytes(&row) as u64;
+            }
+            let key: Vec<Value> = self.probe_keys.iter().map(|&k| row[k].clone()).collect();
+            if let Some(matches) = self.table.get(&key) {
+                for &bi in matches {
+                    let build_row = &self.build_rows[bi];
+                    let mut combined: Tuple = Vec::with_capacity(row.len() + build_row.len());
+                    combined.extend(row.iter().cloned());
+                    combined.extend(build_row.iter().cloned());
+                    if track {
+                        out_bytes += tuple_size_bytes(&combined) as u64;
+                        matched += 1;
+                    }
+                    let pass = match &self.residual {
+                        Some(ev) => ev.eval_bool(&combined)?,
+                        None => true,
+                    };
+                    if pass {
+                        let combined = Arc::new(combined);
+                        if out.rows.len() < max {
+                            out.rows.push(combined);
+                        } else {
+                            self.pending.push_back(combined);
+                        }
+                    }
+                }
+            }
+        }
+        self.probe_span.work(|t| {
+            t.add_tuples(probe_tuples);
+            t.add_bytes(probe_bytes + out_bytes);
+            t.add_hash_probes(probe_tuples);
+            t.add_allocated(out_bytes);
+        });
+        self.probe_span.exit();
+        if let Some(span) = self.filter_span.as_mut() {
+            let ops = self.residual_ops;
+            span.work(|t| {
+                t.add_tuples(matched);
+                t.add_comparisons(matched * ops);
+            });
+        }
+        if out.rows.is_empty()
+            && self.probe_done
+            && self.pending.is_empty()
+            && self.probe_cursor >= self.probe_buf.len()
+        {
+            return Ok(None);
+        }
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.build.close(ctx);
+        self.probe.close(ctx);
+        self.build_span.finish(ctx);
+        self.probe_span.finish(ctx);
+        if let Some(span) = self.filter_span.as_mut() {
+            span.finish(ctx);
+        }
+    }
+}
+
+/// Nested-loop cross join (non-equi fallback). The inner side is a pipeline
+/// breaker (fully materialized on first pull); the outer side streams one
+/// tuple at a time, so a LIMIT above stops the outer scan early.
+struct NestedLoopJoinOp {
+    outer: BoxedOp,
+    inner: BoxedOp,
+    eval: Option<Evaluator>,
+    ops_per: u64,
+    inner_built: bool,
+    inner_rows: Vec<Arc<Tuple>>,
+    outer_buf: Vec<Arc<Tuple>>,
+    outer_cursor: usize,
+    outer_done: bool,
+    pending: VecDeque<Arc<Tuple>>,
+    span: OpSpan,
+}
+
+impl BatchOperator for NestedLoopJoinOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if !self.inner_built {
+            let pull = ctx.batch_size.max(1);
+            while let Some(batch) = self.inner.next_batch(ctx, pull)? {
+                self.inner_rows.extend(batch.rows);
+            }
+            self.inner_built = true;
+        }
+        let max = max_rows.max(1);
+        let mut out = Batch::with_capacity(max);
+        let track = self.span.active();
+        let mut pairs = 0u64;
+        self.span.enter();
+        while out.rows.len() < max {
+            if let Some(row) = self.pending.pop_front() {
+                out.rows.push(row);
+                continue;
+            }
+            if self.outer_cursor >= self.outer_buf.len() {
+                if self.outer_done {
+                    break;
+                }
+                self.span.exit();
+                let pulled = self.outer.next_batch(ctx, max)?;
+                self.span.enter();
+                match pulled {
+                    None => self.outer_done = true,
+                    Some(batch) => {
+                        self.outer_buf = batch.rows;
+                        self.outer_cursor = 0;
+                    }
+                }
+                continue;
+            }
+            let o = Arc::clone(&self.outer_buf[self.outer_cursor]);
+            self.outer_cursor += 1;
+            if track {
+                pairs += self.inner_rows.len() as u64;
+            }
+            for i in &self.inner_rows {
+                let mut combined: Tuple = Vec::with_capacity(o.len() + i.len());
+                combined.extend(o.iter().cloned());
+                combined.extend(i.iter().cloned());
+                let pass = match &self.eval {
+                    Some(e) => e.eval_bool(&combined)?,
+                    None => true,
+                };
+                if pass {
+                    let combined = Arc::new(combined);
+                    if out.rows.len() < max {
+                        out.rows.push(combined);
+                    } else {
+                        self.pending.push_back(combined);
+                    }
+                }
+            }
+        }
+        let ops = self.ops_per;
+        self.span.work(|t| {
+            t.add_tuples(pairs);
+            t.add_comparisons(pairs * ops);
+        });
+        self.span.exit();
+        if out.rows.is_empty()
+            && self.outer_done
+            && self.pending.is_empty()
+            && self.outer_cursor >= self.outer_buf.len()
+        {
+            return Ok(None);
+        }
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.outer.close(ctx);
+        self.inner.close(ctx);
+        self.span.finish(ctx);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Aggregation
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { total: f64, all_int: bool, seen: bool },
+    Avg { total: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> DbResult<()> {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) counts rows; COUNT(expr) skips NULLs.
+                match v {
+                    Some(val) if val.is_null() => {}
+                    _ => *c += 1,
+                }
+            }
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        if !matches!(val, Value::Int(_)) {
+                            *all_int = false;
+                        }
+                        *total += val.as_f64()?;
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Avg { total, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *total += val.as_f64()?;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Less)
+                    {
+                        *cur = Some(val);
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Greater)
+                    {
+                        *cur = Some(val);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation: build (pipeline breaker, Agg Hash Table Build OU) then
+/// batched emission of finalized groups (Agg Hash Table Probe OU).
+struct AggregateOp {
+    child: BoxedOp,
+    specs: Vec<AggSpec>,
+    group_eval: Vec<Evaluator>,
+    agg_eval: Vec<Option<Evaluator>>,
+    n_group_cols: usize,
+    built: bool,
+    emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<AggState>)>>,
+    build_span: OpSpan,
+    probe_span: OpSpan,
+}
+
+impl AggregateOp {
+    fn build_groups(&mut self, ctx: &mut ExecContext<'_>) -> DbResult<()> {
+        let pull = ctx.batch_size.max(1);
+        let track = self.build_span.active();
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut rows_in = 0u64;
+        let mut bytes = 0u64;
+        loop {
+            let pulled = self.child.next_batch(ctx, pull)?;
+            let Some(batch) = pulled else { break };
+            self.build_span.enter();
+            for row in &batch.rows {
+                if track {
+                    rows_in += 1;
+                    bytes += tuple_size_bytes(row) as u64;
+                }
+                let key: Vec<Value> = self
+                    .group_eval
+                    .iter()
+                    .map(|g| g.eval(row))
+                    .collect::<DbResult<_>>()?;
+                let specs = &self.specs;
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| specs.iter().map(|a| AggState::new(a.func)).collect());
+                for (state, eval) in states.iter_mut().zip(&self.agg_eval) {
+                    let v = match eval {
+                        Some(e) => Some(e.eval(row)?),
+                        None => None,
+                    };
+                    state.update(v)?;
+                }
+            }
+            self.build_span.exit();
+        }
+        if groups.is_empty() && self.n_group_cols == 0 {
+            // Scalar aggregate over an empty input still yields one row.
+            groups.insert(
+                Vec::new(),
+                self.specs.iter().map(|a| AggState::new(a.func)).collect(),
+            );
+        }
+        let n_groups = groups.len() as u64;
+        let width = (self.n_group_cols + self.specs.len()) as u64;
+        self.build_span.work(|t| {
+            t.add_tuples(rows_in);
+            t.add_bytes(bytes);
+            t.add_hash_probes(rows_in);
+            t.add_random_accesses(n_groups);
+            t.add_allocated(n_groups * (32 + width * 16));
+        });
+        self.emit = Some(groups.into_iter().collect::<Vec<_>>().into_iter());
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl BatchOperator for AggregateOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if !self.built {
+            self.build_groups(ctx)?;
+        }
+        let emit = self.emit.as_mut().expect("agg emit iterator");
+        if emit.len() == 0 {
+            return Ok(None);
+        }
+        let max = max_rows.max(1);
+        self.probe_span.enter();
+        let mut out = Batch::with_capacity(max.min(emit.len()));
+        let mut out_bytes = 0u64;
+        let track = self.probe_span.active();
+        while out.rows.len() < max {
+            let Some((key, states)) = emit.next() else { break };
+            let mut row = key;
+            row.extend(states.into_iter().map(AggState::finalize));
+            if track {
+                out_bytes += tuple_size_bytes(&row) as u64;
+            }
+            out.rows.push(Arc::new(row));
+        }
+        let n = out.rows.len() as u64;
+        self.probe_span.work(|t| {
+            t.add_tuples(n);
+            t.add_bytes(out_bytes);
+            t.add_allocated(out_bytes);
+        });
+        self.probe_span.exit();
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+        self.build_span.finish(ctx);
+        self.probe_span.finish(ctx);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sort
+// ----------------------------------------------------------------------
+
+/// Full sort: build (pipeline breaker, Sort Build OU) then batched ordered
+/// emission (Sort Iterate OU).
+struct SortOp {
+    child: BoxedOp,
+    keys: Vec<SortKey>,
+    evals: Vec<Evaluator>,
+    sorted: Option<std::vec::IntoIter<Arc<Tuple>>>,
+    build_span: OpSpan,
+    iter_span: OpSpan,
+}
+
+impl SortOp {
+    fn build_sorted(&mut self, ctx: &mut ExecContext<'_>) -> DbResult<()> {
+        let pull = ctx.batch_size.max(1);
+        let track = self.build_span.active();
+        let mut keyed: Vec<(Vec<Value>, Arc<Tuple>)> = Vec::new();
+        let mut bytes = 0u64;
+        loop {
+            let pulled = self.child.next_batch(ctx, pull)?;
+            let Some(batch) = pulled else { break };
+            self.build_span.enter();
+            for row in batch.rows {
+                if track {
+                    bytes += tuple_size_bytes(&row) as u64;
+                }
+                let key: Vec<Value> = self
+                    .evals
+                    .iter()
+                    .map(|e| e.eval(&row))
+                    .collect::<DbResult<_>>()?;
+                keyed.push((key, row));
+            }
+            self.build_span.exit();
+        }
+        self.build_span.enter();
+        let keys = &self.keys;
+        let mut comparisons = 0u64;
+        keyed.sort_by(|a, b| {
+            comparisons += 1;
+            for (i, k) in keys.iter().enumerate() {
+                let ord = a.0[i].cmp_total(&b.0[i]);
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            // Tie-break on the full tuple so results are deterministic even
+            // though upstream hash operators iterate in arbitrary order.
+            for (x, y) in a.1.iter().zip(b.1.iter()) {
+                let ord = x.cmp_total(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let n = keyed.len() as u64;
+        let n_keys = self.keys.len() as u64;
+        self.build_span.work(|t| {
+            t.add_tuples(n);
+            t.add_bytes(bytes);
+            t.add_comparisons(comparisons);
+            t.add_allocated(bytes + n * n_keys * 16);
+        });
+        self.build_span.exit();
+        self.sorted = Some(
+            keyed
+                .into_iter()
+                .map(|(_, row)| row)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        Ok(())
+    }
+}
+
+impl BatchOperator for SortOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if self.sorted.is_none() {
+            self.build_sorted(ctx)?;
+        }
+        let sorted = self.sorted.as_mut().expect("sorted rows");
+        if sorted.len() == 0 {
+            return Ok(None);
+        }
+        let max = max_rows.max(1);
+        self.iter_span.enter();
+        let track = self.iter_span.active();
+        let mut out = Batch::with_capacity(max.min(sorted.len()));
+        let mut bytes = 0u64;
+        while out.rows.len() < max {
+            let Some(row) = sorted.next() else { break };
+            if track {
+                bytes += tuple_size_bytes(&row) as u64;
+            }
+            out.rows.push(row);
+        }
+        let n = out.rows.len() as u64;
+        self.iter_span.work(|t| {
+            t.add_tuples(n);
+            t.add_bytes(bytes);
+        });
+        self.iter_span.exit();
+        Ok(Some(out))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+        self.build_span.finish(ctx);
+        self.iter_span.finish(ctx);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pipeline construction and driving
+// ----------------------------------------------------------------------
+
+/// Build the executable pipeline for a row-producing plan subtree rooted at
+/// pre-order node `id` (first child = `id + 1`, second child = `id + 1 +
+/// subtree_size(first)` — identical numbering to the OU translator in
+/// `mb2-core`). `want_slots` makes scan nodes emit slot provenance for DML.
+pub(crate) fn build_pipeline(
+    node: &PlanNode,
+    id: u32,
+    ctx: &ExecContext<'_>,
+    want_slots: bool,
+) -> DbResult<BoxedOp> {
+    let use_compiled = compiled(ctx);
+    match node {
+        PlanNode::SeqScan { table, filter, .. } => {
+            let entry = ctx.catalog.get(table)?;
+            // batch_size == 1 is the legacy tuple-at-a-time mode: the
+            // predicate runs in a separate operator above the scan so every
+            // tuple traverses the full pull chain, as the materializing
+            // engine behaved. Larger batches push it into the scan visitor.
+            // DML scans always fuse — their filter must keep rows and slots
+            // paired.
+            let fuse = ctx.batch_size > 1 || want_slots || filter.is_none();
+            let scan = Box::new(SeqScanOp {
+                table: Arc::clone(&entry.table),
+                filter: fuse
+                    .then(|| filter.as_ref().map(|f| Evaluator::new(f, use_compiled)))
+                    .flatten(),
+                filter_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                want_slots,
+                pos: 0,
+                done: false,
+                scan_span: OpSpan::new(ctx, id, OuKind::SeqScan),
+                filter_span: filter
+                    .as_ref()
+                    .filter(|_| fuse)
+                    .map(|_| OpSpan::new(ctx, id, OuKind::ArithmeticFilter)),
+            });
+            if fuse {
+                return Ok(scan);
+            }
+            let predicate = filter.as_ref().expect("unfused scan has a filter");
+            Ok(Box::new(FilterOp {
+                child: scan,
+                eval: Evaluator::new(predicate, use_compiled),
+                ops_per: predicate.op_count() as u64,
+                span: OpSpan::new(ctx, id, OuKind::ArithmeticFilter),
+            }))
+        }
+        PlanNode::IndexScan {
+            table,
+            index,
+            range,
+            filter,
+            ..
+        } => {
+            let entry = ctx.catalog.get(table)?;
+            let idx = entry
+                .index_named(index)
+                .ok_or_else(|| DbError::Execution(format!("index '{index}' missing")))?;
+            // Same legacy-mode split as SeqScan.
+            let fuse = ctx.batch_size > 1 || want_slots || filter.is_none();
+            let scan = Box::new(IndexScanOp {
+                table: Arc::clone(&entry.table),
+                index: idx,
+                range: range.clone(),
+                filter: fuse
+                    .then(|| filter.as_ref().map(|f| Evaluator::new(f, use_compiled)))
+                    .flatten(),
+                filter_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                want_slots,
+                candidates: None,
+                cursor: 0,
+                scan_span: OpSpan::new(ctx, id, OuKind::IdxScan),
+                filter_span: filter
+                    .as_ref()
+                    .filter(|_| fuse)
+                    .map(|_| OpSpan::new(ctx, id, OuKind::ArithmeticFilter)),
+            });
+            if fuse {
+                return Ok(scan);
+            }
+            let predicate = filter.as_ref().expect("unfused scan has a filter");
+            Ok(Box::new(FilterOp {
+                child: scan,
+                eval: Evaluator::new(predicate, use_compiled),
+                ops_per: predicate.op_count() as u64,
+                span: OpSpan::new(ctx, id, OuKind::ArithmeticFilter),
+            }))
+        }
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            filter,
+            ..
+        } => {
+            let build_id = id + 1;
+            let probe_id = id + 1 + subtree_size(build);
+            Ok(Box::new(HashJoinOp {
+                build: build_pipeline(build, build_id, ctx, false)?,
+                probe: build_pipeline(probe, probe_id, ctx, false)?,
+                build_keys: build_keys.clone(),
+                probe_keys: probe_keys.clone(),
+                residual: filter.as_ref().map(|f| Evaluator::new(f, use_compiled)),
+                residual_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                built: false,
+                build_rows: Vec::new(),
+                table: HashMap::new(),
+                probe_buf: Vec::new(),
+                probe_cursor: 0,
+                probe_done: false,
+                pending: VecDeque::new(),
+                build_span: OpSpan::new(ctx, id, OuKind::JoinHashBuild),
+                probe_span: OpSpan::new(ctx, id, OuKind::JoinHashProbe),
+                filter_span: filter
+                    .as_ref()
+                    .map(|_| OpSpan::new(ctx, id, OuKind::ArithmeticFilter)),
+            }))
+        }
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            filter,
+            ..
+        } => {
+            let outer_id = id + 1;
+            let inner_id = id + 1 + subtree_size(outer);
+            Ok(Box::new(NestedLoopJoinOp {
+                outer: build_pipeline(outer, outer_id, ctx, false)?,
+                inner: build_pipeline(inner, inner_id, ctx, false)?,
+                eval: filter.as_ref().map(|f| Evaluator::new(f, use_compiled)),
+                ops_per: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                inner_built: false,
+                inner_rows: Vec::new(),
+                outer_buf: Vec::new(),
+                outer_cursor: 0,
+                outer_done: false,
+                pending: VecDeque::new(),
+                span: OpSpan::new(ctx, id, OuKind::ArithmeticFilter),
+            }))
+        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => Ok(Box::new(AggregateOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            specs: aggs.clone(),
+            group_eval: group_by
+                .iter()
+                .map(|g| Evaluator::new(g, use_compiled))
+                .collect(),
+            agg_eval: aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| Evaluator::new(e, use_compiled)))
+                .collect(),
+            n_group_cols: group_by.len(),
+            built: false,
+            emit: None,
+            build_span: OpSpan::new(ctx, id, OuKind::AggBuild),
+            probe_span: OpSpan::new(ctx, id, OuKind::AggProbe),
+        })),
+        PlanNode::Filter {
+            input, predicate, ..
+        } => Ok(Box::new(FilterOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            eval: Evaluator::new(predicate, use_compiled),
+            ops_per: predicate.op_count() as u64,
+            span: OpSpan::new(ctx, id, OuKind::ArithmeticFilter),
+        })),
+        PlanNode::Sort { input, keys, .. } => Ok(Box::new(SortOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            evals: keys
+                .iter()
+                .map(|k| Evaluator::new(&k.expr, use_compiled))
+                .collect(),
+            keys: keys.clone(),
+            sorted: None,
+            build_span: OpSpan::new(ctx, id, OuKind::SortBuild),
+            iter_span: OpSpan::new(ctx, id, OuKind::SortIter),
+        })),
+        PlanNode::Project { input, exprs, .. } => Ok(Box::new(ProjectOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            evals: exprs
+                .iter()
+                .map(|e| Evaluator::new(e, use_compiled))
+                .collect(),
+            ops_per: exprs.iter().map(|e| e.op_count() as u64).sum(),
+            span: OpSpan::new(ctx, id, OuKind::ArithmeticFilter),
+        })),
+        PlanNode::Limit { input, n, .. } => Ok(Box::new(LimitOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            remaining: *n,
+        })),
+        PlanNode::Output { input, sink, .. } => Ok(Box::new(OutputOp {
+            child: build_pipeline(input, id + 1, ctx, false)?,
+            sink: *sink,
+            span: OpSpan::new(ctx, id, OuKind::OutputResult),
+        })),
+        other => Err(DbError::Execution(format!(
+            "node {} cannot appear in a row-producing position",
+            other.label()
+        ))),
+    }
+}
+
+/// Drive a row-producing plan to completion, handing each non-empty batch to
+/// `on_batch`. Returns the number of rows streamed. Spans are closed (and
+/// recorded) before returning, including when a LIMIT cut execution short.
+pub(crate) fn run_query(
+    plan: &PlanNode,
+    ctx: &mut ExecContext<'_>,
+    on_batch: &mut dyn FnMut(Batch) -> DbResult<()>,
+) -> DbResult<usize> {
+    let mut root = build_pipeline(plan, 0, ctx, false)?;
+    let batch_size = ctx.batch_size.max(1);
+    let mut n = 0usize;
+    while let Some(batch) = root.next_batch(ctx, batch_size)? {
+        if !batch.rows.is_empty() {
+            n += batch.rows.len();
+            on_batch(batch)?;
+        }
+    }
+    root.close(ctx);
+    Ok(n)
+}
+
+/// Drive a DML victim scan, collecting rows with their slots. The scan must
+/// be a table-scan node (enforced by the caller).
+pub(crate) fn run_scan_with_slots(
+    scan: &PlanNode,
+    ctx: &mut ExecContext<'_>,
+    id: u32,
+) -> DbResult<(Vec<Arc<Tuple>>, Vec<SlotId>)> {
+    let mut op = build_pipeline(scan, id, ctx, true)?;
+    let batch_size = ctx.batch_size.max(1);
+    let mut rows = Vec::new();
+    let mut slots = Vec::new();
+    while let Some(mut batch) = op.next_batch(ctx, batch_size)? {
+        rows.append(&mut batch.rows);
+        slots.append(&mut batch.slots);
+    }
+    op.close(ctx);
+    Ok((rows, slots))
+}
+
+/// Unwrap a shared row for handoff to the client, cloning only if the MVCC
+/// store still holds a reference.
+pub fn into_owned(row: Arc<Tuple>) -> Tuple {
+    Arc::try_unwrap(row).unwrap_or_else(|shared| (*shared).clone())
+}

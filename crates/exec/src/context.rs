@@ -44,6 +44,10 @@ pub struct ExecContext<'a> {
     /// Latch/build instrumentation attached to indexes created by this
     /// context; `None` leaves new indexes uninstrumented.
     pub index_obs: Option<Arc<IndexObs>>,
+    /// Rows per [`crate::batch::Batch`] flowing through the operator
+    /// pipeline. `1` degenerates to tuple-at-a-time execution (the old
+    /// behavior); larger batches amortize per-pull overhead.
+    pub batch_size: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -56,7 +60,13 @@ impl<'a> ExecContext<'a> {
             hw: HardwareProfile::default(),
             jht_sleep_every: 0,
             index_obs: None,
+            batch_size: crate::batch::DEFAULT_BATCH_SIZE,
         }
+    }
+
+    pub fn with_batch_size(mut self, batch_size: usize) -> ExecContext<'a> {
+        self.batch_size = batch_size.max(1);
+        self
     }
 
     pub fn with_mode(mut self, mode: ExecutionMode) -> ExecContext<'a> {

@@ -1,9 +1,10 @@
 //! Plan execution: dispatch, node numbering, and result assembly.
 
 use mb2_common::types::Tuple;
-use mb2_common::{DbError, DbResult};
+use mb2_common::DbResult;
 use mb2_sql::PlanNode;
 
+use crate::batch::{self, Batch};
 use crate::context::ExecContext;
 use crate::ops;
 
@@ -25,144 +26,48 @@ pub fn subtree_size(node: &PlanNode) -> u32 {
     1 + node.children().iter().map(|c| subtree_size(c)).sum::<u32>()
 }
 
-/// Execute a plan to completion inside the context's transaction.
+/// Execute a plan to completion inside the context's transaction,
+/// materializing all result rows.
 pub fn execute(plan: &PlanNode, ctx: &mut ExecContext<'_>) -> DbResult<QueryResult> {
-    match plan {
-        PlanNode::Insert { table, rows, .. } => {
-            let n = ops::insert(table, rows, ctx, 0)?;
-            Ok(QueryResult {
-                rows: Vec::new(),
-                rows_affected: n,
-            })
+    let mut rows: Vec<Tuple> = Vec::new();
+    let n = execute_batched(plan, ctx, &mut |b: Batch| {
+        rows.reserve(b.rows.len());
+        for row in b.rows {
+            rows.push(batch::into_owned(row));
         }
+        Ok(())
+    })?;
+    Ok(QueryResult {
+        rows_affected: n,
+        rows,
+    })
+}
+
+/// Execute a plan, streaming result batches to `on_batch` instead of
+/// materializing them. DML and DDL-action plans run to completion without
+/// invoking the callback. Returns the number of result rows streamed, or
+/// the rows-affected count for write plans.
+pub fn execute_batched(
+    plan: &PlanNode,
+    ctx: &mut ExecContext<'_>,
+    on_batch: &mut dyn FnMut(Batch) -> DbResult<()>,
+) -> DbResult<usize> {
+    match plan {
+        PlanNode::Insert { table, rows, .. } => ops::insert(table, rows, ctx, 0),
         PlanNode::Update {
             table,
             scan,
             assignments,
             ..
-        } => {
-            let n = ops::update(table, scan, assignments, ctx, 0)?;
-            Ok(QueryResult {
-                rows: Vec::new(),
-                rows_affected: n,
-            })
-        }
-        PlanNode::Delete { table, scan, .. } => {
-            let n = ops::delete(table, scan, ctx, 0)?;
-            Ok(QueryResult {
-                rows: Vec::new(),
-                rows_affected: n,
-            })
-        }
+        } => ops::update(table, scan, assignments, ctx, 0),
+        PlanNode::Delete { table, scan, .. } => ops::delete(table, scan, ctx, 0),
         PlanNode::CreateIndex {
             table,
             index,
             columns,
             threads,
             ..
-        } => {
-            let n = ops::create_index(table, index, columns, *threads, ctx, 0)?;
-            Ok(QueryResult {
-                rows: Vec::new(),
-                rows_affected: n,
-            })
-        }
-        _ => {
-            let rows = run(plan, 0, ctx)?;
-            Ok(QueryResult {
-                rows_affected: rows.len(),
-                rows,
-            })
-        }
-    }
-}
-
-/// Run a row-producing subtree.
-pub(crate) fn run(node: &PlanNode, id: u32, ctx: &mut ExecContext<'_>) -> DbResult<Vec<Tuple>> {
-    match node {
-        PlanNode::SeqScan { table, filter, .. } => {
-            let (rows, _) = ops::seq_scan(table, filter.as_ref(), ctx, id, false)?;
-            Ok(rows)
-        }
-        PlanNode::IndexScan {
-            table,
-            index,
-            range,
-            filter,
-            ..
-        } => {
-            let (rows, _) = ops::index_scan(table, index, range, filter.as_ref(), ctx, id, false)?;
-            Ok(rows)
-        }
-        PlanNode::HashJoin {
-            build,
-            probe,
-            build_keys,
-            probe_keys,
-            filter,
-            ..
-        } => {
-            let build_id = id + 1;
-            let probe_id = id + 1 + subtree_size(build);
-            let build_rows = run(build, build_id, ctx)?;
-            let probe_rows = run(probe, probe_id, ctx)?;
-            ops::hash_join(
-                build_rows,
-                probe_rows,
-                build_keys,
-                probe_keys,
-                filter.as_ref(),
-                ctx,
-                id,
-            )
-        }
-        PlanNode::NestedLoopJoin {
-            outer,
-            inner,
-            filter,
-            ..
-        } => {
-            let outer_id = id + 1;
-            let inner_id = id + 1 + subtree_size(outer);
-            let outer_rows = run(outer, outer_id, ctx)?;
-            let inner_rows = run(inner, inner_id, ctx)?;
-            ops::nested_loop_join(outer_rows, inner_rows, filter.as_ref(), ctx, id)
-        }
-        PlanNode::Aggregate {
-            input,
-            group_by,
-            aggs,
-            ..
-        } => {
-            let rows = run(input, id + 1, ctx)?;
-            ops::aggregate(rows, group_by, aggs, ctx, id)
-        }
-        PlanNode::Filter {
-            input, predicate, ..
-        } => {
-            let rows = run(input, id + 1, ctx)?;
-            ops::standalone_filter(rows, predicate, ctx, id)
-        }
-        PlanNode::Sort { input, keys, .. } => {
-            let rows = run(input, id + 1, ctx)?;
-            ops::sort(rows, keys, ctx, id)
-        }
-        PlanNode::Project { input, exprs, .. } => {
-            let rows = run(input, id + 1, ctx)?;
-            ops::project(rows, exprs, ctx, id)
-        }
-        PlanNode::Limit { input, n, .. } => {
-            let mut rows = run(input, id + 1, ctx)?;
-            rows.truncate(*n);
-            Ok(rows)
-        }
-        PlanNode::Output { input, sink, .. } => {
-            let rows = run(input, id + 1, ctx)?;
-            ops::output(rows, *sink, ctx, id)
-        }
-        other => Err(DbError::Execution(format!(
-            "node {} cannot appear in a row-producing position",
-            other.label()
-        ))),
+        } => ops::create_index(table, index, columns, *threads, ctx, 0),
+        _ => batch::run_query(plan, ctx, on_batch),
     }
 }

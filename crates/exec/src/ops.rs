@@ -1,13 +1,16 @@
-//! Operator implementations. Each phase is one OU span: begin a tracker,
-//! do the work with work-accounting, finish + record.
+//! Write-path operators (DML + index build). Each is one OU span: begin a
+//! tracker, do the work with work-accounting, finish + record.
+//!
+//! Row-producing (read-path) operators live in [`crate::batch`] — they run
+//! as a pull-based batch pipeline. DML victim scans reuse that pipeline via
+//! `run_scan_with_slots`, so filters are pushed into the
+//! scan visitors on the write path too.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use mb2_common::types::{tuple_size_bytes, Tuple};
 use mb2_common::{DbError, DbResult, OuKind, Value};
-use mb2_sql::plan::{AggSpec, OutputSink, ScanRange, SortKey};
-use mb2_sql::{AggFunc, BoundExpr, PlanNode};
+use mb2_sql::{BoundExpr, PlanNode};
 use mb2_storage::SlotId;
 
 use crate::compile::Evaluator;
@@ -36,583 +39,27 @@ impl Span {
 
     fn end(self, ctx: &ExecContext<'_>, id: u32, ou: OuKind) {
         if let Some(t) = self.tracker {
+            let work = t.work;
             let metrics = t.finish(&ctx.hw);
             if let Some(r) = ctx.recorder {
+                r.record_work(id, ou, work);
                 r.record(id, ou, metrics);
             }
         }
     }
 }
 
-fn compiled(ctx: &ExecContext<'_>) -> bool {
+pub(crate) fn compiled(ctx: &ExecContext<'_>) -> bool {
     ctx.mode == ExecutionMode::Compiled
 }
 
 /// Busy-wait for `us` microseconds (used for injected regressions — a spin
 /// models a slower algorithm, paper §8.5).
-fn spin_us(us: u64) {
+pub(crate) fn spin_us(us: u64) {
     let until = Instant::now() + std::time::Duration::from_micros(us);
     while Instant::now() < until {
         std::hint::spin_loop();
     }
-}
-
-// ----------------------------------------------------------------------
-// Scans
-// ----------------------------------------------------------------------
-
-/// Sequential scan; returns rows (and their slots when `want_slots`).
-pub fn seq_scan(
-    table: &str,
-    filter: Option<&BoundExpr>,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-    want_slots: bool,
-) -> DbResult<(Vec<Tuple>, Vec<SlotId>)> {
-    let entry = ctx.catalog.get(table)?;
-    let mut rows: Vec<Tuple> = Vec::new();
-    let mut slots: Vec<SlotId> = Vec::new();
-
-    let mut span = Span::begin(ctx);
-    let mut bytes = 0u64;
-    entry
-        .table
-        .scan_visible(ctx.txn.read_ts(), ctx.txn.id(), |slot, tuple| {
-            bytes += tuple_size_bytes(tuple) as u64;
-            rows.push(tuple.clone());
-            if want_slots {
-                slots.push(slot);
-            }
-            true
-        });
-    span.work(|t| {
-        t.add_tuples(rows.len() as u64);
-        t.add_bytes(bytes);
-        t.add_allocated(bytes);
-    });
-    span.end(ctx, id, OuKind::SeqScan);
-
-    apply_filter(
-        filter,
-        &mut rows,
-        if want_slots { Some(&mut slots) } else { None },
-        ctx,
-        id,
-    )?;
-    Ok((rows, slots))
-}
-
-/// Index scan over a prefix range; visibility is re-checked on the base
-/// table (index entries may reference dead versions).
-pub fn index_scan(
-    table: &str,
-    index_name: &str,
-    range: &ScanRange,
-    filter: Option<&BoundExpr>,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-    want_slots: bool,
-) -> DbResult<(Vec<Tuple>, Vec<SlotId>)> {
-    let entry = ctx.catalog.get(table)?;
-    let index = entry
-        .index_named(index_name)
-        .ok_or_else(|| DbError::Execution(format!("index '{index_name}' missing")))?;
-    let mut rows: Vec<Tuple> = Vec::new();
-    let mut slots: Vec<SlotId> = Vec::new();
-
-    let mut span = Span::begin(ctx);
-    let mut candidates: Vec<SlotId> = Vec::new();
-    index.range_prefix(&range.lo, &range.hi, |_, &slot| {
-        candidates.push(slot);
-        true
-    });
-    let mut bytes = 0u64;
-    for slot in candidates.iter() {
-        if let Some(tuple) = ctx.txn.read(&entry.table, *slot) {
-            bytes += tuple_size_bytes(&tuple) as u64;
-            rows.push(tuple.as_ref().clone());
-            if want_slots {
-                slots.push(*slot);
-            }
-        }
-    }
-    span.work(|t| {
-        t.add_tuples(rows.len() as u64);
-        t.add_bytes(bytes);
-        t.add_random_accesses(candidates.len() as u64);
-        t.add_hash_probes(0);
-        t.add_allocated(bytes);
-    });
-    span.end(ctx, id, OuKind::IdxScan);
-
-    apply_filter(
-        filter,
-        &mut rows,
-        if want_slots { Some(&mut slots) } else { None },
-        ctx,
-        id,
-    )?;
-    Ok((rows, slots))
-}
-
-/// Slot list paired with scan rows during DML scans.
-type SlotList<'a> = Option<&'a mut Vec<SlotId>>;
-
-/// Residual-filter pass: a separate Arithmetic/Filter OU span.
-#[allow(unused_mut)]
-fn apply_filter(
-    filter: Option<&BoundExpr>,
-    rows: &mut Vec<Tuple>,
-    mut slots: SlotList<'_>,
-    ctx: &ExecContext<'_>,
-    id: u32,
-) -> DbResult<()> {
-    let Some(filter) = filter else { return Ok(()) };
-    let evaluator = Evaluator::new(filter, compiled(ctx));
-    let ops_per_tuple = filter.op_count() as u64;
-    let mut span = Span::begin(ctx);
-    let n_in = rows.len() as u64;
-    let mut keep = vec![false; rows.len()];
-    for (i, row) in rows.iter().enumerate() {
-        keep[i] = evaluator.eval_bool(row)?;
-    }
-    let mut it = keep.iter();
-    rows.retain(|_| *it.next().expect("keep mask"));
-    if let Some(slots) = slots {
-        let mut it = keep.iter();
-        slots.retain(|_| *it.next().expect("keep mask"));
-    }
-    span.work(|t| {
-        t.add_tuples(n_in);
-        t.add_comparisons(n_in * ops_per_tuple);
-    });
-    span.end(ctx, id, OuKind::ArithmeticFilter);
-    Ok(())
-}
-
-/// Standalone filter node (HAVING and other post-operator predicates).
-pub fn standalone_filter(
-    mut rows: Vec<Tuple>,
-    predicate: &BoundExpr,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    apply_filter(Some(predicate), &mut rows, None, ctx, id)?;
-    Ok(rows)
-}
-
-// ----------------------------------------------------------------------
-// Joins
-// ----------------------------------------------------------------------
-
-pub fn hash_join(
-    build_rows: Vec<Tuple>,
-    probe_rows: Vec<Tuple>,
-    build_keys: &[usize],
-    probe_keys: &[usize],
-    filter: Option<&BoundExpr>,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    // Build phase (Join Hash Table Build OU). The hash table pre-allocates
-    // by input size, matching the paper's join-HT memory normalization rule.
-    let mut span = Span::begin(ctx);
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows.len());
-    let mut build_bytes = 0u64;
-    for (i, row) in build_rows.iter().enumerate() {
-        let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
-        build_bytes += tuple_size_bytes(row) as u64;
-        table.entry(key).or_default().push(i);
-        if ctx.jht_sleep_every > 0 && (i + 1) % ctx.jht_sleep_every == 0 {
-            spin_us(1);
-        }
-    }
-    let alloc = build_rows.len() as u64 * (32 + build_keys.len() as u64 * 16) + build_bytes;
-    span.work(|t| {
-        t.add_tuples(build_rows.len() as u64);
-        t.add_bytes(build_bytes);
-        t.add_hash_probes(build_rows.len() as u64);
-        t.add_random_accesses(table.len() as u64);
-        t.add_allocated(alloc);
-    });
-    span.end(ctx, id, OuKind::JoinHashBuild);
-
-    // Probe phase (Join Hash Table Probe OU).
-    let mut span = Span::begin(ctx);
-    let mut out: Vec<Tuple> = Vec::new();
-    let mut probe_bytes = 0u64;
-    for row in &probe_rows {
-        probe_bytes += tuple_size_bytes(row) as u64;
-        let key: Vec<Value> = probe_keys.iter().map(|&k| row[k].clone()).collect();
-        if let Some(matches) = table.get(&key) {
-            for &bi in matches {
-                let mut combined = row.clone();
-                combined.extend(build_rows[bi].iter().cloned());
-                out.push(combined);
-            }
-        }
-    }
-    let out_bytes: u64 = out.iter().map(|r| tuple_size_bytes(r) as u64).sum();
-    span.work(|t| {
-        t.add_tuples(probe_rows.len() as u64);
-        t.add_bytes(probe_bytes + out_bytes);
-        t.add_hash_probes(probe_rows.len() as u64);
-        t.add_allocated(out_bytes);
-    });
-    span.end(ctx, id, OuKind::JoinHashProbe);
-
-    let mut rows = out;
-    apply_filter(filter, &mut rows, None, ctx, id)?;
-    Ok(rows)
-}
-
-/// Fallback cross join with filter; accounted as Arithmetic/Filter work.
-pub fn nested_loop_join(
-    outer_rows: Vec<Tuple>,
-    inner_rows: Vec<Tuple>,
-    filter: Option<&BoundExpr>,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    let evaluator = filter.map(|f| Evaluator::new(f, compiled(ctx)));
-    let ops_per = filter.map_or(0, |f| f.op_count()) as u64;
-    let mut span = Span::begin(ctx);
-    let mut out = Vec::new();
-    for o in &outer_rows {
-        for i in &inner_rows {
-            let mut combined = o.clone();
-            combined.extend(i.iter().cloned());
-            let pass = match &evaluator {
-                Some(e) => e.eval_bool(&combined)?,
-                None => true,
-            };
-            if pass {
-                out.push(combined);
-            }
-        }
-    }
-    let pairs = outer_rows.len() as u64 * inner_rows.len() as u64;
-    span.work(|t| {
-        t.add_tuples(pairs);
-        t.add_comparisons(pairs * ops_per);
-    });
-    span.end(ctx, id, OuKind::ArithmeticFilter);
-    Ok(out)
-}
-
-// ----------------------------------------------------------------------
-// Aggregation
-// ----------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-enum AggState {
-    Count(i64),
-    Sum {
-        total: f64,
-        all_int: bool,
-        seen: bool,
-    },
-    Avg {
-        total: f64,
-        n: i64,
-    },
-    Min(Option<Value>),
-    Max(Option<Value>),
-}
-
-impl AggState {
-    fn new(func: AggFunc) -> AggState {
-        match func {
-            AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum {
-                total: 0.0,
-                all_int: true,
-                seen: false,
-            },
-            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
-            AggFunc::Min => AggState::Min(None),
-            AggFunc::Max => AggState::Max(None),
-        }
-    }
-
-    fn update(&mut self, v: Option<Value>) -> DbResult<()> {
-        match self {
-            AggState::Count(c) => {
-                // COUNT(*) counts rows; COUNT(expr) skips NULLs.
-                match v {
-                    Some(val) if val.is_null() => {}
-                    _ => *c += 1,
-                }
-            }
-            AggState::Sum {
-                total,
-                all_int,
-                seen,
-            } => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        if !matches!(val, Value::Int(_)) {
-                            *all_int = false;
-                        }
-                        *total += val.as_f64()?;
-                        *seen = true;
-                    }
-                }
-            }
-            AggState::Avg { total, n } => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        *total += val.as_f64()?;
-                        *n += 1;
-                    }
-                }
-            }
-            AggState::Min(cur) => {
-                if let Some(val) = v {
-                    if !val.is_null()
-                        && cur
-                            .as_ref()
-                            .is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Less)
-                    {
-                        *cur = Some(val);
-                    }
-                }
-            }
-            AggState::Max(cur) => {
-                if let Some(val) = v {
-                    if !val.is_null()
-                        && cur
-                            .as_ref()
-                            .is_none_or(|c| val.cmp_total(c) == std::cmp::Ordering::Greater)
-                    {
-                        *cur = Some(val);
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn finalize(self) -> Value {
-        match self {
-            AggState::Count(c) => Value::Int(c),
-            AggState::Sum {
-                total,
-                all_int,
-                seen,
-            } => {
-                if !seen {
-                    Value::Null
-                } else if all_int {
-                    Value::Int(total as i64)
-                } else {
-                    Value::Float(total)
-                }
-            }
-            AggState::Avg { total, n } => {
-                if n == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(total / n as f64)
-                }
-            }
-            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
-        }
-    }
-}
-
-pub fn aggregate(
-    rows: Vec<Tuple>,
-    group_by: &[BoundExpr],
-    aggs: &[AggSpec],
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    let use_compiled = compiled(ctx);
-    let group_eval: Vec<Evaluator> = group_by
-        .iter()
-        .map(|g| Evaluator::new(g, use_compiled))
-        .collect();
-    let agg_eval: Vec<Option<Evaluator>> = aggs
-        .iter()
-        .map(|a| a.arg.as_ref().map(|e| Evaluator::new(e, use_compiled)))
-        .collect();
-
-    // Build phase (Agg Hash Table Build OU). The agg hash table grows with
-    // unique keys (memory normalized by cardinality, paper §4.3).
-    let mut span = Span::begin(ctx);
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-    let mut bytes = 0u64;
-    for row in &rows {
-        bytes += tuple_size_bytes(row) as u64;
-        let key: Vec<Value> = group_eval
-            .iter()
-            .map(|g| g.eval(row))
-            .collect::<DbResult<_>>()?;
-        let states = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
-        for (state, eval) in states.iter_mut().zip(&agg_eval) {
-            let v = match eval {
-                Some(e) => Some(e.eval(row)?),
-                None => None,
-            };
-            state.update(v)?;
-        }
-    }
-    if groups.is_empty() && group_by.is_empty() {
-        // Scalar aggregate over an empty input still yields one row.
-        groups.insert(
-            Vec::new(),
-            aggs.iter().map(|a| AggState::new(a.func)).collect(),
-        );
-    }
-    let n_groups = groups.len() as u64;
-    span.work(|t| {
-        t.add_tuples(rows.len() as u64);
-        t.add_bytes(bytes);
-        t.add_hash_probes(rows.len() as u64);
-        t.add_random_accesses(n_groups);
-        t.add_allocated(n_groups * (32 + (group_by.len() + aggs.len()) as u64 * 16));
-    });
-    span.end(ctx, id, OuKind::AggBuild);
-
-    // Emit phase (Agg Hash Table Probe OU).
-    let mut span = Span::begin(ctx);
-    let mut out: Vec<Tuple> = Vec::with_capacity(groups.len());
-    for (key, states) in groups {
-        let mut row = key;
-        row.extend(states.into_iter().map(AggState::finalize));
-        out.push(row);
-    }
-    let out_bytes: u64 = out.iter().map(|r| tuple_size_bytes(r) as u64).sum();
-    span.work(|t| {
-        t.add_tuples(out.len() as u64);
-        t.add_bytes(out_bytes);
-        t.add_allocated(out_bytes);
-    });
-    span.end(ctx, id, OuKind::AggProbe);
-    Ok(out)
-}
-
-// ----------------------------------------------------------------------
-// Sort
-// ----------------------------------------------------------------------
-
-pub fn sort(
-    rows: Vec<Tuple>,
-    keys: &[SortKey],
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    let use_compiled = compiled(ctx);
-    let evals: Vec<Evaluator> = keys
-        .iter()
-        .map(|k| Evaluator::new(&k.expr, use_compiled))
-        .collect();
-
-    // Build phase (Sort Build OU): materialize sort keys and sort.
-    let mut span = Span::begin(ctx);
-    let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rows.len());
-    let mut bytes = 0u64;
-    for row in rows {
-        bytes += tuple_size_bytes(&row) as u64;
-        let key: Vec<Value> = evals
-            .iter()
-            .map(|e| e.eval(&row))
-            .collect::<DbResult<_>>()?;
-        keyed.push((key, row));
-    }
-    let mut comparisons = 0u64;
-    keyed.sort_by(|a, b| {
-        comparisons += 1;
-        for (i, k) in keys.iter().enumerate() {
-            let ord = a.0[i].cmp_total(&b.0[i]);
-            let ord = if k.desc { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        // Tie-break on the full tuple so results are deterministic even
-        // though upstream hash operators iterate in arbitrary order.
-        for (x, y) in a.1.iter().zip(&b.1) {
-            let ord = x.cmp_total(y);
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    let n = keyed.len() as u64;
-    span.work(|t| {
-        t.add_tuples(n);
-        t.add_bytes(bytes);
-        t.add_comparisons(comparisons);
-        t.add_allocated(bytes + n * keys.len() as u64 * 16);
-    });
-    span.end(ctx, id, OuKind::SortBuild);
-
-    // Iterate phase (Sort Iterate OU): emit in order.
-    let mut span = Span::begin(ctx);
-    let out: Vec<Tuple> = keyed.into_iter().map(|(_, row)| row).collect();
-    span.work(|t| {
-        t.add_tuples(n);
-        t.add_bytes(bytes);
-    });
-    span.end(ctx, id, OuKind::SortIter);
-    Ok(out)
-}
-
-// ----------------------------------------------------------------------
-// Projection / output
-// ----------------------------------------------------------------------
-
-pub fn project(
-    rows: Vec<Tuple>,
-    exprs: &[BoundExpr],
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    let use_compiled = compiled(ctx);
-    let evals: Vec<Evaluator> = exprs
-        .iter()
-        .map(|e| Evaluator::new(e, use_compiled))
-        .collect();
-    let ops_per: u64 = exprs.iter().map(|e| e.op_count() as u64).sum();
-    let mut span = Span::begin(ctx);
-    let n = rows.len() as u64;
-    let mut out = Vec::with_capacity(rows.len());
-    for row in &rows {
-        let projected: Tuple = evals.iter().map(|e| e.eval(row)).collect::<DbResult<_>>()?;
-        out.push(projected);
-    }
-    span.work(|t| {
-        t.add_tuples(n);
-        t.add_comparisons(n * ops_per.max(1));
-    });
-    span.end(ctx, id, OuKind::ArithmeticFilter);
-    Ok(out)
-}
-
-pub fn output(
-    rows: Vec<Tuple>,
-    sink: OutputSink,
-    ctx: &mut ExecContext<'_>,
-    id: u32,
-) -> DbResult<Vec<Tuple>> {
-    let mut span = Span::begin(ctx);
-    let bytes: u64 = rows.iter().map(|r| tuple_size_bytes(r) as u64).sum();
-    let out = match sink {
-        OutputSink::Client => rows,
-        OutputSink::Discard => Vec::new(),
-    };
-    span.work(|t| {
-        t.add_tuples(out.len() as u64);
-        t.add_bytes(bytes);
-        t.add_allocated(bytes);
-    });
-    span.end(ctx, id, OuKind::OutputResult);
-    Ok(out)
 }
 
 // ----------------------------------------------------------------------
@@ -660,7 +107,7 @@ pub fn update(
     let mut span = Span::begin(ctx);
     let mut bytes = 0u64;
     for (old, slot) in rows.iter().zip(&slots) {
-        let mut new = old.clone();
+        let mut new = old.as_ref().clone();
         for (pos, eval) in &evals {
             new[*pos] = eval.eval(old)?;
         }
@@ -704,20 +151,17 @@ pub fn delete(table: &str, scan: &PlanNode, ctx: &mut ExecContext<'_>, id: u32) 
     Ok(rows.len())
 }
 
+/// DML victim scan: drive the batch pipeline over the scan node, collecting
+/// rows with their slot provenance.
 fn run_scan_with_slots(
     scan: &PlanNode,
     ctx: &mut ExecContext<'_>,
     id: u32,
-) -> DbResult<(Vec<Tuple>, Vec<SlotId>)> {
+) -> DbResult<(Vec<std::sync::Arc<Tuple>>, Vec<SlotId>)> {
     match scan {
-        PlanNode::SeqScan { table, filter, .. } => seq_scan(table, filter.as_ref(), ctx, id, true),
-        PlanNode::IndexScan {
-            table,
-            index,
-            range,
-            filter,
-            ..
-        } => index_scan(table, index, range, filter.as_ref(), ctx, id, true),
+        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
+            crate::batch::run_scan_with_slots(scan, ctx, id)
+        }
         other => Err(DbError::Execution(format!(
             "DML scan must be a table scan, found {}",
             other.label()

@@ -27,6 +27,14 @@ pub trait OuRecorder: Sync {
     /// `node_id` identifies the plan node (pre-order DFS index) so features
     /// generated from the plan can be joined with measurements.
     fn record(&self, node_id: u32, ou: OuKind, metrics: Metrics);
+
+    /// Raw work accounting for the span, delivered before the synthesized
+    /// [`Metrics`]. The default does nothing; differential tests implement
+    /// this to assert the batch pipeline's per-OU tuple/byte features are
+    /// exactly the per-operator totals.
+    fn record_work(&self, node_id: u32, ou: OuKind, work: WorkCounts) {
+        let _ = (node_id, ou, work);
+    }
 }
 
 /// Work accounted during one OU span.
@@ -47,8 +55,17 @@ pub struct WorkCounts {
 static NOISE_COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
 
 /// An in-flight OU measurement.
+///
+/// A span is a sequence of one or more timed *sections*: the batch executor
+/// re-enters an operator once per batch, resuming the operator's tracker
+/// around each section so the recorded elapsed time is the sum of the
+/// operator's own work — per-batch work folds into one measurement per OU
+/// invocation, exactly as a single materializing pass would have produced.
 pub struct OuTracker {
-    started: Instant,
+    /// Start of the currently-open section (`None` while paused).
+    open: Option<Instant>,
+    /// Wall time accumulated by closed sections, in µs.
+    accumulated_us: f64,
     pub work: WorkCounts,
     /// Time this span spent blocked (I/O, sleeps) rather than on-CPU, in µs.
     pub blocked_us: f64,
@@ -57,9 +74,37 @@ pub struct OuTracker {
 impl OuTracker {
     pub fn start() -> OuTracker {
         OuTracker {
-            started: Instant::now(),
+            open: Some(Instant::now()),
+            accumulated_us: 0.0,
             work: WorkCounts::default(),
             blocked_us: 0.0,
+        }
+    }
+
+    /// A tracker with no open section (`resume` opens the first one). Used
+    /// by batch operators whose span may accumulate work counts before any
+    /// timed section runs.
+    pub fn start_paused() -> OuTracker {
+        OuTracker {
+            open: None,
+            accumulated_us: 0.0,
+            work: WorkCounts::default(),
+            blocked_us: 0.0,
+        }
+    }
+
+    /// Open a new timed section (no-op if one is already open).
+    pub fn resume(&mut self) {
+        if self.open.is_none() {
+            self.open = Some(Instant::now());
+        }
+    }
+
+    /// Close the current timed section, folding it into the accumulated
+    /// elapsed time (no-op if paused).
+    pub fn pause(&mut self) {
+        if let Some(started) = self.open.take() {
+            self.accumulated_us += started.elapsed().as_nanos() as f64 / 1000.0;
         }
     }
 
@@ -101,20 +146,25 @@ impl OuTracker {
 
     /// Close the span: apply frequency pacing, then synthesize the metric
     /// vector from measured elapsed time + accounted work.
-    pub fn finish(self, hw: &HardwareProfile) -> Metrics {
+    pub fn finish(mut self, hw: &HardwareProfile) -> Metrics {
+        self.pause();
         let slowdown = hw.slowdown();
-        let busy_elapsed_us = self.started.elapsed().as_nanos() as f64 / 1000.0;
         if slowdown > 1.0 {
-            // Stretch the span: spin until elapsed reaches slowdown × busy
-            // time (the blocked portion is not stretched — I/O doesn't get
-            // slower with the CPU clock).
-            let on_cpu = (busy_elapsed_us - self.blocked_us).max(0.0);
+            // Stretch the span: spin until total elapsed reaches slowdown ×
+            // busy time (the blocked portion is not stretched — I/O doesn't
+            // get slower with the CPU clock).
+            let on_cpu = (self.accumulated_us - self.blocked_us).max(0.0);
             let target_us = self.blocked_us + on_cpu * slowdown;
-            while (self.started.elapsed().as_nanos() as f64 / 1000.0) < target_us {
-                std::hint::spin_loop();
+            if target_us > self.accumulated_us {
+                let spin_start = Instant::now();
+                let deficit_us = target_us - self.accumulated_us;
+                while (spin_start.elapsed().as_nanos() as f64 / 1000.0) < deficit_us {
+                    std::hint::spin_loop();
+                }
+                self.accumulated_us += spin_start.elapsed().as_nanos() as f64 / 1000.0;
             }
         }
-        let elapsed_us = self.started.elapsed().as_nanos() as f64 / 1000.0;
+        let elapsed_us = self.accumulated_us;
         let cpu_us = (elapsed_us - self.blocked_us).max(0.0);
 
         let mut rng = Prng::new(NOISE_COUNTER.fetch_add(1, Ordering::Relaxed));
@@ -198,6 +248,23 @@ mod tests {
         assert!(
             cycle_ratio > 0.7 && cycle_ratio < 1.4,
             "cycle ratio {cycle_ratio}"
+        );
+    }
+
+    #[test]
+    fn paused_sections_exclude_foreign_time() {
+        let mut t = OuTracker::start();
+        t.pause();
+        // Time spent while paused (another operator's work) must not count.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.resume();
+        t.add_tuples(10);
+        t.pause();
+        let m = t.finish(&HardwareProfile::default());
+        assert!(
+            m[idx::ELAPSED_US] < 2000.0,
+            "paused time leaked into the span: {}",
+            m[idx::ELAPSED_US]
         );
     }
 

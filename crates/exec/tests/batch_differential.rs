@@ -1,0 +1,656 @@
+//! Differential test: the batch pipeline vs a row-at-a-time oracle.
+//!
+//! The oracle is an independent interpreter over the physical plan that
+//! materializes every operator fully (the pre-batching execution model) and
+//! accounts per-OU tuple/byte work with the documented formulas. For every
+//! randomized query, at several batch sizes, the pipeline must produce
+//! byte-identical result rows — and, for LIMIT-free queries, per-(node, OU)
+//! tuple/byte features identical to the oracle's totals (LIMIT legitimately
+//! changes features: early termination is the optimization).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mb2_catalog::Catalog;
+use mb2_common::types::{tuple_size_bytes, Tuple};
+use mb2_common::{Column, Metrics, OuKind, Prng, Schema, Value};
+use mb2_exec::{execute, ExecContext, OuRecorder, WorkCounts};
+use mb2_sql::plan::{AggSpec, OutputSink, SortKey};
+use mb2_sql::{parse, AggFunc, BoundExpr, Planner, PlanNode, Statement};
+use mb2_txn::TxnManager;
+
+// ----------------------------------------------------------------------
+// Harness
+// ----------------------------------------------------------------------
+
+struct Harness {
+    catalog: Catalog,
+    txns: Arc<TxnManager>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            catalog: Catalog::new(),
+            txns: TxnManager::new(None),
+        }
+    }
+
+    fn ddl(&self, sql: &str) {
+        match parse(sql).unwrap() {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|c| {
+                            let mut col = Column::new(c.name, c.ty);
+                            if let Some(len) = c.varchar_len {
+                                col = col.with_varchar_len(len);
+                            }
+                            col
+                        })
+                        .collect(),
+                );
+                self.catalog.create_table(&name, schema).unwrap();
+            }
+            other => panic!("not ddl: {other:?}"),
+        }
+    }
+
+    fn run(&self, sql: &str) {
+        let stmt = parse(sql).unwrap();
+        let plan = Planner::new(&self.catalog).plan(&stmt).unwrap();
+        let mut txn = self.txns.begin();
+        {
+            let mut ctx = ExecContext::new(&self.catalog, &mut txn);
+            execute(&plan, &mut ctx).unwrap();
+        }
+        txn.commit().unwrap();
+    }
+
+    fn plan(&self, sql: &str) -> PlanNode {
+        let stmt = parse(sql).unwrap();
+        Planner::new(&self.catalog).plan(&stmt).unwrap()
+    }
+}
+
+/// Per-(node, OU) tuple/byte work totals.
+type Feats = HashMap<(u32, OuKind), (u64, u64)>;
+
+#[derive(Default)]
+struct WorkRec(Mutex<Feats>);
+
+impl OuRecorder for WorkRec {
+    fn record(&self, _: u32, _: OuKind, _: Metrics) {}
+    fn record_work(&self, id: u32, ou: OuKind, w: WorkCounts) {
+        let mut m = self.0.lock();
+        let e = m.entry((id, ou)).or_insert((0, 0));
+        e.0 += w.tuples;
+        e.1 += w.bytes;
+    }
+}
+
+fn run_engine(h: &Harness, plan: &PlanNode, batch_size: usize) -> (Vec<Tuple>, Feats) {
+    let rec = WorkRec::default();
+    let mut txn = h.txns.begin();
+    let rows = {
+        let mut ctx = ExecContext::new(&h.catalog, &mut txn)
+            .with_recorder(&rec)
+            .with_batch_size(batch_size);
+        execute(plan, &mut ctx).unwrap().rows
+    };
+    txn.commit().unwrap();
+    (rows, rec.0.into_inner())
+}
+
+// ----------------------------------------------------------------------
+// Row-at-a-time oracle
+// ----------------------------------------------------------------------
+
+struct Oracle<'a> {
+    h: &'a Harness,
+    feats: Feats,
+}
+
+impl<'a> Oracle<'a> {
+    fn run(h: &'a Harness, plan: &PlanNode) -> (Vec<Tuple>, Feats) {
+        let mut o = Oracle {
+            h,
+            feats: HashMap::new(),
+        };
+        let rows = o.eval_node(plan, 0);
+        (rows, o.feats)
+    }
+
+    fn add(&mut self, id: u32, ou: OuKind, tuples: u64, bytes: u64) {
+        let e = self.feats.entry((id, ou)).or_insert((0, 0));
+        e.0 += tuples;
+        e.1 += bytes;
+    }
+
+    fn eval_expr(row: &[Value], e: &BoundExpr) -> Value {
+        e.eval(row).unwrap()
+    }
+
+    fn eval_pred(row: &[Value], e: &BoundExpr) -> bool {
+        match Self::eval_expr(row, e) {
+            Value::Null => false,
+            v => v.as_bool().unwrap(),
+        }
+    }
+
+    fn bytes_of(rows: &[Tuple]) -> u64 {
+        rows.iter().map(|r| tuple_size_bytes(r) as u64).sum()
+    }
+
+    fn subtree(node: &PlanNode) -> u32 {
+        1 + node.children().iter().map(|c| Self::subtree(c)).sum::<u32>()
+    }
+
+    fn eval_node(&mut self, node: &PlanNode, id: u32) -> Vec<Tuple> {
+        match node {
+            PlanNode::SeqScan { table, filter, .. } => {
+                let entry = self.h.catalog.get(table).unwrap();
+                let txn = self.h.txns.begin();
+                let mut rows: Vec<Tuple> = Vec::new();
+                entry.table.scan_visible(txn.read_ts(), txn.id(), |_, t| {
+                    rows.push(t.clone());
+                    true
+                });
+                txn.commit().unwrap();
+                self.add(id, OuKind::SeqScan, rows.len() as u64, Self::bytes_of(&rows));
+                if let Some(f) = filter {
+                    let n_in = rows.len() as u64;
+                    rows.retain(|r| Self::eval_pred(r, f));
+                    self.add(id, OuKind::ArithmeticFilter, n_in, 0);
+                }
+                rows
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                filter,
+                ..
+            } => {
+                let build_id = id + 1;
+                let probe_id = id + 1 + Self::subtree(build);
+                let build_rows = self.eval_node(build, build_id);
+                let probe_rows = self.eval_node(probe, probe_id);
+                self.add(
+                    id,
+                    OuKind::JoinHashBuild,
+                    build_rows.len() as u64,
+                    Self::bytes_of(&build_rows),
+                );
+                // Match via linear key comparison (independent of the
+                // engine's hash table) but emit in the same probe-major,
+                // build-insertion-order sequence.
+                let mut out: Vec<Tuple> = Vec::new();
+                for p in &probe_rows {
+                    let pk: Vec<&Value> = probe_keys.iter().map(|&k| &p[k]).collect();
+                    for b in &build_rows {
+                        let bk: Vec<&Value> = build_keys.iter().map(|&k| &b[k]).collect();
+                        if pk == bk {
+                            let mut combined = p.clone();
+                            combined.extend(b.iter().cloned());
+                            out.push(combined);
+                        }
+                    }
+                }
+                self.add(
+                    id,
+                    OuKind::JoinHashProbe,
+                    probe_rows.len() as u64,
+                    Self::bytes_of(&probe_rows) + Self::bytes_of(&out),
+                );
+                if let Some(f) = filter {
+                    let n_in = out.len() as u64;
+                    out.retain(|r| Self::eval_pred(r, f));
+                    self.add(id, OuKind::ArithmeticFilter, n_in, 0);
+                }
+                out
+            }
+            PlanNode::NestedLoopJoin {
+                outer,
+                inner,
+                filter,
+                ..
+            } => {
+                let outer_id = id + 1;
+                let inner_id = id + 1 + Self::subtree(outer);
+                let outer_rows = self.eval_node(outer, outer_id);
+                let inner_rows = self.eval_node(inner, inner_id);
+                let mut out = Vec::new();
+                for o in &outer_rows {
+                    for i in &inner_rows {
+                        let mut combined = o.clone();
+                        combined.extend(i.iter().cloned());
+                        let pass = match filter {
+                            Some(f) => Self::eval_pred(&combined, f),
+                            None => true,
+                        };
+                        if pass {
+                            out.push(combined);
+                        }
+                    }
+                }
+                let pairs = outer_rows.len() as u64 * inner_rows.len() as u64;
+                self.add(id, OuKind::ArithmeticFilter, pairs, 0);
+                out
+            }
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let rows = self.eval_node(input, id + 1);
+                self.add(
+                    id,
+                    OuKind::AggBuild,
+                    rows.len() as u64,
+                    Self::bytes_of(&rows),
+                );
+                // Group with linear key search (independent of HashMap),
+                // then fold each aggregate over the group's rows in input
+                // order (same fold order as the engine, so float sums are
+                // bit-identical).
+                let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+                for row in &rows {
+                    let key: Vec<Value> = group_by
+                        .iter()
+                        .map(|g| Self::eval_expr(row, g))
+                        .collect();
+                    match groups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push(row.clone()),
+                        None => groups.push((key, vec![row.clone()])),
+                    }
+                }
+                if groups.is_empty() && group_by.is_empty() {
+                    groups.push((Vec::new(), Vec::new()));
+                }
+                let mut out: Vec<Tuple> = Vec::new();
+                for (key, members) in groups {
+                    let mut row = key;
+                    for spec in aggs {
+                        row.push(Self::fold_agg(spec, &members));
+                    }
+                    out.push(row);
+                }
+                self.add(
+                    id,
+                    OuKind::AggProbe,
+                    out.len() as u64,
+                    Self::bytes_of(&out),
+                );
+                out
+            }
+            PlanNode::Filter {
+                input, predicate, ..
+            } => {
+                let mut rows = self.eval_node(input, id + 1);
+                let n_in = rows.len() as u64;
+                rows.retain(|r| Self::eval_pred(r, predicate));
+                self.add(id, OuKind::ArithmeticFilter, n_in, 0);
+                rows
+            }
+            PlanNode::Sort { input, keys, .. } => {
+                let rows = self.eval_node(input, id + 1);
+                let bytes = Self::bytes_of(&rows);
+                let n = rows.len() as u64;
+                let mut keyed: Vec<(Vec<Value>, Tuple)> = rows
+                    .into_iter()
+                    .map(|r| {
+                        let k: Vec<Value> =
+                            keys.iter().map(|sk| Self::eval_expr(&r, &sk.expr)).collect();
+                        (k, r)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| Self::cmp_keyed(a, b, keys));
+                self.add(id, OuKind::SortBuild, n, bytes);
+                self.add(id, OuKind::SortIter, n, bytes);
+                keyed.into_iter().map(|(_, r)| r).collect()
+            }
+            PlanNode::Project { input, exprs, .. } => {
+                let rows = self.eval_node(input, id + 1);
+                self.add(id, OuKind::ArithmeticFilter, rows.len() as u64, 0);
+                rows.iter()
+                    .map(|r| exprs.iter().map(|e| Self::eval_expr(r, e)).collect())
+                    .collect()
+            }
+            PlanNode::Limit { input, n, .. } => {
+                let mut rows = self.eval_node(input, id + 1);
+                rows.truncate(*n);
+                rows
+            }
+            PlanNode::Output { input, sink, .. } => {
+                let rows = self.eval_node(input, id + 1);
+                let bytes = Self::bytes_of(&rows);
+                match sink {
+                    OutputSink::Client => {
+                        self.add(id, OuKind::OutputResult, rows.len() as u64, bytes);
+                        rows
+                    }
+                    OutputSink::Discard => {
+                        self.add(id, OuKind::OutputResult, 0, bytes);
+                        Vec::new()
+                    }
+                }
+            }
+            other => panic!("oracle cannot evaluate {}", other.label()),
+        }
+    }
+
+    fn cmp_keyed(
+        a: &(Vec<Value>, Tuple),
+        b: &(Vec<Value>, Tuple),
+        keys: &[SortKey],
+    ) -> std::cmp::Ordering {
+        for (i, k) in keys.iter().enumerate() {
+            let ord = a.0[i].cmp_total(&b.0[i]);
+            let ord = if k.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        for (x, y) in a.1.iter().zip(&b.1) {
+            let ord = x.cmp_total(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    fn fold_agg(spec: &AggSpec, rows: &[Tuple]) -> Value {
+        let arg = |row: &Tuple| -> Option<Value> {
+            spec.arg.as_ref().map(|e| Self::eval_expr(row, e))
+        };
+        match spec.func {
+            AggFunc::Count => {
+                let mut c = 0i64;
+                for row in rows {
+                    match arg(row) {
+                        Some(v) if v.is_null() => {}
+                        _ => c += 1,
+                    }
+                }
+                Value::Int(c)
+            }
+            AggFunc::Sum => {
+                let mut total = 0.0f64;
+                let mut all_int = true;
+                let mut seen = false;
+                for row in rows {
+                    if let Some(v) = arg(row) {
+                        if !v.is_null() {
+                            if !matches!(v, Value::Int(_)) {
+                                all_int = false;
+                            }
+                            total += v.as_f64().unwrap();
+                            seen = true;
+                        }
+                    }
+                }
+                if !seen {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            AggFunc::Avg => {
+                let mut total = 0.0f64;
+                let mut n = 0i64;
+                for row in rows {
+                    if let Some(v) = arg(row) {
+                        if !v.is_null() {
+                            total += v.as_f64().unwrap();
+                            n += 1;
+                        }
+                    }
+                }
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / n as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let mut best: Option<Value> = None;
+                for row in rows {
+                    if let Some(v) = arg(row) {
+                        if v.is_null() {
+                            continue;
+                        }
+                        let better = match &best {
+                            None => true,
+                            Some(cur) => {
+                                let ord = v.cmp_total(cur);
+                                if spec.func == AggFunc::Min {
+                                    ord == std::cmp::Ordering::Less
+                                } else {
+                                    ord == std::cmp::Ordering::Greater
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some(v);
+                        }
+                    }
+                }
+                best.unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Test driver
+// ----------------------------------------------------------------------
+
+fn setup(seed: u64) -> Harness {
+    let mut rng = Prng::new(seed);
+    let h = Harness::new();
+    h.ddl("CREATE TABLE t (a INT, b INT, c FLOAT)");
+    h.ddl("CREATE TABLE u (k INT, v INT)");
+    for i in 0..157 {
+        let b = rng.range_i64(0, 10);
+        let c = rng.range_i64(0, 1000) as f64 / 4.0;
+        h.run(&format!("INSERT INTO t VALUES ({i}, {b}, {c})"));
+    }
+    for i in 0..41 {
+        let k = rng.range_i64(0, 10);
+        h.run(&format!("INSERT INTO u VALUES ({k}, {i})"));
+    }
+    h
+}
+
+/// Whether the plan has a top-level ordering (rows arrive in a guaranteed
+/// order). Without one, hash-operator iteration order is unspecified and
+/// rows are compared canonically sorted.
+fn has_top_order(plan: &PlanNode) -> bool {
+    match plan {
+        PlanNode::Sort { .. } => true,
+        PlanNode::Output { input, .. } | PlanNode::Limit { input, .. } => has_top_order(input),
+        _ => false,
+    }
+}
+
+fn has_hash_operator(plan: &PlanNode) -> bool {
+    matches!(
+        plan,
+        PlanNode::Aggregate { .. } | PlanNode::HashJoin { .. }
+    ) || plan.children().iter().any(|c| has_hash_operator(c))
+}
+
+fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.cmp_total(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+fn check_query(h: &Harness, sql: &str, has_limit: bool) {
+    let plan = h.plan(sql);
+    if has_limit && !has_top_order(&plan) {
+        assert!(
+            !has_hash_operator(&plan),
+            "generator bug: LIMIT without ORDER BY over a hash operator is \
+             nondeterministic: {sql}"
+        );
+    }
+    let (oracle_rows, oracle_feats) = Oracle::run(h, &plan);
+    for batch_size in [1usize, 7, 1024] {
+        let (rows, feats) = run_engine(h, &plan, batch_size);
+        // Result rows must be byte-identical (canonically sorted when no
+        // ORDER BY pins the order).
+        if has_top_order(&plan) || !has_hash_operator(&plan) {
+            assert_eq!(
+                rows, oracle_rows,
+                "row mismatch for {sql} at batch_size={batch_size}"
+            );
+        } else {
+            assert_eq!(
+                canon(rows),
+                canon(oracle_rows.clone()),
+                "row mismatch (canonical) for {sql} at batch_size={batch_size}"
+            );
+        }
+        // Per-OU tuple/byte features must match the materializing totals —
+        // except under LIMIT, where early termination shrinks them.
+        if !has_limit {
+            let mut eng: Vec<_> = feats.iter().collect();
+            let mut ora: Vec<_> = oracle_feats.iter().collect();
+            eng.sort();
+            ora.sort();
+            assert_eq!(
+                eng, ora,
+                "per-OU work mismatch for {sql} at batch_size={batch_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_queries_match_oracle() {
+    let h = setup(0xD1FF);
+    let mut rng = Prng::new(0xCAFE);
+    for round in 0..8 {
+        let x = rng.range_i64(0, 160);
+        let b = rng.range_i64(0, 10);
+        let n = rng.range_usize(1, 30);
+        let cases: Vec<(String, bool)> = vec![
+            (format!("SELECT * FROM t WHERE a < {x}"), false),
+            (format!("SELECT a, b FROM t WHERE b = {b} ORDER BY a"), false),
+            (
+                "SELECT b, COUNT(*), SUM(a), AVG(c), MIN(a), MAX(c) FROM t \
+                 GROUP BY b ORDER BY b"
+                    .to_string(),
+                false,
+            ),
+            (
+                format!("SELECT t.a, u.v FROM t, u WHERE t.b = u.k AND t.a < {x}"),
+                false,
+            ),
+            (
+                format!("SELECT t.a, u.v FROM t, u WHERE t.b > u.k AND t.a = {x}"),
+                false,
+            ),
+            (format!("SELECT a FROM t ORDER BY b, a LIMIT {n}"), true),
+            (
+                format!(
+                    "SELECT b, COUNT(*) FROM t GROUP BY b HAVING COUNT(*) > {} ORDER BY b",
+                    rng.range_i64(5, 25)
+                ),
+                false,
+            ),
+            (
+                format!("SELECT a + b * 2 FROM t WHERE c < {x} ORDER BY a + b * 2"),
+                false,
+            ),
+            (format!("SELECT * FROM t LIMIT {n}"), true),
+            (
+                format!("SELECT b, SUM(a) FROM t WHERE a >= {x} GROUP BY b ORDER BY b LIMIT {n}"),
+                true,
+            ),
+        ];
+        for (sql, has_limit) in &cases {
+            check_query(&h, sql, *has_limit);
+        }
+        let _ = round;
+    }
+}
+
+#[test]
+fn limit_terminates_scan_early_and_exactly() {
+    let h = setup(0xBEEF);
+    // Find the scan positions of rows with b = 3 from a full scan (scan
+    // order is heap order, which LIMIT-prefixes must preserve).
+    let full = h.plan("SELECT * FROM t");
+    let (all_rows, _) = run_engine(&h, &full, 1024);
+    let match_positions: Vec<usize> = all_rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r[1] == Value::Int(3))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(match_positions.len() > 4, "need enough matches");
+
+    let take = 3usize;
+    let plan = h.plan(&format!("SELECT * FROM t WHERE b = 3 LIMIT {take}"));
+    for batch_size in [1usize, 7, 1024] {
+        let (rows, feats) = run_engine(&h, &plan, batch_size);
+        assert_eq!(rows.len(), take);
+        // The LIMIT prefix equals the first `take` matches in scan order.
+        for (row, &pos) in rows.iter().zip(&match_positions) {
+            assert_eq!(row, &all_rows[pos]);
+        }
+        // Early termination is exact: the scan visits precisely up to the
+        // take-th match and not one tuple further.
+        let scanned = feats
+            .iter()
+            .find(|((_, ou), _)| *ou == OuKind::SeqScan)
+            .map(|(_, (tuples, _))| *tuples)
+            .unwrap();
+        let expected = (match_positions[take - 1] + 1) as u64;
+        assert_eq!(
+            scanned, expected,
+            "batch_size={batch_size}: scanned {scanned}, expected {expected}"
+        );
+        assert!(
+            scanned < all_rows.len() as u64,
+            "scan must stop before the end of the heap"
+        );
+    }
+}
+
+#[test]
+fn batch_size_one_equals_default_features() {
+    // The per-OU features must be batch-size invariant even on LIMIT-free
+    // multi-operator plans: batch_size=1 (old behavior) vs default.
+    let h = setup(0x5EED);
+    let plan = h.plan(
+        "SELECT t.b, COUNT(*), SUM(u.v) FROM t, u WHERE t.b = u.k \
+         GROUP BY t.b ORDER BY t.b",
+    );
+    let (rows1, feats1) = run_engine(&h, &plan, 1);
+    let (rows2, feats2) = run_engine(&h, &plan, mb2_exec::DEFAULT_BATCH_SIZE);
+    assert_eq!(rows1, rows2);
+    let mut a: Vec<_> = feats1.into_iter().collect();
+    let mut b: Vec<_> = feats2.into_iter().collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}

@@ -203,27 +203,47 @@ impl Table {
     /// Visit every slot's visible version at `read_ts`. The callback gets the
     /// slot id and a borrowed tuple; returning `false` stops the scan early.
     pub fn scan_visible(&self, read_ts: Ts, own: Ts, mut f: impl FnMut(SlotId, &Tuple) -> bool) {
+        self.scan_visible_from(0, read_ts, own, |slot, arc| f(slot, arc));
+    }
+
+    /// Resumable zero-copy scan: visit visible versions starting at global
+    /// slot index `start`. The callback receives the slot id and the `Arc`'d
+    /// version, so accepting a tuple is a refcount bump and rejecting one
+    /// (a pushed-down predicate deciding inside the visitor) costs nothing —
+    /// no tuple is ever deep-cloned by the scan itself. Returning `false` is
+    /// the continuation signal: the scan stops *after* that tuple (batch
+    /// full, LIMIT satisfied) and the returned global slot index can be
+    /// passed back as `start` to resume where it left off. When the heap is
+    /// exhausted the return value equals the slot count at scan time.
+    pub fn scan_visible_from(
+        &self,
+        start: usize,
+        read_ts: Ts,
+        own: Ts,
+        mut f: impl FnMut(SlotId, &Arc<Tuple>) -> bool,
+    ) -> usize {
         let total = self.num_slots();
+        if start >= total {
+            return total;
+        }
         let segs = self.segments.read().clone();
-        'outer: for (si, seg) in segs.iter().enumerate() {
-            let upper = if (si + 1) * SEGMENT_SIZE <= total {
-                SEGMENT_SIZE
-            } else {
-                total - si * SEGMENT_SIZE
-            };
-            for off in 0..upper {
-                let chain = seg.chains[off].lock();
-                if let Some(data) = chain.visible(read_ts, own) {
-                    let slot = SlotId {
-                        segment: si as u32,
-                        offset: off as u32,
-                    };
-                    if !f(slot, data) {
-                        break 'outer;
-                    }
+        let mut idx = start;
+        while idx < total {
+            let si = idx / SEGMENT_SIZE;
+            let off = idx % SEGMENT_SIZE;
+            let chain = segs[si].chains[off].lock();
+            if let Some(data) = chain.visible(read_ts, own) {
+                let slot = SlotId {
+                    segment: si as u32,
+                    offset: off as u32,
+                };
+                if !f(slot, data) {
+                    return idx + 1;
                 }
             }
+            idx += 1;
         }
+        total
     }
 
     /// Garbage-collect version chains against the watermark. Returns the
@@ -378,6 +398,48 @@ mod tests {
             true
         });
         assert_eq!(count, n);
+    }
+
+    #[test]
+    fn resumable_scan_continues_where_it_stopped() {
+        let t = table();
+        for i in 0..10 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        // First batch of 4, stop, then resume for the rest.
+        let mut seen = Vec::new();
+        let pos = t.scan_visible_from(0, Ts(5), Ts::txn(2), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            seen.len() < 4
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(pos, 4);
+        let end = t.scan_visible_from(pos, Ts(5), Ts::txn(2), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(end, 10);
+        // Resuming at the end is a no-op.
+        assert_eq!(t.scan_visible_from(end, Ts(5), Ts::txn(2), |_, _| true), 10);
+    }
+
+    #[test]
+    fn resumable_scan_skips_invisible_without_emitting() {
+        let t = table();
+        for i in 0..6 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            // Commit only even rows at ts 5; odd rows commit later.
+            let ts = if i % 2 == 0 { Ts(5) } else { Ts(50) };
+            t.commit_slot(slot, Ts::txn(1), ts, 1);
+        }
+        let mut seen = Vec::new();
+        t.scan_visible_from(0, Ts(10), Ts::txn(2), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(seen, vec![0, 2, 4]);
     }
 
     #[test]
