@@ -1,0 +1,6 @@
+//! Morsel-parallel throughput; see `mb2_bench::experiments::exec_parallel`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::exec_parallel::run(scale);
+    mb2_bench::report::emit("exec_parallel", &report);
+}

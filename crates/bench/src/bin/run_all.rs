@@ -11,6 +11,7 @@ fn main() {
         ("table02_overhead", experiments::table02_overhead::run),
         ("obs_overhead", experiments::obs_overhead::run),
         ("exec_throughput", experiments::exec_throughput::run),
+        ("exec_parallel", experiments::exec_parallel::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
         (

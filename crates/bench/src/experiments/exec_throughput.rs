@@ -27,6 +27,16 @@ use crate::Scale;
 /// Required speedup (batch 1024 vs 1) on the selective-filter scan.
 pub const FILTER_SPEEDUP_GATE: f64 = 2.0;
 
+/// Regression gate for the hash join (batch 1024 vs 1). Join time is
+/// dominated by probe/emit rather than pull overhead, so batching buys
+/// little — the gate only catches batching making the join materially
+/// slower.
+pub const JOIN_SPEEDUP_GATE: f64 = 0.8;
+
+/// Regression gate for the hash aggregation (batch 1024 vs 1): batched
+/// group-build must keep a measurable edge over tuple-at-a-time.
+pub const AGG_SPEEDUP_GATE: f64 = 1.2;
+
 const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
 
 struct Case {
@@ -42,8 +52,10 @@ pub fn run(scale: Scale) -> String {
     out.push_str("# Batch execution throughput — rows/sec by batch size\n\n");
 
     let db = Database::open();
-    db.execute("CREATE TABLE big (a INT, b INT, c FLOAT)").unwrap();
-    db.execute("CREATE TABLE dim (id INT, name VARCHAR(16))").unwrap();
+    db.execute("CREATE TABLE big (a INT, b INT, c FLOAT)")
+        .unwrap();
+    db.execute("CREATE TABLE dim (id INT, name VARCHAR(16))")
+        .unwrap();
     let rows = scale.pick(4_000, 40_000);
     for i in 0..rows {
         // b uniform in 0..100 → `b < 10` is 10% selective.
@@ -55,7 +67,8 @@ pub fn run(scale: Scale) -> String {
         .unwrap();
     }
     for i in 0..100 {
-        db.execute(&format!("INSERT INTO dim VALUES ({i}, 'd{i}')")).unwrap();
+        db.execute(&format!("INSERT INTO dim VALUES ({i}, 'd{i}')"))
+            .unwrap();
     }
     db.execute("ANALYZE big").unwrap();
     db.execute("ANALYZE dim").unwrap();
@@ -133,23 +146,41 @@ pub fn run(scale: Scale) -> String {
     out.push_str(&table.render());
 
     let filter_speedup = rates[1][2] / rates[1][0];
-    let pass = filter_speedup >= FILTER_SPEEDUP_GATE;
+    let join_speedup = rates[2][2] / rates[2][0];
+    let agg_speedup = rates[3][2] / rates[3][0];
+    let filter_pass = filter_speedup >= FILTER_SPEEDUP_GATE;
+    let join_pass = join_speedup >= JOIN_SPEEDUP_GATE;
+    let agg_pass = agg_speedup >= AGG_SPEEDUP_GATE;
+    let pass = filter_pass && join_pass && agg_pass;
     let _ = writeln!(
         out,
         "\nscan+filter speedup at batch 1024 vs 1: {filter_speedup:.2}x \
          (gate {FILTER_SPEEDUP_GATE:.1}x) — {}",
-        if pass { "PASS" } else { "FAIL" }
+        if filter_pass { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        out,
+        "hash-join speedup at batch 1024 vs 1: {join_speedup:.2}x \
+         (gate {JOIN_SPEEDUP_GATE:.1}x) — {}",
+        if join_pass { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        out,
+        "hash-agg speedup at batch 1024 vs 1: {agg_speedup:.2}x \
+         (gate {AGG_SPEEDUP_GATE:.1}x) — {}",
+        if agg_pass { "PASS" } else { "FAIL" }
     );
 
     // Machine-readable companion: hand-rolled JSON, no serde dependency.
     let mut json = String::from("{\n  \"experiment\": \"exec_throughput\",\n");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(
-        json,
-        "  \"filter_speedup_1024_vs_1\": {filter_speedup:.4},"
-    );
+    let _ = writeln!(json, "  \"filter_speedup_1024_vs_1\": {filter_speedup:.4},");
+    let _ = writeln!(json, "  \"join_speedup_1024_vs_1\": {join_speedup:.4},");
+    let _ = writeln!(json, "  \"agg_speedup_1024_vs_1\": {agg_speedup:.4},");
     let _ = writeln!(json, "  \"gate\": {FILTER_SPEEDUP_GATE},");
+    let _ = writeln!(json, "  \"join_gate\": {JOIN_SPEEDUP_GATE},");
+    let _ = writeln!(json, "  \"agg_gate\": {AGG_SPEEDUP_GATE},");
     let _ = writeln!(json, "  \"gate_pass\": {pass},");
     json.push_str("  \"results\": [\n");
     for (ci, case) in cases.iter().enumerate() {

@@ -583,10 +583,7 @@ mod tests {
             db.execute_plan(&plan, Some(&rec)).unwrap();
             let measured = rec.0.into_inner();
             for inst in translator.translate_plan(&plan, &db.knobs()) {
-                let got = measured
-                    .get(&(inst.node_id, inst.ou))
-                    .copied()
-                    .unwrap_or(0);
+                let got = measured.get(&(inst.node_id, inst.ou)).copied().unwrap_or(0);
                 assert_eq!(
                     got as f64, inst.features[0],
                     "tuple feature mismatch for {sql}, node {} {:?}",

@@ -91,6 +91,19 @@ pub struct Knobs {
     /// the scan. Per-OU work features are identical either way. Clamped to
     /// at least 1.
     pub batch_size: usize,
+    /// Workers in the shared intra-query execution pool. `1` (serial) skips
+    /// the pool entirely — today's single-thread pipeline. Sizes ≥ 2 run
+    /// base-table scans (and the hash-join/aggregation breakers above them)
+    /// morsel-parallel; results stay byte-identical to serial execution.
+    /// Defaults to the number of available cores. Clamped to at least 1.
+    pub parallelism: usize,
+}
+
+/// Worker-count default for [`Knobs::parallelism`]: every available core.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for Knobs {
@@ -101,6 +114,7 @@ impl Default for Knobs {
             hw: HardwareProfile::default(),
             jht_sleep_every: 0,
             batch_size: mb2_exec::DEFAULT_BATCH_SIZE,
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -117,5 +131,7 @@ mod tests {
         assert_eq!(c.knobs.execution_mode, ExecutionMode::Compiled);
         assert_eq!(c.knobs.jht_sleep_every, 0);
         assert_eq!(c.knobs.batch_size, mb2_exec::DEFAULT_BATCH_SIZE);
+        assert_eq!(c.knobs.parallelism, default_parallelism());
+        assert!(c.knobs.parallelism >= 1);
     }
 }

@@ -7,8 +7,8 @@ use parking_lot::RwLock;
 use mb2_catalog::Catalog;
 use mb2_common::{Column, DbError, DbResult, Schema};
 use mb2_exec::{
-    execute, execute_batched, Batch, ExecContext, ExecutionMode, ObsRecorder, OuRecorder,
-    QueryResult,
+    execute, execute_batched, Batch, ExecContext, ExecPool, ExecutionMode, ObsRecorder, OuRecorder,
+    QueryResult, DEFAULT_MORSEL_SLOTS,
 };
 use mb2_index::IndexObs;
 use mb2_obs::MetricsRegistry;
@@ -27,6 +27,9 @@ pub struct Database {
     gc: Arc<GarbageCollector>,
     wal: Option<Arc<LogManager>>,
     knobs: RwLock<Knobs>,
+    /// Shared morsel-execution worker pool; `None` while `knobs.parallelism`
+    /// is 1 (serial execution never touches the pool).
+    pool: RwLock<Option<Arc<ExecPool>>>,
     metrics: Arc<MetricsRegistry>,
     engine_metrics: EngineMetrics,
     obs_recorder: Arc<ObsRecorder>,
@@ -60,12 +63,15 @@ impl Database {
         if let Some(interval) = config.gc_interval {
             gc.start_background(interval);
         }
+        let workers = config.knobs.parallelism.max(1);
+        let pool = (workers > 1).then(|| ExecPool::with_metrics(workers, &metrics));
         Ok(Database {
             catalog: Catalog::new(),
             txns,
             gc,
             wal,
             knobs: RwLock::new(config.knobs),
+            pool: RwLock::new(pool),
             engine_metrics: EngineMetrics::new(&metrics),
             obs_recorder: ObsRecorder::new(&metrics),
             index_obs: IndexObs::new(&metrics),
@@ -148,6 +154,22 @@ impl Database {
     /// `1` = tuple-at-a-time execution).
     pub fn set_batch_size(&self, n: usize) {
         self.knobs.write().batch_size = n.max(1);
+    }
+
+    /// Workers in the shared intra-query execution pool (clamped to at
+    /// least 1; `1` = serial execution, no pool threads). Changing the knob
+    /// tears down the old pool (joining its workers) and builds a new one;
+    /// in-flight queries keep their `Arc` to the old pool until they finish.
+    pub fn set_parallelism(&self, n: usize) {
+        let n = n.max(1);
+        self.knobs.write().parallelism = n;
+        let pool = (n > 1).then(|| ExecPool::with_metrics(n, &self.metrics));
+        *self.pool.write() = pool;
+    }
+
+    /// The shared morsel-execution pool, if parallelism is enabled.
+    pub fn exec_pool(&self) -> Option<Arc<ExecPool>> {
+        self.pool.read().clone()
     }
 
     /// Whether the WAL has latched into the read-only (poisoned) state.
@@ -303,6 +325,8 @@ impl Database {
             jht_sleep_every: knobs.jht_sleep_every,
             index_obs: Some(self.index_obs.clone()),
             batch_size: knobs.batch_size.max(1),
+            pool: self.exec_pool(),
+            morsel_slots: DEFAULT_MORSEL_SLOTS,
         };
         // Index builds must be loggable before we spend the work building
         // them; a poisoned WAL rejects the DDL up front.
@@ -394,6 +418,8 @@ impl Database {
             jht_sleep_every: knobs.jht_sleep_every,
             index_obs: Some(self.index_obs.clone()),
             batch_size: knobs.batch_size.max(1),
+            pool: self.exec_pool(),
+            morsel_slots: DEFAULT_MORSEL_SLOTS,
         };
         let result = execute_batched(plan, &mut ctx, on_batch);
         match &result {
@@ -500,8 +526,11 @@ impl Database {
         }
     }
 
-    /// Stop background threads (GC, WAL flusher).
+    /// Stop background threads (execution pool, GC, WAL flusher).
     pub fn shutdown(&self) {
+        // Dropping the last `Arc` joins the pool's worker threads; queries
+        // still holding a clone keep it alive until they finish.
+        *self.pool.write() = None;
         self.gc.shutdown();
         if let Some(wal) = &self.wal {
             wal.shutdown();
@@ -603,6 +632,34 @@ mod tests {
     fn transaction_control_requires_session() {
         let db = Database::open();
         assert!(db.execute("BEGIN").is_err());
+    }
+
+    #[test]
+    fn parallelism_knob_rebuilds_pool_and_preserves_results() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        for i in 0..300 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7))
+                .unwrap();
+        }
+        db.set_parallelism(1);
+        assert!(db.exec_pool().is_none(), "parallelism 1 runs serial");
+        let serial = db.execute("SELECT a, b FROM t WHERE b < 3").unwrap().rows;
+        for workers in [2usize, 4] {
+            db.set_parallelism(workers);
+            let pool = db.exec_pool().expect("pool built for parallelism > 1");
+            assert_eq!(pool.workers(), workers);
+            assert_eq!(db.knobs().parallelism, workers);
+            let got = db.execute("SELECT a, b FROM t WHERE b < 3").unwrap().rows;
+            assert_eq!(got, serial, "parallel rows must be byte-identical");
+        }
+        // The pool publishes into the database's registry.
+        let prom = db.metrics_prometheus();
+        assert!(prom.contains("mb2_exec_pool_workers"));
+        assert!(prom.contains("mb2_exec_pool_busy_workers"));
+        db.set_parallelism(0); // clamps to 1
+        assert_eq!(db.knobs().parallelism, 1);
+        assert!(db.exec_pool().is_none());
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! fully on first pull; those edges are exactly the OU span boundaries the
 //! paper's models key on, so batching never blurs them.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use mb2_common::types::{tuple_size_bytes, Tuple};
 use mb2_common::{DbError, DbResult, OuKind, Value};
@@ -35,6 +37,7 @@ use crate::compile::Evaluator;
 use crate::context::ExecContext;
 use crate::executor::subtree_size;
 use crate::ops::{compiled, spin_us};
+use crate::parallel::{self, ChainSpec, ExecPool, ParStage, ParallelRun, SpanAcct, WorkerAcct};
 use crate::tracker::OuTracker;
 
 /// Default rows per batch. 1 degenerates to tuple-at-a-time execution.
@@ -118,6 +121,17 @@ impl OpSpan {
     fn work(&mut self, f: impl FnOnce(&mut OuTracker)) {
         if self.active {
             f(self.tracker.get_or_insert_with(OuTracker::start_paused));
+        }
+    }
+
+    /// Fold a worker-side account (work counts + wall time) into the span.
+    /// Parallel operators call this once per chain run, at close, so the
+    /// recorded measurement sums every worker's contribution.
+    fn absorb(&mut self, acct: &SpanAcct) {
+        if self.active {
+            self.tracker
+                .get_or_insert_with(OuTracker::start_paused)
+                .absorb(&acct.work, acct.elapsed_us);
         }
     }
 
@@ -357,6 +371,230 @@ impl BatchOperator for IndexScanOp {
 }
 
 // ----------------------------------------------------------------------
+// Parallel leaf chains (see crate::parallel and DESIGN.md "Parallel
+// execution model")
+// ----------------------------------------------------------------------
+
+/// Match a plan subtree that can run as a parallel leaf chain: zero or more
+/// Filter/Project stages over a sequential scan of a table with at least
+/// two morsels. Returns `None` (→ serial pipeline) when there is no pool,
+/// the subtree has another shape, or the table is too small to split.
+/// Index scans stay serial: their candidate sets come from one index pass,
+/// not from heap ranges.
+fn par_chain(node: &PlanNode, id: u32, ctx: &ExecContext<'_>) -> DbResult<Option<Arc<ChainSpec>>> {
+    if ctx.pool.is_none() {
+        return Ok(None);
+    }
+    let use_compiled = compiled(ctx);
+    let mut stages: Vec<ParStage> = Vec::new();
+    let mut cur = node;
+    let mut cur_id = id;
+    loop {
+        match cur {
+            PlanNode::Filter {
+                input, predicate, ..
+            } => {
+                stages.push(ParStage::Filter {
+                    id: cur_id,
+                    eval: Evaluator::new(predicate, use_compiled),
+                    ops: predicate.op_count() as u64,
+                });
+                cur = input;
+                cur_id += 1;
+            }
+            PlanNode::Project { input, exprs, .. } => {
+                stages.push(ParStage::Project {
+                    id: cur_id,
+                    evals: exprs
+                        .iter()
+                        .map(|e| Evaluator::new(e, use_compiled))
+                        .collect(),
+                    ops: exprs.iter().map(|e| e.op_count() as u64).sum(),
+                });
+                cur = input;
+                cur_id += 1;
+            }
+            PlanNode::SeqScan { table, filter, .. } => {
+                let entry = ctx.catalog.get(table)?;
+                let total_slots = entry.table.num_slots();
+                let morsel_slots = ctx.morsel_slots.max(1);
+                if total_slots.div_ceil(morsel_slots) < 2 {
+                    return Ok(None);
+                }
+                // Stages were collected top-down; workers apply them
+                // scan-upward.
+                stages.reverse();
+                return Ok(Some(Arc::new(ChainSpec {
+                    table: Arc::clone(&entry.table),
+                    read_ts: ctx.txn.read_ts(),
+                    own: ctx.txn.id(),
+                    scan_id: cur_id,
+                    filter: filter.as_ref().map(|f| Evaluator::new(f, use_compiled)),
+                    filter_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                    stages,
+                    track: ctx.recorder.is_some() || ctx.hw.slowdown() > 1.0,
+                    morsel_slots,
+                    total_slots,
+                })));
+            }
+            _ => return Ok(None),
+        }
+    }
+}
+
+/// One `OpSpan` per (node, OU) the chain accounts for — created eagerly so
+/// a chain that never runs (LIMIT 0) still records zero-work spans.
+fn chain_spans(ctx: &ExecContext<'_>, chain: &ChainSpec) -> Vec<OpSpan> {
+    chain
+        .span_keys()
+        .into_iter()
+        .map(|(id, ou)| OpSpan::new(ctx, id, ou))
+        .collect()
+}
+
+/// Fold every matching worker account into the chain's spans.
+fn absorb_chain(spans: &mut [OpSpan], acct: &WorkerAcct) {
+    for span in spans {
+        if let Some(a) = acct.get(span.id, span.ou) {
+            span.absorb(a);
+        }
+    }
+}
+
+fn require_pool(ctx: &ExecContext<'_>) -> DbResult<Arc<ExecPool>> {
+    ctx.pool
+        .clone()
+        .ok_or_else(|| DbError::Execution("parallel operator built without a pool".into()))
+}
+
+/// A pipeline-breaker input: either a regular child operator or a parallel
+/// leaf chain the breaker consumes morsel-wise on the worker pool.
+enum ParChild {
+    Op(BoxedOp),
+    Parallel {
+        chain: Arc<ChainSpec>,
+        spans: Vec<OpSpan>,
+    },
+}
+
+impl ParChild {
+    fn from_plan(node: &PlanNode, id: u32, ctx: &ExecContext<'_>) -> DbResult<ParChild> {
+        match par_chain(node, id, ctx)? {
+            Some(chain) => {
+                let spans = chain_spans(ctx, &chain);
+                Ok(ParChild::Parallel { chain, spans })
+            }
+            None => Ok(ParChild::Op(build_pipeline(node, id, ctx, false)?)),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        match self {
+            ParChild::Op(op) => op.close(ctx),
+            ParChild::Parallel { spans, .. } => {
+                for span in spans {
+                    span.finish(ctx);
+                }
+            }
+        }
+    }
+}
+
+/// A parallel leaf chain in a streaming (non-breaker) position: workers
+/// scan/filter/project morsels concurrently and the ordered gather re-emits
+/// rows in heap order, so downstream operators (and LIMIT) see exactly the
+/// serial row stream.
+struct ParallelScanOp {
+    chain: Arc<ChainSpec>,
+    spans: Vec<OpSpan>,
+    run: Option<ParallelRun<Vec<Arc<Tuple>>>>,
+    started: bool,
+    buf: Vec<Arc<Tuple>>,
+    cursor: usize,
+    exhausted: bool,
+}
+
+impl ParallelScanOp {
+    fn new(ctx: &ExecContext<'_>, chain: Arc<ChainSpec>) -> ParallelScanOp {
+        let spans = chain_spans(ctx, &chain);
+        ParallelScanOp {
+            chain,
+            spans,
+            run: None,
+            started: false,
+            buf: Vec::new(),
+            cursor: 0,
+            exhausted: false,
+        }
+    }
+}
+
+impl BatchOperator for ParallelScanOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        if !self.started {
+            self.started = true;
+            let pool = require_pool(ctx)?;
+            self.run = Some(parallel::start(
+                &pool,
+                Arc::clone(&self.chain),
+                |_chain, rows, _acct| Ok(rows),
+            ));
+        }
+        let max = max_rows.max(1);
+        let mut batch = Batch::with_capacity(max);
+        while batch.rows.len() < max {
+            if self.cursor < self.buf.len() {
+                let take = (max - batch.rows.len()).min(self.buf.len() - self.cursor);
+                batch
+                    .rows
+                    .extend(self.buf[self.cursor..self.cursor + take].iter().cloned());
+                self.cursor += take;
+                continue;
+            }
+            match self
+                .run
+                .as_mut()
+                .expect("parallel run started")
+                .next_morsel()
+            {
+                Some(Ok(rows)) => {
+                    self.buf = rows;
+                    self.cursor = 0;
+                }
+                Some(Err(e)) => return Err(e),
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if batch.rows.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(run) = self.run.take() {
+            // Cancels outstanding morsels (LIMIT early-cut) and folds every
+            // worker's accounting into the chain's spans.
+            let acct = run.finish();
+            absorb_chain(&mut self.spans, &acct);
+        }
+        for span in &mut self.spans {
+            span.finish(ctx);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // Stateless streaming operators
 // ----------------------------------------------------------------------
 
@@ -499,11 +737,7 @@ impl BatchOperator for OutputOp {
             return Ok(None);
         };
         self.span.enter();
-        let bytes: u64 = input
-            .rows
-            .iter()
-            .map(|r| tuple_size_bytes(r) as u64)
-            .sum();
+        let bytes: u64 = input.rows.iter().map(|r| tuple_size_bytes(r) as u64).sum();
         let out_tuples = match self.sink {
             OutputSink::Client => input.rows.len() as u64,
             OutputSink::Discard => 0,
@@ -530,25 +764,43 @@ impl BatchOperator for OutputOp {
 // Joins
 // ----------------------------------------------------------------------
 
+/// The frozen build side of a hash join: row storage plus key → row-index
+/// buckets. Shared immutably with pool workers during a parallel probe.
+struct JoinTable {
+    rows: Vec<Arc<Tuple>>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+/// Per-morsel partial hash-table build shipped back through the ordered
+/// gather: this morsel's rows plus morsel-local buckets.
+type PartialBuild = (Vec<Arc<Tuple>>, HashMap<Vec<Value>, Vec<usize>>);
+
 /// Hash join. The build side is a pipeline breaker: fully consumed on the
 /// first pull (Join Hash Table Build OU). Probing then streams: each probe
 /// batch is pulled on demand and matches beyond the caller's row budget are
 /// buffered in `pending`, so a LIMIT above the join stops probe-side scans
 /// early.
+///
+/// When a side is a parallel leaf chain, the breaker runs morsel-wise on
+/// the pool: the build partitions into per-morsel tables merged in morsel
+/// order (bucket entry order — and therefore probe output — stays
+/// byte-identical to serial insertion order), and the probe matches each
+/// morsel against the frozen table on the workers, gathered in order.
 struct HashJoinOp {
-    build: BoxedOp,
-    probe: BoxedOp,
-    build_keys: Vec<usize>,
-    probe_keys: Vec<usize>,
-    residual: Option<Evaluator>,
+    build: ParChild,
+    probe: ParChild,
+    build_keys: Arc<Vec<usize>>,
+    probe_keys: Arc<Vec<usize>>,
+    residual: Option<Arc<Evaluator>>,
     residual_ops: u64,
     built: bool,
-    build_rows: Vec<Arc<Tuple>>,
-    table: HashMap<Vec<Value>, Vec<usize>>,
+    table: Option<Arc<JoinTable>>,
     probe_buf: Vec<Arc<Tuple>>,
     probe_cursor: usize,
     probe_done: bool,
     pending: VecDeque<Arc<Tuple>>,
+    probe_run: Option<ParallelRun<Vec<Arc<Tuple>>>>,
+    probe_started: bool,
     build_span: OpSpan,
     probe_span: OpSpan,
     filter_span: Option<OpSpan>,
@@ -556,56 +808,126 @@ struct HashJoinOp {
 
 impl HashJoinOp {
     fn build_table(&mut self, ctx: &mut ExecContext<'_>) -> DbResult<()> {
-        let pull = ctx.batch_size.max(1);
         let track = self.build_span.active();
+        let mut rows: Vec<Arc<Tuple>> = Vec::new();
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         let mut build_bytes = 0u64;
-        loop {
-            // The child times itself; our span only covers insert work.
-            let pulled = self.build.next_batch(ctx, pull)?;
-            let Some(batch) = pulled else { break };
-            self.build_span.enter();
-            self.table.reserve(batch.rows.len());
-            for row in batch.rows {
-                let key: Vec<Value> =
-                    self.build_keys.iter().map(|&k| row[k].clone()).collect();
-                if track {
-                    build_bytes += tuple_size_bytes(&row) as u64;
-                }
-                self.table.entry(key).or_default().push(self.build_rows.len());
-                self.build_rows.push(row);
-                if ctx.jht_sleep_every > 0
-                    && self.build_rows.len().is_multiple_of(ctx.jht_sleep_every)
-                {
-                    spin_us(1);
+        let mut parallel_built = false;
+        match &mut self.build {
+            ParChild::Op(child) => {
+                let pull = ctx.batch_size.max(1);
+                loop {
+                    // The child times itself; our span only covers inserts.
+                    let pulled = child.next_batch(ctx, pull)?;
+                    let Some(batch) = pulled else { break };
+                    self.build_span.enter();
+                    map.reserve(batch.rows.len());
+                    for row in batch.rows {
+                        let key: Vec<Value> =
+                            self.build_keys.iter().map(|&k| row[k].clone()).collect();
+                        if track {
+                            build_bytes += tuple_size_bytes(&row) as u64;
+                        }
+                        map.entry(key).or_default().push(rows.len());
+                        rows.push(row);
+                        if ctx.jht_sleep_every > 0 && rows.len().is_multiple_of(ctx.jht_sleep_every)
+                        {
+                            spin_us(1);
+                        }
+                    }
+                    self.build_span.exit();
                 }
             }
-            self.build_span.exit();
+            ParChild::Parallel { chain, spans } => {
+                parallel_built = true;
+                let pool = require_pool(ctx)?;
+                let keys = Arc::clone(&self.build_keys);
+                let jht = ctx.jht_sleep_every;
+                let ou_id = self.build_span.id;
+                let mut run = parallel::start(
+                    &pool,
+                    Arc::clone(chain),
+                    move |chain, rows, acct| -> DbResult<PartialBuild> {
+                        let t0 = Instant::now();
+                        let mut bytes = 0u64;
+                        let mut part: HashMap<Vec<Value>, Vec<usize>> =
+                            HashMap::with_capacity(rows.len());
+                        for (i, row) in rows.iter().enumerate() {
+                            let key: Vec<Value> = keys.iter().map(|&k| row[k].clone()).collect();
+                            if chain.track {
+                                bytes += tuple_size_bytes(row) as u64;
+                            }
+                            part.entry(key).or_default().push(i);
+                            if jht > 0 && (i + 1).is_multiple_of(jht) {
+                                spin_us(1);
+                            }
+                        }
+                        if chain.track {
+                            // Per-row-linear build work is accounted on the
+                            // worker; merge-only terms (unique buckets) are
+                            // added by the issuing thread so totals match
+                            // the serial formula exactly.
+                            let n = rows.len() as u64;
+                            let s = acct.span(ou_id, OuKind::JoinHashBuild);
+                            s.work.tuples += n;
+                            s.work.bytes += bytes;
+                            s.work.hash_probes += n;
+                            s.work.allocated_bytes += n * (32 + keys.len() as u64 * 16) + bytes;
+                            s.elapsed_us += parallel::elapsed_us(t0);
+                        }
+                        Ok((rows, part))
+                    },
+                );
+                // Merge partial tables in morsel order: every index in a
+                // later morsel is larger than every index in an earlier
+                // one, so bucket entry order equals serial insertion order.
+                while let Some(res) = run.next_morsel() {
+                    let (part_rows, part_map) = res?;
+                    self.build_span.enter();
+                    let off = rows.len();
+                    map.reserve(part_map.len());
+                    for (key, idxs) in part_map {
+                        map.entry(key)
+                            .or_default()
+                            .extend(idxs.into_iter().map(|i| i + off));
+                    }
+                    rows.extend(part_rows);
+                    self.build_span.exit();
+                }
+                let acct = run.finish();
+                absorb_chain(spans, &acct);
+                if let Some(a) = acct.get(ou_id, OuKind::JoinHashBuild) {
+                    self.build_span.absorb(a);
+                }
+            }
         }
-        let n = self.build_rows.len() as u64;
-        let alloc = n * (32 + self.build_keys.len() as u64 * 16) + build_bytes;
-        let uniq = self.table.len() as u64;
-        self.build_span.work(|t| {
-            t.add_tuples(n);
-            t.add_bytes(build_bytes);
-            t.add_hash_probes(n);
-            t.add_random_accesses(uniq);
-            t.add_allocated(alloc);
-        });
+        let n = rows.len() as u64;
+        let uniq = map.len() as u64;
+        if parallel_built {
+            self.build_span.work(|t| t.add_random_accesses(uniq));
+        } else {
+            let alloc = n * (32 + self.build_keys.len() as u64 * 16) + build_bytes;
+            self.build_span.work(|t| {
+                t.add_tuples(n);
+                t.add_bytes(build_bytes);
+                t.add_hash_probes(n);
+                t.add_random_accesses(uniq);
+                t.add_allocated(alloc);
+            });
+        }
+        self.table = Some(Arc::new(JoinTable { rows, map }));
         self.built = true;
         Ok(())
     }
-}
 
-impl BatchOperator for HashJoinOp {
-    fn next_batch(
+    /// Serial probe: pull probe batches through the pipeline and match them
+    /// on this thread.
+    fn next_batch_serial(
         &mut self,
         ctx: &mut ExecContext<'_>,
-        max_rows: usize,
+        max: usize,
     ) -> DbResult<Option<Batch>> {
-        if !self.built {
-            self.build_table(ctx)?;
-        }
-        let max = max_rows.max(1);
+        let table = Arc::clone(self.table.as_ref().expect("join table built"));
         let mut out = Batch::with_capacity(max);
         let track = self.probe_span.active();
         let mut probe_tuples = 0u64;
@@ -622,8 +944,12 @@ impl BatchOperator for HashJoinOp {
                 if self.probe_done {
                     break;
                 }
+                let child = match &mut self.probe {
+                    ParChild::Op(op) => op,
+                    ParChild::Parallel { .. } => unreachable!("serial probe"),
+                };
                 self.probe_span.exit();
-                let pulled = self.probe.next_batch(ctx, max)?;
+                let pulled = child.next_batch(ctx, max)?;
                 self.probe_span.enter();
                 match pulled {
                     None => self.probe_done = true,
@@ -641,9 +967,9 @@ impl BatchOperator for HashJoinOp {
                 probe_bytes += tuple_size_bytes(&row) as u64;
             }
             let key: Vec<Value> = self.probe_keys.iter().map(|&k| row[k].clone()).collect();
-            if let Some(matches) = self.table.get(&key) {
+            if let Some(matches) = table.map.get(&key) {
                 for &bi in matches {
-                    let build_row = &self.build_rows[bi];
+                    let build_row = &table.rows[bi];
                     let mut combined: Tuple = Vec::with_capacity(row.len() + build_row.len());
                     combined.extend(row.iter().cloned());
                     combined.extend(build_row.iter().cloned());
@@ -690,7 +1016,141 @@ impl BatchOperator for HashJoinOp {
         Ok(Some(out))
     }
 
+    /// Parallel probe: workers match whole morsels against the frozen table;
+    /// joined rows arrive through the ordered gather in probe-major order,
+    /// byte-identical to the serial probe stream.
+    fn next_batch_parallel(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max: usize,
+    ) -> DbResult<Option<Batch>> {
+        if !self.probe_started {
+            self.probe_started = true;
+            let pool = require_pool(ctx)?;
+            let chain = match &self.probe {
+                ParChild::Parallel { chain, .. } => Arc::clone(chain),
+                ParChild::Op(_) => unreachable!("parallel probe"),
+            };
+            let table = Arc::clone(self.table.as_ref().expect("join table built"));
+            let pkeys = Arc::clone(&self.probe_keys);
+            let residual = self.residual.clone();
+            let residual_ops = self.residual_ops;
+            let ou_id = self.probe_span.id;
+            self.probe_run = Some(parallel::start(&pool, chain, move |chain, rows, acct| {
+                let t0 = Instant::now();
+                let track = chain.track;
+                let mut out: Vec<Arc<Tuple>> = Vec::new();
+                let mut probe_bytes = 0u64;
+                let mut out_bytes = 0u64;
+                let mut matched = 0u64;
+                for row in &rows {
+                    if track {
+                        probe_bytes += tuple_size_bytes(row) as u64;
+                    }
+                    let key: Vec<Value> = pkeys.iter().map(|&k| row[k].clone()).collect();
+                    if let Some(matches) = table.map.get(&key) {
+                        for &bi in matches {
+                            let build_row = &table.rows[bi];
+                            let mut combined: Tuple =
+                                Vec::with_capacity(row.len() + build_row.len());
+                            combined.extend(row.iter().cloned());
+                            combined.extend(build_row.iter().cloned());
+                            if track {
+                                out_bytes += tuple_size_bytes(&combined) as u64;
+                                matched += 1;
+                            }
+                            let pass = match &residual {
+                                Some(ev) => ev.eval_bool(&combined)?,
+                                None => true,
+                            };
+                            if pass {
+                                out.push(Arc::new(combined));
+                            }
+                        }
+                    }
+                }
+                if track {
+                    let n = rows.len() as u64;
+                    let s = acct.span(ou_id, OuKind::JoinHashProbe);
+                    s.work.tuples += n;
+                    s.work.bytes += probe_bytes + out_bytes;
+                    s.work.hash_probes += n;
+                    s.work.allocated_bytes += out_bytes;
+                    s.elapsed_us += parallel::elapsed_us(t0);
+                    if residual.is_some() {
+                        let f = acct.span(ou_id, OuKind::ArithmeticFilter);
+                        f.work.tuples += matched;
+                        f.work.comparisons += matched * residual_ops;
+                    }
+                }
+                Ok(out)
+            }));
+        }
+        let mut out = Batch::with_capacity(max);
+        while out.rows.len() < max {
+            if self.probe_cursor < self.probe_buf.len() {
+                let take = (max - out.rows.len()).min(self.probe_buf.len() - self.probe_cursor);
+                out.rows.extend(
+                    self.probe_buf[self.probe_cursor..self.probe_cursor + take]
+                        .iter()
+                        .cloned(),
+                );
+                self.probe_cursor += take;
+                continue;
+            }
+            if self.probe_done {
+                break;
+            }
+            match self.probe_run.as_mut().expect("probe run").next_morsel() {
+                Some(Ok(rows)) => {
+                    self.probe_buf = rows;
+                    self.probe_cursor = 0;
+                }
+                Some(Err(e)) => return Err(e),
+                None => {
+                    self.probe_done = true;
+                    break;
+                }
+            }
+        }
+        if out.rows.is_empty() && self.probe_done && self.probe_cursor >= self.probe_buf.len() {
+            return Ok(None);
+        }
+        Ok(Some(out))
+    }
+}
+
+impl BatchOperator for HashJoinOp {
+    fn next_batch(
+        &mut self,
+        ctx: &mut ExecContext<'_>,
+        max_rows: usize,
+    ) -> DbResult<Option<Batch>> {
+        if !self.built {
+            self.build_table(ctx)?;
+        }
+        let max = max_rows.max(1);
+        match &self.probe {
+            ParChild::Op(_) => self.next_batch_serial(ctx, max),
+            ParChild::Parallel { .. } => self.next_batch_parallel(ctx, max),
+        }
+    }
+
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(run) = self.probe_run.take() {
+            let acct = run.finish();
+            if let ParChild::Parallel { spans, .. } = &mut self.probe {
+                absorb_chain(spans, &acct);
+            }
+            if let Some(a) = acct.get(self.probe_span.id, OuKind::JoinHashProbe) {
+                self.probe_span.absorb(a);
+            }
+            if let Some(span) = self.filter_span.as_mut() {
+                if let Some(a) = acct.get(self.probe_span.id, OuKind::ArithmeticFilter) {
+                    span.absorb(a);
+                }
+            }
+        }
         self.build.close(ctx);
         self.probe.close(ctx);
         self.build_span.finish(ctx);
@@ -810,8 +1270,15 @@ impl BatchOperator for NestedLoopJoinOp {
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { total: f64, all_int: bool, seen: bool },
-    Avg { total: f64, n: i64 },
+    Sum {
+        total: f64,
+        all_int: bool,
+        seen: bool,
+    },
+    Avg {
+        total: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -889,6 +1356,59 @@ impl AggState {
         Ok(())
     }
 
+    /// Combine a later partial state into this one (parallel pre-aggregation
+    /// merge, applied strictly in morsel order). Each combine mirrors the
+    /// row-wise `update` fold: counts/sums add, MIN/MAX keep the earlier
+    /// value on ties — so the merged state is exactly what a serial fold
+    /// over the concatenated input produces (float sums are combined with
+    /// the same left-to-right associativity caveat documented in DESIGN.md).
+    fn merge(&mut self, later: AggState) {
+        match (self, later) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum {
+                    total,
+                    all_int,
+                    seen,
+                },
+                AggState::Sum {
+                    total: t2,
+                    all_int: a2,
+                    seen: s2,
+                },
+            ) => {
+                *total += t2;
+                *all_int &= a2;
+                *seen |= s2;
+            }
+            (AggState::Avg { total, n }, AggState::Avg { total: t2, n: n2 }) => {
+                *total += t2;
+                *n += n2;
+            }
+            (AggState::Min(cur), AggState::Min(v)) => {
+                if let Some(v) = v {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.cmp_total(c) == std::cmp::Ordering::Less)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(v)) => {
+                if let Some(v) = v {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.cmp_total(c) == std::cmp::Ordering::Greater)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finalize(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
@@ -917,13 +1437,21 @@ impl AggState {
     }
 }
 
+/// Per-morsel partial aggregation shipped back through the ordered gather.
+type PartialGroups = HashMap<Vec<Value>, Vec<AggState>>;
+
 /// Hash aggregation: build (pipeline breaker, Agg Hash Table Build OU) then
 /// batched emission of finalized groups (Agg Hash Table Probe OU).
+///
+/// With a parallel leaf chain below, workers pre-aggregate each morsel into
+/// a local group map and the issuing thread merges the partials in strict
+/// morsel order ([`AggState::merge`]), so the final states equal a serial
+/// fold over the heap-ordered input.
 struct AggregateOp {
-    child: BoxedOp,
-    specs: Vec<AggSpec>,
-    group_eval: Vec<Evaluator>,
-    agg_eval: Vec<Option<Evaluator>>,
+    child: ParChild,
+    specs: Arc<Vec<AggSpec>>,
+    group_eval: Arc<Vec<Evaluator>>,
+    agg_eval: Arc<Vec<Option<Evaluator>>>,
     n_group_cols: usize,
     built: bool,
     emit: Option<std::vec::IntoIter<(Vec<Value>, Vec<AggState>)>>,
@@ -933,38 +1461,111 @@ struct AggregateOp {
 
 impl AggregateOp {
     fn build_groups(&mut self, ctx: &mut ExecContext<'_>) -> DbResult<()> {
-        let pull = ctx.batch_size.max(1);
         let track = self.build_span.active();
-        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut groups: PartialGroups = HashMap::new();
         let mut rows_in = 0u64;
         let mut bytes = 0u64;
-        loop {
-            let pulled = self.child.next_batch(ctx, pull)?;
-            let Some(batch) = pulled else { break };
-            self.build_span.enter();
-            for row in &batch.rows {
-                if track {
-                    rows_in += 1;
-                    bytes += tuple_size_bytes(row) as u64;
-                }
-                let key: Vec<Value> = self
-                    .group_eval
-                    .iter()
-                    .map(|g| g.eval(row))
-                    .collect::<DbResult<_>>()?;
-                let specs = &self.specs;
-                let states = groups
-                    .entry(key)
-                    .or_insert_with(|| specs.iter().map(|a| AggState::new(a.func)).collect());
-                for (state, eval) in states.iter_mut().zip(&self.agg_eval) {
-                    let v = match eval {
-                        Some(e) => Some(e.eval(row)?),
-                        None => None,
-                    };
-                    state.update(v)?;
+        let mut parallel_built = false;
+        match &mut self.child {
+            ParChild::Op(child) => {
+                let pull = ctx.batch_size.max(1);
+                loop {
+                    let pulled = child.next_batch(ctx, pull)?;
+                    let Some(batch) = pulled else { break };
+                    self.build_span.enter();
+                    for row in &batch.rows {
+                        if track {
+                            rows_in += 1;
+                            bytes += tuple_size_bytes(row) as u64;
+                        }
+                        let key: Vec<Value> = self
+                            .group_eval
+                            .iter()
+                            .map(|g| g.eval(row))
+                            .collect::<DbResult<_>>()?;
+                        let specs = &self.specs;
+                        let states = groups.entry(key).or_insert_with(|| {
+                            specs.iter().map(|a| AggState::new(a.func)).collect()
+                        });
+                        for (state, eval) in states.iter_mut().zip(self.agg_eval.iter()) {
+                            let v = match eval {
+                                Some(e) => Some(e.eval(row)?),
+                                None => None,
+                            };
+                            state.update(v)?;
+                        }
+                    }
+                    self.build_span.exit();
                 }
             }
-            self.build_span.exit();
+            ParChild::Parallel { chain, spans } => {
+                parallel_built = true;
+                let pool = require_pool(ctx)?;
+                let specs = Arc::clone(&self.specs);
+                let group_eval = Arc::clone(&self.group_eval);
+                let agg_eval = Arc::clone(&self.agg_eval);
+                let ou_id = self.build_span.id;
+                let mut run = parallel::start(
+                    &pool,
+                    Arc::clone(chain),
+                    move |chain, rows, acct| -> DbResult<PartialGroups> {
+                        let t0 = Instant::now();
+                        let mut part: PartialGroups = HashMap::new();
+                        let mut n = 0u64;
+                        let mut part_bytes = 0u64;
+                        for row in &rows {
+                            if chain.track {
+                                n += 1;
+                                part_bytes += tuple_size_bytes(row) as u64;
+                            }
+                            let key: Vec<Value> = group_eval
+                                .iter()
+                                .map(|g| g.eval(row))
+                                .collect::<DbResult<_>>()?;
+                            let states = part.entry(key).or_insert_with(|| {
+                                specs.iter().map(|a| AggState::new(a.func)).collect()
+                            });
+                            for (state, eval) in states.iter_mut().zip(agg_eval.iter()) {
+                                let v = match eval {
+                                    Some(e) => Some(e.eval(row)?),
+                                    None => None,
+                                };
+                                state.update(v)?;
+                            }
+                        }
+                        if chain.track {
+                            let s = acct.span(ou_id, OuKind::AggBuild);
+                            s.work.tuples += n;
+                            s.work.bytes += part_bytes;
+                            s.work.hash_probes += n;
+                            s.elapsed_us += parallel::elapsed_us(t0);
+                        }
+                        Ok(part)
+                    },
+                );
+                while let Some(res) = run.next_morsel() {
+                    let part = res?;
+                    self.build_span.enter();
+                    for (key, states) in part {
+                        match groups.entry(key) {
+                            Entry::Occupied(mut e) => {
+                                for (earlier, later) in e.get_mut().iter_mut().zip(states) {
+                                    earlier.merge(later);
+                                }
+                            }
+                            Entry::Vacant(e) => {
+                                e.insert(states);
+                            }
+                        }
+                    }
+                    self.build_span.exit();
+                }
+                let acct = run.finish();
+                absorb_chain(spans, &acct);
+                if let Some(a) = acct.get(ou_id, OuKind::AggBuild) {
+                    self.build_span.absorb(a);
+                }
+            }
         }
         if groups.is_empty() && self.n_group_cols == 0 {
             // Scalar aggregate over an empty input still yields one row.
@@ -975,13 +1576,23 @@ impl AggregateOp {
         }
         let n_groups = groups.len() as u64;
         let width = (self.n_group_cols + self.specs.len()) as u64;
-        self.build_span.work(|t| {
-            t.add_tuples(rows_in);
-            t.add_bytes(bytes);
-            t.add_hash_probes(rows_in);
-            t.add_random_accesses(n_groups);
-            t.add_allocated(n_groups * (32 + width * 16));
-        });
+        if parallel_built {
+            // Per-row terms were accounted on the workers; only the
+            // merge-side terms (group slots) land here, so totals equal the
+            // serial formula.
+            self.build_span.work(|t| {
+                t.add_random_accesses(n_groups);
+                t.add_allocated(n_groups * (32 + width * 16));
+            });
+        } else {
+            self.build_span.work(|t| {
+                t.add_tuples(rows_in);
+                t.add_bytes(bytes);
+                t.add_hash_probes(rows_in);
+                t.add_random_accesses(n_groups);
+                t.add_allocated(n_groups * (32 + width * 16));
+            });
+        }
         self.emit = Some(groups.into_iter().collect::<Vec<_>>().into_iter());
         self.built = true;
         Ok(())
@@ -1007,7 +1618,9 @@ impl BatchOperator for AggregateOp {
         let mut out_bytes = 0u64;
         let track = self.probe_span.active();
         while out.rows.len() < max {
-            let Some((key, states)) = emit.next() else { break };
+            let Some((key, states)) = emit.next() else {
+                break;
+            };
             let mut row = key;
             row.extend(states.into_iter().map(AggState::finalize));
             if track {
@@ -1168,6 +1781,14 @@ pub(crate) fn build_pipeline(
     want_slots: bool,
 ) -> DbResult<BoxedOp> {
     let use_compiled = compiled(ctx);
+    // A parallelizable leaf chain in a streaming position runs as a
+    // ParallelScanOp (morsel-parallel with an ordered gather). DML victim
+    // scans stay serial: they need slot provenance paired with rows.
+    if !want_slots {
+        if let Some(chain) = par_chain(node, id, ctx)? {
+            return Ok(Box::new(ParallelScanOp::new(ctx, chain)));
+        }
+    }
     match node {
         PlanNode::SeqScan { table, filter, .. } => {
             let entry = ctx.catalog.get(table)?;
@@ -1256,19 +1877,22 @@ pub(crate) fn build_pipeline(
             let build_id = id + 1;
             let probe_id = id + 1 + subtree_size(build);
             Ok(Box::new(HashJoinOp {
-                build: build_pipeline(build, build_id, ctx, false)?,
-                probe: build_pipeline(probe, probe_id, ctx, false)?,
-                build_keys: build_keys.clone(),
-                probe_keys: probe_keys.clone(),
-                residual: filter.as_ref().map(|f| Evaluator::new(f, use_compiled)),
+                build: ParChild::from_plan(build, build_id, ctx)?,
+                probe: ParChild::from_plan(probe, probe_id, ctx)?,
+                build_keys: Arc::new(build_keys.clone()),
+                probe_keys: Arc::new(probe_keys.clone()),
+                residual: filter
+                    .as_ref()
+                    .map(|f| Arc::new(Evaluator::new(f, use_compiled))),
                 residual_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
                 built: false,
-                build_rows: Vec::new(),
-                table: HashMap::new(),
+                table: None,
                 probe_buf: Vec::new(),
                 probe_cursor: 0,
                 probe_done: false,
                 pending: VecDeque::new(),
+                probe_run: None,
+                probe_started: false,
                 build_span: OpSpan::new(ctx, id, OuKind::JoinHashBuild),
                 probe_span: OpSpan::new(ctx, id, OuKind::JoinHashProbe),
                 filter_span: filter
@@ -1304,16 +1928,19 @@ pub(crate) fn build_pipeline(
             aggs,
             ..
         } => Ok(Box::new(AggregateOp {
-            child: build_pipeline(input, id + 1, ctx, false)?,
-            specs: aggs.clone(),
-            group_eval: group_by
-                .iter()
-                .map(|g| Evaluator::new(g, use_compiled))
-                .collect(),
-            agg_eval: aggs
-                .iter()
-                .map(|a| a.arg.as_ref().map(|e| Evaluator::new(e, use_compiled)))
-                .collect(),
+            child: ParChild::from_plan(input, id + 1, ctx)?,
+            specs: Arc::new(aggs.clone()),
+            group_eval: Arc::new(
+                group_by
+                    .iter()
+                    .map(|g| Evaluator::new(g, use_compiled))
+                    .collect(),
+            ),
+            agg_eval: Arc::new(
+                aggs.iter()
+                    .map(|a| a.arg.as_ref().map(|e| Evaluator::new(e, use_compiled)))
+                    .collect(),
+            ),
             n_group_cols: group_by.len(),
             built: false,
             emit: None,

@@ -48,6 +48,13 @@ pub struct ExecContext<'a> {
     /// pipeline. `1` degenerates to tuple-at-a-time execution (the old
     /// behavior); larger batches amortize per-pull overhead.
     pub batch_size: usize,
+    /// Shared worker pool for morsel-driven intra-query parallelism.
+    /// `None` (the default, and what `Knobs::parallelism == 1` maps to)
+    /// keeps the serial single-thread pipeline.
+    pub pool: Option<Arc<crate::parallel::ExecPool>>,
+    /// Slots per morsel when `pool` is set. Tests shrink this to exercise
+    /// multi-morsel plans on small tables.
+    pub morsel_slots: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -61,7 +68,19 @@ impl<'a> ExecContext<'a> {
             jht_sleep_every: 0,
             index_obs: None,
             batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+            pool: None,
+            morsel_slots: crate::parallel::DEFAULT_MORSEL_SLOTS,
         }
+    }
+
+    pub fn with_pool(mut self, pool: Arc<crate::parallel::ExecPool>) -> ExecContext<'a> {
+        self.pool = Some(pool);
+        self
+    }
+
+    pub fn with_morsel_slots(mut self, morsel_slots: usize) -> ExecContext<'a> {
+        self.morsel_slots = morsel_slots.max(1);
+        self
     }
 
     pub fn with_batch_size(mut self, batch_size: usize) -> ExecContext<'a> {

@@ -1,0 +1,688 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! A shared [`ExecPool`] (owned by the engine, sized by the `parallelism`
+//! knob) runs parallelizable *leaf chains* — a base-table sequential scan
+//! plus any stack of Filter/Project stages above it — by carving the heap
+//! into fixed-size slot-range **morsels** ([`DEFAULT_MORSEL_SLOTS`]).
+//! Workers pull morsel indices from a shared atomic cursor, evaluate the
+//! chain over their range with thread-local state, and send results to the
+//! issuing thread, which re-emits them in morsel order (an **ordered
+//! gather**). Because disjoint slot ranges partition the heap exactly
+//! (`Table::scan_visible_range`) and emission is in range order, the row
+//! stream a parallel chain produces is byte-identical to the serial scan —
+//! heap order is preserved, so `LIMIT` prefixes and client-visible row
+//! order do not change with the worker count.
+//!
+//! Pipeline breakers merge per-morsel partial state on the issuing thread,
+//! again in morsel order: the hash-join build concatenates per-morsel rows
+//! (so bucket entry order equals serial insertion order) and the
+//! pre-aggregation merges per-morsel group maps with order-sensitive
+//! combine functions. See DESIGN.md "Parallel execution model".
+//!
+//! OU accounting: workers count work into a private `WorkerAcct` keyed by
+//! `(node id, OU)` together with per-section wall time. At operator close
+//! the accounts of all workers fold into the operator's single `OpSpan`
+//! (`OuTracker::absorb`), so a recorder sees exactly one measurement per
+//! (node, OU) whose tuple/byte features equal the serial totals and whose
+//! elapsed time is the *sum* of concurrent worker time — true aggregate
+//! work, which is what the OU models train on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use mb2_common::types::{tuple_size_bytes, Tuple};
+use mb2_common::{DbError, DbResult, OuKind};
+use mb2_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use mb2_storage::{Table, Ts};
+
+use crate::compile::Evaluator;
+use crate::tracker::WorkCounts;
+
+/// Slots per morsel. Matches half a storage segment: large enough that the
+/// per-morsel dispatch cost (one atomic fetch-add plus one channel send) is
+/// noise, small enough that a 40k-row table still fans out over every
+/// worker. Tests override it via `ExecContext::with_morsel_slots` to
+/// exercise multi-morsel plans on small tables.
+pub const DEFAULT_MORSEL_SLOTS: usize = 2048;
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Pool observability handles, registered against the engine's
+/// [`MetricsRegistry`] so they flow through the existing Prometheus/JSON
+/// endpoints. A pool built with [`ExecPool::new`] keeps private handles.
+struct PoolObs {
+    /// Workers currently executing a job.
+    busy: Arc<Gauge>,
+    /// Depth of the job queue observed at each submit.
+    queue_depth: Arc<Histogram>,
+    /// Morsels processed, labeled per worker.
+    morsels: Vec<Arc<Counter>>,
+    /// Jobs submitted but not yet picked up (feeds `queue_depth`).
+    pending: AtomicUsize,
+}
+
+impl PoolObs {
+    fn registered(workers: usize, registry: &MetricsRegistry) -> PoolObs {
+        registry
+            .gauge("mb2_exec_pool_workers", "Size of the execution worker pool")
+            .set(workers as i64);
+        PoolObs {
+            busy: registry.gauge(
+                "mb2_exec_pool_busy_workers",
+                "Execution pool workers currently running a job",
+            ),
+            queue_depth: registry.histogram(
+                "mb2_exec_pool_queue_depth",
+                "Execution pool job queue depth sampled at submit",
+            ),
+            morsels: (0..workers)
+                .map(|i| {
+                    registry.counter_with(
+                        "mb2_exec_pool_morsels_total",
+                        &[("worker", &i.to_string())],
+                        "Morsels processed by each execution pool worker",
+                    )
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    fn private(workers: usize) -> PoolObs {
+        PoolObs {
+            busy: Arc::new(Gauge::new()),
+            queue_depth: Arc::new(Histogram::new()),
+            morsels: (0..workers).map(|_| Arc::new(Counter::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    fn morsel_done(&self, worker: usize) {
+        if let Some(c) = self.morsels.get(worker) {
+            c.inc();
+        }
+    }
+}
+
+/// A shared pool of persistent execution workers. Queries submit one job
+/// per participating worker; each job drains morsels from a per-query
+/// cursor. Jobs never block on other jobs and queries are never executed
+/// *from* pool threads, so the pool cannot deadlock however many queries
+/// share it. Dropping the pool closes the job channel and joins every
+/// worker.
+pub struct ExecPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    obs: Arc<PoolObs>,
+    workers: usize,
+}
+
+impl ExecPool {
+    /// A pool with private (unregistered) observability handles.
+    pub fn new(workers: usize) -> Arc<ExecPool> {
+        Self::build(workers, None)
+    }
+
+    /// A pool whose gauges/histograms/counters are registered in `registry`
+    /// (the engine path).
+    pub fn with_metrics(workers: usize, registry: &MetricsRegistry) -> Arc<ExecPool> {
+        Self::build(workers, Some(registry))
+    }
+
+    fn build(workers: usize, registry: Option<&MetricsRegistry>) -> Arc<ExecPool> {
+        let workers = workers.max(1);
+        let obs = Arc::new(match registry {
+            Some(r) => PoolObs::registered(workers, r),
+            None => PoolObs::private(workers),
+        });
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let obs = Arc::clone(&obs);
+                std::thread::Builder::new()
+                    .name(format!("mb2-exec-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock across the blocking recv is the
+                        // point: exactly one idle worker waits on the
+                        // channel; the rest queue on the mutex. Dispatch is
+                        // serialized (jobs are rare — one per worker per
+                        // query) while job *execution* is fully parallel.
+                        let job = rx.lock().recv();
+                        match job {
+                            Ok(job) => {
+                                obs.pending.fetch_sub(1, Ordering::Relaxed);
+                                obs.busy.inc();
+                                job(i);
+                                obs.busy.dec();
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn exec pool worker")
+            })
+            .collect();
+        Arc::new(ExecPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            obs,
+            workers,
+        })
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Workers currently executing a job (test/observability hook).
+    pub fn busy_workers(&self) -> i64 {
+        self.obs.busy.get()
+    }
+
+    /// Total morsels processed across all workers.
+    pub fn morsels_processed(&self) -> u64 {
+        self.obs.morsels.iter().map(|c| c.get()).sum()
+    }
+
+    fn submit(&self, job: Job) {
+        let depth = self.obs.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.queue_depth.record(depth as u64);
+        let tx = self.tx.lock();
+        tx.as_ref()
+            .expect("exec pool already shut down")
+            .send(job)
+            .expect("exec pool workers exited");
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain remaining jobs and exit.
+        self.tx.lock().take();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker-side accounting
+// ----------------------------------------------------------------------
+
+/// One worker's work/time accounting, keyed by `(node id, OU)`.
+#[derive(Default)]
+pub(crate) struct WorkerAcct {
+    spans: HashMap<(u32, OuKind), SpanAcct>,
+}
+
+#[derive(Default, Clone, Copy)]
+pub(crate) struct SpanAcct {
+    pub work: WorkCounts,
+    pub elapsed_us: f64,
+}
+
+impl WorkerAcct {
+    pub fn span(&mut self, id: u32, ou: OuKind) -> &mut SpanAcct {
+        self.spans.entry((id, ou)).or_default()
+    }
+
+    pub fn get(&self, id: u32, ou: OuKind) -> Option<&SpanAcct> {
+        self.spans.get(&(id, ou))
+    }
+
+    fn fold(&mut self, other: WorkerAcct) {
+        for (key, acct) in other.spans {
+            let mine = self.spans.entry(key).or_default();
+            mine.work.merge(&acct.work);
+            mine.elapsed_us += acct.elapsed_us;
+        }
+    }
+}
+
+pub(crate) fn elapsed_us(t0: Instant) -> f64 {
+    t0.elapsed().as_nanos() as f64 / 1000.0
+}
+
+// ----------------------------------------------------------------------
+// Parallelizable leaf chains
+// ----------------------------------------------------------------------
+
+/// A Filter or Project stage stacked above the scan inside a parallel
+/// chain. Evaluators are `Send + Sync`, so stages are shared with workers
+/// by `Arc`ing the whole spec.
+pub(crate) enum ParStage {
+    Filter {
+        id: u32,
+        eval: Evaluator,
+        ops: u64,
+    },
+    Project {
+        id: u32,
+        evals: Vec<Evaluator>,
+        ops: u64,
+    },
+}
+
+/// A thread-safe description of a parallelizable leaf chain: a sequential
+/// base-table scan (with its fused predicate) plus zero or more
+/// Filter/Project stages. Everything a worker needs — table handle,
+/// snapshot timestamps, evaluators — is owned here, so the spec can cross
+/// threads without borrowing the issuing transaction (`Transaction` itself
+/// is not `Sync`; MVCC visibility only needs `(read_ts, own)`).
+pub(crate) struct ChainSpec {
+    pub table: Arc<Table>,
+    pub read_ts: Ts,
+    pub own: Ts,
+    pub scan_id: u32,
+    pub filter: Option<Evaluator>,
+    pub filter_ops: u64,
+    pub stages: Vec<ParStage>,
+    /// Maintain work counts (mirrors `OpSpan::active`).
+    pub track: bool,
+    pub morsel_slots: usize,
+    /// Slot count snapshot taken at plan time; ranges beyond it are never
+    /// dispatched, so concurrent appends don't skew the morsel count.
+    pub total_slots: usize,
+}
+
+impl ChainSpec {
+    pub fn n_morsels(&self) -> usize {
+        self.total_slots.div_ceil(self.morsel_slots.max(1))
+    }
+
+    /// The `(node id, OU)` spans this chain accounts for, bottom-up. The
+    /// issuing thread creates an `OpSpan` for each so that zero-work spans
+    /// are still recorded (preserving the plan's OU set under LIMIT).
+    pub fn span_keys(&self) -> Vec<(u32, OuKind)> {
+        let mut keys = vec![(self.scan_id, OuKind::SeqScan)];
+        if self.filter.is_some() {
+            keys.push((self.scan_id, OuKind::ArithmeticFilter));
+        }
+        for stage in &self.stages {
+            match stage {
+                ParStage::Filter { id, .. } | ParStage::Project { id, .. } => {
+                    keys.push((*id, OuKind::ArithmeticFilter));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Evaluate one morsel: scan the slot range with the fused predicate,
+    /// then run the stacked stages. Work/time accounting mirrors the serial
+    /// operators exactly (same formulas, summed across morsels), so folded
+    /// per-(node, OU) feature totals equal the serial engine's.
+    fn run_morsel(&self, morsel: usize, acct: &mut WorkerAcct) -> DbResult<Vec<Arc<Tuple>>> {
+        let start = morsel * self.morsel_slots;
+        let end = (start + self.morsel_slots).min(self.total_slots);
+        let mut rows: Vec<Arc<Tuple>> = Vec::new();
+        let mut scanned = 0u64;
+        let mut scanned_bytes = 0u64;
+        let mut err: Option<DbError> = None;
+        let t0 = Instant::now();
+        self.table
+            .scan_visible_range(start, end, self.read_ts, self.own, |_slot, tuple| {
+                if self.track {
+                    scanned += 1;
+                    scanned_bytes += tuple_size_bytes(tuple) as u64;
+                }
+                let keep = match &self.filter {
+                    None => true,
+                    Some(ev) => match ev.eval_bool(tuple) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            err = Some(e);
+                            return false;
+                        }
+                    },
+                };
+                if keep {
+                    rows.push(Arc::clone(tuple));
+                }
+                true
+            });
+        if self.track {
+            let scan = acct.span(self.scan_id, OuKind::SeqScan);
+            scan.work.tuples += scanned;
+            scan.work.bytes += scanned_bytes;
+            scan.work.allocated_bytes += scanned_bytes;
+            scan.elapsed_us += elapsed_us(t0);
+            if self.filter.is_some() {
+                // The fused predicate ran inside the scan section; its work
+                // lands on the Arithmetic/Filter span with no elapsed time,
+                // exactly as the serial fused scan accounts it.
+                let f = acct.span(self.scan_id, OuKind::ArithmeticFilter);
+                f.work.tuples += scanned;
+                f.work.comparisons += scanned * self.filter_ops;
+            }
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        for stage in &self.stages {
+            let t0 = Instant::now();
+            match stage {
+                ParStage::Filter { id, eval, ops } => {
+                    let n_in = rows.len() as u64;
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if eval.eval_bool(&row)? {
+                            kept.push(row);
+                        }
+                    }
+                    rows = kept;
+                    if self.track {
+                        let s = acct.span(*id, OuKind::ArithmeticFilter);
+                        s.work.tuples += n_in;
+                        s.work.comparisons += n_in * ops;
+                        s.elapsed_us += elapsed_us(t0);
+                    }
+                }
+                ParStage::Project { id, evals, ops } => {
+                    let n = rows.len() as u64;
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in &rows {
+                        let projected: Tuple =
+                            evals.iter().map(|e| e.eval(row)).collect::<DbResult<_>>()?;
+                        out.push(Arc::new(projected));
+                    }
+                    rows = out;
+                    if self.track {
+                        let s = acct.span(*id, OuKind::ArithmeticFilter);
+                        s.work.tuples += n;
+                        s.work.comparisons += n * (*ops).max(1);
+                        s.elapsed_us += elapsed_us(t0);
+                    }
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ordered gather
+// ----------------------------------------------------------------------
+
+enum Msg<T> {
+    Morsel(usize, DbResult<T>),
+    Done(WorkerAcct),
+}
+
+/// Consumer watermark for bounded read-ahead. Workers may claim a morsel at
+/// most `window` beyond the last index the consumer has taken; beyond that
+/// they block here until the consumer catches up (or the run is cancelled).
+/// This bounds gather-buffer memory and makes LIMIT cancellation effective:
+/// without it, workers would race through the whole heap while the consumer
+/// is still cutting the first morsel.
+struct Progress {
+    consumed: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl Progress {
+    /// Wait until morsel `m` is within the read-ahead window. Returns
+    /// `false` if the run was cancelled while waiting. The claimant of the
+    /// consumer's next morsel is never blocked (window ≥ 1), so consumer
+    /// and workers cannot deadlock.
+    fn admit(&self, m: usize, window: usize, cancel: &AtomicBool) -> bool {
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return false;
+            }
+            let consumed = self.consumed.lock().unwrap();
+            if m < *consumed + window {
+                return true;
+            }
+            // Timed wait: a lost wakeup (cancel racing the notify) costs
+            // one timeout tick, not a stuck pool worker.
+            let _ = self
+                .cv
+                .wait_timeout(consumed, std::time::Duration::from_millis(10));
+        }
+    }
+
+    fn advance(&self, consumed: usize) {
+        *self.consumed.lock().unwrap() = consumed;
+        self.cv.notify_all();
+    }
+
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// One parallel chain execution in flight. Workers race down the morsel
+/// cursor and send `(morsel index, result)` messages; the issuing thread
+/// pulls them with [`ParallelRun::next_morsel`], which buffers out-of-order
+/// arrivals and yields strictly in morsel order — the ordered gather that
+/// makes parallel output byte-identical to serial. `finish` cancels
+/// outstanding work (LIMIT early-cut) and collects every worker's
+/// accounting.
+pub(crate) struct ParallelRun<T> {
+    rx: Receiver<Msg<T>>,
+    buffered: BTreeMap<usize, DbResult<T>>,
+    next: usize,
+    n_morsels: usize,
+    jobs: usize,
+    done_jobs: usize,
+    acct: WorkerAcct,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<Progress>,
+}
+
+/// Launch a parallel chain on `pool`. `consume` runs on the worker for each
+/// morsel's filtered/projected rows (breakers use it to build per-morsel
+/// partial state); its output travels to the issuing thread through the
+/// ordered gather.
+pub(crate) fn start<T, F>(pool: &ExecPool, chain: Arc<ChainSpec>, consume: F) -> ParallelRun<T>
+where
+    T: Send + 'static,
+    F: Fn(&ChainSpec, Vec<Arc<Tuple>>, &mut WorkerAcct) -> DbResult<T> + Send + Sync + 'static,
+{
+    let n_morsels = chain.n_morsels();
+    let jobs = pool.workers().min(n_morsels);
+    // Read-ahead window: enough that no worker idles waiting on the
+    // consumer in steady state, small enough that LIMIT cancellation cuts
+    // most of the heap.
+    let window = jobs * 2;
+    let (tx, rx) = channel::<Msg<T>>();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let progress = Arc::new(Progress {
+        consumed: std::sync::Mutex::new(0),
+        cv: std::sync::Condvar::new(),
+    });
+    let consume = Arc::new(consume);
+    for _ in 0..jobs {
+        let chain = Arc::clone(&chain);
+        let tx = tx.clone();
+        let cancel = Arc::clone(&cancel);
+        let cursor = Arc::clone(&cursor);
+        let progress = Arc::clone(&progress);
+        let consume = Arc::clone(&consume);
+        let obs = Arc::clone(&pool.obs);
+        pool.submit(Box::new(move |worker| {
+            let mut acct = WorkerAcct::default();
+            loop {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= n_morsels {
+                    break;
+                }
+                if !progress.admit(m, window, &cancel) {
+                    break;
+                }
+                let res = chain
+                    .run_morsel(m, &mut acct)
+                    .and_then(|rows| consume(&chain, rows, &mut acct));
+                obs.morsel_done(worker);
+                let failed = res.is_err();
+                if tx.send(Msg::Morsel(m, res)).is_err() || failed {
+                    break;
+                }
+            }
+            let _ = tx.send(Msg::Done(acct));
+        }));
+    }
+    ParallelRun {
+        rx,
+        buffered: BTreeMap::new(),
+        next: 0,
+        n_morsels,
+        jobs,
+        done_jobs: 0,
+        acct: WorkerAcct::default(),
+        cancel,
+        progress,
+    }
+}
+
+impl<T> ParallelRun<T> {
+    /// The next morsel's result, in morsel order. `None` = all morsels
+    /// yielded. After an `Err` the run is cancelled; callers should stop
+    /// pulling and let `finish`/drop clean up.
+    pub fn next_morsel(&mut self) -> Option<DbResult<T>> {
+        while self.next < self.n_morsels {
+            if let Some(res) = self.buffered.remove(&self.next) {
+                self.next += 1;
+                if res.is_err() {
+                    self.cancel.store(true, Ordering::Relaxed);
+                }
+                self.progress.advance(self.next);
+                return Some(res);
+            }
+            match self.rx.recv() {
+                Ok(Msg::Morsel(idx, res)) => {
+                    self.buffered.insert(idx, res);
+                }
+                Ok(Msg::Done(acct)) => {
+                    self.done_jobs += 1;
+                    self.acct.fold(acct);
+                }
+                Err(_) => {
+                    // Every worker exited without producing morsel `next`:
+                    // some earlier morsel failed. Surface the first error.
+                    self.next = self.n_morsels;
+                    let err = self
+                        .buffered
+                        .values()
+                        .find_map(|r| r.as_ref().err().cloned())
+                        .unwrap_or_else(|| {
+                            DbError::Execution("parallel scan worker vanished".into())
+                        });
+                    return Some(Err(err));
+                }
+            }
+        }
+        None
+    }
+
+    /// Cancel outstanding morsels and collect all workers' accounting. Must
+    /// be called exactly once, at operator close (also safe after natural
+    /// exhaustion — workers past the cursor end are already done).
+    pub fn finish(mut self) -> WorkerAcct {
+        self.cancel.store(true, Ordering::Relaxed);
+        self.progress.wake_all();
+        while self.done_jobs < self.jobs {
+            match self.rx.recv() {
+                Ok(Msg::Done(acct)) => {
+                    self.done_jobs += 1;
+                    self.acct.fold(acct);
+                }
+                Ok(Msg::Morsel(..)) => {}
+                Err(_) => break,
+            }
+        }
+        std::mem::take(&mut self.acct)
+    }
+}
+
+impl<T> Drop for ParallelRun<T> {
+    /// A run abandoned without `finish` (error propagation drops the
+    /// operator) must still cancel, or workers parked on the read-ahead
+    /// window would wait forever for a consumer that is gone.
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        self.progress.wake_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_jobs_on_all_workers_and_joins_on_drop() {
+        let pool = ExecPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            pool.submit(Box::new(move |_worker| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..32 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        drop(pool); // joins workers; must not hang
+    }
+
+    #[test]
+    fn pool_registers_metrics() {
+        let registry = MetricsRegistry::new();
+        let pool = ExecPool::with_metrics(3, &registry);
+        let (tx, rx) = channel();
+        pool.submit(Box::new(move |_| {
+            tx.send(()).unwrap();
+        }));
+        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        let names: Vec<String> = registry
+            .snapshot()
+            .iter()
+            .map(|s| s.family.clone())
+            .collect();
+        assert!(names.iter().any(|n| n == "mb2_exec_pool_workers"));
+        assert!(names.iter().any(|n| n == "mb2_exec_pool_busy_workers"));
+        assert!(names.iter().any(|n| n == "mb2_exec_pool_queue_depth"));
+        assert!(names.iter().any(|n| n == "mb2_exec_pool_morsels_total"));
+    }
+
+    #[test]
+    fn worker_acct_folds_by_key() {
+        let mut a = WorkerAcct::default();
+        a.span(1, OuKind::SeqScan).work.tuples = 10;
+        a.span(1, OuKind::SeqScan).elapsed_us = 5.0;
+        let mut b = WorkerAcct::default();
+        b.span(1, OuKind::SeqScan).work.tuples = 7;
+        b.span(1, OuKind::SeqScan).elapsed_us = 2.0;
+        b.span(2, OuKind::ArithmeticFilter).work.comparisons = 3;
+        a.fold(b);
+        let s = a.get(1, OuKind::SeqScan).unwrap();
+        assert_eq!(s.work.tuples, 17);
+        assert!((s.elapsed_us - 7.0).abs() < 1e-9);
+        assert_eq!(
+            a.get(2, OuKind::ArithmeticFilter).unwrap().work.comparisons,
+            3
+        );
+    }
+}

@@ -50,6 +50,21 @@ pub struct WorkCounts {
     pub block_writes: u64,
 }
 
+impl WorkCounts {
+    /// Fold another span's counts into this one (used when per-worker morsel
+    /// accounting merges into a single per-(node, OU) span).
+    pub fn merge(&mut self, other: &WorkCounts) {
+        self.tuples += other.tuples;
+        self.bytes += other.bytes;
+        self.hash_probes += other.hash_probes;
+        self.random_accesses += other.random_accesses;
+        self.comparisons += other.comparisons;
+        self.allocated_bytes += other.allocated_bytes;
+        self.block_reads += other.block_reads;
+        self.block_writes += other.block_writes;
+    }
+}
+
 /// Per-process noise stream for synthesized counters (deterministic order
 /// within a thread).
 static NOISE_COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
@@ -142,6 +157,16 @@ impl OuTracker {
 
     pub fn add_blocked_us(&mut self, us: f64) {
         self.blocked_us += us;
+    }
+
+    /// Fold a worker-side measurement into this span: work counts merge and
+    /// the worker's wall time joins the accumulated elapsed time. Summing
+    /// concurrent workers' spans measures true aggregate work (total CPU
+    /// seconds spent on the OU), which is what the paper's OU models train
+    /// on; frequency pacing is still applied exactly once, at `finish`.
+    pub fn absorb(&mut self, work: &WorkCounts, elapsed_us: f64) {
+        self.work.merge(work);
+        self.accumulated_us += elapsed_us;
     }
 
     /// Close the span: apply frequency pacing, then synthesize the metric

@@ -16,9 +16,9 @@ use parking_lot::Mutex;
 use mb2_catalog::Catalog;
 use mb2_common::types::{tuple_size_bytes, Tuple};
 use mb2_common::{Column, Metrics, OuKind, Prng, Schema, Value};
-use mb2_exec::{execute, ExecContext, OuRecorder, WorkCounts};
+use mb2_exec::{execute, ExecContext, ExecPool, OuRecorder, WorkCounts};
 use mb2_sql::plan::{AggSpec, OutputSink, SortKey};
-use mb2_sql::{parse, AggFunc, BoundExpr, Planner, PlanNode, Statement};
+use mb2_sql::{parse, AggFunc, BoundExpr, PlanNode, Planner, Statement};
 use mb2_txn::TxnManager;
 
 // ----------------------------------------------------------------------
@@ -92,13 +92,31 @@ impl OuRecorder for WorkRec {
     }
 }
 
+/// Morsel size for parallel runs: small enough that the 157-row table
+/// splits into several morsels (the default 2048 would leave every test
+/// table single-morsel, silently exercising the serial path).
+const TEST_MORSEL_SLOTS: usize = 32;
+
 fn run_engine(h: &Harness, plan: &PlanNode, batch_size: usize) -> (Vec<Tuple>, Feats) {
+    run_engine_pooled(h, plan, batch_size, None)
+}
+
+fn run_engine_pooled(
+    h: &Harness,
+    plan: &PlanNode,
+    batch_size: usize,
+    pool: Option<&Arc<ExecPool>>,
+) -> (Vec<Tuple>, Feats) {
     let rec = WorkRec::default();
     let mut txn = h.txns.begin();
     let rows = {
         let mut ctx = ExecContext::new(&h.catalog, &mut txn)
             .with_recorder(&rec)
-            .with_batch_size(batch_size);
+            .with_batch_size(batch_size)
+            .with_morsel_slots(TEST_MORSEL_SLOTS);
+        if let Some(pool) = pool {
+            ctx = ctx.with_pool(pool.clone());
+        }
         execute(plan, &mut ctx).unwrap().rows
     };
     txn.commit().unwrap();
@@ -146,7 +164,11 @@ impl<'a> Oracle<'a> {
     }
 
     fn subtree(node: &PlanNode) -> u32 {
-        1 + node.children().iter().map(|c| Self::subtree(c)).sum::<u32>()
+        1 + node
+            .children()
+            .iter()
+            .map(|c| Self::subtree(c))
+            .sum::<u32>()
     }
 
     fn eval_node(&mut self, node: &PlanNode, id: u32) -> Vec<Tuple> {
@@ -160,7 +182,12 @@ impl<'a> Oracle<'a> {
                     true
                 });
                 txn.commit().unwrap();
-                self.add(id, OuKind::SeqScan, rows.len() as u64, Self::bytes_of(&rows));
+                self.add(
+                    id,
+                    OuKind::SeqScan,
+                    rows.len() as u64,
+                    Self::bytes_of(&rows),
+                );
                 if let Some(f) = filter {
                     let n_in = rows.len() as u64;
                     rows.retain(|r| Self::eval_pred(r, f));
@@ -261,10 +288,8 @@ impl<'a> Oracle<'a> {
                 // bit-identical).
                 let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
                 for row in &rows {
-                    let key: Vec<Value> = group_by
-                        .iter()
-                        .map(|g| Self::eval_expr(row, g))
-                        .collect();
+                    let key: Vec<Value> =
+                        group_by.iter().map(|g| Self::eval_expr(row, g)).collect();
                     match groups.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, members)) => members.push(row.clone()),
                         None => groups.push((key, vec![row.clone()])),
@@ -281,12 +306,7 @@ impl<'a> Oracle<'a> {
                     }
                     out.push(row);
                 }
-                self.add(
-                    id,
-                    OuKind::AggProbe,
-                    out.len() as u64,
-                    Self::bytes_of(&out),
-                );
+                self.add(id, OuKind::AggProbe, out.len() as u64, Self::bytes_of(&out));
                 out
             }
             PlanNode::Filter {
@@ -305,8 +325,10 @@ impl<'a> Oracle<'a> {
                 let mut keyed: Vec<(Vec<Value>, Tuple)> = rows
                     .into_iter()
                     .map(|r| {
-                        let k: Vec<Value> =
-                            keys.iter().map(|sk| Self::eval_expr(&r, &sk.expr)).collect();
+                        let k: Vec<Value> = keys
+                            .iter()
+                            .map(|sk| Self::eval_expr(&r, &sk.expr))
+                            .collect();
                         (k, r)
                     })
                     .collect();
@@ -367,9 +389,8 @@ impl<'a> Oracle<'a> {
     }
 
     fn fold_agg(spec: &AggSpec, rows: &[Tuple]) -> Value {
-        let arg = |row: &Tuple| -> Option<Value> {
-            spec.arg.as_ref().map(|e| Self::eval_expr(row, e))
-        };
+        let arg =
+            |row: &Tuple| -> Option<Value> { spec.arg.as_ref().map(|e| Self::eval_expr(row, e)) };
         match spec.func {
             AggFunc::Count => {
                 let mut c = 0i64;
@@ -483,10 +504,8 @@ fn has_top_order(plan: &PlanNode) -> bool {
 }
 
 fn has_hash_operator(plan: &PlanNode) -> bool {
-    matches!(
-        plan,
-        PlanNode::Aggregate { .. } | PlanNode::HashJoin { .. }
-    ) || plan.children().iter().any(|c| has_hash_operator(c))
+    matches!(plan, PlanNode::Aggregate { .. } | PlanNode::HashJoin { .. })
+        || plan.children().iter().any(|c| has_hash_operator(c))
 }
 
 fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
@@ -502,7 +521,7 @@ fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
     rows
 }
 
-fn check_query(h: &Harness, sql: &str, has_limit: bool) {
+fn check_query(h: &Harness, pools: &[Option<Arc<ExecPool>>], sql: &str, has_limit: bool) {
     let plan = h.plan(sql);
     if has_limit && !has_top_order(&plan) {
         assert!(
@@ -512,48 +531,71 @@ fn check_query(h: &Harness, sql: &str, has_limit: bool) {
         );
     }
     let (oracle_rows, oracle_feats) = Oracle::run(h, &plan);
-    for batch_size in [1usize, 7, 1024] {
-        let (rows, feats) = run_engine(h, &plan, batch_size);
-        // Result rows must be byte-identical (canonically sorted when no
-        // ORDER BY pins the order).
-        if has_top_order(&plan) || !has_hash_operator(&plan) {
-            assert_eq!(
-                rows, oracle_rows,
-                "row mismatch for {sql} at batch_size={batch_size}"
-            );
-        } else {
-            assert_eq!(
-                canon(rows),
-                canon(oracle_rows.clone()),
-                "row mismatch (canonical) for {sql} at batch_size={batch_size}"
-            );
-        }
-        // Per-OU tuple/byte features must match the materializing totals —
-        // except under LIMIT, where early termination shrinks them.
-        if !has_limit {
-            let mut eng: Vec<_> = feats.iter().collect();
-            let mut ora: Vec<_> = oracle_feats.iter().collect();
-            eng.sort();
-            ora.sort();
-            assert_eq!(
-                eng, ora,
-                "per-OU work mismatch for {sql} at batch_size={batch_size}"
-            );
+    for pool in pools {
+        let workers = pool.as_ref().map_or(1, |p| p.workers());
+        for batch_size in [1usize, 7, 1024] {
+            let (rows, feats) = run_engine_pooled(h, &plan, batch_size, pool.as_ref());
+            // Result rows must be byte-identical (canonically sorted when no
+            // ORDER BY pins the order). Parallel execution gathers morsels
+            // in order, so it is held to the same bar as serial.
+            if has_top_order(&plan) || !has_hash_operator(&plan) {
+                assert_eq!(
+                    rows, oracle_rows,
+                    "row mismatch for {sql} at batch_size={batch_size} workers={workers}"
+                );
+            } else {
+                assert_eq!(
+                    canon(rows),
+                    canon(oracle_rows.clone()),
+                    "row mismatch (canonical) for {sql} at batch_size={batch_size} \
+                     workers={workers}"
+                );
+            }
+            // Per-OU tuple/byte features must match the materializing
+            // totals — summed across workers for parallel runs — except
+            // under LIMIT, where early termination shrinks them.
+            if !has_limit {
+                let mut eng: Vec<_> = feats.iter().collect();
+                let mut ora: Vec<_> = oracle_feats.iter().collect();
+                eng.sort();
+                ora.sort();
+                assert_eq!(
+                    eng, ora,
+                    "per-OU work mismatch for {sql} at batch_size={batch_size} \
+                     workers={workers}"
+                );
+            }
         }
     }
 }
 
+/// Seed override for CI stress runs: `MB2_TEST_SEED=n` perturbs both the
+/// data seed and the query-generator seed.
+fn seed_offset() -> u64 {
+    std::env::var("MB2_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 #[test]
 fn randomized_queries_match_oracle() {
-    let h = setup(0xD1FF);
-    let mut rng = Prng::new(0xCAFE);
+    let h = setup(0xD1FF ^ seed_offset());
+    let mut rng = Prng::new(0xCAFE ^ seed_offset());
+    // Serial plus morsel-parallel at 2 and 8 workers: every query must be
+    // byte-identical (and feature-identical) across all three.
+    let pools: Vec<Option<Arc<ExecPool>>> =
+        vec![None, Some(ExecPool::new(2)), Some(ExecPool::new(8))];
     for round in 0..8 {
         let x = rng.range_i64(0, 160);
         let b = rng.range_i64(0, 10);
         let n = rng.range_usize(1, 30);
         let cases: Vec<(String, bool)> = vec![
             (format!("SELECT * FROM t WHERE a < {x}"), false),
-            (format!("SELECT a, b FROM t WHERE b = {b} ORDER BY a"), false),
+            (
+                format!("SELECT a, b FROM t WHERE b = {b} ORDER BY a"),
+                false,
+            ),
             (
                 "SELECT b, COUNT(*), SUM(a), AVG(c), MIN(a), MAX(c) FROM t \
                  GROUP BY b ORDER BY b"
@@ -587,7 +629,7 @@ fn randomized_queries_match_oracle() {
             ),
         ];
         for (sql, has_limit) in &cases {
-            check_query(&h, sql, *has_limit);
+            check_query(&h, &pools, sql, *has_limit);
         }
         let _ = round;
     }

@@ -220,9 +220,28 @@ impl Table {
         start: usize,
         read_ts: Ts,
         own: Ts,
+        f: impl FnMut(SlotId, &Arc<Tuple>) -> bool,
+    ) -> usize {
+        self.scan_visible_range(start, usize::MAX, read_ts, own, f)
+    }
+
+    /// Bounded variant of [`Table::scan_visible_from`]: visit visible
+    /// versions in the half-open global slot range `[start, end)`. This is
+    /// the morsel API — parallel scans carve the heap into fixed-size slot
+    /// ranges and hand each to a worker. The bound applies to *slots*, not
+    /// visible tuples, so disjoint ranges partition the heap exactly and the
+    /// concatenation of per-range visits in range order equals one
+    /// `scan_visible_from(start)` pass. Returns the resume index exactly as
+    /// the unbounded scan does, clamped to `end`.
+    pub fn scan_visible_range(
+        &self,
+        start: usize,
+        end: usize,
+        read_ts: Ts,
+        own: Ts,
         mut f: impl FnMut(SlotId, &Arc<Tuple>) -> bool,
     ) -> usize {
-        let total = self.num_slots();
+        let total = self.num_slots().min(end);
         if start >= total {
             return total;
         }
@@ -423,6 +442,67 @@ mod tests {
         assert_eq!(end, 10);
         // Resuming at the end is a no-op.
         assert_eq!(t.scan_visible_from(end, Ts(5), Ts::txn(2), |_, _| true), 10);
+    }
+
+    #[test]
+    fn range_scans_partition_the_heap_exactly() {
+        let t = table();
+        for i in 0..25 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            // Leave a third of the rows invisible at the read timestamp.
+            let ts = if i % 3 == 0 { Ts(50) } else { Ts(5) };
+            t.commit_slot(slot, Ts::txn(1), ts, 1);
+        }
+        let mut full = Vec::new();
+        t.scan_visible_from(0, Ts(10), Ts::txn(2), |_, tuple| {
+            full.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        // Concatenating disjoint morsel ranges in order must reproduce the
+        // unbounded scan exactly, for any morsel size.
+        for morsel in [1usize, 4, 7, 25, 100] {
+            let mut pieced = Vec::new();
+            let mut start = 0;
+            while start < t.num_slots() {
+                let end = start + morsel;
+                let ret = t.scan_visible_range(start, end, Ts(10), Ts::txn(2), |_, tuple| {
+                    pieced.push(tuple[0].as_i64().unwrap());
+                    true
+                });
+                assert_eq!(ret, end.min(t.num_slots()));
+                start = end;
+            }
+            assert_eq!(pieced, full, "morsel size {morsel}");
+        }
+    }
+
+    #[test]
+    fn range_scan_clamps_and_stops_early() {
+        let t = table();
+        for i in 0..10 {
+            let slot = t.insert(tup(i, i), Ts::txn(1)).unwrap();
+            t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        }
+        // Range past the heap clamps to the slot count.
+        let mut seen = Vec::new();
+        let ret = t.scan_visible_range(8, 1000, Ts(5), Ts::txn(2), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(seen, vec![8, 9]);
+        assert_eq!(ret, 10);
+        // Early stop inside a range returns the resume index.
+        let mut n = 0;
+        let ret = t.scan_visible_range(2, 8, Ts(5), Ts::txn(2), |_, _| {
+            n += 1;
+            n < 2
+        });
+        assert_eq!(ret, 4);
+        // Empty and inverted ranges visit nothing.
+        let ret = t.scan_visible_range(5, 5, Ts(5), Ts::txn(2), |_, _| {
+            panic!("empty range must not visit")
+        });
+        assert_eq!(ret, 5);
     }
 
     #[test]
