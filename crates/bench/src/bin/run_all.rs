@@ -12,6 +12,7 @@ fn main() {
         ("obs_overhead", experiments::obs_overhead::run),
         ("exec_throughput", experiments::exec_throughput::run),
         ("exec_parallel", experiments::exec_parallel::run),
+        ("server_throughput", experiments::server_throughput::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
         (

@@ -1,0 +1,6 @@
+//! Network serving closed loop; see `mb2_bench::experiments::server_throughput`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::server_throughput::run(scale);
+    mb2_bench::report::emit("server_throughput", &report);
+}

@@ -14,6 +14,7 @@ pub mod fig09b_noisy_card;
 pub mod fig10_hardware;
 pub mod fig11_end_to_end;
 pub mod obs_overhead;
+pub mod server_throughput;
 pub mod table02_overhead;
 
 pub mod common;

@@ -1,0 +1,364 @@
+//! Multi-client closed-loop driver for `mb2-server` — the network serving
+//! path measured end to end over real sockets.
+//!
+//! Four phases against one TATP + SmallBank dataset:
+//!
+//! 1. **Concurrent-reader divergence** — 32 simultaneously connected
+//!    clients (barrier-synchronized, verified via the server's connection
+//!    gauge) replay deterministic read-only queries; every wire result is
+//!    compared to the in-process result for the same SQL. Zero divergence
+//!    required.
+//! 2. **Write-replay divergence** — a deterministic seeded SmallBank
+//!    transaction stream runs over the wire into the served database and
+//!    in-process into an identically loaded oracle database; per-statement
+//!    outcomes and the final table dumps must match exactly.
+//! 3. **Closed-loop throughput** — 32 connections replay the TATP mix
+//!    for a fixed window; reports committed transactions/sec, conflicts,
+//!    and admission rejections.
+//! 4. **Overload shedding** — the same database re-served with
+//!    `max_inflight_queries = 2` under 8 hammering clients: admission
+//!    control must answer with typed ServerBusy frames (reject, not
+//!    queue).
+//!
+//! Emits `results/server_throughput.txt` and machine-readable
+//! `results/BENCH_server.json`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use mb2_common::{DbError, Prng};
+use mb2_engine::{Database, DatabaseConfig};
+use mb2_server::{Client, Server, ServerConfig};
+use mb2_workloads::smallbank::SmallBank;
+use mb2_workloads::tatp::Tatp;
+use mb2_workloads::{execute_transaction, Workload};
+
+use crate::report::{fmt, results_dir, Table};
+use crate::Scale;
+
+/// Concurrent connections the driver must sustain (acceptance gate).
+pub const CONNECTIONS: usize = 32;
+
+fn serving_config() -> ServerConfig {
+    ServerConfig {
+        max_connections: CONNECTIONS * 2,
+        max_inflight_queries: CONNECTIONS * 2,
+        ..ServerConfig::default()
+    }
+}
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("# Network serving — multi-client closed loop over real sockets\n\n");
+
+    let tatp = scale.pick(Tatp::small(), Tatp::default());
+    let smallbank = scale.pick(SmallBank::small(), SmallBank::default());
+
+    let cfg = DatabaseConfig {
+        gc_interval: Some(Duration::from_millis(10)),
+        ..DatabaseConfig::default()
+    };
+    let db = Arc::new(Database::new(cfg).expect("database"));
+    tatp.load(&db).expect("tatp load");
+    smallbank.load(&db).expect("smallbank load");
+
+    // ---- Phase 1: concurrent-reader divergence ------------------------
+    let queries: Arc<Vec<String>> = Arc::new(
+        (0..CONNECTIONS)
+            .flat_map(|c| {
+                let lo = c * 17;
+                vec![
+                    "SELECT COUNT(*) FROM tatp_subscriber".to_string(),
+                    format!(
+                        "SELECT s_id, bit_1, vlr_location FROM tatp_subscriber \
+                         WHERE s_id >= {lo} AND s_id < {} ORDER BY s_id",
+                        lo + 25
+                    ),
+                    "SELECT sf_type, COUNT(*), SUM(is_active) FROM tatp_special_facility \
+                     GROUP BY sf_type ORDER BY sf_type"
+                        .to_string(),
+                    format!(
+                        "SELECT custid, name FROM sb_accounts WHERE custid < {} ORDER BY custid",
+                        (c + 1) * 3
+                    ),
+                ]
+            })
+            .collect(),
+    );
+    let expected: Arc<Vec<_>> = Arc::new(
+        queries
+            .iter()
+            .map(|q| db.execute(q).expect("oracle query").rows)
+            .collect(),
+    );
+
+    let server = Server::start(db.clone(), serving_config()).expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(CONNECTIONS + 1));
+    let divergences = Arc::new(AtomicU64::new(0));
+    let compared = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CONNECTIONS)
+        .map(|cid| {
+            let addr = addr.clone();
+            let queries = queries.clone();
+            let expected = expected.clone();
+            let barrier = barrier.clone();
+            let divergences = divergences.clone();
+            let compared = compared.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                // Each client walks the whole query list, starting at its
+                // own offset so the wire sees varied interleavings.
+                for i in 0..queries.len() {
+                    let qi = (i + cid * 4) % queries.len();
+                    let got = client.query(&queries[qi]).expect("wire query");
+                    compared.fetch_add(1, Ordering::Relaxed);
+                    if got.rows != expected[qi] {
+                        divergences.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let peak_connections = server.active_connections();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let compared = compared.load(Ordering::Relaxed);
+    let divergences = divergences.load(Ordering::Relaxed);
+
+    // ---- Phase 2: deterministic write-replay divergence ---------------
+    let oracle = Database::new(DatabaseConfig::default()).expect("oracle db");
+    tatp.load(&oracle).expect("oracle tatp load");
+    smallbank.load(&oracle).expect("oracle smallbank load");
+
+    let replay_txns = scale.pick(200, 600);
+    let templates = smallbank.template_names();
+    let mut rng = Prng::new(0xb2b2_0001);
+    let mut outcome_mismatches = 0u64;
+    let mut client = Client::connect(&addr).expect("replay connect");
+    for i in 0..replay_txns {
+        let template = templates[i % templates.len()];
+        let statements = smallbank.sample_transaction(template, &mut rng);
+        let wire_ok = client.execute_transaction(&statements).is_ok();
+        let oracle_ok = execute_transaction(&oracle, &statements).is_ok();
+        if wire_ok != oracle_ok {
+            outcome_mismatches += 1;
+        }
+    }
+    let dumps = [
+        "SELECT custid, name FROM sb_accounts ORDER BY custid",
+        "SELECT custid, bal FROM sb_savings ORDER BY custid",
+        "SELECT custid, bal FROM sb_checking ORDER BY custid",
+    ];
+    let mut dump_mismatches = 0u64;
+    for q in dumps {
+        let wire = client.query(q).expect("wire dump").rows;
+        let inproc = oracle.execute(q).expect("oracle dump").rows;
+        if wire != inproc {
+            dump_mismatches += 1;
+        }
+    }
+    oracle.shutdown();
+
+    // ---- Phase 3: closed-loop throughput ------------------------------
+    let window = scale.pick(Duration::from_millis(500), Duration::from_secs(2));
+    let tatp = Arc::new(tatp);
+    let committed = Arc::new(AtomicU64::new(0));
+    let conflicts = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let start_gate = Arc::new(Barrier::new(CONNECTIONS + 1));
+    let loop_handles: Vec<_> = (0..CONNECTIONS)
+        .map(|cid| {
+            let addr = addr.clone();
+            let tatp = tatp.clone();
+            let committed = committed.clone();
+            let conflicts = conflicts.clone();
+            let shed = shed.clone();
+            let start_gate = start_gate.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut rng = Prng::new(0xb2b2_1000 + cid as u64);
+                let names = tatp.template_names();
+                start_gate.wait();
+                let deadline = Instant::now() + window;
+                while Instant::now() < deadline {
+                    let template = *rng.choose(&names);
+                    let statements = tatp.sample_transaction(template, &mut rng);
+                    match client.execute_transaction(&statements) {
+                        Ok(_) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(DbError::ServerBusy(_)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(DbError::Net(e)) => panic!("connection lost mid-loop: {e}"),
+                        Err(_) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    start_gate.wait();
+    let t0 = Instant::now();
+    for h in loop_handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let committed = committed.load(Ordering::Relaxed);
+    let conflicts = conflicts.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    let txn_per_sec = committed as f64 / elapsed.as_secs_f64();
+
+    // Drain the serving front-end but keep the database: phase 4 re-serves
+    // it under a deliberately tiny admission bound.
+    drop(client);
+    drop(server);
+
+    // ---- Phase 4: overload shedding -----------------------------------
+    let tight = Server::start(
+        db.clone(),
+        ServerConfig {
+            max_inflight_queries: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("tight server");
+    let tight_addr = tight.local_addr().to_string();
+    let busy = Arc::new(AtomicU64::new(0));
+    let admitted = Arc::new(AtomicU64::new(0));
+    let hammer: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = tight_addr.clone();
+            let busy = busy.clone();
+            let admitted = admitted.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let deadline = Instant::now() + Duration::from_millis(400);
+                while Instant::now() < deadline {
+                    match client.query(
+                        "SELECT sf_type, COUNT(*), SUM(data_a) FROM tatp_special_facility \
+                         GROUP BY sf_type",
+                    ) {
+                        Ok(_) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(DbError::ServerBusy(_)) => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error under overload: {e:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in hammer {
+        h.join().unwrap();
+    }
+    let busy = busy.load(Ordering::Relaxed);
+    let admitted = admitted.load(Ordering::Relaxed);
+    tight.shutdown(); // full drain + engine shutdown
+
+    // ---- Report -------------------------------------------------------
+    let mut table = Table::new(
+        format!("{CONNECTIONS}-connection closed loop ({:?} scale)", scale),
+        &["phase", "metric", "value"],
+    );
+    table.row(&[
+        "readers".into(),
+        "peak concurrent connections".into(),
+        peak_connections.to_string(),
+    ]);
+    table.row(&[
+        "readers".into(),
+        "queries compared".into(),
+        compared.to_string(),
+    ]);
+    table.row(&[
+        "readers".into(),
+        "divergences".into(),
+        divergences.to_string(),
+    ]);
+    table.row(&[
+        "replay".into(),
+        "transactions replayed".into(),
+        replay_txns.to_string(),
+    ]);
+    table.row(&[
+        "replay".into(),
+        "outcome mismatches".into(),
+        outcome_mismatches.to_string(),
+    ]);
+    table.row(&[
+        "replay".into(),
+        "table-dump mismatches".into(),
+        dump_mismatches.to_string(),
+    ]);
+    table.row(&[
+        "loop".into(),
+        "committed txns".into(),
+        committed.to_string(),
+    ]);
+    table.row(&["loop".into(), "txn/sec".into(), fmt(txn_per_sec)]);
+    table.row(&[
+        "loop".into(),
+        "conflict aborts".into(),
+        conflicts.to_string(),
+    ]);
+    table.row(&["loop".into(), "busy rejections".into(), shed.to_string()]);
+    table.row(&["overload".into(), "admitted".into(), admitted.to_string()]);
+    table.row(&[
+        "overload".into(),
+        "ServerBusy rejections".into(),
+        busy.to_string(),
+    ]);
+    out.push_str(&table.render());
+
+    let zero_divergence = divergences == 0 && outcome_mismatches == 0 && dump_mismatches == 0;
+    let pass = peak_connections >= CONNECTIONS && zero_divergence && busy > 0;
+    let _ = writeln!(
+        out,
+        "\ngates: connections >= {CONNECTIONS}: {}; zero divergence: {zero_divergence}; \
+         overload sheds with ServerBusy: {} — {}",
+        peak_connections >= CONNECTIONS,
+        busy > 0,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    // Machine-readable companion: hand-rolled JSON, no serde dependency.
+    let mut json = String::from("{\n  \"experiment\": \"server_throughput\",\n");
+    let _ = writeln!(json, "  \"connections\": {CONNECTIONS},");
+    let _ = writeln!(json, "  \"peak_connections\": {peak_connections},");
+    let _ = writeln!(json, "  \"reader_queries_compared\": {compared},");
+    let _ = writeln!(json, "  \"reader_divergences\": {divergences},");
+    let _ = writeln!(json, "  \"replay_transactions\": {replay_txns},");
+    let _ = writeln!(
+        json,
+        "  \"replay_outcome_mismatches\": {outcome_mismatches},"
+    );
+    let _ = writeln!(json, "  \"replay_dump_mismatches\": {dump_mismatches},");
+    let _ = writeln!(json, "  \"loop_committed\": {committed},");
+    let _ = writeln!(json, "  \"loop_txn_per_sec\": {txn_per_sec:.1},");
+    let _ = writeln!(json, "  \"loop_conflicts\": {conflicts},");
+    let _ = writeln!(json, "  \"loop_busy\": {shed},");
+    let _ = writeln!(json, "  \"overload_admitted\": {admitted},");
+    let _ = writeln!(json, "  \"overload_busy_rejections\": {busy},");
+    let _ = writeln!(json, "  \"gate_pass\": {pass}");
+    json.push_str("}\n");
+    let path = results_dir().join("BENCH_server.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        let _ = writeln!(out, "\nwrote {}", path.display());
+    }
+
+    assert!(pass, "server_throughput acceptance gates failed:\n{out}");
+    out
+}

@@ -26,6 +26,11 @@ pub enum DbError {
     Storage(String),
     /// ML training/inference failure (singular matrix, empty dataset, ...).
     Model(String),
+    /// The server's admission control rejected the request (overload). The
+    /// request was never started; the client may retry with backoff.
+    ServerBusy(String),
+    /// Network/front-end I/O failure (broken socket, protocol violation).
+    Net(String),
 }
 
 impl fmt::Display for DbError {
@@ -45,6 +50,8 @@ impl fmt::Display for DbError {
             }
             DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::Model(m) => write!(f, "model error: {m}"),
+            DbError::ServerBusy(m) => write!(f, "server busy: {m}"),
+            DbError::Net(m) => write!(f, "network error: {m}"),
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Blocking Rust client for the mb2-server wire protocol.
+//!
+//! One [`Client`] is one connection, and therefore one server-side session:
+//! explicit `BEGIN`/`COMMIT`/`ROLLBACK` span calls on the same client. The
+//! client is deliberately thin — framing, handshake, and typed error
+//! decoding — so benchmark drivers measure the server, not the client.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mb2_common::{DbError, DbResult, Value};
+
+use crate::wire::{self, Frame, FrameReader, PROTOCOL_VERSION};
+
+/// A materialized query response.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResponse {
+    /// Result rows, in server order.
+    pub rows: Vec<Vec<Value>>,
+    /// Rows streamed (queries) or rows affected (DML), from the Done frame.
+    pub count: u64,
+}
+
+/// A blocking connection to an mb2-server.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    /// Connect and perform the protocol handshake. An overloaded server
+    /// answers the connect itself with a busy frame, surfaced here as
+    /// [`DbError::ServerBusy`].
+    pub fn connect(addr: impl ToSocketAddrs) -> DbResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| DbError::Net(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            reader: FrameReader::new(),
+        };
+        wire::write_frame(
+            &mut client.stream,
+            &Frame::ClientHello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match client.read_frame()? {
+            Frame::ServerHello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Frame::ServerHello { version } => Err(DbError::Net(format!(
+                "server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"
+            ))),
+            Frame::Busy { message, .. } => Err(DbError::ServerBusy(message)),
+            Frame::Error { error } => Err(error),
+            other => Err(DbError::Net(format!(
+                "unexpected handshake frame: {other:?}"
+            ))),
+        }
+    }
+
+    /// Set the socket read timeout used while waiting for responses.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> DbResult<()> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| DbError::Net(format!("set_read_timeout: {e}")))
+    }
+
+    /// Execute one statement and materialize the response.
+    pub fn query(&mut self, sql: &str) -> DbResult<QueryResponse> {
+        let mut resp = QueryResponse::default();
+        let count = self.query_streaming(sql, &mut |rows| {
+            resp.rows.extend(rows);
+            Ok(())
+        })?;
+        resp.count = count;
+        Ok(resp)
+    }
+
+    /// Execute one statement, handing each row batch to `on_rows` as it
+    /// arrives. Returns the Done frame's row count.
+    ///
+    /// If the callback errors, the response stream is still drained to its
+    /// Done/Error terminator so the connection stays usable for the next
+    /// query; the callback's error is then returned.
+    pub fn query_streaming(
+        &mut self,
+        sql: &str,
+        on_rows: &mut dyn FnMut(Vec<Vec<Value>>) -> DbResult<()>,
+    ) -> DbResult<u64> {
+        wire::write_frame(&mut self.stream, &Frame::Query { sql: sql.into() })?;
+        let mut callback_err: Option<DbError> = None;
+        loop {
+            match self.read_frame()? {
+                Frame::RowBatch { rows } => {
+                    if callback_err.is_none() {
+                        if let Err(e) = on_rows(rows) {
+                            callback_err = Some(e);
+                        }
+                    }
+                }
+                Frame::Done { rows } => {
+                    return match callback_err {
+                        Some(e) => Err(e),
+                        None => Ok(rows),
+                    };
+                }
+                Frame::Error { error } => return Err(error),
+                Frame::Busy { message, .. } => return Err(DbError::ServerBusy(message)),
+                other => {
+                    return Err(DbError::Net(format!(
+                        "unexpected response frame: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Run `statements` inside an explicit transaction: BEGIN, each
+    /// statement, COMMIT. On any error a best-effort ROLLBACK is issued
+    /// before the error is returned. [`DbError::ServerBusy`] aborts the
+    /// whole transaction — the server never starts a shed request, so
+    /// retrying the transaction from the top is safe.
+    pub fn execute_transaction(&mut self, statements: &[String]) -> DbResult<Vec<QueryResponse>> {
+        self.query("BEGIN")?;
+        let mut responses = Vec::with_capacity(statements.len());
+        for sql in statements {
+            match self.query(sql) {
+                Ok(resp) => responses.push(resp),
+                Err(e) => {
+                    if !matches!(e, DbError::Net(_)) {
+                        let _ = self.query("ROLLBACK");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.query("COMMIT")?;
+        Ok(responses)
+    }
+
+    fn read_frame(&mut self) -> DbResult<Frame> {
+        self.reader.read_frame_blocking(&mut self.stream)
+    }
+}

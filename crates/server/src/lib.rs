@@ -1,0 +1,23 @@
+//! mb2-server: the network front-end for the MB2 reproduction.
+//!
+//! Three layers:
+//!
+//! - [`wire`] — the length-prefixed binary protocol (frames, codec, and an
+//!   incremental [`wire::FrameReader`] that survives read timeouts).
+//! - [`Server`] — TCP acceptor, thread-per-connection workers, admission
+//!   control that sheds overload with typed busy frames, and graceful
+//!   drain-then-shutdown.
+//! - [`Client`] — a blocking Rust client used by the tests and the
+//!   multi-client benchmark driver.
+//!
+//! The server executes through the engine's streaming path, so result
+//! batches go to the socket as they are produced rather than being
+//! materialized first.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, QueryResponse};
+pub use server::{Server, ServerConfig};
+pub use wire::{BusyReason, Frame, PROTOCOL_VERSION};

@@ -1,0 +1,444 @@
+//! The TCP front-end: bounded acceptor, thread-per-connection workers,
+//! admission control with load shedding, and drain-then-shutdown.
+//!
+//! Lifecycle contract (see DESIGN.md "Network serving model"):
+//!
+//! 1. `Server::start` binds, registers its metric families in the
+//!    database's registry, and spawns the acceptor.
+//! 2. Each accepted connection gets a worker thread and an engine session, so
+//!    `BEGIN`/`COMMIT`/`ROLLBACK` work over the wire exactly as they do
+//!    in-process.
+//! 3. Admission control is a bounded in-flight query counter: a request
+//!    over the limit is answered with a typed `Busy` frame immediately —
+//!    the server sheds load, it never queues it.
+//! 4. `Server::shutdown` drains: stop accepting, let every in-flight query
+//!    finish, join all connection workers, then shut the engine down
+//!    (which flushes the WAL and joins GC/flusher/pool threads).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mb2_common::{DbError, DbResult, Value};
+use mb2_engine::Database;
+use mb2_obs::{Counter, Gauge, Histogram};
+
+use crate::wire::{self, BusyReason, Frame, FrameReader, ReadPoll, PROTOCOL_VERSION};
+
+/// Server configuration knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Maximum simultaneously connected clients; further connects are
+    /// answered with a typed busy frame and closed.
+    pub max_connections: usize,
+    /// Bound on queries executing at once across all connections — the
+    /// admission-control semaphore. Requests beyond it get a busy frame.
+    pub max_inflight_queries: usize,
+    /// Close a connection that has been idle (no complete request) this
+    /// long.
+    pub idle_timeout: Duration,
+    /// Socket read-timeout granularity: how often an idle worker re-checks
+    /// the shutdown flag and the idle deadline. Bounds drain latency for
+    /// idle connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+            max_inflight_queries: 16,
+            idle_timeout: Duration::from_secs(300),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Server metric families, registered in the database's registry so one
+/// scrape sees the front-end next to every engine subsystem.
+struct ServerMetrics {
+    connections_accepted: Arc<Counter>,
+    connections_rejected: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    queries_total: Arc<Counter>,
+    queries_rejected: Arc<Counter>,
+    query_errors: Arc<Counter>,
+    inflight_queries: Arc<Gauge>,
+    request_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new(db: &Database) -> ServerMetrics {
+        let r = db.metrics();
+        ServerMetrics {
+            connections_accepted: r.counter(
+                "mb2_server_connections_accepted_total",
+                "Client connections accepted.",
+            ),
+            connections_rejected: r.counter(
+                "mb2_server_connections_rejected_total",
+                "Client connections rejected at the max_connections bound.",
+            ),
+            connections_active: r.gauge(
+                "mb2_server_connections_active",
+                "Currently connected clients.",
+            ),
+            queries_total: r.counter("mb2_server_queries_total", "Query frames received."),
+            queries_rejected: r.counter(
+                "mb2_server_queries_rejected_total",
+                "Queries shed by admission control (busy frames sent).",
+            ),
+            query_errors: r.counter("mb2_server_query_errors_total", "Queries that failed."),
+            inflight_queries: r.gauge(
+                "mb2_server_inflight_queries",
+                "Queries currently executing.",
+            ),
+            request_us: r.histogram(
+                "mb2_server_request_us",
+                "End-to-end request latency (receive to Done) in microseconds.",
+            ),
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    active_conns: AtomicUsize,
+    inflight: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    metrics: ServerMetrics,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Reserve a connection slot; `false` over the bound.
+    fn try_acquire_conn(&self) -> bool {
+        self.active_conns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.cfg.max_connections).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Reserve an in-flight query permit; `false` under overload. This is
+    /// the admission-control decision point: failure is answered with a
+    /// typed busy frame, never a queue.
+    fn try_acquire_query(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.cfg.max_inflight_queries).then_some(n + 1)
+            })
+            .is_ok()
+    }
+}
+
+/// RAII permit from the in-flight query semaphore.
+struct QueryPermit<'a>(&'a Shared);
+
+impl Drop for QueryPermit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.0.metrics.inflight_queries.dec();
+    }
+}
+
+/// The network front-end. Owns the acceptor and every connection worker;
+/// dropping the server (or calling [`Server::shutdown`]) drains them.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. The returned server is already accepting.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> DbResult<Server> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| DbError::Net(format!("bind {}: {e}", cfg.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DbError::Net(format!("local_addr: {e}")))?;
+        let metrics = ServerMetrics::new(&db);
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            stop: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
+            metrics,
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("mb2-server-accept".into())
+                .spawn(move || accept_loop(&shared, listener))
+                .map_err(|e| DbError::Net(format!("spawn acceptor: {e}")))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0 for tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The database this server fronts.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Currently connected clients.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_conns.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting, finish in-flight
+    /// queries, join every connection worker and the acceptor, then shut
+    /// down the engine (WAL flush + GC/flusher/pool thread joins). Safe to
+    /// call once; `Drop` performs the same drain if it was not called.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.shared.db.shutdown();
+    }
+
+    fn drain(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection; the loop
+        // re-checks the stop flag before serving it.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Join connection workers. Idle ones notice the flag within one
+        // poll interval; busy ones finish their in-flight query first.
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            // Drain without shutting the engine down: the Database may be
+            // shared with in-process users; explicit `shutdown()` is the
+            // full-stack teardown.
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.stopping() {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if !shared.try_acquire_conn() {
+            shared.metrics.connections_rejected.inc();
+            let mut s = stream;
+            let _ = wire::write_frame(
+                &mut s,
+                &Frame::Busy {
+                    reason: BusyReason::Connections,
+                    message: format!("connection limit of {} reached", shared.cfg.max_connections),
+                },
+            );
+            continue; // drop closes the socket
+        }
+        shared.metrics.connections_accepted.inc();
+        shared.metrics.connections_active.inc();
+        let worker = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("mb2-server-conn".into())
+                .spawn(move || {
+                    let _ = serve_connection(&shared, stream);
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    shared.metrics.connections_active.dec();
+                })
+        };
+        let mut workers = shared.workers.lock();
+        // Reap finished workers so a long-lived server doesn't accumulate
+        // handles for every connection it ever served.
+        workers.retain(|h| !h.is_finished());
+        match worker {
+            Ok(h) => workers.push(h),
+            Err(_) => {
+                shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.connections_active.dec();
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .map_err(|e| DbError::Net(format!("set_read_timeout: {e}")))?;
+
+    let mut reader = FrameReader::new();
+
+    // Handshake, bounded by the idle timeout.
+    let deadline = Instant::now() + shared.cfg.idle_timeout;
+    let hello = loop {
+        match reader.poll_read(&mut stream)? {
+            ReadPoll::Frame(f) => break f,
+            ReadPoll::Eof => return Ok(()),
+            ReadPoll::Pending => {
+                if shared.stopping() || Instant::now() > deadline {
+                    return Ok(());
+                }
+            }
+        }
+    };
+    match hello {
+        Frame::ClientHello { version } if version == PROTOCOL_VERSION => {
+            wire::write_frame(
+                &mut stream,
+                &Frame::ServerHello {
+                    version: PROTOCOL_VERSION,
+                },
+            )?;
+        }
+        Frame::ClientHello { version } => {
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    error: DbError::Net(format!(
+                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                    )),
+                },
+            );
+            return Ok(());
+        }
+        _ => {
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    error: DbError::Net("expected ClientHello".into()),
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    // One session per connection: explicit transactions span requests.
+    let db = shared.db.clone();
+    let mut session = db.session();
+    let mut idle_since = Instant::now();
+    loop {
+        match reader.poll_read(&mut stream)? {
+            ReadPoll::Frame(Frame::Query { sql }) => {
+                idle_since = Instant::now();
+                handle_query(shared, &mut session, &mut stream, &sql)?;
+                if shared.stopping() {
+                    // Drain: the in-flight request was finished and
+                    // answered; close before taking new work.
+                    return Ok(());
+                }
+            }
+            ReadPoll::Frame(_) => {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        error: DbError::Net("expected Query".into()),
+                    },
+                );
+                return Ok(());
+            }
+            ReadPoll::Eof => return Ok(()),
+            ReadPoll::Pending => {
+                if shared.stopping() {
+                    return Ok(());
+                }
+                if idle_since.elapsed() > shared.cfg.idle_timeout {
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            error: DbError::Net(format!(
+                                "idle timeout after {:?}",
+                                shared.cfg.idle_timeout
+                            )),
+                        },
+                    );
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Serve one query frame: admission control, streamed execution, typed
+/// errors. Only I/O failures propagate (tearing the connection down);
+/// engine errors are answered in-band and the connection lives on.
+fn handle_query(
+    shared: &Arc<Shared>,
+    session: &mut mb2_engine::Session<'_>,
+    stream: &mut TcpStream,
+    sql: &str,
+) -> DbResult<()> {
+    shared.metrics.queries_total.inc();
+    if !shared.try_acquire_query() {
+        shared.metrics.queries_rejected.inc();
+        return wire::write_frame(
+            stream,
+            &Frame::Busy {
+                reason: BusyReason::Queries,
+                message: format!(
+                    "{} queries in flight (limit {})",
+                    shared.cfg.max_inflight_queries, shared.cfg.max_inflight_queries
+                ),
+            },
+        );
+    }
+    let _permit = QueryPermit(shared);
+    shared.metrics.inflight_queries.inc();
+    let started = Instant::now();
+
+    let result = session.execute_streaming(sql, None, &mut |batch| {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let rows: Vec<Vec<Value>> = batch.rows.iter().map(|r| r.as_ref().clone()).collect();
+        wire::write_frame(stream, &Frame::RowBatch { rows })
+    });
+    match result {
+        Ok(n) => {
+            shared
+                .metrics
+                .request_us
+                .record(started.elapsed().as_micros() as u64);
+            wire::write_frame(stream, &Frame::Done { rows: n as u64 })
+        }
+        // A network error from the batch callback means the socket is
+        // gone; propagate so the worker exits instead of writing to it.
+        Err(e @ DbError::Net(_)) => Err(e),
+        Err(e) => {
+            shared.metrics.query_errors.inc();
+            wire::write_frame(stream, &Frame::Error { error: e })
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! The length-prefixed wire protocol spoken between `mb2-server` and the
+//! bundled client.
+//!
+//! Every frame on the wire is `[u32 LE payload length][payload]`, where the
+//! payload is `[u8 frame type][frame body]`. The protocol is deliberately
+//! small: a handshake pair, a query frame, streamed row batches, a
+//! terminator carrying the row count, a typed error frame mapping
+//! [`DbError`], and a typed **busy** frame for admission-control rejections
+//! (the server sheds load instead of queueing it).
+//!
+//! Values are encoded with a one-byte tag per column; strings are
+//! `u32 length + UTF-8 bytes`. All integers are little-endian.
+
+use std::io::{ErrorKind, Read, Write};
+
+use mb2_common::{DbError, DbResult, Value};
+
+/// Handshake magic: the first bytes a client sends.
+pub const MAGIC: [u8; 4] = *b"MB2\0";
+
+/// Wire protocol version, negotiated at handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's payload; larger length prefixes are
+/// treated as a protocol violation (protects the peer from unbounded
+/// allocation on a corrupt or hostile stream).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+const T_CLIENT_HELLO: u8 = 1;
+const T_SERVER_HELLO: u8 = 2;
+const T_QUERY: u8 = 3;
+const T_ROW_BATCH: u8 = 4;
+const T_DONE: u8 = 5;
+const T_ERROR: u8 = 6;
+const T_BUSY: u8 = 7;
+
+/// Why an admission-control rejection happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The bounded in-flight query semaphore is exhausted.
+    Queries,
+    /// The connection limit (`max_connections`) is reached.
+    Connections,
+    /// The server is draining for shutdown.
+    Draining,
+}
+
+impl BusyReason {
+    fn code(self) -> u8 {
+        match self {
+            BusyReason::Queries => 0,
+            BusyReason::Connections => 1,
+            BusyReason::Draining => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> DbResult<BusyReason> {
+        match c {
+            0 => Ok(BusyReason::Queries),
+            1 => Ok(BusyReason::Connections),
+            2 => Ok(BusyReason::Draining),
+            other => Err(DbError::Net(format!("unknown busy reason {other}"))),
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: magic + requested protocol version.
+    ClientHello { version: u16 },
+    /// Server → client: accepted protocol version.
+    ServerHello { version: u16 },
+    /// Client → server: one SQL statement.
+    Query { sql: String },
+    /// Server → client: a batch of result rows (zero or more per query).
+    RowBatch { rows: Vec<Vec<Value>> },
+    /// Server → client: query finished; rows streamed or rows affected.
+    Done { rows: u64 },
+    /// Server → client: the query failed.
+    Error { error: DbError },
+    /// Server → client: admission control rejected the request. The query
+    /// (or connection) was never started; retry with backoff.
+    Busy { reason: BusyReason, message: String },
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            put_u64(buf, *i as u64);
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Varchar(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.push(4);
+            buf.push(*b as u8);
+        }
+        Value::Timestamp(t) => {
+            buf.push(5);
+            put_u64(buf, *t as u64);
+        }
+    }
+}
+
+/// `DbError` → stable wire code. Codes are part of the protocol; add new
+/// variants at the end.
+fn error_code(e: &DbError) -> u8 {
+    match e {
+        DbError::Parse(_) => 1,
+        DbError::Catalog(_) => 2,
+        DbError::Plan(_) => 3,
+        DbError::Execution(_) => 4,
+        DbError::WriteConflict { .. } => 5,
+        DbError::TxnClosed => 6,
+        DbError::Wal(_) => 7,
+        DbError::WalUnavailable(_) => 8,
+        DbError::Storage(_) => 9,
+        DbError::Model(_) => 10,
+        DbError::ServerBusy(_) => 11,
+        DbError::Net(_) => 12,
+    }
+}
+
+fn error_detail(e: &DbError) -> String {
+    match e {
+        DbError::Parse(m)
+        | DbError::Catalog(m)
+        | DbError::Plan(m)
+        | DbError::Execution(m)
+        | DbError::Wal(m)
+        | DbError::WalUnavailable(m)
+        | DbError::Storage(m)
+        | DbError::Model(m)
+        | DbError::ServerBusy(m)
+        | DbError::Net(m) => m.clone(),
+        DbError::WriteConflict { table } => table.clone(),
+        DbError::TxnClosed => String::new(),
+    }
+}
+
+fn error_from_wire(code: u8, detail: String) -> DbError {
+    match code {
+        1 => DbError::Parse(detail),
+        2 => DbError::Catalog(detail),
+        3 => DbError::Plan(detail),
+        4 => DbError::Execution(detail),
+        5 => DbError::WriteConflict { table: detail },
+        6 => DbError::TxnClosed,
+        7 => DbError::Wal(detail),
+        8 => DbError::WalUnavailable(detail),
+        9 => DbError::Storage(detail),
+        10 => DbError::Model(detail),
+        11 => DbError::ServerBusy(detail),
+        12 => DbError::Net(detail),
+        other => DbError::Net(format!("unknown error code {other}: {detail}")),
+    }
+}
+
+/// Encode a frame payload (type byte + body), without the length prefix.
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match frame {
+        Frame::ClientHello { version } => {
+            buf.push(T_CLIENT_HELLO);
+            buf.extend_from_slice(&MAGIC);
+            put_u16(&mut buf, *version);
+        }
+        Frame::ServerHello { version } => {
+            buf.push(T_SERVER_HELLO);
+            put_u16(&mut buf, *version);
+        }
+        Frame::Query { sql } => {
+            buf.push(T_QUERY);
+            put_str(&mut buf, sql);
+        }
+        Frame::RowBatch { rows } => {
+            buf.push(T_ROW_BATCH);
+            put_u32(&mut buf, rows.len() as u32);
+            for row in rows {
+                put_u16(&mut buf, row.len() as u16);
+                for v in row {
+                    put_value(&mut buf, v);
+                }
+            }
+        }
+        Frame::Done { rows } => {
+            buf.push(T_DONE);
+            put_u64(&mut buf, *rows);
+        }
+        Frame::Error { error } => {
+            buf.push(T_ERROR);
+            buf.push(error_code(error));
+            put_str(&mut buf, &error_detail(error));
+        }
+        Frame::Busy { reason, message } => {
+            buf.push(T_BUSY);
+            buf.push(reason.code());
+            put_str(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Write one frame (length prefix + payload) to the stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> DbResult<()> {
+    let payload = encode_payload(frame);
+    let mut msg = Vec::with_capacity(4 + payload.len());
+    msg.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&payload);
+    w.write_all(&msg)
+        .and_then(|_| w.flush())
+        .map_err(|e| DbError::Net(format!("write: {e}")))
+}
+
+/// A byte cursor over a received payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DbError::Net("truncated frame".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> DbResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> DbResult<String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DbError::Net("invalid UTF-8 in frame".into()))
+    }
+
+    fn value(&mut self) -> DbResult<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.u64()? as i64),
+            2 => Value::Float(f64::from_bits(self.u64()?)),
+            3 => Value::Varchar(self.string()?),
+            4 => Value::Bool(self.u8()? != 0),
+            5 => Value::Timestamp(self.u64()? as i64),
+            tag => return Err(DbError::Net(format!("unknown value tag {tag}"))),
+        })
+    }
+}
+
+/// Decode one received payload (type byte + body) into a frame.
+pub fn decode_payload(payload: &[u8]) -> DbResult<Frame> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let frame = match c.u8()? {
+        T_CLIENT_HELLO => {
+            let magic = c.take(4)?;
+            if magic != MAGIC {
+                return Err(DbError::Net("bad handshake magic".into()));
+            }
+            Frame::ClientHello { version: c.u16()? }
+        }
+        T_SERVER_HELLO => Frame::ServerHello { version: c.u16()? },
+        T_QUERY => Frame::Query { sql: c.string()? },
+        T_ROW_BATCH => {
+            let n = c.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                let cols = c.u16()? as usize;
+                let mut row = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(c.value()?);
+                }
+                rows.push(row);
+            }
+            Frame::RowBatch { rows }
+        }
+        T_DONE => Frame::Done { rows: c.u64()? },
+        T_ERROR => {
+            let code = c.u8()?;
+            let detail = c.string()?;
+            Frame::Error {
+                error: error_from_wire(code, detail),
+            }
+        }
+        T_BUSY => {
+            let reason = BusyReason::from_code(c.u8()?)?;
+            Frame::Busy {
+                reason,
+                message: c.string()?,
+            }
+        }
+        t => return Err(DbError::Net(format!("unknown frame type {t}"))),
+    };
+    if c.pos != payload.len() {
+        return Err(DbError::Net("trailing bytes in frame".into()));
+    }
+    Ok(frame)
+}
+
+/// Result of one non-blocking-ish read attempt on a [`FrameReader`].
+#[derive(Debug)]
+pub enum ReadPoll {
+    /// A complete frame was assembled.
+    Frame(Frame),
+    /// The read timed out (or would block) before the frame completed;
+    /// partial progress is retained — call again.
+    Pending,
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Eof,
+}
+
+/// Incremental frame reader that survives read timeouts: partial header or
+/// body bytes are retained across calls, so a socket with a short read
+/// timeout can be polled without losing protocol framing. This is what lets
+/// a server worker wait for the next request while staying responsive to
+/// the shutdown flag.
+#[derive(Default)]
+pub struct FrameReader {
+    hdr: [u8; 4],
+    hdr_got: usize,
+    body: Vec<u8>,
+    body_len: Option<usize>,
+}
+
+impl FrameReader {
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether a frame is partially received (an EOF or shutdown now would
+    /// tear it).
+    pub fn mid_frame(&self) -> bool {
+        self.hdr_got > 0 || self.body_len.is_some()
+    }
+
+    /// Attempt to make progress; see [`ReadPoll`].
+    pub fn poll_read(&mut self, r: &mut impl Read) -> DbResult<ReadPoll> {
+        loop {
+            if self.body_len.is_none() {
+                // Read the 4-byte length prefix.
+                match r.read(&mut self.hdr[self.hdr_got..]) {
+                    Ok(0) => {
+                        return if self.hdr_got == 0 {
+                            Ok(ReadPoll::Eof)
+                        } else {
+                            Err(DbError::Net("eof inside frame header".into()))
+                        };
+                    }
+                    Ok(n) => {
+                        self.hdr_got += n;
+                        if self.hdr_got < 4 {
+                            continue;
+                        }
+                        let len = u32::from_le_bytes(self.hdr) as usize;
+                        if len == 0 || len > MAX_FRAME_LEN {
+                            return Err(DbError::Net(format!("bad frame length {len}")));
+                        }
+                        self.body_len = Some(len);
+                        self.body.clear();
+                        self.body.reserve(len.min(1 << 20));
+                    }
+                    Err(e) if would_block(&e) => return Ok(ReadPoll::Pending),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(DbError::Net(format!("read: {e}"))),
+                }
+            }
+            let len = self.body_len.unwrap_or(0);
+            while self.body.len() < len {
+                let mut chunk = [0u8; 8192];
+                let want = (len - self.body.len()).min(chunk.len());
+                match r.read(&mut chunk[..want]) {
+                    Ok(0) => return Err(DbError::Net("eof inside frame body".into())),
+                    Ok(n) => self.body.extend_from_slice(&chunk[..n]),
+                    Err(e) if would_block(&e) => return Ok(ReadPoll::Pending),
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(DbError::Net(format!("read: {e}"))),
+                }
+            }
+            let frame = decode_payload(&self.body)?;
+            self.hdr_got = 0;
+            self.body_len = None;
+            self.body.clear();
+            return Ok(ReadPoll::Frame(frame));
+        }
+    }
+
+    /// Block until a complete frame arrives. Clean EOF maps to an error
+    /// naming the closed connection (used by the client, which has no
+    /// polling loop of its own).
+    pub fn read_frame_blocking(&mut self, r: &mut impl Read) -> DbResult<Frame> {
+        loop {
+            match self.poll_read(r)? {
+                ReadPoll::Frame(f) => return Ok(f),
+                ReadPoll::Pending => continue,
+                ReadPoll::Eof => return Err(DbError::Net("connection closed by peer".into())),
+            }
+        }
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut reader = FrameReader::new();
+        let got = reader.read_frame_blocking(&mut &buf[..]).unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::ClientHello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip(Frame::ServerHello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip(Frame::Query {
+            sql: "SELECT * FROM t WHERE a = 'x''y'".into(),
+        });
+        roundtrip(Frame::RowBatch {
+            rows: vec![
+                vec![
+                    Value::Null,
+                    Value::Int(-7),
+                    Value::Float(3.25),
+                    Value::Varchar("héllo".into()),
+                    Value::Bool(true),
+                    Value::Timestamp(1_700_000_000),
+                ],
+                vec![Value::Int(i64::MIN), Value::Int(i64::MAX)],
+            ],
+        });
+        roundtrip(Frame::Done { rows: u64::MAX });
+        roundtrip(Frame::Busy {
+            reason: BusyReason::Queries,
+            message: "8 queries in flight".into(),
+        });
+    }
+
+    #[test]
+    fn errors_roundtrip_typed() {
+        for e in [
+            DbError::Parse("bad token".into()),
+            DbError::Catalog("no such table".into()),
+            DbError::Plan("arity".into()),
+            DbError::Execution("division by zero".into()),
+            DbError::WriteConflict {
+                table: "accounts".into(),
+            },
+            DbError::TxnClosed,
+            DbError::Wal("io".into()),
+            DbError::WalUnavailable("poisoned".into()),
+            DbError::Storage("bad slot".into()),
+            DbError::Model("singular".into()),
+            DbError::ServerBusy("overload".into()),
+            DbError::Net("broken pipe".into()),
+        ] {
+            roundtrip(Frame::Error { error: e });
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        // Feed a frame one byte at a time through a reader that returns
+        // WouldBlock between bytes — the FrameReader must keep partial
+        // progress and finish the frame.
+        let mut buf = Vec::new();
+        let frame = Frame::Query {
+            sql: "SELECT 1".into(),
+        };
+        write_frame(&mut buf, &frame).unwrap();
+
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+            parity: bool,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                self.parity = !self.parity;
+                if self.parity {
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "wait"));
+                }
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                out[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut src = Trickle {
+            data: buf,
+            pos: 0,
+            parity: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut pendings = 0;
+        loop {
+            match reader.poll_read(&mut src).unwrap() {
+                ReadPoll::Frame(f) => {
+                    assert_eq!(f, frame);
+                    break;
+                }
+                ReadPoll::Pending => pendings += 1,
+                ReadPoll::Eof => panic!("unexpected eof"),
+            }
+        }
+        assert!(pendings > 0, "trickle source must have blocked");
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_rejected() {
+        // Length prefix above the cap.
+        let mut msg = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        msg.push(T_QUERY);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame_blocking(&mut &msg[..]),
+            Err(DbError::Net(_))
+        ));
+        // Unknown frame type.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xEE, 0x00]);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame_blocking(&mut &buf[..]),
+            Err(DbError::Net(_))
+        ));
+        // Truncated body → eof inside frame.
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame_blocking(&mut &buf[..]),
+            Err(DbError::Net(_))
+        ));
+    }
+}

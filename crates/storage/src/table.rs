@@ -88,14 +88,34 @@ impl Table {
         self.version_count.load(Ordering::Relaxed)
     }
 
-    fn segment(&self, idx: u32) -> Arc<Segment> {
-        self.segments.read()[idx as usize].clone()
+    /// Look up the segment for `slot`, or `None` for an address outside the
+    /// heap. Out-of-range slots are a client-reachable condition (a stale
+    /// `SlotId` held across DDL, a corrupted index entry), so the accessors
+    /// built on this return errors instead of panicking — one bad request
+    /// must not take down a server worker.
+    fn try_segment(&self, idx: u32) -> Option<Arc<Segment>> {
+        self.segments.read().get(idx as usize).cloned()
     }
 
-    fn chain<R>(&self, slot: SlotId, f: impl FnOnce(&mut VersionChain) -> R) -> R {
-        let seg = self.segment(slot.segment);
+    fn try_chain<R>(&self, slot: SlotId, f: impl FnOnce(&mut VersionChain) -> R) -> Option<R> {
+        if slot.offset as usize >= SEGMENT_SIZE {
+            return None;
+        }
+        let seg = self.try_segment(slot.segment)?;
         let mut chain = seg.chains[slot.offset as usize].lock();
-        f(&mut chain)
+        Some(f(&mut chain))
+    }
+
+    fn chain<R>(&self, slot: SlotId, f: impl FnOnce(&mut VersionChain) -> R) -> DbResult<R> {
+        self.try_chain(slot, f).ok_or_else(|| {
+            DbError::Storage(format!(
+                "slot ({}, {}) is outside table '{}' ({} slots)",
+                slot.segment,
+                slot.offset,
+                self.name,
+                self.num_slots()
+            ))
+        })
     }
 
     /// Validate a tuple against the schema (arity; types are permissive with
@@ -129,14 +149,16 @@ impl Table {
         let slot = SlotId { segment, offset };
         self.chain(slot, |c| {
             *c = VersionChain::new_insert(tuple, txn);
-        });
+        })?;
         self.version_count.fetch_add(1, Ordering::Relaxed);
         Ok(slot)
     }
 
     /// Read the version of `slot` visible at `read_ts` to transaction `own`.
+    /// Out-of-range slots read as absent, like any other invisible tuple.
     pub fn read(&self, slot: SlotId, read_ts: Ts, own: Ts) -> Option<Arc<Tuple>> {
-        self.chain(slot, |c| c.visible(read_ts, own).cloned())
+        self.try_chain(slot, |c| c.visible(read_ts, own).cloned())
+            .flatten()
     }
 
     /// Update `slot`, installing a new uncommitted version. Returns the old
@@ -144,7 +166,7 @@ impl Table {
     pub fn update(&self, slot: SlotId, tuple: Tuple, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
         self.check_tuple(&tuple)?;
         let old = self
-            .chain(slot, |c| c.install(Some(tuple), txn, read_ts))
+            .chain(slot, |c| c.install(Some(tuple), txn, read_ts))?
             .map_err(|e| self.annotate(e))?;
         self.version_count.fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("update produced no prior version".into()))
@@ -153,7 +175,7 @@ impl Table {
     /// Delete `slot` (install a tombstone). Returns the old data.
     pub fn delete(&self, slot: SlotId, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
         let old = self
-            .chain(slot, |c| c.install(None, txn, read_ts))
+            .chain(slot, |c| c.install(None, txn, read_ts))?
             .map_err(|e| self.annotate(e))?;
         self.version_count.fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("delete of already-deleted tuple".into()))
@@ -171,7 +193,9 @@ impl Table {
     /// Stamp the uncommitted version of `txn` at `slot` with `commit_ts`.
     /// `delta_live` is +1 for inserts, -1 for deletes, 0 for updates.
     pub fn commit_slot(&self, slot: SlotId, txn: Ts, commit_ts: Ts, delta_live: i64) {
-        self.chain(slot, |c| c.commit(txn, commit_ts));
+        // Slots in a commit/abort write set were produced by this table's
+        // `insert`, so they are always in range; tolerate rather than panic.
+        let _ = self.try_chain(slot, |c| c.commit(txn, commit_ts));
         if delta_live > 0 {
             self.live_tuples
                 .fetch_add(delta_live as usize, Ordering::Relaxed);
@@ -194,10 +218,22 @@ impl Table {
 
     /// Roll back `txn`'s uncommitted version at `slot`.
     pub fn abort_slot(&self, slot: SlotId, txn: Ts) {
-        self.chain(slot, |c| {
-            c.abort(txn);
-        });
-        self.version_count.fetch_sub(1, Ordering::Relaxed);
+        if self
+            .try_chain(slot, |c| {
+                c.abort(txn);
+            })
+            .is_none()
+        {
+            return; // out-of-range slot: nothing to roll back
+        }
+        // Saturating for the same reason as `gc`: the gauge is advisory and
+        // must never wrap, even if bookkeeping races make it momentarily
+        // inconsistent with the heap.
+        let _ = self
+            .version_count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// Visit every slot's visible version at `read_ts`. The callback gets the
@@ -283,10 +319,15 @@ impl Table {
             }
         }
         if reclaimed > 0 {
-            self.version_count.fetch_sub(
-                reclaimed.min(self.version_count.load(Ordering::Relaxed)),
-                Ordering::Relaxed,
-            );
+            // Single atomic read-modify-write: a separate `load` + `fetch_sub`
+            // is a TOCTOU race — a concurrent `abort_slot` decrement landing
+            // between the two underflows the gauge and wraps it to huge
+            // values. Saturate inside the CAS loop instead.
+            let _ = self
+                .version_count
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(reclaimed))
+                });
         }
         reclaimed
     }
@@ -573,5 +614,105 @@ mod tests {
         }
         assert_eq!(t.num_slots(), 2000);
         assert_eq!(t.live_tuples(), 2000);
+    }
+
+    #[test]
+    fn gc_version_count_never_underflows_under_concurrent_aborts() {
+        // Regression for the load+fetch_sub TOCTOU in `gc`: with GC racing
+        // writers that abort (each abort decrements version_count), the old
+        // two-step decrement could wrap the gauge to usize::MAX. Hammer the
+        // race and assert the gauge stays sane throughout.
+        let t = Arc::new(table());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        // Seed one committed row per writer thread so updates have a base.
+        let mut slots = Vec::new();
+        for i in 0..4i64 {
+            let txn = Ts::txn(1000 + i as u64);
+            let slot = t.insert(tup(i, 0), txn).unwrap();
+            t.commit_slot(slot, txn, Ts(1), 1);
+            slots.push(slot);
+        }
+
+        let writers: Vec<_> = (0..4usize)
+            .map(|wi| {
+                let t = t.clone();
+                let stop = stop.clone();
+                let slot = slots[wi];
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    let mut ts = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let txn = Ts::txn(10_000 + wi as u64 * 1_000_000 + n);
+                        if t.update(slot, tup(n as i64, 1), txn, Ts(ts)).is_ok() {
+                            if n.is_multiple_of(2) {
+                                // Committed garbage for GC to reclaim
+                                // (batched fetch_update decrement) ...
+                                ts += 1;
+                                t.commit_slot(slot, txn, Ts(ts), 0);
+                            } else {
+                                // ... racing aborts (single decrements).
+                                t.abort_slot(slot, txn);
+                            }
+                        }
+                        n += 1;
+                    }
+                })
+            })
+            .collect();
+
+        let gc_t = t.clone();
+        let gc_stop = stop.clone();
+        let gc_thread = std::thread::spawn(move || {
+            while !gc_stop.load(Ordering::Relaxed) {
+                gc_t.gc(Ts(u64::MAX >> 1));
+                // The gauge must never wrap: anything close to usize::MAX
+                // means a subtraction underflowed.
+                assert!(
+                    gc_t.version_count() < 1 << 32,
+                    "version_count wrapped: {}",
+                    gc_t.version_count()
+                );
+            }
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        for th in writers {
+            th.join().unwrap();
+        }
+        gc_thread.join().unwrap();
+        assert!(t.version_count() < 1 << 32);
+    }
+
+    #[test]
+    fn out_of_range_slot_errors_instead_of_panicking() {
+        let t = table();
+        let slot = t.insert(tup(1, 1), Ts::txn(1)).unwrap();
+        t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+        let bogus = SlotId {
+            segment: 99,
+            offset: 7,
+        };
+        assert!(t.read(bogus, Ts(10), Ts::txn(2)).is_none());
+        assert!(matches!(
+            t.update(bogus, tup(2, 2), Ts::txn(2), Ts(6)),
+            Err(DbError::Storage(_))
+        ));
+        assert!(matches!(
+            t.delete(bogus, Ts::txn(2), Ts(6)),
+            Err(DbError::Storage(_))
+        ));
+        // Commit/abort of a bogus slot are tolerated no-ops.
+        t.commit_slot(bogus, Ts::txn(2), Ts(7), 0);
+        t.abort_slot(bogus, Ts::txn(2));
+        // Offset beyond the segment width is also rejected.
+        let wide = SlotId {
+            segment: 0,
+            offset: SEGMENT_SIZE as u32 + 1,
+        };
+        assert!(t.read(wide, Ts(10), Ts::txn(2)).is_none());
+        // The real slot is untouched.
+        assert_eq!(t.read(slot, Ts(10), Ts::txn(3)).unwrap()[0], Value::Int(1));
     }
 }

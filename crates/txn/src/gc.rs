@@ -3,7 +3,7 @@
 //! up to the transaction manager's watermark.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,6 +35,10 @@ pub struct GarbageCollector {
     /// Duration of one collection pass in microseconds (`mb2_gc_pause_us`).
     pub pause_us: Arc<Histogram>,
     stop: Arc<AtomicBool>,
+    /// Interruptible-sleep channel for the background thread: `shutdown`
+    /// flips the flag under the lock and notifies, so a worker parked in
+    /// `wait_timeout` wakes immediately instead of finishing its interval.
+    wakeup: Arc<(StdMutex<bool>, Condvar)>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -63,6 +67,7 @@ impl GarbageCollector {
                 "Duration of one garbage collection pass in microseconds.",
             ),
             stop: Arc::new(AtomicBool::new(false)),
+            wakeup: Arc::new((StdMutex::new(false), Condvar::new())),
             worker: Mutex::new(None),
         })
     }
@@ -94,22 +99,44 @@ impl GarbageCollector {
         }
     }
 
-    /// Start the background GC thread with the given interval knob.
+    /// Start the background GC thread with the given interval knob. The
+    /// inter-pass wait is interruptible: `shutdown` wakes the thread
+    /// immediately rather than letting it sleep out the interval, so
+    /// engine shutdown latency is bounded by one GC *pass*, not one GC
+    /// *interval*.
     pub fn start_background(self: &Arc<Self>, interval: Duration) {
         let me = self.clone();
         let stop = self.stop.clone();
-        let handle = std::thread::spawn(move || {
-            while !stop.load(Ordering::Acquire) {
-                std::thread::sleep(interval);
-                me.run_once();
+        let wakeup = self.wakeup.clone();
+        let handle = std::thread::spawn(move || loop {
+            let (lock, cvar) = &*wakeup;
+            let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+            while !*stopped {
+                let (guard, timed_out) = match cvar.wait_timeout(stopped, interval) {
+                    Ok((g, t)) => (g, t.timed_out()),
+                    Err(_) => return,
+                };
+                stopped = guard;
+                if timed_out {
+                    break;
+                }
             }
+            if *stopped || stop.load(Ordering::Acquire) {
+                return;
+            }
+            drop(stopped);
+            me.run_once();
         });
         *self.worker.lock() = Some(handle);
     }
 
-    /// Stop the background thread, if running.
+    /// Stop the background thread, if running. Wakes a parked worker
+    /// immediately; returns once the thread has been joined.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
+        let (lock, cvar) = &*self.wakeup;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
         if let Some(handle) = self.worker.lock().take() {
             let _ = handle.join();
         }
@@ -119,6 +146,11 @@ impl GarbageCollector {
 impl Drop for GarbageCollector {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        let (lock, cvar) = &*self.wakeup;
+        if let Ok(mut stopped) = lock.lock() {
+            *stopped = true;
+        }
+        cvar.notify_all();
     }
 }
 
@@ -193,6 +225,26 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         gc.shutdown();
         assert!(gc.invocations.get() > 0);
+    }
+
+    #[test]
+    fn shutdown_interrupts_interval_sleep() {
+        // Regression: the worker used to sleep the whole interval before
+        // re-checking stop, so shutdown with a long interval blocked for
+        // the full interval. The condvar wait must wake promptly.
+        let mgr = TxnManager::new(None);
+        let gc = GarbageCollector::new(mgr);
+        gc.register(table());
+        gc.start_background(Duration::from_secs(30));
+        // Give the worker a moment to park in its wait.
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        gc.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "shutdown took {:?} against a 30s interval",
+            t0.elapsed()
+        );
     }
 
     #[test]

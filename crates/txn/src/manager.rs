@@ -65,6 +65,16 @@ impl Transaction {
         }
     }
 
+    /// The raw transaction id for WAL records. Every transaction is built
+    /// with `Ts::txn`, so this cannot fail in practice — but a server must
+    /// not panic a worker over a malformed id, so it surfaces as a
+    /// [`DbError::Storage`] instead of an `expect`.
+    fn wal_txn_id(&self) -> DbResult<u64> {
+        self.id.txn_id().ok_or_else(|| {
+            DbError::Storage(format!("transaction id {:?} is not a txn ts", self.id))
+        })
+    }
+
     /// Read the version of `slot` visible to this transaction.
     pub fn read(&self, table: &Table, slot: SlotId) -> Option<Arc<Tuple>> {
         table.read(slot, self.read_ts, self.id)
@@ -84,7 +94,7 @@ impl Transaction {
         });
         if let (Some(wal), Some(tuple)) = (&self.mgr.wal, logged) {
             wal.append(&LogRecord::Insert {
-                txn_id: self.id.txn_id().expect("txn id"),
+                txn_id: self.wal_txn_id()?,
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
                 tuple,
@@ -103,7 +113,7 @@ impl Transaction {
         self.check_active()?;
         if let Some(wal) = &self.mgr.wal {
             wal.append(&LogRecord::Update {
-                txn_id: self.id.txn_id().expect("txn id"),
+                txn_id: self.wal_txn_id()?,
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
                 tuple: tuple.clone(),
@@ -122,7 +132,7 @@ impl Transaction {
         self.check_active()?;
         if let Some(wal) = &self.mgr.wal {
             wal.append(&LogRecord::Delete {
-                txn_id: self.id.txn_id().expect("txn id"),
+                txn_id: self.wal_txn_id()?,
                 table_id: table.id.0,
                 slot: (slot.segment as u64) << 32 | slot.offset as u64,
             })?;
@@ -201,6 +211,10 @@ impl Default for TxnStats {
 pub struct TxnManager {
     clock: AtomicU64,
     next_txn_id: AtomicU64,
+    /// Serializes commit publication: a commit stamps its whole write set
+    /// *before* the clock advances past its timestamp, so no snapshot can
+    /// ever observe half of a transaction. Held only for the stamping loop.
+    commit_lock: Mutex<()>,
     /// Multiset of active snapshot timestamps, for the GC watermark.
     active: Mutex<BTreeMap<u64, usize>>,
     pub wal: Option<Arc<LogManager>>,
@@ -212,6 +226,7 @@ impl TxnManager {
         Arc::new(TxnManager {
             clock: AtomicU64::new(1),
             next_txn_id: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::default(),
@@ -227,6 +242,7 @@ impl TxnManager {
         Arc::new(TxnManager {
             clock: AtomicU64::new(1),
             next_txn_id: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::new(registry),
@@ -285,7 +301,7 @@ impl TxnManager {
         if log {
             if let Some(wal) = &self.wal {
                 let commit = LogRecord::Commit {
-                    txn_id: txn.id.txn_id().expect("txn id"),
+                    txn_id: txn.wal_txn_id()?,
                 };
                 if txn.writes.is_empty() {
                     // Read-only: nothing needs to become durable, so a
@@ -300,14 +316,31 @@ impl TxnManager {
                 }
             }
         }
-        let commit_ts = Ts(self.clock.fetch_add(1, Ordering::AcqRel) + 1);
-        for op in &txn.writes {
-            match op {
-                WriteOp::Insert { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, 1),
-                WriteOp::Update { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, 0),
-                WriteOp::Delete { table, slot } => table.commit_slot(*slot, txn.id, commit_ts, -1),
+        // Stamp-then-publish, serialized by the commit lock. The clock must
+        // not advance past `commit_ts` until every slot is stamped: a
+        // snapshot taken mid-stamping would otherwise see the stamped half
+        // of the write set and miss the rest (a torn commit). With the
+        // publish ordering, such a snapshot reads a clock value below
+        // `commit_ts` and consistently sees none of it.
+        let commit_ts = {
+            let _publish = self.commit_lock.lock();
+            let commit_ts = Ts(self.clock.load(Ordering::Acquire) + 1);
+            for op in &txn.writes {
+                match op {
+                    WriteOp::Insert { table, slot } => {
+                        table.commit_slot(*slot, txn.id, commit_ts, 1)
+                    }
+                    WriteOp::Update { table, slot } => {
+                        table.commit_slot(*slot, txn.id, commit_ts, 0)
+                    }
+                    WriteOp::Delete { table, slot } => {
+                        table.commit_slot(*slot, txn.id, commit_ts, -1)
+                    }
+                }
             }
-        }
+            self.clock.store(commit_ts.0, Ordering::Release);
+            commit_ts
+        };
         self.deregister(txn.read_ts);
         self.stats.commits.inc();
         txn.state = TxnState::Committed;
@@ -326,13 +359,11 @@ impl TxnManager {
             }
         }
         txn.writes.clear();
-        if let Some(wal) = &self.wal {
+        if let (Some(wal), Some(txn_id)) = (&self.wal, txn.id.txn_id()) {
             // Best effort: if the WAL is poisoned the Abort record is lost,
             // but recovery discards transactions without a Commit record
             // anyway, so the outcome is identical.
-            let _ = wal.append(&LogRecord::Abort {
-                txn_id: txn.id.txn_id().expect("txn id"),
-            });
+            let _ = wal.append(&LogRecord::Abort { txn_id });
         }
         self.deregister(txn.read_ts);
         self.stats.aborts.inc();
@@ -395,6 +426,63 @@ mod tests {
         writer.commit().unwrap();
         // Reader's snapshot predates the commit.
         assert!(reader.read(&t, slot).is_none());
+    }
+
+    /// Torn-commit regression: a snapshot taken while a multi-slot commit
+    /// is stamping must see either all of the transaction's writes or none
+    /// — never a prefix. Before the stamp-then-publish ordering, the clock
+    /// advanced first, so a concurrent `begin` could observe half a
+    /// transfer.
+    #[test]
+    fn multi_slot_commit_is_atomic_under_concurrent_snapshots() {
+        use std::sync::atomic::AtomicBool;
+
+        let mgr = TxnManager::new(None);
+        let t = table();
+        let mut setup = mgr.begin();
+        let a = setup.insert(&t, tup(100)).unwrap();
+        let b = setup.insert(&t, tup(100)).unwrap();
+        setup.commit().unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let mgr = mgr.clone();
+            let t = t.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Transfer 1 from a to b: invariant sum stays 200.
+                    let mut txn = mgr.begin();
+                    let va = txn.read(&t, a).unwrap()[0].clone();
+                    let vb = txn.read(&t, b).unwrap()[0].clone();
+                    let (Value::Int(va), Value::Int(vb)) = (va, vb) else {
+                        panic!("non-int balance")
+                    };
+                    if txn.update(&t, a, tup(va - 1)).is_err() {
+                        txn.abort();
+                        continue;
+                    }
+                    if txn.update(&t, b, tup(vb + 1)).is_err() {
+                        txn.abort();
+                        continue;
+                    }
+                    let _ = txn.commit();
+                }
+            })
+        };
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+        while std::time::Instant::now() < deadline {
+            let reader = mgr.begin();
+            let va = reader.read(&t, a).unwrap()[0].clone();
+            let vb = reader.read(&t, b).unwrap()[0].clone();
+            let (Value::Int(va), Value::Int(vb)) = (va, vb) else {
+                panic!("non-int balance")
+            };
+            assert_eq!(va + vb, 200, "snapshot saw a torn commit: {va} + {vb}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -227,6 +227,10 @@ struct Flusher {
     rx: Receiver<LogBuffer>,
     stats: Arc<WalStats>,
     stop: Arc<AtomicBool>,
+    /// Shutdown wakeup: flipped under the lock and notified by
+    /// `LogManager::shutdown` so an inter-flush wait ends immediately
+    /// instead of running out the full interval.
+    wakeup: Arc<(StdMutex<bool>, Condvar)>,
     poisoned: Arc<AtomicBool>,
     opts: DurabilityOpts,
     interval: Duration,
@@ -235,7 +239,8 @@ struct Flusher {
 impl Flusher {
     fn run(mut self) {
         loop {
-            // Collect everything queued, then sleep for the interval.
+            // Collect everything queued, then wait out the interval (or a
+            // shutdown notification, whichever comes first).
             let mut drained = Vec::new();
             while let Ok(buf) = self.rx.try_recv() {
                 drained.push(buf);
@@ -250,7 +255,18 @@ impl Flusher {
                 self.flush(&rest);
                 return;
             }
-            std::thread::sleep(self.interval);
+            let (lock, cvar) = &*self.wakeup;
+            let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+            while !*stopped {
+                let (guard, timeout) = match cvar.wait_timeout(stopped, self.interval) {
+                    Ok((g, t)) => (g, t),
+                    Err(_) => return,
+                };
+                stopped = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
         }
     }
 
@@ -412,6 +428,7 @@ pub struct LogManager {
     sync_queue: Mutex<Vec<LogBuffer>>,
     sync_file: Mutex<Option<File>>,
     stop: Arc<AtomicBool>,
+    wakeup: Arc<(StdMutex<bool>, Condvar)>,
     poisoned: Arc<AtomicBool>,
     opts: DurabilityOpts,
     flusher: Mutex<Option<JoinHandle<()>>>,
@@ -438,6 +455,7 @@ impl LogManager {
             .unwrap_or_else(MetricsRegistry::shared);
         let stats = Arc::new(WalStats::new(registry));
         let stop = Arc::new(AtomicBool::new(false));
+        let wakeup = Arc::new((StdMutex::new(false), Condvar::new()));
         let poisoned = Arc::new(AtomicBool::new(false));
         let opts = DurabilityOpts::from_config(&config);
         let mut flusher_handle = None;
@@ -449,6 +467,7 @@ impl LogManager {
                 rx,
                 stats: stats.clone(),
                 stop: stop.clone(),
+                wakeup: wakeup.clone(),
                 poisoned: poisoned.clone(),
                 opts: opts.clone(),
                 interval: config.flush_interval,
@@ -465,6 +484,7 @@ impl LogManager {
             sync_queue: Mutex::new(Vec::new()),
             sync_file: Mutex::new(sync_file),
             stop,
+            wakeup,
             poisoned,
             opts,
             flusher: Mutex::new(flusher_handle),
@@ -566,12 +586,23 @@ impl LogManager {
         self.sync_queue.lock().len()
     }
 
-    /// Stop the background flusher (final drain included).
+    /// Stop the background flusher (final drain included). A flusher parked
+    /// between intervals is woken immediately, so shutdown latency is
+    /// bounded by one flush, not one flush *interval*. In foreground mode
+    /// any queued-but-unflushed buffers are flushed here so a clean
+    /// shutdown never leaves durable work behind.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
         self.seal_current();
+        let (lock, cvar) = &*self.wakeup;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
         if let Some(handle) = self.flusher.lock().take() {
             let _ = handle.join();
+        }
+        if !self.config.background {
+            // Best effort: a poisoned log has nothing more to say.
+            let _ = self.flush_now();
         }
     }
 }
@@ -595,6 +626,34 @@ mod tests {
             slot: i,
             tuple: vec![Value::Int(i as i64), Value::Varchar("x".repeat(64))],
         }
+    }
+
+    #[test]
+    fn shutdown_interrupts_flush_interval() {
+        // Regression: the flusher used to `sleep(interval)` between passes,
+        // so shutdown with a long interval blocked for the whole interval.
+        let wal = LogManager::new(LogManagerConfig {
+            background: true,
+            flush_interval: Duration::from_secs(30),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        wal.append(&insert_record(1)).unwrap();
+        // Let the flusher park in its inter-flush wait.
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        wal.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "shutdown took {:?} against a 30s flush interval",
+            t0.elapsed()
+        );
+        // The final drain flushed the sealed buffer.
+        let (_, _, buffers_flushed, ..) = wal.stats().snapshot();
+        assert!(
+            buffers_flushed >= 1,
+            "sealed buffer not flushed on shutdown"
+        );
     }
 
     fn temp_path(name: &str) -> PathBuf {
