@@ -1,0 +1,6 @@
+//! Recovery-cost model fit; see `mb2_bench::experiments::chaos_recovery`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::chaos_recovery::run(scale);
+    mb2_bench::report::emit("chaos_recovery", &report);
+}

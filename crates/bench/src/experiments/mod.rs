@@ -2,6 +2,7 @@
 //! `run(scale) -> String` producing the report text that the corresponding
 //! binary prints and persists.
 
+pub mod chaos_recovery;
 pub mod exec_parallel;
 pub mod exec_throughput;
 pub mod fig01_index_build;

@@ -1,0 +1,415 @@
+//! The chaos harness: a durable engine behind a live server, concurrent
+//! partitioned SmallBank workers, and the wire-vs-oracle consistency check.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mb2_common::{DbResult, FaultInjector, Value};
+use mb2_engine::{recover_with, Database, DatabaseConfig, RecoveryOptions, RecoveryReport};
+use mb2_server::{Client, Server, ServerConfig, SupervisorConfig};
+use mb2_workloads::smallbank::SmallBank;
+use mb2_workloads::Workload;
+
+use crate::worker::{self, TxnOutcome, WorkerReport, WorkerShared, WorkerState};
+
+/// Harness configuration. Everything that varies between scenarios.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the fault injector and every worker's RNG.
+    pub seed: u64,
+    /// SmallBank account count; split evenly into per-worker ranges.
+    pub accounts: usize,
+    /// Concurrent load workers (each gets a private account range).
+    pub workers: usize,
+    /// Enable the server's self-healing supervisor.
+    pub supervisor: bool,
+    /// Background GC interval (`None` = no GC thread).
+    pub gc_interval: Option<Duration>,
+    /// Tag for the WAL's temp-file name (use the test name).
+    pub name: &'static str,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC0FFEE,
+            accounts: 400,
+            workers: 4,
+            supervisor: false,
+            gc_interval: None,
+            name: "default",
+        }
+    }
+}
+
+/// A running phase: worker threads currently driving load.
+pub struct Phase {
+    handles: Vec<JoinHandle<WorkerState>>,
+}
+
+/// A live server under chaos: engine + server + persistent worker states.
+pub struct ChaosHarness {
+    cfg: ChaosConfig,
+    pub faults: Arc<FaultInjector>,
+    workload: SmallBank,
+    server: Option<Server>,
+    shared: Arc<WorkerShared>,
+    /// `None` while that worker's state is out on a phase thread.
+    workers: Vec<Option<WorkerState>>,
+    wal_path: PathBuf,
+    /// Bumped per harness-driven (crash) recovery, for generation paths.
+    crash_generation: u64,
+}
+
+impl ChaosHarness {
+    /// A durable engine configuration: on-disk WAL, fsync at every commit —
+    /// so every wire-acknowledged commit is on disk before the ack, which
+    /// is what makes the zero-loss invariant checkable at all.
+    fn engine_cfg(&self, wal: PathBuf, faults: Option<Arc<FaultInjector>>) -> DatabaseConfig {
+        DatabaseConfig {
+            wal_enabled: true,
+            wal_path: Some(wal),
+            wal_fsync: true,
+            wal_sync_commit: true,
+            wal_flush_retries: 1,
+            wal_retry_backoff: Duration::from_micros(50),
+            faults,
+            gc_interval: self.cfg.gc_interval,
+            ..DatabaseConfig::default()
+        }
+    }
+
+    fn server_cfg(&self) -> ServerConfig {
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            max_connections: self.cfg.workers * 2 + 8,
+            faults: Some(self.faults.clone()),
+            supervisor: self.cfg.supervisor.then(|| SupervisorConfig {
+                probe_interval: Duration::from_millis(10),
+                backoff: Duration::from_millis(10),
+                // The replacement engine gets no injector: a scenario that
+                // poisoned the WAL must not poison the recovery too.
+                template: self.engine_cfg(PathBuf::new(), None),
+                ..SupervisorConfig::default()
+            }),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Build the engine, load SmallBank (plus the ledger marker table),
+    /// and start serving.
+    pub fn start(cfg: ChaosConfig) -> ChaosHarness {
+        assert!(cfg.workers >= 1 && cfg.accounts >= cfg.workers * 2);
+        let wal_path =
+            std::env::temp_dir().join(format!("mb2_chaos_{}_{}.log", std::process::id(), cfg.name));
+        let _ = std::fs::remove_file(&wal_path);
+
+        let workload = SmallBank {
+            accounts: cfg.accounts,
+            hotspot_fraction: 0.25,
+            hotspot_size: 10,
+        };
+        let faults = Arc::new(FaultInjector::new(cfg.seed));
+        let mut harness = ChaosHarness {
+            workers: (0..cfg.workers)
+                .map(|id| {
+                    let span = cfg.accounts / cfg.workers;
+                    let lo = id * span;
+                    let hi = if id + 1 == cfg.workers {
+                        cfg.accounts
+                    } else {
+                        lo + span
+                    };
+                    Some(WorkerState::new(id, (lo, hi), cfg.seed))
+                })
+                .collect(),
+            cfg,
+            faults,
+            workload,
+            server: None,
+            shared: Arc::new(WorkerShared {
+                addr: RwLock::new(String::new()),
+                stop: AtomicBool::new(false),
+            }),
+            wal_path,
+            crash_generation: 0,
+        };
+
+        let db_cfg = harness.engine_cfg(harness.wal_path.clone(), Some(harness.faults.clone()));
+        let db = Database::new(db_cfg).expect("chaos engine");
+        harness.workload.load(&db).expect("smallbank load");
+        db.execute("CREATE TABLE sb_ledger (txnid INT)")
+            .expect("ledger table");
+        let server = Server::start(Arc::new(db), harness.server_cfg()).expect("chaos server");
+        harness.set_addr(&server);
+        harness.server = Some(server);
+        harness
+    }
+
+    fn set_addr(&self, server: &Server) {
+        *self.shared.addr.write().unwrap_or_else(|e| e.into_inner()) =
+            server.local_addr().to_string();
+    }
+
+    /// The server currently fronting the engine.
+    pub fn server(&self) -> &Server {
+        self.server.as_ref().expect("server running")
+    }
+
+    /// The engine currently serving traffic.
+    pub fn db(&self) -> Arc<Database> {
+        self.server().db()
+    }
+
+    /// A fresh client connection to the current server.
+    pub fn client(&self) -> DbResult<Client> {
+        Client::connect(self.shared.addr())
+    }
+
+    /// Spawn every worker for `attempts` transaction attempts each and
+    /// return immediately — chaos events fire while the phase runs.
+    pub fn start_phase(&mut self, attempts: usize) -> Phase {
+        let handles = self
+            .workers
+            .iter_mut()
+            .map(|slot| {
+                let state = slot.take().expect("phase already running");
+                let shared = self.shared.clone();
+                let workload = self.workload.clone();
+                std::thread::Builder::new()
+                    .name(format!("chaos-worker-{}", state.id))
+                    .spawn(move || worker::run_worker(&shared, &workload, state, attempts))
+                    .expect("spawn chaos worker")
+            })
+            .collect();
+        Phase { handles }
+    }
+
+    /// Wait for every worker to finish its attempt budget.
+    pub fn join_phase(&mut self, phase: Phase) {
+        for handle in phase.handles {
+            let state = handle.join().expect("chaos worker panicked");
+            let id = state.id;
+            self.workers[id] = Some(state);
+        }
+    }
+
+    /// `start_phase` + `join_phase` in one call, for load with no
+    /// mid-phase event.
+    pub fn run_phase(&mut self, attempts: usize) {
+        let phase = self.start_phase(attempts);
+        self.join_phase(phase);
+    }
+
+    /// Summed worker counters.
+    pub fn report(&self) -> WorkerReport {
+        let mut r = WorkerReport::default();
+        for w in self.workers.iter().flatten() {
+            r.committed += w.committed;
+            r.aborted += w.aborted;
+            r.uncertain += w.uncertain;
+        }
+        r
+    }
+
+    /// Crash the server (connections tear; nothing is flushed beyond what
+    /// commits already forced to disk) and bring up a replacement recovered
+    /// from the WAL, on a fresh port. Returns the recovery report.
+    pub fn kill_and_recover(&mut self) -> RecoveryReport {
+        let server = self.server.take().expect("server running");
+        let old_db = server.db();
+        let source = old_db
+            .wal()
+            .and_then(|w| w.config().path.clone())
+            .expect("chaos engine has an on-disk WAL");
+        drop(server); // drains connection workers; clients see torn sockets
+        old_db.shutdown();
+
+        self.crash_generation += 1;
+        let mut gen = source.clone().into_os_string();
+        gen.push(format!(".c{}", self.crash_generation));
+        let cfg = self.engine_cfg(PathBuf::from(gen), Some(self.faults.clone()));
+        let (db, report) =
+            recover_with(&source, cfg, RecoveryOptions { salvage: true }).expect("crash recovery");
+        let server = Server::start(Arc::new(db), self.server_cfg()).expect("restart server");
+        self.set_addr(&server);
+        self.server = Some(server);
+        report
+    }
+
+    /// Resolve every `Uncertain` log entry by probing its ledger marker on
+    /// the live server: marker present ⟹ the commit happened.
+    fn resolve_uncertain(&mut self) {
+        let shared = self.shared.clone();
+        let mut client = Self::connect_with_retry_static(&shared);
+        for state in self.workers.iter_mut().flatten() {
+            for entry in &mut state.log {
+                if entry.outcome != TxnOutcome::Uncertain {
+                    continue;
+                }
+                let sql = format!(
+                    "SELECT COUNT(*) FROM sb_ledger WHERE txnid = {}",
+                    entry.marker
+                );
+                let present = loop {
+                    match client.query(&sql) {
+                        Ok(resp) => break resp.rows[0][0] == Value::Int(1),
+                        Err(_) => client = Self::connect_with_retry_static(&shared),
+                    }
+                };
+                entry.outcome = if present {
+                    TxnOutcome::Committed
+                } else {
+                    TxnOutcome::Aborted
+                };
+            }
+            state.log.retain(|e| e.outcome == TxnOutcome::Committed);
+        }
+    }
+
+    fn connect_with_retry(&self) -> Client {
+        Self::connect_with_retry_static(&self.shared)
+    }
+
+    fn connect_with_retry_static(shared: &WorkerShared) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Client::connect(shared.addr()) {
+                Ok(c) => return c,
+                Err(e) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "server unreachable for consistency check: {e:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// The zero-loss invariant: replay every worker's committed history
+    /// into a fresh in-process oracle and compare full table dumps against
+    /// the live server, over the wire. Panics on any divergence.
+    ///
+    /// Sound because worker account ranges are disjoint (histories commute
+    /// across workers) and each worker's transactions are replayed in its
+    /// own acknowledgement order.
+    pub fn assert_consistent(&mut self) {
+        self.resolve_uncertain();
+
+        let oracle = Database::open();
+        self.workload.load(&oracle).expect("oracle load");
+        oracle
+            .execute("CREATE TABLE sb_ledger (txnid INT)")
+            .expect("oracle ledger");
+        for state in self.workers.iter().flatten() {
+            for entry in &state.log {
+                mb2_workloads::execute_transaction(&oracle, &entry.statements)
+                    .expect("oracle replay must not conflict");
+            }
+        }
+
+        let mut client = self.connect_with_retry();
+        for dump in [
+            // Ledger first: a marker mismatch means a whole acknowledged
+            // transaction is missing, a balance-only mismatch means a
+            // transaction was applied partially — different bugs.
+            "SELECT txnid FROM sb_ledger ORDER BY txnid",
+            "SELECT custid, bal FROM sb_savings ORDER BY custid",
+            "SELECT custid, bal FROM sb_checking ORDER BY custid",
+        ] {
+            // Retry through injected connection tears: an armed read-fault
+            // storm hits the checker's own connection too.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let wire = loop {
+                match client.query(dump) {
+                    Ok(resp) => break resp.rows,
+                    Err(e) => {
+                        assert!(Instant::now() < deadline, "wire dump kept failing: {e:?}");
+                        client = self.connect_with_retry();
+                    }
+                }
+            };
+            let expect = oracle.execute(dump).expect("oracle dump").rows;
+            if wire != expect {
+                self.debug_divergence(dump, &wire, &expect, &mut client, &oracle);
+            }
+            assert_eq!(
+                wire, expect,
+                "committed data diverged from the oracle for: {dump}"
+            );
+        }
+    }
+
+    /// Diagnostic dump on a wire-vs-oracle mismatch: for every diverged row,
+    /// print the owning worker's log entries touching it and whether their
+    /// ledger markers exist on each side.
+    fn debug_divergence(
+        &self,
+        dump: &str,
+        wire: &[Vec<Value>],
+        expect: &[Vec<Value>],
+        client: &mut Client,
+        oracle: &Database,
+    ) {
+        eprintln!("=== divergence in {dump} ===");
+        for (w, e) in wire.iter().zip(expect.iter()) {
+            if w == e {
+                continue;
+            }
+            eprintln!("row wire={w:?} oracle={e:?}");
+            let Some(Value::Int(custid)) = w.first() else {
+                continue;
+            };
+            let needle = format!("custid = {custid}");
+            for state in self.workers.iter().flatten() {
+                for entry in &state.log {
+                    if !entry.statements.iter().any(|s| s.contains(&needle)) {
+                        continue;
+                    }
+                    let probe = format!(
+                        "SELECT COUNT(*) FROM sb_ledger WHERE txnid = {}",
+                        entry.marker
+                    );
+                    let on_wire = client
+                        .query(&probe)
+                        .map(|r| r.rows[0][0] == Value::Int(1))
+                        .unwrap_or(false);
+                    let on_oracle = oracle
+                        .execute(&probe)
+                        .map(|r| r.rows[0][0] == Value::Int(1))
+                        .unwrap_or(false);
+                    eprintln!(
+                        "  worker {} marker {} outcome {:?} wire_marker={on_wire} oracle_marker={on_oracle} stmts={:?}",
+                        state.id, entry.marker, entry.outcome, entry.statements
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drain workers (if a phase is somehow still running), shut the server
+    /// and engine down, and remove every WAL generation file.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        let dir = self.wal_path.parent().unwrap_or(std::path::Path::new("."));
+        let prefix = self
+            .wal_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with(&prefix) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! mb2-chaos: a chaos harness for the MB2 stack.
+//!
+//! A [`ChaosHarness`] runs a live [`mb2_server`] under concurrent SmallBank
+//! load while a [`ChaosPlan`] of seeded, timed events kills and recovers
+//! the engine, poisons the WAL, stalls fsync, starves the garbage
+//! collector, tears connections, and flips execution knobs — asserting
+//! after every event that **no acknowledged commit was lost**.
+//!
+//! The loss check is a replay oracle (see [`harness`]): every worker draws
+//! its transactions from a private account range, so each worker's
+//! committed history can be replayed serially into a fresh in-process
+//! database, in any cross-worker order, and must reproduce the server's
+//! state exactly — compared table-by-table over the wire.
+//!
+//! A commit whose acknowledgement was lost to a torn connection is
+//! genuinely ambiguous; each transaction therefore carries a unique ledger
+//! marker row, and the harness resolves ambiguity by probing the marker
+//! before replay (see [`worker::TxnOutcome::Uncertain`]).
+
+pub mod harness;
+pub mod plan;
+pub mod worker;
+
+pub use harness::{ChaosConfig, ChaosHarness};
+pub use plan::{ChaosEvent, ChaosPlan};
+pub use worker::{TxnOutcome, WorkerReport};

@@ -1,0 +1,205 @@
+//! Chaos load workers: each worker drives SmallBank transactions over its
+//! own connection, reconnecting through injected tears and drains, and
+//! keeps an ordered log of what the server acknowledged — the input to the
+//! harness's replay oracle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+use mb2_common::{DbError, Prng};
+use mb2_server::Client;
+use mb2_workloads::smallbank::SmallBank;
+
+/// What the client learned about one transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// COMMIT was acknowledged: the transaction MUST survive every fault.
+    Committed,
+    /// The transaction definitely did not commit: an in-band error rolled
+    /// it back, or the connection tore before COMMIT was sent (the server
+    /// aborts a session's open transaction when the connection drops).
+    Aborted,
+    /// The connection tore while COMMIT was in flight: the server may or
+    /// may not have committed. Resolved later by probing the transaction's
+    /// ledger marker.
+    Uncertain,
+}
+
+/// One logged write transaction: its statements (including the ledger
+/// marker insert) and how the attempt ended.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub statements: Vec<String>,
+    pub marker: u64,
+    pub outcome: TxnOutcome,
+}
+
+/// State a worker carries across phases: its private account range, its
+/// deterministic RNG, and the ordered log of write transactions.
+#[derive(Debug)]
+pub struct WorkerState {
+    pub id: usize,
+    pub range: (usize, usize),
+    pub rng: Prng,
+    pub next_seq: u64,
+    pub log: Vec<LogEntry>,
+    pub committed: u64,
+    pub aborted: u64,
+    pub uncertain: u64,
+}
+
+impl WorkerState {
+    pub fn new(id: usize, range: (usize, usize), seed: u64) -> WorkerState {
+        WorkerState {
+            id,
+            range,
+            // Offset keeps worker streams disjoint while staying a pure
+            // function of the plan seed.
+            rng: Prng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (id as u64 + 1)),
+            next_seq: 0,
+            log: Vec::new(),
+            committed: 0,
+            aborted: 0,
+            uncertain: 0,
+        }
+    }
+}
+
+/// Aggregated per-worker counters, for progress assertions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerReport {
+    pub committed: u64,
+    pub aborted: u64,
+    pub uncertain: u64,
+}
+
+/// Shared control surface between the harness and its workers. The address
+/// is mutable because a kill-and-recover restarts the server on a new port.
+pub struct WorkerShared {
+    pub addr: RwLock<String>,
+    pub stop: AtomicBool,
+}
+
+impl WorkerShared {
+    pub fn addr(&self) -> String {
+        self.addr.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// Run one transaction attempt over an established connection.
+///
+/// The outcome classification is the heart of the data-loss invariant:
+/// only a torn connection *after* COMMIT was sent is ambiguous. Everything
+/// else is definite — in-band errors roll back (with a best-effort
+/// ROLLBACK to free the session), and a connection torn earlier takes the
+/// open transaction down with the server-side session.
+fn run_txn(client: &mut Client, statements: &[String]) -> (TxnOutcome, bool) {
+    // (outcome, connection_still_usable)
+    match client.query("BEGIN") {
+        Ok(_) => {}
+        Err(DbError::Net(_)) | Err(DbError::ServerBusy(_)) => return (TxnOutcome::Aborted, false),
+        Err(_) => return (TxnOutcome::Aborted, true),
+    }
+    for sql in statements {
+        match client.query(sql) {
+            Ok(_) => {}
+            Err(DbError::Net(_)) => return (TxnOutcome::Aborted, false),
+            Err(DbError::ServerBusy(_)) => {
+                // Draining or shedding: the statement never ran; the close
+                // that follows aborts the open transaction.
+                return (TxnOutcome::Aborted, false);
+            }
+            Err(_) => {
+                let usable = client.query("ROLLBACK").is_ok();
+                return (TxnOutcome::Aborted, usable);
+            }
+        }
+    }
+    match client.query("COMMIT") {
+        Ok(_) => (TxnOutcome::Committed, true),
+        Err(DbError::Net(_)) => (TxnOutcome::Uncertain, false),
+        Err(DbError::ServerBusy(_)) => (TxnOutcome::Aborted, false),
+        Err(_) => {
+            let usable = client.query("ROLLBACK").is_ok();
+            (TxnOutcome::Aborted, usable)
+        }
+    }
+}
+
+/// Drive `attempts` transaction attempts against whatever server the
+/// shared address currently points at, reconnecting as needed.
+pub fn run_worker(
+    shared: &WorkerShared,
+    workload: &SmallBank,
+    mut state: WorkerState,
+    attempts: usize,
+) -> WorkerState {
+    let templates = [
+        "balance",
+        "deposit_checking",
+        "transact_savings",
+        "amalgamate",
+        "write_check",
+    ];
+    let mut client: Option<Client> = None;
+    for _ in 0..attempts {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(shared.addr()) {
+                Ok(c) => {
+                    let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+                    client = Some(c);
+                    client.as_mut().unwrap()
+                }
+                Err(_) => {
+                    // Server down or shedding; burn the attempt and retry.
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+            },
+        };
+
+        let template = *state.rng.choose(&templates);
+        let (lo, hi) = state.range;
+        let mut statements = workload.sample_transaction_in(template, &mut state.rng, lo, hi);
+        let is_write = template != "balance";
+        let marker = state.id as u64 * 1_000_000 + state.next_seq;
+        if is_write {
+            state.next_seq += 1;
+            statements.push(format!("INSERT INTO sb_ledger VALUES ({marker})"));
+        }
+
+        let (outcome, usable) = run_txn(c, &statements);
+        match outcome {
+            TxnOutcome::Committed => {
+                state.committed += 1;
+                if is_write {
+                    state.log.push(LogEntry {
+                        statements,
+                        marker,
+                        outcome,
+                    });
+                }
+            }
+            TxnOutcome::Aborted => state.aborted += 1,
+            TxnOutcome::Uncertain => {
+                state.uncertain += 1;
+                if is_write {
+                    state.log.push(LogEntry {
+                        statements,
+                        marker,
+                        outcome,
+                    });
+                }
+            }
+        }
+        if !usable {
+            client = None;
+        }
+    }
+    state
+}

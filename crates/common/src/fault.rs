@@ -1,26 +1,39 @@
-//! Deterministic fault injection for durability testing.
+//! Deterministic fault injection for durability and chaos testing.
 //!
 //! A [`FaultInjector`] is a registry of *named fault points* that production
 //! code consults at the moments where real systems fail: opening the log
-//! file, writing a buffer, calling fsync. Tests arm a point with a
-//! [`FaultMode`] and the next matching call reports an injected failure; the
-//! code under test then exercises its real error path (retry, backoff,
-//! poisoning, read-only degradation) with no actual I/O fault required.
+//! file, writing a buffer, calling fsync, allocating a segment, holding the
+//! commit lock. Tests arm a point with a [`FaultMode`] and the next matching
+//! call reports an injected failure; the code under test then exercises its
+//! real error path (retry, backoff, poisoning, read-only degradation) with
+//! no actual I/O fault required.
 //!
-//! Probabilistic modes draw from the workspace's seeded [`Prng`], so a run
-//! that fails can be replayed byte-for-byte from its seed.
+//! Besides failures, a point can be armed with a *delay* ([`arm_delay`]):
+//! every consultation stalls for the configured duration and then proceeds.
+//! Delays model slow devices (a 50ms fsync, a stalled allocator) rather
+//! than broken ones, and compose with failure modes on the same point.
 //!
-//! The injector is cheap when unarmed (one mutex lock and a hash probe per
-//! checked point) and is only ever constructed by tests and torture
-//! harnesses; production configs leave it `None`.
+//! Probabilistic modes draw from a per-point [`Prng`] seeded from the
+//! injector seed and the point name, so the decision sequence *of each
+//! point* is a pure function of the seed and that point's call count —
+//! independent of how calls to different points interleave across threads.
+//! A multi-threaded run that fails can therefore be replayed from its seed.
+//!
+//! The injector is cheap when unarmed: consultations take a relaxed atomic
+//! load of the armed-point count and return immediately when it is zero.
+//! Production configs leave the injector `None` entirely.
+//!
+//! [`arm_delay`]: FaultInjector::arm_delay
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use crate::rng::Prng;
 
-/// Well-known fault-point names used by the WAL layer.
+/// Well-known fault-point names consulted by the engine's subsystems.
 pub mod points {
     /// Opening (creating) the log file in `LogManager::new`.
     pub const WAL_OPEN: &str = "wal.open";
@@ -30,6 +43,18 @@ pub mod points {
     pub const WAL_FSYNC: &str = "wal.fsync";
     /// One-shot torn write: persist a prefix of the buffer, then "crash".
     pub const WAL_TORN_WRITE: &str = "wal.torn_write";
+    /// Growing a table's segment directory on insert.
+    pub const STORAGE_SEGMENT_ALLOC: &str = "storage.segment_alloc";
+    /// Inside the commit critical section, before stamping versions. A
+    /// delay here holds the global commit lock; a failure aborts the commit.
+    pub const TXN_COMMIT: &str = "txn.commit";
+    /// Start of a garbage-collection pass. A failure skips (starves) the
+    /// pass; a delay stalls it.
+    pub const GC_CYCLE: &str = "gc.cycle";
+    /// A freshly accepted server connection, before the handshake.
+    pub const SERVER_ACCEPT: &str = "server.accept";
+    /// A complete frame received from a client connection.
+    pub const SERVER_READ: &str = "server.read";
 }
 
 /// When an armed fault point trips.
@@ -39,7 +64,8 @@ pub enum FaultMode {
     Nth(u64),
     /// Fail the `n`-th call (1-based) and every call after it.
     FromNth(u64),
-    /// Fail each call independently with probability `p` (seeded PRNG).
+    /// Fail each call independently with probability `p` (seeded per-point
+    /// PRNG; deterministic regardless of cross-point thread interleaving).
     Probability(f64),
     /// Fail every call. Equivalent to `FromNth(1)`.
     Always,
@@ -50,15 +76,18 @@ struct Armed {
     mode: FaultMode,
     calls: u64,
     fired: u64,
+    /// Per-point PRNG: seeded from the injector seed and the point name so
+    /// each point's draw sequence depends only on its own call count.
+    rng: Prng,
 }
 
 impl Armed {
-    fn trips(&mut self, rng: &mut Prng) -> bool {
+    fn trips(&mut self) -> bool {
         self.calls += 1;
         let hit = match self.mode {
             FaultMode::Nth(n) => self.calls == n,
             FaultMode::FromNth(n) => self.calls >= n,
-            FaultMode::Probability(p) => rng.chance(p),
+            FaultMode::Probability(p) => self.rng.chance(p),
             FaultMode::Always => true,
         };
         if hit {
@@ -73,6 +102,21 @@ struct State {
     points: HashMap<String, Armed>,
     /// Point name -> fraction of the buffer to keep. One-shot: consumed on use.
     torn: HashMap<String, f64>,
+    /// Point name -> stall applied to every consultation while armed.
+    delays: HashMap<String, Duration>,
+    /// Final `(calls, fired)` of points that were disarmed (explicitly or by
+    /// `Nth` auto-disarm), so tests can still ask whether a one-shot fault
+    /// fired. Cleared when the point is re-armed.
+    retired: HashMap<String, (u64, u64)>,
+    /// When `Some`, every failure-mode decision is appended per point (for
+    /// determinism tests that compare two replayed runs).
+    decisions: Option<HashMap<String, Vec<bool>>>,
+}
+
+impl State {
+    fn armed_total(&self) -> usize {
+        self.points.len() + self.torn.len() + self.delays.len()
+    }
 }
 
 /// Registry of named fault points. Shared as `Arc<FaultInjector>` between the
@@ -80,7 +124,10 @@ struct State {
 pub struct FaultInjector {
     seed: u64,
     state: Mutex<State>,
-    rng: Mutex<Prng>,
+    /// Number of armed entries (failure modes + torn writes + delays),
+    /// maintained under the state lock. A relaxed load of zero lets
+    /// unarmed probes return without touching the mutex.
+    armed: AtomicUsize,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -91,13 +138,23 @@ impl fmt::Debug for FaultInjector {
     }
 }
 
+/// FNV-1a, used to derive a per-point PRNG stream from the injector seed.
+fn point_hash(point: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in point.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl FaultInjector {
     /// An injector whose probabilistic decisions derive from `seed`.
     pub fn new(seed: u64) -> Self {
         FaultInjector {
             seed,
             state: Mutex::new(State::default()),
-            rng: Mutex::new(Prng::new(seed)),
+            armed: AtomicUsize::new(0),
         }
     }
 
@@ -106,17 +163,20 @@ impl FaultInjector {
     }
 
     /// Arm `point` with `mode`, replacing any previous arming (and resetting
-    /// its call counter).
+    /// its call counter and PRNG stream).
     pub fn arm(&self, point: &str, mode: FaultMode) {
         let mut st = self.lock_state();
+        st.retired.remove(point);
         st.points.insert(
             point.to_string(),
             Armed {
                 mode,
                 calls: 0,
                 fired: 0,
+                rng: Prng::new(self.seed ^ point_hash(point)),
             },
         );
+        self.publish_armed(&st);
     }
 
     /// Arm a one-shot torn write at `point`: the next [`torn_write`]
@@ -129,29 +189,92 @@ impl FaultInjector {
         let mut st = self.lock_state();
         st.torn
             .insert(point.to_string(), keep_fraction.clamp(0.0, 1.0));
+        self.publish_armed(&st);
     }
 
-    /// Remove any arming (failure mode and torn-write) from `point`.
+    /// Arm a stall at `point`: every consultation (via [`check`]) sleeps for
+    /// `delay` before evaluating any failure mode. Stays armed until
+    /// [`disarm`]. The sleep happens without holding injector locks, so
+    /// other points stay responsive while one point stalls.
+    ///
+    /// [`check`]: FaultInjector::check
+    /// [`disarm`]: FaultInjector::disarm
+    pub fn arm_delay(&self, point: &str, delay: Duration) {
+        let mut st = self.lock_state();
+        st.delays.insert(point.to_string(), delay);
+        self.publish_armed(&st);
+    }
+
+    /// Remove any arming (failure mode, torn-write, and delay) from `point`.
+    /// The point's call/fired counters stay readable until it is re-armed.
     pub fn disarm(&self, point: &str) {
         let mut st = self.lock_state();
-        st.points.remove(point);
+        if let Some(a) = st.points.remove(point) {
+            st.retired.insert(point.to_string(), (a.calls, a.fired));
+        }
         st.torn.remove(point);
+        st.delays.remove(point);
+        self.publish_armed(&st);
     }
 
-    /// Consult `point`. Returns `Some(description)` when the armed fault
+    /// Consult `point`. Applies any armed delay (stalling the calling
+    /// thread), then returns `Some(description)` when the armed fault mode
     /// trips — the caller should fail with that description — and `None`
-    /// when the call should proceed normally.
-    pub fn should_fail(&self, point: &str) -> Option<String> {
+    /// when the call should proceed normally. Equivalent to [`stall`]
+    /// followed by [`trip`]; call those separately when the delay and the
+    /// failure belong at different program points (e.g. a stall inside a
+    /// critical section whose failure must land before a durability point).
+    ///
+    /// When nothing is armed anywhere this is a single relaxed atomic load.
+    ///
+    /// [`stall`]: FaultInjector::stall
+    /// [`trip`]: FaultInjector::trip
+    pub fn check(&self, point: &str) -> Option<String> {
+        self.stall(point);
+        self.trip(point)
+    }
+
+    /// Apply any armed delay at `point` (sleeping the calling thread without
+    /// holding injector locks). Does not evaluate failure modes and does not
+    /// count as a consultation.
+    pub fn stall(&self, point: &str) {
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let delay = {
+            let st = self.lock_state();
+            st.delays.get(point).copied()
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Evaluate only the failure mode armed at `point` (no delay). Returns
+    /// `Some(description)` when it trips.
+    pub fn trip(&self, point: &str) -> Option<String> {
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
         let mut st = self.lock_state();
         let armed = st.points.get_mut(point)?;
-        let mut rng = match self.rng.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        if armed.trips(&mut rng) {
-            let call = armed.calls;
-            if matches!(armed.mode, FaultMode::Nth(_)) {
-                st.points.remove(point);
+        let tripped = armed.trips();
+        let call = armed.calls;
+        if let Some(decisions) = st.decisions.as_mut() {
+            decisions
+                .entry(point.to_string())
+                .or_default()
+                .push(tripped);
+        }
+        if tripped {
+            if matches!(
+                st.points.get(point).map(|a| a.mode),
+                Some(FaultMode::Nth(_))
+            ) {
+                if let Some(a) = st.points.remove(point) {
+                    st.retired.insert(point.to_string(), (a.calls, a.fired));
+                }
+                self.publish_armed(&st);
             }
             Some(format!("injected fault at '{point}' (call #{call})"))
         } else {
@@ -159,28 +282,66 @@ impl FaultInjector {
         }
     }
 
+    /// Alias for [`check`], kept for the original WAL-era name.
+    ///
+    /// [`check`]: FaultInjector::check
+    pub fn should_fail(&self, point: &str) -> Option<String> {
+        self.check(point)
+    }
+
     /// Consult a one-shot torn-write arming at `point` for a buffer of
     /// `total` bytes. Returns `Some(keep)` — the number of bytes that should
     /// reach disk before the simulated crash, strictly less than `total` —
     /// and consumes the arming. Returns `None` when not armed or `total` is 0.
     pub fn torn_write(&self, point: &str, total: usize) -> Option<usize> {
-        if total == 0 {
+        if total == 0 || self.armed.load(Ordering::Relaxed) == 0 {
             return None;
         }
         let mut st = self.lock_state();
         let fraction = st.torn.remove(point)?;
+        self.publish_armed(&st);
         let keep = ((total as f64 * fraction) as usize).min(total - 1);
         Some(keep)
     }
 
     /// How many times `point` has been consulted since it was (re-)armed.
+    /// Survives disarming (until re-armed).
     pub fn calls(&self, point: &str) -> u64 {
-        self.lock_state().points.get(point).map_or(0, |a| a.calls)
+        let st = self.lock_state();
+        st.points
+            .get(point)
+            .map(|a| a.calls)
+            .or_else(|| st.retired.get(point).map(|&(c, _)| c))
+            .unwrap_or(0)
     }
 
-    /// How many times `point` has tripped since it was (re-)armed.
+    /// How many times `point` has tripped since it was (re-)armed. Survives
+    /// disarming (until re-armed), so a one-shot `Nth` fault remains
+    /// observable after it auto-disarms.
     pub fn fired(&self, point: &str) -> u64 {
-        self.lock_state().points.get(point).map_or(0, |a| a.fired)
+        let st = self.lock_state();
+        st.points
+            .get(point)
+            .map(|a| a.fired)
+            .or_else(|| st.retired.get(point).map(|&(_, f)| f))
+            .unwrap_or(0)
+    }
+
+    /// Start (or restart) recording the per-point trip/pass decision
+    /// sequence of every armed-point consultation, for determinism tests.
+    pub fn record_decisions(&self) {
+        self.lock_state().decisions = Some(HashMap::new());
+    }
+
+    /// The recorded decision sequence for `point` (empty when recording was
+    /// never enabled or the point was never consulted while armed).
+    pub fn decisions(&self, point: &str) -> Vec<bool> {
+        self.lock_state()
+            .decisions
+            .as_ref()
+            .and_then(|d| d.get(point))
+            .cloned()
+            .unwrap_or_default()
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
@@ -189,11 +350,18 @@ impl FaultInjector {
             Err(p) => p.into_inner(),
         }
     }
+
+    /// Refresh the armed-count fast path after a state mutation. Called with
+    /// the state lock held so the count and the map contents stay in sync.
+    fn publish_armed(&self, st: &State) {
+        self.armed.store(st.armed_total(), Ordering::Release);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn unarmed_points_never_fail() {
@@ -248,6 +416,31 @@ mod tests {
     }
 
     #[test]
+    fn probability_streams_are_independent_per_point() {
+        // Interleaving calls to a second point must not perturb the first
+        // point's decision sequence (each point draws from its own PRNG).
+        let solo = {
+            let inj = FaultInjector::new(42);
+            inj.arm(points::WAL_WRITE, FaultMode::Probability(0.5));
+            (0..64)
+                .map(|_| inj.should_fail(points::WAL_WRITE).is_some())
+                .collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let inj = FaultInjector::new(42);
+            inj.arm(points::WAL_WRITE, FaultMode::Probability(0.5));
+            inj.arm(points::WAL_FSYNC, FaultMode::Probability(0.5));
+            (0..64)
+                .map(|_| {
+                    let _ = inj.should_fail(points::WAL_FSYNC);
+                    inj.should_fail(points::WAL_WRITE).is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
     fn torn_write_is_one_shot_and_partial() {
         let inj = FaultInjector::new(7);
         inj.arm_torn_write(points::WAL_TORN_WRITE, 0.5);
@@ -261,5 +454,66 @@ mod tests {
         // keep_fraction 1.0 still drops at least one byte.
         inj.arm_torn_write(points::WAL_TORN_WRITE, 1.0);
         assert_eq!(inj.torn_write(points::WAL_TORN_WRITE, 10), Some(9));
+    }
+
+    #[test]
+    fn delay_stalls_then_proceeds() {
+        let inj = FaultInjector::new(7);
+        inj.arm_delay(points::GC_CYCLE, Duration::from_millis(30));
+        let t0 = Instant::now();
+        assert!(
+            inj.check(points::GC_CYCLE).is_none(),
+            "delay is not a failure"
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "stall not applied: {:?}",
+            t0.elapsed()
+        );
+        inj.disarm(points::GC_CYCLE);
+        let t0 = Instant::now();
+        assert!(inj.check(points::GC_CYCLE).is_none());
+        assert!(t0.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn delay_composes_with_failure_mode() {
+        let inj = FaultInjector::new(7);
+        inj.arm_delay(points::WAL_FSYNC, Duration::from_millis(5));
+        inj.arm(points::WAL_FSYNC, FaultMode::Nth(2));
+        assert!(inj.check(points::WAL_FSYNC).is_none());
+        assert!(inj.check(points::WAL_FSYNC).is_some());
+        // Nth auto-disarmed the failure mode; the delay stays armed.
+        assert!(inj.check(points::WAL_FSYNC).is_none());
+    }
+
+    #[test]
+    fn armed_count_tracks_arm_and_disarm() {
+        let inj = FaultInjector::new(7);
+        assert_eq!(inj.armed.load(Ordering::Relaxed), 0);
+        inj.arm(points::WAL_WRITE, FaultMode::Nth(1));
+        inj.arm_torn_write(points::WAL_TORN_WRITE, 0.5);
+        inj.arm_delay(points::GC_CYCLE, Duration::from_millis(1));
+        assert_eq!(inj.armed.load(Ordering::Relaxed), 3);
+        // Nth auto-disarm drops the count.
+        assert!(inj.should_fail(points::WAL_WRITE).is_some());
+        assert_eq!(inj.armed.load(Ordering::Relaxed), 2);
+        // Torn-write consumption drops the count.
+        assert!(inj.torn_write(points::WAL_TORN_WRITE, 10).is_some());
+        assert_eq!(inj.armed.load(Ordering::Relaxed), 1);
+        inj.disarm(points::GC_CYCLE);
+        assert_eq!(inj.armed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn decision_recording_captures_sequence() {
+        let inj = FaultInjector::new(9);
+        inj.record_decisions();
+        inj.arm(points::WAL_WRITE, FaultMode::Probability(0.5));
+        let live: Vec<bool> = (0..32)
+            .map(|_| inj.should_fail(points::WAL_WRITE).is_some())
+            .collect();
+        assert_eq!(inj.decisions(points::WAL_WRITE), live);
+        assert!(inj.decisions(points::WAL_FSYNC).is_empty());
     }
 }

@@ -28,9 +28,11 @@ pub struct DatabaseConfig {
     pub wal_flush_retries: u32,
     /// Base backoff between WAL flush retries (doubles per attempt).
     pub wal_retry_backoff: Duration,
-    /// Deterministic fault injection for durability tests; `None` in
-    /// production.
-    pub wal_faults: Option<Arc<FaultInjector>>,
+    /// Deterministic fault injection for durability and chaos tests,
+    /// threaded through every subsystem with seeded fault points (WAL,
+    /// storage segment allocation, commit critical section, GC cycles);
+    /// `None` in production.
+    pub faults: Option<Arc<FaultInjector>>,
     /// Run the garbage collector on a background thread at this interval.
     pub gc_interval: Option<Duration>,
     /// Metrics registry every subsystem publishes into. `None` creates a
@@ -54,7 +56,7 @@ impl Default for DatabaseConfig {
             wal_sync_commit: false,
             wal_flush_retries: 3,
             wal_retry_backoff: Duration::from_millis(1),
-            wal_faults: None,
+            faults: None,
             gc_interval: None,
             metrics: None,
             metrics_enabled: true,

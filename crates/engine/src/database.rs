@@ -5,7 +5,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mb2_catalog::Catalog;
-use mb2_common::{Column, DbError, DbResult, Schema};
+use mb2_common::{Column, DbError, DbResult, FaultInjector, Schema};
 use mb2_exec::{
     execute, execute_batched, Batch, ExecContext, ExecPool, ExecutionMode, ObsRecorder, OuRecorder,
     QueryResult, DEFAULT_MORSEL_SLOTS,
@@ -17,6 +17,7 @@ use mb2_txn::{GarbageCollector, Transaction, TxnManager};
 use mb2_wal::{LogManager, LogManagerConfig, LogRecord, LoggedColumn};
 
 use crate::config::{DatabaseConfig, Knobs};
+use crate::health::{DegradedReason, HealthState, HealthTracker};
 use crate::metrics::{classify, EngineMetrics, StatementKind};
 use crate::session::Session;
 
@@ -34,6 +35,10 @@ pub struct Database {
     engine_metrics: EngineMetrics,
     obs_recorder: Arc<ObsRecorder>,
     index_obs: Arc<IndexObs>,
+    /// Fault injection shared by every subsystem (and attached to tables as
+    /// they are created); `None` in production.
+    faults: Option<Arc<FaultInjector>>,
+    health: HealthTracker,
 }
 
 impl Database {
@@ -52,14 +57,16 @@ impl Database {
                 sync_commit: config.wal_sync_commit,
                 max_flush_retries: config.wal_flush_retries,
                 retry_backoff: config.wal_retry_backoff,
-                faults: config.wal_faults.clone(),
+                faults: config.faults.clone(),
                 metrics: Some(metrics.clone()),
             })?))
         } else {
             None
         };
         let txns = TxnManager::with_metrics(wal.clone(), &metrics);
+        txns.set_faults(config.faults.clone());
         let gc = GarbageCollector::with_metrics(txns.clone(), &metrics);
+        gc.set_faults(config.faults.clone());
         if let Some(interval) = config.gc_interval {
             gc.start_background(interval);
         }
@@ -75,6 +82,8 @@ impl Database {
             engine_metrics: EngineMetrics::new(&metrics),
             obs_recorder: ObsRecorder::new(&metrics),
             index_obs: IndexObs::new(&metrics),
+            faults: config.faults,
+            health: HealthTracker::new(&metrics),
             metrics,
         })
     }
@@ -177,6 +186,30 @@ impl Database {
         self.wal.as_ref().is_some_and(|w| w.is_poisoned())
     }
 
+    /// The fault injector threaded through this database's subsystems.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Probe and return the engine's health. A poisoned WAL observed while
+    /// the tracker still says healthy transitions it to degraded
+    /// (read-only); the supervisor drives the recovering/healthy
+    /// transitions via [`Database::set_health`].
+    pub fn health(&self) -> HealthState {
+        let state = self.health.state();
+        if state == HealthState::Healthy && self.is_read_only() {
+            let degraded = HealthState::Degraded(DegradedReason::WalPoisoned);
+            self.health.set(degraded);
+            return degraded;
+        }
+        state
+    }
+
+    /// Set the health state directly (supervisor transitions).
+    pub fn set_health(&self, state: HealthState) {
+        self.health.set(state);
+    }
+
     /// Fail with [`DbError::WalUnavailable`] if durable writes are
     /// impossible. DDL checks this before mutating the catalog so schema
     /// changes never outrun what the log can persist.
@@ -190,11 +223,18 @@ impl Database {
     /// Log a DDL record with the same durability as a committed transaction:
     /// under `wal_sync_commit` the record is flushed before the DDL is
     /// acknowledged.
-    fn log_ddl(&self, record: &LogRecord) -> DbResult<()> {
+    pub(crate) fn log_ddl(&self, record: &LogRecord) -> DbResult<()> {
         if let Some(wal) = &self.wal {
-            wal.append(record)?;
+            let seq = wal.append_seq(record)?;
             if wal.config().sync_commit {
-                wal.flush_now()?;
+                if let Err(e) = wal.flush_now() {
+                    // Same phantom guard as the commit path: if a
+                    // group-commit rider already made this record durable,
+                    // the DDL must be acknowledged as applied.
+                    if wal.durable_seq() < seq {
+                        return Err(e);
+                    }
+                }
             }
         }
         Ok(())
@@ -473,6 +513,7 @@ impl Database {
                 );
                 let entry = self.catalog.create_table(name, schema)?;
                 self.gc.register(entry.table.clone());
+                entry.table.set_faults(self.faults.clone());
                 self.log_ddl(&LogRecord::CreateTable {
                     table_id: entry.table.id.0,
                     name: entry.table.name.clone(),

@@ -1,0 +1,100 @@
+//! Engine health state for the self-healing supervisor.
+//!
+//! The health model is deliberately small: an engine is [`Healthy`],
+//! [`Degraded`] (serving reads but rejecting durable writes, e.g. after the
+//! WAL poisoned), or [`Recovering`] (a supervisor is replaying the log into
+//! a replacement instance). The state is published as the `mb2_health_state`
+//! gauge (0 = healthy, 1 = degraded, 2 = recovering) so probes and
+//! dashboards see transitions without log scraping.
+//!
+//! [`Healthy`]: HealthState::Healthy
+//! [`Degraded`]: HealthState::Degraded
+//! [`Recovering`]: HealthState::Recovering
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mb2_obs::{Gauge, MetricsRegistry};
+
+/// Why an engine degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The WAL latched into its poisoned state; durable writes are
+    /// impossible and the engine serves reads only.
+    WalPoisoned,
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::WalPoisoned => write!(f, "wal poisoned"),
+        }
+    }
+}
+
+/// Coarse engine health, driven by [`HealthTracker`] probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    Healthy,
+    Degraded(DegradedReason),
+    Recovering,
+}
+
+impl HealthState {
+    /// The `mb2_health_state` gauge encoding.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded(_) => 1,
+            HealthState::Recovering => 2,
+        }
+    }
+}
+
+/// Tracks one engine's health and mirrors it into the metrics registry.
+pub struct HealthTracker {
+    state: Mutex<HealthState>,
+    gauge: Arc<Gauge>,
+}
+
+impl HealthTracker {
+    pub fn new(registry: &MetricsRegistry) -> HealthTracker {
+        HealthTracker {
+            state: Mutex::new(HealthState::Healthy),
+            gauge: registry.gauge(
+                "mb2_health_state",
+                "Engine health: 0 healthy, 1 degraded (read-only), 2 recovering.",
+            ),
+        }
+    }
+
+    pub fn state(&self) -> HealthState {
+        *self.state.lock()
+    }
+
+    pub fn set(&self, state: HealthState) {
+        *self.state.lock() = state;
+        self.gauge.set(state.gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_mirror_into_gauge() {
+        let registry = MetricsRegistry::new();
+        let tracker = HealthTracker::new(&registry);
+        let gauge = registry.gauge("mb2_health_state", "");
+        assert_eq!(tracker.state(), HealthState::Healthy);
+        tracker.set(HealthState::Degraded(DegradedReason::WalPoisoned));
+        assert_eq!(gauge.get(), 1);
+        tracker.set(HealthState::Recovering);
+        assert_eq!(gauge.get(), 2);
+        tracker.set(HealthState::Healthy);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(tracker.state(), HealthState::Healthy);
+    }
+}

@@ -8,12 +8,14 @@
 
 pub mod config;
 pub mod database;
+pub mod health;
 pub(crate) mod metrics;
 pub mod recovery;
 pub mod session;
 
 pub use config::{DatabaseConfig, Knobs};
 pub use database::Database;
+pub use health::{DegradedReason, HealthState, HealthTracker};
 pub use recovery::{recover, recover_with, RecoveryOptions, RecoveryReport};
 pub use session::Session;
 

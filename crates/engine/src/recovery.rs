@@ -11,9 +11,11 @@
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mb2_catalog::TableEntry;
 use mb2_common::{Column, DbError, DbResult, Schema};
+use mb2_obs::MetricsRegistry;
 use mb2_storage::SlotId;
 use mb2_wal::{read_log_with, LogCorruption, LogRecord};
 
@@ -34,6 +36,47 @@ pub struct RecoveryReport {
     pub torn_tail_bytes: usize,
     /// Set when salvage mode dropped a corrupt log suffix.
     pub salvaged_corruption: Option<LogCorruption>,
+    /// Wall-clock duration of the whole recovery (log scan + replay +
+    /// re-analyze) — the observed label the recovery-cost model predicts.
+    pub elapsed: Duration,
+}
+
+impl RecoveryReport {
+    /// The recovery-cost model's feature vector: records read, tuples
+    /// applied, and schema objects (tables + indexes) rebuilt.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.records_read as f64,
+            self.tuples_applied as f64,
+            (self.tables_created + self.indexes_created) as f64,
+        ]
+    }
+
+    /// Mirror the report into `registry` (the satellite observability
+    /// surface: recovery is inspectable without log scraping).
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("mb2_recovery_runs_total", "Completed WAL recovery runs.")
+            .inc();
+        registry
+            .gauge(
+                "mb2_recovery_records_read",
+                "Log records read by the most recent recovery.",
+            )
+            .set(self.records_read as i64);
+        registry
+            .gauge(
+                "mb2_recovery_tuples_applied",
+                "Tuples replayed by the most recent recovery.",
+            )
+            .set(self.tuples_applied as i64);
+        registry
+            .float_gauge(
+                "mb2_recovery_duration_seconds",
+                "Wall-clock duration of the most recent recovery in seconds.",
+            )
+            .set(self.elapsed.as_secs_f64());
+    }
 }
 
 /// Recovery behavior switches.
@@ -66,6 +109,7 @@ pub fn recover_with(
             ));
         }
     }
+    let started = Instant::now();
     let scan = read_log_with(log_path, options.salvage)?;
     let records = scan.records;
     let db = Database::new(config)?;
@@ -129,6 +173,18 @@ pub fn recover_with(
                 );
                 let entry = db.catalog().create_table(name, schema)?;
                 db.gc().register(entry.table.clone());
+                entry.table.set_faults(db.faults().cloned());
+                // Re-log the DDL under the *new* table id. DML replayed
+                // through transactions re-logs itself, but schema changes
+                // are applied through the catalog directly — without this
+                // the new WAL would hold DML referencing tables it never
+                // creates, and a second recovery (supervisor swap, chained
+                // crashes) would fail on an unknown table id.
+                db.log_ddl(&LogRecord::CreateTable {
+                    table_id: entry.table.id.0,
+                    name: name.clone(),
+                    columns: columns.clone(),
+                })?;
                 names.insert(*table_id, name.clone());
                 report.tables_created += 1;
             }
@@ -152,16 +208,31 @@ pub fn recover_with(
                 let built = mb2_index::parallel_build(entries, 1, &|| {});
                 index.replace_tree(built.tree);
                 entry.add_index(Arc::new(index))?;
+                db.log_ddl(&LogRecord::CreateIndex {
+                    table_id: entry.table.id.0,
+                    name: name.clone(),
+                    columns: columns.clone(),
+                })?;
                 report.indexes_created += 1;
             }
             LogRecord::DropTable { table_id } => {
                 if let Some(name) = names.remove(table_id) {
-                    let _ = db.catalog().drop_table(&name);
+                    if let Ok(entry) = db.catalog().get(&name) {
+                        let new_id = entry.table.id.0;
+                        if db.catalog().drop_table(&name).is_ok() {
+                            db.log_ddl(&LogRecord::DropTable { table_id: new_id })?;
+                        }
+                    }
                 }
             }
             LogRecord::DropIndex { table_id, name } => {
                 if let Ok(entry) = entry_of(&db, &names, *table_id) {
-                    let _ = entry.drop_index(name);
+                    if entry.drop_index(name).is_ok() {
+                        db.log_ddl(&LogRecord::DropIndex {
+                            table_id: entry.table.id.0,
+                            name: name.clone(),
+                        })?;
+                    }
                 }
             }
             LogRecord::Begin { txn_id } => {
@@ -249,6 +320,8 @@ pub fn recover_with(
     // Abort records and as in-flight leftovers.
     report.transactions_discarded = began.iter().filter(|t| !committed.contains(t)).count();
     db.analyze_all();
+    report.elapsed = started.elapsed();
+    report.publish(db.metrics());
     Ok((db, report))
 }
 

@@ -1,0 +1,117 @@
+//! `FaultMode::Probability` determinism: each point draws from its own
+//! seeded PRNG stream keyed by its call count, so replaying a seed fires
+//! the identical decision sequence — including on points consulted from
+//! background threads (GC cycles, the WAL flusher's fsync), whose call
+//! *counts* vary between runs but whose decision *streams* must not.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mb2_common::fault::{points, FaultMode};
+use mb2_common::FaultInjector;
+use mb2_engine::{Database, DatabaseConfig};
+
+struct RunTrace {
+    /// Ok/Err outcome of each of the 100 foreground inserts.
+    outcomes: Vec<bool>,
+    /// Recorded trip/pass decisions per point.
+    commit: Vec<bool>,
+    gc: Vec<bool>,
+    fsync: Vec<bool>,
+}
+
+fn run(seed: u64, tag: &str) -> RunTrace {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("mb2_fault_det_{}_{tag}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let faults = Arc::new(FaultInjector::new(seed));
+    let mut cfg = DatabaseConfig {
+        wal_enabled: true,
+        wal_path: Some(path.clone()),
+        wal_background: true,
+        wal_fsync: true,
+        // Transient fsync failures are always retried away, so the flusher
+        // keeps consulting its point without ever poisoning the log.
+        wal_flush_retries: 1000,
+        wal_retry_backoff: Duration::from_micros(10),
+        faults: Some(faults.clone()),
+        gc_interval: Some(Duration::from_millis(1)),
+        ..DatabaseConfig::default()
+    };
+    cfg.knobs.wal_flush_interval = Duration::from_millis(1);
+    let db = Database::new(cfg).unwrap();
+    db.execute("CREATE TABLE t (id INT)").unwrap();
+
+    // Arm after DDL so the commit point's call counter starts at the first
+    // insert in both runs.
+    faults.record_decisions();
+    faults.arm(points::TXN_COMMIT, FaultMode::Probability(0.2));
+    faults.arm(points::GC_CYCLE, FaultMode::Probability(0.3));
+    faults.arm(points::WAL_FSYNC, FaultMode::Probability(0.3));
+
+    let mut outcomes = Vec::with_capacity(100);
+    for i in 0..100 {
+        outcomes.push(db.execute(&format!("INSERT INTO t VALUES ({i})")).is_ok());
+    }
+    // Let the background GC and flusher take a few laps.
+    std::thread::sleep(Duration::from_millis(30));
+    let trace = RunTrace {
+        outcomes,
+        commit: faults.decisions(points::TXN_COMMIT),
+        gc: faults.decisions(points::GC_CYCLE),
+        fsync: faults.decisions(points::WAL_FSYNC),
+    };
+    db.shutdown();
+    let _ = std::fs::remove_file(&path);
+    trace
+}
+
+/// The decision streams of two runs must agree on their common prefix (the
+/// background threads' call counts differ between runs; their decisions at
+/// call `i` may not).
+fn assert_prefix_eq(a: &[bool], b: &[bool], point: &str) {
+    let n = a.len().min(b.len());
+    assert!(
+        n > 0,
+        "point {point} was never consulted in one of the runs"
+    );
+    assert_eq!(
+        &a[..n],
+        &b[..n],
+        "decision streams for {point} diverge within the common prefix"
+    );
+}
+
+#[test]
+fn replayed_seed_fires_identical_decision_sequences() {
+    let a = run(0xDEC0DE, "a");
+    let b = run(0xDEC0DE, "b");
+
+    // Foreground point: serial inserts give identical call counts, so the
+    // whole sequence — and therefore every client-visible outcome — matches.
+    assert_eq!(a.commit.len(), 100);
+    assert_eq!(a.commit, b.commit);
+    assert_eq!(a.outcomes, b.outcomes);
+    let failed = a.outcomes.iter().filter(|ok| !**ok).count();
+    assert!(
+        failed > 0 && failed < 100,
+        "p=0.2 should fail some but not all inserts (failed {failed})"
+    );
+
+    // Background points: cycle counts are timing-dependent, decision
+    // streams are not.
+    assert_prefix_eq(&a.gc, &b.gc, points::GC_CYCLE);
+    assert_prefix_eq(&a.fsync, &b.fsync, points::WAL_FSYNC);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run(1, "s1");
+    let b = run(2, "s2");
+    assert_ne!(
+        a.commit, b.commit,
+        "different seeds should draw different commit decision streams"
+    );
+}

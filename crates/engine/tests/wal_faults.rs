@@ -27,7 +27,7 @@ fn durable_db(path: &Path, faults: &Arc<FaultInjector>, retries: u32) -> Databas
         wal_sync_commit: true,
         wal_flush_retries: retries,
         wal_retry_backoff: Duration::from_micros(50),
-        wal_faults: Some(faults.clone()),
+        faults: Some(faults.clone()),
         ..DatabaseConfig::default()
     })
     .unwrap()

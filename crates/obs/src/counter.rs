@@ -121,6 +121,34 @@ impl std::fmt::Debug for Gauge {
     }
 }
 
+/// A gauge holding a floating-point value (durations in seconds, ratios).
+/// Stored as the f64 bit pattern in one atomic; set/get only — fractional
+/// read-modify-write has no callers and would need a CAS loop.
+#[derive(Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    pub fn new() -> FloatGauge {
+        FloatGauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for FloatGauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FloatGauge").field(&self.get()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +179,16 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn float_gauge_round_trips() {
+        let g = FloatGauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.125);
+        assert_eq!(g.get(), 0.125);
+        g.set(-3.5);
+        assert_eq!(g.get(), -3.5);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl MetricsRegistry {
             if last_family.as_deref() != Some(m.family.as_str()) {
                 let kind = match m.handle {
                     MetricHandle::Counter(_) => "counter",
-                    MetricHandle::Gauge(_) => "gauge",
+                    MetricHandle::Gauge(_) | MetricHandle::FloatGauge(_) => "gauge",
                     MetricHandle::Histogram(_) => "histogram",
                 };
                 let _ = writeln!(out, "# HELP {} {}", m.family, m.help);
@@ -88,6 +88,15 @@ impl MetricsRegistry {
                     );
                 }
                 MetricHandle::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.family,
+                        render_labels(&m.labels, None),
+                        g.get()
+                    );
+                }
+                MetricHandle::FloatGauge(g) => {
                     let _ = writeln!(
                         out,
                         "{}{} {}",
@@ -150,6 +159,10 @@ impl MetricsRegistry {
                     c.get()
                 ),
                 MetricHandle::Gauge(g) => format!(
+                    "{{\"name\":\"{family}\",\"type\":\"gauge\",\"labels\":{labels},\"value\":{}}}",
+                    g.get()
+                ),
+                MetricHandle::FloatGauge(g) => format!(
                     "{{\"name\":\"{family}\",\"type\":\"gauge\",\"labels\":{labels},\"value\":{}}}",
                     g.get()
                 ),

@@ -50,7 +50,7 @@ pub mod histogram;
 pub mod registry;
 pub mod span;
 
-pub use counter::{Counter, Gauge};
+pub use counter::{Counter, FloatGauge, Gauge};
 pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS, HISTOGRAM_PRECISION_BITS};
 pub use registry::{MetricHandle, MetricSnapshot, MetricsRegistry};
 pub use span::SpanTimer;

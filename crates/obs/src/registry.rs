@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::counter::{Counter, Gauge};
+use crate::counter::{Counter, FloatGauge, Gauge};
 use crate::histogram::Histogram;
 use crate::span::SpanTimer;
 
@@ -23,6 +23,7 @@ use crate::span::SpanTimer;
 pub enum MetricHandle {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -31,6 +32,7 @@ impl MetricHandle {
         match self {
             MetricHandle::Counter(_) => "counter",
             MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::FloatGauge(_) => "float gauge",
             MetricHandle::Histogram(_) => "histogram",
         }
     }
@@ -163,6 +165,20 @@ impl MetricsRegistry {
             MetricHandle::Gauge(Arc::new(Gauge::new()))
         }) {
             MetricHandle::Gauge(g) => g,
+            other => panic!(
+                "metric '{name}' already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled floating-point gauge (renders as a
+    /// Prometheus gauge).
+    pub fn float_gauge(&self, name: &str, help: &str) -> Arc<FloatGauge> {
+        match self.register(name, &[], help, || {
+            MetricHandle::FloatGauge(Arc::new(FloatGauge::new()))
+        }) {
+            MetricHandle::FloatGauge(g) => g,
             other => panic!(
                 "metric '{name}' already registered as {}",
                 other.type_name()

@@ -19,5 +19,5 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, QueryResponse};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, SupervisorConfig};
 pub use wire::{BusyReason, Frame, PROTOCOL_VERSION};

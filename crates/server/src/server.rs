@@ -14,17 +14,26 @@
 //! 4. `Server::shutdown` drains: stop accepting, let every in-flight query
 //!    finish, join all connection workers, then shut the engine down
 //!    (which flushes the WAL and joins GC/flusher/pool threads).
+//! 5. With a [`SupervisorConfig`], a health supervisor probes the engine:
+//!    when the WAL poisons (the engine degrades to read-only), it replays
+//!    the log into a replacement instance with bounded backoff, swaps it in
+//!    under an epoch bump, and gracefully drains sessions pinned to the old
+//!    engine — each finishes its in-flight query, is told to reconnect via
+//!    a typed `Busy(Draining)` frame, and rejoins on the healthy engine.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use mb2_common::{DbError, DbResult, Value};
-use mb2_engine::Database;
+use mb2_common::{fault, DbError, DbResult, FaultInjector, Value};
+use mb2_engine::{
+    recover_with, Database, DatabaseConfig, DegradedReason, HealthState, RecoveryOptions,
+};
 use mb2_obs::{Counter, Gauge, Histogram};
 
 use crate::wire::{self, BusyReason, Frame, FrameReader, ReadPoll, PROTOCOL_VERSION};
@@ -47,6 +56,12 @@ pub struct ServerConfig {
     /// the shutdown flag and the idle deadline. Bounds drain latency for
     /// idle connections.
     pub poll_interval: Duration,
+    /// Fault injection for chaos tests (`server.accept` and `server.read`
+    /// points); `None` in production.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Self-healing supervisor; `None` disables automatic recovery (the
+    /// engine stays degraded/read-only after a WAL poison).
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +72,37 @@ impl Default for ServerConfig {
             max_inflight_queries: 16,
             idle_timeout: Duration::from_secs(300),
             poll_interval: Duration::from_millis(25),
+            faults: None,
+            supervisor: None,
+        }
+    }
+}
+
+/// Health-supervisor configuration: probe cadence and the bounded-backoff
+/// restart-with-recovery policy.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// How often the supervisor probes `Database::health`.
+    pub probe_interval: Duration,
+    /// Recovery attempts before the supervisor gives up and leaves the
+    /// engine degraded (read-only).
+    pub max_attempts: u32,
+    /// Base backoff between attempts (doubles per attempt).
+    pub backoff: Duration,
+    /// Configuration template for the replacement engine. Its `wal_path` is
+    /// ignored — the supervisor writes each generation's log next to the
+    /// poisoned one (`<path>.gN`) — and its `metrics` is overridden with the
+    /// old engine's registry so series survive the swap.
+    pub template: DatabaseConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            probe_interval: Duration::from_millis(50),
+            max_attempts: 5,
+            backoff: Duration::from_millis(20),
+            template: DatabaseConfig::default(),
         }
     }
 }
@@ -72,6 +118,8 @@ struct ServerMetrics {
     query_errors: Arc<Counter>,
     inflight_queries: Arc<Gauge>,
     request_us: Arc<Histogram>,
+    recoveries: Arc<Counter>,
+    recovery_failures: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -104,23 +152,65 @@ impl ServerMetrics {
                 "mb2_server_request_us",
                 "End-to-end request latency (receive to Done) in microseconds.",
             ),
+            recoveries: r.counter(
+                "mb2_server_recoveries_total",
+                "Successful supervisor-driven engine recoveries (swaps).",
+            ),
+            recovery_failures: r.counter(
+                "mb2_server_recovery_failures_total",
+                "Failed supervisor recovery attempts.",
+            ),
         }
     }
 }
 
 struct Shared {
-    db: Arc<Database>,
+    /// The engine currently serving traffic. The supervisor swaps in a
+    /// recovered replacement; existing connections keep their own `Arc`
+    /// (and their session) until they notice the epoch bump.
+    db: RwLock<Arc<Database>>,
+    /// Bumped at every engine swap. A connection whose captured epoch is
+    /// stale finishes its in-flight request, answers further requests with
+    /// `Busy(Draining)`, and closes so the client reconnects onto the
+    /// current engine.
+    epoch: AtomicU64,
     cfg: ServerConfig,
     stop: AtomicBool,
     active_conns: AtomicUsize,
     inflight: AtomicUsize,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Interruptible sleep for the supervisor thread (drain wakes it).
+    supervisor_wakeup: (StdMutex<bool>, Condvar),
     metrics: ServerMetrics,
 }
 
 impl Shared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    fn db(&self) -> Arc<Database> {
+        self.db.read().clone()
+    }
+
+    /// Sleep up to `timeout` on the supervisor condvar; returns early (true)
+    /// when drain woke it.
+    fn supervisor_sleep(&self, timeout: Duration) -> bool {
+        let (lock, cvar) = &self.supervisor_wakeup;
+        let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + timeout;
+        while !*stopped {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = match cvar.wait_timeout(stopped, deadline - now) {
+                Ok(r) => r,
+                Err(_) => return true,
+            };
+            stopped = guard;
+        }
+        true
     }
 
     /// Reserve a connection slot; `false` over the bound.
@@ -160,6 +250,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -172,12 +263,14 @@ impl Server {
             .map_err(|e| DbError::Net(format!("local_addr: {e}")))?;
         let metrics = ServerMetrics::new(&db);
         let shared = Arc::new(Shared {
-            db,
+            db: RwLock::new(db),
+            epoch: AtomicU64::new(0),
             cfg,
             stop: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             workers: Mutex::new(Vec::new()),
+            supervisor_wakeup: (StdMutex::new(false), Condvar::new()),
             metrics,
         });
         let acceptor = {
@@ -187,10 +280,23 @@ impl Server {
                 .spawn(move || accept_loop(&shared, listener))
                 .map_err(|e| DbError::Net(format!("spawn acceptor: {e}")))?
         };
+        let supervisor = match shared.cfg.supervisor.clone() {
+            Some(sup) => {
+                let shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("mb2-server-supervisor".into())
+                        .spawn(move || supervisor_loop(&shared, sup))
+                        .map_err(|e| DbError::Net(format!("spawn supervisor: {e}")))?,
+                )
+            }
+            None => None,
+        };
         Ok(Server {
             shared,
             local_addr,
             acceptor: Some(acceptor),
+            supervisor,
         })
     }
 
@@ -199,9 +305,15 @@ impl Server {
         self.local_addr
     }
 
-    /// The database this server fronts.
-    pub fn db(&self) -> &Arc<Database> {
-        &self.shared.db
+    /// The database currently serving traffic (the supervisor may have
+    /// swapped in a recovered instance since the server started).
+    pub fn db(&self) -> Arc<Database> {
+        self.shared.db()
+    }
+
+    /// How many supervisor engine swaps have happened.
+    pub fn engine_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
     }
 
     /// Currently connected clients.
@@ -215,11 +327,20 @@ impl Server {
     /// call once; `Drop` performs the same drain if it was not called.
     pub fn shutdown(mut self) {
         self.drain();
-        self.shared.db.shutdown();
+        self.shared.db().shutdown();
     }
 
     fn drain(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // Wake a supervisor parked in its probe/backoff sleep.
+        {
+            let (lock, cvar) = &self.shared.supervisor_wakeup;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
         // Wake the blocking accept with a throwaway connection; the loop
         // re-checks the stop flag before serving it.
         let _ = TcpStream::connect(self.local_addr);
@@ -255,6 +376,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        if let Some(inj) = shared.cfg.faults.as_ref() {
+            if inj.check(fault::points::SERVER_ACCEPT).is_some() {
+                // Injected accept failure: drop the connection without a
+                // frame, the way a dying acceptor would.
+                continue;
+            }
+        }
         if !shared.try_acquire_conn() {
             shared.metrics.connections_rejected.inc();
             let mut s = stream;
@@ -345,14 +473,47 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
         }
     }
 
-    // One session per connection: explicit transactions span requests.
-    let db = shared.db.clone();
+    // One session per connection, pinned to the engine instance current at
+    // connect time: explicit transactions span requests and must stay on
+    // one engine. A supervisor swap bumps the epoch; this connection then
+    // finishes its in-flight request, answers further traffic with
+    // `Busy(Draining)`, and closes so the client reconnects.
+    let db = shared.db();
+    let my_epoch = shared.epoch.load(Ordering::Acquire);
     let mut session = db.session();
     let mut idle_since = Instant::now();
     loop {
-        match reader.poll_read(&mut stream)? {
+        let poll = match reader.poll_read(&mut stream) {
+            Ok(p) => p,
+            Err(e) => {
+                // Protocol violation (bad length, unknown tag, torn body):
+                // tell the client why before closing. Best-effort — on a
+                // genuine I/O error the write fails silently.
+                let _ = wire::write_frame(&mut stream, &Frame::Error { error: e.clone() });
+                return Err(e);
+            }
+        };
+        match poll {
             ReadPoll::Frame(Frame::Query { sql }) => {
                 idle_since = Instant::now();
+                if shared.epoch.load(Ordering::Acquire) != my_epoch {
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &Frame::Busy {
+                            reason: BusyReason::Draining,
+                            message: "engine recovered; reconnect".into(),
+                        },
+                    );
+                    return Ok(());
+                }
+                if let Some(inj) = shared.cfg.faults.as_ref() {
+                    // Consulted once per complete request frame (never on
+                    // `Pending`) so the decision sequence is a function of
+                    // the request count, not of socket timing.
+                    if let Some(msg) = inj.check(fault::points::SERVER_READ) {
+                        return Err(DbError::Net(msg));
+                    }
+                }
                 handle_query(shared, &mut session, &mut stream, &sql)?;
                 if shared.stopping() {
                     // Drain: the in-flight request was finished and
@@ -372,6 +533,16 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
             ReadPoll::Eof => return Ok(()),
             ReadPoll::Pending => {
                 if shared.stopping() {
+                    return Ok(());
+                }
+                if shared.epoch.load(Ordering::Acquire) != my_epoch {
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &Frame::Busy {
+                            reason: BusyReason::Draining,
+                            message: "engine recovered; reconnect".into(),
+                        },
+                    );
                     return Ok(());
                 }
                 if idle_since.elapsed() > shared.cfg.idle_timeout {
@@ -439,6 +610,83 @@ fn handle_query(
         Err(e) => {
             shared.metrics.query_errors.inc();
             wire::write_frame(stream, &Frame::Error { error: e })
+        }
+    }
+}
+
+/// The self-healing loop: probe engine health each `probe_interval`; when
+/// the WAL poisons, replay the log into a replacement instance (salvage
+/// mode, generation-suffixed new log, shared metrics registry), swap it in
+/// under an epoch bump, and shut the old engine down. Failed attempts back
+/// off exponentially up to `max_attempts`, after which the supervisor gives
+/// up and leaves the engine degraded (read-only).
+fn supervisor_loop(shared: &Arc<Shared>, cfg: SupervisorConfig) {
+    let mut generation: u64 = 0;
+    loop {
+        if shared.supervisor_sleep(cfg.probe_interval) {
+            return; // drain
+        }
+        let db = shared.db();
+        if db.health() != HealthState::Degraded(DegradedReason::WalPoisoned) {
+            continue;
+        }
+        db.set_health(HealthState::Recovering);
+        // The source log is the poisoned engine's on-disk WAL. A sink WAL
+        // (no path) has nothing to replay from: recovery is impossible.
+        let source = match db.wal().and_then(|w| w.config().path.clone()) {
+            Some(p) => p,
+            None => {
+                shared.metrics.recovery_failures.inc();
+                db.set_health(HealthState::Degraded(DegradedReason::WalPoisoned));
+                return;
+            }
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            if shared.stopping() {
+                return;
+            }
+            generation += 1;
+            let mut config = cfg.template.clone();
+            config.wal_enabled = true;
+            // The replacement logs into `<source>.gN`: recovery re-logs the
+            // replayed state, so the new log is self-contained and a second
+            // crash recovers from it alone.
+            let mut gen_path = source.clone().into_os_string();
+            gen_path.push(format!(".g{generation}"));
+            config.wal_path = Some(PathBuf::from(gen_path));
+            // Same registry: counters and gauges keep their series across
+            // the swap (registration is idempotent).
+            config.metrics = Some(db.metrics().clone());
+            match recover_with(&source, config, RecoveryOptions { salvage: true }) {
+                Ok((new_db, _report)) => {
+                    let new_db = Arc::new(new_db);
+                    // The trackers share the health gauge through the
+                    // registry; reassert Healthy over the Recovering value
+                    // the old tracker published.
+                    new_db.set_health(HealthState::Healthy);
+                    *shared.db.write() = new_db;
+                    shared.epoch.fetch_add(1, Ordering::AcqRel);
+                    shared.metrics.recoveries.inc();
+                    // Old engine: flush what it can and join its threads.
+                    // Pinned sessions still hold clones of the Arc; they
+                    // drain via the epoch check.
+                    db.shutdown();
+                    break;
+                }
+                Err(_) => {
+                    shared.metrics.recovery_failures.inc();
+                    attempt += 1;
+                    if attempt >= cfg.max_attempts {
+                        db.set_health(HealthState::Degraded(DegradedReason::WalPoisoned));
+                        return;
+                    }
+                    let backoff = cfg.backoff * 2u32.saturating_pow(attempt - 1);
+                    if shared.supervisor_sleep(backoff) {
+                        return;
+                    }
+                }
+            }
         }
     }
 }

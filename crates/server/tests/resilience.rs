@@ -1,0 +1,276 @@
+//! Server resilience: mid-stream engine errors stay in-band, protocol
+//! violations are answered before teardown, injected accept/read faults
+//! behave like real network failures, and the health supervisor turns a
+//! poisoned WAL into an automatic restart-with-recovery that live clients
+//! survive by reconnecting.
+
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_common::fault::{points, FaultMode};
+use mb2_common::{DbError, FaultInjector, Value};
+use mb2_engine::{Database, DatabaseConfig};
+use mb2_server::wire::{self, Frame, FrameReader, PROTOCOL_VERSION};
+use mb2_server::{Client, Server, ServerConfig, SupervisorConfig};
+
+fn temp_wal(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("mb2_resilience_{}_{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn start_server(db_cfg: DatabaseConfig, srv_cfg: ServerConfig) -> Server {
+    let db = Arc::new(Database::new(db_cfg).expect("database"));
+    Server::start(db, srv_cfg).expect("server start")
+}
+
+/// A database configuration with real durability on: on-disk WAL, fsync at
+/// every commit, fault injection wired through the engine.
+fn durable_cfg(path: &Path, faults: &Arc<FaultInjector>) -> DatabaseConfig {
+    DatabaseConfig {
+        wal_enabled: true,
+        wal_path: Some(path.to_path_buf()),
+        wal_fsync: true,
+        wal_sync_commit: true,
+        wal_flush_retries: 1,
+        wal_retry_backoff: Duration::from_micros(50),
+        faults: Some(faults.clone()),
+        ..DatabaseConfig::default()
+    }
+}
+
+/// An engine error at a late row — after result batches already went out —
+/// must arrive as a typed in-band `Error` frame, and the connection must
+/// stay usable for the next query.
+#[test]
+fn mid_stream_error_is_typed_and_connection_survives() {
+    let mut db_cfg = DatabaseConfig::default();
+    db_cfg.knobs.batch_size = 8; // many RowBatch frames before the error
+    let server = start_server(db_cfg, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr().to_string()).expect("connect");
+
+    client.query("CREATE TABLE t (id INT)").unwrap();
+    for chunk in 0..4 {
+        let rows: Vec<String> = (0..50).map(|i| format!("({})", chunk * 50 + i)).collect();
+        client
+            .query(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+            .unwrap();
+    }
+
+    // Divides by zero at id = 150: ~18 batches of 8 stream first.
+    let mut rows_before_error = 0usize;
+    let err = client
+        .query_streaming("SELECT 1000 / (150 - id) FROM t", &mut |rows| {
+            rows_before_error += rows.len();
+            Ok(())
+        })
+        .expect_err("late-row division by zero must fail");
+    assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
+    assert!(
+        rows_before_error > 0,
+        "the error must arrive mid-stream, after at least one RowBatch"
+    );
+
+    // The framing-preserving drain leaves the connection usable.
+    let resp = client.query("SELECT COUNT(*) FROM t").expect("after error");
+    assert_eq!(resp.rows, vec![vec![Value::Int(200)]]);
+    server.shutdown();
+}
+
+/// A protocol violation (unknown frame tag) is answered with a typed
+/// `Error` frame before the server closes the connection.
+#[test]
+fn malformed_frame_gets_typed_error_before_close() {
+    let server = start_server(DatabaseConfig::default(), ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = FrameReader::new();
+
+    wire::write_frame(
+        &mut stream,
+        &Frame::ClientHello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    match reader.read_frame_blocking(&mut stream).unwrap() {
+        Frame::ServerHello { .. } => {}
+        other => panic!("expected ServerHello, got {other:?}"),
+    }
+
+    // Length-prefixed garbage: tag 0xEE does not exist.
+    use std::io::Write;
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0xEE, 0x00]).unwrap();
+
+    match reader.read_frame_blocking(&mut stream) {
+        Ok(Frame::Error { error }) => {
+            assert!(matches!(error, DbError::Net(_)), "got {error:?}");
+        }
+        other => panic!("expected a typed Error frame before close, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// An armed `server.accept` fault drops exactly the chosen connection, the
+/// way a dying acceptor would; later connects succeed.
+#[test]
+fn accept_fault_drops_one_connection() {
+    let faults = Arc::new(FaultInjector::new(42));
+    faults.arm(points::SERVER_ACCEPT, FaultMode::Nth(1));
+    let server = start_server(
+        DatabaseConfig::default(),
+        ServerConfig {
+            faults: Some(faults.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+
+    let err = match Client::connect(&addr) {
+        Ok(_) => panic!("first connection must be dropped"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, DbError::Net(_)), "got {err:?}");
+
+    let mut c = Client::connect(&addr).expect("second connection survives");
+    c.query("CREATE TABLE ping (id INT)").unwrap();
+    assert_eq!(faults.fired(points::SERVER_ACCEPT), 1);
+    server.shutdown();
+}
+
+/// An armed `server.read` fault tears the connection on the chosen request
+/// frame; a reconnect gets a clean session.
+#[test]
+fn read_fault_tears_connection_mid_session() {
+    let faults = Arc::new(FaultInjector::new(42));
+    faults.arm(points::SERVER_READ, FaultMode::Nth(3));
+    let server = start_server(
+        DatabaseConfig::default(),
+        ServerConfig {
+            faults: Some(faults.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    c.query("CREATE TABLE t (id INT)").unwrap();
+    c.query("INSERT INTO t VALUES (1)").unwrap();
+    // Third request frame trips the injected read failure: the connection
+    // tears without a response, like a mid-request crash.
+    let err = c
+        .query("SELECT * FROM t")
+        .expect_err("read fault must tear");
+    assert!(matches!(err, DbError::Net(_)), "got {err:?}");
+
+    // The committed work survives; the fault was one-shot.
+    let mut c2 = Client::connect(&addr).expect("reconnect");
+    let resp = c2.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(resp.rows, vec![vec![Value::Int(1)]]);
+    server.shutdown();
+}
+
+/// The headline self-healing path: a persistent fsync failure poisons the
+/// WAL and degrades the engine to read-only (reads keep working, writes get
+/// the typed `WalUnavailable`); the supervisor replays the log into a
+/// replacement engine, swaps it in, and drains pinned connections with
+/// `Busy(Draining)`. A reconnecting client lands on the recovered engine
+/// with every acknowledged commit intact and writes working again.
+#[test]
+fn wal_poison_degrades_then_supervisor_recovers() {
+    let path = temp_wal("supervisor");
+    let faults = Arc::new(FaultInjector::new(7));
+    let db_cfg = durable_cfg(&path, &faults);
+    // The replacement engine keeps durability on but gets no fault
+    // injector, so recovery itself cannot be poisoned by the armed point.
+    let template = DatabaseConfig {
+        faults: None,
+        ..durable_cfg(&path, &faults)
+    };
+    let server = start_server(
+        db_cfg,
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            supervisor: Some(SupervisorConfig {
+                probe_interval: Duration::from_millis(10),
+                template: DatabaseConfig {
+                    faults: None,
+                    ..template
+                },
+                ..SupervisorConfig::default()
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.query("CREATE TABLE t (id INT)").unwrap();
+    client.query("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+
+    // Poison: every fsync fails from here; the next durable commit fails
+    // fast with the typed error and the engine latches read-only.
+    faults.arm(points::WAL_FSYNC, FaultMode::Always);
+    let err = client
+        .query("INSERT INTO t VALUES (4)")
+        .expect_err("write on poisoned WAL must fail");
+    assert!(matches!(err, DbError::WalUnavailable(_)), "got {err:?}");
+
+    // Reads are still served while degraded (possibly already through the
+    // drain window, in which case reconnect and retry).
+    let resp = loop {
+        match client.query("SELECT COUNT(*) FROM t") {
+            Ok(r) => break r,
+            Err(DbError::ServerBusy(_)) | Err(DbError::Net(_)) => {
+                client = Client::connect(&addr).expect("reconnect for read");
+            }
+            Err(e) => panic!("degraded read failed: {e:?}"),
+        }
+    };
+    assert_eq!(resp.rows, vec![vec![Value::Int(3)]]);
+
+    // Let recovery proceed cleanly, then wait for the swap.
+    faults.disarm(points::WAL_FSYNC);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.engine_epoch() == 0 {
+        assert!(Instant::now() < deadline, "supervisor never recovered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A pinned connection is drained with a typed Busy(Draining) (unless
+    // it already tore); a fresh connection lands on the recovered engine.
+    match client.query("SELECT COUNT(*) FROM t") {
+        Err(DbError::ServerBusy(_)) | Err(DbError::Net(_)) => {}
+        other => panic!("stale connection must be drained, got {other:?}"),
+    }
+    let mut client = Client::connect(&addr).expect("reconnect");
+
+    // No acknowledged commit was lost, the unacknowledged insert is not
+    // resurrected, and writes work again.
+    let resp = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(resp.rows, vec![vec![Value::Int(3)]]);
+    client.query("INSERT INTO t VALUES (100)").unwrap();
+    let resp = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(resp.rows, vec![vec![Value::Int(4)]]);
+
+    // The swap is visible in the shared registry: recovery ran once, its
+    // report was published, and the health gauge is back to Healthy (0).
+    let prom = server.db().metrics_prometheus();
+    let metric = |name: &str| -> f64 {
+        prom.lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("metric {name} not exported"))
+    };
+    assert_eq!(metric("mb2_server_recoveries_total"), 1.0);
+    assert!(metric("mb2_recovery_runs_total") >= 1.0);
+    assert!(metric("mb2_recovery_records_read") > 0.0);
+    assert_eq!(metric("mb2_health_state"), 0.0);
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(format!("{}.g1", path.display()));
+}

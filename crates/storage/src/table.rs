@@ -10,7 +10,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use mb2_common::types::Tuple;
-use mb2_common::{DbError, DbResult, Schema};
+use mb2_common::{fault, DbError, DbResult, FaultInjector, Schema};
 
 use crate::ts::Ts;
 use crate::version::VersionChain;
@@ -54,6 +54,9 @@ pub struct Table {
     live_tuples: AtomicUsize,
     /// Approximate total version count across all slots.
     version_count: AtomicUsize,
+    /// Fault injection for chaos tests (`storage.segment_alloc` point);
+    /// `None` in production.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl Table {
@@ -66,7 +69,14 @@ impl Table {
             next_slot: AtomicUsize::new(0),
             live_tuples: AtomicUsize::new(0),
             version_count: AtomicUsize::new(0),
+            faults: RwLock::new(None),
         }
+    }
+
+    /// Attach (or detach) a fault injector consulted when the segment
+    /// directory grows.
+    pub fn set_faults(&self, faults: Option<Arc<FaultInjector>>) {
+        *self.faults.write() = faults;
     }
 
     pub fn schema(&self) -> &Schema {
@@ -141,6 +151,16 @@ impl Table {
         {
             // Grow the segment directory if needed.
             let need = segment as usize + 1;
+            if need > self.segments.read().len() {
+                if let Some(inj) = self.faults.read().clone() {
+                    if let Some(msg) = inj.check(fault::points::STORAGE_SEGMENT_ALLOC) {
+                        // The reserved slot index stays a hole: no chain is
+                        // ever installed, so scans skip it like any other
+                        // never-written slot.
+                        return Err(DbError::Storage(msg));
+                    }
+                }
+            }
             let mut segs = self.segments.write();
             while segs.len() < need {
                 segs.push(Arc::new(Segment::new()));

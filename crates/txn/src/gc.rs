@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use mb2_common::{fault, FaultInjector};
 use mb2_obs::{Counter, Histogram, MetricsRegistry};
 use mb2_storage::Table;
 
@@ -34,6 +35,12 @@ pub struct GarbageCollector {
     pub invocations: Arc<Counter>,
     /// Duration of one collection pass in microseconds (`mb2_gc_pause_us`).
     pub pause_us: Arc<Histogram>,
+    /// Passes skipped by an injected `gc.cycle` fault
+    /// (`mb2_gc_cycles_starved_total`).
+    pub starved: Arc<Counter>,
+    /// Fault injection for chaos tests (`gc.cycle` point); `None` in
+    /// production.
+    faults: Mutex<Option<Arc<FaultInjector>>>,
     stop: Arc<AtomicBool>,
     /// Interruptible-sleep channel for the background thread: `shutdown`
     /// flips the flag under the lock and notifies, so a worker parked in
@@ -66,6 +73,11 @@ impl GarbageCollector {
                 "mb2_gc_pause_us",
                 "Duration of one garbage collection pass in microseconds.",
             ),
+            starved: registry.counter(
+                "mb2_gc_cycles_starved_total",
+                "Garbage collection passes skipped by an injected gc.cycle fault.",
+            ),
+            faults: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             wakeup: Arc::new((StdMutex::new(false), Condvar::new())),
             worker: Mutex::new(None),
@@ -77,9 +89,27 @@ impl GarbageCollector {
         self.tables.lock().push(table);
     }
 
+    /// Attach (or detach) a fault injector consulted at the start of each
+    /// pass (`gc.cycle`): a failure starves the pass (it is skipped and
+    /// counted), a delay stalls it.
+    pub fn set_faults(&self, faults: Option<Arc<FaultInjector>>) {
+        *self.faults.lock() = faults;
+    }
+
     /// Run one collection pass up to the current watermark.
     pub fn run_once(&self) -> GcReport {
         let started = Instant::now();
+        let faults = self.faults.lock().clone();
+        if let Some(inj) = faults {
+            if inj.check(fault::points::GC_CYCLE).is_some() {
+                self.starved.inc();
+                return GcReport {
+                    versions_reclaimed: 0,
+                    slots_scanned: 0,
+                    elapsed: started.elapsed(),
+                };
+            }
+        }
         let watermark = self.txn_mgr.watermark();
         let tables: Vec<Arc<Table>> = self.tables.lock().clone();
         let mut reclaimed = 0usize;
@@ -214,6 +244,58 @@ mod tests {
         drop(holder);
         let report = gc.run_once();
         assert!(report.versions_reclaimed >= 4, "{report:?}");
+    }
+
+    /// Regression: `TxnManager::begin` must read the clock *while holding*
+    /// the active-set lock. When it read first and registered after, a
+    /// commit + GC pass could land in the gap — the watermark saw no
+    /// active snapshots, took the advanced clock, and pruned the version
+    /// the still-unregistered snapshot was pinned to, making the row
+    /// vanish from its reads.
+    #[test]
+    fn begin_registration_is_atomic_against_gc_watermark() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        let mgr = TxnManager::new(None);
+        let gc = GarbageCollector::new(mgr.clone());
+        let t = table();
+        gc.register(t.clone());
+        let mut setup = mgr.begin();
+        let slot = setup.insert(&t, vec![Value::Int(0)]).unwrap();
+        setup.commit().unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (mgr, gc, t, stop) = (mgr.clone(), gc.clone(), t.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let mut txn = mgr.begin();
+                    txn.update(&t, slot, vec![Value::Int(i)]).unwrap();
+                    txn.commit().unwrap();
+                    gc.run_once();
+                }
+            })
+        };
+
+        // Every snapshot must see *some* version of the slot, no matter
+        // where in the update/GC churn its begin landed.
+        let deadline = Instant::now() + Duration::from_millis(300);
+        let mut reads = 0u64;
+        while Instant::now() < deadline {
+            let reader = mgr.begin();
+            assert!(
+                reader.read(&t, slot).is_some(),
+                "snapshot at {:?} found no visible version after {reads} reads",
+                reader.read_ts()
+            );
+            reads += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert!(reads > 0);
     }
 
     #[test]

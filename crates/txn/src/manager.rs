@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mb2_common::types::Tuple;
-use mb2_common::{DbError, DbResult};
+use mb2_common::{fault, DbError, DbResult, FaultInjector};
 use mb2_obs::{Counter, Gauge, MetricsRegistry};
 use mb2_storage::{SlotId, Table, Ts};
 use mb2_wal::{LogManager, LogRecord};
@@ -219,6 +219,9 @@ pub struct TxnManager {
     active: Mutex<BTreeMap<u64, usize>>,
     pub wal: Option<Arc<LogManager>>,
     pub stats: TxnStats,
+    /// Fault injection for chaos tests (`txn.commit` point, consulted inside
+    /// the commit critical section); `None` in production.
+    faults: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl TxnManager {
@@ -230,6 +233,7 @@ impl TxnManager {
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::default(),
+            faults: Mutex::new(None),
         })
     }
 
@@ -246,7 +250,16 @@ impl TxnManager {
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::new(registry),
+            faults: Mutex::new(None),
         })
+    }
+
+    /// Attach (or detach) a fault injector consulted at the `txn.commit`
+    /// point, inside the commit critical section: an armed delay there holds
+    /// the global commit lock; an armed failure aborts the commit before any
+    /// version is stamped.
+    pub fn set_faults(&self, faults: Option<Arc<FaultInjector>>) {
+        *self.faults.lock() = faults;
     }
 
     /// Current committed timestamp.
@@ -257,11 +270,21 @@ impl TxnManager {
     /// Begin a new transaction with a snapshot at the current timestamp.
     pub fn begin(self: &Arc<Self>) -> Transaction {
         let id = self.next_txn_id.fetch_add(1, Ordering::AcqRel);
-        let read_ts = self.clock.load(Ordering::Acquire);
-        {
+        // The clock must be read while holding the active-set lock. Read
+        // first and register after, and GC can slip into the gap: a commit
+        // advances the clock, `watermark()` sees no active snapshots and
+        // returns the new clock, and the pruner reclaims the exact version
+        // this snapshot (still unregistered, pinned below the new clock)
+        // needs — rows vanish from its scans. With the lock held across
+        // both steps, any watermark computed before our registration used
+        // a clock value ≤ our read_ts, so nothing visible to us is
+        // reclaimable.
+        let read_ts = {
             let mut active = self.active.lock();
+            let read_ts = self.clock.load(Ordering::Acquire);
             *active.entry(read_ts).or_insert(0) += 1;
-        }
+            read_ts
+        };
         self.stats.begins.inc();
         self.stats.active.inc();
         if let Some(wal) = &self.wal {
@@ -293,6 +316,17 @@ impl TxnManager {
     }
 
     fn finish_begin_commit(&self, mut txn: Transaction, log: bool) -> DbResult<Ts> {
+        let faults = self.faults.lock().clone();
+        // Chaos point (failure half): must trip *before* the durability
+        // point below — once a Commit record is on disk the transaction
+        // replays as committed, so failing after it would fabricate a
+        // phantom commit. Returning Err drops `txn`, whose Drop unwinds
+        // the (entirely unstamped) write set.
+        if let Some(inj) = &faults {
+            if let Some(msg) = inj.trip(fault::points::TXN_COMMIT) {
+                return Err(DbError::Execution(msg));
+            }
+        }
         // Durability point: the commit record must be accepted by the WAL
         // (and, under sync_commit, be flushed to disk) *before* any version
         // is stamped visible. If logging fails, `txn` is dropped here and
@@ -309,9 +343,23 @@ impl TxnManager {
                     // degrades to read-only, not to unavailable).
                     let _ = wal.append(&commit);
                 } else {
-                    wal.append(&commit)?;
+                    let seq = wal.append_seq(&commit)?;
                     if wal.config().sync_commit {
-                        wal.flush_now()?;
+                        if let Err(e) = wal.flush_now() {
+                            // The flush call failing does not by itself
+                            // mean the commit record is not on disk: a
+                            // group-commit rider may have durably flushed
+                            // it before a later batch poisoned the log.
+                            // Reporting an abort then would fabricate a
+                            // phantom — recovery replays the durable
+                            // Commit while the client was told it failed.
+                            // The durable watermark disambiguates: at or
+                            // below it, the commit IS durable and must be
+                            // acknowledged as such.
+                            if wal.durable_seq() < seq {
+                                return Err(e);
+                            }
+                        }
                     }
                 }
             }
@@ -324,6 +372,12 @@ impl TxnManager {
         // `commit_ts` and consistently sees none of it.
         let commit_ts = {
             let _publish = self.commit_lock.lock();
+            // Chaos point (stall half): a delay armed at `txn.commit` is
+            // applied here, holding the global commit lock so every other
+            // committer piles up behind this one.
+            if let Some(inj) = &faults {
+                inj.stall(fault::points::TXN_COMMIT);
+            }
             let commit_ts = Ts(self.clock.load(Ordering::Acquire) + 1);
             for op in &txn.writes {
                 match op {

@@ -1,0 +1,52 @@
+//! Dump a WAL file's records in log order, one line each.
+//!
+//! ```sh
+//! cargo run -p mb2-wal --example waldump -- /path/to/wal.log
+//! ```
+
+use mb2_wal::{read_log_with, LogRecord};
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: waldump <log-file>");
+    let scan = read_log_with(path.as_ref(), true).expect("read log");
+    for (i, rec) in scan.records.iter().enumerate() {
+        match rec {
+            LogRecord::Begin { txn_id } => println!("{i:6} Begin txn={txn_id}"),
+            LogRecord::Commit { txn_id } => println!("{i:6} Commit txn={txn_id}"),
+            LogRecord::Abort { txn_id } => println!("{i:6} Abort txn={txn_id}"),
+            LogRecord::Insert {
+                txn_id,
+                table_id,
+                slot,
+                tuple,
+            } => println!("{i:6} Insert txn={txn_id} table={table_id} slot={slot} tuple={tuple:?}"),
+            LogRecord::Update {
+                txn_id,
+                table_id,
+                slot,
+                tuple,
+            } => println!("{i:6} Update txn={txn_id} table={table_id} slot={slot} tuple={tuple:?}"),
+            LogRecord::Delete {
+                txn_id,
+                table_id,
+                slot,
+            } => println!("{i:6} Delete txn={txn_id} table={table_id} slot={slot}"),
+            LogRecord::CreateTable { table_id, name, .. } => {
+                println!("{i:6} CreateTable table={table_id} name={name}")
+            }
+            LogRecord::CreateIndex { table_id, name, .. } => {
+                println!("{i:6} CreateIndex table={table_id} name={name}")
+            }
+            LogRecord::DropTable { table_id } => println!("{i:6} DropTable table={table_id}"),
+            LogRecord::DropIndex { table_id, name } => {
+                println!("{i:6} DropIndex table={table_id} name={name}")
+            }
+        }
+    }
+    if scan.torn_tail_bytes > 0 {
+        println!("# torn tail: {} bytes", scan.torn_tail_bytes);
+    }
+    if let Some(c) = scan.corruption {
+        println!("# corruption at offset {}: {}", c.offset, c.reason);
+    }
+}

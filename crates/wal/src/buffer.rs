@@ -12,6 +12,10 @@ pub struct LogBuffer {
     pub data: BytesMut,
     /// Number of records encoded into this buffer.
     pub record_count: usize,
+    /// Append sequence number of the last record in this buffer (0 while
+    /// empty). Successful flushes advance the manager's durable watermark
+    /// to the batch's highest `last_seq`.
+    pub last_seq: u64,
 }
 
 impl LogBuffer {
@@ -19,6 +23,7 @@ impl LogBuffer {
         LogBuffer {
             data: BytesMut::with_capacity(LOG_BUFFER_CAPACITY),
             record_count: 0,
+            last_seq: 0,
         }
     }
 

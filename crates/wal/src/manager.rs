@@ -17,7 +17,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -226,6 +226,7 @@ struct Flusher {
     file: Option<File>,
     rx: Receiver<LogBuffer>,
     stats: Arc<WalStats>,
+    durable_seq: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     /// Shutdown wakeup: flipped under the lock and notified by
     /// `LogManager::shutdown` so an inter-flush wait ends immediately
@@ -281,13 +282,27 @@ impl Flusher {
         // WalStats (flush_errors / last_error) and latches the poisoned
         // flag, which the engine surfaces as `DbError::WalUnavailable` on
         // the next append.
-        let _ = flush_with_retry(
+        if flush_with_retry(
             &mut self.file,
             buffers,
             &self.stats,
             &self.opts,
             &self.poisoned,
-        );
+        )
+        .is_ok()
+        {
+            advance_durable_seq(&self.durable_seq, buffers);
+        }
+    }
+}
+
+/// Raise the durable watermark to the highest append seq in a successfully
+/// flushed batch. Callers serialize flushes (the foreground path under the
+/// file lock, the background path on its single thread); `fetch_max` keeps
+/// the watermark monotonic regardless.
+fn advance_durable_seq(durable_seq: &AtomicU64, buffers: &[LogBuffer]) {
+    if let Some(max) = buffers.iter().map(|b| b.last_seq).max() {
+        durable_seq.fetch_max(max, Ordering::AcqRel);
     }
 }
 
@@ -430,6 +445,14 @@ pub struct LogManager {
     stop: Arc<AtomicBool>,
     wakeup: Arc<(StdMutex<bool>, Condvar)>,
     poisoned: Arc<AtomicBool>,
+    /// Monotonic append sequence: every record gets the next value under
+    /// the `current` buffer lock.
+    next_seq: AtomicU64,
+    /// Highest append seq known durable (flushed in a successful batch).
+    /// Lets a committer whose flush call failed distinguish "my commit
+    /// record was already flushed by a group-commit rider" from "it was
+    /// rolled back with the failed batch".
+    durable_seq: Arc<AtomicU64>,
     opts: DurabilityOpts,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
@@ -457,6 +480,7 @@ impl LogManager {
         let stop = Arc::new(AtomicBool::new(false));
         let wakeup = Arc::new((StdMutex::new(false), Condvar::new()));
         let poisoned = Arc::new(AtomicBool::new(false));
+        let durable_seq = Arc::new(AtomicU64::new(0));
         let opts = DurabilityOpts::from_config(&config);
         let mut flusher_handle = None;
         let mut sync_file = None;
@@ -466,6 +490,7 @@ impl LogManager {
                 file,
                 rx,
                 stats: stats.clone(),
+                durable_seq: durable_seq.clone(),
                 stop: stop.clone(),
                 wakeup: wakeup.clone(),
                 poisoned: poisoned.clone(),
@@ -486,6 +511,8 @@ impl LogManager {
             stop,
             wakeup,
             poisoned,
+            next_seq: AtomicU64::new(0),
+            durable_seq,
             opts,
             flusher: Mutex::new(flusher_handle),
         })
@@ -522,6 +549,19 @@ impl LogManager {
     /// flush queue. Returns the encoded size in bytes, or
     /// [`DbError::WalUnavailable`] once the log is poisoned.
     pub fn append(&self, record: &LogRecord) -> DbResult<usize> {
+        self.append_inner(record).map(|(_, len)| len)
+    }
+
+    /// [`append`](Self::append), but returning the record's append sequence
+    /// number. Compare against [`durable_seq`](Self::durable_seq) to learn
+    /// whether the record has reached disk — the commit path uses this to
+    /// tell a commit record flushed by a group-commit rider apart from one
+    /// lost with a failed batch.
+    pub fn append_seq(&self, record: &LogRecord) -> DbResult<u64> {
+        self.append_inner(record).map(|(seq, _)| seq)
+    }
+
+    fn append_inner(&self, record: &LogRecord) -> DbResult<(u64, usize)> {
         self.check_writable()?;
         let mut current = self.current.lock();
         let start = current.data.len();
@@ -537,14 +577,32 @@ impl LogManager {
             )));
         }
         current.record_count += 1;
+        // Seq assignment is ordered by the `current` lock, so buffer order,
+        // file order, and seq order all agree.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        current.last_seq = seq;
         self.stats.bytes_serialized.add(len as u64);
         self.stats.records_serialized.inc();
         if current.is_full() {
             let full = std::mem::take(&mut *current);
-            drop(current);
+            // Enqueue while still holding the buffer lock: releasing it
+            // first would let another thread fill and enqueue a *later*
+            // buffer ahead of this one, reordering records on disk —
+            // recovery would then see ops after their Commit record and
+            // silently drop them.
             self.enqueue(full);
         }
-        Ok(len)
+        Ok((seq, len))
+    }
+
+    /// The highest append sequence number known durable. Records at or
+    /// below this watermark were written (and, with fsync enabled, synced)
+    /// in a successful flush batch; the watermark never advances past a
+    /// failed batch, whose writes are rolled back. (A simulated torn-write
+    /// crash leaves a durable prefix without advancing the watermark — by
+    /// design, since it models a crash where nothing was acknowledged.)
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq.load(Ordering::Acquire)
     }
 
     fn enqueue(&self, buffer: LogBuffer) {
@@ -558,26 +616,43 @@ impl LogManager {
     }
 
     /// Move the current (partial) buffer to the flush queue.
+    ///
+    /// Enqueued under the buffer lock, like `append`'s full-buffer path: a
+    /// sealer preempted between taking the buffer and enqueuing it would
+    /// otherwise let later appends enqueue (and flush) ahead of it —
+    /// reordering records on disk and advancing the durable watermark past
+    /// records that are not actually durable yet.
     pub fn seal_current(&self) {
         let mut current = self.current.lock();
         if !current.is_empty() {
             let buf = std::mem::take(&mut *current);
-            drop(current);
             self.enqueue(buf);
         }
     }
 
     /// Synchronously flush everything queued (and the current buffer).
     /// Returns (buffers, bytes) flushed. Only valid in foreground mode.
+    ///
+    /// The file lock is taken *before* draining the queue: with concurrent
+    /// committers (sync_commit), draining first would let two flushes write
+    /// their batches in swapped order, reordering records on disk. Holding
+    /// the lock across drain+write also gives group commit — a committer
+    /// blocked here may find its records already durable and flush nothing.
     pub fn flush_now(&self) -> DbResult<(usize, usize)> {
+        self.check_writable()?;
+        let mut file = self.sync_file.lock();
+        // Re-check after acquiring the lock: a concurrent flush may have
+        // failed while we waited, poisoning the log and rolling back a
+        // batch that contained the records this caller is waiting on. The
+        // empty-drain success below would otherwise report them durable.
         self.check_writable()?;
         self.seal_current();
         let drained: Vec<LogBuffer> = std::mem::take(&mut *self.sync_queue.lock());
         if drained.is_empty() {
             return Ok((0, 0));
         }
-        let mut file = self.sync_file.lock();
         let bytes = flush_with_retry(&mut file, &drained, &self.stats, &self.opts, &self.poisoned)?;
+        advance_durable_seq(&self.durable_seq, &drained);
         Ok((drained.len(), bytes))
     }
 
@@ -809,6 +884,41 @@ mod tests {
         assert!(matches!(mgr.flush_now(), Err(DbError::WalUnavailable(_))));
         // Nothing unsound reached the file.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn durable_watermark_tracks_successful_flushes_only() {
+        // Regression for the group-commit phantom found by the chaos
+        // harness: a committer whose own flush call fails must be able to
+        // tell whether its commit record was already flushed durably by a
+        // concurrent committer (then the commit stands) or rolled back
+        // with the failed batch (then the abort is sound).
+        let path = temp_path("watermark");
+        let faults = Arc::new(FaultInjector::new(11));
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            fsync: true,
+            max_flush_retries: 0,
+            faults: Some(faults.clone()),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        let seq1 = mgr.append_seq(&insert_record(1)).unwrap();
+        assert_eq!(mgr.durable_seq(), 0, "nothing flushed yet");
+        mgr.flush_now().unwrap();
+        assert_eq!(mgr.durable_seq(), seq1);
+
+        faults.arm(points::WAL_FSYNC, FaultMode::Always);
+        let seq2 = mgr.append_seq(&insert_record(2)).unwrap();
+        assert!(mgr.flush_now().is_err());
+        assert!(mgr.is_poisoned());
+        // The failed batch was rolled back; the watermark still covers
+        // exactly the first record.
+        assert_eq!(mgr.durable_seq(), seq1);
+        assert!(mgr.durable_seq() < seq2);
+        let records = crate::reader::read_log(&path).unwrap();
+        assert_eq!(records, vec![insert_record(1)]);
         let _ = std::fs::remove_file(&path);
     }
 

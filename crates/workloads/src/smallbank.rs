@@ -33,11 +33,70 @@ impl SmallBank {
         }
     }
 
-    fn pick_account(&self, rng: &mut Prng) -> usize {
+    /// Pick an account inside `[lo, hi)`, with the hotspot at the start of
+    /// the range.
+    fn pick_account_in(&self, rng: &mut Prng, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi && hi <= self.accounts);
+        let span = hi - lo;
         if rng.chance(self.hotspot_fraction) {
-            rng.range_usize(0, self.hotspot_size.min(self.accounts))
+            lo + rng.range_usize(0, self.hotspot_size.min(span))
         } else {
-            rng.range_usize(0, self.accounts)
+            lo + rng.range_usize(0, span)
+        }
+    }
+
+    /// Sample a transaction whose account accesses all fall inside
+    /// `[lo, hi)`. Concurrent histories from workers with disjoint ranges
+    /// commute: every account is only ever touched by one worker, so
+    /// replaying each worker's committed transactions in its own order —
+    /// in any cross-worker order — reproduces the concurrent final state.
+    /// The chaos harness's replay oracle is built on this.
+    pub fn sample_transaction_in(
+        &self,
+        template: &str,
+        rng: &mut Prng,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<String> {
+        let a = self.pick_account_in(rng, lo, hi);
+        let b = self.pick_account_in(rng, lo, hi);
+        let amount = 1 + rng.range_usize(0, 50);
+        self.template_statements(template, a, b, amount)
+    }
+
+    fn template_statements(
+        &self,
+        template: &str,
+        a: usize,
+        b: usize,
+        amount: usize,
+    ) -> Vec<String> {
+        match template {
+            "balance" => vec![
+                format!("SELECT bal FROM sb_savings WHERE custid = {a}"),
+                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
+            ],
+            "deposit_checking" => vec![format!(
+                "UPDATE sb_checking SET bal = bal + {amount}.0 WHERE custid = {a}"
+            )],
+            "transact_savings" => vec![format!(
+                "UPDATE sb_savings SET bal = bal - {amount}.0 WHERE custid = {a}"
+            )],
+            // Simplified balance-neutral amalgamate: reads both balances,
+            // then moves a fixed amount from a's savings to b's checking
+            // (the read-dependent full-drain variant needs scalar
+            // subqueries, which the SQL subset omits).
+            "amalgamate" => vec![
+                format!("SELECT bal FROM sb_savings WHERE custid = {a}"),
+                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
+                format!("UPDATE sb_savings SET bal = bal - {amount}.0 WHERE custid = {a}"),
+                format!("UPDATE sb_checking SET bal = bal + {amount}.0 WHERE custid = {b}"),
+            ],
+            "write_check" => vec![
+                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
+                format!("UPDATE sb_checking SET bal = bal - {amount}.0 WHERE custid = {a}"),
+            ],
+            other => panic!("unknown smallbank template '{other}'"),
         }
     }
 }
@@ -78,36 +137,7 @@ impl Workload for SmallBank {
     }
 
     fn sample_transaction(&self, template: &str, rng: &mut Prng) -> Vec<String> {
-        let a = self.pick_account(rng);
-        let b = self.pick_account(rng);
-        let amount = 1 + rng.range_usize(0, 50);
-        match template {
-            "balance" => vec![
-                format!("SELECT bal FROM sb_savings WHERE custid = {a}"),
-                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
-            ],
-            "deposit_checking" => vec![format!(
-                "UPDATE sb_checking SET bal = bal + {amount}.0 WHERE custid = {a}"
-            )],
-            "transact_savings" => vec![format!(
-                "UPDATE sb_savings SET bal = bal - {amount}.0 WHERE custid = {a}"
-            )],
-            // Simplified balance-neutral amalgamate: reads both balances,
-            // then moves a fixed amount from a's savings to b's checking
-            // (the read-dependent full-drain variant needs scalar
-            // subqueries, which the SQL subset omits).
-            "amalgamate" => vec![
-                format!("SELECT bal FROM sb_savings WHERE custid = {a}"),
-                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
-                format!("UPDATE sb_savings SET bal = bal - {amount}.0 WHERE custid = {a}"),
-                format!("UPDATE sb_checking SET bal = bal + {amount}.0 WHERE custid = {b}"),
-            ],
-            "write_check" => vec![
-                format!("SELECT bal FROM sb_checking WHERE custid = {a}"),
-                format!("UPDATE sb_checking SET bal = bal - {amount}.0 WHERE custid = {a}"),
-            ],
-            other => panic!("unknown smallbank template '{other}'"),
-        }
+        self.sample_transaction_in(template, rng, 0, self.accounts)
     }
 }
 
@@ -157,7 +187,9 @@ mod tests {
             hotspot_size: 10,
         };
         let mut rng = Prng::new(3);
-        let hot = (0..2000).filter(|_| sb.pick_account(&mut rng) < 10).count();
+        let hot = (0..2000)
+            .filter(|_| sb.pick_account_in(&mut rng, 0, sb.accounts) < 10)
+            .count();
         assert!(hot > 800, "hotspot fraction not applied: {hot}");
     }
 }
