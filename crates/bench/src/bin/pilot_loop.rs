@@ -1,0 +1,6 @@
+//! Autopilot control loop; see `mb2_bench::experiments::pilot_loop`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::pilot_loop::run(scale);
+    mb2_bench::report::emit("pilot_loop", &report);
+}

@@ -14,6 +14,7 @@ fn main() {
         ("exec_parallel", experiments::exec_parallel::run),
         ("server_throughput", experiments::server_throughput::run),
         ("chaos_recovery", experiments::chaos_recovery::run),
+        ("pilot_loop", experiments::pilot_loop::run),
         ("fig01_index_build", experiments::fig01_index_build::run),
         ("fig05_ou_accuracy", experiments::fig05_ou_accuracy::run),
         (

@@ -15,6 +15,7 @@ pub mod fig09b_noisy_card;
 pub mod fig10_hardware;
 pub mod fig11_end_to_end;
 pub mod obs_overhead;
+pub mod pilot_loop;
 pub mod server_throughput;
 pub mod table02_overhead;
 

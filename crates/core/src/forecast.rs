@@ -3,8 +3,24 @@
 //! MB2 consumes forecasted arrival rates per query template per fixed
 //! interval from an external forecasting system \[37\]. The paper's
 //! evaluation assumes a perfect forecast to isolate modeling error (§8.7);
-//! this type carries exactly that information.
+//! [`WorkloadForecast`] carries exactly that information.
+//!
+//! For the live autopilot there is no external forecaster, so
+//! [`SlidingWindowForecaster`] produces the same summaries from observed
+//! traffic: it taps every DML/SELECT statement the engine executes
+//! (via [`mb2_engine::StatementTap`]), folds statements into templates by
+//! replacing literals with `?`, and keeps per-template arrival counts in
+//! a sliding ring of time buckets. [`SlidingWindowForecaster::snapshot`]
+//! turns the window into a one-interval [`WorkloadForecast`] whose rates
+//! are the observed arrival rates — the "perfect forecast of the recent
+//! past" the control loop prices actions against.
 
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mb2_engine::{Database, StatementTap};
 use mb2_sql::PlanNode;
 
 /// A recurring query template with its cached plan (paper §3 assumes
@@ -61,6 +77,228 @@ impl WorkloadForecast {
     }
 }
 
+/// Fold a concrete SQL statement into its template form by replacing
+/// every literal with `?`: quoted strings become `?`, and standalone
+/// numeric literals become `?` (digits inside identifiers like `data1`
+/// or `tatp_subscriber` are kept). Whitespace runs collapse to one
+/// space. Statements that differ only in literals therefore share a
+/// template key.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut prev_ident = false; // last emitted char was part of an identifier
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // String literal: consume to the closing quote ('' escapes).
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                out.push('?');
+                prev_ident = false;
+            }
+            '0'..='9' if !prev_ident => {
+                // Numeric literal (possibly with a fraction part).
+                while matches!(chars.peek(), Some('0'..='9') | Some('.')) {
+                    chars.next();
+                }
+                out.push('?');
+                prev_ident = false;
+            }
+            c if c.is_whitespace() => {
+                if !out.ends_with(' ') && !out.is_empty() {
+                    out.push(' ');
+                }
+                prev_ident = false;
+            }
+            c => {
+                out.push(c.to_ascii_lowercase());
+                prev_ident = c.is_ascii_alphanumeric() || c == '_';
+            }
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Per-template arrival counts over the sliding window's ring buckets.
+struct TemplateWindow {
+    /// The template key ([`normalize_sql`] output), used as the forecast
+    /// template name.
+    key: String,
+    /// Most recent concrete statement — planned at snapshot time so the
+    /// forecast carries a representative cached plan.
+    last_sql: String,
+    /// Ring of per-bucket arrival counts; index `b % counts.len()`.
+    counts: Vec<u64>,
+}
+
+struct ForecasterState {
+    /// Absolute index of the bucket currently receiving arrivals.
+    cur_bucket: u64,
+    by_key: HashMap<String, usize>,
+    templates: Vec<TemplateWindow>,
+}
+
+/// Sliding-window workload summarizer feeding the autopilot.
+///
+/// Install on an engine with
+/// [`Database::set_statement_tap`](mb2_engine::Database::set_statement_tap)
+/// (it implements [`StatementTap`]); every observed DML/SELECT statement
+/// is folded into a template and counted in the current time bucket.
+/// [`snapshot`](Self::snapshot) summarizes the window into a
+/// [`WorkloadForecast`].
+pub struct SlidingWindowForecaster {
+    window: Duration,
+    bucket_len: Duration,
+    buckets: usize,
+    epoch: Instant,
+    state: Mutex<ForecasterState>,
+}
+
+impl SlidingWindowForecaster {
+    /// A forecaster whose window is `window` long, divided into `buckets`
+    /// ring buckets (older arrivals age out one bucket at a time).
+    pub fn new(window: Duration, buckets: usize) -> SlidingWindowForecaster {
+        let buckets = buckets.max(1);
+        let window = window.max(Duration::from_millis(buckets as u64));
+        SlidingWindowForecaster {
+            window,
+            bucket_len: window / buckets as u32,
+            buckets,
+            epoch: Instant::now(),
+            state: Mutex::new(ForecasterState {
+                cur_bucket: 0,
+                by_key: HashMap::new(),
+                templates: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    fn bucket_now(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.bucket_len.as_nanos().max(1)) as u64
+    }
+
+    /// Zero out every bucket the clock has skipped past since the last
+    /// observation, so stale counts age out of the window.
+    fn rotate(&self, state: &mut ForecasterState, now_bucket: u64) {
+        if now_bucket <= state.cur_bucket {
+            return;
+        }
+        let n = (now_bucket - state.cur_bucket) as usize;
+        for t in &mut state.templates {
+            let len = t.counts.len();
+            for i in 1..=n.min(len) {
+                let idx = (state.cur_bucket as usize + i) % len;
+                t.counts[idx] = 0;
+            }
+        }
+        state.cur_bucket = now_bucket;
+    }
+
+    /// Number of distinct templates seen (including fully aged-out ones).
+    pub fn template_count(&self) -> usize {
+        self.state.lock().templates.len()
+    }
+
+    /// Total arrivals currently inside the window, across all templates.
+    pub fn arrivals_in_window(&self) -> u64 {
+        let mut state = self.state.lock();
+        let now = self.bucket_now();
+        self.rotate(&mut state, now);
+        state
+            .templates
+            .iter()
+            .map(|t| t.counts.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Summarize the window into a one-interval [`WorkloadForecast`]:
+    /// each template with at least one in-window arrival contributes its
+    /// most recent concrete statement (planned against `db`'s live
+    /// catalog) and its observed arrival rate. Templates whose statement
+    /// no longer plans (e.g. the table was dropped) are skipped. Returns
+    /// `None` when the window is empty.
+    pub fn snapshot(&self, db: &Database, threads: usize) -> Option<WorkloadForecast> {
+        let window_s = self.window.as_secs_f64();
+        let mut entries: Vec<(String, String, f64)> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            let now = self.bucket_now();
+            self.rotate(&mut state, now);
+            for t in &state.templates {
+                let total: u64 = t.counts.iter().sum();
+                if total > 0 {
+                    entries.push((t.key.clone(), t.last_sql.clone(), total as f64 / window_s));
+                }
+            }
+        }
+        let mut templates = Vec::new();
+        let mut rates = Vec::new();
+        for (key, sql, rate) in entries {
+            if let Ok(plan) = db.prepare(&sql) {
+                templates.push(QueryTemplate {
+                    name: key,
+                    sql,
+                    plan,
+                });
+                rates.push(rate);
+            }
+        }
+        if templates.is_empty() {
+            return None;
+        }
+        let mut forecast = WorkloadForecast::new(templates, threads);
+        forecast.push_interval(window_s, rates);
+        Some(forecast)
+    }
+}
+
+impl StatementTap for SlidingWindowForecaster {
+    fn observe(&self, sql: &str) {
+        let key = normalize_sql(sql);
+        let mut state = self.state.lock();
+        let now = self.bucket_now();
+        self.rotate(&mut state, now);
+        let buckets = self.buckets;
+        let idx = match state.by_key.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = state.templates.len();
+                state.by_key.insert(key.clone(), i);
+                state.templates.push(TemplateWindow {
+                    key,
+                    last_sql: String::new(),
+                    counts: vec![0; buckets],
+                });
+                i
+            }
+        };
+        let cur = state.cur_bucket;
+        let t = &mut state.templates[idx];
+        let slot = cur as usize % t.counts.len();
+        t.counts[slot] += 1;
+        if t.last_sql != sql {
+            t.last_sql.clear();
+            t.last_sql.push_str(sql);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +336,99 @@ mod tests {
     fn rate_arity_checked() {
         let mut f = WorkloadForecast::new(vec![dummy_template("a")], 1);
         f.push_interval(10.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_folds_literals_keeps_identifiers() {
+        assert_eq!(
+            normalize_sql("SELECT * FROM tatp_subscriber WHERE s_id = 42"),
+            "select * from tatp_subscriber where s_id = ?"
+        );
+        assert_eq!(
+            normalize_sql("SELECT data1 FROM t WHERE v = 'ab''c'  AND x = 1.5"),
+            "select data1 from t where v = ? and x = ?"
+        );
+        // Same template for different literals.
+        assert_eq!(
+            normalize_sql("INSERT INTO t VALUES (1, 'x')"),
+            normalize_sql("INSERT INTO t VALUES (99, 'zzz')")
+        );
+        // Different shapes stay distinct.
+        assert_ne!(
+            normalize_sql("SELECT * FROM a WHERE x = 1"),
+            normalize_sql("SELECT * FROM b WHERE x = 1")
+        );
+    }
+
+    #[test]
+    fn forecaster_counts_and_snapshots() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        let fc = SlidingWindowForecaster::new(Duration::from_secs(60), 6);
+        for i in 0..30 {
+            fc.observe(&format!("SELECT * FROM t WHERE a = {i}"));
+        }
+        for _ in 0..10 {
+            fc.observe("SELECT * FROM t WHERE b = 5");
+        }
+        assert_eq!(fc.template_count(), 2);
+        assert_eq!(fc.arrivals_in_window(), 40);
+        let forecast = fc.snapshot(&db, 2).expect("non-empty window");
+        assert_eq!(forecast.templates.len(), 2);
+        assert_eq!(forecast.intervals.len(), 1);
+        let total: f64 = forecast.intervals[0].total_queries();
+        assert!((total - 40.0).abs() < 1e-6, "{total}");
+        // The heavier template carries the higher rate.
+        let i_a = forecast
+            .templates
+            .iter()
+            .position(|t| t.name.contains("a = ?"))
+            .unwrap();
+        assert!(forecast.intervals[0].rates[i_a] > forecast.intervals[0].rates[1 - i_a]);
+    }
+
+    #[test]
+    fn forecaster_skips_unplannable_templates() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let fc = SlidingWindowForecaster::new(Duration::from_secs(60), 4);
+        fc.observe("SELECT * FROM t WHERE a = 1");
+        fc.observe("SELECT * FROM gone WHERE a = 1");
+        let forecast = fc.snapshot(&db, 1).expect("t still plans");
+        assert_eq!(forecast.templates.len(), 1);
+        assert!(forecast.templates[0].name.contains("from t"));
+    }
+
+    #[test]
+    fn forecaster_installs_as_statement_tap() {
+        use std::sync::Arc;
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let fc = Arc::new(SlidingWindowForecaster::new(Duration::from_secs(60), 4));
+        db.set_statement_tap(Some(fc.clone()));
+        db.execute("SELECT * FROM t WHERE a = 1").unwrap();
+        db.execute("SELECT * FROM t WHERE a = 2").unwrap();
+        db.execute("INSERT INTO t VALUES (7)").unwrap();
+        // DDL is not observed.
+        db.execute("ANALYZE t").unwrap();
+        assert_eq!(fc.template_count(), 2);
+        assert_eq!(fc.arrivals_in_window(), 3);
+        db.set_statement_tap(None);
+        db.execute("SELECT * FROM t WHERE a = 3").unwrap();
+        assert_eq!(fc.arrivals_in_window(), 3);
+    }
+
+    #[test]
+    fn old_arrivals_age_out() {
+        let db = Database::open();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let fc = SlidingWindowForecaster::new(Duration::from_millis(40), 4);
+        fc.observe("SELECT * FROM t WHERE a = 1");
+        assert_eq!(fc.arrivals_in_window(), 1);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(fc.arrivals_in_window(), 0);
+        assert!(fc.snapshot(&db, 1).is_none());
     }
 }

@@ -20,9 +20,14 @@
 //!   summary statistics of concurrent OUs (paper §5).
 //! * [`forecast`] / [`inference`] — workload forecasts in, predicted
 //!   runtime/resource behavior out (paper §3, Fig. 3).
-//! * [`planner`] — the "oracle" self-driving planner used by the paper's
-//!   end-to-end demonstration (§8.7): it picks actions by comparing MB2's
-//!   predictions of their cost, benefit, and impact.
+//! * [`planner`] — the "oracle" self-driving planner of the paper's
+//!   end-to-end demonstration (§8.7): it prices candidate actions by
+//!   comparing MB2's predictions of their cost, benefit, and impact.
+//!   It runs both offline (what-if studies over a canned forecast) and
+//!   online — the `mb2-pilot` autopilot calls it from a background
+//!   control loop against the live [`mb2_engine::Database`], using
+//!   planner overrides for catalog-safe what-if planning and the
+//!   [`forecast::SlidingWindowForecaster`] for live workload forecasts.
 
 pub mod collect;
 pub mod features;
@@ -37,7 +42,9 @@ pub mod translate;
 
 pub use collect::{OuSample, TrainingCollector, TrainingRepo};
 pub use features::{feature_names, feature_width, OuInstance};
-pub use forecast::{ForecastInterval, QueryTemplate, WorkloadForecast};
+pub use forecast::{
+    normalize_sql, ForecastInterval, QueryTemplate, SlidingWindowForecaster, WorkloadForecast,
+};
 pub use inference::{BehaviorModels, PlanPrediction};
 pub use interference::{InterferenceInputs, InterferenceModel};
 pub use translate::{OuTranslator, TranslatorConfig};

@@ -1,21 +1,37 @@
-//! The "oracle" self-driving planner used by the paper's end-to-end
-//! demonstration (§8.7): it evaluates candidate actions by comparing MB2's
-//! predictions of their cost (how long the action takes), impact (how much
-//! it slows the workload while running), and benefit (how much faster the
-//! workload becomes afterwards).
+//! The "oracle" self-driving planner (paper §8.7): it evaluates candidate
+//! actions by comparing MB2's predictions of their cost (how long the
+//! action takes), impact (how much it slows the workload while running),
+//! and benefit (how much faster the workload becomes afterwards).
+//!
+//! Originally this ran only offline in the end-to-end experiments; since
+//! the autopilot landed it is also the pricing engine of the *live*
+//! control loop — `mb2-pilot` calls [`OraclePlanner::evaluate`] against
+//! forecasts summarized from real traffic and applies the best
+//! positive-gain action to the running engine. What-if planning uses
+//! [`mb2_sql::PlannerOverrides`] (hypothetical/hidden indexes carried in
+//! the planner, not the catalog), so evaluation never mutates shared
+//! state and is safe under concurrent queries.
 
-use std::sync::Arc;
+use std::time::Duration;
 
 use mb2_common::{DbResult, OuKind};
-use mb2_engine::index::Index;
-use mb2_engine::storage::SlotId;
 use mb2_engine::{Database, Knobs};
 use mb2_exec::ExecutionMode;
+use mb2_sql::{HypotheticalIndex, PlannerOverrides};
 
 use crate::forecast::WorkloadForecast;
 use crate::inference::{ActionForecast, BehaviorModels};
 
 /// A candidate self-driving action.
+///
+/// Note on pricing honesty: the OU translator currently encodes only the
+/// execution-mode knob as a model feature, so [`Action::SetBatchSize`],
+/// [`Action::SetParallelism`], [`Action::SetWalFlushInterval`], and
+/// [`Action::SetGcInterval`] evaluate to zero predicted gain — the models
+/// cannot discriminate them yet. They are still enumerated (and counted
+/// as considered) so the catalog of actions matches the engine's knobs,
+/// and they start pricing automatically if the translator grows the
+/// corresponding features.
 #[derive(Debug, Clone)]
 pub enum Action {
     /// Change the execution-mode behavior knob.
@@ -28,6 +44,45 @@ pub enum Action {
         columns: Vec<String>,
         threads: usize,
     },
+    /// Drop an existing secondary index.
+    DropIndex { table: String, index: String },
+    /// Change the executor's batch-size knob.
+    SetBatchSize(usize),
+    /// Change the morsel-parallelism knob (exec-pool worker count).
+    SetParallelism(usize),
+    /// Change the WAL background flush interval.
+    SetWalFlushInterval(Duration),
+    /// Change the background GC cadence.
+    SetGcInterval(Duration),
+}
+
+impl Action {
+    /// Stable short label for metrics and logs (`mb2_pilot_*` families
+    /// use this as the `action` label value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::SetExecutionMode(_) => "set_execution_mode",
+            Action::BuildIndex { .. } => "build_index",
+            Action::DropIndex { .. } => "drop_index",
+            Action::SetBatchSize(_) => "set_batch_size",
+            Action::SetParallelism(_) => "set_parallelism",
+            Action::SetWalFlushInterval(_) => "set_wal_flush_interval",
+            Action::SetGcInterval(_) => "set_gc_interval",
+        }
+    }
+
+    /// Human-readable one-line description.
+    pub fn describe(&self) -> String {
+        match self {
+            Action::SetExecutionMode(mode) => format!("set execution mode to {mode:?}"),
+            Action::BuildIndex { sql, .. } => sql.clone(),
+            Action::DropIndex { table, index } => format!("DROP INDEX {index} ON {table}"),
+            Action::SetBatchSize(n) => format!("set batch size to {n}"),
+            Action::SetParallelism(n) => format!("set parallelism to {n}"),
+            Action::SetWalFlushInterval(d) => format!("set WAL flush interval to {d:?}"),
+            Action::SetGcInterval(d) => format!("set GC interval to {d:?}"),
+        }
+    }
 }
 
 /// Predicted consequences of an action (paper §2.1's four questions).
@@ -80,23 +135,11 @@ impl<'a> OraclePlanner<'a> {
         let baseline_us = baseline.avg_query_runtime_us();
         match action {
             Action::SetExecutionMode(mode) => {
-                // Knob flips change per-query cost directly; compare the
-                // isolated predictions so interference-model noise does not
-                // swamp the knob's (often modest) effect.
                 let new_knobs = Knobs {
                     execution_mode: *mode,
                     ..*knobs
                 };
-                let after = self
-                    .models
-                    .predict_interval(forecast, interval, &new_knobs, None);
-                Ok(ActionEvaluation {
-                    baseline_us: baseline.avg_isolated_runtime_us(),
-                    during_us: baseline_us, // knob flips deploy instantly
-                    after_us: after.avg_isolated_runtime_us(),
-                    action_duration_us: 0.0,
-                    action_cpu_us: 0.0,
-                })
+                Ok(self.knob_flip(forecast, interval, knobs, &new_knobs))
             }
             Action::BuildIndex {
                 sql,
@@ -118,24 +161,25 @@ impl<'a> OraclePlanner<'a> {
                 let action_pred = self.models.predict_plan(&plan, knobs);
                 let action_cpu_us = action_pred.total_for(OuKind::IndexBuild).cpu_us();
 
-                // Benefit: re-plan the forecast's queries with a hypothetical
-                // (metadata-only) index and predict the new plans.
-                let after_us = self.with_hypothetical_index(table, index, columns, || {
-                    let replanned: DbResult<Vec<_>> = forecast
-                        .templates
-                        .iter()
-                        .map(|t| self.db.prepare(&t.sql))
-                        .collect();
-                    let replanned = replanned?;
-                    let mut fc = forecast.clone();
-                    for (t, plan) in fc.templates.iter_mut().zip(replanned) {
-                        t.plan = plan;
-                    }
-                    Ok(self
-                        .models
-                        .predict_interval(&fc, interval, knobs, None)
-                        .avg_query_runtime_us())
-                })?;
+                // Benefit: re-plan the forecast's queries against a
+                // hypothetical index (a planner override — the catalog is
+                // never touched, so live traffic cannot see it) and
+                // predict the new plans.
+                let entry = self.db.catalog().get(table)?;
+                let schema = entry.table.schema();
+                let positions: Vec<usize> = columns
+                    .iter()
+                    .map(|c| schema.index_of(c))
+                    .collect::<DbResult<_>>()?;
+                let overrides = PlannerOverrides {
+                    hypothetical_indexes: vec![HypotheticalIndex {
+                        table: table.clone(),
+                        name: index.clone(),
+                        columns: positions,
+                    }],
+                    hidden_indexes: Vec::new(),
+                };
+                let after_us = self.replan_and_predict(forecast, interval, knobs, &overrides)?;
                 Ok(ActionEvaluation {
                     baseline_us,
                     during_us: during.avg_query_runtime_us(),
@@ -144,30 +188,97 @@ impl<'a> OraclePlanner<'a> {
                     action_cpu_us,
                 })
             }
+            Action::DropIndex { index, .. } => {
+                // Benefit/regression: re-plan with the index hidden. The
+                // drop itself is metadata-only, so cost and impact are
+                // negligible; the interesting output is `after_us` (how
+                // much the workload *loses* without the index — ~zero
+                // when no forecast plan uses it).
+                let overrides = PlannerOverrides {
+                    hypothetical_indexes: Vec::new(),
+                    hidden_indexes: vec![index.clone()],
+                };
+                let after_us = self.replan_and_predict(forecast, interval, knobs, &overrides)?;
+                Ok(ActionEvaluation {
+                    baseline_us,
+                    during_us: baseline_us,
+                    after_us,
+                    action_duration_us: 0.0,
+                    action_cpu_us: 0.0,
+                })
+            }
+            Action::SetBatchSize(n) => {
+                let new_knobs = Knobs {
+                    batch_size: *n,
+                    ..*knobs
+                };
+                Ok(self.knob_flip(forecast, interval, knobs, &new_knobs))
+            }
+            Action::SetParallelism(n) => {
+                let new_knobs = Knobs {
+                    parallelism: *n,
+                    ..*knobs
+                };
+                Ok(self.knob_flip(forecast, interval, knobs, &new_knobs))
+            }
+            Action::SetWalFlushInterval(d) => {
+                let new_knobs = Knobs {
+                    wal_flush_interval: *d,
+                    ..*knobs
+                };
+                Ok(self.knob_flip(forecast, interval, knobs, &new_knobs))
+            }
+            // GC cadence is not part of `Knobs`; the translator has no
+            // feature for it either, so its honest prediction is "no
+            // change".
+            Action::SetGcInterval(_) => Ok(self.knob_flip(forecast, interval, knobs, knobs)),
         }
     }
 
-    /// Register an empty index (metadata only) so the query planner chooses
-    /// index plans, run `f`, then remove it. This is how the planner reasons
-    /// about indexes that do not exist yet.
-    fn with_hypothetical_index<T>(
+    /// Price a pure knob flip: compare isolated per-query predictions
+    /// under the old and new knob settings (interference noise would
+    /// otherwise swamp a knob's often-modest effect). Knob flips deploy
+    /// instantly, so cost and impact are zero.
+    fn knob_flip(
         &self,
-        table: &str,
-        index: &str,
-        columns: &[String],
-        f: impl FnOnce() -> DbResult<T>,
-    ) -> DbResult<T> {
-        let entry = self.db.catalog().get(table)?;
-        let schema = entry.table.schema();
-        let positions: Vec<usize> = columns
-            .iter()
-            .map(|c| schema.index_of(c))
-            .collect::<DbResult<_>>()?;
-        let shadow: Arc<Index<SlotId>> = Arc::new(Index::new(index, positions));
-        entry.add_index(shadow)?;
-        let result = f();
-        let _ = entry.drop_index(index);
-        result
+        forecast: &WorkloadForecast,
+        interval: usize,
+        knobs: &Knobs,
+        new_knobs: &Knobs,
+    ) -> ActionEvaluation {
+        let baseline = self
+            .models
+            .predict_interval(forecast, interval, knobs, None);
+        let after = self
+            .models
+            .predict_interval(forecast, interval, new_knobs, None);
+        ActionEvaluation {
+            baseline_us: baseline.avg_isolated_runtime_us(),
+            during_us: baseline.avg_query_runtime_us(),
+            after_us: after.avg_isolated_runtime_us(),
+            action_duration_us: 0.0,
+            action_cpu_us: 0.0,
+        }
+    }
+
+    /// Re-plan every forecast template under the given what-if overrides
+    /// and return the predicted average query runtime of the re-planned
+    /// workload.
+    fn replan_and_predict(
+        &self,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        knobs: &Knobs,
+        overrides: &PlannerOverrides,
+    ) -> DbResult<f64> {
+        let mut fc = forecast.clone();
+        for t in fc.templates.iter_mut() {
+            t.plan = self.db.prepare_with(&t.sql, overrides)?;
+        }
+        Ok(self
+            .models
+            .predict_interval(&fc, interval, knobs, None)
+            .avg_query_runtime_us())
     }
 }
 
@@ -279,6 +390,111 @@ mod tests {
             .unwrap()
             .index_named("big_grp")
             .is_none());
+    }
+
+    #[test]
+    fn drop_unused_index_predicts_no_loss() {
+        let db = setup();
+        // Train before big_grp exists so `grp = 1` still plans as a
+        // SeqScan and the SeqScan OU-model gets fitted — hiding big_pk
+        // below must price the seq-scan fallback.
+        let models = cost_models(&db);
+        db.execute("CREATE INDEX big_grp ON big (grp)").unwrap();
+        let planner = OraclePlanner::new(&db, &models);
+        // Workload only touches pk, so hiding big_grp changes nothing…
+        let sql = "SELECT * FROM big WHERE pk = 1";
+        let template = QueryTemplate {
+            name: "pk_lookup".into(),
+            sql: sql.into(),
+            plan: db.prepare(sql).unwrap(),
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 2);
+        forecast.push_interval(10.0, vec![10.0]);
+        let drop = Action::DropIndex {
+            table: "big".into(),
+            index: "big_grp".into(),
+        };
+        let eval = planner.evaluate(&drop, &forecast, 0, &db.knobs()).unwrap();
+        assert!(
+            (eval.after_us - eval.baseline_us).abs() / eval.baseline_us < 1e-9,
+            "{eval:?}"
+        );
+        // …while hiding the pk index the workload depends on predicts a
+        // clear regression.
+        let drop_pk = Action::DropIndex {
+            table: "big".into(),
+            index: "big_pk".into(),
+        };
+        let eval = planner
+            .evaluate(&drop_pk, &forecast, 0, &db.knobs())
+            .unwrap();
+        assert!(eval.after_us > eval.baseline_us * 2.0, "{eval:?}");
+        // Evaluation never touched the catalog.
+        assert!(db
+            .catalog()
+            .get("big")
+            .unwrap()
+            .index_named("big_grp")
+            .is_some());
+        assert!(db
+            .catalog()
+            .get("big")
+            .unwrap()
+            .index_named("big_pk")
+            .is_some());
+    }
+
+    #[test]
+    fn unmodeled_knobs_predict_zero_gain() {
+        let db = setup();
+        let models = cost_models(&db);
+        let planner = OraclePlanner::new(&db, &models);
+        let sql = "SELECT * FROM big WHERE grp = 7";
+        let template = QueryTemplate {
+            name: "q".into(),
+            sql: sql.into(),
+            plan: db.prepare(sql).unwrap(),
+        };
+        let mut forecast = WorkloadForecast::new(vec![template], 2);
+        forecast.push_interval(10.0, vec![5.0]);
+        // The translator has no features for these knobs, so the honest
+        // prediction is exactly zero gain (see the Action docs).
+        for action in [
+            Action::SetBatchSize(64),
+            Action::SetParallelism(8),
+            Action::SetWalFlushInterval(Duration::from_millis(1)),
+            Action::SetGcInterval(Duration::from_millis(100)),
+        ] {
+            let eval = planner
+                .evaluate(&action, &forecast, 0, &db.knobs())
+                .unwrap();
+            assert_eq!(
+                eval.predicted_gain(),
+                0.0,
+                "{} should be unpriced today",
+                action.label()
+            );
+            assert_eq!(eval.action_duration_us, 0.0);
+        }
+    }
+
+    #[test]
+    fn action_labels_are_stable() {
+        assert_eq!(Action::SetBatchSize(1).label(), "set_batch_size");
+        assert_eq!(
+            Action::DropIndex {
+                table: "t".into(),
+                index: "i".into()
+            }
+            .label(),
+            "drop_index"
+        );
+        assert!(Action::DropIndex {
+            table: "t".into(),
+            index: "i".into()
+        }
+        .describe()
+        .contains("DROP INDEX i ON t"));
     }
 
     #[test]

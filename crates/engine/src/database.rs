@@ -1,8 +1,9 @@
 //! The `Database` facade.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use mb2_catalog::Catalog;
 use mb2_common::{Column, DbError, DbResult, FaultInjector, Schema};
@@ -12,7 +13,7 @@ use mb2_exec::{
 };
 use mb2_index::IndexObs;
 use mb2_obs::MetricsRegistry;
-use mb2_sql::{parse, PlanNode, Planner, Statement};
+use mb2_sql::{parse, PlanNode, Planner, PlannerOverrides, Statement};
 use mb2_txn::{GarbageCollector, Transaction, TxnManager};
 use mb2_wal::{LogManager, LogManagerConfig, LogRecord, LoggedColumn};
 
@@ -20,6 +21,7 @@ use crate::config::{DatabaseConfig, Knobs};
 use crate::health::{DegradedReason, HealthState, HealthTracker};
 use crate::metrics::{classify, EngineMetrics, StatementKind};
 use crate::session::Session;
+use crate::tasks::{BackgroundTask, StatementTap};
 
 /// An embedded in-memory DBMS instance.
 pub struct Database {
@@ -39,6 +41,12 @@ pub struct Database {
     /// they are created); `None` in production.
     faults: Option<Arc<FaultInjector>>,
     health: HealthTracker,
+    /// Upper-layer background components (the autopilot) quiesced by
+    /// [`Database::shutdown`] before the engine's own subsystems. Weak so
+    /// registration never keeps a task alive.
+    background_tasks: Mutex<Vec<Weak<dyn BackgroundTask>>>,
+    /// Observer of every DML/SELECT statement (workload forecasting).
+    statement_tap: RwLock<Option<Arc<dyn StatementTap>>>,
 }
 
 impl Database {
@@ -85,6 +93,8 @@ impl Database {
             faults: config.faults,
             health: HealthTracker::new(&metrics),
             metrics,
+            background_tasks: Mutex::new(Vec::new()),
+            statement_tap: RwLock::new(None),
         })
     }
 
@@ -169,6 +179,55 @@ impl Database {
     /// least 1; `1` = serial execution, no pool threads). Changing the knob
     /// tears down the old pool (joining its workers) and builds a new one;
     /// in-flight queries keep their `Arc` to the old pool until they finish.
+    /// Change the WAL background flush interval (a behavior knob) at
+    /// runtime. Updates [`Knobs::wal_flush_interval`] and, when a WAL is
+    /// attached, retunes the running flusher thread in place. A no-op on
+    /// WAL-less databases beyond the knob update.
+    pub fn set_wal_flush_interval(&self, interval: Duration) {
+        self.knobs.write().wal_flush_interval = interval;
+        if let Some(wal) = &self.wal {
+            wal.set_flush_interval(interval);
+        }
+    }
+
+    /// Change the background GC cadence (a behavior knob) at runtime.
+    /// Takes effect immediately on a running background GC thread; a
+    /// no-op (beyond storing the value) when background GC was never
+    /// started.
+    pub fn set_gc_interval(&self, interval: Duration) {
+        self.gc.set_interval(interval);
+    }
+
+    /// Register a background component (e.g. the autopilot) to be
+    /// quiesced by [`Database::shutdown`] *before* the exec pool, GC, and
+    /// WAL flusher are torn down. Held weakly: a dropped task is skipped.
+    pub fn register_background_task(&self, task: Weak<dyn BackgroundTask>) {
+        self.background_tasks.lock().push(task);
+    }
+
+    /// Install (or clear) the statement tap consulted on every successful
+    /// DML/SELECT parse. See [`StatementTap`].
+    pub fn set_statement_tap(&self, tap: Option<Arc<dyn StatementTap>>) {
+        *self.statement_tap.write() = tap;
+    }
+
+    /// Report a statement to the installed tap, if any. Cheap when no tap
+    /// is installed (one read-lock acquisition).
+    fn tap_statement(&self, stmt: &Statement, sql: &str) {
+        if !matches!(
+            stmt,
+            Statement::Select(_)
+                | Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+        ) {
+            return;
+        }
+        if let Some(tap) = self.statement_tap.read().as_ref() {
+            tap.observe(sql);
+        }
+    }
+
     pub fn set_parallelism(&self, n: usize) {
         let n = n.max(1);
         self.knobs.write().parallelism = n;
@@ -258,6 +317,17 @@ impl Database {
         Planner::new(&self.catalog).plan(&stmt)
     }
 
+    /// [`prepare`](Self::prepare) with what-if [`PlannerOverrides`]
+    /// (hypothetical and hidden indexes) applied during planning. The
+    /// catalog is not touched, so this is safe under concurrent live
+    /// traffic — the oracle planner uses it to price index actions. Plans
+    /// produced against a hypothetical index reference an index that does
+    /// not exist and must not be executed.
+    pub fn prepare_with(&self, sql: &str, overrides: &PlannerOverrides) -> DbResult<PlanNode> {
+        let stmt = parse(sql)?;
+        Planner::with_overrides(&self.catalog, overrides).plan(&stmt)
+    }
+
     /// Execute one statement in autocommit mode.
     pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
         self.execute_recorded(sql, None)
@@ -292,19 +362,9 @@ impl Database {
                 "transaction control requires a session (Database::session)".into(),
             )),
             other => {
+                self.tap_statement(&other, sql);
                 let plan = Planner::new(&self.catalog).plan(&other)?;
-                let mut txn = self.txns.begin();
-                let result = self.execute_plan_in(&plan, &mut txn, recorder);
-                match result {
-                    Ok(r) => {
-                        txn.commit()?;
-                        Ok(r)
-                    }
-                    Err(e) => {
-                        txn.abort();
-                        Err(e)
-                    }
-                }
+                self.execute_plan_autocommit(&plan, recorder)
             }
         }
     }
@@ -315,14 +375,36 @@ impl Database {
         plan: &PlanNode,
         recorder: Option<&dyn OuRecorder>,
     ) -> DbResult<QueryResult> {
+        self.execute_plan_autocommit(plan, recorder)
+    }
+
+    /// Autocommit execution with end-to-end latency accounting: the
+    /// per-kind `mb2_stmt_latency_us` observation spans execution AND the
+    /// commit, so commit-side stalls (WAL pressure, commit-lock
+    /// contention, injected faults) are visible in the statement latency
+    /// the autopilot's verify step judges by.
+    fn execute_plan_autocommit(
+        &self,
+        plan: &PlanNode,
+        recorder: Option<&dyn OuRecorder>,
+    ) -> DbResult<QueryResult> {
+        let series = self.engine_metrics.stmt(classify(plan));
+        series.count.inc();
+        let span = self.metrics.span();
         let mut txn = self.txns.begin();
-        let result = self.execute_plan_in(plan, &mut txn, recorder);
-        match result {
-            Ok(r) => {
-                txn.commit()?;
-                Ok(r)
-            }
+        match self.execute_plan_inner(plan, &mut txn, recorder) {
+            Ok(r) => match txn.commit() {
+                Ok(_) => {
+                    span.observe(&series.latency_us);
+                    Ok(r)
+                }
+                Err(e) => {
+                    series.errors.inc();
+                    Err(e)
+                }
+            },
             Err(e) => {
+                series.errors.inc();
                 txn.abort();
                 Err(e)
             }
@@ -420,6 +502,7 @@ impl Database {
                 .execute_recorded(sql, recorder)
                 .map(|r| r.rows_affected),
             other => {
+                self.tap_statement(&other, sql);
                 let plan = Planner::new(&self.catalog).plan(&other)?;
                 let mut txn = self.txns.begin();
                 let result = self.execute_plan_streaming_in(&plan, &mut txn, recorder, on_batch);
@@ -489,6 +572,7 @@ impl Database {
         ) {
             return Err(DbError::Plan("DDL is autocommit-only".into()));
         }
+        self.tap_statement(&stmt, sql);
         let plan = Planner::new(&self.catalog).plan(&stmt)?;
         self.execute_plan_in(&plan, txn, recorder)
     }
@@ -567,8 +651,18 @@ impl Database {
         }
     }
 
-    /// Stop background threads (execution pool, GC, WAL flusher).
+    /// Stop background threads. Registered [`BackgroundTask`]s (the
+    /// autopilot) are quiesced *first*, while the exec pool, GC, and WAL
+    /// flusher are still alive — a task mid-action may be running a query
+    /// on the pool or a WAL-logged index build, and tearing those down
+    /// underneath it would turn a clean drain into an error.
     pub fn shutdown(&self) {
+        let tasks: Vec<Weak<dyn BackgroundTask>> = self.background_tasks.lock().drain(..).collect();
+        for task in tasks {
+            if let Some(task) = task.upgrade() {
+                task.quiesce();
+            }
+        }
         // Dropping the last `Arc` joins the pool's worker threads; queries
         // still holding a clone keep it alive until they finish.
         *self.pool.write() = None;

@@ -12,12 +12,14 @@ pub mod health;
 pub(crate) mod metrics;
 pub mod recovery;
 pub mod session;
+pub mod tasks;
 
 pub use config::{DatabaseConfig, Knobs};
 pub use database::Database;
 pub use health::{DegradedReason, HealthState, HealthTracker};
 pub use recovery::{recover, recover_with, RecoveryOptions, RecoveryReport};
 pub use session::Session;
+pub use tasks::{BackgroundTask, StatementTap};
 
 // Re-export the layers so downstream crates (runners, workloads, benches)
 // need only one dependency.

@@ -1,0 +1,101 @@
+//! Regression tests for `Database::shutdown` ordering: registered
+//! background tasks (the autopilot) must be quiesced while the exec
+//! pool, GC, and WAL flusher are still alive, so a mid-flight action can
+//! finish cleanly instead of erroring against torn-down subsystems.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use mb2_engine::{BackgroundTask, Database, DatabaseConfig, Knobs};
+
+/// A task whose quiesce exercises the subsystems shutdown tears down:
+/// a parallel query (exec pool), a WAL-logged insert (flusher), and a GC
+/// pass. If shutdown ordering regresses — pool/GC/WAL going away before
+/// the task — these operations fail and the test panics.
+struct ProbeTask {
+    db: Weak<Database>,
+    ran: AtomicBool,
+}
+
+impl BackgroundTask for ProbeTask {
+    fn name(&self) -> &str {
+        "probe"
+    }
+
+    fn quiesce(&self) {
+        let db = self.db.upgrade().expect("engine alive during quiesce");
+        // Exec pool must still exist for a parallel-eligible scan.
+        assert!(
+            db.exec_pool().is_some(),
+            "exec pool torn down before background tasks were quiesced"
+        );
+        let r = db
+            .execute("SELECT * FROM t WHERE a > 0")
+            .expect("query during quiesce");
+        assert_eq!(r.rows.len(), 2);
+        // WAL must still accept (and flush) a logged write.
+        db.execute("INSERT INTO t VALUES (3, 30)")
+            .expect("WAL-logged insert during quiesce");
+        db.wal()
+            .expect("wal attached")
+            .flush_now()
+            .expect("WAL flush during quiesce");
+        // GC must still run a pass.
+        db.gc().run_once();
+        self.ran.store(true, Ordering::Release);
+    }
+}
+
+#[test]
+fn background_tasks_quiesce_before_subsystems() {
+    let path =
+        std::env::temp_dir().join(format!("mb2_shutdown_ordering_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = Arc::new(
+        Database::new(DatabaseConfig {
+            wal_enabled: true,
+            wal_path: Some(path.clone()),
+            gc_interval: Some(Duration::from_secs(30)),
+            knobs: Knobs {
+                parallelism: 2,
+                ..Knobs::default()
+            },
+            ..DatabaseConfig::default()
+        })
+        .unwrap(),
+    );
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+
+    let task = Arc::new(ProbeTask {
+        db: Arc::downgrade(&db),
+        ran: AtomicBool::new(false),
+    });
+    db.register_background_task(Arc::downgrade(&task) as Weak<dyn BackgroundTask>);
+
+    db.shutdown();
+    assert!(
+        task.ran.load(Ordering::Acquire),
+        "registered task was not quiesced"
+    );
+    // Second shutdown (e.g. from Drop) must not re-run drained tasks.
+    task.ran.store(false, Ordering::Release);
+    db.shutdown();
+    assert!(!task.ran.load(Ordering::Acquire));
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dropped_task_is_skipped() {
+    let db = Arc::new(Database::open());
+    let task = Arc::new(ProbeTask {
+        db: Arc::downgrade(&db),
+        ran: AtomicBool::new(false),
+    });
+    db.register_background_task(Arc::downgrade(&task) as Weak<dyn BackgroundTask>);
+    drop(task);
+    // Upgrade fails; shutdown must not panic.
+    db.shutdown();
+}

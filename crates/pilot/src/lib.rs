@@ -1,0 +1,35 @@
+//! The autopilot: MB2's decomposed behavior models closed into a live
+//! self-driving control loop (paper §2.1, §8.7).
+//!
+//! The paper's end-to-end demonstration drives the oracle planner offline
+//! against canned forecasts; this crate runs the same pricing engine *on
+//! the live server*. A background [`Pilot`] thread:
+//!
+//! 1. **Forecasts** — ingests per-statement arrival observations through
+//!    an [`mb2_core::forecast::SlidingWindowForecaster`] installed as the
+//!    engine's statement tap, and summarizes them into a
+//!    [`mb2_core::WorkloadForecast`] each tick.
+//! 2. **Enumerates candidates** — secondary-index builds for seq-scanned
+//!    equality columns, drops of pilot-built indexes the forecast no
+//!    longer uses, and knob flips (execution mode, batch size,
+//!    parallelism, WAL flush interval, GC cadence); see [`candidates`].
+//! 3. **Prices** each candidate with [`mb2_core::planner::OraclePlanner`]
+//!    — index builds through the interference model (cost + impact),
+//!    steady-state benefit through the OU translator.
+//! 4. **Applies** the best positive-gain action under live traffic,
+//!    guarded by a cooldown and a one-action-in-flight rule.
+//! 5. **Verifies** predicted against observed statement latency and
+//!    *reverts* the action when the observed regression exceeds a
+//!    configurable threshold.
+//!
+//! Every step publishes `mb2_pilot_*` metrics so operators can audit what
+//! the autopilot considered, chose, and observed.
+
+pub mod candidates;
+pub mod config;
+pub mod metrics;
+pub mod pilot;
+
+pub use config::PilotConfig;
+pub use metrics::PilotMetrics;
+pub use pilot::{Pilot, PilotStatus, TickOutcome};

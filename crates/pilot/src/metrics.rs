@@ -1,0 +1,108 @@
+//! `mb2_pilot_*` metric families.
+//!
+//! Everything the control loop does is observable: how often it ticked,
+//! what it considered, what it applied (by action label), what it
+//! predicted, what it then observed, and what it had to revert.
+
+use std::sync::Arc;
+
+use mb2_engine::obs::{Counter, FloatGauge, Gauge, MetricsRegistry};
+
+/// Handles for the autopilot's metric families, registered once in the
+/// engine's shared [`MetricsRegistry`] (registration is idempotent, so a
+/// restart of the pilot reuses the existing series).
+pub struct PilotMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Control-loop ticks executed (`mb2_pilot_ticks_total`).
+    pub ticks: Arc<Counter>,
+    /// Candidate actions priced (`mb2_pilot_actions_considered_total`).
+    pub considered: Arc<Counter>,
+    /// Actions rolled back by the verify step
+    /// (`mb2_pilot_actions_reverted_total`).
+    pub reverted: Arc<Counter>,
+    /// 1 while an action is deployed but not yet verified
+    /// (`mb2_pilot_action_inflight`).
+    pub inflight: Arc<Gauge>,
+    /// Predicted avg query runtime without the last action, µs.
+    pub predicted_baseline_us: Arc<FloatGauge>,
+    /// Predicted avg query runtime after the last action, µs.
+    pub predicted_after_us: Arc<FloatGauge>,
+    /// Predicted relative gain of the last applied action.
+    pub predicted_gain: Arc<FloatGauge>,
+    /// Predicted duration of the last action itself (index build), µs.
+    pub predicted_action_duration_us: Arc<FloatGauge>,
+    /// Observed mean statement latency before the last action, µs.
+    pub observed_baseline_us: Arc<FloatGauge>,
+    /// Observed mean statement latency over the verify window, µs.
+    pub observed_after_us: Arc<FloatGauge>,
+    /// Observed relative gain of the last verified action.
+    pub observed_gain: Arc<FloatGauge>,
+    /// Observed wall-clock duration of the last action itself, µs.
+    pub observed_action_duration_us: Arc<FloatGauge>,
+}
+
+impl PilotMetrics {
+    /// Register (or re-attach to) the pilot families in `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> PilotMetrics {
+        PilotMetrics {
+            ticks: registry.counter("mb2_pilot_ticks_total", "Pilot control-loop ticks."),
+            considered: registry.counter(
+                "mb2_pilot_actions_considered_total",
+                "Candidate actions priced by the oracle planner.",
+            ),
+            reverted: registry.counter(
+                "mb2_pilot_actions_reverted_total",
+                "Applied actions rolled back after observed regression.",
+            ),
+            inflight: registry.gauge(
+                "mb2_pilot_action_inflight",
+                "1 while an applied action awaits verification.",
+            ),
+            predicted_baseline_us: registry.float_gauge(
+                "mb2_pilot_predicted_baseline_us",
+                "Predicted avg query runtime without the last action (us).",
+            ),
+            predicted_after_us: registry.float_gauge(
+                "mb2_pilot_predicted_after_us",
+                "Predicted avg query runtime after the last action (us).",
+            ),
+            predicted_gain: registry.float_gauge(
+                "mb2_pilot_predicted_gain",
+                "Predicted relative gain of the last applied action.",
+            ),
+            predicted_action_duration_us: registry.float_gauge(
+                "mb2_pilot_predicted_action_duration_us",
+                "Predicted duration of the last action itself (us).",
+            ),
+            observed_baseline_us: registry.float_gauge(
+                "mb2_pilot_observed_baseline_us",
+                "Observed mean statement latency before the last action (us).",
+            ),
+            observed_after_us: registry.float_gauge(
+                "mb2_pilot_observed_after_us",
+                "Observed mean statement latency over the verify window (us).",
+            ),
+            observed_gain: registry.float_gauge(
+                "mb2_pilot_observed_gain",
+                "Observed relative gain of the last verified action.",
+            ),
+            observed_action_duration_us: registry.float_gauge(
+                "mb2_pilot_observed_action_duration_us",
+                "Observed wall-clock duration of the last action itself (us).",
+            ),
+            registry,
+        }
+    }
+
+    /// Per-action-label applied counter
+    /// (`mb2_pilot_actions_applied_total{action=...}`). Label values are
+    /// the stable [`mb2_core::planner::Action::label`] strings, so the
+    /// cardinality is bounded by the action catalog.
+    pub fn applied(&self, action_label: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "mb2_pilot_actions_applied_total",
+            &[("action", action_label)],
+            "Actions applied by the pilot, by action label.",
+        )
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared fixtures for pilot integration tests: a seeded table and a
+//! synthetic model set where index scans price 10x cheaper than
+//! sequential scans, so index actions show clear predicted gains.
+
+use std::sync::Arc;
+
+use mb2_common::metrics::idx;
+use mb2_common::{Metrics, OuKind};
+use mb2_core::collect::{OuSample, TrainingRepo};
+use mb2_core::training::{train_all, TrainingConfig};
+use mb2_core::translate::OuTranslator;
+use mb2_core::BehaviorModels;
+use mb2_engine::Database;
+use mb2_ml::Algorithm;
+
+/// 3000-row table `big (pk, grp, v)` with an index on `pk` and fresh
+/// statistics; `grp` has 100 distinct values and no index.
+pub fn seed_big(db: &Database) {
+    db.execute("CREATE TABLE big (pk INT, grp INT, v FLOAT)")
+        .unwrap();
+    for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 0.5)", i % 100))
+            .collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    db.execute("CREATE INDEX big_pk ON big (pk)").unwrap();
+    db.execute("ANALYZE big").unwrap();
+}
+
+/// Train linear per-OU models from synthetic costs (SeqScan 10x IdxScan,
+/// IndexBuild n log n). Must run while `grp` is still unindexed so the
+/// `grp = ?` training plan is a SeqScan and that OU-model gets fitted.
+pub fn cost_models(db: &Database) -> Arc<BehaviorModels> {
+    let mut repo = TrainingRepo::new();
+    let translator = OuTranslator::default();
+    let plans = [
+        db.prepare("SELECT * FROM big WHERE pk = 1").unwrap(),
+        db.prepare("SELECT * FROM big WHERE grp = 1").unwrap(),
+        db.prepare("CREATE INDEX hyp ON big (grp) WITH (THREADS = 2)")
+            .unwrap(),
+        db.prepare("INSERT INTO big VALUES (9000, 1, 0.5)").unwrap(),
+    ];
+    for plan in &plans {
+        for inst in translator.translate_plan(plan, &db.knobs()) {
+            for k in 1..=15 {
+                let mut f = inst.features.clone();
+                f[0] = (k * 50) as f64;
+                let cost = match inst.ou {
+                    OuKind::SeqScan => 10.0 * f[0],
+                    OuKind::IdxScan => 1.0 * f[0],
+                    OuKind::IndexBuild => 5.0 * f[0] * f[0].log2(),
+                    _ => 2.0 * f[0],
+                };
+                let mut labels = Metrics::ZERO;
+                labels[idx::ELAPSED_US] = cost;
+                labels[idx::CPU_US] = cost;
+                repo.add(OuSample {
+                    ou: inst.ou,
+                    features: f,
+                    labels,
+                });
+            }
+        }
+    }
+    let (set, _) = train_all(
+        &repo,
+        &TrainingConfig {
+            candidates: vec![Algorithm::Linear],
+            ..TrainingConfig::default()
+        },
+    )
+    .unwrap();
+    Arc::new(BehaviorModels::new(set, None))
+}

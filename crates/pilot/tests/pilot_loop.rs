@@ -1,0 +1,228 @@
+//! End-to-end control-loop tests, stepped deterministically through
+//! [`Pilot::run_once`]: a scan-heavy workload triggers exactly one index
+//! build, shifting the workload away triggers the drop, and an observed
+//! regression triggers a revert.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mb2_common::fault::{self, FaultInjector};
+use mb2_engine::{Database, DatabaseConfig, StatementTap};
+use mb2_pilot::{Pilot, PilotConfig, TickOutcome};
+
+/// Seed override for CI stress runs: `MB2_TEST_SEED=n` perturbs the
+/// pilot's candidate tie-break rotation. Outcomes must not change —
+/// selection is by predicted gain, the seed only rotates equal ties.
+fn seed_offset() -> u64 {
+    std::env::var("MB2_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn pilot_config() -> PilotConfig {
+    PilotConfig {
+        forecast_window: Duration::from_millis(800),
+        forecast_buckets: 4,
+        min_arrivals: 5,
+        min_gain: 0.05,
+        cooldown: Duration::ZERO,
+        verify_window: Duration::ZERO,
+        seed: 1 + seed_offset(),
+        ..PilotConfig::fast()
+    }
+}
+
+fn pilot_index_count(db: &Database) -> usize {
+    db.catalog()
+        .get("big")
+        .unwrap()
+        .indexes()
+        .iter()
+        .filter(|i| i.name.starts_with("pilot_"))
+        .count()
+}
+
+fn scan_heavy(db: &Database, n: usize) {
+    for i in 0..n {
+        db.execute(&format!("SELECT * FROM big WHERE grp = {}", i % 100))
+            .unwrap();
+    }
+}
+
+#[test]
+fn scan_heavy_builds_one_index_and_drops_on_shift_back() {
+    let db = Arc::new(Database::open());
+    common::seed_big(&db);
+    let models = common::cost_models(&db);
+    let pilot = Pilot::new(db.clone(), models, pilot_config());
+    db.set_statement_tap(Some(pilot.forecaster().clone() as Arc<dyn StatementTap>));
+
+    // Scan-heavy phase: `grp = ?` has no index, so every query seq-scans.
+    scan_heavy(&db, 20);
+    let out = pilot.run_once();
+    assert_eq!(
+        out,
+        TickOutcome::Applied("build_index"),
+        "{:?}",
+        pilot.status()
+    );
+    assert_eq!(pilot_index_count(&db), 1);
+    assert!(db
+        .catalog()
+        .get("big")
+        .unwrap()
+        .index_named("pilot_big_grp")
+        .is_some());
+
+    // Verify tick accepts (no regression under the new index).
+    scan_heavy(&db, 10);
+    assert_eq!(
+        pilot.run_once(),
+        TickOutcome::Verified { reverted: false },
+        "{:?}",
+        pilot.status()
+    );
+    assert_eq!(pilot.metrics().reverted.get(), 0);
+
+    // Continued scan-heavy traffic must NOT build a second index: the
+    // forecast now plans `grp = ?` through pilot_big_grp.
+    scan_heavy(&db, 10);
+    let out = pilot.run_once();
+    assert_ne!(
+        out,
+        TickOutcome::Applied("build_index"),
+        "{:?}",
+        pilot.status()
+    );
+    assert_eq!(pilot_index_count(&db), 1);
+
+    // Shift back: only pk lookups. Once the grp template ages out of the
+    // sliding window the pilot drops the now-unused index it built.
+    std::thread::sleep(Duration::from_millis(900));
+    for i in 0..10 {
+        db.execute(&format!("SELECT * FROM big WHERE pk = {i}"))
+            .unwrap();
+    }
+    let out = pilot.run_once();
+    assert_eq!(
+        out,
+        TickOutcome::Applied("drop_index"),
+        "{:?}",
+        pilot.status()
+    );
+    assert_eq!(pilot_index_count(&db), 0);
+    assert!(db
+        .catalog()
+        .get("big")
+        .unwrap()
+        .index_named("pilot_big_grp")
+        .is_none());
+    // User-created indexes were never touched.
+    assert!(db
+        .catalog()
+        .get("big")
+        .unwrap()
+        .index_named("big_pk")
+        .is_some());
+
+    assert_eq!(
+        pilot.run_once(),
+        TickOutcome::Verified { reverted: false },
+        "{:?}",
+        pilot.status()
+    );
+    let status = pilot.status();
+    assert!(
+        status.history.iter().any(|h| h.contains("accepted")),
+        "{status:?}"
+    );
+    // Applied counters: one build, one drop.
+    assert_eq!(pilot.metrics().applied("build_index").get(), 1);
+    assert_eq!(pilot.metrics().applied("drop_index").get(), 1);
+}
+
+#[test]
+fn observed_regression_triggers_revert() {
+    let faults = Arc::new(FaultInjector::new(42));
+    let db = Arc::new(
+        Database::new(DatabaseConfig {
+            faults: Some(faults.clone()),
+            ..DatabaseConfig::default()
+        })
+        .unwrap(),
+    );
+    common::seed_big(&db);
+    let models = common::cost_models(&db);
+    let config = PilotConfig {
+        revert_threshold: 0.25,
+        ..pilot_config()
+    };
+    let pilot = Pilot::new(db.clone(), models, config);
+    db.set_statement_tap(Some(pilot.forecaster().clone() as Arc<dyn StatementTap>));
+
+    // Tick with too little traffic: plans nothing, but records the
+    // baseline snapshot the next tick measures from.
+    scan_heavy(&db, 3);
+    assert_eq!(pilot.run_once(), TickOutcome::NoForecast);
+
+    // Normal-latency window, then the pilot applies the index build.
+    scan_heavy(&db, 10);
+    let out = pilot.run_once();
+    assert_eq!(
+        out,
+        TickOutcome::Applied("build_index"),
+        "{:?}",
+        pilot.status()
+    );
+
+    // Sabotage the verify window: every commit now stalls, so observed
+    // mean latency regresses far past baseline * (1 + 0.25).
+    // 50ms dwarfs even debug-build seq-scan latencies in the baseline.
+    faults.arm_delay(fault::points::TXN_COMMIT, Duration::from_millis(50));
+    for i in 0..8 {
+        db.execute(&format!("INSERT INTO big VALUES ({}, 1, 0.5)", 10_000 + i))
+            .unwrap();
+    }
+    faults.disarm(fault::points::TXN_COMMIT);
+
+    let out = pilot.run_once();
+    assert_eq!(
+        out,
+        TickOutcome::Verified { reverted: true },
+        "{:?}",
+        pilot.status()
+    );
+    // The revert dropped the index the pilot had just built.
+    assert_eq!(pilot_index_count(&db), 0);
+    assert_eq!(pilot.metrics().reverted.get(), 1);
+    let status = pilot.status();
+    assert!(
+        status.history.iter().any(|h| h.contains("reverted")),
+        "{status:?}"
+    );
+}
+
+#[test]
+fn status_json_is_well_formed() {
+    let db = Arc::new(Database::open());
+    common::seed_big(&db);
+    let models = common::cost_models(&db);
+    let pilot = Pilot::new(db.clone(), models, pilot_config());
+    let json = pilot.status_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"state\"",
+        "\"ticks\"",
+        "\"actions_considered\"",
+        "\"actions_reverted\"",
+        "\"inflight\"",
+        "\"built_indexes\"",
+        "\"history\"",
+    ] {
+        assert!(json.contains(key), "{json} missing {key}");
+    }
+    assert!(json.contains("\"state\":\"idle\""), "{json}");
+}

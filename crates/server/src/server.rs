@@ -182,6 +182,9 @@ struct Shared {
     /// Interruptible sleep for the supervisor thread (drain wakes it).
     supervisor_wakeup: (StdMutex<bool>, Condvar),
     metrics: ServerMetrics,
+    /// Autopilot attached via [`Server::attach_pilot`]; consulted by the
+    /// `SHOW PILOT` operator command.
+    pilot: RwLock<Option<Arc<mb2_pilot::Pilot>>>,
 }
 
 impl Shared {
@@ -272,6 +275,7 @@ impl Server {
             workers: Mutex::new(Vec::new()),
             supervisor_wakeup: (StdMutex::new(false), Condvar::new()),
             metrics,
+            pilot: RwLock::new(None),
         });
         let acceptor = {
             let shared = shared.clone();
@@ -309,6 +313,14 @@ impl Server {
     /// swapped in a recovered instance since the server started).
     pub fn db(&self) -> Arc<Database> {
         self.shared.db()
+    }
+
+    /// Attach an autopilot so operators can inspect it over the wire with
+    /// `SHOW PILOT`. The server does not own the pilot's lifecycle — start
+    /// it (and let `Database::shutdown` quiesce it) as usual; this only
+    /// wires up introspection.
+    pub fn attach_pilot(&self, pilot: Arc<mb2_pilot::Pilot>) {
+        *self.shared.pilot.write() = Some(pilot);
     }
 
     /// How many supervisor engine swaps have happened.
@@ -589,6 +601,24 @@ fn handle_query(
     shared.metrics.inflight_queries.inc();
     let started = Instant::now();
 
+    // Operator commands answered by the server itself (no SQL layer, no
+    // wire changes — plain Varchar row batches).
+    if let Some(rows) = operator_command(shared, sql) {
+        if !rows.is_empty() {
+            wire::write_frame(stream, &Frame::RowBatch { rows: rows.clone() })?;
+        }
+        shared
+            .metrics
+            .request_us
+            .record(started.elapsed().as_micros() as u64);
+        return wire::write_frame(
+            stream,
+            &Frame::Done {
+                rows: rows.len() as u64,
+            },
+        );
+    }
+
     let result = session.execute_streaming(sql, None, &mut |batch| {
         if batch.is_empty() {
             return Ok(());
@@ -611,6 +641,31 @@ fn handle_query(
             shared.metrics.query_errors.inc();
             wire::write_frame(stream, &Frame::Error { error: e })
         }
+    }
+}
+
+/// Intercept operator commands (`SHOW METRICS`, `SHOW PILOT`) before SQL
+/// execution. Returns `None` for everything else so ordinary queries take
+/// the normal path. Responses are one Varchar column per row.
+fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> {
+    let cmd = sql.trim().trim_end_matches(';').trim().to_ascii_uppercase();
+    match cmd.as_str() {
+        "SHOW METRICS" => {
+            let text = shared.db().metrics_prometheus();
+            Some(
+                text.lines()
+                    .map(|l| vec![Value::Varchar(l.to_string())])
+                    .collect(),
+            )
+        }
+        "SHOW PILOT" => {
+            let row = match shared.pilot.read().as_ref() {
+                Some(pilot) => pilot.status_json(),
+                None => "{\"state\":\"detached\"}".to_string(),
+            };
+            Some(vec![vec![Value::Varchar(row)]])
+        }
+        _ => None,
     }
 }
 

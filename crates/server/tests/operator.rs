@@ -1,0 +1,65 @@
+//! Operator commands answered by the server itself: `SHOW METRICS` and
+//! `SHOW PILOT` are intercepted before the SQL layer and return plain
+//! Varchar row batches over the existing wire protocol.
+
+use std::sync::Arc;
+
+use mb2_common::Value;
+use mb2_core::training::OuModelSet;
+use mb2_core::BehaviorModels;
+use mb2_engine::{Database, DatabaseConfig};
+use mb2_pilot::{Pilot, PilotConfig};
+use mb2_server::{Client, Server, ServerConfig};
+
+fn text_of(row: &[Value]) -> &str {
+    match &row[0] {
+        Value::Varchar(s) => s,
+        other => panic!("expected Varchar, got {other:?}"),
+    }
+}
+
+#[test]
+fn show_metrics_and_show_pilot_over_the_wire() {
+    let db = Arc::new(Database::new(DatabaseConfig::default()).expect("database"));
+    let server = Server::start(db.clone(), ServerConfig::default()).expect("server start");
+    let mut client = Client::connect(server.local_addr().to_string()).expect("connect");
+
+    // Generate some traffic so the metrics text is non-trivial.
+    client.query("CREATE TABLE t (id INT, v INT)").unwrap();
+    client.query("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    // SHOW METRICS: one Varchar row per prometheus exposition line.
+    let resp = client.query("SHOW METRICS").expect("show metrics");
+    assert!(!resp.rows.is_empty());
+    assert_eq!(resp.count, resp.rows.len() as u64);
+    assert!(
+        resp.rows.iter().any(|r| text_of(r).starts_with("mb2_")),
+        "no mb2_ metric lines in {:?}",
+        resp.rows.iter().take(5).collect::<Vec<_>>()
+    );
+
+    // No pilot attached yet.
+    let resp = client.query("SHOW PILOT").expect("show pilot");
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(text_of(&resp.rows[0]), "{\"state\":\"detached\"}");
+
+    // Attach a pilot: SHOW PILOT now reports its live status JSON.
+    let models = Arc::new(BehaviorModels::new(OuModelSet::default(), None));
+    let pilot = Pilot::new(db, models, PilotConfig::default());
+    server.attach_pilot(pilot);
+    let resp = client.query("SHOW PILOT").expect("show pilot attached");
+    assert_eq!(resp.rows.len(), 1);
+    let json = text_of(&resp.rows[0]);
+    assert!(json.contains("\"state\":\"idle\""), "{json}");
+    assert!(json.contains("\"ticks\""), "{json}");
+
+    // Case-insensitive, tolerates trailing semicolon/whitespace.
+    let resp = client.query("  show pilot ; ").expect("lowercase");
+    assert_eq!(resp.rows.len(), 1);
+
+    // Ordinary SQL still takes the normal path.
+    let resp = client.query("SELECT id FROM t").expect("select");
+    assert_eq!(resp.rows.len(), 1);
+
+    server.shutdown();
+}

@@ -23,4 +23,4 @@ pub use expr::{AggFunc, BinOp, BoundExpr, UnOp};
 pub use lexer::{tokenize, Token};
 pub use parser::parse;
 pub use plan::{OutputSink, PlanNode, ScanRange};
-pub use planner::Planner;
+pub use planner::{HypotheticalIndex, Planner, PlannerOverrides};

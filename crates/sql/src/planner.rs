@@ -15,9 +15,49 @@ use crate::ast::{Expr, Select, Statement};
 use crate::expr::{BinOp, BoundExpr, UnOp};
 use crate::plan::{AggSpec, Est, OutputSink, PlanNode, ScanRange, SortKey};
 
+/// An index that does not exist in the catalog but should be *considered*
+/// during planning, as if it did. What-if planning over hypothetical
+/// indexes is how the oracle planner (`mb2-core`'s `OraclePlanner`) and
+/// the autopilot price a `CREATE INDEX` action without mutating the live
+/// catalog: the plan produced against a hypothetical index is translated
+/// to OU features and costed, never executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypotheticalIndex {
+    /// Table the index would be built on (case-insensitive match).
+    pub table: String,
+    /// Name the resulting plan's `IndexScan` nodes will reference.
+    pub name: String,
+    /// Key columns as table-local column positions, in key order.
+    pub columns: Vec<usize>,
+}
+
+/// What-if adjustments applied on top of the live catalog during planning.
+///
+/// `hypothetical_indexes` are considered for index-scan selection exactly
+/// like real indexes; `hidden_indexes` are real index names the planner
+/// must ignore (pricing a `DROP INDEX` = re-planning with the index
+/// hidden). Neither touches the catalog, so what-if planning is safe
+/// under concurrent live traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlannerOverrides {
+    /// Indexes to consider as if they existed.
+    pub hypothetical_indexes: Vec<HypotheticalIndex>,
+    /// Names of real indexes to ignore during index selection.
+    pub hidden_indexes: Vec<String>,
+}
+
+impl PlannerOverrides {
+    /// True when the overrides change nothing (planning is identical to
+    /// planning against the bare catalog).
+    pub fn is_empty(&self) -> bool {
+        self.hypothetical_indexes.is_empty() && self.hidden_indexes.is_empty()
+    }
+}
+
 /// The planner. Holds a catalog reference for name resolution and stats.
 pub struct Planner<'a> {
     catalog: &'a Catalog,
+    overrides: Option<&'a PlannerOverrides>,
 }
 
 /// One table in the FROM scope.
@@ -71,7 +111,19 @@ impl Scope {
 
 impl<'a> Planner<'a> {
     pub fn new(catalog: &'a Catalog) -> Planner<'a> {
-        Planner { catalog }
+        Planner {
+            catalog,
+            overrides: None,
+        }
+    }
+
+    /// A planner that applies what-if [`PlannerOverrides`] (hypothetical
+    /// and hidden indexes) on top of the catalog during index selection.
+    pub fn with_overrides(catalog: &'a Catalog, overrides: &'a PlannerOverrides) -> Planner<'a> {
+        Planner {
+            catalog,
+            overrides: Some(overrides),
+        }
     }
 
     /// Plan a statement. DDL/transaction-control statements that need no
@@ -596,27 +648,48 @@ impl<'a> Planner<'a> {
             }
         }
 
-        // Pick the index with the longest fully-bound equality prefix.
-        let mut best_index: Option<(Arc<mb2_index::Index<mb2_storage::SlotId>>, usize)> = None;
+        // Candidate indexes: the catalog's (minus any hidden by what-if
+        // overrides) plus hypothetical ones declared for this table.
+        let mut candidates: Vec<(String, Vec<usize>)> = Vec::new();
         for index in entry.indexes() {
+            let hidden = self.overrides.is_some_and(|ov| {
+                ov.hidden_indexes
+                    .iter()
+                    .any(|h| h.eq_ignore_ascii_case(&index.name))
+            });
+            if !hidden {
+                candidates.push((index.name.clone(), index.key_columns.clone()));
+            }
+        }
+        if let Some(ov) = self.overrides {
+            for h in &ov.hypothetical_indexes {
+                if h.table.eq_ignore_ascii_case(table_name) {
+                    candidates.push((h.name.clone(), h.columns.clone()));
+                }
+            }
+        }
+
+        // Pick the index with the longest fully-bound equality prefix.
+        let mut best_index: Option<(String, Vec<usize>, usize)> = None;
+        for (name, key_columns) in candidates {
             let mut prefix = 0;
-            for col in &index.key_columns {
+            for col in &key_columns {
                 if eq_lit.contains_key(col) {
                     prefix += 1;
                 } else {
                     break;
                 }
             }
-            if prefix > 0 && best_index.as_ref().is_none_or(|(_, p)| prefix > *p) {
-                best_index = Some((index, prefix));
+            if prefix > 0 && best_index.as_ref().is_none_or(|(_, _, p)| prefix > *p) {
+                best_index = Some((name, key_columns, prefix));
             }
         }
 
         let selectivity = estimate_selectivity(&stats, &conjuncts);
         let est_rows = (base_rows * selectivity).max(0.0);
 
-        if let Some((index, prefix)) = best_index {
-            let prefix_cols: Vec<usize> = index.key_columns[..prefix].to_vec();
+        if let Some((index_name, key_columns, prefix)) = best_index {
+            let prefix_cols: Vec<usize> = key_columns[..prefix].to_vec();
             let bound: Vec<Value> = prefix_cols.iter().map(|c| eq_lit[c].clone()).collect();
             // Residual: everything not fully expressed by the prefix.
             let residual: Vec<BoundExpr> = conjuncts
@@ -644,7 +717,7 @@ impl<'a> Planner<'a> {
             };
             return Ok(PlanNode::IndexScan {
                 table: table_name.to_string(),
-                index: index.name.clone(),
+                index: index_name,
                 range: ScanRange {
                     lo: bound.clone(),
                     hi: bound,
@@ -1337,6 +1410,54 @@ mod tests {
         // But a self-join makes every column ambiguous.
         let stmt = parse("SELECT o_id FROM orders a, orders b WHERE a.o_id = b.o_id").unwrap();
         assert!(Planner::new(&cat).plan(&stmt).is_err());
+    }
+
+    #[test]
+    fn hypothetical_index_is_considered() {
+        let cat = setup();
+        // orders has no index; a hypothetical one on o_cust flips the
+        // equality scan to an IndexScan referencing the hypothetical name.
+        let ov = PlannerOverrides {
+            hypothetical_indexes: vec![HypotheticalIndex {
+                table: "orders".into(),
+                name: "hypo_o_cust".into(),
+                columns: vec![1],
+            }],
+            hidden_indexes: vec![],
+        };
+        let stmt = parse("SELECT * FROM orders WHERE o_cust = 7").unwrap();
+        let p = Planner::with_overrides(&cat, &ov).plan(&stmt).unwrap();
+        match find_node(&p, "IndexScan") {
+            Some(PlanNode::IndexScan { index, .. }) => assert_eq!(index, "hypo_o_cust"),
+            other => panic!("expected hypothetical index scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hidden_index_is_ignored() {
+        let cat = setup();
+        let ov = PlannerOverrides {
+            hypothetical_indexes: vec![],
+            hidden_indexes: vec!["cust_pk".into()],
+        };
+        let stmt = parse("SELECT * FROM customer WHERE c_id = 5").unwrap();
+        let p = Planner::with_overrides(&cat, &ov).plan(&stmt).unwrap();
+        assert!(
+            find_node(&p, "IndexScan").is_none(),
+            "hidden index must not be chosen: {p:?}"
+        );
+        assert!(find_node(&p, "SeqScan").is_some());
+    }
+
+    #[test]
+    fn empty_overrides_change_nothing() {
+        let cat = setup();
+        let ov = PlannerOverrides::default();
+        assert!(ov.is_empty());
+        let stmt = parse("SELECT * FROM customer WHERE c_id = 5").unwrap();
+        let with = Planner::with_overrides(&cat, &ov).plan(&stmt).unwrap();
+        let without = Planner::new(&cat).plan(&stmt).unwrap();
+        assert_eq!(format!("{with:?}"), format!("{without:?}"));
     }
 
     fn find_node<'p>(node: &'p PlanNode, label: &str) -> Option<&'p PlanNode> {

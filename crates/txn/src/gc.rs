@@ -2,7 +2,7 @@
 //! OU. Each invocation prunes version chains across all registered tables
 //! up to the transaction manager's watermark.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +46,10 @@ pub struct GarbageCollector {
     /// flips the flag under the lock and notifies, so a worker parked in
     /// `wait_timeout` wakes immediately instead of finishing its interval.
     wakeup: Arc<(StdMutex<bool>, Condvar)>,
+    /// Inter-pass interval in microseconds, re-read by the worker before
+    /// each wait so [`GarbageCollector::set_interval`] (the GC-cadence
+    /// behavior knob) takes effect on a running thread.
+    interval_us: Arc<AtomicU64>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -80,6 +84,7 @@ impl GarbageCollector {
             faults: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             wakeup: Arc::new((StdMutex::new(false), Condvar::new())),
+            interval_us: Arc::new(AtomicU64::new(0)),
             worker: Mutex::new(None),
         })
     }
@@ -135,13 +140,22 @@ impl GarbageCollector {
     /// engine shutdown latency is bounded by one GC *pass*, not one GC
     /// *interval*.
     pub fn start_background(self: &Arc<Self>, interval: Duration) {
+        self.interval_us.store(
+            interval.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
         let me = self.clone();
         let stop = self.stop.clone();
         let wakeup = self.wakeup.clone();
+        let interval_us = self.interval_us.clone();
         let handle = std::thread::spawn(move || loop {
             let (lock, cvar) = &*wakeup;
             let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
             while !*stopped {
+                // Re-read the cadence knob each pass under the lock: a
+                // `set_interval` nudge ends the current wait (not timed
+                // out) and the next one adopts the new interval.
+                let interval = Duration::from_micros(interval_us.load(Ordering::Acquire));
                 let (guard, timed_out) = match cvar.wait_timeout(stopped, interval) {
                     Ok((g, t)) => (g, t.timed_out()),
                     Err(_) => return,
@@ -158,6 +172,25 @@ impl GarbageCollector {
             me.run_once();
         });
         *self.worker.lock() = Some(handle);
+    }
+
+    /// Change the background collection interval at runtime (the GC-cadence
+    /// behavior knob). Wakes a worker parked in its old (possibly much
+    /// longer) wait so the new cadence applies immediately. A no-op until
+    /// `start_background` has been called.
+    pub fn set_interval(&self, interval: Duration) {
+        self.interval_us.store(
+            interval.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
+        let (lock, cvar) = &*self.wakeup;
+        let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        cvar.notify_all();
+    }
+
+    /// The current background collection interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_micros(self.interval_us.load(Ordering::Acquire))
     }
 
     /// Stop the background thread, if running. Wakes a parked worker
@@ -307,6 +340,30 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         gc.shutdown();
         assert!(gc.invocations.get() > 0);
+    }
+
+    #[test]
+    fn interval_is_runtime_tunable() {
+        // The autopilot tunes GC cadence on a live engine: a collector
+        // started with a 30s interval must adopt a 1ms one without a
+        // restart, visible as passes running.
+        let mgr = TxnManager::new(None);
+        let gc = GarbageCollector::new(mgr);
+        gc.register(table());
+        gc.start_background(Duration::from_secs(30));
+        assert_eq!(gc.interval(), Duration::from_secs(30));
+        std::thread::sleep(Duration::from_millis(20));
+        let before = gc.invocations.get();
+        gc.set_interval(Duration::from_millis(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gc.invocations.get() <= before {
+            assert!(
+                Instant::now() < deadline,
+                "worker did not adopt the tuned 1ms interval"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        gc.shutdown();
     }
 
     #[test]

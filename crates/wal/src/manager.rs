@@ -234,7 +234,11 @@ struct Flusher {
     wakeup: Arc<(StdMutex<bool>, Condvar)>,
     poisoned: Arc<AtomicBool>,
     opts: DurabilityOpts,
-    interval: Duration,
+    /// Inter-flush wait in microseconds, shared with the manager so
+    /// `LogManager::set_flush_interval` takes effect on the next wait
+    /// without restarting the thread (the flush interval is a runtime
+    /// behavior knob the autopilot can tune).
+    interval_us: Arc<AtomicU64>,
 }
 
 impl Flusher {
@@ -259,7 +263,12 @@ impl Flusher {
             let (lock, cvar) = &*self.wakeup;
             let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
             while !*stopped {
-                let (guard, timeout) = match cvar.wait_timeout(stopped, self.interval) {
+                // Re-read the knob under the lock each pass: a
+                // `set_flush_interval` nudge wakes the wait (not timed
+                // out, not stopped) and the next pass adopts the new
+                // cadence immediately.
+                let interval = Duration::from_micros(self.interval_us.load(Ordering::Acquire));
+                let (guard, timeout) = match cvar.wait_timeout(stopped, interval) {
                     Ok((g, t)) => (g, t),
                     Err(_) => return,
                 };
@@ -454,6 +463,9 @@ pub struct LogManager {
     /// rolled back with the failed batch".
     durable_seq: Arc<AtomicU64>,
     opts: DurabilityOpts,
+    /// Current background flush interval in microseconds, shared with the
+    /// flusher thread (see [`LogManager::set_flush_interval`]).
+    flush_interval_us: Arc<AtomicU64>,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -482,6 +494,9 @@ impl LogManager {
         let poisoned = Arc::new(AtomicBool::new(false));
         let durable_seq = Arc::new(AtomicU64::new(0));
         let opts = DurabilityOpts::from_config(&config);
+        let flush_interval_us = Arc::new(AtomicU64::new(
+            config.flush_interval.as_micros().min(u64::MAX as u128) as u64,
+        ));
         let mut flusher_handle = None;
         let mut sync_file = None;
         if config.background {
@@ -495,7 +510,7 @@ impl LogManager {
                 wakeup: wakeup.clone(),
                 poisoned: poisoned.clone(),
                 opts: opts.clone(),
-                interval: config.flush_interval,
+                interval_us: flush_interval_us.clone(),
             };
             flusher_handle = Some(std::thread::spawn(move || flusher.run()));
         } else {
@@ -514,8 +529,32 @@ impl LogManager {
             next_seq: AtomicU64::new(0),
             durable_seq,
             opts,
+            flush_interval_us,
             flusher: Mutex::new(flusher_handle),
         })
+    }
+
+    /// Change the background flush interval at runtime. The flusher reads
+    /// the shared value before each inter-flush wait, so the new cadence
+    /// takes effect within one old interval (or immediately after the next
+    /// flush). A no-op for foreground (non-background) logs.
+    pub fn set_flush_interval(&self, interval: Duration) {
+        self.flush_interval_us.store(
+            interval.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
+        // Nudge a flusher parked in its (possibly much longer) old wait so
+        // the new cadence applies now, not after the old interval elapses.
+        // Taken under the wakeup lock so the notify cannot slip into the
+        // window between the flusher's knob read and its park.
+        let (lock, cvar) = &*self.wakeup;
+        let _guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        cvar.notify_all();
+    }
+
+    /// The current background flush interval.
+    pub fn flush_interval(&self) -> Duration {
+        Duration::from_micros(self.flush_interval_us.load(Ordering::Acquire))
     }
 
     pub fn stats(&self) -> &WalStats {
@@ -701,6 +740,41 @@ mod tests {
             slot: i,
             tuple: vec![Value::Int(i as i64), Value::Varchar("x".repeat(64))],
         }
+    }
+
+    #[test]
+    fn flush_interval_is_runtime_tunable() {
+        // The autopilot tunes the flush-interval knob on a live engine: a
+        // manager started with a very long interval must pick up a short
+        // one without a restart, visible as records becoming durable.
+        let path = std::env::temp_dir().join(format!("mb2_wal_tune_{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mgr = LogManager::new(LogManagerConfig {
+            path: Some(path.clone()),
+            background: true,
+            flush_interval: Duration::from_secs(30),
+            ..LogManagerConfig::default()
+        })
+        .unwrap();
+        assert_eq!(mgr.flush_interval(), Duration::from_secs(30));
+        mgr.set_flush_interval(Duration::from_millis(1));
+        assert_eq!(mgr.flush_interval(), Duration::from_millis(1));
+        mgr.append(&LogRecord::Begin { txn_id: 1 }).unwrap();
+        let seq = mgr.append_seq(&LogRecord::Commit { txn_id: 1 }).unwrap();
+        mgr.seal_current();
+        // With the 1ms cadence in effect the record goes durable quickly;
+        // with the original 30s interval this would time out.
+        use std::time::Instant;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while mgr.durable_seq() < seq {
+            assert!(
+                Instant::now() < deadline,
+                "flusher did not adopt the tuned 1ms interval"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        mgr.shutdown();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -34,5 +34,6 @@ pub use mb2_core as framework;
 pub use mb2_engine as engine;
 pub use mb2_ml as ml;
 pub use mb2_obs as obs;
+pub use mb2_pilot as pilot;
 pub use mb2_server as server;
 pub use mb2_workloads as workloads;
