@@ -12,6 +12,7 @@ fn main() {
         ("obs_overhead", experiments::obs_overhead::run),
         ("exec_throughput", experiments::exec_throughput::run),
         ("exec_parallel", experiments::exec_parallel::run),
+        ("shard_scale", experiments::shard_scale::run),
         ("server_throughput", experiments::server_throughput::run),
         ("chaos_recovery", experiments::chaos_recovery::run),
         ("pilot_loop", experiments::pilot_loop::run),

@@ -1,0 +1,6 @@
+//! Sharded-commit throughput; see `mb2_bench::experiments::shard_scale`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::shard_scale::run(scale);
+    mb2_bench::report::emit("shard_scale", &report);
+}

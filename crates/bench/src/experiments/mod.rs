@@ -17,6 +17,7 @@ pub mod fig11_end_to_end;
 pub mod obs_overhead;
 pub mod pilot_loop;
 pub mod server_throughput;
+pub mod shard_scale;
 pub mod table02_overhead;
 
 pub mod common;

@@ -1,0 +1,217 @@
+//! Sharded storage — commit throughput by shard count.
+//!
+//! Measures concurrent single-shard-footprint commit transactions against
+//! the same table at shard_count 1, 2, and max(4, cores). Each committer
+//! thread owns one 512-slot shard unit (the shard-map interleave granule)
+//! and repeatedly range-updates its entire unit in one transaction, so at
+//! shard_count 1 every commit stamps under the table's single commit-lock
+//! stripe, while at higher shard counts the footprints land on distinct
+//! stripes and stamp in parallel (only the ticket-ordered clock publish
+//! remains serial). Result rows are commits/sec and stamped rows/sec.
+//!
+//! Acceptance gate for this reproduction: with shard_count >= 4 the commit
+//! throughput must reach at least 1.5x the single-shard configuration —
+//! enforced only on hosts with >= 4 cores (a 1- or 2-core host cannot
+//! overlap stamping; the gate reports SKIPPED and passes).
+//!
+//! Emits `results/shard_scale.txt` and machine-readable
+//! `results/BENCH_shard.json`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mb2_engine::{Database, DatabaseConfig};
+
+use crate::report::{fmt, results_dir, Table};
+use crate::Scale;
+
+/// Required commit-throughput speedup (shard_count >= 4 vs 1), enforced at
+/// >= [`GATE_MIN_CORES`] cores.
+pub const SHARD_COMMIT_SPEEDUP_GATE: f64 = 1.5;
+
+/// Minimum core count for the speedup gate to be meaningful.
+pub const GATE_MIN_CORES: usize = 4;
+
+/// Slots per shard-map unit; each committer thread owns exactly one unit
+/// so its write set is always a single-shard footprint.
+const UNIT: usize = 512;
+
+/// One timed window: spawn `threads` committers, each churning its own
+/// unit, and return (commits, stamped rows) over `run_for`.
+fn commit_window(db: &Arc<Database>, threads: usize, run_for: Duration) -> (u64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let lo = t * UNIT;
+                let hi = lo + UNIT;
+                let plan = db
+                    .prepare(&format!(
+                        "UPDATE acct SET bal = bal + 1 WHERE id >= {lo} AND id < {hi}"
+                    ))
+                    .expect("prepare update");
+                let mut commits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin();
+                    db.execute_plan_in(&plan, &mut txn, None).expect("update");
+                    txn.commit().expect("disjoint units never conflict");
+                    commits += 1;
+                }
+                commits
+            })
+        })
+        .collect();
+    std::thread::sleep(run_for);
+    stop.store(true, Ordering::Relaxed);
+    let commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (commits, commits * UNIT as u64)
+}
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("# Sharded storage — commit throughput by shard count\n\n");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Committer threads = the widest shard count tested, so every shard
+    // has a dedicated committer at the top configuration.
+    let threads = cores.clamp(4, 8);
+    let mut shard_counts = vec![1usize, 2, threads];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+
+    let reps = scale.pick(2, 3);
+    let window = Duration::from_millis(scale.pick(150, 400) as u64);
+    let rows = threads * UNIT;
+
+    // rates[i] = (median commits/sec, median rows/sec) at shard_counts[i].
+    let mut rates = vec![(0f64, 0f64); shard_counts.len()];
+    for (si, &shards) in shard_counts.iter().enumerate() {
+        let mut cfg = DatabaseConfig {
+            wal_enabled: false,
+            ..DatabaseConfig::bench()
+        };
+        // Intra-query execution stays serial; the committer threads are
+        // the concurrency under test.
+        cfg.knobs.parallelism = 1;
+        cfg.knobs.shard_count = shards;
+        let db = Arc::new(Database::new(cfg).expect("database"));
+        db.execute("CREATE TABLE acct (id INT, bal INT)").unwrap();
+        let mut i = 0;
+        while i < rows {
+            let n = 256.min(rows - i);
+            let vals: Vec<String> = (i..i + n).map(|j| format!("({j}, 0)")).collect();
+            db.execute(&format!("INSERT INTO acct VALUES {}", vals.join(", ")))
+                .unwrap();
+            i += n;
+        }
+
+        let mut commit_rates = Vec::with_capacity(reps);
+        let mut row_rates = Vec::with_capacity(reps);
+        let mut total_commits = 0u64;
+        for rep in 0..=reps {
+            let t0 = Instant::now();
+            let (commits, stamped) = commit_window(&db, threads, window);
+            let secs = t0.elapsed().as_secs_f64();
+            total_commits += commits;
+            assert!(commits > 0, "no commits at shard_count={shards}");
+            if rep > 0 {
+                commit_rates.push(commits as f64 / secs);
+                row_rates.push(stamped as f64 / secs);
+            }
+        }
+        commit_rates.sort_by(|a, b| a.total_cmp(b));
+        row_rates.sort_by(|a, b| a.total_cmp(b));
+        rates[si] = (
+            commit_rates[commit_rates.len() / 2],
+            row_rates[row_rates.len() / 2],
+        );
+
+        // Atomicity audit: every committed range-update raised the sum of
+        // its unit by exactly UNIT, so the quiesced total must match the
+        // commit count — a torn or half-published commit breaks this.
+        let total = db.execute("SELECT SUM(bal) FROM acct").unwrap();
+        let expect = total_commits as i64 * UNIT as i64;
+        assert_eq!(
+            total.rows[0][0],
+            mb2_common::Value::Int(expect),
+            "commit atomicity drifted at shard_count={shards}"
+        );
+        db.shutdown();
+    }
+
+    let max_si = shard_counts.len() - 1;
+    let mut table = Table::new(
+        format!(
+            "commits/sec, {threads} committers x {UNIT}-row write sets over {rows} rows \
+             (median of {reps}, {cores} cores)"
+        ),
+        &["shard_count", "commits/s", "stamped rows/s", "vs 1 shard"],
+    );
+    for (si, &shards) in shard_counts.iter().enumerate() {
+        table.row(&[
+            shards.to_string(),
+            fmt(rates[si].0),
+            fmt(rates[si].1),
+            format!("{:.2}x", rates[si].0 / rates[0].0),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let speedup = rates[max_si].0 / rates[0].0;
+    let gated = cores >= GATE_MIN_CORES;
+    let pass = !gated || speedup >= SHARD_COMMIT_SPEEDUP_GATE;
+    let verdict = if !gated {
+        format!("SKIPPED ({cores} cores < {GATE_MIN_CORES})")
+    } else if pass {
+        "PASS".to_string()
+    } else {
+        "FAIL".to_string()
+    };
+    let _ = writeln!(
+        out,
+        "\ncommit speedup at shard_count={} vs 1: {speedup:.2}x \
+         (gate {SHARD_COMMIT_SPEEDUP_GATE:.1}x at >= {GATE_MIN_CORES} cores) — {verdict}",
+        shard_counts[max_si]
+    );
+
+    // Machine-readable companion: hand-rolled JSON, no serde dependency.
+    let mut json = String::from("{\n  \"experiment\": \"shard_scale\",\n");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"committers\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"commit_speedup_max_vs_1\": {speedup:.4},");
+    let _ = writeln!(json, "  \"gate\": {SHARD_COMMIT_SPEEDUP_GATE},");
+    let _ = writeln!(json, "  \"gate_min_cores\": {GATE_MIN_CORES},");
+    let _ = writeln!(json, "  \"gate_enforced\": {gated},");
+    let _ = writeln!(json, "  \"gate_pass\": {pass},");
+    json.push_str("  \"results\": [\n");
+    for (si, &shards) in shard_counts.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shard_count\": {shards}, \"commits_per_sec\": {:.1}, \
+             \"rows_per_sec\": {:.1}}}",
+            rates[si].0, rates[si].1
+        );
+        json.push_str(if si + 1 == shard_counts.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join("BENCH_shard.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        let _ = writeln!(out, "\njson: {}", path.display());
+    }
+
+    out
+}

@@ -110,8 +110,20 @@ impl Catalog {
         }
     }
 
-    /// Create a table; fails if the name is taken.
+    /// Create a single-shard table; fails if the name is taken.
     pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<Arc<TableEntry>> {
+        self.create_table_with_shards(name, schema, 1)
+    }
+
+    /// Create a table partitioned into `shard_count` hash shards (clamped
+    /// to at least 1). Slot assignment and scan order do not depend on the
+    /// shard count, so the choice only affects concurrency, never results.
+    pub fn create_table_with_shards(
+        &self,
+        name: &str,
+        schema: Schema,
+        shard_count: usize,
+    ) -> DbResult<Arc<TableEntry>> {
         let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
@@ -120,7 +132,7 @@ impl Catalog {
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::AcqRel));
         let n_cols = schema.len();
         let entry = Arc::new(TableEntry {
-            table: Arc::new(Table::new(id, key.clone(), schema)),
+            table: Arc::new(Table::with_shards(id, key.clone(), schema, shard_count)),
             indexes: RwLock::new(Vec::new()),
             stats: RwLock::new(TableStats::empty(n_cols)),
         });
@@ -248,6 +260,18 @@ mod tests {
         assert_eq!(stats.row_count, 100);
         assert_eq!(stats.columns[0].distinct, 10);
         assert_eq!(stats.columns[1].distinct, 100);
+    }
+
+    #[test]
+    fn sharded_create_clamps_and_records_count() {
+        let cat = Catalog::new();
+        let entry = cat.create_table_with_shards("t3", schema(), 3).unwrap();
+        assert_eq!(entry.table.shard_count(), 3);
+        let entry0 = cat.create_table_with_shards("t0", schema(), 0).unwrap();
+        assert_eq!(entry0.table.shard_count(), 1);
+        // The plain constructor stays single-shard.
+        let flat = cat.create_table("flat", schema()).unwrap();
+        assert_eq!(flat.table.shard_count(), 1);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! OU input-feature definitions (paper §4.2, Table 1).
 //!
-//! Every OU has a small fixed feature vector (at most ~7 base features plus
-//! behavior knobs, in line with the paper's ≤10 guidance). The widths here
-//! mirror Table 1's "Features + Knobs" counts adapted to this engine.
+//! Every OU has a small fixed feature vector (base features plus behavior
+//! knobs, in line with the paper's ≤10 guidance). The widths here mirror
+//! Table 1's "Features + Knobs" counts adapted to this engine: execution
+//! OUs carry the batch-size, parallelism, and shard-count knobs, and the
+//! txn/GC OUs carry the table shard count (commit-lock striping and GC
+//! cadence scale with it).
 
 use mb2_common::OuKind;
 
@@ -19,7 +22,9 @@ pub struct OuInstance {
 /// Feature names per OU (excluding the optional trailing hardware-context
 /// feature the translator can append, §8.6).
 pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
-    // The seven standard execution features (paper §4.2 "Singular OUs").
+    // The seven standard execution features (paper §4.2 "Singular OUs")
+    // plus the three behavior knobs the translator appends: rows per batch,
+    // exec-pool workers, and the scanned table's shard count.
     const EXEC: &[&str] = &[
         "n_tuples",
         "n_cols",
@@ -28,6 +33,9 @@ pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
         "payload_size",
         "n_loops",
         "exec_mode",
+        "batch_size",
+        "parallelism",
+        "shard_count",
     ];
     match ou {
         OuKind::SeqScan
@@ -42,8 +50,14 @@ pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
         | OuKind::UpdateTuple
         | OuKind::DeleteTuple
         | OuKind::OutputResult => EXEC,
-        OuKind::ArithmeticFilter => &["n_evals", "ops_per_eval", "exec_mode"],
-        OuKind::GarbageCollection => &["n_versions", "n_slots", "gc_interval_ms"],
+        OuKind::ArithmeticFilter => &[
+            "n_evals",
+            "ops_per_eval",
+            "exec_mode",
+            "batch_size",
+            "parallelism",
+        ],
+        OuKind::GarbageCollection => &["n_versions", "n_slots", "gc_interval_ms", "n_shards"],
         OuKind::IndexBuild => &[
             "n_tuples",
             "n_key_cols",
@@ -53,7 +67,7 @@ pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
         ],
         OuKind::LogSerialize => &["total_bytes", "n_records", "n_buffers", "avg_record_size"],
         OuKind::LogFlush => &["total_bytes", "n_buffers", "flush_interval_ms"],
-        OuKind::TxnBegin | OuKind::TxnCommit => &["arrival_rate", "active_txns"],
+        OuKind::TxnBegin | OuKind::TxnCommit => &["arrival_rate", "active_txns", "n_shards"],
     }
 }
 
@@ -103,29 +117,34 @@ mod tests {
     fn widths_stay_low_dimensional() {
         for ou in OuKind::ALL {
             let w = feature_width(ou);
-            assert!((2..=7).contains(&w), "{ou}: width {w}");
+            assert!((2..=10).contains(&w), "{ou}: width {w}");
         }
     }
 
     #[test]
-    fn exec_ous_share_the_seven_features() {
-        assert_eq!(feature_width(OuKind::SeqScan), 7);
+    fn exec_ous_share_the_standard_features_plus_knobs() {
+        assert_eq!(feature_width(OuKind::SeqScan), 10);
         assert_eq!(feature_names(OuKind::SortBuild)[6], "exec_mode");
+        assert_eq!(feature_names(OuKind::SeqScan)[7], "batch_size");
+        assert_eq!(feature_names(OuKind::SeqScan)[8], "parallelism");
+        assert_eq!(feature_names(OuKind::SeqScan)[9], "shard_count");
     }
 
     #[test]
-    fn txn_ous_have_two_features_like_table_1() {
-        assert_eq!(feature_width(OuKind::TxnBegin), 2);
-        assert_eq!(feature_width(OuKind::TxnCommit), 2);
+    fn txn_ous_carry_the_shard_knob() {
+        assert_eq!(feature_width(OuKind::TxnBegin), 3);
+        assert_eq!(feature_width(OuKind::TxnCommit), 3);
+        assert_eq!(feature_names(OuKind::TxnCommit)[2], "n_shards");
         assert!(normalization_feature(OuKind::TxnBegin).is_none());
     }
 
     #[test]
     fn table_1_feature_counts() {
-        assert_eq!(feature_width(OuKind::GarbageCollection), 3);
+        assert_eq!(feature_width(OuKind::GarbageCollection), 4);
         assert_eq!(feature_width(OuKind::IndexBuild), 5);
         assert_eq!(feature_width(OuKind::LogSerialize), 4);
         assert_eq!(feature_width(OuKind::LogFlush), 3);
+        assert_eq!(feature_width(OuKind::ArithmeticFilter), 5);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct ExecutionRunnerConfig {
     pub hw: HardwareProfile,
     /// Fig. 9a software-update emulation knob.
     pub jht_sleep_every: usize,
+    /// Batch-size knob values to sweep (each is a full query sweep).
+    pub batch_sizes: Vec<usize>,
+    /// Parallelism knob values to sweep.
+    pub parallelism: Vec<usize>,
 }
 
 impl Default for ExecutionRunnerConfig {
@@ -42,6 +46,10 @@ impl Default for ExecutionRunnerConfig {
             translator: TranslatorConfig::default(),
             hw: HardwareProfile::default(),
             jht_sleep_every: 0,
+            // Tuple-at-a-time vs. vectorized, serial vs. 4-way parallel:
+            // the knob corners the batch/parallelism OU features train on.
+            batch_sizes: vec![1, mb2_exec::DEFAULT_BATCH_SIZE],
+            parallelism: vec![1, 4],
         }
     }
 }
@@ -58,6 +66,8 @@ impl ExecutionRunnerConfig {
                 warmups: 1,
                 ..RunnerConfig::default()
             },
+            batch_sizes: vec![mb2_exec::DEFAULT_BATCH_SIZE],
+            parallelism: vec![1],
             ..ExecutionRunnerConfig::default()
         }
     }
@@ -73,7 +83,13 @@ pub fn run_execution_runners(cfg: &ExecutionRunnerConfig) -> DbResult<TrainingRe
         db.set_jht_sleep_every(cfg.jht_sleep_every);
         for &mode in &cfg.modes {
             db.set_execution_mode(mode);
-            sweep_queries(&db, rows, &translator, cfg, &mut repo)?;
+            for &batch in &cfg.batch_sizes {
+                db.set_batch_size(batch);
+                for &workers in &cfg.parallelism {
+                    db.set_parallelism(workers);
+                    sweep_queries(&db, rows, &translator, cfg, &mut repo)?;
+                }
+            }
         }
     }
     Ok(repo)
@@ -90,12 +106,18 @@ pub fn run_join_runner(cfg: &ExecutionRunnerConfig) -> DbResult<TrainingRepo> {
         db.set_jht_sleep_every(cfg.jht_sleep_every);
         for &mode in &cfg.modes {
             db.set_execution_mode(mode);
-            for sql in [
-                "SELECT * FROM ou_r1, ou_r2 WHERE ou_r1.jk = ou_r2.k",
-                "SELECT * FROM ou_r1, ou_r2 WHERE ou_r1.jk = ou_r2.k AND ou_r2.w > 100.0",
-            ] {
-                let plan = db.prepare(sql)?;
-                repo.add_all(measure_plan(&db, &plan, &translator, &cfg.measure, false)?);
+            for &batch in &cfg.batch_sizes {
+                db.set_batch_size(batch);
+                for &workers in &cfg.parallelism {
+                    db.set_parallelism(workers);
+                    for sql in [
+                        "SELECT * FROM ou_r1, ou_r2 WHERE ou_r1.jk = ou_r2.k",
+                        "SELECT * FROM ou_r1, ou_r2 WHERE ou_r1.jk = ou_r2.k AND ou_r2.w > 100.0",
+                    ] {
+                        let plan = db.prepare(sql)?;
+                        repo.add_all(measure_plan(&db, &plan, &translator, &cfg.measure, false)?);
+                    }
+                }
             }
         }
     }
@@ -268,6 +290,35 @@ mod tests {
         ] {
             assert!(repo.count(ou) > 0, "no samples for {ou}");
         }
+    }
+
+    #[test]
+    fn sweep_varies_batch_and_parallelism_features() {
+        let cfg = ExecutionRunnerConfig {
+            max_rows: 64,
+            min_rows: 64,
+            modes: vec![ExecutionMode::Compiled],
+            measure: RunnerConfig {
+                repetitions: 1,
+                warmups: 0,
+                ..RunnerConfig::default()
+            },
+            batch_sizes: vec![1, 1024],
+            parallelism: vec![1, 2],
+            ..ExecutionRunnerConfig::default()
+        };
+        let repo = run_execution_runners(&cfg).unwrap();
+        // SeqScan features end in [batch_size, parallelism, shard_count];
+        // the sweep must produce both corners of each knob.
+        let mut batches = std::collections::BTreeSet::new();
+        let mut workers = std::collections::BTreeSet::new();
+        for s in repo.samples(OuKind::SeqScan) {
+            let n = s.features.len();
+            batches.insert(s.features[n - 3] as u64);
+            workers.insert(s.features[n - 2] as u64);
+        }
+        assert_eq!(batches.into_iter().collect::<Vec<_>>(), vec![1, 1024]);
+        assert_eq!(workers.into_iter().collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

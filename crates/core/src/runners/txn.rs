@@ -144,7 +144,7 @@ mod tests {
         assert!(repo.count(OuKind::TxnBegin) >= 2);
         assert!(repo.count(OuKind::TxnCommit) >= 2);
         for s in repo.samples(OuKind::TxnBegin) {
-            assert_eq!(s.features.len(), 2);
+            assert_eq!(s.features.len(), 3);
             assert!(s.features[0] > 0.0, "arrival rate recorded");
             assert!(s.labels.elapsed_us() >= 0.0);
         }

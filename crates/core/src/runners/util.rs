@@ -244,7 +244,7 @@ mod tests {
         run_gc_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
         assert!(repo.count(OuKind::GarbageCollection) >= 6);
         for s in repo.samples(OuKind::GarbageCollection) {
-            assert_eq!(s.features.len(), 3);
+            assert_eq!(s.features.len(), 4);
             assert!(s.labels.elapsed_us() >= 0.0);
         }
     }

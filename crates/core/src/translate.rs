@@ -57,6 +57,32 @@ impl OuTranslator {
         mut features: Vec<f64>,
         knobs: &Knobs,
     ) {
+        // Behavior knobs are appended here, uniformly, so the per-node
+        // `walk` arms only build the base (work-shape) features. Matches
+        // the trailing knob names in `feature_names`.
+        match ou {
+            OuKind::SeqScan
+            | OuKind::IdxScan
+            | OuKind::JoinHashBuild
+            | OuKind::JoinHashProbe
+            | OuKind::AggBuild
+            | OuKind::AggProbe
+            | OuKind::SortBuild
+            | OuKind::SortIter
+            | OuKind::InsertTuple
+            | OuKind::UpdateTuple
+            | OuKind::DeleteTuple
+            | OuKind::OutputResult => {
+                features.push(knobs.batch_size.max(1) as f64);
+                features.push(knobs.parallelism.max(1) as f64);
+                features.push(knobs.shard_count.max(1) as f64);
+            }
+            OuKind::ArithmeticFilter => {
+                features.push(knobs.batch_size.max(1) as f64);
+                features.push(knobs.parallelism.max(1) as f64);
+            }
+            _ => {}
+        }
         debug_assert_eq!(features.len(), crate::features::feature_width(ou));
         if self.config.include_hw_context {
             features.push(knobs.hw.cpu_freq_ghz);
@@ -487,6 +513,14 @@ impl OuTranslator {
     }
 
     fn finish_util(&self, ou: OuKind, mut features: Vec<f64>, knobs: &Knobs) -> OuInstance {
+        // Commit-lock striping and the per-shard GC cadence scale with the
+        // table shard count, so the txn and GC OUs carry it as a knob.
+        if matches!(
+            ou,
+            OuKind::GarbageCollection | OuKind::TxnBegin | OuKind::TxnCommit
+        ) {
+            features.push(knobs.shard_count.max(1) as f64);
+        }
         debug_assert_eq!(features.len(), crate::features::feature_width(ou));
         if self.config.include_hw_context {
             features.push(knobs.hw.cpu_freq_ghz);
@@ -640,6 +674,45 @@ mod tests {
     }
 
     #[test]
+    fn knob_features_track_knob_changes() {
+        let db = db_with_data();
+        let plan = db.prepare("SELECT * FROM t WHERE a < 50").unwrap();
+        db.set_batch_size(7);
+        db.set_parallelism(3);
+        db.set_shard_count(5);
+        let t = OuTranslator::default();
+        let knobs = db.knobs();
+        let insts = t.translate_plan(&plan, &knobs);
+        assert!(!insts.is_empty());
+        for inst in &insts {
+            let tail = &inst.features[inst.features.len().saturating_sub(3)..];
+            match inst.ou {
+                OuKind::SeqScan | OuKind::OutputResult => {
+                    assert_eq!(tail, &[7.0, 3.0, 5.0], "{:?}", inst.ou);
+                }
+                OuKind::ArithmeticFilter => {
+                    assert_eq!(&tail[1..], &[7.0, 3.0], "{:?}", inst.ou);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            *t.txn_features(OuKind::TxnCommit, 1.0, 1.0, &knobs)
+                .features
+                .last()
+                .unwrap(),
+            5.0
+        );
+        assert_eq!(
+            *t.gc_features(1.0, 1.0, 1.0, &knobs)
+                .features
+                .last()
+                .unwrap(),
+            5.0
+        );
+    }
+
+    #[test]
     fn util_features_shapes() {
         let t = OuTranslator::default();
         let knobs = Knobs::default();
@@ -650,12 +723,12 @@ mod tests {
             4
         );
         assert_eq!(t.log_flush_features(8192.0, &knobs).features.len(), 3);
-        assert_eq!(t.gc_features(10.0, 100.0, 5.0, &knobs).features.len(), 3);
+        assert_eq!(t.gc_features(10.0, 100.0, 5.0, &knobs).features.len(), 4);
         assert_eq!(
             t.txn_features(OuKind::TxnBegin, 100.0, 4.0, &knobs)
                 .features
                 .len(),
-            2
+            3
         );
         assert_eq!(
             t.index_build_features(1000.0, 2.0, 16.0, 500.0, 4.0, &knobs)

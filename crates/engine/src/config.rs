@@ -99,6 +99,16 @@ pub struct Knobs {
     /// morsel-parallel; results stay byte-identical to serial execution.
     /// Defaults to the number of available cores. Clamped to at least 1.
     pub parallelism: usize,
+    /// Hash-shard count for newly created tables. Each shard owns its own
+    /// chain blocks, slot counters, and GC pass, and the commit lock is
+    /// striped by shard footprint — so single-shard commits on different
+    /// shards stamp in parallel. `1` reproduces the flat single-shard
+    /// layout byte-for-byte. Slot assignment and scan order are independent
+    /// of the shard count, so WAL images and query results never change
+    /// with it. Defaults to the number of available cores. Clamped to at
+    /// least 1; applies to tables created (or re-created by recovery) after
+    /// the knob is set.
+    pub shard_count: usize,
 }
 
 /// Worker-count default for [`Knobs::parallelism`]: every available core.
@@ -117,6 +127,7 @@ impl Default for Knobs {
             jht_sleep_every: 0,
             batch_size: mb2_exec::DEFAULT_BATCH_SIZE,
             parallelism: default_parallelism(),
+            shard_count: default_parallelism(),
         }
     }
 }
@@ -135,5 +146,7 @@ mod tests {
         assert_eq!(c.knobs.batch_size, mb2_exec::DEFAULT_BATCH_SIZE);
         assert_eq!(c.knobs.parallelism, default_parallelism());
         assert!(c.knobs.parallelism >= 1);
+        assert_eq!(c.knobs.shard_count, default_parallelism());
+        assert!(c.knobs.shard_count >= 1);
     }
 }

@@ -235,6 +235,28 @@ impl Database {
         *self.pool.write() = pool;
     }
 
+    /// Hash-shard count for tables created after this call (clamped to at
+    /// least 1). Existing tables keep their shard count — the shard map is
+    /// fixed at table creation.
+    pub fn set_shard_count(&self, n: usize) {
+        self.knobs.write().shard_count = n.max(1);
+    }
+
+    /// Per-shard storage statistics for every table, sorted by table name:
+    /// `(table name, ShardStats)` rows. Feeds `SHOW SHARDS` and the
+    /// per-shard storage gauges.
+    pub fn shard_status(&self) -> Vec<(String, mb2_storage::ShardStats)> {
+        let mut out = Vec::new();
+        for name in self.catalog.table_names() {
+            if let Ok(entry) = self.catalog.get(&name) {
+                for stats in entry.table.shard_stats() {
+                    out.push((name.clone(), stats));
+                }
+            }
+        }
+        out
+    }
+
     /// The shared morsel-execution pool, if parallelism is enabled.
     pub fn exec_pool(&self) -> Option<Arc<ExecPool>> {
         self.pool.read().clone()
@@ -595,7 +617,11 @@ impl Database {
                         })
                         .collect(),
                 );
-                let entry = self.catalog.create_table(name, schema)?;
+                let entry = self.catalog.create_table_with_shards(
+                    name,
+                    schema,
+                    self.knobs().shard_count.max(1),
+                )?;
                 self.gc.register(entry.table.clone());
                 entry.table.set_faults(self.faults.clone());
                 self.log_ddl(&LogRecord::CreateTable {

@@ -171,7 +171,14 @@ pub fn recover_with(
                         })
                         .collect::<DbResult<Vec<_>>>()?,
                 );
-                let entry = db.catalog().create_table(name, schema)?;
+                // The WAL never records a shard count — slot assignment is
+                // shard-independent — so a log written at one shard count
+                // recovers into whatever the current knob says.
+                let entry = db.catalog().create_table_with_shards(
+                    name,
+                    schema,
+                    db.knobs().shard_count.max(1),
+                )?;
                 db.gc().register(entry.table.clone());
                 entry.table.set_faults(db.faults().cloned());
                 // Re-log the DDL under the *new* table id. DML replayed

@@ -3,6 +3,13 @@
 //! scans while writers churn, with snapshot invariants checked on every
 //! read. Regression cover for lifecycle races between GC, the exec pool,
 //! and MVCC readers.
+//!
+//! Runs at shard counts 1, 3, and 8: the sharded variants size the table
+//! to span every shard (shard units are 512 slots), so the random balance
+//! transfers routinely cross shards — covering the sharded commit lock
+//! (stamp-then-publish under a striped footprint) and per-shard GC passes
+//! under concurrent snapshots. The invariants are identical at every shard
+//! count: sharding is a concurrency layout, never an observable.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -11,7 +18,6 @@ use std::time::{Duration, Instant};
 use mb2_common::Value;
 use mb2_engine::{Database, DatabaseConfig};
 
-const ACCOUNTS: i64 = 64;
 const INITIAL_BALANCE: i64 = 100;
 
 /// Deterministic xorshift — keeps the "randomized queries" reproducible.
@@ -24,42 +30,66 @@ fn next(rng: &mut u64) -> u64 {
     x
 }
 
-fn build_db() -> Arc<Database> {
+/// Seed override for CI stress runs: `MB2_TEST_SEED=n` perturbs every
+/// thread's RNG stream.
+fn seed_offset() -> u64 {
+    std::env::var("MB2_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn build_db(shard_count: usize, accounts: i64) -> Arc<Database> {
     let mut cfg = DatabaseConfig {
         gc_interval: Some(Duration::from_millis(1)),
         ..DatabaseConfig::default()
     };
     cfg.knobs.parallelism = 8;
+    cfg.knobs.shard_count = shard_count;
     let db = Arc::new(Database::new(cfg).expect("database"));
     db.execute("CREATE TABLE acct (id INT, bal INT)").unwrap();
-    for chunk in 0..(ACCOUNTS / 16) {
-        let rows: Vec<String> = (0..16)
-            .map(|i| format!("({}, {INITIAL_BALANCE})", chunk * 16 + i))
+    let mut i = 0i64;
+    while i < accounts {
+        let end = (i + 256).min(accounts);
+        let rows: Vec<String> = (i..end)
+            .map(|id| format!("({id}, {INITIAL_BALANCE})"))
             .collect();
         db.execute(&format!("INSERT INTO acct VALUES {}", rows.join(", ")))
             .unwrap();
+        i = end;
     }
     db
 }
 
-#[test]
-fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
-    let db = build_db();
+fn stress(shard_count: usize, accounts: i64, run_for: Duration) {
+    let db = build_db(shard_count, accounts);
+    {
+        let table = &db.catalog().get("acct").unwrap().table;
+        assert_eq!(table.shard_count(), shard_count);
+        if shard_count > 1 {
+            // The table must actually span every shard, or the cross-shard
+            // commit coverage is vacuous.
+            for s in table.shard_stats() {
+                assert!(s.live_tuples > 0, "shard {} empty: {s:?}", s.shard);
+            }
+        }
+    }
     let stop = Arc::new(AtomicBool::new(false));
 
-    // Writers: balance transfers between random accounts. Each commit
-    // creates garbage versions for the 1ms GC to prune; aborts exercise
-    // the undo path. Total balance and row count are invariant.
+    // Writers: balance transfers between random accounts (cross-shard with
+    // high probability on sharded tables). Each commit creates garbage
+    // versions for the 1ms GC to prune; aborts exercise the undo path.
+    // Total balance and row count are invariant.
     let writers: Vec<_> = (0..4)
         .map(|w| {
             let db = db.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
-                let mut rng = 0x9e3779b97f4a7c15u64.wrapping_mul(w + 1);
+                let mut rng = 0x9e3779b97f4a7c15u64.wrapping_mul(w + 1) ^ seed_offset();
                 let mut commits = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let a = (next(&mut rng) % ACCOUNTS as u64) as i64;
-                    let b = (next(&mut rng) % ACCOUNTS as u64) as i64;
+                    let a = (next(&mut rng) % accounts as u64) as i64;
+                    let b = (next(&mut rng) % accounts as u64) as i64;
                     let amt = (next(&mut rng) % 7) as i64 + 1;
                     let mut session = db.session();
                     let result = session
@@ -91,13 +121,15 @@ fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
         .collect();
 
     // Readers: randomized parallel scans whose snapshot invariants must
-    // hold on every single read, no matter what GC pruned mid-scan.
+    // hold on every single read, no matter what GC pruned mid-scan. On a
+    // sharded table a torn cross-shard commit would surface here as a
+    // drifted SUM.
     let readers: Vec<_> = (0..4)
         .map(|r| {
             let db = db.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
-                let mut rng = 0xdeadbeefcafef00du64.wrapping_mul(r + 1);
+                let mut rng = 0xdeadbeefcafef00du64.wrapping_mul(r + 1) ^ seed_offset();
                 let mut reads = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     match next(&mut rng) % 3 {
@@ -105,22 +137,22 @@ fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
                             let res = db.execute("SELECT SUM(bal) FROM acct").unwrap();
                             assert_eq!(
                                 res.rows,
-                                vec![vec![Value::Int(ACCOUNTS * INITIAL_BALANCE)]],
+                                vec![vec![Value::Int(accounts * INITIAL_BALANCE)]],
                                 "snapshot total drifted"
                             );
                         }
                         1 => {
                             let res = db.execute("SELECT COUNT(*) FROM acct").unwrap();
-                            assert_eq!(res.rows, vec![vec![Value::Int(ACCOUNTS)]]);
+                            assert_eq!(res.rows, vec![vec![Value::Int(accounts)]]);
                         }
                         _ => {
-                            let id = (next(&mut rng) % ACCOUNTS as u64) as i64;
+                            let id = (next(&mut rng) % accounts as u64) as i64;
                             let res = db
                                 .execute(&format!(
                                     "SELECT id, bal FROM acct WHERE id >= {id} ORDER BY id"
                                 ))
                                 .unwrap();
-                            assert_eq!(res.rows.len(), (ACCOUNTS - id) as usize);
+                            assert_eq!(res.rows.len(), (accounts - id) as usize);
                         }
                     }
                     reads += 1;
@@ -163,7 +195,7 @@ fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
         })
     };
 
-    let deadline = Instant::now() + Duration::from_millis(600);
+    let deadline = Instant::now() + run_for;
     while Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -181,7 +213,34 @@ fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
     let total = db.execute("SELECT SUM(bal) FROM acct").unwrap();
     assert_eq!(
         total.rows,
-        vec![vec![Value::Int(ACCOUNTS * INITIAL_BALANCE)]]
+        vec![vec![Value::Int(accounts * INITIAL_BALANCE)]]
     );
+    if shard_count > 1 {
+        // Per-shard GC ran against every shard of the churned table.
+        let table = &db.catalog().get("acct").unwrap().table;
+        assert!(
+            table.shard_stats().iter().any(|s| s.last_gc_watermark > 0),
+            "background GC never swept the shards"
+        );
+    }
     db.shutdown();
+}
+
+#[test]
+fn aggressive_gc_under_parallel_scans_preserves_snapshots() {
+    stress(1, 64, Duration::from_millis(600));
+}
+
+/// 3 shards, 3.5 shard units of rows: every shard populated, transfers
+/// cross shards constantly.
+#[test]
+fn aggressive_gc_under_parallel_scans_preserves_snapshots_3_shards() {
+    stress(3, 1792, Duration::from_millis(500));
+}
+
+/// 8 shards, 9 shard units of rows (> 8 × 512), so all eight shards hold
+/// data and the commit-lock footprint regularly spans several stripes.
+#[test]
+fn aggressive_gc_under_parallel_scans_preserves_snapshots_8_shards() {
+    stress(8, 4608, Duration::from_millis(500));
 }

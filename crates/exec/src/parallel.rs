@@ -4,10 +4,14 @@
 //! knob) runs parallelizable *leaf chains* — a base-table sequential scan
 //! plus any stack of Filter/Project stages above it — by carving the heap
 //! into fixed-size slot-range **morsels** ([`DEFAULT_MORSEL_SLOTS`]).
-//! Workers pull morsel indices from a shared atomic cursor, evaluate the
-//! chain over their range with thread-local state, and send results to the
-//! issuing thread, which re-emits them in morsel order (an **ordered
-//! gather**). Because disjoint slot ranges partition the heap exactly
+//! Dispatch is **shard-affine**: morsels are bucketed by the storage shard
+//! owning their first slot, each shard gets its own atomic cursor, and a
+//! worker drains the cursor of its preferred shard before stealing from
+//! others — so parallel scans over a partitioned table stop contending on
+//! one cursor and each worker stays inside one shard's chain blocks while
+//! its shard lasts. Workers evaluate the chain over their range with
+//! thread-local state and send results to the issuing thread, which
+//! re-emits them in morsel order (an **ordered gather**). Because disjoint slot ranges partition the heap exactly
 //! (`Table::scan_visible_range`) and emission is in range order, the row
 //! stream a parallel chain produces is byte-identical to the serial scan —
 //! heap order is preserved, so `LIMIT` prefixes and client-visible row
@@ -67,6 +71,9 @@ struct PoolObs {
     queue_depth: Arc<Histogram>,
     /// Morsels processed, labeled per worker.
     morsels: Vec<Arc<Counter>>,
+    /// Morsels a worker claimed from a shard other than its preferred one,
+    /// labeled per worker. Low steal counts mean shard affinity is holding.
+    steals: Vec<Arc<Counter>>,
     /// Jobs submitted but not yet picked up (feeds `queue_depth`).
     pending: AtomicUsize,
 }
@@ -94,6 +101,15 @@ impl PoolObs {
                     )
                 })
                 .collect(),
+            steals: (0..workers)
+                .map(|i| {
+                    registry.counter_with(
+                        "mb2_exec_pool_steals_total",
+                        &[("worker", &i.to_string())],
+                        "Morsels claimed from a non-preferred shard by each worker",
+                    )
+                })
+                .collect(),
             pending: AtomicUsize::new(0),
         }
     }
@@ -103,12 +119,19 @@ impl PoolObs {
             busy: Arc::new(Gauge::new()),
             queue_depth: Arc::new(Histogram::new()),
             morsels: (0..workers).map(|_| Arc::new(Counter::new())).collect(),
+            steals: (0..workers).map(|_| Arc::new(Counter::new())).collect(),
             pending: AtomicUsize::new(0),
         }
     }
 
     fn morsel_done(&self, worker: usize) {
         if let Some(c) = self.morsels.get(worker) {
+            c.inc();
+        }
+    }
+
+    fn morsel_stolen(&self, worker: usize) {
+        if let Some(c) = self.steals.get(worker) {
             c.inc();
         }
     }
@@ -193,6 +216,12 @@ impl ExecPool {
     /// Total morsels processed across all workers.
     pub fn morsels_processed(&self) -> u64 {
         self.obs.morsels.iter().map(|c| c.get()).sum()
+    }
+
+    /// Total morsels claimed from a non-preferred shard (work stealing)
+    /// across all workers.
+    pub fn morsels_stolen(&self) -> u64 {
+        self.obs.steals.iter().map(|c| c.get()).sum()
     }
 
     fn submit(&self, job: Job) {
@@ -299,6 +328,14 @@ pub(crate) struct ChainSpec {
 impl ChainSpec {
     pub fn n_morsels(&self) -> usize {
         self.total_slots.div_ceil(self.morsel_slots.max(1))
+    }
+
+    /// The storage shard a morsel is affine to: the shard owning its first
+    /// slot. A morsel larger than a shard unit may spill into other shards
+    /// mid-range — affinity is a dispatch heuristic, not a correctness
+    /// boundary (`scan_visible_range` handles any range).
+    fn shard_of_morsel(&self, m: usize) -> usize {
+        self.table.shard_of_index(m * self.morsel_slots.max(1))
     }
 
     /// The `(node id, OU)` spans this chain accounts for, bottom-up. The
@@ -432,25 +469,33 @@ struct Progress {
 }
 
 impl Progress {
-    /// Wait until morsel `m` is within the read-ahead window. Returns
-    /// `false` if the run was cancelled while waiting. The claimant of the
-    /// consumer's next morsel is never blocked (window ≥ 1), so consumer
-    /// and workers cannot deadlock.
-    fn admit(&self, m: usize, window: usize, cancel: &AtomicBool) -> bool {
-        loop {
-            if cancel.load(Ordering::Relaxed) {
-                return false;
-            }
-            let consumed = self.consumed.lock().unwrap();
-            if m < *consumed + window {
-                return true;
-            }
-            // Timed wait: a lost wakeup (cancel racing the notify) costs
-            // one timeout tick, not a stuck pool worker.
-            let _ = self
-                .cv
-                .wait_timeout(consumed, std::time::Duration::from_millis(10));
+    /// The consumer's current watermark (number of morsels taken).
+    fn consumed(&self) -> usize {
+        *self.consumed.lock().unwrap()
+    }
+
+    /// Park until the watermark moves past the value the caller last
+    /// observed (`seen`), the run is cancelled, or a timeout tick passes.
+    /// Returns `false` only on cancellation. Used by workers that found
+    /// every shard either drained or window-blocked: with
+    /// admission-*before*-claim, the morsel at the watermark itself is
+    /// always claimable (it is its shard's cursor head and within any
+    /// window ≥ 1), so some worker always makes progress and parked ones
+    /// are woken as the consumer advances.
+    fn wait_past(&self, seen: usize, cancel: &AtomicBool) -> bool {
+        if cancel.load(Ordering::Relaxed) {
+            return false;
         }
+        let consumed = self.consumed.lock().unwrap();
+        if *consumed != seen {
+            return true; // advanced since the caller's scan; rescan now
+        }
+        // Timed wait: a lost wakeup (cancel racing the notify) costs
+        // one timeout tick, not a stuck pool worker.
+        let _ = self
+            .cv
+            .wait_timeout(consumed, std::time::Duration::from_millis(10));
+        !cancel.load(Ordering::Relaxed)
     }
 
     fn advance(&self, consumed: usize) {
@@ -499,40 +544,95 @@ where
     let window = jobs * 2;
     let (tx, rx) = channel::<Msg<T>>();
     let cancel = Arc::new(AtomicBool::new(false));
-    let cursor = Arc::new(AtomicUsize::new(0));
     let progress = Arc::new(Progress {
         consumed: std::sync::Mutex::new(0),
         cv: std::sync::Condvar::new(),
     });
+    // Shard-affine dispatch: bucket morsels by the storage shard that owns
+    // their first slot. Each bucket keeps ascending morsel order and gets
+    // its own cursor; a worker drains its preferred shard's cursor and
+    // steals from the next shard (round-robin) only when its own is
+    // drained or window-blocked.
+    let n_shards = chain.table.shard_count().max(1);
+    let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+    for m in 0..n_morsels {
+        lists[chain.shard_of_morsel(m)].push(m);
+    }
+    let lists = Arc::new(lists);
+    let positions: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..n_shards).map(|_| AtomicUsize::new(0)).collect());
     let consume = Arc::new(consume);
-    for _ in 0..jobs {
+    for j in 0..jobs {
         let chain = Arc::clone(&chain);
         let tx = tx.clone();
         let cancel = Arc::clone(&cancel);
-        let cursor = Arc::clone(&cursor);
+        let lists = Arc::clone(&lists);
+        let positions = Arc::clone(&positions);
         let progress = Arc::clone(&progress);
         let consume = Arc::clone(&consume);
         let obs = Arc::clone(&pool.obs);
+        let preferred = j % n_shards;
         pool.submit(Box::new(move |worker| {
             let mut acct = WorkerAcct::default();
             loop {
                 if cancel.load(Ordering::Relaxed) {
                     break;
                 }
-                let m = cursor.fetch_add(1, Ordering::Relaxed);
-                if m >= n_morsels {
-                    break;
+                // Admission before claim: a morsel is only claimed once it
+                // is inside the read-ahead window. Claimed morsels form a
+                // prefix of each shard's ascending list, so the unclaimed
+                // morsel at the consumer watermark is always its shard's
+                // cursor head and within any window ≥ 1 — some worker can
+                // always claim it, which gives the liveness argument for
+                // parking in `wait_past` below.
+                let consumed = progress.consumed();
+                let mut any_blocked = false;
+                let mut claimed = None;
+                'shards: for k in 0..n_shards {
+                    let s = (preferred + k) % n_shards;
+                    let list = &lists[s];
+                    loop {
+                        let pos = positions[s].load(Ordering::Relaxed);
+                        if pos >= list.len() {
+                            break;
+                        }
+                        let m = list[pos];
+                        if m >= consumed + window {
+                            any_blocked = true;
+                            break;
+                        }
+                        if positions[s]
+                            .compare_exchange(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            if k > 0 {
+                                obs.morsel_stolen(worker);
+                            }
+                            claimed = Some(m);
+                            break 'shards;
+                        }
+                    }
                 }
-                if !progress.admit(m, window, &cancel) {
-                    break;
-                }
-                let res = chain
-                    .run_morsel(m, &mut acct)
-                    .and_then(|rows| consume(&chain, rows, &mut acct));
-                obs.morsel_done(worker);
-                let failed = res.is_err();
-                if tx.send(Msg::Morsel(m, res)).is_err() || failed {
-                    break;
+                match claimed {
+                    Some(m) => {
+                        let res = chain
+                            .run_morsel(m, &mut acct)
+                            .and_then(|rows| consume(&chain, rows, &mut acct));
+                        obs.morsel_done(worker);
+                        let failed = res.is_err();
+                        if tx.send(Msg::Morsel(m, res)).is_err() || failed {
+                            break;
+                        }
+                    }
+                    // Every shard drained: all morsels claimed, nothing left.
+                    None if !any_blocked => break,
+                    // Window-blocked everywhere: park until the consumer
+                    // advances (or cancellation).
+                    None => {
+                        if !progress.wait_past(consumed, &cancel) {
+                            break;
+                        }
+                    }
                 }
             }
             let _ = tx.send(Msg::Done(acct));
@@ -665,6 +765,60 @@ mod tests {
         assert!(names.iter().any(|n| n == "mb2_exec_pool_busy_workers"));
         assert!(names.iter().any(|n| n == "mb2_exec_pool_queue_depth"));
         assert!(names.iter().any(|n| n == "mb2_exec_pool_morsels_total"));
+    }
+
+    /// A parallel chain over a sharded table must gather rows in global
+    /// slot order — identical to the serial scan and to a 1-shard table —
+    /// while dispatch runs shard-affine (per-shard cursors, stealing only
+    /// across drained shards).
+    #[test]
+    fn sharded_chain_gathers_in_global_slot_order() {
+        use mb2_common::schema::{Column, Schema};
+        use mb2_common::types::{DataType, Value};
+        use mb2_storage::TableId;
+
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let n_rows = 3 * mb2_storage::SHARD_UNIT_SLOTS + 123;
+        let mk = |shards: usize| {
+            let t = Arc::new(Table::with_shards(TableId(1), "t", schema.clone(), shards));
+            for i in 0..n_rows {
+                let slot = t.insert(vec![Value::Int(i as i64)], Ts::txn(1)).unwrap();
+                t.commit_slot(slot, Ts::txn(1), Ts(2), 1);
+            }
+            t
+        };
+        let run = |table: Arc<Table>| -> Vec<i64> {
+            let pool = ExecPool::new(4);
+            let chain = Arc::new(ChainSpec {
+                table,
+                read_ts: Ts(10),
+                own: Ts::txn(99),
+                scan_id: 0,
+                filter: None,
+                filter_ops: 0,
+                stages: vec![],
+                track: false,
+                morsel_slots: 64,
+                total_slots: n_rows,
+            });
+            let mut rows = Vec::new();
+            let mut par = start(&pool, chain, |_, batch, _| Ok(batch));
+            while let Some(res) = par.next_morsel() {
+                for row in res.unwrap() {
+                    match row[0] {
+                        Value::Int(v) => rows.push(v),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            par.finish();
+            rows
+        };
+        let oracle = run(mk(1));
+        assert_eq!(oracle, (0..n_rows as i64).collect::<Vec<_>>());
+        for shards in [2, 3, 8] {
+            assert_eq!(run(mk(shards)), oracle, "shard_count={shards}");
+        }
     }
 
     #[test]

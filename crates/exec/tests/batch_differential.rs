@@ -28,13 +28,15 @@ use mb2_txn::TxnManager;
 struct Harness {
     catalog: Catalog,
     txns: Arc<TxnManager>,
+    shard_count: usize,
 }
 
 impl Harness {
-    fn new() -> Harness {
+    fn with_shards(shard_count: usize) -> Harness {
         Harness {
             catalog: Catalog::new(),
             txns: TxnManager::new(None),
+            shard_count,
         }
     }
 
@@ -53,7 +55,9 @@ impl Harness {
                         })
                         .collect(),
                 );
-                self.catalog.create_table(&name, schema).unwrap();
+                self.catalog
+                    .create_table_with_shards(&name, schema, self.shard_count)
+                    .unwrap();
             }
             other => panic!("not ddl: {other:?}"),
         }
@@ -476,8 +480,12 @@ impl<'a> Oracle<'a> {
 // ----------------------------------------------------------------------
 
 fn setup(seed: u64) -> Harness {
+    setup_with_shards(seed, 1)
+}
+
+fn setup_with_shards(seed: u64, shards: usize) -> Harness {
     let mut rng = Prng::new(seed);
-    let h = Harness::new();
+    let h = Harness::with_shards(shards);
     h.ddl("CREATE TABLE t (a INT, b INT, c FLOAT)");
     h.ddl("CREATE TABLE u (k INT, v INT)");
     for i in 0..157 {
@@ -522,6 +530,20 @@ fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
 }
 
 fn check_query(h: &Harness, pools: &[Option<Arc<ExecPool>>], sql: &str, has_limit: bool) {
+    check_query_vs(h, h, pools, sql, has_limit);
+}
+
+/// Like [`check_query`], but the row-at-a-time oracle runs against a
+/// *separate* harness (same data, possibly different shard count) — the
+/// cross-shard-count differential: a sharded engine must be byte- and
+/// feature-identical to the single-shard oracle.
+fn check_query_vs(
+    h: &Harness,
+    oracle_h: &Harness,
+    pools: &[Option<Arc<ExecPool>>],
+    sql: &str,
+    has_limit: bool,
+) {
     let plan = h.plan(sql);
     if has_limit && !has_top_order(&plan) {
         assert!(
@@ -530,7 +552,7 @@ fn check_query(h: &Harness, pools: &[Option<Arc<ExecPool>>], sql: &str, has_limi
              nondeterministic: {sql}"
         );
     }
-    let (oracle_rows, oracle_feats) = Oracle::run(h, &plan);
+    let (oracle_rows, oracle_feats) = Oracle::run(oracle_h, &oracle_h.plan(sql));
     for pool in pools {
         let workers = pool.as_ref().map_or(1, |p| p.workers());
         for batch_size in [1usize, 7, 1024] {
@@ -632,6 +654,44 @@ fn randomized_queries_match_oracle() {
             check_query(&h, &pools, sql, *has_limit);
         }
         let _ = round;
+    }
+}
+
+/// The cross-shard-count differential: the same data loaded into tables of
+/// 1, 3, and 8 hash shards must produce byte-identical rows AND identical
+/// per-(node, OU) tuple/byte features against the single-shard oracle, at
+/// every batch size, serial and pooled. Shard choice is a concurrency
+/// layout, never an observable.
+#[test]
+fn sharded_tables_match_single_shard_oracle() {
+    let seed = 0xD1FF ^ seed_offset();
+    let oracle_h = setup_with_shards(seed, 1);
+    let pools: Vec<Option<Arc<ExecPool>>> = vec![None, Some(ExecPool::new(4))];
+    for shards in [1usize, 3, 8] {
+        let h = setup_with_shards(seed, shards);
+        let cases: Vec<(String, bool)> = vec![
+            ("SELECT * FROM t WHERE a < 80".to_string(), false),
+            (
+                "SELECT a, b FROM t WHERE b = 4 ORDER BY a".to_string(),
+                false,
+            ),
+            (
+                "SELECT b, COUNT(*), SUM(a), AVG(c) FROM t GROUP BY b ORDER BY b".to_string(),
+                false,
+            ),
+            (
+                "SELECT t.a, u.v FROM t, u WHERE t.b = u.k AND t.a < 90".to_string(),
+                false,
+            ),
+            (
+                "SELECT a + b * 2 FROM t ORDER BY a + b * 2".to_string(),
+                false,
+            ),
+            ("SELECT * FROM t LIMIT 13".to_string(), true),
+        ];
+        for (sql, has_limit) in &cases {
+            check_query_vs(&h, &oracle_h, &pools, sql, *has_limit);
+        }
     }
 }
 

@@ -644,9 +644,10 @@ fn handle_query(
     }
 }
 
-/// Intercept operator commands (`SHOW METRICS`, `SHOW PILOT`) before SQL
-/// execution. Returns `None` for everything else so ordinary queries take
-/// the normal path. Responses are one Varchar column per row.
+/// Intercept operator commands (`SHOW METRICS`, `SHOW PILOT`,
+/// `SHOW SHARDS`) before SQL execution. Returns `None` for everything else
+/// so ordinary queries take the normal path. Responses are one Varchar
+/// column per row.
 fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> {
     let cmd = sql.trim().trim_end_matches(';').trim().to_ascii_uppercase();
     match cmd.as_str() {
@@ -664,6 +665,21 @@ fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> 
                 None => "{\"state\":\"detached\"}".to_string(),
             };
             Some(vec![vec![Value::Varchar(row)]])
+        }
+        "SHOW SHARDS" => {
+            // One row per (table, shard): live tuples, version-chain
+            // records, versions pruned by GC, and the watermark of the
+            // shard's last GC pass.
+            let mut rows = vec![vec![Value::Varchar(
+                "table shard slots tuples versions gc_pruned gc_watermark".to_string(),
+            )]];
+            for (table, s) in shared.db().shard_status() {
+                rows.push(vec![Value::Varchar(format!(
+                    "{table} {} {} {} {} {} {}",
+                    s.shard, s.slots, s.live_tuples, s.versions, s.gc_pruned, s.last_gc_watermark
+                ))]);
+            }
+            Some(rows)
         }
         _ => None,
     }

@@ -1,6 +1,6 @@
-//! Operator commands answered by the server itself: `SHOW METRICS` and
-//! `SHOW PILOT` are intercepted before the SQL layer and return plain
-//! Varchar row batches over the existing wire protocol.
+//! Operator commands answered by the server itself: `SHOW METRICS`,
+//! `SHOW PILOT`, and `SHOW SHARDS` are intercepted before the SQL layer
+//! and return plain Varchar row batches over the existing wire protocol.
 
 use std::sync::Arc;
 
@@ -60,6 +60,42 @@ fn show_metrics_and_show_pilot_over_the_wire() {
     // Ordinary SQL still takes the normal path.
     let resp = client.query("SELECT id FROM t").expect("select");
     assert_eq!(resp.rows.len(), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn show_shards_reports_per_shard_storage_over_the_wire() {
+    let mut config = DatabaseConfig::default();
+    config.knobs.shard_count = 4;
+    let db = Arc::new(Database::new(config).expect("database"));
+    let server = Server::start(db, ServerConfig::default()).expect("server start");
+    let mut client = Client::connect(server.local_addr().to_string()).expect("connect");
+
+    client.query("CREATE TABLE t (id INT)").unwrap();
+    // 600 rows span the first 512-slot shard unit into the second shard.
+    for base in (0..600).step_by(100) {
+        let values: Vec<String> = (base..base + 100).map(|i| format!("({i})")).collect();
+        client
+            .query(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+
+    let resp = client.query("SHOW SHARDS").expect("show shards");
+    // Header + one row per shard of the 4-shard table.
+    assert_eq!(resp.rows.len(), 5, "{:?}", resp.rows);
+    assert!(text_of(&resp.rows[0]).starts_with("table shard slots tuples"));
+    let mut tuples_total = 0u64;
+    for (i, row) in resp.rows[1..].iter().enumerate() {
+        let fields: Vec<&str> = text_of(row).split_whitespace().collect();
+        assert_eq!(fields[0], "t");
+        assert_eq!(fields[1], i.to_string(), "shard rows in shard order");
+        tuples_total += fields[3].parse::<u64>().unwrap();
+    }
+    assert_eq!(tuples_total, 600, "live tuples partition across shards");
+    // Shards 0 and 1 both hold rows (600 > one 512-slot unit).
+    let shard1: Vec<&str> = text_of(&resp.rows[2]).split_whitespace().collect();
+    assert!(shard1[3].parse::<u64>().unwrap() > 0, "{shard1:?}");
 
     server.shutdown();
 }

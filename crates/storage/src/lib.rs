@@ -12,6 +12,8 @@ pub mod table;
 pub mod ts;
 pub mod version;
 
-pub use table::{SlotId, Table, TableId};
+pub use table::{
+    PartitionedTable, ShardStats, SlotId, Table, TableId, SEGMENT_SIZE, SHARD_UNIT_SLOTS,
+};
 pub use ts::{Ts, TXN_FLAG};
 pub use version::{Version, VersionChain};

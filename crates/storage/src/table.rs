@@ -1,10 +1,21 @@
-//! Segmented table heap.
+//! Partitioned, segmented table heap.
 //!
-//! A table is an append-only array of slots, organized into fixed-size
-//! segments so concurrent appends never invalidate existing slot references.
-//! Each slot holds a [`VersionChain`] behind a light mutex.
+//! A table is an append-only array of slots organized into N independent
+//! **shards** (fixed at creation, 1 by default). Slots are assigned to
+//! shards by interleaving fixed-size units of [`SHARD_UNIT_SLOTS`] global
+//! slot indices, so even small tables spread across shards while the
+//! *global slot order* — the order scans visit and the order `SlotId`s
+//! encode — is identical at every shard count. Each shard owns its own
+//! chain storage (blocks of version-chain mutexes), its own block
+//! allocator, and its own live/version/GC counters, so inserts, commits,
+//! and GC passes on different shards never contend on shared storage
+//! state.
+//!
+//! `SlotId` (segment + offset) and the WAL slot encoding are unchanged:
+//! the shard of a slot is *derived* (`shard_of`), never stored, which is
+//! what lets a WAL written at one shard count recover into any other.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -26,54 +37,126 @@ pub struct SlotId {
     pub offset: u32,
 }
 
-/// Number of slots per segment.
+/// Number of slots per addressing segment (the `SlotId` coordinate system
+/// and the WAL slot encoding; unchanged by sharding).
 pub const SEGMENT_SIZE: usize = 4096;
 
-struct Segment {
+/// Slots per shard-interleaving unit: global slot indices
+/// `[k·U, (k+1)·U)` all live on shard `k mod shard_count`. Small enough
+/// that a table of a few thousand rows already spreads across every
+/// shard, large enough that a default 2048-slot morsel touches at most a
+/// handful of shards and shard-affine workers stay cache-local.
+pub const SHARD_UNIT_SLOTS: usize = 512;
+
+/// One shard-local block of version chains ([`SHARD_UNIT_SLOTS`] slots).
+struct Block {
     chains: Vec<Mutex<VersionChain>>,
 }
 
-impl Segment {
-    fn new() -> Segment {
-        let mut chains = Vec::with_capacity(SEGMENT_SIZE);
-        chains.resize_with(SEGMENT_SIZE, || Mutex::new(VersionChain::default()));
-        Segment { chains }
+impl Block {
+    fn new() -> Block {
+        let mut chains = Vec::with_capacity(SHARD_UNIT_SLOTS);
+        chains.resize_with(SHARD_UNIT_SLOTS, || Mutex::new(VersionChain::default()));
+        Block { chains }
     }
 }
 
-/// A table heap with MVCC slots.
-pub struct Table {
+/// Point-in-time statistics for one shard (feeds `SHOW SHARDS` and the
+/// per-shard `mb2_storage_*` metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Slots allocated on this shard (derived from the global tail).
+    pub slots: usize,
+    /// Approximate live (committed, non-deleted) tuples.
+    pub live_tuples: usize,
+    /// Approximate versions (live + garbage) across the shard's chains.
+    pub versions: usize,
+    /// Versions pruned by per-shard GC passes over the shard's lifetime.
+    pub gc_pruned: u64,
+    /// Watermark of the most recent GC pass over this shard (0 = never).
+    pub last_gc_watermark: u64,
+}
+
+/// One independent partition of the heap: chain storage, its allocator,
+/// and its counters.
+struct Shard {
+    blocks: RwLock<Vec<Arc<Block>>>,
+    /// Approximate live-tuple count for this shard.
+    live_tuples: AtomicUsize,
+    /// Approximate version count (live + garbage) for this shard.
+    version_count: AtomicUsize,
+    /// Cumulative versions reclaimed by GC passes over this shard.
+    gc_pruned: AtomicU64,
+    /// Watermark used by the most recent GC pass over this shard.
+    last_gc_watermark: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            blocks: RwLock::new(Vec::new()),
+            live_tuples: AtomicUsize::new(0),
+            version_count: AtomicUsize::new(0),
+            gc_pruned: AtomicU64::new(0),
+            last_gc_watermark: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A table heap with MVCC slots, partitioned into hash shards.
+///
+/// [`Table`] is an alias for this type; `PartitionedTable::new` builds a
+/// single-shard table that behaves byte-for-byte like the pre-partition
+/// layout, and [`PartitionedTable::with_shards`] spreads the heap over N
+/// shards with identical externally observable behavior (slot ids, scan
+/// order, visibility) at any N.
+pub struct PartitionedTable {
     pub id: TableId,
     pub name: String,
     schema: Schema,
-    segments: RwLock<Vec<Arc<Segment>>>,
-    /// Total slots ever allocated (tail pointer).
+    shards: Vec<Shard>,
+    /// Total slots ever allocated (global tail pointer). Global allocation
+    /// order is the scan order, so it is shared across shards; the
+    /// per-shard work — chain storage growth, chain access — is not.
     next_slot: AtomicUsize,
-    /// Approximate count of live (committed, non-deleted) tuples; maintained
-    /// by commit/GC bookkeeping in higher layers calling the delta methods.
-    live_tuples: AtomicUsize,
-    /// Approximate total version count across all slots.
-    version_count: AtomicUsize,
-    /// Fault injection for chaos tests (`storage.segment_alloc` point);
-    /// `None` in production.
+    /// Fault injection for chaos tests (`storage.segment_alloc` point,
+    /// consulted when a shard's block directory grows); `None` in
+    /// production.
     faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
-impl Table {
-    pub fn new(id: TableId, name: impl Into<String>, schema: Schema) -> Table {
-        Table {
+/// The storage layer's table type. See [`PartitionedTable`].
+pub type Table = PartitionedTable;
+
+impl PartitionedTable {
+    /// A single-shard table: the pre-partition flat layout.
+    pub fn new(id: TableId, name: impl Into<String>, schema: Schema) -> PartitionedTable {
+        PartitionedTable::with_shards(id, name, schema, 1)
+    }
+
+    /// A table partitioned into `shard_count` independent shards (clamped
+    /// to at least 1). The shard count is fixed for the table's lifetime.
+    pub fn with_shards(
+        id: TableId,
+        name: impl Into<String>,
+        schema: Schema,
+        shard_count: usize,
+    ) -> PartitionedTable {
+        let shard_count = shard_count.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        shards.resize_with(shard_count, Shard::new);
+        PartitionedTable {
             id,
             name: name.into(),
             schema,
-            segments: RwLock::new(Vec::new()),
+            shards,
             next_slot: AtomicUsize::new(0),
-            live_tuples: AtomicUsize::new(0),
-            version_count: AtomicUsize::new(0),
             faults: RwLock::new(None),
         }
     }
 
-    /// Attach (or detach) a fault injector consulted when the segment
+    /// Attach (or detach) a fault injector consulted when a shard's block
     /// directory grows.
     pub fn set_faults(&self, faults: Option<Arc<FaultInjector>>) {
         *self.faults.write() = faults;
@@ -83,6 +166,28 @@ impl Table {
         &self.schema
     }
 
+    /// Number of shards this heap is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning global slot index `idx`.
+    #[inline]
+    pub fn shard_of_index(&self, idx: usize) -> usize {
+        (idx / SHARD_UNIT_SLOTS) % self.shards.len()
+    }
+
+    /// The shard owning `slot`.
+    #[inline]
+    pub fn shard_of(&self, slot: SlotId) -> usize {
+        self.shard_of_index(Self::global_index(slot))
+    }
+
+    #[inline]
+    fn global_index(slot: SlotId) -> usize {
+        slot.segment as usize * SEGMENT_SIZE + slot.offset as usize
+    }
+
     /// Number of slots allocated so far (upper bound on tuple count).
     pub fn num_slots(&self) -> usize {
         self.next_slot.load(Ordering::Acquire)
@@ -90,29 +195,68 @@ impl Table {
 
     /// Approximate live tuple count (used by the optimizer's statistics).
     pub fn live_tuples(&self) -> usize {
-        self.live_tuples.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.live_tuples.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Approximate number of versions (live + garbage) across the heap.
     pub fn version_count(&self) -> usize {
-        self.version_count.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.version_count.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Look up the segment for `slot`, or `None` for an address outside the
+    /// Slots allocated on shard `s`, derived from the global tail: shard
+    /// `s` owns every full unit `u` with `u mod N = s` plus the tail
+    /// fragment if it falls on `s`.
+    fn shard_slots(&self, s: usize, total: usize) -> usize {
+        let n = self.shards.len();
+        let full_units = total / SHARD_UNIT_SLOTS;
+        let rem = total % SHARD_UNIT_SLOTS;
+        let mut slots = (full_units / n) * SHARD_UNIT_SLOTS;
+        if full_units % n > s {
+            slots += SHARD_UNIT_SLOTS;
+        }
+        if full_units % n == s && rem > 0 {
+            slots += rem;
+        }
+        slots
+    }
+
+    /// Point-in-time per-shard statistics, one entry per shard in order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let total = self.num_slots();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| ShardStats {
+                shard: s,
+                slots: self.shard_slots(s, total),
+                live_tuples: shard.live_tuples.load(Ordering::Relaxed),
+                versions: shard.version_count.load(Ordering::Relaxed),
+                gc_pruned: shard.gc_pruned.load(Ordering::Relaxed),
+                last_gc_watermark: shard.last_gc_watermark.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Resolve `slot` to its chain, or `None` for an address outside the
     /// heap. Out-of-range slots are a client-reachable condition (a stale
     /// `SlotId` held across DDL, a corrupted index entry), so the accessors
     /// built on this return errors instead of panicking — one bad request
     /// must not take down a server worker.
-    fn try_segment(&self, idx: u32) -> Option<Arc<Segment>> {
-        self.segments.read().get(idx as usize).cloned()
-    }
-
     fn try_chain<R>(&self, slot: SlotId, f: impl FnOnce(&mut VersionChain) -> R) -> Option<R> {
         if slot.offset as usize >= SEGMENT_SIZE {
             return None;
         }
-        let seg = self.try_segment(slot.segment)?;
-        let mut chain = seg.chains[slot.offset as usize].lock();
+        let idx = Self::global_index(slot);
+        let unit = idx / SHARD_UNIT_SLOTS;
+        let n = self.shards.len();
+        let block = self.shards[unit % n].blocks.read().get(unit / n).cloned()?;
+        let mut chain = block.chains[idx % SHARD_UNIT_SLOTS].lock();
         Some(f(&mut chain))
     }
 
@@ -146,12 +290,13 @@ impl Table {
     pub fn insert(&self, tuple: Tuple, txn: Ts) -> DbResult<SlotId> {
         self.check_tuple(&tuple)?;
         let idx = self.next_slot.fetch_add(1, Ordering::AcqRel);
-        let segment = (idx / SEGMENT_SIZE) as u32;
-        let offset = (idx % SEGMENT_SIZE) as u32;
+        let unit = idx / SHARD_UNIT_SLOTS;
+        let n = self.shards.len();
+        let shard = &self.shards[unit % n];
+        let need = unit / n + 1;
         {
-            // Grow the segment directory if needed.
-            let need = segment as usize + 1;
-            if need > self.segments.read().len() {
+            // Grow this shard's block directory if needed.
+            if need > shard.blocks.read().len() {
                 if let Some(inj) = self.faults.read().clone() {
                     if let Some(msg) = inj.check(fault::points::STORAGE_SEGMENT_ALLOC) {
                         // The reserved slot index stays a hole: no chain is
@@ -160,17 +305,20 @@ impl Table {
                         return Err(DbError::Storage(msg));
                     }
                 }
-            }
-            let mut segs = self.segments.write();
-            while segs.len() < need {
-                segs.push(Arc::new(Segment::new()));
+                let mut blocks = shard.blocks.write();
+                while blocks.len() < need {
+                    blocks.push(Arc::new(Block::new()));
+                }
             }
         }
-        let slot = SlotId { segment, offset };
+        let slot = SlotId {
+            segment: (idx / SEGMENT_SIZE) as u32,
+            offset: (idx % SEGMENT_SIZE) as u32,
+        };
         self.chain(slot, |c| {
             *c = VersionChain::new_insert(tuple, txn);
         })?;
-        self.version_count.fetch_add(1, Ordering::Relaxed);
+        shard.version_count.fetch_add(1, Ordering::Relaxed);
         Ok(slot)
     }
 
@@ -188,7 +336,9 @@ impl Table {
         let old = self
             .chain(slot, |c| c.install(Some(tuple), txn, read_ts))?
             .map_err(|e| self.annotate(e))?;
-        self.version_count.fetch_add(1, Ordering::Relaxed);
+        self.shards[self.shard_of(slot)]
+            .version_count
+            .fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("update produced no prior version".into()))
     }
 
@@ -197,7 +347,9 @@ impl Table {
         let old = self
             .chain(slot, |c| c.install(None, txn, read_ts))?
             .map_err(|e| self.annotate(e))?;
-        self.version_count.fetch_add(1, Ordering::Relaxed);
+        self.shards[self.shard_of(slot)]
+            .version_count
+            .fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("delete of already-deleted tuple".into()))
     }
 
@@ -216,14 +368,16 @@ impl Table {
         // Slots in a commit/abort write set were produced by this table's
         // `insert`, so they are always in range; tolerate rather than panic.
         let _ = self.try_chain(slot, |c| c.commit(txn, commit_ts));
+        let shard = &self.shards[self.shard_of(slot)];
         if delta_live > 0 {
-            self.live_tuples
+            shard
+                .live_tuples
                 .fetch_add(delta_live as usize, Ordering::Relaxed);
         } else if delta_live < 0 {
             let d = (-delta_live) as usize;
-            let mut cur = self.live_tuples.load(Ordering::Relaxed);
+            let mut cur = shard.live_tuples.load(Ordering::Relaxed);
             while cur > 0 {
-                match self.live_tuples.compare_exchange_weak(
+                match shard.live_tuples.compare_exchange_weak(
                     cur,
                     cur.saturating_sub(d),
                     Ordering::Relaxed,
@@ -249,11 +403,11 @@ impl Table {
         // Saturating for the same reason as `gc`: the gauge is advisory and
         // must never wrap, even if bookkeeping races make it momentarily
         // inconsistent with the heap.
-        let _ = self
-            .version_count
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            });
+        let _ = self.shards[self.shard_of(slot)].version_count.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(1)),
+        );
     }
 
     /// Visit every slot's visible version at `read_ts`. The callback gets the
@@ -281,14 +435,16 @@ impl Table {
         self.scan_visible_range(start, usize::MAX, read_ts, own, f)
     }
 
-    /// Bounded variant of [`Table::scan_visible_from`]: visit visible
-    /// versions in the half-open global slot range `[start, end)`. This is
-    /// the morsel API — parallel scans carve the heap into fixed-size slot
-    /// ranges and hand each to a worker. The bound applies to *slots*, not
-    /// visible tuples, so disjoint ranges partition the heap exactly and the
-    /// concatenation of per-range visits in range order equals one
-    /// `scan_visible_from(start)` pass. Returns the resume index exactly as
-    /// the unbounded scan does, clamped to `end`.
+    /// Bounded variant of [`PartitionedTable::scan_visible_from`]: visit
+    /// visible versions in the half-open global slot range `[start, end)`.
+    /// This is the morsel API — parallel scans carve the heap into
+    /// fixed-size slot ranges and hand each to a worker. The bound applies
+    /// to *slots*, not visible tuples, so disjoint ranges partition the
+    /// heap exactly and the concatenation of per-range visits in range
+    /// order equals one `scan_visible_from(start)` pass — at any shard
+    /// count, because iteration follows the global slot order, not the
+    /// shard layout. Returns the resume index exactly as the unbounded
+    /// scan does, clamped to `end`.
     pub fn scan_visible_range(
         &self,
         start: usize,
@@ -301,16 +457,27 @@ impl Table {
         if start >= total {
             return total;
         }
-        let segs = self.segments.read().clone();
+        let n = self.shards.len();
+        let shard_blocks: Vec<Vec<Arc<Block>>> = self
+            .shards
+            .iter()
+            .map(|s| s.blocks.read().clone())
+            .collect();
         let mut idx = start;
         while idx < total {
-            let si = idx / SEGMENT_SIZE;
-            let off = idx % SEGMENT_SIZE;
-            let chain = segs[si].chains[off].lock();
+            let unit = idx / SHARD_UNIT_SLOTS;
+            let Some(block) = shard_blocks[unit % n].get(unit / n) else {
+                // A fault-tripped insert can leave a whole-unit hole; skip
+                // it like any other never-written slot.
+                idx += 1;
+                continue;
+            };
+            let off = idx % SHARD_UNIT_SLOTS;
+            let chain = block.chains[off].lock();
             if let Some(data) = chain.visible(read_ts, own) {
                 let slot = SlotId {
-                    segment: si as u32,
-                    offset: off as u32,
+                    segment: (idx / SEGMENT_SIZE) as u32,
+                    offset: (idx % SEGMENT_SIZE) as u32,
                 };
                 if !f(slot, data) {
                     return idx + 1;
@@ -321,20 +488,28 @@ impl Table {
         total
     }
 
-    /// Garbage-collect version chains against the watermark. Returns the
-    /// number of versions reclaimed.
-    pub fn gc(&self, watermark: Ts) -> usize {
+    /// Garbage-collect one shard's version chains against the watermark.
+    /// Returns the number of versions reclaimed. Shards are independent:
+    /// a pass over one shard takes no lock any other shard's writers or
+    /// readers contend on, which is what lets the collector interleave
+    /// per-shard passes with fresh watermarks.
+    pub fn gc_shard(&self, s: usize, watermark: Ts) -> usize {
+        let n = self.shards.len();
+        if s >= n {
+            return 0;
+        }
         let total = self.num_slots();
-        let segs = self.segments.read().clone();
+        let shard = &self.shards[s];
+        let blocks = shard.blocks.read().clone();
         let mut reclaimed = 0usize;
-        for (si, seg) in segs.iter().enumerate() {
-            let upper = if (si + 1) * SEGMENT_SIZE <= total {
-                SEGMENT_SIZE
-            } else {
-                total - si * SEGMENT_SIZE
-            };
+        for (bi, block) in blocks.iter().enumerate() {
+            let base = (bi * n + s) * SHARD_UNIT_SLOTS;
+            if base >= total {
+                break;
+            }
+            let upper = SHARD_UNIT_SLOTS.min(total - base);
             for off in 0..upper {
-                let mut chain = seg.chains[off].lock();
+                let mut chain = block.chains[off].lock();
                 reclaimed += chain.prune(watermark);
             }
         }
@@ -343,28 +518,45 @@ impl Table {
             // is a TOCTOU race — a concurrent `abort_slot` decrement landing
             // between the two underflows the gauge and wraps it to huge
             // values. Saturate inside the CAS loop instead.
-            let _ = self
+            let _ = shard
                 .version_count
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                     Some(v.saturating_sub(reclaimed))
                 });
+            shard
+                .gc_pruned
+                .fetch_add(reclaimed as u64, Ordering::Relaxed);
         }
+        shard
+            .last_gc_watermark
+            .store(watermark.0, Ordering::Relaxed);
         reclaimed
+    }
+
+    /// Garbage-collect every shard against the watermark. Returns the
+    /// number of versions reclaimed.
+    pub fn gc(&self, watermark: Ts) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.gc_shard(s, watermark))
+            .sum()
     }
 
     /// Approximate heap size in bytes (live + garbage versions).
     pub fn approx_bytes(&self) -> usize {
         let total = self.num_slots();
-        let segs = self.segments.read().clone();
+        let n = self.shards.len();
         let mut bytes = 0usize;
-        for (si, seg) in segs.iter().enumerate() {
-            let upper = if (si + 1) * SEGMENT_SIZE <= total {
-                SEGMENT_SIZE
-            } else {
-                total - si * SEGMENT_SIZE
-            };
-            for off in 0..upper {
-                bytes += seg.chains[off].lock().approx_bytes();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let blocks = shard.blocks.read().clone();
+            for (bi, block) in blocks.iter().enumerate() {
+                let base = (bi * n + s) * SHARD_UNIT_SLOTS;
+                if base >= total {
+                    break;
+                }
+                let upper = SHARD_UNIT_SLOTS.min(total - base);
+                for off in 0..upper {
+                    bytes += block.chains[off].lock().approx_bytes();
+                }
             }
         }
         bytes
@@ -376,15 +568,19 @@ mod tests {
     use super::*;
     use mb2_common::{Column, DataType, Value};
 
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ])
+    }
+
     fn table() -> Table {
-        Table::new(
-            TableId(1),
-            "t",
-            Schema::new(vec![
-                Column::new("a", DataType::Int),
-                Column::new("b", DataType::Int),
-            ]),
-        )
+        Table::new(TableId(1), "t", schema())
+    }
+
+    fn sharded(n: usize) -> Table {
+        Table::with_shards(TableId(1), "t", schema(), n)
     }
 
     fn tup(a: i64, b: i64) -> Tuple {
@@ -734,5 +930,197 @@ mod tests {
         assert!(t.read(wide, Ts(10), Ts::txn(2)).is_none());
         // The real slot is untouched.
         assert_eq!(t.read(slot, Ts(10), Ts::txn(3)).unwrap()[0], Value::Int(1));
+    }
+
+    // ------------------------------------------------------------------
+    // Shard-specific coverage
+    // ------------------------------------------------------------------
+
+    /// Fill `t` with `rows` committed tuples and return the slots.
+    fn fill(t: &Table, rows: usize) -> Vec<SlotId> {
+        (0..rows)
+            .map(|i| {
+                let slot = t.insert(tup(i as i64, (i % 7) as i64), Ts::txn(1)).unwrap();
+                t.commit_slot(slot, Ts::txn(1), Ts(5), 1);
+                slot
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_order_is_identical_at_every_shard_count() {
+        // The shard map must be invisible to scans: global slot order is
+        // the scan order at any shard count, so full scans, resumable
+        // scans, and arbitrary morsel partitions all agree with the
+        // single-shard oracle.
+        let rows = 3 * SHARD_UNIT_SLOTS + 123;
+        let oracle = table();
+        fill(&oracle, rows);
+        let mut expect = Vec::new();
+        oracle.scan_visible(Ts(10), Ts::txn(2), |_, tuple| {
+            expect.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(expect.len(), rows);
+
+        for n in [2usize, 3, 8] {
+            let t = sharded(n);
+            fill(&t, rows);
+            let mut got = Vec::new();
+            t.scan_visible(Ts(10), Ts::txn(2), |_, tuple| {
+                got.push(tuple[0].as_i64().unwrap());
+                true
+            });
+            assert_eq!(got, expect, "shard_count {n}");
+            // Morsel partitions reproduce the full scan too.
+            let mut pieced = Vec::new();
+            let mut start = 0;
+            while start < t.num_slots() {
+                let end = start + 2048;
+                t.scan_visible_range(start, end, Ts(10), Ts::txn(2), |_, tuple| {
+                    pieced.push(tuple[0].as_i64().unwrap());
+                    true
+                });
+                start = end;
+            }
+            assert_eq!(pieced, expect, "morsel partition at shard_count {n}");
+        }
+    }
+
+    #[test]
+    fn slots_are_identical_at_every_shard_count() {
+        // SlotIds are derived from the global tail, so the i-th insert
+        // gets the same address at any shard count — the property WAL
+        // replay into a different shard count depends on.
+        let rows = SHARD_UNIT_SLOTS + 77;
+        let oracle = table();
+        let expect = fill(&oracle, rows);
+        for n in [3usize, 8] {
+            let t = sharded(n);
+            let got = fill(&t, rows);
+            assert_eq!(got, expect, "shard_count {n}");
+        }
+    }
+
+    #[test]
+    fn shard_stats_partition_the_heap() {
+        let n = 4;
+        let rows = 10 * SHARD_UNIT_SLOTS + 100;
+        let t = sharded(n);
+        fill(&t, rows);
+        let stats = t.shard_stats();
+        assert_eq!(stats.len(), n);
+        assert_eq!(stats.iter().map(|s| s.slots).sum::<usize>(), rows);
+        assert_eq!(stats.iter().map(|s| s.live_tuples).sum::<usize>(), rows);
+        assert_eq!(stats.iter().map(|s| s.versions).sum::<usize>(), rows);
+        // Interleaved units spread a 10-unit heap across every shard.
+        for s in &stats {
+            assert!(
+                s.live_tuples > 0,
+                "shard {} got no tuples: {stats:?}",
+                s.shard
+            );
+        }
+        assert_eq!(t.live_tuples(), rows);
+        assert_eq!(t.version_count(), rows);
+    }
+
+    #[test]
+    fn shard_of_matches_unit_interleaving() {
+        let t = sharded(3);
+        fill(&t, 2 * SHARD_UNIT_SLOTS + 5);
+        assert_eq!(t.shard_of_index(0), 0);
+        assert_eq!(t.shard_of_index(SHARD_UNIT_SLOTS - 1), 0);
+        assert_eq!(t.shard_of_index(SHARD_UNIT_SLOTS), 1);
+        assert_eq!(t.shard_of_index(2 * SHARD_UNIT_SLOTS), 2);
+        assert_eq!(t.shard_of_index(3 * SHARD_UNIT_SLOTS), 0);
+        let slot = SlotId {
+            segment: 0,
+            offset: SHARD_UNIT_SLOTS as u32,
+        };
+        assert_eq!(t.shard_of(slot), 1);
+    }
+
+    #[test]
+    fn gc_shard_prunes_only_its_own_shard() {
+        let n = 3;
+        let t = sharded(n);
+        let slots = fill(&t, 3 * SHARD_UNIT_SLOTS);
+        // Create one garbage version on a slot of each shard.
+        for (i, &slot) in slots.iter().step_by(SHARD_UNIT_SLOTS).take(n).enumerate() {
+            let txn = Ts::txn(100 + i as u64);
+            t.update(slot, tup(-1, -1), txn, Ts(6)).unwrap();
+            t.commit_slot(slot, txn, Ts(7), 0);
+        }
+        let before: Vec<_> = t.shard_stats().iter().map(|s| s.versions).collect();
+        let reclaimed = t.gc_shard(1, Ts(100));
+        assert_eq!(reclaimed, 1);
+        let after = t.shard_stats();
+        assert_eq!(after[1].versions, before[1] - 1);
+        assert_eq!(after[0].versions, before[0]);
+        assert_eq!(after[2].versions, before[2]);
+        assert_eq!(after[1].gc_pruned, 1);
+        assert_eq!(after[0].gc_pruned, 0);
+        assert_eq!(after[1].last_gc_watermark, 100);
+        // The other shards' garbage falls to a later full pass.
+        assert_eq!(t.gc(Ts(100)), 2);
+    }
+
+    #[test]
+    fn sharded_mvcc_round_trip() {
+        // Update/delete/abort bookkeeping lands on the right shard.
+        let t = sharded(8);
+        let slots = fill(&t, 4 * SHARD_UNIT_SLOTS);
+        let victim = slots[SHARD_UNIT_SLOTS + 3]; // shard 1
+        let old = t.update(victim, tup(7, 7), Ts::txn(50), Ts(10)).unwrap();
+        assert_eq!(old[0], Value::Int(SHARD_UNIT_SLOTS as i64 + 3));
+        t.commit_slot(victim, Ts::txn(50), Ts(20), 0);
+        assert_eq!(
+            t.read(victim, Ts(20), Ts::txn(51)).unwrap()[0],
+            Value::Int(7)
+        );
+        t.delete(victim, Ts::txn(52), Ts(20)).unwrap();
+        t.abort_slot(victim, Ts::txn(52));
+        assert_eq!(
+            t.read(victim, Ts(20), Ts::txn(53)).unwrap()[0],
+            Value::Int(7)
+        );
+        let live = t.live_tuples();
+        t.delete(victim, Ts::txn(54), Ts(20)).unwrap();
+        t.commit_slot(victim, Ts::txn(54), Ts(21), -1);
+        assert_eq!(t.live_tuples(), live - 1);
+        assert_eq!(
+            t.shard_stats()[1].live_tuples,
+            SHARD_UNIT_SLOTS - 1,
+            "delete must decrement the owning shard"
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_spread_across_shards() {
+        let t = Arc::new(sharded(4));
+        let threads: Vec<_> = (0..4)
+            .map(|ti| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..SHARD_UNIT_SLOTS {
+                        let txn = Ts::txn((ti * 100_000 + i) as u64 + 1);
+                        let slot = t.insert(tup(i as i64, ti as i64), txn).unwrap();
+                        t.commit_slot(slot, txn, Ts(100), 1);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let total = 4 * SHARD_UNIT_SLOTS;
+        assert_eq!(t.num_slots(), total);
+        assert_eq!(t.live_tuples(), total);
+        let stats = t.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.live_tuples).sum::<usize>(), total);
+        for s in &stats {
+            assert_eq!(s.live_tuples, SHARD_UNIT_SLOTS, "{stats:?}");
+        }
     }
 }

@@ -1,6 +1,8 @@
 //! Background version garbage collection — the **Garbage Collection** batch
-//! OU. Each invocation prunes version chains across all registered tables
-//! up to the transaction manager's watermark.
+//! OU. Each invocation prunes version chains across all registered tables,
+//! one storage shard at a time, recomputing the transaction manager's
+//! watermark per shard pass so long chains on one shard never starve
+//! pruning on another.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -38,6 +40,10 @@ pub struct GarbageCollector {
     /// Passes skipped by an injected `gc.cycle` fault
     /// (`mb2_gc_cycles_starved_total`).
     pub starved: Arc<Counter>,
+    /// Registry the per-shard storage gauges (`mb2_storage_*{table,shard}`)
+    /// publish into after each pass; the GC pass is the natural cadence for
+    /// refreshing storage occupancy without adding hot-path counters.
+    registry: Arc<MetricsRegistry>,
     /// Fault injection for chaos tests (`gc.cycle` point); `None` in
     /// production.
     faults: Mutex<Option<Arc<FaultInjector>>>,
@@ -55,14 +61,14 @@ pub struct GarbageCollector {
 
 impl GarbageCollector {
     pub fn new(txn_mgr: Arc<TxnManager>) -> Arc<GarbageCollector> {
-        GarbageCollector::with_metrics(txn_mgr, &MetricsRegistry::new())
+        GarbageCollector::with_metrics(txn_mgr, &MetricsRegistry::shared())
     }
 
     /// Like [`GarbageCollector::new`], but publishing counters and the pause
     /// histogram into the given registry instead of a private one.
     pub fn with_metrics(
         txn_mgr: Arc<TxnManager>,
-        registry: &MetricsRegistry,
+        registry: &Arc<MetricsRegistry>,
     ) -> Arc<GarbageCollector> {
         Arc::new(GarbageCollector {
             txn_mgr,
@@ -81,6 +87,7 @@ impl GarbageCollector {
                 "mb2_gc_cycles_starved_total",
                 "Garbage collection passes skipped by an injected gc.cycle fault.",
             ),
+            registry: registry.clone(),
             faults: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             wakeup: Arc::new((StdMutex::new(false), Condvar::new())),
@@ -115,13 +122,20 @@ impl GarbageCollector {
                 };
             }
         }
-        let watermark = self.txn_mgr.watermark();
         let tables: Vec<Arc<Table>> = self.tables.lock().clone();
         let mut reclaimed = 0usize;
         let mut scanned = 0usize;
         for table in tables {
             scanned += table.num_slots();
-            reclaimed += table.gc(watermark);
+            // Per-shard passes with a *fresh watermark each*: a shard whose
+            // chains are long (hot) cannot starve pruning elsewhere, and a
+            // snapshot that retired while an earlier shard was being pruned
+            // already benefits the later shards in the same invocation.
+            for shard in 0..table.shard_count() {
+                let watermark = self.txn_mgr.watermark();
+                reclaimed += table.gc_shard(shard, watermark);
+            }
+            self.publish_shard_metrics(&table);
         }
         self.total_reclaimed.add(reclaimed as u64);
         self.invocations.inc();
@@ -131,6 +145,40 @@ impl GarbageCollector {
             versions_reclaimed: reclaimed,
             slots_scanned: scanned,
             elapsed,
+        }
+    }
+
+    /// Refresh the per-shard storage gauges for one table. `register` is
+    /// register-or-fetch, so repeated passes reuse the same handles; the
+    /// pruned counter reconciles against the shard's monotonic total so it
+    /// stays a true counter across passes.
+    fn publish_shard_metrics(&self, table: &Table) {
+        for s in table.shard_stats() {
+            let shard = s.shard.to_string();
+            let labels = [("table", table.name.as_str()), ("shard", shard.as_str())];
+            self.registry
+                .gauge_with(
+                    "mb2_storage_tuples",
+                    &labels,
+                    "Live (committed, undeleted) tuples per storage shard.",
+                )
+                .set(s.live_tuples as i64);
+            self.registry
+                .gauge_with(
+                    "mb2_storage_versions",
+                    &labels,
+                    "MVCC version records per storage shard.",
+                )
+                .set(s.versions as i64);
+            let pruned = self.registry.counter_with(
+                "mb2_storage_gc_pruned_total",
+                &labels,
+                "MVCC versions pruned by garbage collection per storage shard.",
+            );
+            let published = pruned.get();
+            if s.gc_pruned > published {
+                pruned.add(s.gc_pruned - published);
+            }
         }
     }
 
@@ -329,6 +377,40 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();
         assert!(reads > 0);
+    }
+
+    #[test]
+    fn sharded_table_gc_prunes_every_shard() {
+        use mb2_storage::{TableId, SHARD_UNIT_SLOTS};
+        let mgr = TxnManager::new(None);
+        let gc = GarbageCollector::new(mgr.clone());
+        let t = Arc::new(Table::with_shards(
+            TableId(2),
+            "sharded",
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+            3,
+        ));
+        gc.register(t.clone());
+        // Three shard units of rows, then update one row per shard to
+        // leave garbage on each.
+        let mut setup = mgr.begin();
+        let slots: Vec<_> = (0..3 * SHARD_UNIT_SLOTS)
+            .map(|i| setup.insert(&t, vec![Value::Int(i as i64)]).unwrap())
+            .collect();
+        setup.commit().unwrap();
+        for s in 0..3 {
+            let mut txn = mgr.begin();
+            txn.update(&t, slots[s * SHARD_UNIT_SLOTS], vec![Value::Int(-1)])
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        let report = gc.run_once();
+        assert_eq!(report.versions_reclaimed, 3, "{report:?}");
+        let stats = t.shard_stats();
+        for s in &stats {
+            assert_eq!(s.gc_pruned, 1, "{stats:?}");
+            assert!(s.last_gc_watermark > 0, "{stats:?}");
+        }
     }
 
     #[test]

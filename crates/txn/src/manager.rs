@@ -205,16 +205,31 @@ impl Default for TxnStats {
     }
 }
 
+/// Number of commit-lock stripes. Commit locks are sharded by the write
+/// set's (table, storage-shard) footprint so commits touching disjoint
+/// shards stamp concurrently; stripes fold that unbounded footprint space
+/// into a fixed lock array (collisions merely merge two shards onto one
+/// lock, which is always safe).
+pub const COMMIT_LOCK_STRIPES: usize = 64;
+
 /// The transaction manager: timestamp allocation plus the shared
 /// active-transactions table (the contention point the Txn Begin/Commit OUs
 /// model).
 pub struct TxnManager {
+    /// The *publish frontier*: the highest commit timestamp whose
+    /// transaction (and every transaction with a smaller timestamp) is
+    /// fully stamped. Snapshots read this, never `alloc`.
     clock: AtomicU64,
+    /// Commit-timestamp ticket allocator. Runs ahead of `clock` while
+    /// commits are stamping; the ticket-ordered publish in
+    /// `finish_begin_commit` closes the gap.
+    alloc: AtomicU64,
     next_txn_id: AtomicU64,
-    /// Serializes commit publication: a commit stamps its whole write set
-    /// *before* the clock advances past its timestamp, so no snapshot can
-    /// ever observe half of a transaction. Held only for the stamping loop.
-    commit_lock: Mutex<()>,
+    /// Sharded stamp-then-publish locks: a commit locks the stripes its
+    /// write-set footprint covers (ascending order — deadlock-free), stamps
+    /// every slot, then publishes. Single-shard commits — the TATP/
+    /// SmallBank common case — take exactly one stripe.
+    commit_locks: Vec<Mutex<()>>,
     /// Multiset of active snapshot timestamps, for the GC watermark.
     active: Mutex<BTreeMap<u64, usize>>,
     pub wal: Option<Arc<LogManager>>,
@@ -224,12 +239,17 @@ pub struct TxnManager {
     faults: Mutex<Option<Arc<FaultInjector>>>,
 }
 
+fn commit_locks() -> Vec<Mutex<()>> {
+    (0..COMMIT_LOCK_STRIPES).map(|_| Mutex::new(())).collect()
+}
+
 impl TxnManager {
     pub fn new(wal: Option<Arc<LogManager>>) -> Arc<TxnManager> {
         Arc::new(TxnManager {
             clock: AtomicU64::new(1),
+            alloc: AtomicU64::new(1),
             next_txn_id: AtomicU64::new(1),
-            commit_lock: Mutex::new(()),
+            commit_locks: commit_locks(),
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::default(),
@@ -245,8 +265,9 @@ impl TxnManager {
     ) -> Arc<TxnManager> {
         Arc::new(TxnManager {
             clock: AtomicU64::new(1),
+            alloc: AtomicU64::new(1),
             next_txn_id: AtomicU64::new(1),
-            commit_lock: Mutex::new(()),
+            commit_locks: commit_locks(),
             active: Mutex::new(BTreeMap::new()),
             wal,
             stats: TxnStats::new(registry),
@@ -254,10 +275,25 @@ impl TxnManager {
         })
     }
 
+    /// The commit-lock stripe for one write: (table, storage shard) hashed
+    /// into the stripe array. All writes to one shard of one table land on
+    /// one stripe, so a shard-local transaction locks exactly one stripe.
+    fn stripe_of(op: &WriteOp) -> usize {
+        let (table, slot) = match op {
+            WriteOp::Insert { table, slot }
+            | WriteOp::Update { table, slot }
+            | WriteOp::Delete { table, slot } => (table, *slot),
+        };
+        (table.id.0 as usize)
+            .wrapping_mul(31)
+            .wrapping_add(table.shard_of(slot))
+            % COMMIT_LOCK_STRIPES
+    }
+
     /// Attach (or detach) a fault injector consulted at the `txn.commit`
     /// point, inside the commit critical section: an armed delay there holds
-    /// the global commit lock; an armed failure aborts the commit before any
-    /// version is stamped.
+    /// the commit's stripe locks; an armed failure aborts the commit before
+    /// any version is stamped.
     pub fn set_faults(&self, faults: Option<Arc<FaultInjector>>) {
         *self.faults.lock() = faults;
     }
@@ -364,21 +400,44 @@ impl TxnManager {
                 }
             }
         }
-        // Stamp-then-publish, serialized by the commit lock. The clock must
-        // not advance past `commit_ts` until every slot is stamped: a
-        // snapshot taken mid-stamping would otherwise see the stamped half
-        // of the write set and miss the rest (a torn commit). With the
-        // publish ordering, such a snapshot reads a clock value below
-        // `commit_ts` and consistently sees none of it.
+        // Stamp-then-publish over the *sharded* commit locks. The clock
+        // (publish frontier) must not advance past `commit_ts` until every
+        // slot is stamped: a snapshot taken mid-stamping would otherwise see
+        // the stamped half of the write set and miss the rest (a torn
+        // commit). Sharding splits that into three steps:
+        //
+        //   1. Lock the write set's stripe footprint in ascending stripe
+        //      order (cross-shard commits lock several stripes; ordered
+        //      acquisition makes the lock graph acyclic, so no deadlock).
+        //   2. Allocate a commit-timestamp *ticket* from `alloc` and stamp
+        //      every slot. Tickets are only taken while holding the full
+        //      footprint, so a ticket holder never waits on a lock.
+        //   3. Publish in ticket order: wait until `clock == ticket - 1`
+        //      (every earlier ticket fully stamped and published), then
+        //      advance it to the ticket. The minimum outstanding ticket can
+        //      always finish (nothing blocks stamping; its predecessor has
+        //      published), so the chain always drains.
+        //
+        // Snapshot atomicity is preserved exactly as with the old global
+        // lock: `begin` reads the frontier, and frontier ≥ ts implies every
+        // commit with timestamp ≤ ts is fully stamped.
         let commit_ts = {
-            let _publish = self.commit_lock.lock();
+            let mut stripes: Vec<usize> = txn.writes.iter().map(Self::stripe_of).collect();
+            stripes.sort_unstable();
+            stripes.dedup();
+            let _guards: Vec<_> = stripes
+                .iter()
+                .map(|&s| self.commit_locks[s].lock())
+                .collect();
             // Chaos point (stall half): a delay armed at `txn.commit` is
-            // applied here, holding the global commit lock so every other
-            // committer piles up behind this one.
+            // applied here, holding this commit's stripe locks so
+            // committers sharing a shard pile up behind this one. The
+            // ticket is allocated *after* the stall, so commits on other
+            // shards publish freely past a stalled one.
             if let Some(inj) = &faults {
                 inj.stall(fault::points::TXN_COMMIT);
             }
-            let commit_ts = Ts(self.clock.load(Ordering::Acquire) + 1);
+            let commit_ts = Ts(self.alloc.fetch_add(1, Ordering::AcqRel) + 1);
             for op in &txn.writes {
                 match op {
                     WriteOp::Insert { table, slot } => {
@@ -391,6 +450,12 @@ impl TxnManager {
                         table.commit_slot(*slot, txn.id, commit_ts, -1)
                     }
                 }
+            }
+            // Ticket-ordered publish. The wait is a yield-spin: the gap is
+            // at most the stamping time of the in-flight predecessors.
+            let prev = commit_ts.0 - 1;
+            while self.clock.load(Ordering::Acquire) != prev {
+                std::thread::yield_now();
             }
             self.clock.store(commit_ts.0, Ordering::Release);
             commit_ts
@@ -537,6 +602,89 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();
+    }
+
+    /// Cross-shard variant of the torn-commit regression: the two slots of
+    /// the transfer live on *different storage shards* of a partitioned
+    /// table, so the commit locks two stripes and stamps across shards.
+    /// Snapshots must still see all of the transfer or none of it, and
+    /// concurrent single-shard commits must not tear it either.
+    #[test]
+    fn cross_shard_commit_is_atomic_under_concurrent_snapshots() {
+        use mb2_storage::SHARD_UNIT_SLOTS;
+        use std::sync::atomic::AtomicBool;
+
+        let mgr = TxnManager::new(None);
+        let t = Arc::new(Table::with_shards(
+            TableId(7),
+            "sharded",
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+            4,
+        ));
+        // Fill one full shard unit so the next insert lands on shard 1.
+        let mut setup = mgr.begin();
+        let a = setup.insert(&t, tup(100)).unwrap(); // global idx 0 → shard 0
+        for _ in 1..SHARD_UNIT_SLOTS {
+            setup.insert(&t, tup(0)).unwrap();
+        }
+        let b = setup.insert(&t, tup(100)).unwrap(); // global idx U → shard 1
+        setup.commit().unwrap();
+        assert_ne!(t.shard_of(a), t.shard_of(b), "transfer must cross shards");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        // Cross-shard transfer writer: invariant a + b == 200.
+        let writer = {
+            let (mgr, t, stop) = (mgr.clone(), t.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = mgr.begin();
+                    let va = txn.read(&t, a).unwrap()[0].as_i64().unwrap();
+                    let vb = txn.read(&t, b).unwrap()[0].as_i64().unwrap();
+                    if txn.update(&t, a, tup(va - 1)).is_err() {
+                        txn.abort();
+                        continue;
+                    }
+                    if txn.update(&t, b, tup(vb + 1)).is_err() {
+                        txn.abort();
+                        continue;
+                    }
+                    let _ = txn.commit();
+                }
+            })
+        };
+        // Single-shard churn on shard 2, publishing tickets concurrently.
+        let churn = {
+            let (mgr, t, stop) = (mgr.clone(), t.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut setup = mgr.begin();
+                for _ in 0..SHARD_UNIT_SLOTS {
+                    setup.insert(&t, tup(0)).unwrap();
+                }
+                let c = setup.insert(&t, tup(0)).unwrap(); // shard 2
+                setup.commit().unwrap();
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let mut txn = mgr.begin();
+                    if txn.update(&t, c, tup(i)).is_ok() {
+                        let _ = txn.commit();
+                    } else {
+                        txn.abort();
+                    }
+                }
+            })
+        };
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+        while std::time::Instant::now() < deadline {
+            let reader = mgr.begin();
+            let va = reader.read(&t, a).unwrap()[0].as_i64().unwrap();
+            let vb = reader.read(&t, b).unwrap()[0].as_i64().unwrap();
+            assert_eq!(va + vb, 200, "snapshot saw a torn cross-shard commit");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        churn.join().unwrap();
     }
 
     #[test]
