@@ -1,0 +1,7 @@
+//! Columnar sealed-block scan throughput; see
+//! `mb2_bench::experiments::columnar_scan`.
+fn main() {
+    let scale = mb2_bench::Scale::from_env();
+    let report = mb2_bench::experiments::columnar_scan::run(scale);
+    mb2_bench::report::emit("columnar_scan", &report);
+}

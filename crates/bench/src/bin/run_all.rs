@@ -13,6 +13,7 @@ fn main() {
         ("exec_throughput", experiments::exec_throughput::run),
         ("exec_parallel", experiments::exec_parallel::run),
         ("shard_scale", experiments::shard_scale::run),
+        ("columnar_scan", experiments::columnar_scan::run),
         ("server_throughput", experiments::server_throughput::run),
         ("chaos_recovery", experiments::chaos_recovery::run),
         ("pilot_loop", experiments::pilot_loop::run),

@@ -27,11 +27,12 @@ use crate::Scale;
 /// Required speedup (batch 1024 vs 1) on the selective-filter scan.
 pub const FILTER_SPEEDUP_GATE: f64 = 2.0;
 
-/// Regression gate for the hash join (batch 1024 vs 1). Join time is
-/// dominated by probe/emit rather than pull overhead, so batching buys
-/// little — the gate only catches batching making the join materially
-/// slower.
-pub const JOIN_SPEEDUP_GATE: f64 = 0.8;
+/// Speedup gate for the hash join (batch 1024 vs 1). With the zero-alloc
+/// probe (key comparison against the build table borrows the probe row
+/// instead of materializing a key vector), batching is a real win:
+/// measured ~1.3x at quick scale and ~4.4x at standard on a 4-core host,
+/// so the gate demands a strict improvement with headroom for slow CI.
+pub const JOIN_SPEEDUP_GATE: f64 = 1.1;
 
 /// Regression gate for the hash aggregation (batch 1024 vs 1): batched
 /// group-build must keep a measurable edge over tuple-at-a-time.

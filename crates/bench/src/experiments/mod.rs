@@ -3,6 +3,7 @@
 //! binary prints and persists.
 
 pub mod chaos_recovery;
+pub mod columnar_scan;
 pub mod exec_parallel;
 pub mod exec_throughput;
 pub mod fig01_index_build;

@@ -3,7 +3,11 @@
 //! This enum is the shared contract between the execution engine (which
 //! *measures* each OU invocation) and the MB2 framework (which *featurizes*
 //! each OU from plan information and trains one model per OU). NoisePage's
-//! 19 OUs are reproduced one-for-one.
+//! 19 OUs are reproduced one-for-one, plus two engine-growth OUs the paper's
+//! decomposition methodology absorbs the same way: the columnar **block
+//! scan** (singular, the SIMD-friendly scan over sealed blocks) and
+//! **compaction** (batch, the background pass that seals cold units into
+//! those blocks).
 
 /// Behavior pattern of an OU (paper §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,7 +20,8 @@ pub enum OuCategory {
     Contending,
 }
 
-/// The 19 operating units.
+/// The 19 paper operating units plus the two engine-growth OUs
+/// ([`OuKind::BlockScan`], [`OuKind::Compaction`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OuKind {
     SeqScan,
@@ -38,11 +43,16 @@ pub enum OuKind {
     LogFlush,
     TxnBegin,
     TxnCommit,
+    /// Columnar scan over sealed blocks (vectorized predicates, zone-map
+    /// skipping, late materialization).
+    BlockScan,
+    /// Background pass sealing frozen units into columnar blocks.
+    Compaction,
 }
 
 impl OuKind {
-    /// All OUs in a stable order (Table 1 order).
-    pub const ALL: [OuKind; 19] = [
+    /// All OUs in a stable order (Table 1 order, growth OUs appended).
+    pub const ALL: [OuKind; 21] = [
         OuKind::SeqScan,
         OuKind::IdxScan,
         OuKind::JoinHashBuild,
@@ -62,13 +72,16 @@ impl OuKind {
         OuKind::LogFlush,
         OuKind::TxnBegin,
         OuKind::TxnCommit,
+        OuKind::BlockScan,
+        OuKind::Compaction,
     ];
 
     pub fn category(&self) -> OuCategory {
         match self {
-            OuKind::GarbageCollection | OuKind::LogSerialize | OuKind::LogFlush => {
-                OuCategory::Batch
-            }
+            OuKind::GarbageCollection
+            | OuKind::LogSerialize
+            | OuKind::LogFlush
+            | OuKind::Compaction => OuCategory::Batch,
             OuKind::IndexBuild | OuKind::TxnBegin | OuKind::TxnCommit => OuCategory::Contending,
             _ => OuCategory::Singular,
         }
@@ -95,6 +108,8 @@ impl OuKind {
             OuKind::LogFlush => "log_flush",
             OuKind::TxnBegin => "txn_begin",
             OuKind::TxnCommit => "txn_commit",
+            OuKind::BlockScan => "block_scan",
+            OuKind::Compaction => "compaction",
         }
     }
 
@@ -115,8 +130,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn nineteen_ous_like_the_paper() {
-        assert_eq!(OuKind::ALL.len(), 19);
+    fn nineteen_paper_ous_plus_growth_ous() {
+        // Table 1's 19 OUs stay one-for-one; engine growth appended two.
+        assert_eq!(OuKind::ALL.len(), 21);
+        assert_eq!(
+            OuKind::ALL
+                .iter()
+                .filter(|k| !matches!(k, OuKind::BlockScan | OuKind::Compaction))
+                .count(),
+            19
+        );
     }
 
     #[test]
@@ -125,6 +148,8 @@ mod tests {
         assert_eq!(OuKind::GarbageCollection.category(), OuCategory::Batch);
         assert_eq!(OuKind::LogSerialize.category(), OuCategory::Batch);
         assert_eq!(OuKind::LogFlush.category(), OuCategory::Batch);
+        assert_eq!(OuKind::BlockScan.category(), OuCategory::Singular);
+        assert_eq!(OuKind::Compaction.category(), OuCategory::Batch);
         assert_eq!(OuKind::IndexBuild.category(), OuCategory::Contending);
         assert_eq!(OuKind::TxnBegin.category(), OuCategory::Contending);
         assert_eq!(OuKind::TxnCommit.category(), OuCategory::Contending);

@@ -58,6 +58,18 @@ pub fn feature_names(ou: OuKind) -> &'static [&'static str] {
             "parallelism",
         ],
         OuKind::GarbageCollection => &["n_versions", "n_slots", "gc_interval_ms", "n_shards"],
+        // Columnar growth OUs: the block scan is priced by how many sealed
+        // rows it sweeps and how selective its predicate is; compaction by
+        // how much frozen data a pass seals and how often it runs.
+        OuKind::BlockScan => &[
+            "n_tuples",
+            "selectivity",
+            "n_cols",
+            "batch_size",
+            "parallelism",
+            "shard_count",
+        ],
+        OuKind::Compaction => &["n_sealed", "n_blocks", "compaction_interval_ms", "n_shards"],
         OuKind::IndexBuild => &[
             "n_tuples",
             "n_key_cols",
@@ -145,6 +157,19 @@ mod tests {
         assert_eq!(feature_width(OuKind::LogSerialize), 4);
         assert_eq!(feature_width(OuKind::LogFlush), 3);
         assert_eq!(feature_width(OuKind::ArithmeticFilter), 5);
+    }
+
+    #[test]
+    fn growth_ous_are_featurized_like_the_rest() {
+        assert_eq!(feature_width(OuKind::BlockScan), 6);
+        assert_eq!(feature_names(OuKind::BlockScan)[1], "selectivity");
+        assert_eq!(normalization_feature(OuKind::BlockScan), Some(0));
+        assert_eq!(feature_width(OuKind::Compaction), 4);
+        assert_eq!(
+            feature_names(OuKind::Compaction)[2],
+            "compaction_interval_ms"
+        );
+        assert_eq!(normalization_feature(OuKind::Compaction), Some(0));
     }
 
     #[test]

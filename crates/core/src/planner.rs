@@ -17,21 +17,25 @@ use std::time::Duration;
 use mb2_common::{DbResult, OuKind};
 use mb2_engine::{Database, Knobs};
 use mb2_exec::ExecutionMode;
-use mb2_sql::{HypotheticalIndex, PlannerOverrides};
+use mb2_sql::{HypotheticalIndex, PlanNode, PlannerOverrides};
 
 use crate::forecast::WorkloadForecast;
 use crate::inference::{ActionForecast, BehaviorModels};
 
 /// A candidate self-driving action.
 ///
-/// Note on pricing honesty: the OU translator currently encodes only the
-/// execution-mode knob as a model feature, so [`Action::SetBatchSize`],
-/// [`Action::SetParallelism`], [`Action::SetWalFlushInterval`], and
-/// [`Action::SetGcInterval`] evaluate to zero predicted gain — the models
-/// cannot discriminate them yet. They are still enumerated (and counted
-/// as considered) so the catalog of actions matches the engine's knobs,
-/// and they start pricing automatically if the translator grows the
-/// corresponding features.
+/// Note on pricing honesty: knob flips that change query-plan OU features
+/// (execution mode, batch size, parallelism, shard count, columnar) are
+/// priced by re-predicting the forecast under the new knob vector, so
+/// they discriminate exactly as well as the trained models do. Cadence
+/// knobs ([`Action::SetWalFlushInterval`], [`Action::SetGcInterval`],
+/// [`Action::SetCompactionInterval`]) do not change any query's isolated
+/// cost; they are priced through the *background* OUs (Log Flush, GC,
+/// Compaction): the planner predicts the recurring per-interval cost of
+/// the background thread at the old and new cadence from the forecast's
+/// write volume, and amortizes the delta across the interval's expected
+/// query count. With no trained model for the background OU the delta
+/// degenerates to zero — untrained knobs stay honestly unpriced.
 #[derive(Debug, Clone)]
 pub enum Action {
     /// Change the execution-mode behavior knob.
@@ -54,6 +58,11 @@ pub enum Action {
     SetWalFlushInterval(Duration),
     /// Change the background GC cadence.
     SetGcInterval(Duration),
+    /// Flip the columnar-scan behavior knob (sealed units served from
+    /// column-major blocks instead of version chains).
+    SetColumnarEnabled(bool),
+    /// Change the background columnar-compaction cadence.
+    SetCompactionInterval(Duration),
 }
 
 impl Action {
@@ -68,6 +77,8 @@ impl Action {
             Action::SetParallelism(_) => "set_parallelism",
             Action::SetWalFlushInterval(_) => "set_wal_flush_interval",
             Action::SetGcInterval(_) => "set_gc_interval",
+            Action::SetColumnarEnabled(_) => "set_columnar_enabled",
+            Action::SetCompactionInterval(_) => "set_compaction_interval",
         }
     }
 
@@ -81,6 +92,8 @@ impl Action {
             Action::SetParallelism(n) => format!("set parallelism to {n}"),
             Action::SetWalFlushInterval(d) => format!("set WAL flush interval to {d:?}"),
             Action::SetGcInterval(d) => format!("set GC interval to {d:?}"),
+            Action::SetColumnarEnabled(on) => format!("set columnar scans to {on}"),
+            Action::SetCompactionInterval(d) => format!("set compaction interval to {d:?}"),
         }
     }
 }
@@ -226,12 +239,162 @@ impl<'a> OraclePlanner<'a> {
                     wal_flush_interval: *d,
                     ..*knobs
                 };
+                let mut eval = self.knob_flip(forecast, interval, knobs, &new_knobs);
+                let old_bg = self.wal_flush_cost_us(forecast, interval, knobs);
+                let new_bg = self.wal_flush_cost_us(forecast, interval, &new_knobs);
+                self.amortize_background(&mut eval, forecast, interval, new_bg - old_bg);
+                Ok(eval)
+            }
+            // The GC cadence is not a query-plan feature, so the isolated
+            // query costs never move; the honest price is the change in
+            // recurring background GC work.
+            Action::SetGcInterval(d) => {
+                let mut eval = self.knob_flip(forecast, interval, knobs, knobs);
+                let old_bg = self.gc_cost_us(forecast, interval, self.db.gc().interval(), knobs);
+                let new_bg = self.gc_cost_us(forecast, interval, *d, knobs);
+                self.amortize_background(&mut eval, forecast, interval, new_bg - old_bg);
+                Ok(eval)
+            }
+            Action::SetColumnarEnabled(on) => {
+                let new_knobs = Knobs {
+                    columnar_enabled: *on,
+                    ..*knobs
+                };
                 Ok(self.knob_flip(forecast, interval, knobs, &new_knobs))
             }
-            // GC cadence is not part of `Knobs`; the translator has no
-            // feature for it either, so its honest prediction is "no
-            // change".
-            Action::SetGcInterval(_) => Ok(self.knob_flip(forecast, interval, knobs, knobs)),
+            Action::SetCompactionInterval(d) => {
+                let mut eval = self.knob_flip(forecast, interval, knobs, knobs);
+                let cur = self.db.compactor().interval();
+                let old_bg = self.compaction_cost_us(forecast, interval, cur, knobs);
+                let new_bg = self.compaction_cost_us(forecast, interval, *d, knobs);
+                self.amortize_background(&mut eval, forecast, interval, new_bg - old_bg);
+                Ok(eval)
+            }
+        }
+    }
+
+    /// Forecast write volume for one interval, from the DML templates'
+    /// cardinality estimates: `(rows written, WAL bytes)`.
+    fn forecast_write_volume(&self, forecast: &WorkloadForecast, interval: usize) -> (f64, f64) {
+        let iv = &forecast.intervals[interval];
+        let mut rows = 0.0;
+        let mut bytes = 0.0;
+        for (i, t) in forecast.templates.iter().enumerate() {
+            let count = iv.expected_count(i);
+            let (r, width) = match &t.plan {
+                PlanNode::Insert { est, .. } => (est.rows_in.max(1.0), est.width),
+                PlanNode::Update { est, .. } | PlanNode::Delete { est, .. } => {
+                    (est.rows_out.max(1.0), est.width)
+                }
+                _ => continue,
+            };
+            rows += r * count;
+            bytes += r * width.max(8.0) * count;
+        }
+        (rows, bytes)
+    }
+
+    /// Recurring per-interval cost (µs) of the WAL background flusher at
+    /// the cadence in `knobs`: `duration / interval` passes, each priced
+    /// by the Log Flush OU-model on its share of the forecast write bytes.
+    fn wal_flush_cost_us(
+        &self,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        knobs: &Knobs,
+    ) -> f64 {
+        let (_, bytes) = self.forecast_write_volume(forecast, interval);
+        let iv = &forecast.intervals[interval];
+        let interval_ms = (knobs.wal_flush_interval.as_secs_f64() * 1000.0).max(0.001);
+        let passes = ((iv.duration_s * 1000.0) / interval_ms).max(1.0);
+        let inst = self
+            .models
+            .translator
+            .log_flush_features(bytes / passes, knobs);
+        let per_pass = self
+            .models
+            .ou_models
+            .predict(OuKind::LogFlush, &inst.features)
+            .elapsed_us();
+        passes * per_pass.max(0.0)
+    }
+
+    /// Recurring per-interval cost (µs) of background GC at the given
+    /// cadence, priced by the GC OU-model on the forecast's version churn.
+    /// Zero cadence means background GC is not running — no cost.
+    fn gc_cost_us(
+        &self,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        cadence: Duration,
+        knobs: &Knobs,
+    ) -> f64 {
+        if cadence.is_zero() {
+            return 0.0;
+        }
+        let (rows, _) = self.forecast_write_volume(forecast, interval);
+        let iv = &forecast.intervals[interval];
+        let interval_ms = (cadence.as_secs_f64() * 1000.0).max(0.001);
+        let passes = ((iv.duration_s * 1000.0) / interval_ms).max(1.0);
+        let inst =
+            self.models
+                .translator
+                .gc_features(rows / passes, rows.max(1.0), interval_ms, knobs);
+        let per_pass = self
+            .models
+            .ou_models
+            .predict(OuKind::GarbageCollection, &inst.features)
+            .elapsed_us();
+        passes * per_pass.max(0.0)
+    }
+
+    /// Recurring per-interval cost (µs) of columnar compaction at the
+    /// given cadence, priced by the Compaction OU-model on the forecast's
+    /// insert volume (cold data that will freeze into sealable units).
+    fn compaction_cost_us(
+        &self,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        cadence: Duration,
+        knobs: &Knobs,
+    ) -> f64 {
+        if cadence.is_zero() {
+            return 0.0;
+        }
+        let unit = mb2_engine::storage::SHARD_UNIT_SLOTS as f64;
+        let (rows, _) = self.forecast_write_volume(forecast, interval);
+        let iv = &forecast.intervals[interval];
+        let interval_ms = (cadence.as_secs_f64() * 1000.0).max(0.001);
+        let passes = ((iv.duration_s * 1000.0) / interval_ms).max(1.0);
+        let per_pass_rows = rows / passes;
+        let inst = self.models.translator.compaction_features(
+            per_pass_rows,
+            (per_pass_rows / unit).ceil().max(1.0),
+            interval_ms,
+            knobs,
+        );
+        let per_pass = self
+            .models
+            .ou_models
+            .predict(OuKind::Compaction, &inst.features)
+            .elapsed_us();
+        passes * per_pass.max(0.0)
+    }
+
+    /// Fold a recurring background-cost delta (µs per forecast interval)
+    /// into `after_us`: a cadence change leaves every query's isolated
+    /// cost alone, but the background thread's work is overhead the
+    /// interval pays — amortized across the expected query count.
+    fn amortize_background(
+        &self,
+        eval: &mut ActionEvaluation,
+        forecast: &WorkloadForecast,
+        interval: usize,
+        delta_us: f64,
+    ) {
+        let total = forecast.intervals[interval].total_queries();
+        if total > 0.0 {
+            eval.after_us += delta_us / total;
         }
     }
 
@@ -457,13 +620,16 @@ mod tests {
         };
         let mut forecast = WorkloadForecast::new(vec![template], 2);
         forecast.push_interval(10.0, vec![5.0]);
-        // The translator has no features for these knobs, so the honest
-        // prediction is exactly zero gain (see the Action docs).
+        // `cost_models` trains no Log Flush / GC / Compaction / Block Scan
+        // models, and this read-only forecast carries no write volume, so
+        // every one of these prices honestly to exactly zero gain.
         for action in [
             Action::SetBatchSize(64),
             Action::SetParallelism(8),
             Action::SetWalFlushInterval(Duration::from_millis(1)),
             Action::SetGcInterval(Duration::from_millis(100)),
+            Action::SetColumnarEnabled(true),
+            Action::SetCompactionInterval(Duration::from_millis(100)),
         ] {
             let eval = planner
                 .evaluate(&action, &forecast, 0, &db.knobs())
@@ -471,7 +637,7 @@ mod tests {
             assert_eq!(
                 eval.predicted_gain(),
                 0.0,
-                "{} should be unpriced today",
+                "{} should price to zero without trained background models",
                 action.label()
             );
             assert_eq!(eval.action_duration_us, 0.0);
@@ -479,8 +645,75 @@ mod tests {
     }
 
     #[test]
+    fn wal_cadence_prices_background_flush_cost() {
+        let db = setup();
+        // Train only the Log Flush OU: elapsed grows with flushed bytes.
+        let mut repo = TrainingRepo::new();
+        let translator = OuTranslator::default();
+        let knobs = db.knobs();
+        for k in 1..=15 {
+            let bytes = (k * 1024) as f64;
+            let inst = translator.log_flush_features(bytes, &knobs);
+            let mut labels = Metrics::ZERO;
+            labels[idx::ELAPSED_US] = 5.0 + 0.01 * bytes;
+            labels[idx::CPU_US] = 5.0 + 0.01 * bytes;
+            repo.add(OuSample {
+                ou: OuKind::LogFlush,
+                features: inst.features,
+                labels,
+            });
+        }
+        let (set, _) = train_all(
+            &repo,
+            &TrainingConfig {
+                candidates: vec![Algorithm::Linear],
+                ..TrainingConfig::default()
+            },
+        )
+        .unwrap();
+        let models = BehaviorModels::new(set, None);
+        let planner = OraclePlanner::new(&db, &models);
+        let write_sql = "INSERT INTO big VALUES (9001, 1, 0.5)";
+        let templates = vec![QueryTemplate {
+            name: "w".into(),
+            sql: write_sql.into(),
+            plan: db.prepare(write_sql).unwrap(),
+        }];
+        let mut forecast = WorkloadForecast::new(templates, 2);
+        forecast.push_interval(10.0, vec![50.0]);
+        // Flushing 10× more often pays more recurring background work;
+        // 10× less often pays less. Both must move `after_us`.
+        let fast = planner
+            .evaluate(
+                &Action::SetWalFlushInterval(knobs.wal_flush_interval / 10),
+                &forecast,
+                0,
+                &knobs,
+            )
+            .unwrap();
+        assert!(fast.after_us > fast.baseline_us, "{fast:?}");
+        let slow = planner
+            .evaluate(
+                &Action::SetWalFlushInterval(knobs.wal_flush_interval * 10),
+                &forecast,
+                0,
+                &knobs,
+            )
+            .unwrap();
+        assert!(slow.after_us < slow.baseline_us, "{slow:?}");
+    }
+
+    #[test]
     fn action_labels_are_stable() {
         assert_eq!(Action::SetBatchSize(1).label(), "set_batch_size");
+        assert_eq!(
+            Action::SetColumnarEnabled(true).label(),
+            "set_columnar_enabled"
+        );
+        assert_eq!(
+            Action::SetCompactionInterval(Duration::from_millis(1)).label(),
+            "set_compaction_interval"
+        );
         assert_eq!(
             Action::DropIndex {
                 table: "t".into(),

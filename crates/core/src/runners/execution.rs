@@ -34,6 +34,9 @@ pub struct ExecutionRunnerConfig {
     pub batch_sizes: Vec<usize>,
     /// Parallelism knob values to sweep.
     pub parallelism: Vec<usize>,
+    /// Columnar-scan knob values to sweep. Flipping the knob on compacts
+    /// the dataset first, so Block/Scan samples see sealed blocks.
+    pub columnar: Vec<bool>,
 }
 
 impl Default for ExecutionRunnerConfig {
@@ -50,6 +53,7 @@ impl Default for ExecutionRunnerConfig {
             // the knob corners the batch/parallelism OU features train on.
             batch_sizes: vec![1, mb2_exec::DEFAULT_BATCH_SIZE],
             parallelism: vec![1, 4],
+            columnar: vec![false, true],
         }
     }
 }
@@ -68,6 +72,7 @@ impl ExecutionRunnerConfig {
             },
             batch_sizes: vec![mb2_exec::DEFAULT_BATCH_SIZE],
             parallelism: vec![1],
+            columnar: vec![false],
             ..ExecutionRunnerConfig::default()
         }
     }
@@ -87,7 +92,17 @@ pub fn run_execution_runners(cfg: &ExecutionRunnerConfig) -> DbResult<TrainingRe
                 db.set_batch_size(batch);
                 for &workers in &cfg.parallelism {
                     db.set_parallelism(workers);
-                    sweep_queries(&db, rows, &translator, cfg, &mut repo)?;
+                    for &columnar in &cfg.columnar {
+                        db.set_columnar_enabled(columnar);
+                        if columnar {
+                            // Seal frozen units so block scans have blocks
+                            // to serve (DML in the sweep dirties some; the
+                            // next pass re-seals them).
+                            db.compact_now();
+                        }
+                        sweep_queries(&db, rows, &translator, cfg, &mut repo)?;
+                    }
+                    db.set_columnar_enabled(false);
                 }
             }
         }
@@ -319,6 +334,39 @@ mod tests {
         }
         assert_eq!(batches.into_iter().collect::<Vec<_>>(), vec![1, 1024]);
         assert_eq!(workers.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn columnar_sweep_produces_block_scan_samples() {
+        let cfg = ExecutionRunnerConfig {
+            max_rows: 1024,
+            min_rows: 1024,
+            modes: vec![ExecutionMode::Compiled],
+            measure: RunnerConfig {
+                repetitions: 1,
+                warmups: 0,
+                ..RunnerConfig::default()
+            },
+            batch_sizes: vec![mb2_exec::DEFAULT_BATCH_SIZE],
+            parallelism: vec![1],
+            columnar: vec![false, true],
+            ..ExecutionRunnerConfig::default()
+        };
+        let repo = run_execution_runners(&cfg).unwrap();
+        let samples = repo.samples(OuKind::BlockScan);
+        assert!(!samples.is_empty(), "columnar sweep must price Block/Scan");
+        // Feature shape: [n_tuples, selectivity, n_cols, batch, par, shards].
+        for s in samples {
+            assert_eq!(s.features.len(), 6);
+            assert!((0.0..=1.0).contains(&s.features[1]), "{:?}", s.features);
+        }
+        // The off-corner must not emit Block/Scan instances.
+        let off = run_execution_runners(&ExecutionRunnerConfig {
+            columnar: vec![false],
+            ..cfg
+        })
+        .unwrap();
+        assert_eq!(off.count(OuKind::BlockScan), 0);
     }
 
     #[test]

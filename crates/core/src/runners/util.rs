@@ -58,6 +58,7 @@ pub fn run_util_runners(cfg: &UtilRunnerConfig) -> DbResult<TrainingRepo> {
     let mut repo = TrainingRepo::new();
     run_gc_runner(cfg, &mut repo)?;
     run_wal_runner(cfg, &mut repo)?;
+    run_compaction_runner(cfg, &mut repo)?;
     run_index_build_runner(cfg, &mut repo)?;
     Ok(repo)
 }
@@ -95,6 +96,55 @@ pub fn run_gc_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResul
                 labels,
             });
         }
+    }
+    Ok(())
+}
+
+/// Compaction runner: freeze whole shard units with committed inserts,
+/// then measure one sealing pass across unit counts and cadence-knob
+/// settings (the `compaction_interval_ms` feature).
+pub fn run_compaction_runner(cfg: &UtilRunnerConfig, repo: &mut TrainingRepo) -> DbResult<()> {
+    use mb2_engine::storage::SHARD_UNIT_SLOTS;
+    let translator = OuTranslator::default();
+    let max_units = (cfg.max_batch / SHARD_UNIT_SLOTS).clamp(1, 8);
+    let mut units = 1usize;
+    while units <= max_units {
+        for interval_ms in [10.0f64, 100.0, 1000.0] {
+            let db = Database::new(DatabaseConfig {
+                wal_enabled: false,
+                ..DatabaseConfig::bench()
+            })?;
+            db.execute("CREATE TABLE cp_t (a INT, b INT)")?;
+            // Full units seal; the remainder stays hot on the row path.
+            let rows = units * SHARD_UNIT_SLOTS + 37;
+            let mut i = 0;
+            while i < rows {
+                let end = (i + 500).min(rows);
+                let values: Vec<String> = (i..end).map(|j| format!("({j}, {})", j % 10)).collect();
+                db.execute(&format!("INSERT INTO cp_t VALUES {}", values.join(", ")))?;
+                i = end;
+            }
+            let knobs = db.knobs();
+            let instance = translator.compaction_features(
+                (units * SHARD_UNIT_SLOTS) as f64,
+                units as f64,
+                interval_ms,
+                &knobs,
+            );
+            let mut tracker = OuTracker::start();
+            let report = db.compact_now();
+            tracker.add_tuples(report.tuples_sealed as u64);
+            tracker.add_random_accesses(report.units_sealed as u64);
+            tracker.add_bytes(report.versions_evicted as u64 * 32);
+            tracker.add_allocated(report.tuples_sealed as u64 * 16);
+            let labels = tracker.finish(&knobs.hw);
+            repo.add(OuSample {
+                ou: OuKind::Compaction,
+                features: instance.features,
+                labels,
+            });
+        }
+        units *= 2;
     }
     Ok(())
 }
@@ -247,6 +297,26 @@ mod tests {
             assert_eq!(s.features.len(), 4);
             assert!(s.labels.elapsed_us() >= 0.0);
         }
+    }
+
+    #[test]
+    fn compaction_runner_produces_samples() {
+        let mut repo = TrainingRepo::new();
+        run_compaction_runner(&UtilRunnerConfig::smoke(), &mut repo).unwrap();
+        let samples = repo.samples(OuKind::Compaction);
+        assert!(samples.len() >= 3, "one sample per cadence setting");
+        for s in samples {
+            assert_eq!(s.features.len(), 4);
+            assert!(
+                s.features[0] >= 512.0,
+                "full units frozen: {:?}",
+                s.features
+            );
+            assert!(s.labels.elapsed_us() >= 0.0);
+        }
+        let cadences: std::collections::BTreeSet<u64> =
+            samples.iter().map(|s| s.features[2] as u64).collect();
+        assert_eq!(cadences.len(), 3, "{cadences:?}");
     }
 
     #[test]

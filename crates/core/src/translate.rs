@@ -72,7 +72,8 @@ impl OuTranslator {
             | OuKind::InsertTuple
             | OuKind::UpdateTuple
             | OuKind::DeleteTuple
-            | OuKind::OutputResult => {
+            | OuKind::OutputResult
+            | OuKind::BlockScan => {
                 features.push(knobs.batch_size.max(1) as f64);
                 features.push(knobs.parallelism.max(1) as f64);
                 features.push(knobs.shard_count.max(1) as f64);
@@ -95,6 +96,21 @@ impl OuTranslator {
     }
 
     fn walk(&self, node: &PlanNode, id: u32, knobs: &Knobs, out: &mut Vec<OuInstance>) {
+        self.walk_inner(node, id, knobs, false, out);
+    }
+
+    /// `victim` marks the scan child of an UPDATE/DELETE: the executor runs
+    /// those through the slot-tracking row path (it must hold the version
+    /// chain to latch the victim), so they never take the block fast path
+    /// and must not be priced with a Block/Scan OU.
+    fn walk_inner(
+        &self,
+        node: &PlanNode,
+        id: u32,
+        knobs: &Knobs,
+        victim: bool,
+        out: &mut Vec<OuInstance>,
+    ) {
         let mode = knobs.execution_mode.as_feature();
         match node {
             PlanNode::SeqScan { filter, est, .. } => {
@@ -113,6 +129,23 @@ impl OuTranslator {
                     ],
                     knobs,
                 );
+                if knobs.columnar_enabled && !victim {
+                    // The block path sweeps the same tuples the row scan
+                    // would; selectivity drives how much late
+                    // materialization the survivors cost.
+                    let selectivity = if est.rows_in > 0.0 {
+                        (est.rows_out / est.rows_in).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    self.push(
+                        out,
+                        id,
+                        OuKind::BlockScan,
+                        vec![est.rows_in, selectivity, est.n_cols as f64],
+                        knobs,
+                    );
+                }
                 if let Some(f) = filter {
                     self.push(
                         out,
@@ -161,8 +194,8 @@ impl OuTranslator {
             } => {
                 let build_id = id + 1;
                 let probe_id = id + 1 + subtree_size(build);
-                self.walk(build, build_id, knobs, out);
-                self.walk(probe, probe_id, knobs, out);
+                self.walk_inner(build, build_id, knobs, false, out);
+                self.walk_inner(probe, probe_id, knobs, false, out);
                 let b = build.est();
                 let p = probe.est();
                 self.push(
@@ -213,8 +246,8 @@ impl OuTranslator {
             } => {
                 let outer_id = id + 1;
                 let inner_id = id + 1 + subtree_size(outer);
-                self.walk(outer, outer_id, knobs, out);
-                self.walk(inner, inner_id, knobs, out);
+                self.walk_inner(outer, outer_id, knobs, false, out);
+                self.walk_inner(inner, inner_id, knobs, false, out);
                 let pairs = outer.est().rows_out.max(1.0) * inner.est().rows_out.max(1.0);
                 let ops = filter.as_ref().map_or(0, |f| f.op_count()) as f64;
                 self.push(
@@ -231,7 +264,7 @@ impl OuTranslator {
                 aggs,
                 est,
             } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
                 let i = input.est();
                 let payload = (group_by.len() + aggs.len()) as f64 * 16.0;
                 self.push(
@@ -266,7 +299,7 @@ impl OuTranslator {
                 );
             }
             PlanNode::Sort { input, keys, est } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
                 let i = input.est();
                 self.push(
                     out,
@@ -304,7 +337,7 @@ impl OuTranslator {
                 predicate,
                 est,
             } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
                 self.push(
                     out,
                     id,
@@ -314,7 +347,7 @@ impl OuTranslator {
                 );
             }
             PlanNode::Project { input, exprs, est } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
                 let ops: usize = exprs.iter().map(|e| e.op_count()).sum();
                 self.push(
                     out,
@@ -325,10 +358,10 @@ impl OuTranslator {
                 );
             }
             PlanNode::Limit { input, .. } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
             }
             PlanNode::Output { input, est, .. } => {
-                self.walk(input, id + 1, knobs, out);
+                self.walk_inner(input, id + 1, knobs, false, out);
                 self.push(
                     out,
                     id,
@@ -368,7 +401,7 @@ impl OuTranslator {
                 assignments,
                 ..
             } => {
-                self.walk(scan, id + 1, knobs, out);
+                self.walk_inner(scan, id + 1, knobs, true, out);
                 self.push(
                     out,
                     id,
@@ -386,7 +419,7 @@ impl OuTranslator {
                 );
             }
             PlanNode::Delete { scan, est, .. } => {
-                self.walk(scan, id + 1, knobs, out);
+                self.walk_inner(scan, id + 1, knobs, true, out);
                 self.push(
                     out,
                     id,
@@ -483,6 +516,23 @@ impl OuTranslator {
         )
     }
 
+    /// Compaction OU features: frozen tuples a pass would seal, blocks it
+    /// would produce, and the cadence knob that sets how often it pays
+    /// that cost.
+    pub fn compaction_features(
+        &self,
+        n_sealed: f64,
+        n_blocks: f64,
+        interval_ms: f64,
+        knobs: &Knobs,
+    ) -> OuInstance {
+        self.finish_util(
+            OuKind::Compaction,
+            vec![n_sealed, n_blocks, interval_ms],
+            knobs,
+        )
+    }
+
     /// Transaction Begin / Commit OU features.
     pub fn txn_features(
         &self,
@@ -517,7 +567,7 @@ impl OuTranslator {
         // table shard count, so the txn and GC OUs carry it as a knob.
         if matches!(
             ou,
-            OuKind::GarbageCollection | OuKind::TxnBegin | OuKind::TxnCommit
+            OuKind::GarbageCollection | OuKind::TxnBegin | OuKind::TxnCommit | OuKind::Compaction
         ) {
             features.push(knobs.shard_count.max(1) as f64);
         }
@@ -586,6 +636,50 @@ mod tests {
             expected_sorted.sort();
             measured.sort();
             assert_eq!(expected_sorted, measured, "OU mismatch for {sql}");
+        }
+    }
+
+    #[test]
+    fn columnar_translation_matches_execution_ous() {
+        // With the columnar knob on, the translator must emit a Block/Scan
+        // instance exactly where the executor opens one: every sequential
+        // scan except the slot-tracking victim scans under UPDATE/DELETE.
+        use parking_lot::Mutex;
+        struct Rec(Mutex<Vec<(u32, OuKind)>>);
+        impl mb2_exec::OuRecorder for Rec {
+            fn record(&self, id: u32, ou: OuKind, _: mb2_common::Metrics) {
+                self.0.lock().push((id, ou));
+            }
+        }
+
+        let db = db_with_data();
+        db.set_columnar_enabled(true);
+        db.compact_now();
+        let translator = OuTranslator::default();
+        for sql in [
+            "SELECT * FROM t WHERE a < 50",
+            "SELECT b, COUNT(*), SUM(c) FROM t GROUP BY b ORDER BY b",
+            "UPDATE t SET c = c + 1.0 WHERE a = 3",
+            "DELETE FROM t WHERE a = 42",
+        ] {
+            let plan = db.prepare(sql).unwrap();
+            let mut expected: Vec<(u32, OuKind)> = translator
+                .translate_plan(&plan, &db.knobs())
+                .into_iter()
+                .map(|i| (i.node_id, i.ou))
+                .collect();
+            let has_block_scan = expected.iter().any(|(_, ou)| *ou == OuKind::BlockScan);
+            assert_eq!(
+                has_block_scan,
+                sql.starts_with("SELECT"),
+                "victim scans must not be priced as Block/Scan: {sql}"
+            );
+            let rec = Rec(Mutex::new(Vec::new()));
+            db.execute_plan(&plan, Some(&rec)).unwrap();
+            let mut measured = rec.0.into_inner();
+            expected.sort();
+            measured.sort();
+            assert_eq!(expected, measured, "OU mismatch for {sql}");
         }
     }
 
@@ -735,6 +829,12 @@ mod tests {
                 .features
                 .len(),
             5
+        );
+        assert_eq!(
+            t.compaction_features(512.0, 1.0, 100.0, &knobs)
+                .features
+                .len(),
+            4
         );
     }
 }

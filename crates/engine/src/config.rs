@@ -35,6 +35,10 @@ pub struct DatabaseConfig {
     pub faults: Option<Arc<FaultInjector>>,
     /// Run the garbage collector on a background thread at this interval.
     pub gc_interval: Option<Duration>,
+    /// Run the columnar compactor on a background thread at this interval,
+    /// sealing frozen shard units into column-major blocks. `None` leaves
+    /// compaction to explicit [`crate::Database::compact_now`] calls.
+    pub compaction_interval: Option<Duration>,
     /// Metrics registry every subsystem publishes into. `None` creates a
     /// fresh registry per database; pass a shared one to scrape several
     /// databases (or external components) together.
@@ -58,6 +62,7 @@ impl Default for DatabaseConfig {
             wal_retry_backoff: Duration::from_millis(1),
             faults: None,
             gc_interval: None,
+            compaction_interval: None,
             metrics: None,
             metrics_enabled: true,
             knobs: Knobs::default(),
@@ -109,6 +114,12 @@ pub struct Knobs {
     /// least 1; applies to tables created (or re-created by recovery) after
     /// the knob is set.
     pub shard_count: usize,
+    /// Columnar-scan behavior knob: when on, sequential scans serve clean
+    /// sealed shard units from their column-major blocks (vectorized range
+    /// predicates, zone-map skipping, late materialization — the Block/Scan
+    /// OU) instead of walking version chains. Row output is byte-identical
+    /// either way; dirty or unsealed units always fall back to the row path.
+    pub columnar_enabled: bool,
 }
 
 /// Worker-count default for [`Knobs::parallelism`]: every available core.
@@ -128,6 +139,7 @@ impl Default for Knobs {
             batch_size: mb2_exec::DEFAULT_BATCH_SIZE,
             parallelism: default_parallelism(),
             shard_count: default_parallelism(),
+            columnar_enabled: false,
         }
     }
 }
@@ -148,5 +160,7 @@ mod tests {
         assert!(c.knobs.parallelism >= 1);
         assert_eq!(c.knobs.shard_count, default_parallelism());
         assert!(c.knobs.shard_count >= 1);
+        assert!(c.compaction_interval.is_none());
+        assert!(!c.knobs.columnar_enabled);
     }
 }

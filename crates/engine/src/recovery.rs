@@ -180,6 +180,7 @@ pub fn recover_with(
                     db.knobs().shard_count.max(1),
                 )?;
                 db.gc().register(entry.table.clone());
+                db.compactor().register(entry.table.clone());
                 entry.table.set_faults(db.faults().cloned());
                 // Re-log the DDL under the *new* table id. DML replayed
                 // through transactions re-logs itself, but schema changes

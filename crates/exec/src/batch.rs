@@ -31,8 +31,9 @@ use mb2_common::{DbError, DbResult, OuKind, Value};
 use mb2_index::Index;
 use mb2_sql::plan::{AggSpec, OutputSink, ScanRange, SortKey};
 use mb2_sql::{AggFunc, PlanNode};
-use mb2_storage::{SlotId, Table};
+use mb2_storage::{SlotId, Table, SHARD_UNIT_SLOTS};
 
+use crate::columnar::{self, BlockPredicate};
 use crate::compile::Evaluator;
 use crate::context::ExecContext;
 use crate::executor::subtree_size;
@@ -175,6 +176,12 @@ type BoxedOp = Box<dyn BatchOperator>;
 /// Sequential scan with the filter pushed into the visibility visitor:
 /// filtered-out tuples are never cloned, and the scan suspends mid-heap as
 /// soon as the batch fills (resumable via `scan_visible_from`).
+///
+/// With the `columnar_enabled` knob on (`block_pred` set), the scan serves
+/// every *clean sealed unit* wholesale from its columnar block — vectorized
+/// predicate masks, zone-map skipping, late materialization (Block/Scan OU)
+/// — and walks version chains only for the dirty/unsealed remainder, so
+/// the emitted row stream stays byte-identical to the pure row path.
 struct SeqScanOp {
     table: Arc<Table>,
     filter: Option<Evaluator>,
@@ -184,6 +191,13 @@ struct SeqScanOp {
     done: bool,
     scan_span: OpSpan,
     filter_span: Option<OpSpan>,
+    /// `Some` iff this scan may take the columnar fast path.
+    block_pred: Option<BlockPredicate>,
+    block_span: Option<OpSpan>,
+    /// Block-path rows beyond the current batch's budget (a block emits a
+    /// whole unit's survivors at once); drained first on the next pull.
+    carry: Vec<Arc<Tuple>>,
+    carry_cursor: usize,
 }
 
 impl BatchOperator for SeqScanOp {
@@ -192,80 +206,165 @@ impl BatchOperator for SeqScanOp {
         ctx: &mut ExecContext<'_>,
         max_rows: usize,
     ) -> DbResult<Option<Batch>> {
-        if self.done {
-            return Ok(None);
-        }
         let max = max_rows.max(1);
         let mut batch = Batch::with_capacity(max);
-        self.scan_span.enter();
+        // Carried-over block rows precede anything newly scanned.
+        while batch.rows.len() < max && self.carry_cursor < self.carry.len() {
+            batch.rows.push(Arc::clone(&self.carry[self.carry_cursor]));
+            self.carry_cursor += 1;
+        }
+        if self.carry_cursor >= self.carry.len() {
+            self.carry.clear();
+            self.carry_cursor = 0;
+        }
         let track = self.scan_span.active();
         let want_slots = self.want_slots;
-        let filter = self.filter.as_ref();
         let mut scanned = 0u64;
         let mut scanned_bytes = 0u64;
-        let mut err: Option<DbError> = None;
-        self.pos = self.table.scan_visible_from(
-            self.pos,
-            ctx.txn.read_ts(),
-            ctx.txn.id(),
-            |slot, tuple| {
-                if track {
-                    scanned += 1;
-                    scanned_bytes += tuple_size_bytes(tuple) as u64;
-                }
-                let keep = match filter {
-                    None => true,
-                    Some(ev) => match ev.eval_bool(tuple) {
-                        Ok(k) => k,
-                        Err(e) => {
-                            err = Some(e);
-                            return false;
+        while batch.rows.len() < max && !self.done {
+            // Columnar fast path: a clean sealed block is a complete
+            // snapshot of its unit (writers mark it dirty before their
+            // commit timestamp is drawn), so the whole unit is served
+            // without touching a chain lock. Dirty/unsealed units fall
+            // through to the row path, whose per-slot block fallback
+            // handles sealed rows among revived chains.
+            if let Some(pred) = &self.block_pred {
+                if self.pos.is_multiple_of(SHARD_UNIT_SLOTS) {
+                    let unit = self.pos / SHARD_UNIT_SLOTS;
+                    if let Some(block) = self.table.sealed_unit(unit).filter(|b| !b.is_dirty()) {
+                        let span = self.block_span.as_mut().expect("columnar scan block span");
+                        span.enter();
+                        let carry = &mut self.carry;
+                        let out = columnar::scan_block(
+                            &block,
+                            pred,
+                            self.filter.as_ref(),
+                            ctx.txn.read_ts(),
+                            |row| {
+                                if batch.rows.len() < max {
+                                    batch.rows.push(Arc::clone(row));
+                                } else {
+                                    carry.push(Arc::clone(row));
+                                }
+                            },
+                        );
+                        let out = match out {
+                            Ok(o) => o,
+                            Err(e) => {
+                                span.exit();
+                                return Err(e);
+                            }
+                        };
+                        span.work(|t| {
+                            t.add_tuples(out.swept);
+                            t.add_bytes(out.bytes);
+                            t.add_allocated(out.bytes);
+                        });
+                        span.exit();
+                        if out.zone_skipped {
+                            self.table.note_zone_skip(unit);
                         }
-                    },
-                };
-                if keep {
-                    batch.rows.push(Arc::clone(tuple));
-                    if want_slots {
-                        batch.slots.push(slot);
+                        if let Some(fspan) = self.filter_span.as_mut() {
+                            // Predicate work over swept rows lands on the
+                            // filter span exactly as the fused row path
+                            // accounts it (zone-skipped blocks swept 0).
+                            let ops = self.filter_ops;
+                            fspan.work(|t| {
+                                t.add_tuples(out.swept);
+                                t.add_comparisons(out.swept * ops);
+                            });
+                        }
+                        self.pos += SHARD_UNIT_SLOTS;
+                        continue;
                     }
                 }
-                batch.rows.len() < max
-            },
-        );
-        self.scan_span.work(|t| {
-            t.add_tuples(scanned);
-            t.add_bytes(scanned_bytes);
-            t.add_allocated(scanned_bytes);
-        });
-        self.scan_span.exit();
-        if let Some(span) = self.filter_span.as_mut() {
-            // The fused predicate ran inside the scan section; its *work*
-            // counts still land on the Arithmetic/Filter span (features are
-            // preserved; elapsed time legitimately collapses — see
-            // DESIGN.md "Batch execution model").
-            let ops = self.filter_ops;
-            span.work(|t| {
-                t.add_tuples(scanned);
-                t.add_comparisons(scanned * ops);
-            });
-        }
-        if let Some(e) = err {
-            return Err(e);
-        }
-        if batch.rows.len() < max {
-            // The heap ended before the batch filled.
-            self.done = true;
-            if batch.rows.is_empty() {
-                return Ok(None);
             }
+            // Row path: up to the next unit boundary in columnar mode (so
+            // the next iteration can reconsider a block), unbounded
+            // otherwise.
+            let seg_end = if self.block_pred.is_some() {
+                (self.pos / SHARD_UNIT_SLOTS + 1) * SHARD_UNIT_SLOTS
+            } else {
+                usize::MAX
+            };
+            self.scan_span.enter();
+            let filter = self.filter.as_ref();
+            let mut err: Option<DbError> = None;
+            self.pos = self.table.scan_visible_range(
+                self.pos,
+                seg_end,
+                ctx.txn.read_ts(),
+                ctx.txn.id(),
+                |slot, tuple| {
+                    if track {
+                        scanned += 1;
+                        scanned_bytes += tuple_size_bytes(tuple) as u64;
+                    }
+                    let keep = match filter {
+                        None => true,
+                        Some(ev) => match ev.eval_bool(tuple) {
+                            Ok(k) => k,
+                            Err(e) => {
+                                err = Some(e);
+                                return false;
+                            }
+                        },
+                    };
+                    if keep {
+                        batch.rows.push(Arc::clone(tuple));
+                        if want_slots {
+                            batch.slots.push(slot);
+                        }
+                    }
+                    batch.rows.len() < max
+                },
+            );
+            self.scan_span.exit();
+            if let Some(e) = err {
+                self.flush_row_work(scanned, scanned_bytes);
+                return Err(e);
+            }
+            if batch.rows.len() < max && self.pos < seg_end {
+                // The heap ended inside this segment.
+                self.done = true;
+            }
+        }
+        self.flush_row_work(scanned, scanned_bytes);
+        if batch.rows.is_empty() && self.done && self.carry.is_empty() {
+            return Ok(None);
         }
         Ok(Some(batch))
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         self.scan_span.finish(ctx);
+        if let Some(span) = self.block_span.as_mut() {
+            span.finish(ctx);
+        }
         if let Some(span) = self.filter_span.as_mut() {
             span.finish(ctx);
+        }
+    }
+}
+
+impl SeqScanOp {
+    /// Fold this pull's row-path work into the scan and (fused) filter
+    /// spans. The fused predicate ran inside the scan section; its *work*
+    /// counts still land on the Arithmetic/Filter span (features are
+    /// preserved; elapsed time legitimately collapses — see DESIGN.md
+    /// "Batch execution model").
+    fn flush_row_work(&mut self, scanned: u64, scanned_bytes: u64) {
+        self.scan_span.work(|t| {
+            t.add_tuples(scanned);
+            t.add_bytes(scanned_bytes);
+            t.add_allocated(scanned_bytes);
+        });
+        if let Some(span) = self.filter_span.as_mut() {
+            let ops = self.filter_ops;
+            span.work(|t| {
+                t.add_tuples(scanned);
+                t.add_comparisons(scanned * ops);
+            });
         }
     }
 }
@@ -417,7 +516,12 @@ fn par_chain(node: &PlanNode, id: u32, ctx: &ExecContext<'_>) -> DbResult<Option
             PlanNode::SeqScan { table, filter, .. } => {
                 let entry = ctx.catalog.get(table)?;
                 let total_slots = entry.table.num_slots();
-                let morsel_slots = ctx.morsel_slots.max(1);
+                let mut morsel_slots = ctx.morsel_slots.max(1);
+                if ctx.columnar {
+                    // Unit-align morsels so each sealed block lies inside
+                    // exactly one morsel and can be served wholesale.
+                    morsel_slots = morsel_slots.div_ceil(SHARD_UNIT_SLOTS) * SHARD_UNIT_SLOTS;
+                }
                 if total_slots.div_ceil(morsel_slots) < 2 {
                     return Ok(None);
                 }
@@ -431,6 +535,9 @@ fn par_chain(node: &PlanNode, id: u32, ctx: &ExecContext<'_>) -> DbResult<Option
                     scan_id: cur_id,
                     filter: filter.as_ref().map(|f| Evaluator::new(f, use_compiled)),
                     filter_ops: filter.as_ref().map_or(0, |f| f.op_count()) as u64,
+                    block_pred: ctx
+                        .columnar
+                        .then(|| BlockPredicate::extract(filter.as_ref())),
                     stages,
                     track: ctx.recorder.is_some() || ctx.hw.slowdown() > 1.0,
                     morsel_slots,
@@ -771,6 +878,28 @@ struct JoinTable {
     map: HashMap<Vec<Value>, Vec<usize>>,
 }
 
+impl JoinTable {
+    /// Bucket lookup without a per-probe-row key allocation: single-column
+    /// keys (the common case) borrow the probe row's value in place via
+    /// `Vec<Value>: Borrow<[Value]>`; multi-column keys refill one scratch
+    /// buffer per probe loop instead of allocating a fresh `Vec` per row.
+    #[inline]
+    fn matches(
+        &self,
+        keys: &[usize],
+        row: &Tuple,
+        scratch: &mut Vec<Value>,
+    ) -> Option<&Vec<usize>> {
+        if let [k] = keys {
+            self.map.get(std::slice::from_ref(&row[*k]))
+        } else {
+            scratch.clear();
+            scratch.extend(keys.iter().map(|&k| row[k].clone()));
+            self.map.get(scratch.as_slice())
+        }
+    }
+}
+
 /// Per-morsel partial hash-table build shipped back through the ordered
 /// gather: this morsel's rows plus morsel-local buckets.
 type PartialBuild = (Vec<Arc<Tuple>>, HashMap<Vec<Value>, Vec<usize>>);
@@ -934,6 +1063,7 @@ impl HashJoinOp {
         let mut probe_bytes = 0u64;
         let mut out_bytes = 0u64;
         let mut matched = 0u64;
+        let mut key_scratch: Vec<Value> = Vec::new();
         self.probe_span.enter();
         while out.rows.len() < max {
             if let Some(row) = self.pending.pop_front() {
@@ -966,8 +1096,7 @@ impl HashJoinOp {
                 probe_tuples += 1;
                 probe_bytes += tuple_size_bytes(&row) as u64;
             }
-            let key: Vec<Value> = self.probe_keys.iter().map(|&k| row[k].clone()).collect();
-            if let Some(matches) = table.map.get(&key) {
+            if let Some(matches) = table.matches(&self.probe_keys, &row, &mut key_scratch) {
                 for &bi in matches {
                     let build_row = &table.rows[bi];
                     let mut combined: Tuple = Vec::with_capacity(row.len() + build_row.len());
@@ -1043,12 +1172,12 @@ impl HashJoinOp {
                 let mut probe_bytes = 0u64;
                 let mut out_bytes = 0u64;
                 let mut matched = 0u64;
+                let mut key_scratch: Vec<Value> = Vec::new();
                 for row in &rows {
                     if track {
                         probe_bytes += tuple_size_bytes(row) as u64;
                     }
-                    let key: Vec<Value> = pkeys.iter().map(|&k| row[k].clone()).collect();
-                    if let Some(matches) = table.map.get(&key) {
+                    if let Some(matches) = table.matches(&pkeys, row, &mut key_scratch) {
                         for &bi in matches {
                             let build_row = &table.rows[bi];
                             let mut combined: Tuple =
@@ -1799,6 +1928,9 @@ pub(crate) fn build_pipeline(
             // DML scans always fuse — their filter must keep rows and slots
             // paired.
             let fuse = ctx.batch_size > 1 || want_slots || filter.is_none();
+            // DML victim scans need slot provenance, which blocks don't
+            // carry — they stay on the row path.
+            let columnar = ctx.columnar && !want_slots;
             let scan = Box::new(SeqScanOp {
                 table: Arc::clone(&entry.table),
                 filter: fuse
@@ -1813,6 +1945,13 @@ pub(crate) fn build_pipeline(
                     .as_ref()
                     .filter(|_| fuse)
                     .map(|_| OpSpan::new(ctx, id, OuKind::ArithmeticFilter)),
+                // In legacy unfused mode the predicate runs in the FilterOp
+                // above, so the block path must emit unfiltered rows.
+                block_pred: columnar
+                    .then(|| BlockPredicate::extract(filter.as_ref().filter(|_| fuse))),
+                block_span: columnar.then(|| OpSpan::new(ctx, id, OuKind::BlockScan)),
+                carry: Vec::new(),
+                carry_cursor: 0,
             });
             if fuse {
                 return Ok(scan);

@@ -55,6 +55,11 @@ pub struct ExecContext<'a> {
     /// Slots per morsel when `pool` is set. Tests shrink this to exercise
     /// multi-morsel plans on small tables.
     pub morsel_slots: usize,
+    /// The `columnar_enabled` behavior knob: sequential scans serve clean
+    /// sealed units from their columnar blocks (vectorized predicates, zone
+    /// maps, late materialization — the Block/Scan OU) instead of walking
+    /// version chains. Row output is byte-identical either way.
+    pub columnar: bool,
 }
 
 impl<'a> ExecContext<'a> {
@@ -70,7 +75,13 @@ impl<'a> ExecContext<'a> {
             batch_size: crate::batch::DEFAULT_BATCH_SIZE,
             pool: None,
             morsel_slots: crate::parallel::DEFAULT_MORSEL_SLOTS,
+            columnar: false,
         }
+    }
+
+    pub fn with_columnar(mut self, columnar: bool) -> ExecContext<'a> {
+        self.columnar = columnar;
+        self
     }
 
     pub fn with_pool(mut self, pool: Arc<crate::parallel::ExecPool>) -> ExecContext<'a> {

@@ -17,6 +17,7 @@
 //! expressions to nested native closures (the JIT analog).
 
 pub mod batch;
+pub mod columnar;
 pub mod compile;
 pub mod context;
 pub mod executor;

@@ -43,8 +43,9 @@ use parking_lot::Mutex;
 use mb2_common::types::{tuple_size_bytes, Tuple};
 use mb2_common::{DbError, DbResult, OuKind};
 use mb2_obs::{Counter, Gauge, Histogram, MetricsRegistry};
-use mb2_storage::{Table, Ts};
+use mb2_storage::{Table, Ts, SHARD_UNIT_SLOTS};
 
+use crate::columnar::{self, BlockPredicate};
 use crate::compile::Evaluator;
 use crate::tracker::WorkCounts;
 
@@ -316,6 +317,9 @@ pub(crate) struct ChainSpec {
     pub scan_id: u32,
     pub filter: Option<Evaluator>,
     pub filter_ops: u64,
+    /// `Some` iff the `columnar_enabled` knob is on: clean sealed units are
+    /// served from their blocks (Block/Scan OU) instead of chain walks.
+    pub block_pred: Option<BlockPredicate>,
     pub stages: Vec<ParStage>,
     /// Maintain work counts (mirrors `OpSpan::active`).
     pub track: bool,
@@ -343,6 +347,9 @@ impl ChainSpec {
     /// are still recorded (preserving the plan's OU set under LIMIT).
     pub fn span_keys(&self) -> Vec<(u32, OuKind)> {
         let mut keys = vec![(self.scan_id, OuKind::SeqScan)];
+        if self.block_pred.is_some() {
+            keys.push((self.scan_id, OuKind::BlockScan));
+        }
         if self.filter.is_some() {
             keys.push((self.scan_id, OuKind::ArithmeticFilter));
         }
@@ -366,46 +373,93 @@ impl ChainSpec {
         let mut rows: Vec<Arc<Tuple>> = Vec::new();
         let mut scanned = 0u64;
         let mut scanned_bytes = 0u64;
-        let mut err: Option<DbError> = None;
-        let t0 = Instant::now();
-        self.table
-            .scan_visible_range(start, end, self.read_ts, self.own, |_slot, tuple| {
-                if self.track {
-                    scanned += 1;
-                    scanned_bytes += tuple_size_bytes(tuple) as u64;
-                }
-                let keep = match &self.filter {
-                    None => true,
-                    Some(ev) => match ev.eval_bool(tuple) {
-                        Ok(k) => k,
-                        Err(e) => {
-                            err = Some(e);
-                            return false;
+        let mut filtered = 0u64;
+        let mut row_elapsed = 0.0f64;
+        let mut pos = start;
+        while pos < end {
+            // Columnar fast path: serve a clean sealed unit wholesale from
+            // its block (morsels are unit-aligned when the knob is on, so a
+            // block never straddles morsels). Dirty/unsealed units fall to
+            // the row path below, whose per-slot block fallback handles
+            // sealed rows among revived chains.
+            if let Some(pred) = &self.block_pred {
+                if pos.is_multiple_of(SHARD_UNIT_SLOTS) && pos + SHARD_UNIT_SLOTS <= end {
+                    let unit = pos / SHARD_UNIT_SLOTS;
+                    if let Some(block) = self.table.sealed_unit(unit).filter(|b| !b.is_dirty()) {
+                        let t0 = Instant::now();
+                        let out = columnar::scan_block(
+                            &block,
+                            pred,
+                            self.filter.as_ref(),
+                            self.read_ts,
+                            |row| rows.push(Arc::clone(row)),
+                        )?;
+                        if out.zone_skipped {
+                            self.table.note_zone_skip(unit);
                         }
-                    },
-                };
-                if keep {
-                    rows.push(Arc::clone(tuple));
+                        if self.track {
+                            let s = acct.span(self.scan_id, OuKind::BlockScan);
+                            s.work.tuples += out.swept;
+                            s.work.bytes += out.bytes;
+                            s.work.allocated_bytes += out.bytes;
+                            s.elapsed_us += elapsed_us(t0);
+                            filtered += out.swept;
+                        }
+                        pos += SHARD_UNIT_SLOTS;
+                        continue;
+                    }
                 }
-                true
-            });
+            }
+            let seg_end = if self.block_pred.is_some() {
+                ((pos / SHARD_UNIT_SLOTS + 1) * SHARD_UNIT_SLOTS).min(end)
+            } else {
+                end
+            };
+            let mut err: Option<DbError> = None;
+            let t0 = Instant::now();
+            self.table
+                .scan_visible_range(pos, seg_end, self.read_ts, self.own, |_slot, tuple| {
+                    if self.track {
+                        scanned += 1;
+                        scanned_bytes += tuple_size_bytes(tuple) as u64;
+                    }
+                    let keep = match &self.filter {
+                        None => true,
+                        Some(ev) => match ev.eval_bool(tuple) {
+                            Ok(k) => k,
+                            Err(e) => {
+                                err = Some(e);
+                                return false;
+                            }
+                        },
+                    };
+                    if keep {
+                        rows.push(Arc::clone(tuple));
+                    }
+                    true
+                });
+            row_elapsed += elapsed_us(t0);
+            if let Some(e) = err {
+                return Err(e);
+            }
+            pos = seg_end;
+        }
         if self.track {
             let scan = acct.span(self.scan_id, OuKind::SeqScan);
             scan.work.tuples += scanned;
             scan.work.bytes += scanned_bytes;
             scan.work.allocated_bytes += scanned_bytes;
-            scan.elapsed_us += elapsed_us(t0);
+            scan.elapsed_us += row_elapsed;
             if self.filter.is_some() {
-                // The fused predicate ran inside the scan section; its work
-                // lands on the Arithmetic/Filter span with no elapsed time,
-                // exactly as the serial fused scan accounts it.
+                // The fused predicate ran inside the scan/block sections;
+                // its work lands on the Arithmetic/Filter span with no
+                // elapsed time, exactly as the serial fused scan accounts
+                // it. Block-swept rows count too (zone-skipped units swept
+                // nothing).
                 let f = acct.span(self.scan_id, OuKind::ArithmeticFilter);
-                f.work.tuples += scanned;
-                f.work.comparisons += scanned * self.filter_ops;
+                f.work.tuples += scanned + filtered;
+                f.work.comparisons += (scanned + filtered) * self.filter_ops;
             }
-        }
-        if let Some(e) = err {
-            return Err(e);
         }
         for stage in &self.stages {
             let t0 = Instant::now();
@@ -796,6 +850,7 @@ mod tests {
                 scan_id: 0,
                 filter: None,
                 filter_ops: 0,
+                block_pred: None,
                 stages: vec![],
                 track: false,
                 morsel_slots: 64,

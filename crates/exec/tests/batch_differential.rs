@@ -8,7 +8,8 @@
 //! tuple/byte features identical to the oracle's totals (LIMIT legitimately
 //! changes features: early termination is the optimization).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -19,7 +20,8 @@ use mb2_common::{Column, Metrics, OuKind, Prng, Schema, Value};
 use mb2_exec::{execute, ExecContext, ExecPool, OuRecorder, WorkCounts};
 use mb2_sql::plan::{AggSpec, OutputSink, SortKey};
 use mb2_sql::{parse, AggFunc, BoundExpr, PlanNode, Planner, Statement};
-use mb2_txn::TxnManager;
+use mb2_storage::SHARD_UNIT_SLOTS;
+use mb2_txn::{Compactor, GarbageCollector, TxnManager};
 
 // ----------------------------------------------------------------------
 // Harness
@@ -111,13 +113,24 @@ fn run_engine_pooled(
     batch_size: usize,
     pool: Option<&Arc<ExecPool>>,
 ) -> (Vec<Tuple>, Feats) {
+    run_engine_cfg(h, plan, batch_size, pool, false)
+}
+
+fn run_engine_cfg(
+    h: &Harness,
+    plan: &PlanNode,
+    batch_size: usize,
+    pool: Option<&Arc<ExecPool>>,
+    columnar: bool,
+) -> (Vec<Tuple>, Feats) {
     let rec = WorkRec::default();
     let mut txn = h.txns.begin();
     let rows = {
         let mut ctx = ExecContext::new(&h.catalog, &mut txn)
             .with_recorder(&rec)
             .with_batch_size(batch_size)
-            .with_morsel_slots(TEST_MORSEL_SLOTS);
+            .with_morsel_slots(TEST_MORSEL_SLOTS)
+            .with_columnar(columnar);
         if let Some(pool) = pool {
             ctx = ctx.with_pool(pool.clone());
         }
@@ -755,4 +768,270 @@ fn batch_size_one_equals_default_features() {
     a.sort();
     b.sort();
     assert_eq!(a, b);
+}
+
+// ----------------------------------------------------------------------
+// Columnar block path vs the row path
+// ----------------------------------------------------------------------
+
+/// Sized so every shard of `t` holds at least one full, sealable 512-slot
+/// unit; `u` stays far below one unit, exercising the unsealed fallback
+/// (its "columnar" scans serve every row from the row path).
+fn setup_columnar(seed: u64, shards: usize) -> Harness {
+    let mut rng = Prng::new(seed);
+    let h = Harness::with_shards(shards);
+    h.ddl("CREATE TABLE t (a INT, b INT, c FLOAT)");
+    h.ddl("CREATE TABLE u (k INT, v INT)");
+    let n = shards * SHARD_UNIT_SLOTS + 157;
+    for base in (0..n).step_by(100) {
+        let vals: Vec<String> = (base..(base + 100).min(n))
+            .map(|i| {
+                let b = rng.range_i64(0, 10);
+                let c = rng.range_i64(0, 1000) as f64 / 4.0;
+                format!("({i}, {b}, {c})")
+            })
+            .collect();
+        h.run(&format!("INSERT INTO t VALUES {}", vals.join(", ")));
+    }
+    for i in 0..41 {
+        let k = rng.range_i64(0, 10);
+        h.run(&format!("INSERT INTO u VALUES ({k}, {i})"));
+    }
+    h
+}
+
+/// Seal every cold unit of both tables. Returns units sealed.
+fn compact(h: &Harness) -> usize {
+    let compactor = Compactor::new(h.txns.clone());
+    compactor.register(h.catalog.get("t").unwrap().table.clone());
+    compactor.register(h.catalog.get("u").unwrap().table.clone());
+    compactor.run_once().units_sealed
+}
+
+fn zone_skips(h: &Harness) -> u64 {
+    h.catalog
+        .get("t")
+        .unwrap()
+        .table
+        .block_stats()
+        .iter()
+        .map(|s| s.zone_skips)
+        .sum()
+}
+
+/// Fold Block/Scan work into its scan node's Seq/Scan entry: the columnar
+/// path splits one scan's sweep across the two OUs without changing the
+/// swept-tuple total (unless a zone map skipped a unit outright). Byte
+/// totals are allowed to shrink: late materialization never touches the
+/// bytes of sealed rows the vectorized predicate rejected.
+fn merge_block_into_seq(feats: &Feats) -> Vec<((u32, OuKind), (u64, u64))> {
+    let mut merged: Feats = HashMap::new();
+    for (&(id, ou), &(t, b)) in feats {
+        let key = if ou == OuKind::BlockScan {
+            (id, OuKind::SeqScan)
+        } else {
+            (id, ou)
+        };
+        let e = merged.entry(key).or_insert((0, 0));
+        e.0 += t;
+        e.1 += b;
+    }
+    let mut v: Vec<_> = merged.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// The columnar differential: with every cold unit sealed, columnar
+/// execution must be byte-identical to the row path across shard counts,
+/// batch sizes, and serial/pooled runs — for fixed and randomized
+/// queries. Feature stability: Block/Scan spans appear on exactly the
+/// row run's Seq/Scan nodes, and folding them back yields exactly the
+/// row run's per-(node, OU) work when no unit was zone-skipped (skips
+/// may only ever shrink work, never change rows).
+#[test]
+fn columnar_blocks_match_row_path_across_shards_and_batches() {
+    let seed = 0xB10C ^ seed_offset();
+    let mut rng = Prng::new(0xC0DE ^ seed_offset());
+    for shards in [1usize, 3, 8] {
+        let h = setup_columnar(seed, shards);
+        assert!(compact(&h) >= shards, "every shard must seal a unit");
+        let pools: Vec<Option<Arc<ExecPool>>> = vec![None, Some(ExecPool::new(4))];
+        let n = (shards * SHARD_UNIT_SLOTS + 157) as i64;
+        for _round in 0..2 {
+            let x = rng.range_i64(0, n);
+            let b = rng.range_i64(0, 10);
+            let cases: Vec<String> = vec![
+                format!("SELECT * FROM t WHERE a < {x}"),
+                format!("SELECT a, b FROM t WHERE b = {b} ORDER BY a"),
+                "SELECT b, COUNT(*), SUM(a), AVG(c), MIN(a), MAX(c) FROM t \
+                 GROUP BY b ORDER BY b"
+                    .to_string(),
+                format!("SELECT t.a, u.v FROM t, u WHERE t.b = u.k AND t.a < {x}"),
+                format!("SELECT a + b * 2 FROM t WHERE c < {x} ORDER BY a + b * 2"),
+                format!("SELECT b, SUM(a) FROM t WHERE a >= {x} GROUP BY b ORDER BY b"),
+            ];
+            for sql in &cases {
+                let plan = h.plan(sql);
+                for pool in &pools {
+                    for batch_size in [1usize, 64, 1024] {
+                        let (off_rows, off_feats) =
+                            run_engine_cfg(&h, &plan, batch_size, pool.as_ref(), false);
+                        let before = zone_skips(&h);
+                        let (on_rows, on_feats) =
+                            run_engine_cfg(&h, &plan, batch_size, pool.as_ref(), true);
+                        let skipped = zone_skips(&h) - before;
+                        let ctx = format!("{sql} shards={shards} batch_size={batch_size}");
+                        if has_top_order(&plan) || !has_hash_operator(&plan) {
+                            assert_eq!(on_rows, off_rows, "row mismatch for {ctx}");
+                        } else {
+                            assert_eq!(
+                                canon(on_rows),
+                                canon(off_rows.clone()),
+                                "row mismatch (canonical) for {ctx}"
+                            );
+                        }
+                        let on_blocks: BTreeSet<u32> = on_feats
+                            .keys()
+                            .filter(|(_, ou)| *ou == OuKind::BlockScan)
+                            .map(|(id, _)| *id)
+                            .collect();
+                        let off_scans: BTreeSet<u32> = off_feats
+                            .keys()
+                            .filter(|(_, ou)| *ou == OuKind::SeqScan)
+                            .map(|(id, _)| *id)
+                            .collect();
+                        assert_eq!(
+                            on_blocks, off_scans,
+                            "Block/Scan spans must sit on exactly the Seq/Scan nodes: {ctx}"
+                        );
+                        assert!(
+                            off_feats.keys().all(|(_, ou)| *ou != OuKind::BlockScan),
+                            "row path must not emit Block/Scan spans: {ctx}"
+                        );
+                        let on_merged = merge_block_into_seq(&on_feats);
+                        let off_merged_v = merge_block_into_seq(&off_feats);
+                        assert_eq!(
+                            on_merged.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                            off_merged_v.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                            "folded span-key mismatch for {ctx}"
+                        );
+                        let off_merged: HashMap<_, _> = off_merged_v.into_iter().collect();
+                        for (key, (t, bts)) in on_merged {
+                            let &(ot, ob) = off_merged.get(&key).unwrap();
+                            if skipped == 0 {
+                                // The kernel sweeps every live sealed row
+                                // the row path would have visited.
+                                assert_eq!(t, ot, "folded tuple mismatch: {key:?} {ctx}");
+                            } else {
+                                assert!(t <= ot, "skips may only shrink: {key:?} {ctx}");
+                            }
+                            assert!(
+                                bts <= ob,
+                                "late materialization may only shrink bytes: {key:?} {ctx}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zone maps must skip sealed units whose min/max excludes the predicate
+/// range — zero sweep work — while emitting exactly the row path's rows.
+#[test]
+fn zone_maps_skip_cold_units_without_changing_rows() {
+    let h = setup_columnar(0x5C1F ^ seed_offset(), 3);
+    assert!(compact(&h) >= 3);
+    // `a` is insert-ordered, so a tight top-of-range predicate lands in
+    // the unsealed tail and excludes every sealed unit's zone map.
+    let n = (3 * SHARD_UNIT_SLOTS + 157) as i64;
+    let sql = format!("SELECT a, b FROM t WHERE a >= {} ORDER BY a", n - 40);
+    let plan = h.plan(&sql);
+    let (off_rows, _) = run_engine_cfg(&h, &plan, 64, None, false);
+    let before = zone_skips(&h);
+    let (on_rows, on_feats) = run_engine_cfg(&h, &plan, 64, None, true);
+    assert!(zone_skips(&h) > before, "no sealed unit was zone-skipped");
+    assert_eq!(on_rows, off_rows);
+    assert_eq!(on_rows.len(), 40);
+    let block_swept: u64 = on_feats
+        .iter()
+        .filter(|((_, ou), _)| *ou == OuKind::BlockScan)
+        .map(|(_, (t, _))| *t)
+        .sum();
+    assert_eq!(block_swept, 0, "every sealed unit lies below the range");
+}
+
+/// Compaction racing GC racing writers: sealed blocks get dirtied by
+/// updates, re-sealed by the compactor, and their dead versions pruned by
+/// GC — all while readers compare the columnar path against the row path
+/// *inside one snapshot*, where they must agree exactly.
+#[test]
+fn compaction_gc_writer_race_keeps_columnar_reads_consistent() {
+    let h = setup_columnar(0xACE5 ^ seed_offset(), 3);
+    let table = h.catalog.get("t").unwrap().table.clone();
+    let compactor = Compactor::new(h.txns.clone());
+    compactor.register(table.clone());
+    let gc = GarbageCollector::new(h.txns.clone());
+    gc.register(table);
+    assert!(compactor.run_once().units_sealed >= 3);
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Two writers on disjoint key ranges (no write-write conflicts),
+        // both inside the sealed region so blocks keep getting dirtied.
+        for w in 0..2u64 {
+            let h = &h;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut rng = Prng::new(0x1111 + w);
+                while !stop.load(Ordering::Relaxed) {
+                    let a = rng.range_i64(0, 256) + (w as i64) * 256;
+                    let b = rng.range_i64(0, 1000);
+                    h.run(&format!("UPDATE t SET b = {b} WHERE a = {a}"));
+                }
+            });
+        }
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                compactor.run_once();
+            }
+        });
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                gc.run_once();
+            }
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let h = &h;
+                s.spawn(move || {
+                    let agg = h.plan("SELECT COUNT(*), SUM(a), SUM(b) FROM t");
+                    let filt = h.plan("SELECT a, b FROM t WHERE a < 300 ORDER BY a");
+                    for _ in 0..40 {
+                        let mut txn = h.txns.begin();
+                        for plan in [&agg, &filt] {
+                            let row = {
+                                let mut ctx =
+                                    ExecContext::new(&h.catalog, &mut txn).with_batch_size(64);
+                                execute(plan, &mut ctx).unwrap().rows
+                            };
+                            let col = {
+                                let mut ctx = ExecContext::new(&h.catalog, &mut txn)
+                                    .with_batch_size(64)
+                                    .with_columnar(true);
+                                execute(plan, &mut ctx).unwrap().rows
+                            };
+                            assert_eq!(row, col, "snapshot divergence under churn");
+                        }
+                        txn.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
 }

@@ -11,12 +11,14 @@
 //! * **Index drops** — pilot-built indexes that no plan in the current
 //!   forecast scans. The pilot only ever proposes dropping indexes it
 //!   built itself; user-created indexes are out of bounds.
-//! * **Knob flips** — execution mode, batch size, parallelism, WAL flush
-//!   interval, and GC cadence, each stepped up/down from its current
-//!   value. Only the execution-mode knob is currently encoded as an
-//!   OU-model feature, so the others price to zero gain (see the
-//!   [`Action`] docs); they are enumerated anyway so the catalog matches
-//!   the engine's knob surface.
+//! * **Knob flips** — execution mode, batch size, parallelism, columnar
+//!   scans, WAL flush interval, GC cadence, and compaction cadence, each
+//!   stepped up/down (or toggled) from its current value. Plan-shaped
+//!   knobs (execution mode, batch size, parallelism, columnar) are priced
+//!   by re-predicting the forecast plans under the flipped knobs; cadence
+//!   knobs are priced through their background OUs' recurring cost (see
+//!   the [`Action`] docs). Knobs whose OU-models are untrained price
+//!   honestly to zero gain.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -207,6 +209,15 @@ pub fn enumerate(
         for d in [gc * 2, gc / 2] {
             if d >= Duration::from_millis(1) && d != gc {
                 actions.push(Action::SetGcInterval(d));
+            }
+        }
+    }
+    actions.push(Action::SetColumnarEnabled(!knobs.columnar_enabled));
+    let compaction = db.compactor().interval();
+    if compaction > Duration::ZERO {
+        for d in [compaction * 2, compaction / 2] {
+            if d >= Duration::from_millis(1) && d != compaction {
+                actions.push(Action::SetCompactionInterval(d));
             }
         }
     }

@@ -59,6 +59,8 @@ enum Undo {
     Parallelism(usize),
     WalFlushInterval(Duration),
     GcInterval(Duration),
+    ColumnarEnabled(bool),
+    CompactionInterval(Duration),
 }
 
 /// An action deployed and awaiting its verify verdict.
@@ -489,6 +491,15 @@ impl Pilot {
                 self.db.set_gc_interval(*d);
                 Ok(Undo::GcInterval(prev))
             }
+            Action::SetColumnarEnabled(on) => {
+                self.db.set_columnar_enabled(*on);
+                Ok(Undo::ColumnarEnabled(knobs.columnar_enabled))
+            }
+            Action::SetCompactionInterval(d) => {
+                let prev = self.db.compactor().interval();
+                self.db.set_compaction_interval(*d);
+                Ok(Undo::CompactionInterval(prev))
+            }
         }
     }
 
@@ -558,6 +569,8 @@ impl Pilot {
             Undo::Parallelism(n) => self.db.set_parallelism(*n),
             Undo::WalFlushInterval(d) => self.db.set_wal_flush_interval(*d),
             Undo::GcInterval(d) => self.db.set_gc_interval(*d),
+            Undo::ColumnarEnabled(on) => self.db.set_columnar_enabled(*on),
+            Undo::CompactionInterval(d) => self.db.set_compaction_interval(*d),
         }
         Ok(())
     }

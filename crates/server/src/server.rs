@@ -645,7 +645,7 @@ fn handle_query(
 }
 
 /// Intercept operator commands (`SHOW METRICS`, `SHOW PILOT`,
-/// `SHOW SHARDS`) before SQL execution. Returns `None` for everything else
+/// `SHOW SHARDS`, `SHOW BLOCKS`) before SQL execution. Returns `None` for everything else
 /// so ordinary queries take the normal path. Responses are one Varchar
 /// column per row.
 fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> {
@@ -677,6 +677,26 @@ fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> 
                 rows.push(vec![Value::Varchar(format!(
                     "{table} {} {} {} {} {} {}",
                     s.shard, s.slots, s.live_tuples, s.versions, s.gc_pruned, s.last_gc_watermark
+                ))]);
+            }
+            Some(rows)
+        }
+        "SHOW BLOCKS" => {
+            // One row per (table, shard): sealed columnar blocks, blocks
+            // dirtied back onto the row path, rows served from blocks,
+            // versions evicted by seal passes, and zone-map unit skips.
+            let mut rows = vec![vec![Value::Varchar(
+                "table shard blocks dirty sealed_tuples versions_evicted zone_skips".to_string(),
+            )]];
+            for (table, s) in shared.db().block_status() {
+                rows.push(vec![Value::Varchar(format!(
+                    "{table} {} {} {} {} {} {}",
+                    s.shard,
+                    s.blocks,
+                    s.dirty_blocks,
+                    s.sealed_tuples,
+                    s.versions_evicted,
+                    s.zone_skips
                 ))]);
             }
             Some(rows)

@@ -1,6 +1,7 @@
 //! Operator commands answered by the server itself: `SHOW METRICS`,
-//! `SHOW PILOT`, and `SHOW SHARDS` are intercepted before the SQL layer
-//! and return plain Varchar row batches over the existing wire protocol.
+//! `SHOW PILOT`, `SHOW SHARDS`, and `SHOW BLOCKS` are intercepted before
+//! the SQL layer and return plain Varchar row batches over the existing
+//! wire protocol.
 
 use std::sync::Arc;
 
@@ -96,6 +97,51 @@ fn show_shards_reports_per_shard_storage_over_the_wire() {
     // Shards 0 and 1 both hold rows (600 > one 512-slot unit).
     let shard1: Vec<&str> = text_of(&resp.rows[2]).split_whitespace().collect();
     assert!(shard1[3].parse::<u64>().unwrap() > 0, "{shard1:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn show_blocks_reports_sealed_columnar_state_over_the_wire() {
+    let db = Arc::new(Database::new(DatabaseConfig::default()).expect("database"));
+    let server = Server::start(db.clone(), ServerConfig::default()).expect("server start");
+    let mut client = Client::connect(server.local_addr().to_string()).expect("connect");
+
+    client.query("CREATE TABLE t (id INT, v INT)").unwrap();
+    // 700 rows fill one 512-slot unit completely; compaction seals it.
+    for base in (0..700).step_by(100) {
+        let values: Vec<String> = (base..base + 100).map(|i| format!("({i}, {i})")).collect();
+        client
+            .query(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+
+    // Before compaction: the table row reports zero blocks.
+    let resp = client.query("SHOW BLOCKS").expect("show blocks");
+    assert_eq!(resp.rows.len(), 2, "{:?}", resp.rows);
+    assert!(text_of(&resp.rows[0]).starts_with("table shard blocks dirty sealed_tuples"));
+    let fields: Vec<&str> = text_of(&resp.rows[1]).split_whitespace().collect();
+    assert_eq!(fields[..3], ["t", "0", "0"], "{fields:?}");
+
+    let report = db.compact_now();
+    assert!(report.units_sealed >= 1, "{report:?}");
+
+    let resp = client.query("SHOW BLOCKS").expect("show blocks sealed");
+    assert_eq!(resp.rows.len(), 2);
+    let fields: Vec<String> = text_of(&resp.rows[1])
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(fields[0], "t");
+    assert_eq!(fields[2], "1", "one sealed block: {fields:?}");
+    assert_eq!(fields[3], "0", "nothing dirty yet: {fields:?}");
+    assert_eq!(fields[4], "512", "one full unit sealed: {fields:?}");
+
+    // Writing into the sealed unit dirties its block back to the row path.
+    client.query("UPDATE t SET v = -1 WHERE id = 5").unwrap();
+    let resp = client.query("SHOW BLOCKS").expect("show blocks dirty");
+    let fields: Vec<&str> = text_of(&resp.rows[1]).split_whitespace().collect();
+    assert_eq!(fields[3], "1", "sealed block now dirty: {fields:?}");
 
     server.shutdown();
 }

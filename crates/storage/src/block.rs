@@ -1,0 +1,292 @@
+//! Sealed columnar blocks for cold data.
+//!
+//! A [`SealedBlock`] is the column-major twin of one shard unit
+//! ([`SHARD_UNIT_SLOTS`] consecutive global slots on one shard): an
+//! immutable snapshot of every chain in the unit taken by the compactor
+//! once all of them are *frozen* below the GC watermark (see
+//! `VersionChain::frozen`). Frozen-below-watermark rows are visible to every
+//! current and future snapshot, so block reads need no visibility check —
+//! which is exactly what makes the block scan's inner loops tight enough to
+//! auto-vectorize.
+//!
+//! Layout per block:
+//! - a **validity bitmap** over the unit's offsets (holes and deleted slots
+//!   are invalid),
+//! - per-offset **begin timestamps** (kept so a writer can revive the row
+//!   back into its version chain with its true commit timestamp),
+//! - the original `Arc<Tuple>` **row pointers** for late materialization —
+//!   a surviving offset is gathered by a refcount bump, never rebuilt, so
+//!   block-scan output is byte-identical to the row scan's,
+//! - a contiguous **`Vec<i64>` projection per `Int` column** with its own
+//!   NULL bitmap and a min/max **zone map**, the SIMD-friendly substrate
+//!   predicates evaluate against. Non-integer columns keep only the row
+//!   pointers (predicates on them fall back to row-wise evaluation over
+//!   materialized survivors).
+//!
+//! A block with a racing post-seal writer is marked **dirty**: the writer's
+//! revived chain is authoritative for its slot, so scans must take the
+//! row path (with per-slot block fallback) for that unit until compaction
+//! re-seals it. The flag uses SeqCst: it is one load per 512 slots on the
+//! read side and must be ordered before the writer's commit timestamp
+//! becomes observable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mb2_common::types::{tuple_size_bytes, Tuple, Value};
+use mb2_common::{DataType, Schema};
+
+use crate::table::SHARD_UNIT_SLOTS;
+use crate::ts::Ts;
+
+/// `u64` bitmap words covering one shard unit.
+pub const BLOCK_WORDS: usize = SHARD_UNIT_SLOTS / 64;
+
+/// Columnar projection of one `Int` column across the unit.
+pub struct IntColumn {
+    /// One value per offset; `0` at invalid or NULL offsets (masked out by
+    /// the bitmaps, never observed by predicates).
+    pub data: Vec<i64>,
+    /// Offsets whose value is NULL (subset of the block's valid offsets).
+    pub nulls: [u64; BLOCK_WORDS],
+    /// Zone map over valid non-NULL values; `min > max` encodes "no values"
+    /// so every range predicate skips the column outright.
+    pub min: i64,
+    pub max: i64,
+}
+
+impl IntColumn {
+    /// Can any valid value satisfy `lo <= v <= hi`? Drives zone-map block
+    /// skipping; a `false` means the whole block produces no matches.
+    #[inline]
+    pub fn zone_overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.min <= self.max && lo <= self.max && hi >= self.min
+    }
+}
+
+/// An immutable column-major snapshot of one sealed shard unit.
+pub struct SealedBlock {
+    /// Valid (live row) bitmap over the unit's offsets.
+    valid: [u64; BLOCK_WORDS],
+    /// Commit timestamp per offset (0 when invalid).
+    begin: Vec<u64>,
+    /// Original row pointers for late materialization (`None` when invalid).
+    rows: Vec<Option<Arc<Tuple>>>,
+    /// Per-column `Int` projections (`None` for non-integer columns).
+    int_cols: Vec<Option<IntColumn>>,
+    n_valid: usize,
+    approx_bytes: usize,
+    /// Set when a post-seal writer revived a chain in this unit; scans then
+    /// take the row path for the unit until compaction re-seals it.
+    dirty: AtomicBool,
+}
+
+impl SealedBlock {
+    /// Build a block from the frozen unit contents: `entries[off]` is
+    /// `Some((row, begin))` for a live row, `None` for a hole or deleted
+    /// slot. `schema` decides which columns get `Int` projections.
+    pub fn build(schema: &Schema, entries: Vec<Option<(Arc<Tuple>, Ts)>>) -> SealedBlock {
+        debug_assert_eq!(entries.len(), SHARD_UNIT_SLOTS);
+        let mut valid = [0u64; BLOCK_WORDS];
+        let mut begin = vec![0u64; SHARD_UNIT_SLOTS];
+        let mut rows: Vec<Option<Arc<Tuple>>> = vec![None; SHARD_UNIT_SLOTS];
+        let mut n_valid = 0usize;
+        let mut bytes = 0usize;
+        for (off, entry) in entries.into_iter().enumerate() {
+            if let Some((row, ts)) = entry {
+                valid[off / 64] |= 1u64 << (off % 64);
+                begin[off] = ts.0;
+                bytes += tuple_size_bytes(&row);
+                rows[off] = Some(row);
+                n_valid += 1;
+            }
+        }
+        let int_cols: Vec<Option<IntColumn>> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(c, col)| {
+                if col.ty != DataType::Int {
+                    return None;
+                }
+                let mut data = vec![0i64; SHARD_UNIT_SLOTS];
+                let mut nulls = [0u64; BLOCK_WORDS];
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                for (off, row) in rows.iter().enumerate() {
+                    let Some(row) = row else { continue };
+                    match row.get(c) {
+                        Some(Value::Int(v)) => {
+                            data[off] = *v;
+                            min = min.min(*v);
+                            max = max.max(*v);
+                        }
+                        _ => {
+                            // NULL (or an untyped value): mask the offset out
+                            // so vectorized predicates never match it,
+                            // mirroring SQL's NULL ⇒ false.
+                            nulls[off / 64] |= 1u64 << (off % 64);
+                        }
+                    }
+                }
+                bytes += SHARD_UNIT_SLOTS * 8;
+                Some(IntColumn {
+                    data,
+                    nulls,
+                    min,
+                    max,
+                })
+            })
+            .collect();
+        SealedBlock {
+            valid,
+            begin,
+            rows,
+            int_cols,
+            n_valid,
+            approx_bytes: bytes + SHARD_UNIT_SLOTS * (8 + 8),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Live rows in the block.
+    pub fn n_valid(&self) -> usize {
+        self.n_valid
+    }
+
+    /// Approximate heap footprint (row data + columnar projections).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Validity bitmap (one bit per unit offset).
+    #[inline]
+    pub fn valid_words(&self) -> &[u64; BLOCK_WORDS] {
+        &self.valid
+    }
+
+    /// The `Int` projection of column `c`, if it has one.
+    #[inline]
+    pub fn int_col(&self, c: usize) -> Option<&IntColumn> {
+        self.int_cols.get(c).and_then(|c| c.as_ref())
+    }
+
+    /// The sealed row at `off` with its commit timestamp, or `None` for a
+    /// hole/deleted offset.
+    #[inline]
+    pub fn row(&self, off: usize) -> Option<(&Arc<Tuple>, Ts)> {
+        self.rows[off].as_ref().map(|r| (r, Ts(self.begin[off])))
+    }
+
+    /// The sealed row at `off` only if it was committed at or before
+    /// `read_ts`. Frozen rows are below the GC watermark, so this holds for
+    /// every live snapshot — the check is defensive, not load-bearing.
+    #[inline]
+    pub fn row_visible(&self, off: usize, read_ts: Ts) -> Option<&Arc<Tuple>> {
+        match &self.rows[off] {
+            Some(row) if self.begin[off] <= read_ts.0 => Some(row),
+            _ => None,
+        }
+    }
+
+    /// Whether a post-seal writer has revived a chain in this unit.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::SeqCst)
+    }
+
+    /// Mark the unit dirty (called by writers under the slot's chain lock,
+    /// before their commit timestamp can become visible to any reader).
+    pub fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("s", DataType::Varchar),
+        ])
+    }
+
+    fn entries(rows: impl IntoIterator<Item = (usize, i64, Ts)>) -> Vec<Option<(Arc<Tuple>, Ts)>> {
+        let mut out: Vec<Option<(Arc<Tuple>, Ts)>> = (0..SHARD_UNIT_SLOTS).map(|_| None).collect();
+        for (off, v, ts) in rows {
+            out[off] = Some((
+                Arc::new(vec![Value::Int(v), Value::Varchar(format!("r{v}"))]),
+                ts,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn build_populates_bitmaps_columns_and_zone_maps() {
+        let b = SealedBlock::build(
+            &schema(),
+            entries([(0, 5, Ts(10)), (1, -3, Ts(11)), (70, 42, Ts(12))]),
+        );
+        assert_eq!(b.n_valid(), 3);
+        assert_eq!(b.valid_words()[0], 0b11);
+        assert_eq!(b.valid_words()[1], 1 << 6);
+        let col = b.int_col(0).unwrap();
+        assert_eq!(col.min, -3);
+        assert_eq!(col.max, 42);
+        assert_eq!(col.data[0], 5);
+        assert_eq!(col.data[70], 42);
+        assert!(col.zone_overlaps(0, 100));
+        assert!(!col.zone_overlaps(43, 100));
+        assert!(!col.zone_overlaps(-100, -4));
+        // Varchar column has no projection.
+        assert!(b.int_col(1).is_none());
+        // Row materialization returns the original Arc with its commit ts.
+        let (row, ts) = b.row(70).unwrap();
+        assert_eq!(row[0], Value::Int(42));
+        assert_eq!(ts, Ts(12));
+        assert!(b.row(2).is_none());
+    }
+
+    #[test]
+    fn null_ints_are_masked_not_matched() {
+        let mut e = entries([(0, 1, Ts(5))]);
+        e[1] = Some((
+            Arc::new(vec![Value::Null, Value::Varchar("x".into())]),
+            Ts(6),
+        ));
+        let b = SealedBlock::build(&schema(), e);
+        let col = b.int_col(0).unwrap();
+        assert_eq!(col.nulls[0] & (1 << 1), 1 << 1);
+        assert_eq!(col.nulls[0] & 1, 0);
+        // Zone map covers only non-NULL values.
+        assert_eq!(col.min, 1);
+        assert_eq!(col.max, 1);
+    }
+
+    #[test]
+    fn empty_block_zone_never_overlaps() {
+        let b = SealedBlock::build(&schema(), entries([]));
+        assert_eq!(b.n_valid(), 0);
+        let col = b.int_col(0).unwrap();
+        assert!(!col.zone_overlaps(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn visibility_check_is_defensive() {
+        let b = SealedBlock::build(&schema(), entries([(3, 9, Ts(20))]));
+        assert!(b.row_visible(3, Ts(20)).is_some());
+        assert!(b.row_visible(3, Ts(19)).is_none());
+        assert!(b.row_visible(4, Ts(100)).is_none());
+    }
+
+    #[test]
+    fn dirty_flag_round_trip() {
+        let b = SealedBlock::build(&schema(), entries([]));
+        assert!(!b.is_dirty());
+        b.mark_dirty();
+        assert!(b.is_dirty());
+    }
+}

@@ -7,13 +7,23 @@
 //! Visibility follows snapshot isolation: a reader at timestamp `t` sees the
 //! newest version whose begin timestamp is committed and `<= t`.
 
+//! Sealed/cold data additionally lives in per-shard columnar blocks (see
+//! [`block`]): a background compaction pass freezes units whose chains are
+//! all below the GC watermark into immutable column-major
+//! [`SealedBlock`]s, evicting the version chains. Non-empty chains stay
+//! authoritative over blocks, so the row path remains correct at every
+//! point of the seal lifecycle.
+
+pub mod block;
 mod proptests;
 pub mod table;
 pub mod ts;
 pub mod version;
 
+pub use block::{IntColumn, SealedBlock, BLOCK_WORDS};
 pub use table::{
-    PartitionedTable, ShardStats, SlotId, Table, TableId, SEGMENT_SIZE, SHARD_UNIT_SLOTS,
+    BlockShardStats, CompactReport, PartitionedTable, ShardStats, SlotId, Table, TableId,
+    SEGMENT_SIZE, SHARD_UNIT_SLOTS,
 };
 pub use ts::{Ts, TXN_FLAG};
-pub use version::{Version, VersionChain};
+pub use version::{FrozenState, Version, VersionChain};

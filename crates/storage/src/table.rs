@@ -23,8 +23,9 @@ use parking_lot::{Mutex, RwLock};
 use mb2_common::types::Tuple;
 use mb2_common::{fault, DbError, DbResult, FaultInjector, Schema};
 
+use crate::block::SealedBlock;
 use crate::ts::Ts;
-use crate::version::VersionChain;
+use crate::version::{FrozenState, VersionChain};
 
 /// Identifies a table within the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,10 +79,55 @@ pub struct ShardStats {
     pub last_gc_watermark: u64,
 }
 
+/// Per-shard block-store statistics (feeds `SHOW BLOCKS` and the
+/// `mb2_block_*` metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockShardStats {
+    pub shard: usize,
+    /// Sealed blocks currently published on this shard.
+    pub blocks: usize,
+    /// Sealed blocks a post-seal writer has dirtied (row path until
+    /// compaction re-seals them).
+    pub dirty_blocks: usize,
+    /// Live rows served from sealed blocks.
+    pub sealed_tuples: usize,
+    /// Cumulative version-chain versions evicted by seal passes.
+    pub versions_evicted: u64,
+    /// Cumulative units a block scan skipped outright via zone maps.
+    pub zone_skips: u64,
+}
+
+/// What one compaction pass over a shard accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Units sealed or re-sealed this pass.
+    pub units_sealed: usize,
+    /// Live rows in the blocks published this pass.
+    pub tuples_sealed: usize,
+    /// Version-chain versions evicted this pass.
+    pub versions_evicted: usize,
+}
+
+impl CompactReport {
+    pub fn absorb(&mut self, other: CompactReport) {
+        self.units_sealed += other.units_sealed;
+        self.tuples_sealed += other.tuples_sealed;
+        self.versions_evicted += other.versions_evicted;
+    }
+}
+
 /// One independent partition of the heap: chain storage, its allocator,
 /// and its counters.
 struct Shard {
     blocks: RwLock<Vec<Arc<Block>>>,
+    /// Sealed columnar blocks, indexed like `blocks` (shard-local unit
+    /// index). `None` = the unit has not been sealed. Published blocks are
+    /// immutable snapshots; a slot's version chain, when non-empty, is
+    /// always authoritative over the block.
+    sealed: RwLock<Vec<Option<Arc<SealedBlock>>>>,
+    /// Serializes seal passes over this shard (GC and writers never take
+    /// it; they synchronize with sealing via the chain locks).
+    seal_lock: Mutex<()>,
     /// Approximate live-tuple count for this shard.
     live_tuples: AtomicUsize,
     /// Approximate version count (live + garbage) for this shard.
@@ -90,16 +136,24 @@ struct Shard {
     gc_pruned: AtomicU64,
     /// Watermark used by the most recent GC pass over this shard.
     last_gc_watermark: AtomicU64,
+    /// Cumulative versions evicted from chains by seal passes.
+    versions_evicted: AtomicU64,
+    /// Cumulative units skipped by block-scan zone maps.
+    zone_skips: AtomicU64,
 }
 
 impl Shard {
     fn new() -> Shard {
         Shard {
             blocks: RwLock::new(Vec::new()),
+            sealed: RwLock::new(Vec::new()),
+            seal_lock: Mutex::new(()),
             live_tuples: AtomicUsize::new(0),
             version_count: AtomicUsize::new(0),
             gc_pruned: AtomicU64::new(0),
             last_gc_watermark: AtomicU64::new(0),
+            versions_evicted: AtomicU64::new(0),
+            zone_skips: AtomicU64::new(0),
         }
     }
 }
@@ -324,32 +378,81 @@ impl PartitionedTable {
 
     /// Read the version of `slot` visible at `read_ts` to transaction `own`.
     /// Out-of-range slots read as absent, like any other invisible tuple.
+    /// An empty chain falls back to the slot's sealed block (still under
+    /// the chain lock: blocks are published before chains are cleared, so
+    /// "empty chain → block is the truth" holds under that lock).
     pub fn read(&self, slot: SlotId, read_ts: Ts, own: Ts) -> Option<Arc<Tuple>> {
-        self.try_chain(slot, |c| c.visible(read_ts, own).cloned())
-            .flatten()
+        self.try_chain(slot, |c| {
+            if let Some(data) = c.visible(read_ts, own) {
+                return Some(Arc::clone(data));
+            }
+            if c.is_empty() {
+                let idx = Self::global_index(slot);
+                return self
+                    .sealed_unit(idx / SHARD_UNIT_SLOTS)
+                    .and_then(|b| b.row_visible(idx % SHARD_UNIT_SLOTS, read_ts).cloned());
+            }
+            None
+        })
+        .flatten()
+    }
+
+    /// Under the slot's chain lock: if the slot's unit is sealed and the
+    /// block holds a live row for it, copy the row back into the chain with
+    /// its original commit timestamp and mark the block dirty so scans take
+    /// the row path for this unit until compaction re-seals it. The dirty
+    /// store happens before the caller's `install` returns — and therefore
+    /// before the writer's commit timestamp can be drawn — which is what
+    /// makes the block scan's once-per-unit dirty check sound.
+    fn revive_from_block(&self, slot: SlotId, chain: &mut VersionChain) -> bool {
+        let idx = Self::global_index(slot);
+        let Some(block) = self.sealed_unit(idx / SHARD_UNIT_SLOTS) else {
+            return false;
+        };
+        if let Some((row, ts)) = block.row(idx % SHARD_UNIT_SLOTS) {
+            chain.revive(Arc::clone(row), ts);
+            block.mark_dirty();
+            true
+        } else {
+            false
+        }
     }
 
     /// Update `slot`, installing a new uncommitted version. Returns the old
     /// data for undo logging.
     pub fn update(&self, slot: SlotId, tuple: Tuple, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
         self.check_tuple(&tuple)?;
-        let old = self
-            .chain(slot, |c| c.install(Some(tuple), txn, read_ts))?
-            .map_err(|e| self.annotate(e))?;
-        self.shards[self.shard_of(slot)]
-            .version_count
-            .fetch_add(1, Ordering::Relaxed);
+        let mut revived = false;
+        let res = self.chain(slot, |c| {
+            if c.is_empty() {
+                revived = self.revive_from_block(slot, c);
+            }
+            c.install(Some(tuple), txn, read_ts)
+        })?;
+        let shard = &self.shards[self.shard_of(slot)];
+        if revived {
+            shard.version_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let old = res.map_err(|e| self.annotate(e))?;
+        shard.version_count.fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("update produced no prior version".into()))
     }
 
     /// Delete `slot` (install a tombstone). Returns the old data.
     pub fn delete(&self, slot: SlotId, txn: Ts, read_ts: Ts) -> DbResult<Arc<Tuple>> {
-        let old = self
-            .chain(slot, |c| c.install(None, txn, read_ts))?
-            .map_err(|e| self.annotate(e))?;
-        self.shards[self.shard_of(slot)]
-            .version_count
-            .fetch_add(1, Ordering::Relaxed);
+        let mut revived = false;
+        let res = self.chain(slot, |c| {
+            if c.is_empty() {
+                revived = self.revive_from_block(slot, c);
+            }
+            c.install(None, txn, read_ts)
+        })?;
+        let shard = &self.shards[self.shard_of(slot)];
+        if revived {
+            shard.version_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let old = res.map_err(|e| self.annotate(e))?;
+        shard.version_count.fetch_add(1, Ordering::Relaxed);
         old.ok_or_else(|| DbError::Storage("delete of already-deleted tuple".into()))
     }
 
@@ -474,7 +577,21 @@ impl PartitionedTable {
             };
             let off = idx % SHARD_UNIT_SLOTS;
             let chain = block.chains[off].lock();
-            if let Some(data) = chain.visible(read_ts, own) {
+            let sealed_hold;
+            let data = match chain.visible(read_ts, own) {
+                Some(data) => Some(data),
+                // Empty chain: the slot may live in a sealed block. The
+                // block must be fetched fresh under this chain lock (a
+                // re-seal between slots can replace the published Arc).
+                None if chain.is_empty() => {
+                    sealed_hold = self.sealed_unit(unit);
+                    sealed_hold
+                        .as_ref()
+                        .and_then(|b| b.row_visible(off, read_ts))
+                }
+                None => None,
+            };
+            if let Some(data) = data {
                 let slot = SlotId {
                     segment: (idx / SEGMENT_SIZE) as u32,
                     offset: (idx % SEGMENT_SIZE) as u32,
@@ -508,9 +625,24 @@ impl PartitionedTable {
                 break;
             }
             let upper = SHARD_UNIT_SLOTS.min(total - base);
+            // Sealed units must keep lone tombstones: collapsing one leaves
+            // an empty chain, and an empty chain falls back to the block —
+            // which would resurrect the deleted row. Sealed status is
+            // checked under the chain lock (sealing holds every chain lock
+            // of the unit, so the check cannot race a mid-flight seal) and
+            // is monotonic, so one positive check covers the rest of the
+            // unit.
+            let mut known_sealed = false;
             for off in 0..upper {
                 let mut chain = block.chains[off].lock();
-                reclaimed += chain.prune(watermark);
+                if !known_sealed {
+                    known_sealed = shard.sealed.read().get(bi).is_some_and(|b| b.is_some());
+                }
+                reclaimed += if known_sealed {
+                    chain.prune_sealed(watermark)
+                } else {
+                    chain.prune(watermark)
+                };
             }
         }
         if reclaimed > 0 {
@@ -541,7 +673,165 @@ impl PartitionedTable {
             .sum()
     }
 
-    /// Approximate heap size in bytes (live + garbage versions).
+    // ------------------------------------------------------------------
+    // Columnar block store
+    // ------------------------------------------------------------------
+
+    /// The sealed block covering global unit `unit`, if one is published.
+    /// The returned snapshot is immutable; check [`SealedBlock::is_dirty`]
+    /// before serving a whole unit from it.
+    #[inline]
+    pub fn sealed_unit(&self, unit: usize) -> Option<Arc<SealedBlock>> {
+        let n = self.shards.len();
+        self.shards[unit % n]
+            .sealed
+            .read()
+            .get(unit / n)
+            .cloned()
+            .flatten()
+    }
+
+    /// Record that a block scan skipped global unit `unit` outright via
+    /// its zone maps (feeds `SHOW BLOCKS` / `mb2_block_zone_skips`).
+    pub fn note_zone_skip(&self, unit: usize) {
+        let n = self.shards.len();
+        self.shards[unit % n]
+            .zone_skips
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Seal (or re-seal) shard-local unit `bi` of shard `s`. Holds every
+    /// chain lock of the unit for the duration, which makes the pass atomic
+    /// with respect to writers, readers, and GC: classify all 512 chains
+    /// against the watermark (any hot chain bails the whole unit), build
+    /// the columnar block, publish it, then clear the absorbed chains.
+    /// Publication happens strictly before clearing, so a reader that finds
+    /// an empty chain under its lock always finds the block. On a re-seal,
+    /// offsets whose chains are still empty carry over from the existing
+    /// block. Returns `(live rows sealed, versions evicted)`.
+    fn try_seal_unit(&self, s: usize, bi: usize, watermark: Ts) -> Option<(usize, usize)> {
+        let shard = &self.shards[s];
+        let block = shard.blocks.read().get(bi).cloned()?;
+        let mut guards: Vec<_> = block.chains.iter().map(|m| m.lock()).collect();
+        let existing = shard.sealed.read().get(bi).cloned().flatten();
+        let mut entries: Vec<Option<(Arc<Tuple>, Ts)>> = Vec::with_capacity(SHARD_UNIT_SLOTS);
+        for (off, g) in guards.iter().enumerate() {
+            let entry = match g.frozen(watermark) {
+                FrozenState::Row(data, begin) => Some((data, begin)),
+                FrozenState::Deleted => None,
+                FrozenState::Empty => existing
+                    .as_ref()
+                    .and_then(|b| b.row(off).map(|(r, t)| (Arc::clone(r), t))),
+                FrozenState::Hot => return None,
+            };
+            entries.push(entry);
+        }
+        let new_block = Arc::new(SealedBlock::build(&self.schema, entries));
+        let tuples = new_block.n_valid();
+        {
+            let mut sealed = shard.sealed.write();
+            if sealed.len() <= bi {
+                sealed.resize_with(bi + 1, || None);
+            }
+            sealed[bi] = Some(new_block);
+        }
+        let mut evicted = 0usize;
+        for g in guards.iter_mut() {
+            if !g.is_empty() {
+                evicted += g.len();
+                **g = VersionChain::default();
+            }
+        }
+        if evicted > 0 {
+            let _ = shard
+                .version_count
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(evicted))
+                });
+            shard
+                .versions_evicted
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        Some((tuples, evicted))
+    }
+
+    /// One compaction pass over shard `s`: seal every fully allocated unit
+    /// whose chains are all frozen below `watermark`, and re-seal units a
+    /// post-seal writer dirtied. Units with any hot chain are skipped and
+    /// retried on a later pass. The tail fragment (a unit still taking
+    /// inserts) is never sealed.
+    pub fn compact_shard(&self, s: usize, watermark: Ts) -> CompactReport {
+        let mut report = CompactReport::default();
+        let n = self.shards.len();
+        if s >= n {
+            return report;
+        }
+        let shard = &self.shards[s];
+        let _pass = shard.seal_lock.lock();
+        let total = self.num_slots();
+        let nblocks = shard.blocks.read().len();
+        for bi in 0..nblocks {
+            let base = (bi * n + s) * SHARD_UNIT_SLOTS;
+            if base + SHARD_UNIT_SLOTS > total {
+                break;
+            }
+            let wanted = match shard.sealed.read().get(bi) {
+                Some(Some(b)) => b.is_dirty(),
+                _ => true,
+            };
+            if !wanted {
+                continue;
+            }
+            if let Some((tuples, evicted)) = self.try_seal_unit(s, bi, watermark) {
+                report.units_sealed += 1;
+                report.tuples_sealed += tuples;
+                report.versions_evicted += evicted;
+            }
+        }
+        report
+    }
+
+    /// One compaction pass over every shard. Returns the combined report.
+    pub fn compact(&self, watermark: Ts) -> CompactReport {
+        let mut report = CompactReport::default();
+        for s in 0..self.shards.len() {
+            report.absorb(self.compact_shard(s, watermark));
+        }
+        report
+    }
+
+    /// Point-in-time per-shard block-store statistics.
+    pub fn block_stats(&self) -> Vec<BlockShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let sealed = shard.sealed.read();
+                let mut stats = BlockShardStats {
+                    shard: s,
+                    versions_evicted: shard.versions_evicted.load(Ordering::Relaxed),
+                    zone_skips: shard.zone_skips.load(Ordering::Relaxed),
+                    ..BlockShardStats::default()
+                };
+                for b in sealed.iter().flatten() {
+                    stats.blocks += 1;
+                    if b.is_dirty() {
+                        stats.dirty_blocks += 1;
+                    }
+                    stats.sealed_tuples += b.n_valid();
+                }
+                stats
+            })
+            .collect()
+    }
+
+    /// Live rows currently served from sealed blocks, across all shards.
+    pub fn sealed_tuples(&self) -> usize {
+        self.block_stats().iter().map(|s| s.sealed_tuples).sum()
+    }
+
+    /// Approximate heap size in bytes (live + garbage versions, plus
+    /// sealed columnar blocks).
     pub fn approx_bytes(&self) -> usize {
         let total = self.num_slots();
         let n = self.shards.len();
@@ -558,6 +848,13 @@ impl PartitionedTable {
                     bytes += block.chains[off].lock().approx_bytes();
                 }
             }
+            bytes += shard
+                .sealed
+                .read()
+                .iter()
+                .flatten()
+                .map(|b| b.approx_bytes())
+                .sum::<usize>();
         }
         bytes
     }
@@ -1094,6 +1391,211 @@ mod tests {
             SHARD_UNIT_SLOTS - 1,
             "delete must decrement the owning shard"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar block store
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn compact_seals_full_frozen_units_only() {
+        let rows = 2 * SHARD_UNIT_SLOTS + 100;
+        let t = sharded(3);
+        fill(&t, rows);
+        let report = t.compact(Ts(10));
+        // Two full units seal; the 100-slot tail fragment does not.
+        assert_eq!(report.units_sealed, 2);
+        assert_eq!(report.tuples_sealed, 2 * SHARD_UNIT_SLOTS);
+        assert_eq!(report.versions_evicted, 2 * SHARD_UNIT_SLOTS);
+        assert_eq!(t.sealed_tuples(), 2 * SHARD_UNIT_SLOTS);
+        assert_eq!(t.version_count(), 100);
+        assert_eq!(t.live_tuples(), rows, "sealing must not change liveness");
+        let stats = t.block_stats();
+        assert_eq!(stats.iter().map(|s| s.blocks).sum::<usize>(), 2);
+        assert_eq!(stats.iter().map(|s| s.dirty_blocks).sum::<usize>(), 0);
+        // A second pass over already-clean blocks is a no-op.
+        assert_eq!(t.compact(Ts(10)).units_sealed, 0);
+    }
+
+    #[test]
+    fn sealed_rows_scan_and_read_identically() {
+        let rows = 3 * SHARD_UNIT_SLOTS + 50;
+        for n in [1usize, 3, 8] {
+            let t = sharded(n);
+            let slots = fill(&t, rows);
+            let mut before = Vec::new();
+            t.scan_visible(Ts(10), Ts::txn(2), |_, tuple| {
+                before.push(tuple[0].as_i64().unwrap());
+                true
+            });
+            t.compact(Ts(10));
+            let mut after = Vec::new();
+            t.scan_visible(Ts(10), Ts::txn(2), |_, tuple| {
+                after.push(tuple[0].as_i64().unwrap());
+                true
+            });
+            assert_eq!(after, before, "shard_count {n}");
+            // Point reads hit the block fallback for sealed slots.
+            assert_eq!(
+                t.read(slots[7], Ts(10), Ts::txn(2)).unwrap()[0],
+                Value::Int(7),
+                "shard_count {n}"
+            );
+            // A pre-seal snapshot older than every commit still sees nothing.
+            assert!(t.read(slots[7], Ts(4), Ts::txn(2)).is_none());
+        }
+    }
+
+    #[test]
+    fn hot_chains_bail_the_unit() {
+        let t = table();
+        let slots = fill(&t, 2 * SHARD_UNIT_SLOTS);
+        // An uncommitted update keeps unit 0 hot; unit 1 still seals.
+        t.update(slots[3], tup(-1, -1), Ts::txn(50), Ts(10))
+            .unwrap();
+        let report = t.compact(Ts(10));
+        assert_eq!(report.units_sealed, 1);
+        assert!(t.sealed_unit(0).is_none());
+        assert!(t.sealed_unit(1).is_some());
+        // Commit the straggler and let GC trim the superseded version;
+        // the next pass picks unit 0 up.
+        t.commit_slot(slots[3], Ts::txn(50), Ts(11), 0);
+        t.gc(Ts(12));
+        assert_eq!(t.compact(Ts(12)).units_sealed, 1);
+        assert!(t.sealed_unit(0).is_some());
+    }
+
+    #[test]
+    fn post_seal_update_revives_marks_dirty_and_reseals() {
+        let t = table();
+        let slots = fill(&t, SHARD_UNIT_SLOTS);
+        t.compact(Ts(10));
+        let victim = slots[9];
+        // Update a sealed row: the chain revives from the block.
+        let old = t.update(victim, tup(900, 0), Ts::txn(60), Ts(10)).unwrap();
+        assert_eq!(old[0], Value::Int(9));
+        t.commit_slot(victim, Ts::txn(60), Ts(20), 0);
+        assert!(t.sealed_unit(0).unwrap().is_dirty());
+        assert_eq!(t.block_stats()[0].dirty_blocks, 1);
+        // Old and new snapshots both resolve through the revived chain.
+        assert_eq!(
+            t.read(victim, Ts(10), Ts::txn(61)).unwrap()[0],
+            Value::Int(9)
+        );
+        assert_eq!(
+            t.read(victim, Ts(20), Ts::txn(61)).unwrap()[0],
+            Value::Int(900)
+        );
+        // Scans agree.
+        let mut seen = Vec::new();
+        t.scan_visible(Ts(20), Ts::txn(61), |_, tuple| {
+            seen.push(tuple[0].as_i64().unwrap());
+            true
+        });
+        assert_eq!(seen.len(), SHARD_UNIT_SLOTS);
+        assert_eq!(seen[9], 900);
+        // Once GC trims the garbage, compaction re-seals the unit clean.
+        t.gc(Ts(21));
+        let report = t.compact(Ts(21));
+        assert_eq!(report.units_sealed, 1);
+        let block = t.sealed_unit(0).unwrap();
+        assert!(!block.is_dirty());
+        assert_eq!(
+            t.read(victim, Ts(21), Ts::txn(62)).unwrap()[0],
+            Value::Int(900)
+        );
+    }
+
+    #[test]
+    fn post_seal_delete_does_not_resurrect() {
+        let t = table();
+        let slots = fill(&t, SHARD_UNIT_SLOTS);
+        t.compact(Ts(10));
+        let victim = slots[100];
+        t.delete(victim, Ts::txn(70), Ts(10)).unwrap();
+        t.commit_slot(victim, Ts::txn(70), Ts(20), -1);
+        assert!(t.read(victim, Ts(20), Ts::txn(71)).is_none());
+        // GC on the sealed unit keeps the lone tombstone (collapsing it
+        // would expose the block row again) ...
+        t.gc(Ts(30));
+        assert!(t.read(victim, Ts(30), Ts::txn(72)).is_none());
+        let mut count = 0;
+        t.scan_visible(Ts(30), Ts::txn(72), |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, SHARD_UNIT_SLOTS - 1);
+        // ... and the re-seal retires both the tombstone and the block row.
+        t.compact(Ts(30));
+        assert!(t.read(victim, Ts(30), Ts::txn(73)).is_none());
+        assert_eq!(t.sealed_tuples(), SHARD_UNIT_SLOTS - 1);
+        assert!(!t.sealed_unit(0).unwrap().is_dirty());
+        count = 0;
+        t.scan_visible(Ts(30), Ts::txn(73), |_, _| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, SHARD_UNIT_SLOTS - 1);
+    }
+
+    #[test]
+    fn scans_race_compaction_without_losing_rows() {
+        // Scan continuously while compaction seals units and writers churn
+        // a few sealed rows: every scan must see exactly one version of
+        // every row.
+        let rows = 4 * SHARD_UNIT_SLOTS;
+        let t = Arc::new(sharded(3));
+        fill(&t, rows);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let compactor = {
+            let t = t.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut wm = 10u64;
+                while !stop.load(Ordering::Relaxed) {
+                    t.gc(Ts(wm));
+                    t.compact(Ts(wm));
+                    wm += 1;
+                }
+            })
+        };
+        let writer = {
+            let t = t.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = Ts::txn(1000 + n);
+                    let idx = (n as usize * 97) % rows;
+                    let slot = SlotId {
+                        segment: (idx / SEGMENT_SIZE) as u32,
+                        offset: (idx % SEGMENT_SIZE) as u32,
+                    };
+                    // Rewrite the row with its own key so scans can't tell.
+                    if t.update(slot, tup(idx as i64, 0), txn, Ts(5_000_000))
+                        .is_ok()
+                    {
+                        t.commit_slot(slot, txn, Ts(2000 + n), 0);
+                    }
+                    n += 1;
+                }
+            })
+        };
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < deadline {
+            let mut seen = Vec::with_capacity(rows);
+            t.scan_visible(Ts(5_000_000), Ts::txn(999), |_, tuple| {
+                seen.push(tuple[0].as_i64().unwrap());
+                true
+            });
+            let expect: Vec<i64> = (0..rows as i64).collect();
+            assert_eq!(seen, expect, "scan lost or duplicated rows");
+        }
+        stop.store(true, Ordering::Relaxed);
+        compactor.join().unwrap();
+        writer.join().unwrap();
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub struct Version {
     pub data: Option<Arc<Tuple>>,
 }
 
+/// What a chain looks like to the compactor at a given watermark: either it
+/// is *frozen* (no version newer than the watermark can ever become visible
+/// to a current or future snapshot, so the slot can be served from an
+/// immutable sealed block) or it is still *hot*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrozenState {
+    /// Exactly one committed live version with `begin <= watermark`: the
+    /// row is identical for every snapshot at or above the watermark.
+    Row(Arc<Tuple>, Ts),
+    /// Empty chain: a hole (fault-tripped insert, aborted insert) or a slot
+    /// already evicted into a sealed block.
+    Empty,
+    /// A lone committed tombstone with `begin <= watermark`: deleted for
+    /// every snapshot at or above the watermark.
+    Deleted,
+    /// Anything else — uncommitted writes, multiple versions, or a newest
+    /// version above the watermark. Not sealable this pass.
+    Hot,
+}
+
 /// Newest-first version chain for one slot.
 #[derive(Debug, Default)]
 pub struct VersionChain {
@@ -40,6 +60,20 @@ impl VersionChain {
                 data: Some(Arc::new(data)),
             }],
         }
+    }
+
+    /// Re-seed an empty chain from a sealed block row: one committed live
+    /// version carrying its original commit timestamp. Used when a writer
+    /// touches a slot whose row was evicted into a block — the chain becomes
+    /// authoritative again and the normal install path proceeds on top.
+    pub fn revive(&mut self, data: Arc<Tuple>, begin: Ts) {
+        debug_assert!(begin.is_committed());
+        debug_assert!(self.versions.is_empty());
+        self.versions.push(Version {
+            begin,
+            end: Ts::INF,
+            data: Some(data),
+        });
     }
 
     pub fn len(&self) -> usize {
@@ -169,6 +203,19 @@ impl VersionChain {
     /// version instead). Tombstone chains whose newest committed tombstone is
     /// below the watermark collapse entirely.
     pub fn prune(&mut self, watermark: Ts) -> usize {
+        self.prune_impl(watermark, true)
+    }
+
+    /// Prune like [`VersionChain::prune`], but never collapse a lone
+    /// committed tombstone to an empty chain. Used for slots inside sealed
+    /// units: an empty chain there means "serve the sealed block row", so
+    /// collapsing a tombstone would resurrect the deleted row. The tombstone
+    /// stays until compaction rebuilds the block without the row.
+    pub fn prune_sealed(&mut self, watermark: Ts) -> usize {
+        self.prune_impl(watermark, false)
+    }
+
+    fn prune_impl(&mut self, watermark: Ts, collapse_tombstone: bool) -> usize {
         debug_assert!(watermark.is_committed());
         // Find the newest committed version visible at the watermark.
         let mut cutoff = None;
@@ -183,11 +230,35 @@ impl VersionChain {
         self.versions.truncate(cut + 1);
         // If the surviving watermark-visible version is a tombstone and it is
         // the only version left, the whole chain is dead.
-        if cut == 0 && self.versions.len() == 1 && self.versions[0].data.is_none() {
+        if collapse_tombstone
+            && cut == 0
+            && self.versions.len() == 1
+            && self.versions[0].data.is_none()
+        {
             self.versions.clear();
             reclaimed += 1;
         }
         reclaimed
+    }
+
+    /// Classify this chain for the compactor's freeze rule at `watermark`.
+    /// See [`FrozenState`]; anything not provably stable is `Hot`.
+    pub fn frozen(&self, watermark: Ts) -> FrozenState {
+        debug_assert!(watermark.is_committed());
+        match self.versions.len() {
+            0 => FrozenState::Empty,
+            1 => {
+                let v = &self.versions[0];
+                if !v.begin.is_committed() || v.begin > watermark {
+                    return FrozenState::Hot;
+                }
+                match &v.data {
+                    Some(data) => FrozenState::Row(Arc::clone(data), v.begin),
+                    None => FrozenState::Deleted,
+                }
+            }
+            _ => FrozenState::Hot,
+        }
     }
 }
 
@@ -340,5 +411,59 @@ mod tests {
         let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
         assert_eq!(chain.prune(Ts(100)), 0);
         assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn prune_sealed_keeps_lone_tombstone() {
+        let mut chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        chain.install(None, Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        // Regular prune would collapse this chain to empty; the sealed
+        // variant must leave the tombstone so the slot does not fall back
+        // to a sealed block row.
+        let reclaimed = chain.prune_sealed(Ts(9));
+        assert_eq!(reclaimed, 1);
+        assert_eq!(chain.len(), 1);
+        assert!(chain.visible(Ts(10), Ts::txn(9)).is_none());
+        assert!(matches!(chain.frozen(Ts(9)), FrozenState::Deleted));
+    }
+
+    #[test]
+    fn frozen_classifies_chain_states() {
+        // Empty chain.
+        let chain = VersionChain::default();
+        assert_eq!(chain.frozen(Ts(10)), FrozenState::Empty);
+        // Uncommitted: hot.
+        let chain = VersionChain::new_insert(tup(1), Ts::txn(1));
+        assert_eq!(chain.frozen(Ts(10)), FrozenState::Hot);
+        // Committed below watermark: frozen row with its commit ts.
+        let mut chain = VersionChain::new_insert(tup(7), Ts::txn(1));
+        chain.commit(Ts::txn(1), Ts(5));
+        match chain.frozen(Ts(10)) {
+            FrozenState::Row(data, begin) => {
+                assert_eq!(data[0], Value::Int(7));
+                assert_eq!(begin, Ts(5));
+            }
+            other => panic!("expected frozen row, got {other:?}"),
+        }
+        // Committed above watermark: hot.
+        assert_eq!(chain.frozen(Ts(4)), FrozenState::Hot);
+        // Two versions (garbage not yet pruned): hot.
+        chain.install(Some(tup(8)), Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(7));
+        assert_eq!(chain.frozen(Ts(10)), FrozenState::Hot);
+    }
+
+    #[test]
+    fn revive_restores_committed_row() {
+        let mut chain = VersionChain::default();
+        chain.revive(Arc::new(tup(3)), Ts(5));
+        assert_eq!(chain.visible(Ts(5), Ts::txn(9)).unwrap()[0], Value::Int(3));
+        // A normal update stacks on the revived base.
+        chain.install(Some(tup(4)), Ts::txn(2), Ts(6)).unwrap();
+        chain.commit(Ts::txn(2), Ts(8));
+        assert_eq!(chain.visible(Ts(7), Ts::txn(9)).unwrap()[0], Value::Int(3));
+        assert_eq!(chain.visible(Ts(8), Ts::txn(9)).unwrap()[0], Value::Int(4));
     }
 }

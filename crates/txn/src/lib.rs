@@ -7,8 +7,10 @@
 //! serialize on the shared active-transaction table, so their cost grows with
 //! arrival rate) and **Garbage Collection** (batch).
 
+pub mod compact;
 pub mod gc;
 pub mod manager;
 
+pub use compact::{CompactionReport, Compactor};
 pub use gc::{GarbageCollector, GcReport};
 pub use manager::{Transaction, TxnManager, TxnState};
