@@ -1,7 +1,7 @@
 //! Multi-client closed-loop driver for `mb2-server` — the network serving
 //! path measured end to end over real sockets.
 //!
-//! Four phases against one TATP + SmallBank dataset:
+//! Five phases against one TATP + SmallBank dataset:
 //!
 //! 1. **Concurrent-reader divergence** — 32 simultaneously connected
 //!    clients (barrier-synchronized, verified via the server's connection
@@ -19,22 +19,31 @@
 //!    `max_inflight_queries = 2` under 8 hammering clients: admission
 //!    control must answer with typed ServerBusy frames (reject, not
 //!    queue).
+//! 5. **Predictive scheduling under mixed overload** — train behavior
+//!    models with the real pipeline, then serve the same database twice
+//!    under an identical cheap/expensive closed loop: the legacy blunt
+//!    semaphore vs the interference-predicted tiered scheduler. Gates:
+//!    cheap-tier time-to-success p99 improves ≥ 2× and total goodput does
+//!    not regress.
 //!
 //! Emits `results/server_throughput.txt` and machine-readable
 //! `results/BENCH_server.json`.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use mb2_common::{DbError, Prng};
+use mb2_core::{BehaviorModels, QueryTemplate};
 use mb2_engine::{Database, DatabaseConfig};
-use mb2_server::{Client, Server, ServerConfig};
+use mb2_server::{Client, SchedulerPolicy, Server, ServerConfig, TierPolicy};
 use mb2_workloads::smallbank::SmallBank;
 use mb2_workloads::tatp::Tatp;
 use mb2_workloads::{execute_transaction, Workload};
 
+use crate::pipeline::{build_interference_model, build_ou_models, PipelineConfig};
 use crate::report::{fmt, results_dir, Table};
 use crate::Scale;
 
@@ -264,7 +273,97 @@ pub fn run(scale: Scale) -> String {
     }
     let busy = busy.load(Ordering::Relaxed);
     let admitted = admitted.load(Ordering::Relaxed);
-    tight.shutdown(); // full drain + engine shutdown
+    drop(tight); // drain only; phase 5 re-serves the same database
+
+    // ---- Phase 5: predictive scheduling under mixed overload ----------
+    // Train the behavior models with the real pipeline (runners + OU
+    // training), plus an interference model over concurrent windows of
+    // exactly the cheap/expensive templates this phase serves.
+    let built = build_ou_models(&PipelineConfig::for_scale(scale)).expect("model pipeline");
+    // ~100k nested-loop pairs at either dataset scale: tens of ms per
+    // query — heavy enough to starve cheap traffic, light enough for
+    // meaningful sample counts inside the measurement window.
+    let outer_bound = scale.pick(100, 10);
+    let expensive_sql = format!(
+        "SELECT COUNT(*), SUM(a.s_id + b.s_id) FROM tatp_subscriber a, \
+         tatp_subscriber b WHERE a.s_id < b.s_id AND a.s_id < {outer_bound}"
+    );
+    let cheap_probe = "SELECT s_id, vlr_location FROM tatp_subscriber WHERE s_id = 7";
+    let templates: Vec<QueryTemplate> = [("cheap", cheap_probe), ("expensive", &expensive_sql)]
+        .into_iter()
+        .map(|(name, sql)| QueryTemplate {
+            name: name.into(),
+            sql: sql.into(),
+            plan: db.prepare(sql).expect("phase-5 template plan"),
+        })
+        .collect();
+    let (interference, _, _) = build_interference_model(
+        &db,
+        &templates,
+        &built.models,
+        &[1, 2, 4],
+        Duration::from_millis(scale.pick(150, 400)),
+        17,
+    )
+    .expect("interference training");
+    let models = Arc::new(BehaviorModels::new(built.models, Some(interference)));
+
+    let policy = SchedulerPolicy {
+        tiers: vec![
+            TierPolicy {
+                name: "interactive".into(),
+                slo_budget_us: 1e12,
+                queue_deadline: Duration::from_secs(2),
+            },
+            TierPolicy {
+                name: "batch".into(),
+                slo_budget_us: 1e12,
+                queue_deadline: Duration::from_millis(300),
+            },
+        ],
+        queue_capacity: 32,
+        default_tenant_quota: 0,
+        tenant_quotas: HashMap::new(),
+        interference_window_us: 500_000.0,
+    };
+    let mixed_window = scale.pick(Duration::from_millis(800), Duration::from_secs(2));
+
+    // Legacy semaphore baseline.
+    let sem_server = Server::start(
+        db.clone(),
+        ServerConfig {
+            max_inflight_queries: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("semaphore server");
+    let sem = mixed_overload(
+        &sem_server.local_addr().to_string(),
+        &expensive_sql,
+        mixed_window,
+    );
+    drop(sem_server);
+
+    // Predictive scheduler over the same database and load shape.
+    let sched_server = Server::start(
+        db.clone(),
+        ServerConfig {
+            max_inflight_queries: 2,
+            scheduler: Some(policy),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("scheduler server");
+    sched_server.attach_models(models);
+    let sched = mixed_overload(
+        &sched_server.local_addr().to_string(),
+        &expensive_sql,
+        mixed_window,
+    );
+    sched_server.shutdown(); // full drain + engine shutdown
+
+    let p99_improvement = sem.cheap_p99_ms / sched.cheap_p99_ms.max(1e-9);
+    let goodput_ok = sched.goodput_qps >= 0.9 * sem.goodput_qps;
 
     // ---- Report -------------------------------------------------------
     let mut table = Table::new(
@@ -319,16 +418,63 @@ pub fn run(scale: Scale) -> String {
         "ServerBusy rejections".into(),
         busy.to_string(),
     ]);
+    table.row(&[
+        "mixed/semaphore".into(),
+        "cheap p99 ms (time to success)".into(),
+        fmt(sem.cheap_p99_ms),
+    ]);
+    table.row(&[
+        "mixed/semaphore".into(),
+        "goodput q/s".into(),
+        fmt(sem.goodput_qps),
+    ]);
+    table.row(&[
+        "mixed/semaphore".into(),
+        "cheap done / expensive done / sheds".into(),
+        format!(
+            "{} / {} / {}",
+            sem.cheap_done, sem.expensive_done, sem.sheds
+        ),
+    ]);
+    table.row(&[
+        "mixed/scheduler".into(),
+        "cheap p99 ms (time to success)".into(),
+        fmt(sched.cheap_p99_ms),
+    ]);
+    table.row(&[
+        "mixed/scheduler".into(),
+        "goodput q/s".into(),
+        fmt(sched.goodput_qps),
+    ]);
+    table.row(&[
+        "mixed/scheduler".into(),
+        "cheap done / expensive done / sheds".into(),
+        format!(
+            "{} / {} / {}",
+            sched.cheap_done, sched.expensive_done, sched.sheds
+        ),
+    ]);
+    table.row(&[
+        "mixed".into(),
+        "cheap p99 improvement ×".into(),
+        fmt(p99_improvement),
+    ]);
     out.push_str(&table.render());
 
     let zero_divergence = divergences == 0 && outcome_mismatches == 0 && dump_mismatches == 0;
-    let pass = peak_connections >= CONNECTIONS && zero_divergence && busy > 0;
+    let pass = peak_connections >= CONNECTIONS
+        && zero_divergence
+        && busy > 0
+        && p99_improvement >= 2.0
+        && goodput_ok;
     let _ = writeln!(
         out,
         "\ngates: connections >= {CONNECTIONS}: {}; zero divergence: {zero_divergence}; \
-         overload sheds with ServerBusy: {} — {}",
+         overload sheds with ServerBusy: {}; cheap p99 ≥2× better under scheduler: {} \
+         ({p99_improvement:.2}×); no goodput regression: {goodput_ok} — {}",
         peak_connections >= CONNECTIONS,
         busy > 0,
+        p99_improvement >= 2.0,
         if pass { "PASS" } else { "FAIL" }
     );
 
@@ -350,6 +496,41 @@ pub fn run(scale: Scale) -> String {
     let _ = writeln!(json, "  \"loop_busy\": {shed},");
     let _ = writeln!(json, "  \"overload_admitted\": {admitted},");
     let _ = writeln!(json, "  \"overload_busy_rejections\": {busy},");
+    let _ = writeln!(
+        json,
+        "  \"mixed_sem_cheap_p99_ms\": {:.3},",
+        sem.cheap_p99_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"mixed_sched_cheap_p99_ms\": {:.3},",
+        sched.cheap_p99_ms
+    );
+    let _ = writeln!(json, "  \"mixed_sem_goodput_qps\": {:.1},", sem.goodput_qps);
+    let _ = writeln!(
+        json,
+        "  \"mixed_sched_goodput_qps\": {:.1},",
+        sched.goodput_qps
+    );
+    let _ = writeln!(json, "  \"mixed_sem_cheap_done\": {},", sem.cheap_done);
+    let _ = writeln!(json, "  \"mixed_sched_cheap_done\": {},", sched.cheap_done);
+    let _ = writeln!(
+        json,
+        "  \"mixed_sem_expensive_done\": {},",
+        sem.expensive_done
+    );
+    let _ = writeln!(
+        json,
+        "  \"mixed_sched_expensive_done\": {},",
+        sched.expensive_done
+    );
+    let _ = writeln!(json, "  \"mixed_p99_improvement\": {p99_improvement:.2},");
+    let _ = writeln!(
+        json,
+        "  \"gate_p99_improvement_2x\": {},",
+        p99_improvement >= 2.0
+    );
+    let _ = writeln!(json, "  \"gate_no_goodput_regression\": {goodput_ok},");
     let _ = writeln!(json, "  \"gate_pass\": {pass}");
     json.push_str("}\n");
     let path = results_dir().join("BENCH_server.json");
@@ -361,4 +542,129 @@ pub fn run(scale: Scale) -> String {
 
     assert!(pass, "server_throughput acceptance gates failed:\n{out}");
     out
+}
+
+/// Outcome of one mixed cheap/expensive closed loop.
+struct MixedOutcome {
+    /// p99 of cheap-tier *time to success* in ms — retries after `Busy`
+    /// (paced by the server's retry hint when one is given) count toward
+    /// the latency, so shedding is not free.
+    cheap_p99_ms: f64,
+    goodput_qps: f64,
+    cheap_done: u64,
+    expensive_done: u64,
+    sheds: u64,
+}
+
+/// Drive 4 cheap point-query clients (tier 0) and 4 expensive join
+/// clients (tier 1) against `addr` for `window`, measuring cheap-tier
+/// time-to-success latency and total goodput. Identical load shape for
+/// the semaphore baseline and the predictive scheduler.
+fn mixed_overload(addr: &str, expensive_sql: &str, window: Duration) -> MixedOutcome {
+    const CHEAP_CLIENTS: usize = 4;
+    const EXPENSIVE_CLIENTS: usize = 4;
+    let gate = Arc::new(Barrier::new(CHEAP_CLIENTS + EXPENSIVE_CLIENTS + 1));
+    let sheds = Arc::new(AtomicU64::new(0));
+    let expensive_done = Arc::new(AtomicU64::new(0));
+
+    // A query's latency is the full time to success: every `Busy` answer
+    // is retried after the server's hint (capped — the loop must keep
+    // offering load) or 1ms when the server gives none.
+    fn run_to_success(client: &mut Client, sql: &str, sheds: &AtomicU64, give_up: Instant) -> bool {
+        loop {
+            match client.query(sql) {
+                Ok(_) => return true,
+                Err(DbError::ServerBusy(_)) => {
+                    sheds.fetch_add(1, Ordering::Relaxed);
+                    if Instant::now() >= give_up {
+                        return false;
+                    }
+                    let backoff = client
+                        .last_retry_hint()
+                        .unwrap_or(Duration::from_millis(1))
+                        .min(Duration::from_millis(20));
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => panic!("unexpected error in mixed overload: {e:?}"),
+            }
+        }
+    }
+
+    let cheap_handles: Vec<_> = (0..CHEAP_CLIENTS)
+        .map(|cid| {
+            let addr = addr.to_string();
+            let gate = gate.clone();
+            let sheds = sheds.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(&addr, "", 0).expect("cheap connect");
+                let mut rng = Prng::new(0xb2b2_5000 + cid as u64);
+                let mut latencies: Vec<Duration> = Vec::new();
+                gate.wait();
+                let deadline = Instant::now() + window;
+                // Hard stop well past the window so a straggling retry
+                // loop cannot hang the phase.
+                let give_up = deadline + window;
+                while Instant::now() < deadline {
+                    let s_id = (rng.next_f64() * 1000.0) as u64;
+                    let sql = format!(
+                        "SELECT s_id, vlr_location FROM tatp_subscriber WHERE s_id = {s_id}"
+                    );
+                    let t0 = Instant::now();
+                    if run_to_success(&mut client, &sql, &sheds, give_up) {
+                        latencies.push(t0.elapsed());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                latencies
+            })
+        })
+        .collect();
+    let expensive_handles: Vec<_> = (0..EXPENSIVE_CLIENTS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let sql = expensive_sql.to_string();
+            let gate = gate.clone();
+            let sheds = sheds.clone();
+            let expensive_done = expensive_done.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(&addr, "", 1).expect("expensive connect");
+                gate.wait();
+                let deadline = Instant::now() + window;
+                let give_up = deadline + window;
+                while Instant::now() < deadline {
+                    if run_to_success(&mut client, &sql, &sheds, give_up) {
+                        expensive_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    gate.wait();
+    let t0 = Instant::now();
+    let mut cheap_latencies: Vec<Duration> = Vec::new();
+    for h in cheap_handles {
+        cheap_latencies.extend(h.join().unwrap());
+    }
+    for h in expensive_handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+
+    cheap_latencies.sort_unstable();
+    let cheap_done = cheap_latencies.len() as u64;
+    let p99 = if cheap_latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        let idx = ((cheap_latencies.len() - 1) as f64 * 0.99).round() as usize;
+        cheap_latencies[idx]
+    };
+    let expensive_done = expensive_done.load(Ordering::Relaxed);
+    MixedOutcome {
+        cheap_p99_ms: p99.as_secs_f64() * 1000.0,
+        goodput_qps: (cheap_done + expensive_done) as f64 / elapsed.as_secs_f64(),
+        cheap_done,
+        expensive_done,
+        sheds: sheds.load(Ordering::Relaxed),
+    }
 }

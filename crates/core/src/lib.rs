@@ -37,6 +37,7 @@ pub mod interference;
 pub mod normalize;
 pub mod planner;
 pub mod runners;
+pub mod sched;
 pub mod training;
 pub mod translate;
 
@@ -47,4 +48,5 @@ pub use forecast::{
 };
 pub use inference::{BehaviorModels, PlanPrediction};
 pub use interference::{InterferenceInputs, InterferenceModel};
+pub use sched::{InflightLedger, LedgerTicket};
 pub use translate::{OuTranslator, TranslatorConfig};

@@ -1,0 +1,214 @@
+//! In-flight cost accounting for interference-predicted admission.
+//!
+//! The interference model (paper §5) takes as input the per-thread
+//! predicted totals of everything running in an interval — exactly the
+//! shape [`crate::InterferenceInputs::features`] consumes. On the live
+//! admission path that interval is "right now": the [`InflightLedger`]
+//! tracks, per logical worker slot, the predicted-minus-retired metric
+//! totals of every admitted-but-unfinished query, so an admission decision
+//! can ask "what does the in-flight mix look like to the interference
+//! model if I admit this query?" without touching the executor.
+//!
+//! Accounting is intentionally optimistic: a query's full predicted cost
+//! is charged at admission and released at retirement. That makes the
+//! ledger an upper bound on outstanding work (a query half-done is still
+//! charged in full), which is the safe direction for admission control.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use mb2_common::{Metrics, METRIC_COUNT};
+
+/// Handle for one admitted query's ledger charge. Returned by
+/// [`InflightLedger::admit`]; pass it back to [`InflightLedger::retire`]
+/// when the query's final response frame has been flushed (not merely when
+/// execution returns — the charge models occupancy of the serving slot,
+/// and a stalled client keeps the slot busy).
+#[derive(Debug)]
+pub struct LedgerTicket {
+    id: u64,
+    /// The worker slot the charge was placed on.
+    pub slot: usize,
+}
+
+#[derive(Default)]
+struct LedgerInner {
+    /// Outstanding predicted totals per logical worker slot.
+    slots: Vec<Metrics>,
+    /// Outstanding charges by ticket id, so retirement subtracts exactly
+    /// what admission added.
+    entries: HashMap<u64, (usize, Metrics)>,
+    next_id: u64,
+}
+
+/// Predicted-minus-retired cost per worker slot; see the module docs.
+pub struct InflightLedger {
+    inner: Mutex<LedgerInner>,
+}
+
+impl InflightLedger {
+    /// A ledger with `slots` logical worker slots (one per concurrently
+    /// admissible query — the admission bound, not the exec-pool size).
+    pub fn new(slots: usize) -> InflightLedger {
+        InflightLedger {
+            inner: Mutex::new(LedgerInner {
+                slots: vec![Metrics::ZERO; slots.max(1)],
+                entries: HashMap::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// Charge a query's predicted totals to the least-loaded slot (by
+    /// outstanding predicted elapsed time) and return the ticket that
+    /// releases the charge.
+    pub fn admit(&self, pred: &Metrics) -> LedgerTicket {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .slots
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.elapsed_us()
+                    .partial_cmp(&b.elapsed_us())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        inner.slots[slot] += *pred;
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.insert(id, (slot, *pred));
+        LedgerTicket { id, slot }
+    }
+
+    /// Release a charge. Totals are floored at zero element-wise so
+    /// floating-point drift can never leave a phantom negative backlog.
+    pub fn retire(&self, ticket: LedgerTicket) {
+        let mut inner = self.inner.lock();
+        if let Some((slot, pred)) = inner.entries.remove(&ticket.id) {
+            let total = &mut inner.slots[slot];
+            for i in 0..METRIC_COUNT {
+                total[i] = (total[i] - pred[i]).max(0.0);
+            }
+        }
+    }
+
+    /// Outstanding charges (admitted, not yet retired).
+    pub fn inflight(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Per-slot outstanding predicted totals — the input shape of
+    /// [`crate::InterferenceInputs::features`]' `thread_totals`.
+    pub fn thread_totals(&self) -> Vec<Metrics> {
+        self.inner.lock().slots.clone()
+    }
+
+    /// Total outstanding predicted elapsed µs across all slots.
+    pub fn outstanding_us(&self) -> f64 {
+        self.inner
+            .lock()
+            .slots
+            .iter()
+            .map(Metrics::elapsed_us)
+            .sum()
+    }
+
+    /// Outstanding predicted elapsed µs on the least-loaded slot — the
+    /// backlog a newly admitted query would stack on top of.
+    pub fn min_backlog_us(&self) -> f64 {
+        self.inner
+            .lock()
+            .slots
+            .iter()
+            .map(Metrics::elapsed_us)
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb2_common::metrics::idx;
+
+    fn pred(elapsed: f64) -> Metrics {
+        let mut m = Metrics::ZERO;
+        m[idx::ELAPSED_US] = elapsed;
+        m[idx::CPU_US] = elapsed * 0.9;
+        m
+    }
+
+    #[test]
+    fn admit_balances_across_slots() {
+        let ledger = InflightLedger::new(2);
+        let a = ledger.admit(&pred(100.0));
+        let b = ledger.admit(&pred(50.0));
+        assert_ne!(a.slot, b.slot, "second charge goes to the empty slot");
+        // Third charge lands on the lighter slot (the 50µs one).
+        let c = ledger.admit(&pred(10.0));
+        assert_eq!(c.slot, b.slot);
+        assert_eq!(ledger.inflight(), 3);
+        assert!((ledger.outstanding_us() - 160.0).abs() < 1e-9);
+        ledger.retire(a);
+        ledger.retire(b);
+        ledger.retire(c);
+        assert_eq!(ledger.inflight(), 0);
+        assert_eq!(ledger.outstanding_us(), 0.0);
+    }
+
+    #[test]
+    fn retire_releases_exactly_the_charge() {
+        let ledger = InflightLedger::new(1);
+        let a = ledger.admit(&pred(100.0));
+        let b = ledger.admit(&pred(40.0));
+        ledger.retire(a);
+        let totals = ledger.thread_totals();
+        assert_eq!(totals.len(), 1);
+        assert!((totals[0][idx::ELAPSED_US] - 40.0).abs() < 1e-9);
+        ledger.retire(b);
+        assert!(ledger.thread_totals()[0][idx::ELAPSED_US].abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_backlog_tracks_least_loaded_slot() {
+        let ledger = InflightLedger::new(3);
+        assert_eq!(ledger.min_backlog_us(), 0.0);
+        ledger.admit(&pred(100.0));
+        // Two slots still empty.
+        assert_eq!(ledger.min_backlog_us(), 0.0);
+        ledger.admit(&pred(30.0));
+        ledger.admit(&pred(20.0));
+        assert!((ledger.min_backlog_us() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_never_go_negative() {
+        let ledger = InflightLedger::new(1);
+        // Interleave admits/retires in an order that would drift below
+        // zero if subtraction were unguarded.
+        let tickets: Vec<_> = (0..50)
+            .map(|i| ledger.admit(&pred(i as f64 + 0.1)))
+            .collect();
+        for t in tickets {
+            ledger.retire(t);
+        }
+        for m in ledger.thread_totals() {
+            for i in 0..METRIC_COUNT {
+                assert!(m[i] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn double_retire_is_harmless() {
+        let ledger = InflightLedger::new(1);
+        let a = ledger.admit(&pred(10.0));
+        let forged = LedgerTicket { id: a.id, slot: 0 };
+        ledger.retire(a);
+        ledger.retire(forged); // entry already gone: no-op
+        assert_eq!(ledger.outstanding_us(), 0.0);
+    }
+}

@@ -48,7 +48,17 @@ pub struct Database {
     background_tasks: Mutex<Vec<Weak<dyn BackgroundTask>>>,
     /// Observer of every DML/SELECT statement (workload forecasting).
     statement_tap: RwLock<Option<Arc<dyn StatementTap>>>,
+    /// Plans keyed by SQL text for [`Database::prepare_cached`] — the
+    /// paper's cached-query-plan assumption (§3) made concrete so the
+    /// server's admission path can price a statement without re-planning
+    /// it on every arrival. Invalidated wholesale by any DDL.
+    plan_cache: Mutex<std::collections::HashMap<String, Arc<PlanNode>>>,
 }
+
+/// Cap on distinct SQL texts held by the plan cache; the whole cache is
+/// dropped at the cap (ad-hoc one-off texts cannot grow it unboundedly,
+/// and hot templates repopulate within one round).
+const PLAN_CACHE_CAP: usize = 1024;
 
 impl Database {
     pub fn new(config: DatabaseConfig) -> DbResult<Database> {
@@ -101,6 +111,7 @@ impl Database {
             metrics,
             background_tasks: Mutex::new(Vec::new()),
             statement_tap: RwLock::new(None),
+            plan_cache: Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -387,6 +398,32 @@ impl Database {
         Planner::new(&self.catalog).plan(&stmt)
     }
 
+    /// [`prepare`](Self::prepare) through a cache keyed by SQL text. The
+    /// hot path for repeated statements (the server's admission scheduler
+    /// prices every arrival): a hit costs one map lookup instead of a
+    /// parse + plan. DDL invalidates the whole cache — plans reference
+    /// catalog state (table ids, index choices) that DDL changes.
+    pub fn prepare_cached(&self, sql: &str) -> DbResult<Arc<PlanNode>> {
+        if let Some(plan) = self.plan_cache.lock().get(sql) {
+            self.engine_metrics.plan_cache_hits.inc();
+            return Ok(plan.clone());
+        }
+        self.engine_metrics.plan_cache_misses.inc();
+        let plan = Arc::new(self.prepare(sql)?);
+        let mut cache = self.plan_cache.lock();
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), plan.clone());
+        Ok(plan)
+    }
+
+    /// Drop every cached plan. Called after any successful DDL (including
+    /// index builds and ANALYZE — both change what the planner would pick).
+    pub fn invalidate_plan_cache(&self) {
+        self.plan_cache.lock().clear();
+    }
+
     /// [`prepare`](Self::prepare) with what-if [`PlannerOverrides`]
     /// (hypothetical and hidden indexes) applied during planning. The
     /// catalog is not touched, so this is safe under concurrent live
@@ -414,6 +451,7 @@ impl Database {
         let ddl_span = self.metrics.span();
         match self.try_handle_ddl(&stmt) {
             Ok(Some(result)) => {
+                self.invalidate_plan_cache();
                 ddl_series.count.inc();
                 ddl_span.observe(&ddl_series.latency_us);
                 return Ok(result);
@@ -542,6 +580,7 @@ impl Database {
                     columns: columns.iter().map(|&c| c as u32).collect(),
                 })?;
             }
+            self.invalidate_plan_cache();
         }
         Ok(result)
     }

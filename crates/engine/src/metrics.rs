@@ -62,6 +62,8 @@ pub(crate) struct StmtSeries {
 /// Handles for everything the engine layer itself publishes.
 pub(crate) struct EngineMetrics {
     pub sessions: Arc<Counter>,
+    pub plan_cache_hits: Arc<Counter>,
+    pub plan_cache_misses: Arc<Counter>,
     stmt: [StmtSeries; 5],
 }
 
@@ -89,6 +91,14 @@ impl EngineMetrics {
         });
         EngineMetrics {
             sessions: registry.counter("mb2_sessions_total", "Sessions opened."),
+            plan_cache_hits: registry.counter(
+                "mb2_plan_cache_hits_total",
+                "prepare_cached lookups answered from the plan cache.",
+            ),
+            plan_cache_misses: registry.counter(
+                "mb2_plan_cache_misses_total",
+                "prepare_cached lookups that parsed and planned anew.",
+            ),
             stmt,
         }
     }

@@ -152,3 +152,30 @@ fn shared_registry_scrapes_two_databases() {
     let text = registry.prometheus_text();
     assert_eq!(sample_value(&text, "mb2_stmt_total{kind=\"ddl\"}"), 2);
 }
+
+#[test]
+fn plan_cache_hits_misses_and_ddl_invalidation() {
+    let db = Database::open();
+    db.execute("CREATE TABLE pc (a INT)").unwrap();
+    db.execute("INSERT INTO pc VALUES (1)").unwrap();
+
+    let sql = "SELECT a FROM pc WHERE a = 1";
+    let p1 = db.prepare_cached(sql).unwrap();
+    let p2 = db.prepare_cached(sql).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&p1, &p2), "second lookup must hit");
+    let text = db.metrics_prometheus();
+    assert_eq!(sample_value(&text, "mb2_plan_cache_hits_total"), 1);
+    assert_eq!(sample_value(&text, "mb2_plan_cache_misses_total"), 1);
+
+    // DDL (an index build) invalidates: the next lookup re-plans, and the
+    // fresh plan must use the new index rather than the cached seq scan.
+    db.execute("CREATE INDEX idx_pc_a ON pc (a)").unwrap();
+    let p3 = db.prepare_cached(sql).unwrap();
+    assert!(!std::sync::Arc::ptr_eq(&p1, &p3), "DDL must invalidate");
+    let text = db.metrics_prometheus();
+    assert_eq!(sample_value(&text, "mb2_plan_cache_misses_total"), 2);
+
+    // Cached plans execute correctly.
+    let result = db.execute_plan(&p3, None).unwrap();
+    assert_eq!(result.rows.len(), 1);
+}

@@ -25,27 +25,39 @@ pub struct QueryResponse {
 pub struct Client {
     stream: TcpStream,
     reader: FrameReader,
+    last_retry_hint: Option<Duration>,
 }
 
 impl Client {
     /// Connect and perform the protocol handshake. An overloaded server
     /// answers the connect itself with a busy frame, surfaced here as
-    /// [`DbError::ServerBusy`].
+    /// [`DbError::ServerBusy`]. Connects as the anonymous tenant on the
+    /// lowest-priority tier; see [`Client::connect_with`].
     pub fn connect(addr: impl ToSocketAddrs) -> DbResult<Client> {
+        Client::connect_with(addr, "", u8::MAX)
+    }
+
+    /// Connect, naming the tenant and requested scheduling tier (0 =
+    /// highest priority) in the hello. Servers without a scheduler policy
+    /// ignore both.
+    pub fn connect_with(addr: impl ToSocketAddrs, tenant: &str, tier: u8) -> DbResult<Client> {
         let stream = TcpStream::connect(addr).map_err(|e| DbError::Net(format!("connect: {e}")))?;
         let _ = stream.set_nodelay(true);
         let mut client = Client {
             stream,
             reader: FrameReader::new(),
+            last_retry_hint: None,
         };
         wire::write_frame(
             &mut client.stream,
             &Frame::ClientHello {
                 version: PROTOCOL_VERSION,
+                tenant: tenant.into(),
+                tier,
             },
         )?;
         match client.read_frame()? {
-            Frame::ServerHello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Frame::ServerHello { version } if version <= PROTOCOL_VERSION => Ok(client),
             Frame::ServerHello { version } => Err(DbError::Net(format!(
                 "server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"
             ))),
@@ -55,6 +67,12 @@ impl Client {
                 "unexpected handshake frame: {other:?}"
             ))),
         }
+    }
+
+    /// The server's `retry_after_ms` hint from the most recent busy
+    /// rejection, if it sent one. Cleared by the next successful response.
+    pub fn last_retry_hint(&self) -> Option<Duration> {
+        self.last_retry_hint
     }
 
     /// Set the socket read timeout used while waiting for responses.
@@ -98,13 +116,28 @@ impl Client {
                     }
                 }
                 Frame::Done { rows } => {
+                    self.last_retry_hint = None;
                     return match callback_err {
                         Some(e) => Err(e),
                         None => Ok(rows),
                     };
                 }
-                Frame::Error { error } => return Err(error),
-                Frame::Busy { message, .. } => return Err(DbError::ServerBusy(message)),
+                Frame::Error { error } => {
+                    self.last_retry_hint = None;
+                    return Err(error);
+                }
+                Frame::Busy {
+                    message,
+                    retry_after_ms,
+                    ..
+                } => {
+                    self.last_retry_hint = if retry_after_ms > 0 {
+                        Some(Duration::from_millis(retry_after_ms))
+                    } else {
+                        None
+                    };
+                    return Err(DbError::ServerBusy(message));
+                }
                 other => {
                     return Err(DbError::Net(format!(
                         "unexpected response frame: {other:?}"

@@ -15,9 +15,11 @@
 //! materialized first.
 
 pub mod client;
+pub mod sched;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, QueryResponse};
+pub use sched::{SchedulerPolicy, TierPolicy};
 pub use server::{Server, ServerConfig, SupervisorConfig};
-pub use wire::{BusyReason, Frame, PROTOCOL_VERSION};
+pub use wire::{BusyReason, Frame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};

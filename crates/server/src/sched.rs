@@ -1,0 +1,587 @@
+//! Predictive admission & scheduling (ROADMAP item 2).
+//!
+//! The blunt `max_inflight_queries` semaphore treats every query as equally
+//! expensive. This module replaces it on the decision path: each arriving
+//! query is planned (through the engine's plan cache), priced by the
+//! trained OU models, adjusted by the interference model against the
+//! in-flight mix tracked in an [`mb2_core::InflightLedger`], and then
+//! either **admitted now**, **queued with a deadline**, or **rejected with
+//! a retry hint** against its tier's SLO budget.
+//!
+//! Decision flow per arrival (see DESIGN.md "Predictive admission &
+//! scheduling"):
+//!
+//! 1. No policy, no models, or empty models → **fallback**: byte-identical
+//!    legacy semaphore behavior (safe cold start — an untrained server
+//!    degrades to exactly what it did before this module existed).
+//! 2. Tenant over its concurrent-query quota → reject `Busy(Quota)`.
+//! 3. Unplannable statements (transaction control, operator commands,
+//!    anything the parser/planner rejects) → admit at zero predicted cost;
+//!    the statement either costs nothing or will fail in-band.
+//! 4. Price: isolated OU prediction, then the interference model's ratio
+//!    over the ledger's per-thread in-flight totals.
+//! 5. Admit now iff a slot is free, no equal-or-higher-priority waiter is
+//!    queued, and `least-loaded-slot backlog + adjusted cost ≤ tier SLO
+//!    budget`. Otherwise queue (bounded, priority-ordered, deadline per
+//!    tier). Queue full → `Busy(QueueFull)`; deadline expiry →
+//!    `Busy(DeadlineExceeded)` — never a silent drop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use mb2_core::{BehaviorModels, InflightLedger, LedgerTicket};
+use mb2_engine::Database;
+
+use crate::wire::BusyReason;
+
+/// One scheduling tier. Tier 0 is the highest priority; a client picks its
+/// tier in the v2 `ClientHello` (clamped to the configured tier count).
+#[derive(Debug, Clone)]
+pub struct TierPolicy {
+    /// Operator-facing name (`SHOW SCHED`, docs).
+    pub name: String,
+    /// Predicted-completion budget in µs: a query is admitted immediately
+    /// only while `backlog + adjusted cost` fits under this.
+    pub slo_budget_us: f64,
+    /// How long a query of this tier may wait in the queue before it is
+    /// evicted with `Busy(DeadlineExceeded)`.
+    pub queue_deadline: Duration,
+}
+
+/// Scheduler policy declared in `ServerConfig`.
+#[derive(Debug, Clone)]
+pub struct SchedulerPolicy {
+    /// Tiers in priority order (index 0 = highest). Must be non-empty;
+    /// clients asking for a tier past the end get the last (lowest) tier.
+    pub tiers: Vec<TierPolicy>,
+    /// Bound on queued queries across all tiers; arrivals past it are
+    /// rejected with `Busy(QueueFull)`.
+    pub queue_capacity: usize,
+    /// Concurrent-query quota for tenants not in `tenant_quotas`
+    /// (0 = unlimited).
+    pub default_tenant_quota: usize,
+    /// Per-tenant concurrent-query quotas (0 = unlimited).
+    pub tenant_quotas: HashMap<String, usize>,
+    /// Interference-model window: the interval length the in-flight mix is
+    /// normalized over when building `InterferenceInputs` features.
+    pub interference_window_us: f64,
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        SchedulerPolicy {
+            tiers: vec![
+                TierPolicy {
+                    name: "interactive".into(),
+                    slo_budget_us: 50_000.0,
+                    queue_deadline: Duration::from_millis(100),
+                },
+                TierPolicy {
+                    name: "batch".into(),
+                    slo_budget_us: 2_000_000.0,
+                    queue_deadline: Duration::from_millis(500),
+                },
+            ],
+            queue_capacity: 64,
+            default_tenant_quota: 0,
+            tenant_quotas: HashMap::new(),
+            interference_window_us: 1_000_000.0,
+        }
+    }
+}
+
+/// Scheduling identity a connection carries, picked up from the hello.
+#[derive(Debug, Clone)]
+pub struct ConnSchedCtx {
+    pub tenant: String,
+    /// Requested tier (clamped against the policy at decision time).
+    pub tier: u8,
+}
+
+impl Default for ConnSchedCtx {
+    fn default() -> Self {
+        ConnSchedCtx {
+            tenant: String::new(),
+            tier: u8::MAX,
+        }
+    }
+}
+
+/// The outcome of an admission decision.
+pub enum Decision {
+    /// Run it. Hold the token until the final `Done`/`Error` frame has
+    /// been flushed, then pass it to [`Scheduler::finish`].
+    Admit(AdmitToken),
+    /// Shed it: answer `Busy{reason, message, retry_after_ms}`.
+    Reject {
+        reason: BusyReason,
+        message: String,
+        retry_after_ms: u64,
+    },
+}
+
+/// Proof of admission. Carries the ledger charge to retire and the tenant
+/// slot to release; consumed by [`Scheduler::finish`].
+pub struct AdmitToken {
+    ticket: Option<LedgerTicket>,
+    tenant: Option<String>,
+    /// Whether this admission consumed an in-flight slot (zero-cost
+    /// bypass admissions do not).
+    counted: bool,
+    /// How the query got in, for the `{path}` label on admit metrics.
+    pub queued: bool,
+    /// Time spent waiting in the queue (zero for immediate admissions).
+    pub queue_wait: Duration,
+}
+
+/// How one queued waiter's wait ended.
+#[derive(Clone, Copy, PartialEq)]
+enum WaitOutcome {
+    Waiting,
+    Granted,
+    Draining,
+}
+
+struct Waiter {
+    seq: u64,
+    tier: usize,
+    adjusted_us: f64,
+    /// Isolated prediction, charged to the ledger at grant time.
+    pred: mb2_common::Metrics,
+    outcome: WaitOutcome,
+    /// Ledger charge placed by the grantor (the finishing query's thread),
+    /// picked up by the waiting thread.
+    ticket: Option<LedgerTicket>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Waiters ordered by (tier asc, seq asc): strict priority, FIFO
+    /// within a tier.
+    waiters: Vec<Waiter>,
+    next_seq: u64,
+    draining: bool,
+}
+
+/// The admission scheduler. Always constructed — with no policy or no
+/// trained models it reproduces the legacy semaphore exactly.
+pub struct Scheduler {
+    max_inflight: usize,
+    policy: Option<SchedulerPolicy>,
+    models: RwLock<Option<Arc<BehaviorModels>>>,
+    ledger: InflightLedger,
+    /// Queries admitted and not yet finished (counted admissions only).
+    inflight: AtomicUsize,
+    /// Per-tenant in-flight counts for quota enforcement.
+    tenants: Mutex<HashMap<String, usize>>,
+    /// std Mutex (not parking_lot) because waiters block on the paired
+    /// [`Condvar`].
+    queue: StdMutex<QueueState>,
+    queue_cv: Condvar,
+}
+
+impl Scheduler {
+    pub fn new(max_inflight: usize, policy: Option<SchedulerPolicy>) -> Scheduler {
+        Scheduler {
+            max_inflight,
+            policy,
+            models: RwLock::new(None),
+            ledger: InflightLedger::new(max_inflight.max(1)),
+            inflight: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            queue: StdMutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+        }
+    }
+
+    /// Attach trained behavior models; until this is called (or if the OU
+    /// set is empty) the scheduler stays in fallback mode.
+    pub fn attach_models(&self, models: Arc<BehaviorModels>) {
+        *self.models.write() = Some(models);
+    }
+
+    /// Whether the predictive path is active (policy + non-empty models).
+    pub fn predictive(&self) -> bool {
+        self.policy.is_some()
+            && self
+                .models
+                .read()
+                .as_ref()
+                .is_some_and(|m| !m.ou_models.is_empty())
+    }
+
+    /// Queries currently admitted (counted admissions).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Queued waiters right now.
+    pub fn queue_depth(&self) -> usize {
+        self.lock_queue().waiters.len()
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Outstanding predicted elapsed µs across the in-flight mix.
+    pub fn outstanding_us(&self) -> f64 {
+        self.ledger.outstanding_us()
+    }
+
+    /// The legacy busy message — shared by the fallback path and the
+    /// pre-predictive code so the cold-start wire bytes stay identical.
+    fn busy_message(&self) -> String {
+        format!(
+            "{} queries in flight (limit {})",
+            self.max_inflight, self.max_inflight
+        )
+    }
+
+    /// Estimate (ms) of when capacity frees up: outstanding predicted work
+    /// spread over the admission slots, clamped to [1, 10_000].
+    fn retry_hint_ms(&self) -> u64 {
+        let slots = self.max_inflight.max(1) as f64;
+        let per_slot_us = self.ledger.outstanding_us() / slots;
+        ((per_slot_us / 1000.0).ceil() as u64).clamp(1, 10_000)
+    }
+
+    /// Decide admission for one query frame. May block (bounded by the
+    /// tier's queue deadline) when the decision is "queue".
+    pub fn admit(&self, db: &Database, sql: &str, ctx: &ConnSchedCtx) -> Decision {
+        let models = self.models.read().clone();
+        let (policy, models) = match (&self.policy, models) {
+            (Some(p), Some(m)) if !m.ou_models.is_empty() => (p, m),
+            // Fallback: the legacy semaphore, bit for bit.
+            _ => return self.admit_fallback(),
+        };
+
+        // Tenant quota gate (0 = unlimited).
+        let quota = policy
+            .tenant_quotas
+            .get(&ctx.tenant)
+            .copied()
+            .unwrap_or(policy.default_tenant_quota);
+        if quota > 0 {
+            let tenants = self.tenants.lock();
+            if tenants.get(&ctx.tenant).copied().unwrap_or(0) >= quota {
+                return Decision::Reject {
+                    reason: BusyReason::Quota,
+                    message: format!(
+                        "tenant '{}' at quota ({quota} concurrent queries)",
+                        ctx.tenant
+                    ),
+                    retry_after_ms: self.retry_hint_ms(),
+                };
+            }
+        }
+
+        let tier_idx = (ctx.tier as usize).min(policy.tiers.len() - 1);
+        let tier = &policy.tiers[tier_idx];
+
+        // Price the statement. Anything unplannable (BEGIN/COMMIT, operator
+        // commands, malformed SQL) admits at zero cost without consuming a
+        // slot: it either costs ~nothing or fails in-band moments later.
+        let plan = match db.prepare_cached(sql) {
+            Ok(p) => p,
+            Err(_) => {
+                return Decision::Admit(AdmitToken {
+                    ticket: None,
+                    tenant: None,
+                    counted: false,
+                    queued: false,
+                    queue_wait: Duration::ZERO,
+                })
+            }
+        };
+        let knobs = db.knobs();
+        let pred = models.predict_plan(&plan, &knobs);
+        let adjusted_us = match &models.interference {
+            Some(interference) => {
+                let thread_totals = self.ledger.thread_totals();
+                pred.per_ou
+                    .iter()
+                    .map(|(_, m)| {
+                        interference
+                            .adjust(m, &thread_totals, policy.interference_window_us)
+                            .elapsed_us()
+                    })
+                    .sum()
+            }
+            None => pred.total.elapsed_us(),
+        };
+
+        // Immediate admission: free slot, nobody of equal-or-higher
+        // priority already waiting, and the predicted completion
+        // (least-loaded-slot backlog + adjusted cost) fits the SLO budget.
+        {
+            let queue = self.lock_queue();
+            if queue.draining {
+                return Decision::Reject {
+                    reason: BusyReason::Draining,
+                    message: "server draining".into(),
+                    retry_after_ms: 0,
+                };
+            }
+            let blocked_by_waiter = queue.waiters.iter().any(|w| w.tier <= tier_idx);
+            if !blocked_by_waiter
+                && self.inflight.load(Ordering::Acquire) < self.max_inflight
+                && self.ledger.min_backlog_us() + adjusted_us <= tier.slo_budget_us
+            {
+                self.inflight.fetch_add(1, Ordering::AcqRel);
+                let ticket = self.ledger.admit(&pred.total);
+                drop(queue);
+                self.charge_tenant(&ctx.tenant);
+                return Decision::Admit(AdmitToken {
+                    ticket: Some(ticket),
+                    tenant: Some(ctx.tenant.clone()),
+                    counted: true,
+                    queued: false,
+                    queue_wait: Duration::ZERO,
+                });
+            }
+            if queue.waiters.len() >= policy.queue_capacity {
+                return Decision::Reject {
+                    reason: BusyReason::QueueFull,
+                    message: format!("admission queue full ({} waiting)", queue.waiters.len()),
+                    retry_after_ms: self.retry_hint_ms(),
+                };
+            }
+        }
+
+        // Queue with a deadline, then wait to be granted or evicted.
+        self.wait_in_queue(tier_idx, tier.queue_deadline, adjusted_us, pred.total, ctx)
+    }
+
+    /// Enqueue (priority order) and block until granted, drained, or the
+    /// tier deadline passes.
+    fn wait_in_queue(
+        &self,
+        tier_idx: usize,
+        deadline: Duration,
+        adjusted_us: f64,
+        pred: mb2_common::Metrics,
+        ctx: &ConnSchedCtx,
+    ) -> Decision {
+        let started = Instant::now();
+        let until = started + deadline;
+        let mut queue = self.lock_queue();
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        let pos = queue
+            .waiters
+            .iter()
+            .position(|w| w.tier > tier_idx)
+            .unwrap_or(queue.waiters.len());
+        queue.waiters.insert(
+            pos,
+            Waiter {
+                seq,
+                tier: tier_idx,
+                adjusted_us,
+                pred,
+                outcome: WaitOutcome::Waiting,
+                ticket: None,
+            },
+        );
+        loop {
+            // The grantor runs under this same lock, so outcome checks and
+            // timeouts are race-free.
+            if let Some(i) = queue.waiters.iter().position(|w| w.seq == seq) {
+                match queue.waiters[i].outcome {
+                    WaitOutcome::Waiting => {}
+                    WaitOutcome::Granted => {
+                        let w = queue.waiters.remove(i);
+                        drop(queue);
+                        self.charge_tenant(&ctx.tenant);
+                        return Decision::Admit(AdmitToken {
+                            ticket: w.ticket,
+                            tenant: Some(ctx.tenant.clone()),
+                            counted: true,
+                            queued: true,
+                            queue_wait: started.elapsed(),
+                        });
+                    }
+                    WaitOutcome::Draining => {
+                        queue.waiters.remove(i);
+                        return Decision::Reject {
+                            reason: BusyReason::Draining,
+                            message: "server draining".into(),
+                            retry_after_ms: 0,
+                        };
+                    }
+                }
+            } else {
+                // Defensive: the entry vanished without a grant.
+                return Decision::Reject {
+                    reason: BusyReason::QueueFull,
+                    message: "admission queue entry lost".into(),
+                    retry_after_ms: self.retry_hint_ms(),
+                };
+            }
+            let now = Instant::now();
+            if now >= until {
+                // Deadline eviction: remove self (the outcome check above
+                // already handled a grant that raced in) and answer with a
+                // typed busy — never a silent drop.
+                if let Some(i) = queue.waiters.iter().position(|w| w.seq == seq) {
+                    if queue.waiters[i].outcome == WaitOutcome::Waiting {
+                        queue.waiters.remove(i);
+                        return Decision::Reject {
+                            reason: BusyReason::DeadlineExceeded,
+                            message: format!("queued past deadline ({}ms)", deadline.as_millis()),
+                            retry_after_ms: self.retry_hint_ms(),
+                        };
+                    }
+                }
+                // Granted or drained at the wire: loop once more to pick
+                // the outcome up.
+                continue;
+            }
+            queue = self
+                .queue_cv
+                .wait_timeout(queue, until - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Release one admission. Retires the ledger charge, frees the tenant
+    /// slot, and grants queued waiters (strict priority order) that now
+    /// fit. Call only after the final response frame is flushed.
+    pub fn finish(&self, token: AdmitToken) {
+        if let Some(ticket) = token.ticket {
+            self.ledger.retire(ticket);
+        }
+        if token.counted {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        if let Some(tenant) = &token.tenant {
+            let mut tenants = self.tenants.lock();
+            if let Some(n) = tenants.get_mut(tenant) {
+                *n -= 1;
+                if *n == 0 {
+                    tenants.remove(tenant);
+                }
+            }
+        }
+        self.pump();
+    }
+
+    /// Grant queued waiters that fit the freed capacity, in (tier, seq)
+    /// order. Stops at the first waiter that does not fit: strict priority
+    /// — a cheap low-priority waiter must not overtake an expensive
+    /// higher-priority one (that is how starvation starts).
+    fn pump(&self) {
+        let policy = match &self.policy {
+            Some(p) => p,
+            None => return,
+        };
+        let mut queue = self.lock_queue();
+        if queue.draining {
+            return;
+        }
+        let mut granted = false;
+        for w in queue.waiters.iter_mut() {
+            if w.outcome != WaitOutcome::Waiting {
+                continue;
+            }
+            if self.inflight.load(Ordering::Acquire) >= self.max_inflight {
+                break;
+            }
+            let budget = policy.tiers[w.tier.min(policy.tiers.len() - 1)].slo_budget_us;
+            if self.ledger.min_backlog_us() + w.adjusted_us > budget {
+                break;
+            }
+            // Charge here, under the queue lock, so concurrent finishers
+            // cannot over-grant; the waiter picks the ticket up on wake.
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            w.ticket = Some(self.ledger.admit(&w.pred));
+            w.outcome = WaitOutcome::Granted;
+            granted = true;
+        }
+        if granted {
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Drain: evict every waiter with `Busy(Draining)` and refuse new
+    /// queueing. Called from the server's drain path before workers join.
+    pub fn drain(&self) {
+        let mut queue = self.lock_queue();
+        queue.draining = true;
+        for w in queue.waiters.iter_mut() {
+            if w.outcome == WaitOutcome::Waiting {
+                w.outcome = WaitOutcome::Draining;
+            }
+        }
+        self.queue_cv.notify_all();
+    }
+
+    fn admit_fallback(&self) -> Decision {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if admitted {
+            Decision::Admit(AdmitToken {
+                ticket: None,
+                tenant: None,
+                counted: true,
+                queued: false,
+                queue_wait: Duration::ZERO,
+            })
+        } else {
+            Decision::Reject {
+                reason: BusyReason::Queries,
+                message: self.busy_message(),
+                // 0 = "no hint": keeps the fallback busy frame
+                // byte-identical to the pre-scheduler server for v1 peers
+                // and zero-valued for v2 peers.
+                retry_after_ms: 0,
+            }
+        }
+    }
+
+    fn charge_tenant(&self, tenant: &str) {
+        *self.tenants.lock().entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// `SHOW SCHED` rows: mode, capacity, queue, and per-tier policy.
+    pub fn status_rows(&self) -> Vec<String> {
+        let mut rows = vec![
+            format!(
+                "mode {}",
+                if self.predictive() {
+                    "predictive"
+                } else {
+                    "fallback"
+                }
+            ),
+            format!("inflight {} limit {}", self.inflight(), self.max_inflight),
+            format!("queue_depth {}", self.queue_depth()),
+            format!("outstanding_predicted_us {:.0}", self.outstanding_us()),
+        ];
+        if let Some(policy) = &self.policy {
+            rows.push(format!(
+                "queue_capacity {} default_tenant_quota {}",
+                policy.queue_capacity, policy.default_tenant_quota
+            ));
+            for (i, t) in policy.tiers.iter().enumerate() {
+                rows.push(format!(
+                    "tier {i} {} slo_budget_us {:.0} queue_deadline_ms {}",
+                    t.name,
+                    t.slo_budget_us,
+                    t.queue_deadline.as_millis()
+                ));
+            }
+        }
+        rows
+    }
+}

@@ -34,9 +34,12 @@ use mb2_common::{fault, DbError, DbResult, FaultInjector, Value};
 use mb2_engine::{
     recover_with, Database, DatabaseConfig, DegradedReason, HealthState, RecoveryOptions,
 };
-use mb2_obs::{Counter, Gauge, Histogram};
+use mb2_obs::{Counter, FloatGauge, Gauge, Histogram};
 
-use crate::wire::{self, BusyReason, Frame, FrameReader, ReadPoll, PROTOCOL_VERSION};
+use crate::sched::{ConnSchedCtx, Decision, Scheduler, SchedulerPolicy};
+use crate::wire::{
+    self, BusyReason, Frame, FrameReader, ReadPoll, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 
 /// Server configuration knobs.
 #[derive(Debug, Clone)]
@@ -62,6 +65,10 @@ pub struct ServerConfig {
     /// Self-healing supervisor; `None` disables automatic recovery (the
     /// engine stays degraded/read-only after a WAL poison).
     pub supervisor: Option<SupervisorConfig>,
+    /// Predictive admission policy (tiers, queue bound, tenant quotas).
+    /// `None` — or no models attached via [`Server::attach_models`] —
+    /// keeps the legacy blunt semaphore behavior.
+    pub scheduler: Option<SchedulerPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +81,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             faults: None,
             supervisor: None,
+            scheduler: None,
         }
     }
 }
@@ -115,11 +123,39 @@ struct ServerMetrics {
     connections_active: Arc<Gauge>,
     queries_total: Arc<Counter>,
     queries_rejected: Arc<Counter>,
+    /// Per-reason breakdown of `queries_rejected` (`{reason}` label);
+    /// indexed in the order of [`SHED_REASONS`].
+    queries_shed: [Arc<Counter>; SHED_REASONS.len()],
     query_errors: Arc<Counter>,
     inflight_queries: Arc<Gauge>,
     request_us: Arc<Histogram>,
     recoveries: Arc<Counter>,
     recovery_failures: Arc<Counter>,
+    sched_mode: Arc<Gauge>,
+    sched_queue_depth: Arc<Gauge>,
+    sched_inflight_predicted_us: Arc<FloatGauge>,
+    sched_admitted_immediate: Arc<Counter>,
+    sched_admitted_queued: Arc<Counter>,
+    sched_queue_wait_us: Arc<Histogram>,
+}
+
+/// Reason labels of the `mb2_server_queries_shed_total` family, in the
+/// order matching [`shed_reason_index`].
+const SHED_REASONS: [&str; 7] = [
+    "queries",
+    "connections",
+    "draining",
+    "queue_full",
+    "deadline",
+    "quota",
+    "other",
+];
+
+fn shed_reason_index(reason: BusyReason) -> usize {
+    SHED_REASONS
+        .iter()
+        .position(|&l| l == reason.label())
+        .unwrap_or(SHED_REASONS.len() - 1)
 }
 
 impl ServerMetrics {
@@ -141,8 +177,16 @@ impl ServerMetrics {
             queries_total: r.counter("mb2_server_queries_total", "Query frames received."),
             queries_rejected: r.counter(
                 "mb2_server_queries_rejected_total",
-                "Queries shed by admission control (busy frames sent).",
+                "Queries shed by admission control, all reasons summed \
+                 (see mb2_server_queries_shed_total for the breakdown).",
             ),
+            queries_shed: SHED_REASONS.map(|reason| {
+                r.counter_with(
+                    "mb2_server_queries_shed_total",
+                    &[("reason", reason)],
+                    "Queries shed by admission control (busy frames sent), by reason.",
+                )
+            }),
             query_errors: r.counter("mb2_server_query_errors_total", "Queries that failed."),
             inflight_queries: r.gauge(
                 "mb2_server_inflight_queries",
@@ -160,7 +204,38 @@ impl ServerMetrics {
                 "mb2_server_recovery_failures_total",
                 "Failed supervisor recovery attempts.",
             ),
+            sched_mode: r.gauge(
+                "mb2_sched_mode",
+                "Admission scheduler mode: 0 = fallback semaphore, 1 = predictive.",
+            ),
+            sched_queue_depth: r.gauge(
+                "mb2_sched_queue_depth",
+                "Queries waiting in the admission queue.",
+            ),
+            sched_inflight_predicted_us: r.float_gauge(
+                "mb2_sched_inflight_predicted_us",
+                "Outstanding predicted elapsed microseconds across the in-flight mix.",
+            ),
+            sched_admitted_immediate: r.counter_with(
+                "mb2_sched_admitted_total",
+                &[("path", "immediate")],
+                "Queries admitted by the scheduler, by admission path.",
+            ),
+            sched_admitted_queued: r.counter_with(
+                "mb2_sched_admitted_total",
+                &[("path", "queued")],
+                "Queries admitted by the scheduler, by admission path.",
+            ),
+            sched_queue_wait_us: r.histogram(
+                "mb2_sched_queue_wait_us",
+                "Time queued queries waited before admission, in microseconds.",
+            ),
         }
+    }
+
+    fn record_shed(&self, reason: BusyReason) {
+        self.queries_rejected.inc();
+        self.queries_shed[shed_reason_index(reason)].inc();
     }
 }
 
@@ -177,7 +252,9 @@ struct Shared {
     cfg: ServerConfig,
     stop: AtomicBool,
     active_conns: AtomicUsize,
-    inflight: AtomicUsize,
+    /// Admission scheduler. With no policy or no attached models it
+    /// reproduces the legacy in-flight semaphore exactly.
+    sched: Scheduler,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Interruptible sleep for the supervisor thread (drain wakes it).
     supervisor_wakeup: (StdMutex<bool>, Condvar),
@@ -224,26 +301,31 @@ impl Shared {
             })
             .is_ok()
     }
-
-    /// Reserve an in-flight query permit; `false` under overload. This is
-    /// the admission-control decision point: failure is answered with a
-    /// typed busy frame, never a queue.
-    fn try_acquire_query(&self) -> bool {
-        self.inflight
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-                (n < self.cfg.max_inflight_queries).then_some(n + 1)
-            })
-            .is_ok()
-    }
 }
 
-/// RAII permit from the in-flight query semaphore.
-struct QueryPermit<'a>(&'a Shared);
+/// RAII admission: holds the scheduler token for the full response
+/// lifetime — through the final `Done`/`Error` frame flush, not merely
+/// until execute returns — so a slow-reading client that stalls the
+/// socket keeps its slot occupied and the configured bound holds.
+struct AdmissionGuard<'a> {
+    shared: &'a Shared,
+    token: Option<crate::sched::AdmitToken>,
+}
 
-impl Drop for QueryPermit<'_> {
+impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
-        self.0.metrics.inflight_queries.dec();
+        if let Some(token) = self.token.take() {
+            self.shared.sched.finish(token);
+        }
+        self.shared.metrics.inflight_queries.dec();
+        self.shared
+            .metrics
+            .sched_inflight_predicted_us
+            .set(self.shared.sched.outstanding_us());
+        self.shared
+            .metrics
+            .sched_queue_depth
+            .set(self.shared.sched.queue_depth() as i64);
     }
 }
 
@@ -265,13 +347,14 @@ impl Server {
             .local_addr()
             .map_err(|e| DbError::Net(format!("local_addr: {e}")))?;
         let metrics = ServerMetrics::new(&db);
+        let sched = Scheduler::new(cfg.max_inflight_queries, cfg.scheduler.clone());
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
             epoch: AtomicU64::new(0),
             cfg,
             stop: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
-            inflight: AtomicUsize::new(0),
+            sched,
             workers: Mutex::new(Vec::new()),
             supervisor_wakeup: (StdMutex::new(false), Condvar::new()),
             metrics,
@@ -323,6 +406,19 @@ impl Server {
         *self.shared.pilot.write() = Some(pilot);
     }
 
+    /// Attach trained behavior models. With a `scheduler` policy in the
+    /// config this switches admission from the blunt semaphore to the
+    /// predictive path; with untrained (empty) OU models the scheduler
+    /// stays in fallback mode, so a cold-start server behaves exactly as
+    /// before.
+    pub fn attach_models(&self, models: Arc<mb2_core::BehaviorModels>) {
+        self.shared.sched.attach_models(models);
+        self.shared
+            .metrics
+            .sched_mode
+            .set(self.shared.sched.predictive() as i64);
+    }
+
     /// How many supervisor engine swaps have happened.
     pub fn engine_epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::Acquire)
@@ -344,6 +440,9 @@ impl Server {
 
     fn drain(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // Evict queued waiters with `Busy(Draining)` so their worker
+        // threads can answer and exit instead of blocking the join below.
+        self.shared.sched.drain();
         // Wake a supervisor parked in its probe/backoff sleep.
         {
             let (lock, cvar) = &self.shared.supervisor_wakeup;
@@ -398,12 +497,16 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
         if !shared.try_acquire_conn() {
             shared.metrics.connections_rejected.inc();
             let mut s = stream;
-            let _ = wire::write_frame(
+            // Pre-handshake: the peer's version is unknown, so speak v1
+            // (v2 peers decode the missing retry hint as "none").
+            let _ = wire::write_frame_v(
                 &mut s,
                 &Frame::Busy {
                     reason: BusyReason::Connections,
                     message: format!("connection limit of {} reached", shared.cfg.max_connections),
+                    retry_after_ms: 0,
                 },
+                MIN_PROTOCOL_VERSION,
             );
             continue; // drop closes the socket
         }
@@ -454,21 +557,25 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
             }
         }
     };
-    match hello {
-        Frame::ClientHello { version } if version == PROTOCOL_VERSION => {
-            wire::write_frame(
-                &mut stream,
-                &Frame::ServerHello {
-                    version: PROTOCOL_VERSION,
-                },
-            )?;
+    let (peer_version, sched_ctx) = match hello {
+        Frame::ClientHello {
+            version,
+            tenant,
+            tier,
+        } if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) => {
+            // Speak the client's dialect from here on (v1 peers must not
+            // see v2 field extensions — their decoder rejects trailing
+            // bytes).
+            wire::write_frame_v(&mut stream, &Frame::ServerHello { version }, version)?;
+            (version, ConnSchedCtx { tenant, tier })
         }
-        Frame::ClientHello { version } => {
+        Frame::ClientHello { version, .. } => {
             let _ = wire::write_frame(
                 &mut stream,
                 &Frame::Error {
                     error: DbError::Net(format!(
-                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                        "protocol version {version} not supported (server speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                     )),
                 },
             );
@@ -483,7 +590,7 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
             );
             return Ok(());
         }
-    }
+    };
 
     // One session per connection, pinned to the engine instance current at
     // connect time: explicit transactions span requests and must stay on
@@ -509,12 +616,15 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
             ReadPoll::Frame(Frame::Query { sql }) => {
                 idle_since = Instant::now();
                 if shared.epoch.load(Ordering::Acquire) != my_epoch {
-                    let _ = wire::write_frame(
+                    shared.metrics.record_shed(BusyReason::Draining);
+                    let _ = wire::write_frame_v(
                         &mut stream,
                         &Frame::Busy {
                             reason: BusyReason::Draining,
                             message: "engine recovered; reconnect".into(),
+                            retry_after_ms: 0,
                         },
+                        peer_version,
                     );
                     return Ok(());
                 }
@@ -526,7 +636,14 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
                         return Err(DbError::Net(msg));
                     }
                 }
-                handle_query(shared, &mut session, &mut stream, &sql)?;
+                handle_query(
+                    shared,
+                    &mut session,
+                    &mut stream,
+                    &sql,
+                    peer_version,
+                    &sched_ctx,
+                )?;
                 if shared.stopping() {
                     // Drain: the in-flight request was finished and
                     // answered; close before taking new work.
@@ -548,12 +665,14 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> DbResult<()>
                     return Ok(());
                 }
                 if shared.epoch.load(Ordering::Acquire) != my_epoch {
-                    let _ = wire::write_frame(
+                    let _ = wire::write_frame_v(
                         &mut stream,
                         &Frame::Busy {
                             reason: BusyReason::Draining,
                             message: "engine recovered; reconnect".into(),
+                            retry_after_ms: 0,
                         },
+                        peer_version,
                     );
                     return Ok(());
                 }
@@ -582,23 +701,55 @@ fn handle_query(
     session: &mut mb2_engine::Session<'_>,
     stream: &mut TcpStream,
     sql: &str,
+    peer_version: u16,
+    sched_ctx: &ConnSchedCtx,
 ) -> DbResult<()> {
     shared.metrics.queries_total.inc();
-    if !shared.try_acquire_query() {
-        shared.metrics.queries_rejected.inc();
-        return wire::write_frame(
-            stream,
-            &Frame::Busy {
-                reason: BusyReason::Queries,
-                message: format!(
-                    "{} queries in flight (limit {})",
-                    shared.cfg.max_inflight_queries, shared.cfg.max_inflight_queries
-                ),
-            },
-        );
+    // Admission: predict-and-decide (or the legacy semaphore in fallback
+    // mode). This may block while queued, bounded by the tier deadline.
+    let token = match shared.sched.admit(&shared.db(), sql, sched_ctx) {
+        Decision::Admit(token) => token,
+        Decision::Reject {
+            reason,
+            message,
+            retry_after_ms,
+        } => {
+            shared.metrics.record_shed(reason);
+            shared
+                .metrics
+                .sched_queue_depth
+                .set(shared.sched.queue_depth() as i64);
+            return wire::write_frame_v(
+                stream,
+                &Frame::Busy {
+                    reason,
+                    message,
+                    retry_after_ms,
+                },
+                peer_version,
+            );
+        }
+    };
+    if token.queued {
+        shared.metrics.sched_admitted_queued.inc();
+        shared
+            .metrics
+            .sched_queue_wait_us
+            .record(token.queue_wait.as_micros() as u64);
+    } else {
+        shared.metrics.sched_admitted_immediate.inc();
     }
-    let _permit = QueryPermit(shared);
+    // The guard spans the whole response — execution AND the final
+    // Done/Error flush — so a stalled client cannot free its slot early.
+    let _admission = AdmissionGuard {
+        shared,
+        token: Some(token),
+    };
     shared.metrics.inflight_queries.inc();
+    shared
+        .metrics
+        .sched_inflight_predicted_us
+        .set(shared.sched.outstanding_us());
     let started = Instant::now();
 
     // Operator commands answered by the server itself (no SQL layer, no
@@ -645,9 +796,9 @@ fn handle_query(
 }
 
 /// Intercept operator commands (`SHOW METRICS`, `SHOW PILOT`,
-/// `SHOW SHARDS`, `SHOW BLOCKS`) before SQL execution. Returns `None` for everything else
-/// so ordinary queries take the normal path. Responses are one Varchar
-/// column per row.
+/// `SHOW SHARDS`, `SHOW BLOCKS`, `SHOW SCHED`) before SQL execution.
+/// Returns `None` for everything else so ordinary queries take the normal
+/// path. Responses are one Varchar column per row.
 fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> {
     let cmd = sql.trim().trim_end_matches(';').trim().to_ascii_uppercase();
     match cmd.as_str() {
@@ -656,6 +807,18 @@ fn operator_command(shared: &Arc<Shared>, sql: &str) -> Option<Vec<Vec<Value>>> 
             Some(
                 text.lines()
                     .map(|l| vec![Value::Varchar(l.to_string())])
+                    .collect(),
+            )
+        }
+        "SHOW SCHED" => {
+            // Admission-scheduler status: mode, occupancy, queue, and the
+            // per-tier policy table.
+            Some(
+                shared
+                    .sched
+                    .status_rows()
+                    .into_iter()
+                    .map(|r| vec![Value::Varchar(r)])
                     .collect(),
             )
         }

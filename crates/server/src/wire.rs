@@ -18,8 +18,13 @@ use mb2_common::{DbError, DbResult, Value};
 /// Handshake magic: the first bytes a client sends.
 pub const MAGIC: [u8; 4] = *b"MB2\0";
 
-/// Wire protocol version, negotiated at handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Wire protocol version, negotiated at handshake. Version 2 adds a
+/// tenant/tier field to `ClientHello` and a `retry_after_ms` hint to
+/// `Busy`; both are version-gated so v1 peers see byte-identical frames.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest client protocol version the server still speaks.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on a single frame's payload; larger length prefixes are
 /// treated as a protocol violation (protects the peer from unbounded
@@ -43,6 +48,15 @@ pub enum BusyReason {
     Connections,
     /// The server is draining for shutdown.
     Draining,
+    /// The scheduler's bounded wait queue is full.
+    QueueFull,
+    /// The query waited in the scheduler queue past its tier deadline.
+    DeadlineExceeded,
+    /// The tenant is over its concurrent-query quota.
+    Quota,
+    /// A reason code this client version does not know. Carried verbatim
+    /// so newer servers never strand older clients (forward compat).
+    Other(u8),
 }
 
 impl BusyReason {
@@ -51,15 +65,38 @@ impl BusyReason {
             BusyReason::Queries => 0,
             BusyReason::Connections => 1,
             BusyReason::Draining => 2,
+            BusyReason::QueueFull => 3,
+            BusyReason::DeadlineExceeded => 4,
+            BusyReason::Quota => 5,
+            BusyReason::Other(c) => c,
         }
     }
 
-    fn from_code(c: u8) -> DbResult<BusyReason> {
+    /// Total: unknown codes map to [`BusyReason::Other`] instead of a hard
+    /// `DbError`, so a newer server adding reasons never disconnects an
+    /// older client (the message string still tells the operator why).
+    fn from_code(c: u8) -> BusyReason {
         match c {
-            0 => Ok(BusyReason::Queries),
-            1 => Ok(BusyReason::Connections),
-            2 => Ok(BusyReason::Draining),
-            other => Err(DbError::Net(format!("unknown busy reason {other}"))),
+            0 => BusyReason::Queries,
+            1 => BusyReason::Connections,
+            2 => BusyReason::Draining,
+            3 => BusyReason::QueueFull,
+            4 => BusyReason::DeadlineExceeded,
+            5 => BusyReason::Quota,
+            other => BusyReason::Other(other),
+        }
+    }
+
+    /// Stable lowercase label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusyReason::Queries => "queries",
+            BusyReason::Connections => "connections",
+            BusyReason::Draining => "draining",
+            BusyReason::QueueFull => "queue_full",
+            BusyReason::DeadlineExceeded => "deadline",
+            BusyReason::Quota => "quota",
+            BusyReason::Other(_) => "other",
         }
     }
 }
@@ -67,8 +104,15 @@ impl BusyReason {
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Client → server: magic + requested protocol version.
-    ClientHello { version: u16 },
+    /// Client → server: magic + requested protocol version. From v2 the
+    /// hello also names the tenant and its scheduling tier (0 = highest
+    /// priority); v1 clients omit both and are treated as the default
+    /// tenant on the lowest-priority tier.
+    ClientHello {
+        version: u16,
+        tenant: String,
+        tier: u8,
+    },
     /// Server → client: accepted protocol version.
     ServerHello { version: u16 },
     /// Client → server: one SQL statement.
@@ -81,7 +125,13 @@ pub enum Frame {
     Error { error: DbError },
     /// Server → client: admission control rejected the request. The query
     /// (or connection) was never started; retry with backoff.
-    Busy { reason: BusyReason, message: String },
+    /// `retry_after_ms` (v2+; 0 = no hint) is the server's estimate of when
+    /// capacity frees up — v1 peers receive the frame without it.
+    Busy {
+        reason: BusyReason,
+        message: String,
+        retry_after_ms: u64,
+    },
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -181,14 +231,25 @@ fn error_from_wire(code: u8, detail: String) -> DbError {
     }
 }
 
-/// Encode a frame payload (type byte + body), without the length prefix.
-fn encode_payload(frame: &Frame) -> Vec<u8> {
+/// Encode a frame payload (type byte + body), without the length prefix,
+/// in the dialect the peer negotiated. `peer_version` gates the v2 field
+/// extensions so a v1 peer receives byte-identical v1 frames (its decoder
+/// rejects trailing bytes).
+fn encode_payload(frame: &Frame, peer_version: u16) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     match frame {
-        Frame::ClientHello { version } => {
+        Frame::ClientHello {
+            version,
+            tenant,
+            tier,
+        } => {
             buf.push(T_CLIENT_HELLO);
             buf.extend_from_slice(&MAGIC);
             put_u16(&mut buf, *version);
+            if *version >= 2 {
+                put_str(&mut buf, tenant);
+                buf.push(*tier);
+            }
         }
         Frame::ServerHello { version } => {
             buf.push(T_SERVER_HELLO);
@@ -217,18 +278,33 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             buf.push(error_code(error));
             put_str(&mut buf, &error_detail(error));
         }
-        Frame::Busy { reason, message } => {
+        Frame::Busy {
+            reason,
+            message,
+            retry_after_ms,
+        } => {
             buf.push(T_BUSY);
             buf.push(reason.code());
             put_str(&mut buf, message);
+            if peer_version >= 2 {
+                put_u64(&mut buf, *retry_after_ms);
+            }
         }
     }
     buf
 }
 
-/// Write one frame (length prefix + payload) to the stream.
+/// Write one frame (length prefix + payload) to the stream in the current
+/// protocol dialect. Use [`write_frame_v`] when the peer negotiated an
+/// older version.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> DbResult<()> {
-    let payload = encode_payload(frame);
+    write_frame_v(w, frame, PROTOCOL_VERSION)
+}
+
+/// Write one frame in the dialect of `peer_version` (v2 field extensions
+/// are dropped for v1 peers).
+pub fn write_frame_v(w: &mut impl Write, frame: &Frame, peer_version: u16) -> DbResult<()> {
+    let payload = encode_payload(frame, peer_version);
     let mut msg = Vec::with_capacity(4 + payload.len());
     msg.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     msg.extend_from_slice(&payload);
@@ -305,7 +381,18 @@ pub fn decode_payload(payload: &[u8]) -> DbResult<Frame> {
             if magic != MAGIC {
                 return Err(DbError::Net("bad handshake magic".into()));
             }
-            Frame::ClientHello { version: c.u16()? }
+            let version = c.u16()?;
+            // v1 hellos end here; v2 adds tenant + tier.
+            let (tenant, tier) = if c.pos < payload.len() {
+                (c.string()?, c.u8()?)
+            } else {
+                (String::new(), u8::MAX)
+            };
+            Frame::ClientHello {
+                version,
+                tenant,
+                tier,
+            }
         }
         T_SERVER_HELLO => Frame::ServerHello { version: c.u16()? },
         T_QUERY => Frame::Query { sql: c.string()? },
@@ -331,10 +418,14 @@ pub fn decode_payload(payload: &[u8]) -> DbResult<Frame> {
             }
         }
         T_BUSY => {
-            let reason = BusyReason::from_code(c.u8()?)?;
+            let reason = BusyReason::from_code(c.u8()?);
+            let message = c.string()?;
+            // v1 busy frames end here; v2 adds the retry hint.
+            let retry_after_ms = if c.pos < payload.len() { c.u64()? } else { 0 };
             Frame::Busy {
                 reason,
-                message: c.string()?,
+                message,
+                retry_after_ms,
             }
         }
         t => return Err(DbError::Net(format!("unknown frame type {t}"))),
@@ -466,6 +557,8 @@ mod tests {
     fn frames_roundtrip() {
         roundtrip(Frame::ClientHello {
             version: PROTOCOL_VERSION,
+            tenant: "acme".into(),
+            tier: 1,
         });
         roundtrip(Frame::ServerHello {
             version: PROTOCOL_VERSION,
@@ -490,7 +583,77 @@ mod tests {
         roundtrip(Frame::Busy {
             reason: BusyReason::Queries,
             message: "8 queries in flight".into(),
+            retry_after_ms: 25,
         });
+        roundtrip(Frame::Busy {
+            reason: BusyReason::QueueFull,
+            message: "queue full".into(),
+            retry_after_ms: 0,
+        });
+        roundtrip(Frame::Busy {
+            reason: BusyReason::DeadlineExceeded,
+            message: "deadline".into(),
+            retry_after_ms: 9,
+        });
+    }
+
+    #[test]
+    fn v1_dialect_drops_v2_fields() {
+        // A v1 hello carries no tenant/tier bytes on the wire...
+        let hello = Frame::ClientHello {
+            version: 1,
+            tenant: String::new(),
+            tier: u8::MAX,
+        };
+        let payload = encode_payload(&hello, 1);
+        assert_eq!(payload.len(), 1 + 4 + 2, "v1 hello gained bytes");
+        assert_eq!(decode_payload(&payload).unwrap(), hello);
+
+        // ...and a Busy written for a v1 peer carries no retry hint, but
+        // still decodes (hint defaults to 0).
+        let busy = Frame::Busy {
+            reason: BusyReason::Queries,
+            message: "2 queries in flight (limit 2)".into(),
+            retry_after_ms: 17,
+        };
+        let mut v1_bytes = Vec::new();
+        write_frame_v(&mut v1_bytes, &busy, 1).unwrap();
+        let mut v2_bytes = Vec::new();
+        write_frame_v(&mut v2_bytes, &busy, 2).unwrap();
+        assert_eq!(v2_bytes.len(), v1_bytes.len() + 8);
+        let mut reader = FrameReader::new();
+        match reader.read_frame_blocking(&mut &v1_bytes[..]).unwrap() {
+            Frame::Busy {
+                reason,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(reason, BusyReason::Queries);
+                assert_eq!(retry_after_ms, 0);
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_busy_reason_maps_to_other_not_error() {
+        // A future server sends reason code 42: the client must decode it
+        // as Other(42) and keep the connection, not hard-error.
+        let mut payload = vec![T_BUSY, 42];
+        let msg = "mystery future reason";
+        payload.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        payload.extend_from_slice(msg.as_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        let frame = decode_payload(&payload).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Busy {
+                reason: BusyReason::Other(42),
+                message: msg.into(),
+                retry_after_ms: 7,
+            }
+        );
+        assert_eq!(BusyReason::Other(42).label(), "other");
     }
 
     #[test]

@@ -91,6 +91,8 @@ fn malformed_frame_gets_typed_error_before_close() {
         &mut stream,
         &Frame::ClientHello {
             version: PROTOCOL_VERSION,
+            tenant: String::new(),
+            tier: u8::MAX,
         },
     )
     .unwrap();
